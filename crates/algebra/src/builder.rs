@@ -1,0 +1,70 @@
+//! Translating a checked `retrieve` into the logical algebra.
+
+use excess_lang::{Expr, Stmt};
+use excess_sema::{CheckedRetrieve, ResolvedRange, SemaError, SemaResult};
+
+use crate::plan::Logical;
+use crate::rules::{conjuncts, free_vars};
+
+/// Build the canonical (unoptimized) logical plan for a retrieve:
+/// all ranges stacked in dependency order, one big selection, universal
+/// selection, sort, projection.
+pub fn build_logical(stmt: &Stmt, checked: &CheckedRetrieve) -> SemaResult<Logical> {
+    let Stmt::Retrieve { targets, qual, order_by, .. } = stmt else {
+        return Err(SemaError::Other("build_logical expects a retrieve".into()));
+    };
+
+    let (universal, existential): (Vec<ResolvedRange>, Vec<ResolvedRange>) =
+        checked.bindings.iter().cloned().partition(|b| b.universal);
+    let universal_vars: Vec<String> = universal.iter().map(|b| b.var.clone()).collect();
+
+    let mut plan = Logical::Unit;
+    for b in existential {
+        plan = Logical::Range { input: Box::new(plan), binding: b };
+    }
+
+    // Split the qualification: conjuncts touching universal variables
+    // belong to the universal selection.
+    let mut existential_pred: Option<Expr> = None;
+    let mut universal_pred: Option<Expr> = None;
+    if let Some(q) = qual {
+        for c in conjuncts(q) {
+            let vars = free_vars(&c);
+            let is_universal = vars.iter().any(|v| universal_vars.contains(v));
+            let slot = if is_universal { &mut universal_pred } else { &mut existential_pred };
+            *slot = Some(match slot.take() {
+                None => c,
+                Some(prev) => Expr::Binary(
+                    excess_lang::BinOp::And,
+                    Box::new(prev),
+                    Box::new(c),
+                ),
+            });
+        }
+    }
+    if let Some(p) = existential_pred {
+        plan = Logical::Select { input: Box::new(plan), pred: p };
+    }
+    match (universal.is_empty(), universal_pred) {
+        (true, None) => {}
+        (false, Some(p)) => {
+            plan = Logical::UniversalSelect { input: Box::new(plan), bindings: universal, pred: p };
+        }
+        (false, None) => {
+            // A universal range with no constraining predicate is vacuous.
+        }
+        (true, Some(_)) => unreachable!("universal conjuncts need universal bindings"),
+    }
+
+    if let Some((key, asc)) = order_by {
+        plan = Logical::Sort { input: Box::new(plan), key: key.clone(), asc: *asc };
+    }
+
+    let named: Vec<(String, Expr)> = checked
+        .output
+        .iter()
+        .zip(targets.iter())
+        .map(|((name, _), t)| (name.clone(), t.expr.clone()))
+        .collect();
+    Ok(Logical::Project { input: Box::new(plan), targets: named })
+}

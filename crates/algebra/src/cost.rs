@@ -1,0 +1,121 @@
+//! Cardinality and cost estimation.
+//!
+//! Deliberately simple, System R-flavored: collection sizes come from the
+//! catalog, predicate selectivities from fixed factors, set fan-out from a
+//! default. The estimates only need to rank alternatives consistently
+//! (scan vs index, join orders); the benchmark suite (experiment E8)
+//! checks the rankings, not the absolute numbers.
+
+use excess_lang::{BinOp, Expr};
+use excess_sema::{CatalogLookup, ResolvedRange, RootSource};
+
+use crate::plan::Physical;
+use crate::rules::conjuncts;
+
+/// Default members per nested set when no statistics exist.
+pub const DEFAULT_FANOUT: f64 = 4.0;
+/// Default collection size when the catalog has no count.
+pub const DEFAULT_SIZE: f64 = 1000.0;
+/// Selectivity of an equality predicate.
+pub const SEL_EQ: f64 = 0.05;
+/// Selectivity of a range predicate.
+pub const SEL_RANGE: f64 = 0.33;
+/// Selectivity of any other predicate.
+pub const SEL_OTHER: f64 = 0.5;
+
+/// Estimated selectivity of a predicate.
+pub fn selectivity(pred: &Expr) -> f64 {
+    conjuncts(pred)
+        .iter()
+        .map(|c| match c {
+            Expr::Binary(BinOp::Eq | BinOp::Is, _, _) => SEL_EQ,
+            Expr::Binary(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _, _) => SEL_RANGE,
+            _ => SEL_OTHER,
+        })
+        .product()
+}
+
+/// Estimated members produced by iterating a binding once.
+pub fn binding_cardinality(b: &ResolvedRange, catalog: &dyn CatalogLookup) -> f64 {
+    match &b.root {
+        RootSource::Collection(obj) => {
+            let base = catalog.collection_size(&obj.name).map(|n| n as f64).unwrap_or(DEFAULT_SIZE);
+            // Steps beyond the collection unnest one nested set.
+            if b.steps.is_empty() {
+                base
+            } else {
+                base * DEFAULT_FANOUT
+            }
+        }
+        RootSource::Object(_) => {
+            if b.steps.is_empty() {
+                1.0
+            } else {
+                DEFAULT_FANOUT
+            }
+        }
+        RootSource::Var(_) => DEFAULT_FANOUT,
+    }
+}
+
+/// Estimated output cardinality of a physical plan.
+pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
+    match plan {
+        Physical::Unit => 1.0,
+        Physical::SeqScan { binding } => binding_cardinality(binding, catalog),
+        Physical::IndexScan { binding, lower, upper, .. } => {
+            let base = binding_cardinality(binding, catalog);
+            let sel = match (lower, upper) {
+                (std::ops::Bound::Included(a), std::ops::Bound::Included(b)) if a == b => SEL_EQ,
+                (std::ops::Bound::Unbounded, _) | (_, std::ops::Bound::Unbounded) => SEL_RANGE,
+                _ => SEL_RANGE,
+            };
+            (base * sel).max(1.0)
+        }
+        Physical::Unnest { input, binding } => {
+            cardinality(input, catalog) * binding_cardinality(binding, catalog)
+        }
+        Physical::NestedLoop { outer, inner } => {
+            cardinality(outer, catalog) * cardinality(inner, catalog)
+        }
+        Physical::Filter { input, pred } => {
+            (cardinality(input, catalog) * selectivity(pred)).max(1.0)
+        }
+        Physical::UniversalFilter { input, .. } => {
+            (cardinality(input, catalog) * SEL_OTHER).max(1.0)
+        }
+        Physical::Project { input, .. } | Physical::Sort { input, .. } => {
+            cardinality(input, catalog)
+        }
+    }
+}
+
+/// Estimated cost (abstract units ≈ member visits).
+pub fn cost(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
+    match plan {
+        Physical::Unit => 0.0,
+        Physical::SeqScan { binding } => binding_cardinality(binding, catalog),
+        Physical::IndexScan { binding, .. } => {
+            let n = binding_cardinality(binding, catalog).max(2.0);
+            n.log2() + cardinality(plan, catalog)
+        }
+        Physical::Unnest { input, binding } => {
+            cost(input, catalog)
+                + cardinality(input, catalog) * binding_cardinality(binding, catalog)
+        }
+        Physical::NestedLoop { outer, inner } => {
+            cost(outer, catalog) + cardinality(outer, catalog) * cost(inner, catalog)
+        }
+        Physical::Filter { input, .. } => cost(input, catalog) + cardinality(input, catalog),
+        Physical::UniversalFilter { input, bindings, .. } => {
+            let universe: f64 =
+                bindings.iter().map(|b| binding_cardinality(b, catalog)).product();
+            cost(input, catalog) + cardinality(input, catalog) * universe
+        }
+        Physical::Project { input, .. } => cost(input, catalog) + cardinality(input, catalog),
+        Physical::Sort { input, .. } => {
+            let n = cardinality(input, catalog).max(2.0);
+            cost(input, catalog) + n * n.log2()
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # excess-algebra
+//!
+//! The EXCESS query algebra, rule-based rewriter, and cost-based physical
+//! planner.
+//!
+//! The paper defers the algebra design to future work but fixes its
+//! requirements (§4.1, §6): a rule-based optimizer in the style of the
+//! EXODUS optimizer generator \[Grae87\], with *table-driven* lookup of
+//! access-method applicability for ADTs (so ADTs can be added
+//! dynamically), and functions/operators treated uniformly. This crate
+//! implements to those requirements:
+//!
+//! * [`plan`] — logical and physical operator trees, with `EXPLAIN`
+//!   rendering;
+//! * [`builder`] — translation of a checked `retrieve` into the logical
+//!   algebra (range bindings become scans/unnests; universal bindings
+//!   become a universal selection);
+//! * [`rules`] — rewrite rules: conjunct splitting and predicate pushdown;
+//! * [`cost`] — cardinality/cost estimation from catalog statistics;
+//! * [`physical`] — access-path selection (sequential vs B+-tree index
+//!   scan, consulting the ADT applicability table for ADT-typed keys),
+//!   greedy join ordering by estimated cardinality, and final plan
+//!   assembly.
+
+pub mod builder;
+pub mod cost;
+pub mod physical;
+pub mod plan;
+pub mod rules;
+
+pub use builder::build_logical;
+pub use physical::{optimize, plan_retrieve, PlannerConfig};
+pub use plan::{Logical, Physical};

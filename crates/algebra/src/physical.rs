@@ -1,0 +1,348 @@
+//! Physical planning: access-path selection, join ordering, predicate
+//! pushdown.
+
+use std::collections::HashMap;
+use std::ops::Bound;
+
+use excess_lang::{BinOp, Expr, Stmt};
+use excess_sema::{CheckedRetrieve, ResolvedRange, RootSource, SemaCtx, SemaError, SemaResult};
+use extra_model::{Type, Value};
+
+use crate::cost::cardinality;
+use crate::plan::Physical;
+use crate::rules::{conjoin, conjuncts, free_vars, indexable_pred};
+
+/// Planner switches — each corresponds to an ablation in experiment E8.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerConfig {
+    /// Consider B+-tree index scans (consulting the ADT applicability
+    /// table for ADT-typed keys).
+    pub use_indexes: bool,
+    /// Push selection conjuncts below joins/unnests.
+    pub pushdown: bool,
+    /// Reorder independent scans by estimated cardinality.
+    pub reorder_joins: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        PlannerConfig { use_indexes: true, pushdown: true, reorder_joins: true }
+    }
+}
+
+impl PlannerConfig {
+    /// Everything off: the naive evaluator baseline.
+    pub fn naive() -> Self {
+        PlannerConfig { use_indexes: false, pushdown: false, reorder_joins: false }
+    }
+}
+
+/// Plan a checked retrieve into a physical plan.
+pub fn plan_retrieve(
+    stmt: &Stmt,
+    checked: &CheckedRetrieve,
+    ctx: &SemaCtx<'_>,
+    config: PlannerConfig,
+) -> SemaResult<Physical> {
+    let Stmt::Retrieve { targets, qual, order_by, .. } = stmt else {
+        return Err(SemaError::Other("plan_retrieve expects a retrieve".into()));
+    };
+
+    let (universal, existential): (Vec<ResolvedRange>, Vec<ResolvedRange>) =
+        checked.bindings.iter().cloned().partition(|b| b.universal);
+    let universal_vars: Vec<&str> = universal.iter().map(|b| b.var.as_str()).collect();
+    let binding_vars: Vec<String> = checked.bindings.iter().map(|b| b.var.clone()).collect();
+
+    // Partition conjuncts.
+    let mut existential_conjuncts: Vec<Expr> = Vec::new();
+    let mut universal_conjuncts: Vec<Expr> = Vec::new();
+    if let Some(q) = qual {
+        for c in conjuncts(q) {
+            let vars = free_vars(&c);
+            if vars.iter().any(|v| universal_vars.contains(&v.as_str())) {
+                universal_conjuncts.push(c);
+            } else {
+                existential_conjuncts.push(c);
+            }
+        }
+    }
+
+    // Build chains: each root binding plus its transitive dependents.
+    let children: HashMap<&str, Vec<&ResolvedRange>> = {
+        let mut m: HashMap<&str, Vec<&ResolvedRange>> = HashMap::new();
+        for b in &existential {
+            if let Some(p) = b.depends_on() {
+                m.entry(p).or_default().push(b);
+            }
+        }
+        m
+    };
+    let mut chains: Vec<Physical> = Vec::new();
+    // A chain root either has no parent or depends on an outer-scope
+    // variable (function/procedure parameter) that the plan does not bind.
+    let is_root = |b: &ResolvedRange| match b.depends_on() {
+        None => true,
+        Some(p) => !existential.iter().any(|x| x.var == p),
+    };
+    for root in existential.iter().filter(|b| is_root(b)) {
+        let mut plan = plan_root(root, &mut existential_conjuncts, ctx, config)?;
+        // DFS over dependents, preserving declaration order.
+        let mut stack: Vec<&ResolvedRange> =
+            children.get(root.var.as_str()).cloned().unwrap_or_default();
+        stack.reverse();
+        while let Some(b) = stack.pop() {
+            plan = Physical::Unnest { input: Box::new(plan), binding: b.clone() };
+            let mut kids = children.get(b.var.as_str()).cloned().unwrap_or_default();
+            kids.reverse();
+            stack.extend(kids);
+        }
+        chains.push(plan);
+    }
+
+    // Early pushdown of single-chain conjuncts before ordering, so the
+    // cardinality estimates see them.
+    if config.pushdown {
+        existential_conjuncts.retain(|c| {
+            let vars: Vec<String> = free_vars(c)
+                .into_iter()
+                .filter(|v| binding_vars.contains(v))
+                .collect();
+            for chain in chains.iter_mut() {
+                let bound = chain.bound_vars();
+                if !vars.is_empty() && vars.iter().all(|v| bound.contains(v)) {
+                    *chain = attach_filter(std::mem::replace(chain, Physical::Unit), c, &vars);
+                    return false;
+                }
+            }
+            true
+        });
+    }
+
+    // Join ordering: pick the cheapest nested-loop order by estimated
+    // cost (exhaustive for up to four chains; greedy-by-cardinality
+    // beyond that). Minimizing estimated *cost*, not outer cardinality —
+    // a tiny outer side is a loss when the inner must be fully rescanned.
+    if config.reorder_joins && chains.len() > 1 {
+        if chains.len() <= 4 {
+            chains = best_permutation(chains, ctx);
+        } else {
+            chains.sort_by(|a, b| {
+                cardinality(a, ctx.catalog)
+                    .partial_cmp(&cardinality(b, ctx.catalog))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+        }
+    }
+    let mut plan = match chains.len() {
+        0 => Physical::Unit,
+        _ => {
+            let mut it = chains.into_iter();
+            let first = it.next().expect("nonempty");
+            it.fold(first, |outer, inner| Physical::NestedLoop {
+                outer: Box::new(outer),
+                inner: Box::new(inner),
+            })
+        }
+    };
+
+    // Remaining conjuncts (cross-chain, or everything when pushdown is
+    // off) gate the joined stream.
+    if let Some(p) = conjoin(existential_conjuncts) {
+        plan = Physical::Filter { input: Box::new(plan), pred: p };
+    }
+    if !universal.is_empty() {
+        if let Some(p) = conjoin(universal_conjuncts) {
+            plan = Physical::UniversalFilter {
+                input: Box::new(plan),
+                bindings: universal,
+                pred: p,
+            };
+        }
+    }
+    if let Some((key, asc)) = order_by {
+        plan = Physical::Sort { input: Box::new(plan), key: key.clone(), asc: *asc };
+    }
+    let named: Vec<(String, Expr)> = checked
+        .output
+        .iter()
+        .zip(targets.iter())
+        .map(|((name, _), t)| (name.clone(), t.expr.clone()))
+        .collect();
+    Ok(Physical::Project { input: Box::new(plan), targets: named })
+}
+
+/// Exhaustively pick the nested-loop order with the lowest estimated
+/// cost.
+fn best_permutation(chains: Vec<Physical>, ctx: &SemaCtx<'_>) -> Vec<Physical> {
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    let mut perm: Vec<usize> = (0..chains.len()).collect();
+    // Heap's algorithm, iterative.
+    let n = perm.len();
+    let mut c = vec![0usize; n];
+    let evaluate = |perm: &[usize], best: &mut Option<(f64, Vec<usize>)>| {
+        let plan = perm
+            .iter()
+            .map(|&i| chains[i].clone())
+            .reduce(|outer, inner| Physical::NestedLoop {
+                outer: Box::new(outer),
+                inner: Box::new(inner),
+            })
+            .expect("nonempty");
+        let cost = crate::cost::cost(&plan, ctx.catalog);
+        if best.as_ref().map(|(b, _)| cost < *b).unwrap_or(true) {
+            *best = Some((cost, perm.to_vec()));
+        }
+    };
+    evaluate(&perm, &mut best);
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            evaluate(&perm, &mut best);
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    let order = best.expect("at least one permutation").1;
+    // Reassemble chains in the chosen order.
+    let mut slots: Vec<Option<Physical>> = chains.into_iter().map(Some).collect();
+    order.into_iter().map(|i| slots[i].take().expect("each index once")).collect()
+}
+
+/// Plan the access path for a root binding, possibly consuming an
+/// index-usable conjunct.
+fn plan_root(
+    root: &ResolvedRange,
+    remaining: &mut Vec<Expr>,
+    ctx: &SemaCtx<'_>,
+    config: PlannerConfig,
+) -> SemaResult<Physical> {
+    let RootSource::Collection(obj) = &root.root else {
+        // Object-rooted ranges unnest straight off the named object.
+        return Ok(Physical::Unnest {
+            input: Box::new(Physical::Unit),
+            binding: root.clone(),
+        });
+    };
+    // Only a direct member iteration can use a member-attribute index.
+    if config.use_indexes && root.steps.is_empty() {
+        for (i, c) in remaining.iter().enumerate() {
+            let Some(p) = indexable_pred(c, &root.var, ctx.adts) else { continue };
+            let Some(index) = ctx.catalog.index_on(&obj.name, &p.attr) else { continue };
+            // Coerce the probe constant to the attribute's declared type
+            // so its key encoding matches the index entries.
+            let attr_ty = ctx.attr_type(&root.elem, &p.attr)?;
+            let value = coerce(&p.value, &attr_ty.ty);
+            let Some(key) = value.key_encode(ctx.adts) else { continue };
+            let (lower, upper) = match p.op {
+                BinOp::Eq => (Bound::Included(key.clone()), Bound::Included(key)),
+                BinOp::Lt => (Bound::Unbounded, Bound::Excluded(key)),
+                BinOp::Le => (Bound::Unbounded, Bound::Included(key)),
+                BinOp::Gt => (Bound::Excluded(key), Bound::Unbounded),
+                BinOp::Ge => (Bound::Included(key), Bound::Unbounded),
+                _ => unreachable!("indexable_pred filters operators"),
+            };
+            remaining.remove(i);
+            return Ok(Physical::IndexScan { binding: root.clone(), index, lower, upper });
+        }
+    }
+    if root.steps.is_empty() {
+        Ok(Physical::SeqScan { binding: root.clone() })
+    } else {
+        // A collection-with-steps root should not occur (the resolver
+        // introduces an implicit member binding), but plan it as scan +
+        // self-unnest defensively.
+        let base = ResolvedRange {
+            var: format!("${}", obj.name),
+            universal: false,
+            root: root.root.clone(),
+            steps: Vec::new(),
+            elem: root.elem.clone(),
+        };
+        let scan = Physical::SeqScan { binding: base };
+        let mut dep = root.clone();
+        dep.root = RootSource::Var(format!("${}", obj.name));
+        Ok(Physical::Unnest { input: Box::new(scan), binding: dep })
+    }
+}
+
+fn coerce(v: &Value, ty: &Type) -> Value {
+    match (v, ty) {
+        (Value::Int(i), Type::Base(b)) if b.is_float() => Value::Float(*i as f64),
+        (Value::Float(f), Type::Base(b)) if b.is_integer() && f.fract() == 0.0 => {
+            Value::Int(*f as i64)
+        }
+        _ => v.clone(),
+    }
+}
+
+/// Attach a filter at the lowest point in `plan` where `vars` are bound.
+fn attach_filter(plan: Physical, pred: &Expr, vars: &[String]) -> Physical {
+    let covered = |p: &Physical| {
+        let bound = p.bound_vars();
+        vars.iter().all(|v| bound.contains(v))
+    };
+    match plan {
+        Physical::Unnest { input, binding } => {
+            if covered(&input) {
+                Physical::Unnest {
+                    input: Box::new(attach_filter(*input, pred, vars)),
+                    binding,
+                }
+            } else {
+                Physical::Filter {
+                    input: Box::new(Physical::Unnest { input, binding }),
+                    pred: pred.clone(),
+                }
+            }
+        }
+        Physical::NestedLoop { outer, inner } => {
+            if covered(&outer) {
+                Physical::NestedLoop {
+                    outer: Box::new(attach_filter(*outer, pred, vars)),
+                    inner,
+                }
+            } else if covered(&inner) {
+                Physical::NestedLoop {
+                    outer,
+                    inner: Box::new(attach_filter(*inner, pred, vars)),
+                }
+            } else {
+                Physical::Filter {
+                    input: Box::new(Physical::NestedLoop { outer, inner }),
+                    pred: pred.clone(),
+                }
+            }
+        }
+        Physical::Filter { input, pred: existing } => {
+            if covered(&input) {
+                Physical::Filter {
+                    input: Box::new(attach_filter(*input, pred, vars)),
+                    pred: existing,
+                }
+            } else {
+                Physical::Filter {
+                    input: Box::new(Physical::Filter { input, pred: existing }),
+                    pred: pred.clone(),
+                }
+            }
+        }
+        other => Physical::Filter { input: Box::new(other), pred: pred.clone() },
+    }
+}
+
+/// Convenience: a retrieve's *unoptimized* plan, for the E8 ablation.
+pub fn optimize(
+    stmt: &Stmt,
+    checked: &CheckedRetrieve,
+    ctx: &SemaCtx<'_>,
+) -> SemaResult<Physical> {
+    plan_retrieve(stmt, checked, ctx, PlannerConfig::default())
+}

@@ -1,0 +1,271 @@
+//! Logical and physical operator trees.
+
+use std::fmt;
+use std::ops::Bound;
+
+use excess_lang::Expr;
+use excess_sema::{IndexInfo, ResolvedRange};
+
+/// A logical plan node.
+#[derive(Debug, Clone)]
+pub enum Logical {
+    /// Produces a single empty environment (for constant queries like
+    /// `retrieve (Today)`).
+    Unit,
+    /// Extend each input environment with one range binding (iterating a
+    /// collection, or unnesting a set reached from a parent binding /
+    /// named object).
+    Range {
+        /// Input.
+        input: Box<Logical>,
+        /// The binding added.
+        binding: ResolvedRange,
+    },
+    /// Filter by a predicate.
+    Select {
+        /// Input.
+        input: Box<Logical>,
+        /// Boolean predicate.
+        pred: Expr,
+    },
+    /// Keep environments for which `pred` holds for *all* bindings of the
+    /// universal ranges (`range of V is all ...`).
+    UniversalSelect {
+        /// Input.
+        input: Box<Logical>,
+        /// The universally quantified bindings.
+        bindings: Vec<ResolvedRange>,
+        /// Predicate that must hold for every universal binding.
+        pred: Expr,
+    },
+    /// Compute the output columns.
+    Project {
+        /// Input.
+        input: Box<Logical>,
+        /// `(column name, expression)` pairs.
+        targets: Vec<(String, Expr)>,
+    },
+    /// Order the result.
+    Sort {
+        /// Input.
+        input: Box<Logical>,
+        /// Sort key.
+        key: Expr,
+        /// Ascending?
+        asc: bool,
+    },
+}
+
+/// A physical plan node, directly executable by `excess-exec`.
+#[derive(Debug, Clone)]
+pub enum Physical {
+    /// One empty environment.
+    Unit,
+    /// Sequential scan of a collection, binding `binding.var`.
+    SeqScan {
+        /// The binding (root must be a collection).
+        binding: ResolvedRange,
+    },
+    /// B+-tree index scan with key bounds.
+    IndexScan {
+        /// The binding (root must be a collection).
+        binding: ResolvedRange,
+        /// The index used.
+        index: IndexInfo,
+        /// Lower key bound (encoded).
+        lower: Bound<Vec<u8>>,
+        /// Upper key bound (encoded).
+        upper: Bound<Vec<u8>>,
+    },
+    /// Unnest a set/array reached from a parent binding or named object,
+    /// extending each input environment.
+    Unnest {
+        /// Input.
+        input: Box<Physical>,
+        /// The dependent binding.
+        binding: ResolvedRange,
+    },
+    /// Cross product: re-run `inner` for every outer environment
+    /// (predicates have been pushed into the inputs).
+    NestedLoop {
+        /// Outer side.
+        outer: Box<Physical>,
+        /// Inner side (independent of the outer).
+        inner: Box<Physical>,
+    },
+    /// Filter.
+    Filter {
+        /// Input.
+        input: Box<Physical>,
+        /// Predicate.
+        pred: Expr,
+    },
+    /// Universal-quantification filter: keep input environments for which
+    /// `pred` holds under *every* joint binding of `bindings`.
+    UniversalFilter {
+        /// Input.
+        input: Box<Physical>,
+        /// Universal bindings (dependency order).
+        bindings: Vec<ResolvedRange>,
+        /// Predicate.
+        pred: Expr,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<Physical>,
+        /// `(column name, expression)` pairs.
+        targets: Vec<(String, Expr)>,
+    },
+    /// Sort.
+    Sort {
+        /// Input.
+        input: Box<Physical>,
+        /// Sort key.
+        key: Expr,
+        /// Ascending?
+        asc: bool,
+    },
+}
+
+fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+    for _ in 0..depth {
+        write!(f, "  ")?;
+    }
+    Ok(())
+}
+
+impl Logical {
+    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        indent(f, depth)?;
+        match self {
+            Logical::Unit => writeln!(f, "Unit"),
+            Logical::Range { input, binding } => {
+                writeln!(
+                    f,
+                    "Range {} over {}{}",
+                    binding.var,
+                    range_source(binding),
+                    if binding.universal { " (all)" } else { "" }
+                )?;
+                input.fmt_at(f, depth + 1)
+            }
+            Logical::Select { input, pred } => {
+                writeln!(f, "Select {pred}")?;
+                input.fmt_at(f, depth + 1)
+            }
+            Logical::UniversalSelect { input, bindings, pred } => {
+                let vars: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
+                writeln!(f, "UniversalSelect forall {} : {pred}", vars.join(", "))?;
+                input.fmt_at(f, depth + 1)
+            }
+            Logical::Project { input, targets } => {
+                let cols: Vec<String> =
+                    targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
+                writeln!(f, "Project [{}]", cols.join(", "))?;
+                input.fmt_at(f, depth + 1)
+            }
+            Logical::Sort { input, key, asc } => {
+                writeln!(f, "Sort by {key} {}", if *asc { "asc" } else { "desc" })?;
+                input.fmt_at(f, depth + 1)
+            }
+        }
+    }
+}
+
+/// Human-readable description of where a binding iterates.
+pub fn range_source(b: &ResolvedRange) -> String {
+    let root = match &b.root {
+        excess_sema::RootSource::Collection(o) => o.name.clone(),
+        excess_sema::RootSource::Object(o) => o.name.clone(),
+        excess_sema::RootSource::Var(v) => v.clone(),
+    };
+    if b.steps.is_empty() {
+        root
+    } else {
+        format!("{root}.{}", b.steps.join("."))
+    }
+}
+
+impl fmt::Display for Logical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_at(f, 0)
+    }
+}
+
+impl Physical {
+    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        indent(f, depth)?;
+        match self {
+            Physical::Unit => writeln!(f, "Unit"),
+            Physical::SeqScan { binding } => {
+                writeln!(f, "SeqScan {} over {}", binding.var, range_source(binding))
+            }
+            Physical::IndexScan { binding, index, .. } => writeln!(
+                f,
+                "IndexScan {} over {} using {}",
+                binding.var,
+                range_source(binding),
+                index.name
+            ),
+            Physical::Unnest { input, binding } => {
+                writeln!(f, "Unnest {} over {}", binding.var, range_source(binding))?;
+                input.fmt_at(f, depth + 1)
+            }
+            Physical::NestedLoop { outer, inner } => {
+                writeln!(f, "NestedLoop")?;
+                outer.fmt_at(f, depth + 1)?;
+                inner.fmt_at(f, depth + 1)
+            }
+            Physical::Filter { input, pred } => {
+                writeln!(f, "Filter {pred}")?;
+                input.fmt_at(f, depth + 1)
+            }
+            Physical::UniversalFilter { input, bindings, pred } => {
+                let vars: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
+                writeln!(f, "UniversalFilter forall {} : {pred}", vars.join(", "))?;
+                input.fmt_at(f, depth + 1)
+            }
+            Physical::Project { input, targets } => {
+                let cols: Vec<String> =
+                    targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
+                writeln!(f, "Project [{}]", cols.join(", "))?;
+                input.fmt_at(f, depth + 1)
+            }
+            Physical::Sort { input, key, asc } => {
+                writeln!(f, "Sort by {key} {}", if *asc { "asc" } else { "desc" })?;
+                input.fmt_at(f, depth + 1)
+            }
+        }
+    }
+
+    /// Variables bound by this subtree.
+    pub fn bound_vars(&self) -> Vec<String> {
+        match self {
+            Physical::Unit => Vec::new(),
+            Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => {
+                vec![binding.var.clone()]
+            }
+            Physical::Unnest { input, binding } => {
+                let mut v = input.bound_vars();
+                v.push(binding.var.clone());
+                v
+            }
+            Physical::NestedLoop { outer, inner } => {
+                let mut v = outer.bound_vars();
+                v.extend(inner.bound_vars());
+                v
+            }
+            Physical::Filter { input, .. }
+            | Physical::UniversalFilter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. } => input.bound_vars(),
+        }
+    }
+}
+
+impl fmt::Display for Physical {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_at(f, 0)
+    }
+}

@@ -1,0 +1,35 @@
+//! E10 — front-end throughput: lexing + parsing the full statement corpus
+//! (every paper figure plus representative DML).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use excess_lang::{parse_statement, OperatorTable};
+use exodus_bench::statement_corpus;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e10_frontend");
+    let ops = OperatorTable::new();
+    let corpus = statement_corpus();
+    g.bench_function("parse_corpus", |b| {
+        b.iter(|| {
+            for stmt in &corpus {
+                let ast = parse_statement(stmt, &ops).unwrap();
+                criterion::black_box(ast);
+            }
+        })
+    });
+    // Round-trip through the printer as a stress on both directions.
+    g.bench_function("parse_print_parse", |b| {
+        b.iter(|| {
+            for stmt in &corpus {
+                let ast = parse_statement(stmt, &ops).unwrap();
+                let printed = ast.to_string();
+                let again = parse_statement(&printed, &ops).unwrap();
+                criterion::black_box(again);
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

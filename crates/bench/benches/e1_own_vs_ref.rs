@@ -1,0 +1,32 @@
+//! E1 — uniform own/ref treatment: the storage cost behind the paper's
+//! "casual users can ignore the distinction".
+//!
+//! Scans N employees reading `E.dept.floor` with the department embedded
+//! (`own`, value semantics) vs shared (`ref`, an OID chase per row).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_bench::{university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_own_vs_ref");
+    g.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        for (label, mode) in [("own", DeptMode::Own), ("ref", DeptMode::Ref)] {
+            let u = university(20, n, 0, mode, 8192);
+            let mut s = u.db.session();
+            s.run("range of E is Employees").unwrap();
+            g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    let r = s
+                        .query("retrieve (sum(E.dept.budget over E))")
+                        .unwrap();
+                    assert_eq!(r.rows.len(), 1);
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E2 — implicit joins: path-expression depth sweep (`X.next.next...`).
+//!
+//! The paper argues associative path syntax is optimizable; the cost per
+//! added hop should stay roughly linear (one OID dereference per level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_bench::chain;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_implicit_join");
+    g.sample_size(10);
+    let n = 2_000usize;
+    for depth in [1usize, 2, 3, 4] {
+        let db = chain(depth, n);
+        let mut s = db.session();
+        let path = (0..depth).map(|_| "next").collect::<Vec<_>>().join(".");
+        let q = format!("retrieve (sum(X.{path}.tag over X)) from X in C0");
+        g.bench_with_input(BenchmarkId::new("depth", depth), &depth, |b, _| {
+            b.iter(|| {
+                let r = s.query(&q).unwrap();
+                assert_eq!(r.rows.len(), 1);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

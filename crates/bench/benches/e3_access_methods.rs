@@ -1,0 +1,55 @@
+//! E3 — access-method extensibility: B+-tree vs sequential scan across
+//! selectivities, including an ADT (Date) key — the applicability-table
+//! story of §4.1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use excess_algebra::PlannerConfig;
+use exodus_bench::{university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_access_methods");
+    g.sample_size(10);
+    let n = 20_000usize;
+    let u = university(20, n, 0, DeptMode::Ref, 16384);
+    let mut s = u.db.session();
+    s.run("define index emp_salary on Employees (salary); \
+           define index emp_hired on Employees (hired); \
+           range of E is Employees")
+        .unwrap();
+    // Salary is uniform in [20k, 100k): thresholds select ~0.1%, ~10%, ~50%.
+    for (label, lo) in [("sel0.1%", 99_920.0), ("sel10%", 92_000.0), ("sel50%", 60_000.0)] {
+        let q = format!("retrieve (E.name) where E.salary >= {lo}");
+        for (cfg_label, cfg) in [
+            ("seqscan", PlannerConfig { use_indexes: false, ..Default::default() }),
+            ("index", PlannerConfig::default()),
+        ] {
+            u.db.set_planner(cfg);
+            g.bench_function(BenchmarkId::new(cfg_label, label), |b| {
+                b.iter(|| {
+                    let r = s.query(&q).unwrap();
+                    criterion::black_box(r);
+                })
+            });
+        }
+    }
+    // ADT-keyed predicate: the Date index applies because Date is ordered.
+    u.db.set_planner(PlannerConfig::default());
+    for (cfg_label, cfg) in [
+        ("seqscan", PlannerConfig { use_indexes: false, ..Default::default() }),
+        ("index", PlannerConfig::default()),
+    ] {
+        u.db.set_planner(cfg);
+        g.bench_function(BenchmarkId::new(cfg_label, "date_eq"), |b| {
+            b.iter(|| {
+                let r = s
+                    .query("retrieve (E.name) where E.hired < Date(\"1/10/1950\")")
+                    .unwrap();
+                let _ = r;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

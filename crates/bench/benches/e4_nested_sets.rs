@@ -1,0 +1,46 @@
+//! E4 — NF²-style nested sets vs the flattened 1NF encoding.
+//!
+//! The same logical query — every kid's name with the parent's floor —
+//! through (a) EXTRA's nested `kids` set and (b) a flat Kids collection
+//! joined back to employees by reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_bench::{flat_kids, university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e4_nested_sets");
+    g.sample_size(10);
+    let n = 500usize;
+    for fanout in [1usize, 4, 16] {
+        let nested = university(10, n, fanout, DeptMode::Ref, 16384);
+        let mut sn = nested.db.session();
+        g.bench_with_input(BenchmarkId::new("nested", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                let r = sn
+                    .query(
+                        "retrieve (C.name, f = Employees.dept.floor) \
+                         from C in Employees.kids",
+                    )
+                    .unwrap();
+                let _ = r;
+            })
+        });
+        let flat = flat_kids(n, fanout);
+        let mut sf = flat.session();
+        g.bench_with_input(BenchmarkId::new("flat_join", fanout), &fanout, |b, _| {
+            b.iter(|| {
+                let r = sf
+                    .query(
+                        "retrieve (K.name, E.floor) from K in Kids, E in Emps \
+                         where K.parent is E",
+                    )
+                    .unwrap();
+                let _ = r;
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E5 — grouped aggregation (`by`, one cached pass over employees) vs a
+//! correlated per-row subquery (employees rescanned for every outer row).
+//!
+//! Both forms compute, for each employee, the average salary of that
+//! employee's department. The `by` form builds the group table once; the
+//! correlated form is quadratic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_bench::{university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e5_aggregates");
+    g.sample_size(10);
+    for n in [200usize, 500, 1_000] {
+        let u = university(16, n, 0, DeptMode::Ref, 16384);
+        let mut s = u.db.session();
+        g.bench_with_input(BenchmarkId::new("grouped_by", n), &n, |b, _| {
+            b.iter(|| {
+                let r = s
+                    .query(
+                        "retrieve (E.name, a = avg(E.salary over E by E.dept)) \
+                         from E in Employees",
+                    )
+                    .unwrap();
+                assert_eq!(r.rows.len(), n);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("correlated_subquery", n), &n, |b, _| {
+            b.iter(|| {
+                let r = s
+                    .query(
+                        "retrieve (E.name, a = avg(E2.salary over E2 where E2.dept is E.dept)) \
+                         from E in Employees, E2 in Employees",
+                    )
+                    .unwrap();
+                assert_eq!(r.rows.len(), n);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

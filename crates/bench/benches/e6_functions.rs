@@ -1,0 +1,41 @@
+//! E6 — EXCESS function invocation overhead vs the inline expression, and
+//! dispatch through the inheritance lattice (paper §4.2.1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_bench::{university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_functions");
+    g.sample_size(10);
+    let u = university(10, 5_000, 0, DeptMode::Ref, 16384);
+    let mut s = u.db.session();
+    s.run(
+        "define function Yearly (p: Person) returns float8 as retrieve (p.age * 1000.0); \
+         define function Bonus (e: Employee) returns float8 as retrieve (e.salary * 0.1); \
+         range of E is Employees",
+    )
+    .unwrap();
+    g.bench_function(BenchmarkId::new("inline", "expr"), |b| {
+        b.iter(|| {
+            let r = s.query("retrieve (sum(E.salary * 0.1 over E))").unwrap();
+            let _ = r;
+        })
+    });
+    g.bench_function(BenchmarkId::new("function", "direct"), |b| {
+        b.iter(|| {
+            let r = s.query("retrieve (sum(E.Bonus() over E))").unwrap();
+            let _ = r;
+        })
+    });
+    // Inherited: Yearly is defined for Person, invoked on Employees.
+    g.bench_function(BenchmarkId::new("function", "inherited"), |b| {
+        b.iter(|| {
+            let r = s.query("retrieve (sum(E.Yearly() over E))").unwrap();
+            let _ = r;
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

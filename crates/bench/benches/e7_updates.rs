@@ -1,0 +1,37 @@
+//! E7 — update semantics: cascade deletion of `own` component sets vs
+//! null-out of shared references, as component count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_bench::{university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_updates");
+    g.sample_size(10);
+    for kids in [0usize, 4, 16] {
+        g.bench_function(BenchmarkId::new("cascade_delete", kids), |b| {
+            b.iter_with_setup(
+                || exodus_bench::university_cascade(500, kids),
+                |db| {
+                    let mut s = db.session();
+                    s.run("range of E is Employees; delete E where E.age >= 20").unwrap();
+                },
+            )
+        });
+    }
+    // Null-out: delete departments referenced by many employees.
+    for n in [500usize, 2_000] {
+        g.bench_function(BenchmarkId::new("nullout_refs", n), |b| {
+            b.iter_with_setup(
+                || university(4, n, 0, DeptMode::Ref, 16384),
+                |u| {
+                    let mut s = u.db.session();
+                    s.run("range of D is Departments; delete D where D.floor >= 1").unwrap();
+                },
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

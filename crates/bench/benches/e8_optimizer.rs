@@ -1,0 +1,43 @@
+//! E8 — the rule-based optimizer: full optimization vs ablations vs the
+//! naive evaluator, on a three-collection query mix.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use excess_algebra::PlannerConfig;
+use exodus_bench::{university, DeptMode};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_optimizer");
+    g.sample_size(10);
+    let u = university(50, 5_000, 0, DeptMode::Ref, 16384);
+    let mut s = u.db.session();
+    s.run("define index emp_salary on Employees (salary); \
+           create { own ref Department } Watch")
+        .unwrap();
+    s.run("range of D is Departments; \
+           append to Watch (dname = D.dname, floor = D.floor, budget = D.budget) \
+           where D.floor >= 9")
+        .unwrap();
+    // Selective salary predicate + join against the small Watch set.
+    let q = "retrieve (E.name, W.dname) \
+             from E in Employees, W in Watch \
+             where E.salary > 97000.0 and E.dept.floor = W.floor";
+    let configs = [
+        ("naive", PlannerConfig::naive()),
+        ("pushdown_only", PlannerConfig { pushdown: true, use_indexes: false, reorder_joins: false }),
+        ("full", PlannerConfig::default()),
+    ];
+    for (label, cfg) in configs {
+        u.db.set_planner(cfg);
+        g.bench_function(BenchmarkId::new("config", label), |b| {
+            b.iter(|| {
+                let r = s.query(q).unwrap();
+                let _ = r;
+            })
+        });
+    }
+    u.db.set_planner(PlannerConfig::default());
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

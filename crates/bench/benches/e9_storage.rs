@@ -1,0 +1,34 @@
+//! E9 — the storage substrate: scan throughput vs buffer-pool size
+//! (locality), straight against the storage manager.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use exodus_storage::StorageManager;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_storage");
+    g.sample_size(10);
+    // ~2000 pages of data.
+    let n_records = 100_000usize;
+    let payload = vec![7u8; 128];
+    for pool_pages in [64usize, 512, 4096] {
+        let sm = StorageManager::in_memory(pool_pages);
+        let f = sm.create_file().unwrap();
+        for _ in 0..n_records {
+            sm.insert(f, &payload).unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::new("scan_pool", pool_pages),
+            &pool_pages,
+            |b, _| {
+                b.iter(|| {
+                    let count = sm.scan(f).count();
+                    assert_eq!(count, n_records);
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,349 @@
+//! Workload generators for the experiment suite (EXPERIMENTS.md).
+//!
+//! The paper has no performance evaluation, so these workloads quantify
+//! the design axes it argues qualitatively — see DESIGN.md §6 for the
+//! experiment index. Everything is deterministic (seeded RNG) so runs are
+//! reproducible.
+
+use std::sync::Arc;
+
+use exodus_db::Database;
+use exodus_storage::StorageManager;
+use extra_model::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic seed for all workloads.
+pub const SEED: u64 = 0x0EC0DE5;
+
+/// How an employee's `dept` attribute is declared — the E1 axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeptMode {
+    /// `dept: Department` — an embedded copy (value semantics).
+    Own,
+    /// `dept: ref Department` — a shared reference.
+    Ref,
+}
+
+/// A generated university database.
+pub struct University {
+    /// The database.
+    pub db: Arc<Database>,
+    /// Employee count.
+    pub n_employees: usize,
+    /// Department count.
+    pub n_departments: usize,
+}
+
+/// Department tuple: `(dname, floor, budget)`.
+fn department(i: usize) -> Value {
+    Value::Tuple(vec![
+        Value::Str(format!("dept{i:04}")),
+        Value::Int((i % 10) as i64 + 1),
+        Value::Float(50_000.0 + (i as f64) * 1000.0),
+    ])
+}
+
+/// Build the standard university schema and load it.
+///
+/// * `n_departments`, `n_employees` — collection sizes.
+/// * `kids` — children per employee (nested-set fan-out).
+/// * `dept_mode` — own (embedded) vs ref (shared) department attribute.
+/// * `pool_pages` — buffer-pool frames (E9 locality axis).
+pub fn university(
+    n_departments: usize,
+    n_employees: usize,
+    kids: usize,
+    dept_mode: DeptMode,
+    pool_pages: usize,
+) -> University {
+    let db = Database::with_storage(StorageManager::in_memory(pool_pages));
+    let mut s = db.session();
+    let dept_decl = match dept_mode {
+        DeptMode::Own => "dept: Department",
+        DeptMode::Ref => "dept: ref Department",
+    };
+    s.run(&format!(
+        r#"
+        define type Department (dname: varchar, floor: int4, budget: float8);
+        define type Person (name: varchar, age: int4, kids: {{ own Person }});
+        define type Employee inherits Person ({dept_decl}, salary: float8, hired: Date);
+        create {{ own ref Department }} Departments;
+        create {{ own ref Employee }} Employees;
+        "#
+    ))
+    .unwrap();
+
+    let dept_oids = db
+        .bulk_append("Departments", (0..n_departments).map(department).collect())
+        .unwrap();
+
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let adts = extra_model::AdtRegistry::with_builtins();
+    let date_id = adts.lookup("Date").unwrap();
+    let mut employees = Vec::with_capacity(n_employees);
+    for i in 0..n_employees {
+        let d = rng.gen_range(0..n_departments.max(1));
+        let dept_val = match dept_mode {
+            DeptMode::Own => department(d),
+            DeptMode::Ref => Value::Ref(dept_oids[d]),
+        };
+        let kids_val = Value::Set(
+            (0..kids)
+                .map(|k| {
+                    Value::Tuple(vec![
+                        Value::Str(format!("kid{i}-{k}")),
+                        Value::Int(rng.gen_range(1..18)),
+                        Value::Set(vec![]),
+                    ])
+                })
+                .collect(),
+        );
+        let year = 1950 + rng.gen_range(0..45u32);
+        let month = rng.gen_range(1..13u32);
+        let day = rng.gen_range(1..29u32);
+        let hired = adts
+            .parse(date_id, &format!("{month}/{day}/{year}"))
+            .unwrap();
+        employees.push(Value::Tuple(vec![
+            Value::Str(format!("emp{i:06}")),
+            Value::Int(rng.gen_range(20..65)),
+            kids_val,
+            dept_val,
+            Value::Float(20_000.0 + rng.gen_range(0..80_000) as f64),
+            hired,
+        ]));
+    }
+    db.bulk_append("Employees", employees).unwrap();
+    University { db, n_employees, n_departments }
+}
+
+/// Build a chain schema for the implicit-join depth sweep (E2):
+/// `L0.next.next...` through `depth` ref hops, `n` objects per level.
+pub fn chain(depth: usize, n: usize) -> Arc<Database> {
+    assert!(depth >= 1);
+    let db = Database::in_memory();
+    let mut s = db.session();
+    // Deepest level first.
+    s.run(&format!(
+        "define type L{depth} (tag: int4); \
+         create {{ own ref L{depth} }} C{depth}"
+    ))
+    .unwrap();
+    for level in (0..depth).rev() {
+        s.run(&format!(
+            "define type L{level} (tag: int4, next: ref L{next}); \
+             create {{ own ref L{level} }} C{level}",
+            next = level + 1
+        ))
+        .unwrap();
+    }
+    // Load bottom-up, wiring refs.
+    let mut prev: Vec<extra_model::Value> = db
+        .bulk_append(
+            &format!("C{depth}"),
+            (0..n).map(|i| Value::Tuple(vec![Value::Int(i as i64)])).collect(),
+        )
+        .unwrap()
+        .into_iter()
+        .map(Value::Ref)
+        .collect();
+    for level in (0..depth).rev() {
+        let rows: Vec<Value> = (0..n)
+            .map(|i| Value::Tuple(vec![Value::Int(i as i64), prev[i].clone()]))
+            .collect();
+        prev = db
+            .bulk_append(&format!("C{level}"), rows)
+            .unwrap()
+            .into_iter()
+            .map(Value::Ref)
+            .collect();
+    }
+    db
+}
+
+/// The flattened variant of the nested-kids schema (E4): kids live in
+/// their own collection with a parent reference — the 1NF encoding EXTRA
+/// makes unnecessary.
+pub fn flat_kids(n_employees: usize, kids: usize) -> Arc<Database> {
+    let db = Database::in_memory();
+    let mut s = db.session();
+    s.run(r#"
+        define type FlatEmployee (name: varchar, floor: int4);
+        define type FlatKid (name: varchar, age: int4, parent: ref FlatEmployee);
+        create { own ref FlatEmployee } Emps;
+        create { own ref FlatKid } Kids;
+    "#)
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let emp_oids = db
+        .bulk_append(
+            "Emps",
+            (0..n_employees)
+                .map(|i| {
+                    Value::Tuple(vec![
+                        Value::Str(format!("emp{i:06}")),
+                        Value::Int((i % 10) as i64 + 1),
+                    ])
+                })
+                .collect(),
+        )
+        .unwrap();
+    let mut kid_rows = Vec::with_capacity(n_employees * kids);
+    for (i, eo) in emp_oids.iter().enumerate() {
+        for k in 0..kids {
+            kid_rows.push(Value::Tuple(vec![
+                Value::Str(format!("kid{i}-{k}")),
+                Value::Int(rng.gen_range(1..18)),
+                Value::Ref(*eo),
+            ]));
+        }
+    }
+    db.bulk_append("Kids", kid_rows).unwrap();
+    db
+}
+
+/// Build a schema where employees exclusively own their kids as
+/// first-class objects (`kids: { own ref Person }`) — deleting an
+/// employee cascades to real object deletions (E7's cascade axis).
+pub fn university_cascade(n_employees: usize, kids: usize) -> Arc<Database> {
+    use extra_model::{QualType, Type};
+    let db = Database::in_memory();
+    let mut s = db.session();
+    s.run(r#"
+        define type Person (name: varchar, age: int4, kids: { own ref Person });
+        define type Employee inherits Person (salary: float8);
+        create { own ref Employee } Employees;
+    "#)
+    .unwrap();
+    let cat = db.read_catalog();
+    let store = db.store();
+    let person = cat.types.lookup("Person").unwrap();
+    let employee = cat.types.lookup("Employee").unwrap();
+    let anchor = cat.named.get("Employees").unwrap().oid;
+    let person_q = QualType::own(Type::Schema(person));
+    let employee_q = QualType::own(Type::Schema(employee));
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for i in 0..n_employees {
+        let kid_refs: Vec<Value> = (0..kids)
+            .map(|k| {
+                let kid = store
+                    .create_object(
+                        &cat.types,
+                        &person_q,
+                        Value::Tuple(vec![
+                            Value::Str(format!("kid{i}-{k}")),
+                            Value::Int(rng.gen_range(1..18)),
+                            Value::Set(vec![]),
+                        ]),
+                    )
+                    .unwrap();
+                Value::Ref(kid)
+            })
+            .collect();
+        let emp = store
+            .create_object(
+                &cat.types,
+                &employee_q,
+                Value::Tuple(vec![
+                    Value::Str(format!("emp{i:06}")),
+                    Value::Int(rng.gen_range(20..65)),
+                    Value::Set(kid_refs),
+                    Value::Float(20_000.0 + rng.gen_range(0..80_000) as f64),
+                ]),
+            )
+            .unwrap();
+        store.append_member(&cat.types, anchor, Value::Ref(emp)).unwrap();
+    }
+    drop(cat);
+    db
+}
+
+/// A statement corpus for the front-end throughput experiment (E10):
+/// every paper figure plus representative DML.
+pub fn statement_corpus() -> Vec<&'static str> {
+    vec![
+        "define type Person (name: varchar, ssnum: int4, birthday: Date, kids: { own ref Person })",
+        "define type Employee inherits Person (salary: float8, dept: ref Department)",
+        "create { own ref Employee } Employees",
+        "create [10] ref Employee TopTen",
+        "range of E is Employees",
+        "range of C is Employees.kids",
+        "range of E is all Employees",
+        "retrieve (Today)",
+        "retrieve (StarEmployee.name, StarEmployee.salary)",
+        "retrieve (TopTen[1].name, TopTen[1].salary)",
+        "retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2",
+        "retrieve (E.name, E.salary) where E.dept.floor = 2 and E.salary > 50000.0 order by E.salary desc",
+        "retrieve (D.dname, payroll = sum(E.salary over E where E.dept is D)) from D in Departments",
+        "retrieve (unique(E.dept.dname over E))",
+        "append to Employees (name = \"x\", salary = 1000.0)",
+        "replace E (salary = E.salary * 1.1) where E.dept.floor = 2",
+        "delete E where E.age > 99",
+        "execute GiveRaise(1000.0, D.dname) where D.floor = 2",
+        "define function earns (e: Employee) returns float8 as retrieve (e.salary * 2.0)",
+        "define procedure P (x: float8) as replace E (salary = x) where E.salary < x end",
+        "grant read, append on Employees to staff",
+        "define index emp_salary on Employees (salary)",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn university_loads_and_queries() {
+        let u = university(5, 200, 2, DeptMode::Ref, 1024);
+        let mut s = u.db.session();
+        let r = s.query("retrieve (count(E over E)) from E in Employees").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(200));
+        let r = s
+            .query("retrieve (E.name) from E in Employees where E.dept.floor = 1")
+            .unwrap();
+        assert!(!r.is_empty());
+        let r = s.query("retrieve (count(C over C)) from C in Employees.kids").unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(400));
+    }
+
+    #[test]
+    fn university_own_mode() {
+        let u = university(5, 50, 0, DeptMode::Own, 1024);
+        let mut s = u.db.session();
+        // Path works identically through an embedded copy.
+        let r = s
+            .query("retrieve (avg(E.dept.budget over E)) from E in Employees")
+            .unwrap();
+        assert!(matches!(r.rows[0][0], Value::Float(_)));
+    }
+
+    #[test]
+    fn chain_depth_three() {
+        let db = chain(3, 50);
+        let mut s = db.session();
+        let r = s
+            .query("retrieve (X.next.next.next.tag) from X in C0 where X.tag = 7")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Value::Int(7)]]);
+    }
+
+    #[test]
+    fn flat_matches_nested() {
+        let nested = university(3, 40, 3, DeptMode::Ref, 1024);
+        let flat = flat_kids(40, 3);
+        let mut sn = nested.db.session();
+        let mut sf = flat.session();
+        let n = sn.query("retrieve (count(C over C)) from C in Employees.kids").unwrap();
+        let f = sf.query("retrieve (count(K over K)) from K in Kids").unwrap();
+        assert_eq!(n.rows, f.rows);
+    }
+
+    #[test]
+    fn corpus_parses() {
+        let ops = excess_lang::OperatorTable::new();
+        for stmt in statement_corpus() {
+            excess_lang::parse_statement(stmt, &ops)
+                .unwrap_or_else(|e| panic!("corpus statement failed: {stmt}: {e}"));
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Front-end errors with source positions.
+
+use std::fmt;
+
+/// A lexing or parsing error, with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the source text.
+    pub offset: usize,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub column: usize,
+}
+
+impl ParseError {
+    /// Build an error at a byte offset, computing line/column from `src`.
+    pub fn at(src: &str, offset: usize, message: impl Into<String>) -> ParseError {
+        let mut line = 1;
+        let mut column = 1;
+        for (i, c) in src.char_indices() {
+            if i >= offset {
+                break;
+            }
+            if c == '\n' {
+                line += 1;
+                column = 1;
+            } else {
+                column += 1;
+            }
+        }
+        ParseError { message: message.into(), offset, line, column }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for front-end results.
+pub type ParseResult<T> = Result<T, ParseError>;

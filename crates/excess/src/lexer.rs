@@ -1,0 +1,245 @@
+//! The EXCESS lexer.
+//!
+//! Punctuation is tokenized by maximal munch against the
+//! [`OperatorTable`]'s symbol list, so ADT-registered operators like `&&&`
+//! lex as single tokens the moment they are registered — the paper's
+//! dynamic operator extensibility.
+
+use crate::error::{ParseError, ParseResult};
+use crate::ops::OperatorTable;
+use crate::token::{Kw, Tok, Token};
+
+/// Tokenize `src` using the operator symbols in `ops`.
+pub fn lex(src: &str, ops: &OperatorTable) -> ParseResult<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments: `--` to end of line.
+        if c == '-' && bytes.get(i + 1) == Some(&b'-') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        let start = i;
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+            {
+                i += 1;
+            }
+            let word = &src[start..i];
+            let tok = match Kw::lookup(word) {
+                Some(kw) => Tok::Kw(kw),
+                None => Tok::Ident(word.to_string()),
+            };
+            toks.push(Token { tok, offset: start });
+            continue;
+        }
+        // Numbers: integer or float (a dot must be followed by a digit so
+        // `TopTen[1].name` lexes the dot as punctuation).
+        if c.is_ascii_digit() {
+            while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                i += 1;
+            }
+            let mut is_float = false;
+            if i + 1 < bytes.len()
+                && bytes[i] == b'.'
+                && (bytes[i + 1] as char).is_ascii_digit()
+            {
+                is_float = true;
+                i += 1;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+            }
+            // Exponent.
+            if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                let mut j = i + 1;
+                if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                    j += 1;
+                }
+                if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                    is_float = true;
+                    i = j;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            let text = &src[start..i];
+            let tok = if is_float {
+                Tok::Float(text.parse().map_err(|e| {
+                    ParseError::at(src, start, format!("bad float literal '{text}': {e}"))
+                })?)
+            } else {
+                Tok::Int(text.parse().map_err(|e| {
+                    ParseError::at(src, start, format!("bad integer literal '{text}': {e}"))
+                })?)
+            };
+            toks.push(Token { tok, offset: start });
+            continue;
+        }
+        // Strings.
+        if c == '"' {
+            let mut out = String::new();
+            i += 1;
+            loop {
+                if i >= bytes.len() {
+                    return Err(ParseError::at(src, start, "unterminated string literal"));
+                }
+                match bytes[i] {
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    b'\\' => {
+                        i += 1;
+                        match bytes.get(i) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            other => {
+                                return Err(ParseError::at(
+                                    src,
+                                    i,
+                                    format!("bad string escape {other:?}"),
+                                ))
+                            }
+                        }
+                        i += 1;
+                    }
+                    b => {
+                        // Multi-byte UTF-8 sequences pass through intact.
+                        let ch_len = utf8_len(b);
+                        out.push_str(&src[i..i + ch_len]);
+                        i += ch_len;
+                    }
+                }
+            }
+            toks.push(Token { tok: Tok::Str(out), offset: start });
+            continue;
+        }
+        // Punctuation: maximal munch over the operator table.
+        let rest = &src[i..];
+        let mut matched = None;
+        for sym in ops.symbols() {
+            if rest.starts_with(sym.as_str()) {
+                matched = Some(sym.clone());
+                break; // symbols are longest-first
+            }
+        }
+        match matched {
+            Some(sym) => {
+                i += sym.len();
+                toks.push(Token { tok: Tok::Sym(sym), offset: start });
+            }
+            None => {
+                return Err(ParseError::at(src, i, format!("unexpected character '{c}'")));
+            }
+        }
+    }
+    toks.push(Token { tok: Tok::Eof, offset: src.len() });
+    Ok(toks)
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        b if b < 0x80 => 1,
+        b if b >= 0xF0 => 4,
+        b if b >= 0xE0 => 3,
+        _ => 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        let ops = OperatorTable::new();
+        lex(src, &ops).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        let t = kinds("retrieve Employees name Range");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Kw(Kw::Retrieve),
+                Tok::Ident("Employees".into()),
+                Tok::Ident("name".into()),
+                Tok::Ident("Range".into()), // keywords are lower-case
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_array_paths() {
+        // `TopTen[1].name` — the dot after ] is punctuation, not a float.
+        let t = kinds("TopTen[1].name 2.5 1e3 7");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("TopTen".into()),
+                Tok::Sym("[".into()),
+                Tok::Int(1),
+                Tok::Sym("]".into()),
+                Tok::Sym(".".into()),
+                Tok::Ident("name".into()),
+                Tok::Float(2.5),
+                Tok::Float(1000.0),
+                Tok::Int(7),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let t = kinds(r#""hello \"world\"\n""#);
+        assert_eq!(t[0], Tok::Str("hello \"world\"\n".into()));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = kinds("retrieve -- the works\n(x)");
+        assert_eq!(t.len(), 5); // retrieve ( x ) eof
+    }
+
+    #[test]
+    fn maximal_munch_builtin() {
+        let t = kinds("a <= b < c");
+        assert!(t.contains(&Tok::Sym("<=".into())));
+        assert!(t.contains(&Tok::Sym("<".into())));
+    }
+
+    #[test]
+    fn registered_operator_lexes_after_registration() {
+        let mut ops = OperatorTable::new();
+        // Before registration, `&&&` is an error.
+        assert!(lex("a &&& b", &ops).is_err());
+        ops.register("&&&", 3, crate::ops::OpAssoc::Left, false);
+        let t: Vec<Tok> = lex("a &&& b", &ops).unwrap().into_iter().map(|t| t.tok).collect();
+        assert_eq!(t[1], Tok::Sym("&&&".into()));
+    }
+
+    #[test]
+    fn error_positions() {
+        let ops = OperatorTable::new();
+        let err = lex("abc\n  $", &ops).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 3);
+    }
+}

@@ -1,0 +1,157 @@
+//! The operator table: built-in EXCESS operators plus runtime
+//! registrations from ADTs.
+//!
+//! The paper requires that new operators ("any legal EXCESS identifier or
+//! sequence of punctuation characters") carry a definer-specified
+//! precedence and associativity. The lexer asks the table for the set of
+//! punctuation symbols to maximal-munch; the Pratt parser asks it for
+//! binding powers.
+
+use std::collections::HashMap;
+
+/// Operator associativity (mirrors `extra_model::adt::Assoc`; kept
+/// separate so this crate stays independent of value semantics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpAssoc {
+    /// Groups left-to-right.
+    Left,
+    /// Groups right-to-left.
+    Right,
+}
+
+/// One operator's parse properties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpInfo {
+    /// Binding power; higher binds tighter. Built-in levels:
+    /// comparisons = 30, set ops = 35, `+ -` = 40, `* / %` = 50.
+    pub precedence: u8,
+    /// Associativity.
+    pub assoc: OpAssoc,
+    /// Whether a prefix (unary) form exists.
+    pub prefix: bool,
+}
+
+/// Built-in and registered operators.
+#[derive(Debug, Clone)]
+pub struct OperatorTable {
+    infix: HashMap<String, OpInfo>,
+    /// All punctuation symbols (structural + operators), longest first.
+    symbols: Vec<String>,
+}
+
+/// Structural (non-operator) punctuation the lexer always recognizes.
+const STRUCTURAL: &[&str] = &["(", ")", "{", "}", "[", "]", ",", ";", ".", ":"];
+
+/// Built-in infix operators with QUEL-standard precedences.
+const BUILTINS: &[(&str, u8)] = &[
+    ("=", 30),
+    ("!=", 30),
+    ("<>", 30),
+    ("<", 30),
+    ("<=", 30),
+    (">", 30),
+    (">=", 30),
+    ("+", 40),
+    ("-", 40),
+    ("*", 50),
+    ("/", 50),
+    ("%", 50),
+];
+
+impl Default for OperatorTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OperatorTable {
+    /// A table with only the built-in EXCESS operators.
+    pub fn new() -> OperatorTable {
+        let mut t = OperatorTable { infix: HashMap::new(), symbols: Vec::new() };
+        for s in STRUCTURAL {
+            t.symbols.push((*s).to_string());
+        }
+        for (sym, prec) in BUILTINS {
+            t.infix.insert(
+                (*sym).to_string(),
+                OpInfo { precedence: *prec, assoc: OpAssoc::Left, prefix: *sym == "-" },
+            );
+            if !t.symbols.iter().any(|s| s == sym) {
+                t.symbols.push((*sym).to_string());
+            }
+        }
+        t.sort_symbols();
+        t
+    }
+
+    fn sort_symbols(&mut self) {
+        // Longest-first for maximal munch.
+        self.symbols.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+    }
+
+    /// Register an operator (ADT registration). `precedence` is on the
+    /// paper's 1–5 scale and is mapped onto the built-in scale (×10), so
+    /// e.g. a level-3 user operator binds like a comparison. Re-registering
+    /// an existing symbol (overloading `+` for Complex, say) keeps the
+    /// original parse properties — overload resolution happens at
+    /// evaluation, not parse, time.
+    pub fn register(&mut self, symbol: &str, precedence: u8, assoc: OpAssoc, prefix: bool) {
+        if self.infix.contains_key(symbol) {
+            return; // overloading an existing operator: parse info fixed
+        }
+        self.infix.insert(
+            symbol.to_string(),
+            OpInfo { precedence: precedence.saturating_mul(10), assoc, prefix },
+        );
+        if !self.symbols.iter().any(|s| s == symbol) {
+            self.symbols.push(symbol.to_string());
+            self.sort_symbols();
+        }
+    }
+
+    /// Parse properties for an infix symbol.
+    pub fn infix(&self, symbol: &str) -> Option<OpInfo> {
+        self.infix.get(symbol).copied()
+    }
+
+    /// All punctuation symbols, longest first (for the lexer).
+    pub fn symbols(&self) -> &[String] {
+        &self.symbols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_present() {
+        let t = OperatorTable::new();
+        assert_eq!(t.infix("<=").unwrap().precedence, 30);
+        assert_eq!(t.infix("*").unwrap().precedence, 50);
+        assert!(t.infix("-").unwrap().prefix);
+        assert!(t.infix("&&&").is_none());
+    }
+
+    #[test]
+    fn registration_scales_precedence() {
+        let mut t = OperatorTable::new();
+        t.register("&&&", 3, OpAssoc::Left, false);
+        assert_eq!(t.infix("&&&").unwrap().precedence, 30);
+        // Overloading + does not change its parse properties.
+        t.register("+", 1, OpAssoc::Right, false);
+        assert_eq!(t.infix("+").unwrap().precedence, 40);
+        assert_eq!(t.infix("+").unwrap().assoc, OpAssoc::Left);
+    }
+
+    #[test]
+    fn symbols_longest_first() {
+        let mut t = OperatorTable::new();
+        t.register("&&&", 3, OpAssoc::Left, false);
+        t.register("&&", 2, OpAssoc::Left, false);
+        let syms = t.symbols();
+        let i3 = syms.iter().position(|s| s == "&&&").unwrap();
+        let i2 = syms.iter().position(|s| s == "&&").unwrap();
+        assert!(i3 < i2, "longer symbol must be matched first");
+    }
+}

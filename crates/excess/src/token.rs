@@ -1,0 +1,183 @@
+//! Token kinds produced by the lexer.
+
+use std::fmt;
+
+/// EXCESS keywords. Keywords are reserved and lower-case (QUEL lineage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Kw {
+    Add, All, And, Append, As, Asc, By, Char, Contains, Create, Define,
+    Delete, Desc, Destroy, Drop, End, Enum, Execute, False, For, From,
+    Function, Grant, Group, In, Index, Inherits, Intersect, Into, Is,
+    Isnot, Minus, Not, Null, Of, On, Or, Order, Over, Own, Procedure,
+    Range, Ref, Rename, Replace, Retrieve, Returns, Revoke, To, True,
+    Type, Union, Unique, User, Where,
+}
+
+impl Kw {
+    /// Keyword for an identifier, if reserved.
+    pub fn lookup(s: &str) -> Option<Kw> {
+        Some(match s {
+            "add" => Kw::Add,
+            "all" => Kw::All,
+            "and" => Kw::And,
+            "append" => Kw::Append,
+            "as" => Kw::As,
+            "asc" => Kw::Asc,
+            "by" => Kw::By,
+            "char" => Kw::Char,
+            "contains" => Kw::Contains,
+            "create" => Kw::Create,
+            "define" => Kw::Define,
+            "delete" => Kw::Delete,
+            "desc" => Kw::Desc,
+            "destroy" => Kw::Destroy,
+            "drop" => Kw::Drop,
+            "end" => Kw::End,
+            "enum" => Kw::Enum,
+            "execute" => Kw::Execute,
+            "false" => Kw::False,
+            "for" => Kw::For,
+            "from" => Kw::From,
+            "function" => Kw::Function,
+            "grant" => Kw::Grant,
+            "group" => Kw::Group,
+            "in" => Kw::In,
+            "index" => Kw::Index,
+            "inherits" => Kw::Inherits,
+            "intersect" => Kw::Intersect,
+            "into" => Kw::Into,
+            "is" => Kw::Is,
+            "isnot" => Kw::Isnot,
+            "minus" => Kw::Minus,
+            "not" => Kw::Not,
+            "null" => Kw::Null,
+            "of" => Kw::Of,
+            "on" => Kw::On,
+            "or" => Kw::Or,
+            "order" => Kw::Order,
+            "over" => Kw::Over,
+            "own" => Kw::Own,
+            "procedure" => Kw::Procedure,
+            "range" => Kw::Range,
+            "ref" => Kw::Ref,
+            "rename" => Kw::Rename,
+            "replace" => Kw::Replace,
+            "retrieve" => Kw::Retrieve,
+            "returns" => Kw::Returns,
+            "revoke" => Kw::Revoke,
+            "to" => Kw::To,
+            "true" => Kw::True,
+            "type" => Kw::Type,
+            "union" => Kw::Union,
+            "unique" => Kw::Unique,
+            "user" => Kw::User,
+            "where" => Kw::Where,
+            _ => return None,
+        })
+    }
+
+    /// The keyword's source spelling.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Kw::Add => "add",
+            Kw::All => "all",
+            Kw::And => "and",
+            Kw::Append => "append",
+            Kw::As => "as",
+            Kw::Asc => "asc",
+            Kw::By => "by",
+            Kw::Char => "char",
+            Kw::Contains => "contains",
+            Kw::Create => "create",
+            Kw::Define => "define",
+            Kw::Delete => "delete",
+            Kw::Desc => "desc",
+            Kw::Destroy => "destroy",
+            Kw::Drop => "drop",
+            Kw::End => "end",
+            Kw::Enum => "enum",
+            Kw::Execute => "execute",
+            Kw::False => "false",
+            Kw::For => "for",
+            Kw::From => "from",
+            Kw::Function => "function",
+            Kw::Grant => "grant",
+            Kw::Group => "group",
+            Kw::In => "in",
+            Kw::Index => "index",
+            Kw::Inherits => "inherits",
+            Kw::Intersect => "intersect",
+            Kw::Into => "into",
+            Kw::Is => "is",
+            Kw::Isnot => "isnot",
+            Kw::Minus => "minus",
+            Kw::Not => "not",
+            Kw::Null => "null",
+            Kw::Of => "of",
+            Kw::On => "on",
+            Kw::Or => "or",
+            Kw::Order => "order",
+            Kw::Over => "over",
+            Kw::Own => "own",
+            Kw::Procedure => "procedure",
+            Kw::Range => "range",
+            Kw::Ref => "ref",
+            Kw::Rename => "rename",
+            Kw::Replace => "replace",
+            Kw::Retrieve => "retrieve",
+            Kw::Returns => "returns",
+            Kw::Revoke => "revoke",
+            Kw::To => "to",
+            Kw::True => "true",
+            Kw::Type => "type",
+            Kw::Union => "union",
+            Kw::Unique => "unique",
+            Kw::User => "user",
+            Kw::Where => "where",
+        }
+    }
+}
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier (type, variable, attribute, function name...).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (quotes stripped, escapes processed).
+    Str(String),
+    /// Reserved keyword.
+    Kw(Kw),
+    /// Punctuation symbol or operator (longest-match from the operator
+    /// table, e.g. `<=`, `&&&`).
+    Sym(String),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier '{s}'"),
+            Tok::Int(i) => write!(f, "integer {i}"),
+            Tok::Float(x) => write!(f, "float {x}"),
+            Tok::Str(s) => write!(f, "string \"{s}\""),
+            Tok::Kw(k) => write!(f, "keyword '{}'", k.as_str()),
+            Tok::Sym(s) => write!(f, "'{s}'"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source offset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token itself.
+    pub tok: Tok,
+    /// Byte offset in the source.
+    pub offset: usize,
+}

@@ -1,0 +1,51 @@
+//! Robustness: arbitrary input must never panic the front end — it
+//! either parses or returns a positioned error.
+
+use excess_lang::{parse_program, parse_statement, OperatorTable};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_input_never_panics(src in ".{0,200}") {
+        let ops = OperatorTable::new();
+        let _ = parse_program(&src, &ops);
+    }
+
+    #[test]
+    fn token_soup_never_panics(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "retrieve", "range", "of", "is", "from", "where", "define",
+            "type", "append", "to", "delete", "replace", "(", ")", "{",
+            "}", "[", "]", ",", ";", ".", "=", "<", ">", "+", "-", "*",
+            "E", "x", "Employees", "1", "2.5", "\"s\"", "and", "or",
+            "not", "over", "by", "in", "union", "all", "null", "key",
+        ]),
+        0..40,
+    )) {
+        let src = tokens.join(" ");
+        let ops = OperatorTable::new();
+        let _ = parse_program(&src, &ops);
+    }
+
+    /// Statements that do parse round-trip through the printer.
+    #[test]
+    fn parsed_statements_round_trip(tokens in prop::collection::vec(
+        prop::sample::select(vec![
+            "retrieve", "(", ")", "E", ".", "name", ",", "salary",
+            "where", "from", "in", "Employees", "=", "1", "+", "2",
+            "and", "or", "count", "over", "order", "by", "asc",
+        ]),
+        1..25,
+    )) {
+        let src = tokens.join(" ");
+        let ops = OperatorTable::new();
+        if let Ok(stmt) = parse_statement(&src, &ops) {
+            let printed = stmt.to_string();
+            let again = parse_statement(&printed, &ops)
+                .unwrap_or_else(|e| panic!("printed form must re-parse: {printed:?}: {e}"));
+            prop_assert_eq!(stmt, again);
+        }
+    }
+}

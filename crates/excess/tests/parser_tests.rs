@@ -1,0 +1,490 @@
+//! Parser tests, including every syntactic fragment attested in the paper.
+
+use excess_lang::ops::{OpAssoc, OperatorTable};
+use excess_lang::*;
+
+fn parse(src: &str) -> Stmt {
+    parse_statement(src, &OperatorTable::new())
+        .unwrap_or_else(|e| panic!("parse failed for {src:?}: {e}"))
+}
+
+fn parse_err(src: &str) -> ParseError {
+    parse_statement(src, &OperatorTable::new())
+        .err()
+        .unwrap_or_else(|| panic!("expected parse error for {src:?}"))
+}
+
+/// Round-trip: print then re-parse must be identical.
+fn round_trip(src: &str) -> Stmt {
+    let ast = parse(src);
+    let printed = ast.to_string();
+    let again = parse_statement(&printed, &OperatorTable::new())
+        .unwrap_or_else(|e| panic!("re-parse failed for printed {printed:?}: {e}"));
+    assert_eq!(ast, again, "round-trip mismatch via {printed:?}");
+    ast
+}
+
+// --- DDL: the paper's Figure 1 style definitions ---------------------------
+
+#[test]
+fn figure1_define_person() {
+    let ast = round_trip(
+        "define type Person \
+         (name: varchar, ssnum: int4, birthday: Date, kids: { own ref Person })",
+    );
+    match ast {
+        Stmt::DefineType { name, inherits, attrs } => {
+            assert_eq!(name, "Person");
+            assert!(inherits.is_empty());
+            assert_eq!(attrs.len(), 4);
+            assert_eq!(attrs[0].qty.ty, TypeExpr::Named("varchar".into()));
+            assert_eq!(attrs[0].qty.mode, Mode::Own, "own is the default");
+            match &attrs[3].qty.ty {
+                TypeExpr::Set(elem) => {
+                    assert_eq!(elem.mode, Mode::OwnRef);
+                    assert_eq!(elem.ty, TypeExpr::Named("Person".into()));
+                }
+                other => panic!("kids should be a set, got {other:?}"),
+            }
+        }
+        other => panic!("expected DefineType, got {other:?}"),
+    }
+}
+
+#[test]
+fn define_type_with_inheritance_and_rename() {
+    // Paper Figure 3: conflict resolution via renaming.
+    let ast = round_trip(
+        "define type TA inherits Student rename dept to enrolled_dept, \
+         Employee rename dept to works_in_dept (hours: int4)",
+    );
+    match ast {
+        Stmt::DefineType { inherits, .. } => {
+            assert_eq!(inherits.len(), 2);
+            assert_eq!(inherits[0].base, "Student");
+            assert_eq!(inherits[0].renames, vec![("dept".into(), "enrolled_dept".into())]);
+            assert_eq!(inherits[1].renames, vec![("dept".into(), "works_in_dept".into())]);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn define_type_complex_constructors() {
+    round_trip(
+        "define type Lab (title: char(40), grade: enum(a, b, c), \
+         readings: [10] float8, notes: [] varchar, \
+         pos: (x: float8, y: float8))",
+    );
+}
+
+#[test]
+fn create_statements_paper_forms() {
+    // "create {Employee} Employees", single objects, arrays.
+    match round_trip("create { own ref Employee } Employees") {
+        Stmt::Create { qty, name, .. } => {
+            assert_eq!(name, "Employees");
+            match qty.ty {
+                TypeExpr::Set(e) => assert_eq!(e.mode, Mode::OwnRef),
+                other => panic!("{other:?}"),
+            }
+        }
+        other => panic!("{other:?}"),
+    }
+    round_trip("create Employee StarEmployee");
+    match round_trip("create [10] ref Employee TopTen") {
+        Stmt::Create { qty, .. } => {
+            assert_eq!(
+                qty.ty,
+                TypeExpr::Array(
+                    Some(10),
+                    Box::new(QualTypeExpr { mode: Mode::Ref, ty: TypeExpr::Named("Employee".into()) })
+                )
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+    round_trip("create Date Today");
+    round_trip("destroy Employees");
+    round_trip("drop type Employee");
+}
+
+// --- Range statements -------------------------------------------------------
+
+#[test]
+fn range_statements() {
+    match round_trip("range of E is Employees") {
+        Stmt::RangeOf { var, universal, path } => {
+            assert_eq!(var, "E");
+            assert!(!universal);
+            assert_eq!(path, Expr::var("Employees"));
+        }
+        other => panic!("{other:?}"),
+    }
+    // Paper: "range of C is Employees.kids".
+    match round_trip("range of C is Employees.kids") {
+        Stmt::RangeOf { path, .. } => {
+            assert_eq!(path, Expr::path(Expr::var("Employees"), &["kids"]));
+        }
+        other => panic!("{other:?}"),
+    }
+    // Universal quantification.
+    match round_trip("range of E is all Employees") {
+        Stmt::RangeOf { universal, .. } => assert!(universal),
+        other => panic!("{other:?}"),
+    }
+}
+
+// --- Retrieve ----------------------------------------------------------------
+
+#[test]
+fn figure_direct_retrievals() {
+    // retrieve (Today); retrieve (StarEmployee.name, StarEmployee.salary);
+    // retrieve (TopTen[1].name, TopTen[1].salary).
+    round_trip("retrieve (Today)");
+    round_trip("retrieve (StarEmployee.name, StarEmployee.salary)");
+    match round_trip("retrieve (TopTen[1].name, TopTen[1].salary)") {
+        Stmt::Retrieve { targets, .. } => {
+            assert_eq!(
+                targets[0].expr,
+                Expr::Path(
+                    Box::new(Expr::Index(
+                        Box::new(Expr::var("TopTen")),
+                        Box::new(Expr::Lit(Lit::Int(1)))
+                    )),
+                    "name".into()
+                )
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn figure_nested_set_query() {
+    // "retrieve (C.name) from C in Employees.kids
+    //  where Employees.dept.floor = 2".
+    let ast = round_trip(
+        "retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2",
+    );
+    match ast {
+        Stmt::Retrieve { targets, from, qual, .. } => {
+            assert_eq!(targets.len(), 1);
+            assert_eq!(from.len(), 1);
+            assert_eq!(from[0].var, "C");
+            assert_eq!(from[0].path, Expr::path(Expr::var("Employees"), &["kids"]));
+            assert_eq!(
+                qual.unwrap(),
+                Expr::Binary(
+                    BinOp::Eq,
+                    Box::new(Expr::path(Expr::var("Employees"), &["dept", "floor"])),
+                    Box::new(Expr::Lit(Lit::Int(2)))
+                )
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn retrieve_into_and_order_by() {
+    round_trip("retrieve into Rich (E.name, pay = E.salary) where E.salary > 100000.0");
+    match round_trip("retrieve (E.name) order by E.salary desc") {
+        Stmt::Retrieve { order_by: Some((_, asc)), .. } => assert!(!asc),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn named_targets() {
+    match parse("retrieve (total = E.salary + E.bonus)") {
+        Stmt::Retrieve { targets, .. } => {
+            assert_eq!(targets[0].name.as_deref(), Some("total"));
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// --- Expressions --------------------------------------------------------------
+
+fn expr_of(src: &str) -> Expr {
+    match parse(&format!("retrieve ({src})")) {
+        Stmt::Retrieve { mut targets, .. } => targets.remove(0).expr,
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn precedence_and_associativity() {
+    assert_eq!(
+        expr_of("1 + 2 * 3"),
+        Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Lit(Lit::Int(1))),
+            Box::new(Expr::Binary(
+                BinOp::Mul,
+                Box::new(Expr::Lit(Lit::Int(2))),
+                Box::new(Expr::Lit(Lit::Int(3)))
+            ))
+        )
+    );
+    // Left associativity: 1 - 2 - 3 = (1-2)-3.
+    assert_eq!(
+        expr_of("1 - 2 - 3"),
+        Expr::Binary(
+            BinOp::Sub,
+            Box::new(Expr::Binary(
+                BinOp::Sub,
+                Box::new(Expr::Lit(Lit::Int(1))),
+                Box::new(Expr::Lit(Lit::Int(2)))
+            )),
+            Box::new(Expr::Lit(Lit::Int(3)))
+        )
+    );
+    // and binds tighter than or; not tighter than and.
+    assert_eq!(
+        expr_of("a or b and not c"),
+        Expr::Binary(
+            BinOp::Or,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Binary(
+                BinOp::And,
+                Box::new(Expr::var("b")),
+                Box::new(Expr::Unary(UnOp::Not, Box::new(Expr::var("c"))))
+            ))
+        )
+    );
+}
+
+#[test]
+fn is_isnot_in_contains() {
+    assert_eq!(
+        expr_of("E.dept is D"),
+        Expr::Binary(
+            BinOp::Is,
+            Box::new(Expr::path(Expr::var("E"), &["dept"])),
+            Box::new(Expr::var("D"))
+        )
+    );
+    expr_of("E.dept isnot D");
+    expr_of("C in E.kids");
+    expr_of("E.kids contains C");
+    // Set operators bind tighter than comparisons:
+    // `a in s union t` = `a in (s union t)`.
+    assert_eq!(
+        expr_of("a in s union t"),
+        Expr::Binary(
+            BinOp::In,
+            Box::new(Expr::var("a")),
+            Box::new(Expr::Binary(
+                BinOp::Union,
+                Box::new(Expr::var("s")),
+                Box::new(Expr::var("t"))
+            ))
+        )
+    );
+}
+
+#[test]
+fn calls_both_syntaxes() {
+    // Paper §4.1: "CnumPair.val1.Add(CnumPair.val2)" and
+    // "Add(CnumPair.val1, CnumPair.val2)".
+    let method = expr_of("CnumPair.val1.Add(CnumPair.val2)");
+    match method {
+        Expr::Call { recv: Some(r), name, args } => {
+            assert_eq!(*r, Expr::path(Expr::var("CnumPair"), &["val1"]));
+            assert_eq!(name, "Add");
+            assert_eq!(args.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+    let sym = expr_of("Add(CnumPair.val1, CnumPair.val2)");
+    match sym {
+        Expr::Call { recv: None, name, args } => {
+            assert_eq!(name, "Add");
+            assert_eq!(args.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn aggregates_with_over_by_where() {
+    match expr_of("avg(E.salary over E by E.dept.dname where E.age > 30)") {
+        Expr::Agg(a) => {
+            assert_eq!(a.func, "avg");
+            assert_eq!(a.over, vec!["E".to_string()]);
+            assert_eq!(a.by.len(), 1);
+            assert!(a.qual.is_some());
+        }
+        other => panic!("{other:?}"),
+    }
+    expr_of("count(E over E)");
+    expr_of("sum(C.age over C, E)");
+    match expr_of("unique(E.dept.dname over E)") {
+        Expr::Agg(a) => assert_eq!(a.func, "unique"),
+        other => panic!("{other:?}"),
+    }
+    // User-defined set function with aggregate syntax.
+    match expr_of("median(E.salary over E)") {
+        Expr::Agg(a) => assert_eq!(a.func, "median"),
+        other => panic!("{other:?}"),
+    }
+    // Plain call stays a call.
+    match expr_of("median(E.salary)") {
+        Expr::Call { name, .. } => assert_eq!(name, "median"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn set_literals_and_indexing() {
+    expr_of("{1, 2, 3}");
+    expr_of("E.readings[2] + E.readings[3]");
+    expr_of("{\"a\", \"b\"} union {\"c\"}");
+}
+
+// --- Updates -------------------------------------------------------------------
+
+#[test]
+fn append_forms() {
+    match round_trip("append to Employees (name = \"ann\", age = 30)") {
+        Stmt::Append { value: AppendValue::Assignments(a), .. } => assert_eq!(a.len(), 2),
+        other => panic!("{other:?}"),
+    }
+    // Whole-value append; `to` optional.
+    match parse("append Employees E2") {
+        Stmt::Append { value: AppendValue::Expr(e), .. } => assert_eq!(e, Expr::var("E2")),
+        other => panic!("{other:?}"),
+    }
+    round_trip("append to E.kids (name = \"junior\", age = 1)");
+}
+
+#[test]
+fn delete_replace_execute() {
+    round_trip("delete E where E.age > 99");
+    round_trip("replace E (salary = E.salary * 1.1) where E.dept.floor = 2");
+    match round_trip("execute GiveRaise(1000.0, D.dname) where D.floor = 2") {
+        Stmt::Execute { proc, args, qual } => {
+            assert_eq!(proc, "GiveRaise");
+            assert_eq!(args.len(), 2);
+            assert!(qual.is_some());
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// --- Functions, procedures, authorization ---------------------------------------
+
+#[test]
+fn define_function() {
+    let ast = round_trip(
+        "define function earns (e: Employee) returns float8 \
+         as retrieve (e.salary * 2.0)",
+    );
+    match ast {
+        Stmt::DefineFunction { name, params, .. } => {
+            assert_eq!(name, "earns");
+            assert_eq!(params.len(), 1);
+            assert_eq!(params[0].qty.ty, TypeExpr::Named("Employee".into()));
+        }
+        other => panic!("{other:?}"),
+    }
+    round_trip(
+        "define function KidsOf (e: Employee) returns { ref Person } \
+         as retrieve (C) from C in e.kids",
+    );
+}
+
+#[test]
+fn define_procedure_multi_statement() {
+    let ast = round_trip(
+        "define procedure Raise (amount: float8) as \
+         replace E (salary = E.salary + amount); \
+         append to Log (note = \"raised\") end",
+    );
+    match ast {
+        Stmt::DefineProcedure { body, .. } => assert_eq!(body.len(), 2),
+        other => panic!("{other:?}"),
+    }
+    round_trip("drop procedure Raise");
+    round_trip("drop function earns");
+}
+
+#[test]
+fn authorization_statements() {
+    match round_trip("grant read, append on Employees to alice, staff") {
+        Stmt::Grant { privileges, object, grantees } => {
+            assert_eq!(privileges, vec![Privilege::Read, Privilege::Append]);
+            assert_eq!(object, "Employees");
+            assert_eq!(grantees, vec!["alice".to_string(), "staff".to_string()]);
+        }
+        other => panic!("{other:?}"),
+    }
+    round_trip("revoke all on Employees from bob");
+    round_trip("create user alice");
+    round_trip("create group staff");
+    round_trip("add user alice to group staff");
+    round_trip("grant execute on earns to all_users");
+}
+
+#[test]
+fn define_index() {
+    round_trip("define index emp_name on Employees (name)");
+}
+
+// --- Registered operators ----------------------------------------------------------
+
+#[test]
+fn registered_operator_parses_with_precedence() {
+    let mut ops = OperatorTable::new();
+    ops.register("&&&", 3, OpAssoc::Left, false);
+    let stmt = parse_statement("retrieve (a &&& b + c)", &ops).unwrap();
+    match stmt {
+        Stmt::Retrieve { targets, .. } => {
+            // Level 3 → binds like a comparison, so + (40) binds tighter.
+            assert_eq!(
+                targets[0].expr,
+                Expr::UserOp(
+                    "&&&".into(),
+                    vec![
+                        Expr::var("a"),
+                        Expr::Binary(
+                            BinOp::Add,
+                            Box::new(Expr::var("b")),
+                            Box::new(Expr::var("c"))
+                        ),
+                    ]
+                )
+            );
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+// --- Programs and errors --------------------------------------------------------------
+
+#[test]
+fn program_with_multiple_statements() {
+    let prog = parse_program(
+        "range of E is Employees; \
+         retrieve (E.name) where E.age > 30; \
+         delete E where E.age > 99",
+        &OperatorTable::new(),
+    )
+    .unwrap();
+    assert_eq!(prog.len(), 3);
+}
+
+#[test]
+fn error_reporting() {
+    let e = parse_err("retrieve E.name");
+    assert!(e.message.contains("expected '('"), "{e}");
+    let e = parse_err("define type (x: int4)");
+    assert!(e.message.contains("identifier"), "{e}");
+    let e = parse_err("retrieve (1 +)");
+    assert!(e.message.contains("expression"), "{e}");
+    parse_err("range of E Employees");
+    parse_err("create [0] int4 Zeroes");
+    parse_err("grant fly on X to y");
+}

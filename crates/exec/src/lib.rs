@@ -1,0 +1,37 @@
+//! # excess-exec
+//!
+//! Query execution for EXCESS: compiled expressions, an environment-based
+//! evaluator, and a push-based (Volcano-flavored) plan runner.
+//!
+//! The physical plans produced by `excess-algebra` carry raw AST
+//! expressions; [`plan::prepare`] compiles them into an
+//! executable form ([`cexpr::CExpr`]) with attribute positions resolved,
+//! ADT functions/operators bound, EXCESS functions pre-planned (the
+//! paper's "functions and operators treated uniformly"), and aggregate
+//! `over` ranges resolved into sub-plans.
+//!
+//! Evaluation semantics follow the paper:
+//!
+//! * attribute paths dereference `ref`/`own ref` values transparently;
+//! * `is`/`isnot` compare OIDs; `=` is value equality (deep only through
+//!   `own` structure);
+//! * membership in ref-sets is by identity, in own-sets by value;
+//! * nulls: comparisons involving null are false, arithmetic propagates
+//!   null, a null qualification rejects (QUEL lineage);
+//! * aggregates iterate their `over` ranges freshly, correlate through
+//!   free outer variables, partition with `by`, and cache group tables
+//!   when uncorrelated;
+//! * universal ranges (`all`) make the qualification hold for *every*
+//!   binding (vacuously true on empty sets).
+
+pub mod cexpr;
+pub mod env;
+pub mod eval;
+pub mod plan;
+pub mod run;
+
+pub use cexpr::{CAgg, CExpr, CompiledFunction, Compiler};
+pub use env::{Env, MemberId};
+pub use eval::ExecCtx;
+pub use plan::{prepare, ExecNode};
+pub use run::{run_plan, QueryResult};

@@ -1,0 +1,71 @@
+//! Running plans to completion.
+
+use std::ops::ControlFlow;
+
+use extra_model::{AdtRegistry, ModelError, ModelResult, Value};
+
+use crate::env::Env;
+use crate::eval::{eval, ExecCtx};
+use crate::plan::ExecNode;
+
+/// A query result: column names plus rows of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl QueryResult {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as lines of `col = value` pairs (ADT values use their
+    /// display forms).
+    pub fn render(&self, adts: &AdtRegistry) -> String {
+        let mut out = String::new();
+        for row in &self.rows {
+            let parts: Vec<String> = self
+                .columns
+                .iter()
+                .zip(row.iter())
+                .map(|(c, v)| format!("{c} = {}", v.render(adts)))
+                .collect();
+            out.push_str(&parts.join(", "));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Execute a plan whose top is a `Project`, collecting all rows. `env`
+/// supplies pre-bound variables (function parameters, procedure
+/// arguments).
+pub fn run_plan(
+    plan: &ExecNode,
+    ctx: &ExecCtx<'_>,
+    env: &mut Env,
+) -> ModelResult<QueryResult> {
+    let ExecNode::Project { input, targets } = plan else {
+        return Err(ModelError::Semantic("plan has no projection at the top".into()));
+    };
+    let columns: Vec<String> = targets.iter().map(|(n, _)| n.clone()).collect();
+    let mut rows = Vec::new();
+    let _ = input.for_each(ctx, env, &mut |ctx, env| {
+        let row: Vec<Value> = targets
+            .iter()
+            .map(|(_, e)| eval(e, ctx, env))
+            .collect::<ModelResult<_>>()?;
+        rows.push(row);
+        Ok(ControlFlow::Continue(()))
+    })?;
+    Ok(QueryResult { columns, rows })
+}

@@ -1,0 +1,176 @@
+//! Evaluator unit tests: compile tiny expressions against an empty
+//! catalog and check value semantics directly.
+
+use std::cell::Cell;
+
+use excess_lang::{parse_statement, OperatorTable, Stmt};
+use excess_sema::catalog::EmptyCatalog;
+use excess_sema::{RangeEnv, SemaCtx};
+use excess_exec::eval::{eval, ExecCtx};
+use excess_exec::{CExpr, Compiler, Env, MemberId};
+use exodus_storage::StorageManager;
+use extra_model::{
+    AdtRegistry, ObjectStore, QualType, Type, TypeRegistry, Value,
+};
+
+struct Harness {
+    types: TypeRegistry,
+    adts: AdtRegistry,
+    catalog: EmptyCatalog,
+    store: ObjectStore,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness {
+            types: TypeRegistry::new(),
+            adts: AdtRegistry::with_builtins(),
+            catalog: EmptyCatalog,
+            store: ObjectStore::new(StorageManager::in_memory(64)).unwrap(),
+        }
+    }
+
+    fn compile(&self, src: &str, vars: &[(&str, QualType)]) -> CExpr {
+        let stmt = parse_statement(&format!("retrieve ({src})"), &OperatorTable::new()).unwrap();
+        let expr = match stmt {
+            Stmt::Retrieve { mut targets, .. } => targets.remove(0).expr,
+            _ => unreachable!(),
+        };
+        let mut ctx = SemaCtx::new(&self.types, &self.adts, &self.catalog);
+        for (n, q) in vars {
+            ctx.vars.insert((*n).to_string(), q.clone());
+        }
+        let env = RangeEnv::default();
+        let counter = Cell::new(0);
+        Compiler::new(&ctx, &env, &counter).compile(&expr).unwrap()
+    }
+
+    fn eval(&self, e: &CExpr, env: &Env) -> Value {
+        let ctx = ExecCtx::new(&self.store, &self.types, &self.adts, &self.catalog);
+        eval(e, &ctx, env).unwrap()
+    }
+
+    fn eval_err(&self, e: &CExpr, env: &Env) -> String {
+        let ctx = ExecCtx::new(&self.store, &self.types, &self.adts, &self.catalog);
+        eval(e, &ctx, env).unwrap_err().to_string()
+    }
+
+    fn run(&self, src: &str) -> Value {
+        let e = self.compile(src, &[]);
+        self.eval(&e, &Env::new())
+    }
+}
+
+#[test]
+fn arithmetic_semantics() {
+    let h = Harness::new();
+    assert_eq!(h.run("2 + 3 * 4"), Value::Int(14));
+    assert_eq!(h.run("7 / 2"), Value::Int(3));
+    assert_eq!(h.run("7.0 / 2"), Value::Float(3.5));
+    assert_eq!(h.run("7 % 4"), Value::Int(3));
+    assert_eq!(h.run("-(2 + 3)"), Value::Int(-5));
+    assert_eq!(h.run("2 + null"), Value::Null, "null propagates");
+    assert!(h.eval_err(&h.compile("1 / 0", &[]), &Env::new()).contains("zero"));
+}
+
+#[test]
+fn comparison_semantics() {
+    let h = Harness::new();
+    assert_eq!(h.run("1 < 2"), Value::Bool(true));
+    assert_eq!(h.run("2 = 2.0"), Value::Bool(true), "cross-type numeric equality");
+    assert_eq!(h.run("\"abc\" < \"abd\""), Value::Bool(true));
+    assert_eq!(h.run("null = null"), Value::Bool(false), "null never equals");
+    assert_eq!(h.run("null is null"), Value::Bool(true));
+    assert_eq!(h.run("1 != 2"), Value::Bool(true));
+}
+
+#[test]
+fn boolean_short_circuit() {
+    let h = Harness::new();
+    // The right side would divide by zero; short-circuit avoids it.
+    assert_eq!(h.run("false and 1 / 0 = 1"), Value::Bool(false));
+    assert_eq!(h.run("true or 1 / 0 = 1"), Value::Bool(true));
+    assert_eq!(h.run("not false"), Value::Bool(true));
+}
+
+#[test]
+fn set_semantics() {
+    let h = Harness::new();
+    assert_eq!(h.run("2 in {1, 2, 3}"), Value::Bool(true));
+    assert_eq!(h.run("{1, 2} contains 3"), Value::Bool(false));
+    match h.run("{1, 2} union {2, 3}") {
+        Value::Set(m) => assert_eq!(m.len(), 3),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(h.run("null in {1}"), Value::Bool(false));
+    // Set literals dedupe.
+    match h.run("{1, 1, 1}") {
+        Value::Set(m) => assert_eq!(m.len(), 1),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn adt_dispatch() {
+    let h = Harness::new();
+    assert_eq!(h.run("Year(Date(\"8/29/1953\"))"), Value::Int(1953));
+    match h.run("Date(\"1/1/1980\")") {
+        Value::Adt(_, _) => {}
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(
+        h.run("Date(\"1/1/1980\") < Date(\"2/1/1980\")"),
+        Value::Bool(true)
+    );
+    // Complex arithmetic through the overloaded operator.
+    match h.run("Complex(\"(1, 2)\") + Complex(\"(3, 4)\")") {
+        Value::Adt(id, bytes) => {
+            assert_eq!(h.adts.display(id, &bytes), "(4, 6)");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn variables_and_paths_deref_through_refs() {
+    let mut h2 = Harness::new();
+    let p2 = h2
+        .types
+        .define(
+            "P",
+            vec![],
+            vec![
+                extra_model::Attribute::own("name", Type::varchar()),
+                extra_model::Attribute::own("age", Type::int4()),
+            ],
+        )
+        .unwrap();
+    let oid = h2
+        .store
+        .create_object(
+            &h2.types,
+            &QualType::own(Type::Schema(p2)),
+            Value::Tuple(vec![Value::str("ann"), Value::Int(30)]),
+        )
+        .unwrap();
+    let e = h2.compile("x.age + 1", &[("x", QualType::reference(Type::Schema(p2)))]);
+    let mut env = Env::new();
+    env.bind("x", Value::Ref(oid), MemberId::Object(oid));
+    assert_eq!(h2.eval(&e, &env), Value::Int(31));
+}
+
+#[test]
+fn array_indexing_is_one_based() {
+    let h = Harness::new();
+    let arr_q = QualType::own(Type::Array(None, Box::new(QualType::own(Type::int4()))));
+    let e = h.compile("a[2]", &[("a", arr_q.clone())]);
+    let mut env = Env::new();
+    env.bind(
+        "a",
+        Value::Array(vec![Value::Int(10), Value::Int(20)]),
+        MemberId::None,
+    );
+    assert_eq!(h.eval(&e, &env), Value::Int(20));
+    let e0 = h.compile("a[0]", &[("a", arr_q)]);
+    assert!(h.eval_err(&e0, &env).contains("1-based"));
+}

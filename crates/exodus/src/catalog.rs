@@ -1,0 +1,222 @@
+//! The database catalog: named objects, functions, procedures, indexes,
+//! and the authorization tables.
+
+use std::collections::{HashMap, HashSet};
+
+use excess_lang::Privilege;
+use excess_sema::{CatalogLookup, FunctionDef, IndexInfo, NamedObject, ProcedureDef};
+use extra_model::{AdtRegistry, ObjectStore, TypeRegistry};
+
+/// The built-in group every user belongs to (paper: "a special
+/// 'all-users' group").
+pub const ALL_USERS: &str = "all_users";
+/// The administrative user that owns the database.
+pub const ADMIN: &str = "admin";
+
+/// System R / IDM-style authorization state.
+#[derive(Debug, Default)]
+pub struct Auth {
+    users: HashSet<String>,
+    /// group → members.
+    groups: HashMap<String, HashSet<String>>,
+    /// (object, grantee) → privileges.
+    grants: HashMap<(String, String), HashSet<Privilege>>,
+}
+
+impl Auth {
+    /// Create a user.
+    pub fn create_user(&mut self, name: &str) -> bool {
+        self.users.insert(name.to_string())
+    }
+
+    /// Create a group.
+    pub fn create_group(&mut self, name: &str) -> bool {
+        match self.groups.entry(name.to_string()) {
+            std::collections::hash_map::Entry::Occupied(_) => false,
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(HashSet::new());
+                true
+            }
+        }
+    }
+
+    /// Whether a user exists.
+    pub fn user_exists(&self, name: &str) -> bool {
+        name == ADMIN || self.users.contains(name)
+    }
+
+    /// Whether a grantee (user or group) exists.
+    pub fn grantee_exists(&self, name: &str) -> bool {
+        name == ALL_USERS || self.user_exists(name) || self.groups.contains_key(name)
+    }
+
+    /// Add a user to a group.
+    pub fn add_to_group(&mut self, user: &str, group: &str) -> bool {
+        match self.groups.get_mut(group) {
+            Some(members) => {
+                members.insert(user.to_string());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Grant privileges on an object to a grantee.
+    pub fn grant(&mut self, object: &str, grantee: &str, privileges: &[Privilege]) {
+        let entry = self
+            .grants
+            .entry((object.to_string(), grantee.to_string()))
+            .or_default();
+        for p in privileges {
+            entry.insert(*p);
+        }
+    }
+
+    /// Revoke privileges.
+    pub fn revoke(&mut self, object: &str, grantee: &str, privileges: &[Privilege]) {
+        if let Some(entry) = self.grants.get_mut(&(object.to_string(), grantee.to_string())) {
+            for p in privileges {
+                if *p == Privilege::All {
+                    entry.clear();
+                } else {
+                    entry.remove(p);
+                }
+            }
+        }
+    }
+
+    fn grantee_has(&self, object: &str, grantee: &str, privilege: Privilege) -> bool {
+        self.grants
+            .get(&(object.to_string(), grantee.to_string()))
+            .map(|ps| ps.contains(&privilege) || ps.contains(&Privilege::All))
+            .unwrap_or(false)
+    }
+
+    /// Whether `user` holds `privilege` on `object` (directly, through a
+    /// group, or through `all_users`). The admin holds everything.
+    pub fn allowed(&self, user: &str, object: &str, privilege: Privilege) -> bool {
+        if user == ADMIN {
+            return true;
+        }
+        if self.grantee_has(object, user, privilege) {
+            return true;
+        }
+        if self.grantee_has(object, ALL_USERS, privilege) {
+            return true;
+        }
+        self.groups
+            .iter()
+            .any(|(g, members)| members.contains(user) && self.grantee_has(object, g, privilege))
+    }
+}
+
+/// The catalog: everything the analyzer and executor resolve names
+/// against, plus the authorization tables.
+pub struct Catalog {
+    /// Schema types.
+    pub types: TypeRegistry,
+    /// ADTs.
+    pub adts: AdtRegistry,
+    /// Named persistent objects.
+    pub named: HashMap<String, NamedObject>,
+    /// EXCESS function definitions (name overloads allowed across
+    /// receiver types).
+    pub functions: Vec<FunctionDef>,
+    /// EXCESS procedures.
+    pub procedures: HashMap<String, ProcedureDef>,
+    /// Secondary indexes.
+    pub indexes: Vec<IndexInfo>,
+    /// Authorization state.
+    pub auth: Auth,
+}
+
+impl Catalog {
+    /// A catalog pre-loaded with the built-in ADTs.
+    pub fn new() -> Catalog {
+        Catalog {
+            types: TypeRegistry::new(),
+            adts: AdtRegistry::with_builtins(),
+            named: HashMap::new(),
+            functions: Vec::new(),
+            procedures: HashMap::new(),
+            indexes: Vec::new(),
+            auth: Auth::default(),
+        }
+    }
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The catalog joined with the store (for statistics), implementing the
+/// analyzer's lookup interface.
+pub struct CatalogView<'a> {
+    /// The catalog.
+    pub cat: &'a Catalog,
+    /// The object store (member counts).
+    pub store: &'a ObjectStore,
+}
+
+impl CatalogLookup for CatalogView<'_> {
+    fn named(&self, name: &str) -> Option<NamedObject> {
+        self.cat.named.get(name).cloned()
+    }
+
+    fn functions_named(&self, name: &str) -> Vec<FunctionDef> {
+        self.cat.functions.iter().filter(|f| f.name == name).cloned().collect()
+    }
+
+    fn procedure(&self, name: &str) -> Option<ProcedureDef> {
+        self.cat.procedures.get(name).cloned()
+    }
+
+    fn index_on(&self, collection: &str, attr: &str) -> Option<IndexInfo> {
+        self.cat
+            .indexes
+            .iter()
+            .find(|i| i.collection == collection && i.attr == attr)
+            .cloned()
+    }
+
+    fn collection_size(&self, name: &str) -> Option<u64> {
+        let obj = self.cat.named.get(name)?;
+        if !obj.is_collection {
+            return None;
+        }
+        self.store.member_count(obj.oid).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn auth_direct_group_and_all_users() {
+        let mut a = Auth::default();
+        a.create_user("alice");
+        a.create_user("bob");
+        a.create_group("staff");
+        a.add_to_group("alice", "staff");
+
+        a.grant("Employees", "staff", &[Privilege::Read]);
+        assert!(a.allowed("alice", "Employees", Privilege::Read));
+        assert!(!a.allowed("bob", "Employees", Privilege::Read));
+        assert!(!a.allowed("alice", "Employees", Privilege::Append));
+
+        a.grant("Employees", ALL_USERS, &[Privilege::Append]);
+        assert!(a.allowed("bob", "Employees", Privilege::Append));
+
+        // All implies everything; revoke all clears.
+        a.grant("Payroll", "bob", &[Privilege::All]);
+        assert!(a.allowed("bob", "Payroll", Privilege::Replace));
+        a.revoke("Payroll", "bob", &[Privilege::All]);
+        assert!(!a.allowed("bob", "Payroll", Privilege::Replace));
+
+        // Admin can do anything.
+        assert!(a.allowed(ADMIN, "Anything", Privilege::Delete));
+    }
+}

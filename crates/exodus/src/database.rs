@@ -1,0 +1,649 @@
+//! The `Database` facade and `Session`s.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use excess_algebra::PlannerConfig;
+use excess_lang::ops::OpAssoc;
+use excess_lang::{
+    parse_program, AttrDecl, InheritClause, OperatorTable, Param, Privilege, Stmt,
+};
+use excess_sema::lower::lower_qual;
+use excess_sema::resolve::Resolver;
+use excess_sema::{FunctionDef, IndexInfo, NamedObject, ProcedureDef, RangeEnv, SemaCtx};
+use exodus_storage::btree::BTree;
+use exodus_storage::{Oid, StorageManager};
+use excess_exec::QueryResult;
+use extra_model::adt::Assoc;
+use extra_model::schema::InheritSpec;
+use extra_model::{
+    AdtType, Attribute, ObjectStore, Ownership, QualType, Type, Value,
+};
+
+use crate::catalog::{Catalog, CatalogView, ADMIN};
+use crate::dml::{self, Params};
+use crate::error::{DbError, DbResult};
+
+/// Result of one statement.
+#[derive(Debug)]
+pub enum Response {
+    /// A DDL/update acknowledgment.
+    Done(String),
+    /// Query rows.
+    Rows(QueryResult),
+}
+
+impl Response {
+    /// The rows, if this was a query.
+    pub fn rows(self) -> Option<QueryResult> {
+        match self {
+            Response::Rows(r) => Some(r),
+            Response::Done(_) => None,
+        }
+    }
+}
+
+/// An EXTRA/EXCESS database.
+pub struct Database {
+    pub(crate) store: ObjectStore,
+    pub(crate) catalog: RwLock<Catalog>,
+    pub(crate) ops: RwLock<OperatorTable>,
+    pub(crate) planner: RwLock<PlannerConfig>,
+}
+
+impl Database {
+    /// An in-memory database with the built-in ADTs registered.
+    pub fn in_memory() -> Arc<Database> {
+        Self::with_storage(StorageManager::in_memory(4096))
+    }
+
+    /// A database over an explicit storage manager (e.g. file-backed, or
+    /// with a specific buffer-pool size).
+    pub fn with_storage(sm: StorageManager) -> Arc<Database> {
+        let store = ObjectStore::new(sm).expect("fresh store");
+        let catalog = Catalog::new();
+        let mut ops = OperatorTable::new();
+        sync_operators(&mut ops, &catalog.adts);
+        Arc::new(Database {
+            store,
+            catalog: RwLock::new(catalog),
+            ops: RwLock::new(ops),
+            planner: RwLock::new(PlannerConfig::default()),
+        })
+    }
+
+    /// The object store.
+    pub fn store(&self) -> &ObjectStore {
+        &self.store
+    }
+
+    /// Read access to the catalog (benchmark harnesses and tools).
+    pub fn read_catalog(&self) -> parking_lot::RwLockReadGuard<'_, Catalog> {
+        self.catalog.read()
+    }
+
+    /// Bulk-append members to a named collection, bypassing the SQL layer
+    /// (used by benchmark loaders; maintains integrity edges but not
+    /// secondary indexes — build indexes after loading).
+    pub fn bulk_append(&self, collection: &str, members: Vec<Value>) -> DbResult<Vec<Oid>> {
+        let cat = self.catalog.read();
+        let obj = cat
+            .named
+            .get(collection)
+            .cloned()
+            .ok_or_else(|| DbError::Catalog(format!("no collection '{collection}'")))?;
+        let elem = self.store.collection_elem(obj.oid)?;
+        let mut oids = Vec::with_capacity(members.len());
+        for m in members {
+            match elem.mode {
+                Ownership::Own => {
+                    self.store.append_member(&cat.types, obj.oid, m)?;
+                }
+                _ => {
+                    let v = match m {
+                        v @ Value::Ref(_) => v,
+                        tuple => Value::Ref(self.store.create_object(
+                            &cat.types,
+                            &QualType::own(elem.ty.clone()),
+                            tuple,
+                        )?),
+                    };
+                    if let Value::Ref(oid) = &v {
+                        oids.push(*oid);
+                    }
+                    self.store.append_member(&cat.types, obj.oid, v)?;
+                }
+            }
+        }
+        Ok(oids)
+    }
+
+    /// Set the planner configuration (experiment E8 ablations).
+    pub fn set_planner(&self, config: PlannerConfig) {
+        *self.planner.write() = config;
+    }
+
+    /// Register a new ADT at runtime, extending the parser's operator
+    /// table with the ADT's registered operators.
+    pub fn register_adt(&self, adt: Arc<dyn AdtType>) -> DbResult<()> {
+        let mut cat = self.catalog.write();
+        cat.adts.register(adt)?;
+        let mut ops = self.ops.write();
+        sync_operators(&mut ops, &cat.adts);
+        Ok(())
+    }
+
+    /// Open an admin session.
+    pub fn session(self: &Arc<Self>) -> Session {
+        self.session_as(ADMIN)
+    }
+
+    /// Open a session as a specific user.
+    pub fn session_as(self: &Arc<Self>, user: &str) -> Session {
+        Session {
+            db: self.clone(),
+            user: user.to_string(),
+            ranges: RangeEnv::default(),
+        }
+    }
+
+    /// One-shot convenience: run statements in a fresh admin session.
+    pub fn run(self: &Arc<Self>, src: &str) -> DbResult<Vec<Response>> {
+        self.session().run(src)
+    }
+
+    /// One-shot convenience: run and return the last statement's rows.
+    pub fn query(self: &Arc<Self>, src: &str) -> DbResult<QueryResult> {
+        self.session().query(src)
+    }
+}
+
+fn sync_operators(ops: &mut OperatorTable, adts: &extra_model::AdtRegistry) {
+    for (sym, prec, assoc, arity) in adts.operator_symbols() {
+        let a = match assoc {
+            Assoc::Left => OpAssoc::Left,
+            Assoc::Right => OpAssoc::Right,
+        };
+        ops.register(sym, prec, a, arity == 1);
+    }
+}
+
+/// A session: a user plus the session's `range of` declarations.
+pub struct Session {
+    db: Arc<Database>,
+    /// The session's user.
+    pub user: String,
+    ranges: RangeEnv,
+}
+
+impl Session {
+    /// Run one or more statements.
+    pub fn run(&mut self, src: &str) -> DbResult<Vec<Response>> {
+        let stmts = {
+            let ops = self.db.ops.read();
+            parse_program(src, &ops)?
+        };
+        let mut out = Vec::with_capacity(stmts.len());
+        for stmt in stmts {
+            out.push(self.execute(&stmt)?);
+        }
+        Ok(out)
+    }
+
+    /// Run statements and return the last one's rows (it must be a
+    /// retrieve).
+    pub fn query(&mut self, src: &str) -> DbResult<QueryResult> {
+        let responses = self.run(src)?;
+        match responses.into_iter().next_back() {
+            Some(Response::Rows(r)) => Ok(r),
+            _ => Err(DbError::Catalog("the last statement was not a retrieve".into())),
+        }
+    }
+
+    /// Render a query's physical plan (EXPLAIN).
+    pub fn explain(&mut self, src: &str) -> DbResult<String> {
+        let stmts = {
+            let ops = self.db.ops.read();
+            parse_program(src, &ops)?
+        };
+        let stmt = stmts
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| DbError::Catalog("nothing to explain".into()))?;
+        let cat = self.db.catalog.read();
+        let view = CatalogView { cat: &cat, store: &self.db.store };
+        let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
+        let resolver = Resolver::new(&ctx, &self.ranges);
+        let checked = resolver.check_retrieve(&stmt)?;
+        let plan =
+            excess_algebra::plan_retrieve(&stmt, &checked, &ctx, *self.db.planner.read())?;
+        Ok(plan.to_string())
+    }
+
+    /// Execute a single parsed statement. Plain retrieves run under a
+    /// shared catalog lock (concurrent readers proceed in parallel);
+    /// everything else takes the exclusive lock.
+    pub fn execute(&mut self, stmt: &Stmt) -> DbResult<Response> {
+        let db = self.db.clone();
+        if let Stmt::Retrieve { into: None, .. } = stmt {
+            let cat = db.catalog.read();
+            return dml::retrieve(&db, &cat, &self.ranges, &self.user, stmt, &Params::default())
+                .map(Response::Rows);
+        }
+        let mut cat = db.catalog.write();
+        exec_statement(
+            &db,
+            &mut cat,
+            &mut self.ranges,
+            &self.user,
+            stmt,
+            &Params::default(),
+            0,
+        )
+    }
+}
+
+/// The statement interpreter (shared by sessions and procedure bodies).
+pub(crate) fn exec_statement(
+    db: &Database,
+    cat: &mut Catalog,
+    ranges: &mut RangeEnv,
+    user: &str,
+    stmt: &Stmt,
+    params: &Params,
+    depth: u32,
+) -> DbResult<Response> {
+    match stmt {
+        Stmt::DefineType { name, inherits, attrs } => define_type(cat, name, inherits, attrs),
+        Stmt::Create { qty, name, key } => create_named(db, cat, qty, name, key.as_deref()),
+        Stmt::Destroy { name } => destroy_named(db, cat, user, name),
+        Stmt::DropType { name } => drop_type(cat, name),
+        Stmt::DefineFunction { name, params: ps, returns, body } => {
+            define_function(db, cat, name, ps, returns, body)
+        }
+        Stmt::DefineProcedure { name, params: ps, body } => {
+            define_procedure(cat, name, ps, body)
+        }
+        Stmt::DropFunction { name } => {
+            let before = cat.functions.len();
+            cat.functions.retain(|f| f.name != *name);
+            if cat.functions.len() == before {
+                return Err(DbError::Catalog(format!("no function '{name}'")));
+            }
+            Ok(Response::Done(format!("function {name} dropped")))
+        }
+        Stmt::DropProcedure { name } => {
+            if cat.procedures.remove(name).is_none() {
+                return Err(DbError::Catalog(format!("no procedure '{name}'")));
+            }
+            Ok(Response::Done(format!("procedure {name} dropped")))
+        }
+        Stmt::DefineIndex { name, collection, attr, unique } => {
+            define_index(db, cat, name, collection, attr, *unique)
+        }
+        Stmt::RangeOf { var, universal, path } => {
+            ranges.declare(var, *universal, path.clone());
+            Ok(Response::Done(format!("range of {var} declared")))
+        }
+        Stmt::Retrieve { into: None, .. } => {
+            dml::retrieve(db, cat, ranges, user, stmt, params).map(Response::Rows)
+        }
+        Stmt::Retrieve { into: Some(_), .. } => {
+            dml::retrieve_into(db, cat, ranges, user, stmt, params).map(Response::Rows)
+        }
+        Stmt::Append { .. } => dml::append(db, cat, ranges, user, stmt, params),
+        Stmt::Delete { .. } => dml::delete(db, cat, ranges, user, stmt, params),
+        Stmt::Replace { .. } => dml::replace(db, cat, ranges, user, stmt, params),
+        Stmt::Execute { .. } => dml::execute_procedure(db, cat, ranges, user, stmt, params, depth),
+        Stmt::Grant { privileges, object, grantees } => {
+            require_admin(user, "grant")?;
+            for g in grantees {
+                if !cat.auth.grantee_exists(g) {
+                    return Err(DbError::Catalog(format!("no user or group '{g}'")));
+                }
+                cat.auth.grant(object, g, privileges);
+            }
+            Ok(Response::Done(format!("granted on {object}")))
+        }
+        Stmt::Revoke { privileges, object, grantees } => {
+            require_admin(user, "revoke")?;
+            for g in grantees {
+                cat.auth.revoke(object, g, privileges);
+            }
+            Ok(Response::Done(format!("revoked on {object}")))
+        }
+        Stmt::CreateUser { name } => {
+            require_admin(user, "create user")?;
+            if !cat.auth.create_user(name) {
+                return Err(DbError::Catalog(format!("user '{name}' already exists")));
+            }
+            Ok(Response::Done(format!("user {name} created")))
+        }
+        Stmt::CreateGroup { name } => {
+            require_admin(user, "create group")?;
+            if !cat.auth.create_group(name) {
+                return Err(DbError::Catalog(format!("group '{name}' already exists")));
+            }
+            Ok(Response::Done(format!("group {name} created")))
+        }
+        Stmt::AddToGroup { user: u, group } => {
+            require_admin(user, "add user to group")?;
+            if !cat.auth.user_exists(u) {
+                return Err(DbError::Catalog(format!("no user '{u}'")));
+            }
+            if !cat.auth.add_to_group(u, group) {
+                return Err(DbError::Catalog(format!("no group '{group}'")));
+            }
+            Ok(Response::Done(format!("{u} added to {group}")))
+        }
+    }
+}
+
+fn require_admin(user: &str, action: &str) -> DbResult<()> {
+    if user == ADMIN {
+        Ok(())
+    } else {
+        Err(DbError::Auth(format!("only {ADMIN} may {action}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+fn lower_attrs(cat: &Catalog, attrs: &[AttrDecl]) -> DbResult<Vec<Attribute>> {
+    attrs
+        .iter()
+        .map(|a| {
+            Ok(Attribute {
+                name: a.name.clone(),
+                qty: lower_qual(&a.qty, &cat.types, &cat.adts)?,
+            })
+        })
+        .collect()
+}
+
+fn define_type(
+    cat: &mut Catalog,
+    name: &str,
+    inherits: &[InheritClause],
+    attrs: &[AttrDecl],
+) -> DbResult<Response> {
+    if cat.named.contains_key(name) || cat.adts.contains(name) {
+        return Err(DbError::Catalog(format!("the name '{name}' is already in use")));
+    }
+    let specs: Vec<InheritSpec> = inherits
+        .iter()
+        .map(|c| InheritSpec { base: c.base.clone(), renames: c.renames.clone() })
+        .collect();
+    // Forward-declare so self-referential attribute types resolve
+    // (`define type Person (kids: { own ref Person })`).
+    let id = cat.types.declare(name)?;
+    let lowered = match lower_attrs(cat, attrs) {
+        Ok(l) => l,
+        Err(e) => {
+            let _ = cat.types.undefine(name);
+            return Err(e);
+        }
+    };
+    if let Err(e) = cat.types.complete(id, specs, lowered) {
+        let _ = cat.types.undefine(name);
+        return Err(e.into());
+    }
+    Ok(Response::Done(format!("type {name} defined")))
+}
+
+/// Default (all-null / empty) value for a freshly created instance.
+pub(crate) fn default_value(qty: &QualType, types: &extra_model::TypeRegistry) -> Value {
+    if qty.mode != Ownership::Own {
+        return Value::Null;
+    }
+    match &qty.ty {
+        Type::Set(_) => Value::empty_set(),
+        Type::Array(Some(n), _) => Value::null_array(*n),
+        Type::Array(None, _) => Value::Array(Vec::new()),
+        Type::Schema(tid) => Value::Tuple(
+            types
+                .get(*tid)
+                .attributes()
+                .map(|a| default_value(&a.qty, types))
+                .collect::<Vec<_>>(),
+        ),
+        Type::Tuple(attrs) => {
+            Value::Tuple(attrs.iter().map(|a| default_value(&a.qty, types)).collect())
+        }
+        _ => Value::Null,
+    }
+}
+
+fn create_named(
+    db: &Database,
+    cat: &mut Catalog,
+    qty: &excess_lang::QualTypeExpr,
+    name: &str,
+    key: Option<&str>,
+) -> DbResult<Response> {
+    if cat.named.contains_key(name) || cat.types.contains(name) || cat.adts.contains(name) {
+        return Err(DbError::Catalog(format!("the name '{name}' is already in use")));
+    }
+    let lowered = lower_qual(qty, &cat.types, &cat.adts)?;
+    if lowered.mode != Ownership::Own {
+        return Err(DbError::Catalog(
+            "top-level named instances are owned by the database; drop the ref qualifier".into(),
+        ));
+    }
+    let (oid, is_collection) = match &lowered.ty {
+        Type::Set(elem) => (db.store.create_collection(elem)?, true),
+        _ => {
+            let v = default_value(&lowered, &cat.types);
+            (db.store.create_object(&cat.types, &lowered, v)?, false)
+        }
+    };
+    cat.named.insert(
+        name.to_string(),
+        NamedObject { name: name.to_string(), oid, qty: lowered, is_collection },
+    );
+    // A key (paper: associated with set instances) is a unique index.
+    if let Some(attr) = key {
+        if !is_collection {
+            cat.named.remove(name);
+            return Err(DbError::Catalog(
+                "keys are associated with set instances; this is not a set".into(),
+            ));
+        }
+        if let Err(e) = define_index(db, cat, &format!("{name}_key"), name, attr, true) {
+            cat.named.remove(name);
+            return Err(e);
+        }
+    }
+    Ok(Response::Done(format!("{name} created")))
+}
+
+fn destroy_named(db: &Database, cat: &mut Catalog, user: &str, name: &str) -> DbResult<Response> {
+    let obj = cat
+        .named
+        .get(name)
+        .cloned()
+        .ok_or_else(|| DbError::Catalog(format!("no named object '{name}'")))?;
+    if !cat.auth.allowed(user, name, Privilege::Delete) {
+        return Err(DbError::Auth(format!("{user} may not destroy {name}")));
+    }
+    db.store.delete_object(&cat.types, obj.oid)?;
+    cat.named.remove(name);
+    cat.indexes.retain(|i| i.collection != name);
+    Ok(Response::Done(format!("{name} destroyed")))
+}
+
+fn drop_type(cat: &mut Catalog, name: &str) -> DbResult<Response> {
+    let id = cat.types.lookup(name)?;
+    if cat.types.has_dependents(id) {
+        return Err(DbError::Catalog(format!(
+            "type '{name}' has dependent types; drop them first"
+        )));
+    }
+    fn mentions(ty: &Type, id: extra_model::TypeId) -> bool {
+        match ty {
+            Type::Schema(t) => *t == id,
+            Type::Set(e) | Type::Array(_, e) => mentions(&e.ty, id),
+            Type::Tuple(attrs) => attrs.iter().any(|a| mentions(&a.qty.ty, id)),
+            _ => false,
+        }
+    }
+    if let Some(obj) = cat.named.values().find(|o| mentions(&o.qty.ty, id)) {
+        return Err(DbError::Catalog(format!(
+            "type '{name}' is used by named instance '{}'",
+            obj.name
+        )));
+    }
+    cat.types.undefine(name)?;
+    Ok(Response::Done(format!("type {name} dropped")))
+}
+
+fn define_function(
+    db: &Database,
+    cat: &mut Catalog,
+    name: &str,
+    params: &[Param],
+    returns: &excess_lang::QualTypeExpr,
+    body: &Stmt,
+) -> DbResult<Response> {
+    let lowered_params: Vec<(String, QualType)> = params
+        .iter()
+        .map(|p| Ok((p.name.clone(), lower_qual(&p.qty, &cat.types, &cat.adts)?)))
+        .collect::<DbResult<_>>()?;
+    let lowered_returns = lower_qual(returns, &cat.types, &cat.adts)?;
+    let attached_to = lowered_params.first().and_then(|(_, q)| match q.ty {
+        Type::Schema(t) => Some(t),
+        _ => None,
+    });
+    if cat
+        .functions
+        .iter()
+        .any(|f| f.name == name && f.attached_to == attached_to)
+    {
+        return Err(DbError::Catalog(format!(
+            "function '{name}' is already defined for this receiver type"
+        )));
+    }
+    // Validate the body with the parameters in scope. Parameters of
+    // schema type are reference-valued at runtime.
+    let view = CatalogView { cat, store: &db.store };
+    let mut ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
+    for (p, q) in &lowered_params {
+        ctx.vars.insert(p.clone(), runtime_param_type(q));
+    }
+    let env = RangeEnv::default();
+    let resolver = Resolver::new(&ctx, &env);
+    let checked = resolver.check_retrieve(body)?;
+    if checked.output.len() != 1 {
+        return Err(DbError::Catalog(
+            "a function body must retrieve exactly one target".into(),
+        ));
+    }
+    let def = FunctionDef {
+        name: name.to_string(),
+        params: lowered_params.iter().map(|(p, q)| (p.clone(), runtime_param_type(q))).collect(),
+        returns: lowered_returns,
+        body: body.clone(),
+        attached_to,
+    };
+    cat.functions.push(def);
+    Ok(Response::Done(format!("function {name} defined")))
+}
+
+/// A parameter declared with a schema type is passed by reference.
+pub(crate) fn runtime_param_type(q: &QualType) -> QualType {
+    match (&q.mode, &q.ty) {
+        (Ownership::Own, Type::Schema(_)) => QualType::reference(q.ty.clone()),
+        _ => q.clone(),
+    }
+}
+
+fn define_procedure(
+    cat: &mut Catalog,
+    name: &str,
+    params: &[Param],
+    body: &[Stmt],
+) -> DbResult<Response> {
+    if cat.procedures.contains_key(name) {
+        return Err(DbError::Catalog(format!("procedure '{name}' already exists")));
+    }
+    let lowered: Vec<(String, QualType)> = params
+        .iter()
+        .map(|p| {
+            Ok((
+                p.name.clone(),
+                runtime_param_type(&lower_qual(&p.qty, &cat.types, &cat.adts)?),
+            ))
+        })
+        .collect::<DbResult<_>>()?;
+    cat.procedures.insert(
+        name.to_string(),
+        ProcedureDef { name: name.to_string(), params: lowered, body: body.to_vec() },
+    );
+    Ok(Response::Done(format!("procedure {name} defined")))
+}
+
+fn define_index(
+    db: &Database,
+    cat: &mut Catalog,
+    name: &str,
+    collection: &str,
+    attr: &str,
+    unique: bool,
+) -> DbResult<Response> {
+    if cat.indexes.iter().any(|i| i.name == name) {
+        return Err(DbError::Catalog(format!("index '{name}' already exists")));
+    }
+    let obj = cat
+        .named
+        .get(collection)
+        .cloned()
+        .ok_or_else(|| DbError::Catalog(format!("no collection '{collection}'")))?;
+    if !obj.is_collection {
+        return Err(DbError::Catalog(format!("'{collection}' is not a set")));
+    }
+    let elem = db.store.collection_elem(obj.oid)?;
+    let view = CatalogView { cat, store: &db.store };
+    let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
+    let attr_qty = ctx.attr_type(&elem, attr)?;
+    // The access-method applicability check: orderable attribute types
+    // only (for ADTs, the registry's table decides).
+    let indexable = match &attr_qty.ty {
+        Type::Base(_) => true,
+        Type::Adt(id) => cat.adts.indexable(*id),
+        _ => false,
+    };
+    if !indexable {
+        return Err(DbError::Catalog(format!(
+            "attribute '{attr}' has no ordered key encoding; a B+-tree does not apply"
+        )));
+    }
+    let pos = ctx.attr_pos(&elem, attr)?;
+    let tree = BTree::create(db.store.storage().pool())?;
+    // Populate from the current members.
+    let members: Vec<_> = db
+        .store
+        .scan_members(obj.oid)?
+        .collect::<Result<Vec<_>, _>>()?;
+    for (rid, member) in members {
+        if let Some(key) = dml::member_attr_key(db, &member, pos, &cat.adts)? {
+            tree.insert(db.store.storage().pool(), &key, rid.pack(), unique)
+                .map_err(|e| match e {
+                    exodus_storage::StorageError::DuplicateKey => DbError::Catalog(format!(
+                        "cannot build unique index: duplicate {attr} values in {collection}"
+                    )),
+                    other => other.into(),
+                })?;
+        }
+    }
+    cat.indexes.push(IndexInfo {
+        name: name.to_string(),
+        collection: collection.to_string(),
+        attr: attr.to_string(),
+        root: tree.root(),
+        unique,
+    });
+    Ok(Response::Done(format!("index {name} built on {collection}({attr})")))
+}

@@ -1,0 +1,72 @@
+//! Database-level errors.
+
+use std::fmt;
+
+use excess_lang::ParseError;
+use excess_sema::SemaError;
+use extra_model::ModelError;
+
+/// Any error the database can raise.
+#[derive(Debug)]
+pub enum DbError {
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic error.
+    Sema(SemaError),
+    /// Data-model / storage / runtime error.
+    Model(ModelError),
+    /// Authorization failure.
+    Auth(String),
+    /// Catalog misuse (duplicate names, missing objects...).
+    Catalog(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "parse error: {e}"),
+            DbError::Sema(e) => write!(f, "semantic error: {e}"),
+            DbError::Model(e) => write!(f, "{e}"),
+            DbError::Auth(m) => write!(f, "authorization error: {m}"),
+            DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Parse(e) => Some(e),
+            DbError::Sema(e) => Some(e),
+            DbError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for DbError {
+    fn from(e: ParseError) -> Self {
+        DbError::Parse(e)
+    }
+}
+
+impl From<SemaError> for DbError {
+    fn from(e: SemaError) -> Self {
+        DbError::Sema(e)
+    }
+}
+
+impl From<ModelError> for DbError {
+    fn from(e: ModelError) -> Self {
+        DbError::Model(e)
+    }
+}
+
+impl From<exodus_storage::StorageError> for DbError {
+    fn from(e: exodus_storage::StorageError) -> Self {
+        DbError::Model(ModelError::Storage(e))
+    }
+}
+
+/// Convenience alias.
+pub type DbResult<T> = Result<T, DbError>;

@@ -1,0 +1,233 @@
+//! The `Complex` ADT — paper Figure 7 shows its E dbclass interface, and
+//! §4.1 uses it for both call syntaxes (`CnumPair.val1.Add(...)` and the
+//! symmetric `Add(CnumPair.val1, CnumPair.val2)`) and for overloading the
+//! `+` operator.
+//!
+//! Storage format: two little-endian `f64`s (re, im). Literals:
+//! `(re, im)`, e.g. `(1.5, -2)`. Not ordered (complex numbers have no
+//! total order), hence not indexable — exercising the optimizer's
+//! access-method applicability table negatively.
+
+use std::sync::Arc;
+
+use crate::adt::{AdtFunction, AdtOperator, AdtReturn, AdtType, Assoc};
+use crate::error::{ModelError, ModelResult};
+use crate::value::Value;
+
+/// The `Complex` abstract data type.
+pub struct ComplexAdt;
+
+fn pack(re: f64, im: f64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&re.to_le_bytes());
+    out.extend_from_slice(&im.to_le_bytes());
+    out
+}
+
+fn unpack(bytes: &[u8]) -> ModelResult<(f64, f64)> {
+    if bytes.len() != 16 {
+        return Err(ModelError::AdtError("corrupt Complex value".into()));
+    }
+    let mut re = [0u8; 8];
+    let mut im = [0u8; 8];
+    re.copy_from_slice(&bytes[..8]);
+    im.copy_from_slice(&bytes[8..]);
+    Ok((f64::from_le_bytes(re), f64::from_le_bytes(im)))
+}
+
+fn complex_arg(v: &Value) -> ModelResult<(f64, f64)> {
+    match v {
+        Value::Adt(_, bytes) => unpack(bytes),
+        // Reals promote to complex in arithmetic.
+        Value::Int(i) => Ok((*i as f64, 0.0)),
+        Value::Float(f) => Ok((*f, 0.0)),
+        other => Err(ModelError::AdtError(format!(
+            "expected a Complex, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+fn adt_id_of(args: &[Value]) -> ModelResult<crate::adt::AdtId> {
+    args.iter()
+        .find_map(|v| match v {
+            Value::Adt(id, _) => Some(*id),
+            _ => None,
+        })
+        .ok_or_else(|| ModelError::AdtError("no Complex argument".into()))
+}
+
+type CBinop = fn((f64, f64), (f64, f64)) -> (f64, f64);
+
+fn binop(name: &str, f: CBinop) -> AdtFunction {
+    AdtFunction {
+        name: name.into(),
+        arity: 2,
+        returns: AdtReturn::SameAdt,
+        body: Arc::new(move |args| {
+            let a = complex_arg(&args[0])?;
+            let b = complex_arg(&args[1])?;
+            let (re, im) = f(a, b);
+            Ok(Value::Adt(adt_id_of(args)?, pack(re, im)))
+        }),
+    }
+}
+
+impl AdtType for ComplexAdt {
+    fn name(&self) -> &str {
+        "Complex"
+    }
+
+    fn parse(&self, literal: &str) -> ModelResult<Vec<u8>> {
+        let s = literal.trim();
+        let bad = || ModelError::AdtError(format!("bad Complex literal '{s}'"));
+        let inner = s.strip_prefix('(').and_then(|x| x.strip_suffix(')')).ok_or_else(bad)?;
+        let (re, im) = inner.split_once(',').ok_or_else(bad)?;
+        Ok(pack(
+            re.trim().parse().map_err(|_| bad())?,
+            im.trim().parse().map_err(|_| bad())?,
+        ))
+    }
+
+    fn display(&self, bytes: &[u8]) -> String {
+        match unpack(bytes) {
+            Ok((re, im)) => format!("({re}, {im})"),
+            Err(_) => "<corrupt Complex>".into(),
+        }
+    }
+
+    fn functions(&self) -> Vec<AdtFunction> {
+        vec![
+            binop("Add", |(ar, ai), (br, bi)| (ar + br, ai + bi)),
+            binop("Sub", |(ar, ai), (br, bi)| (ar - br, ai - bi)),
+            binop("Mul", |(ar, ai), (br, bi)| (ar * br - ai * bi, ar * bi + ai * br)),
+            AdtFunction {
+                name: "Magnitude".into(),
+                arity: 1,
+                returns: AdtReturn::Float,
+                body: Arc::new(|args| {
+                    let (re, im) = complex_arg(&args[0])?;
+                    Ok(Value::Float((re * re + im * im).sqrt()))
+                }),
+            },
+            AdtFunction {
+                name: "Re".into(),
+                arity: 1,
+                returns: AdtReturn::Float,
+                body: Arc::new(|args| Ok(Value::Float(complex_arg(&args[0])?.0))),
+            },
+            AdtFunction {
+                name: "Im".into(),
+                arity: 1,
+                returns: AdtReturn::Float,
+                body: Arc::new(|args| Ok(Value::Float(complex_arg(&args[0])?.1))),
+            },
+            AdtFunction {
+                name: "Conjugate".into(),
+                arity: 1,
+                returns: AdtReturn::SameAdt,
+                body: Arc::new(|args| {
+                    let (re, im) = complex_arg(&args[0])?;
+                    Ok(Value::Adt(adt_id_of(args)?, pack(re, -im)))
+                }),
+            },
+        ]
+    }
+
+    fn operators(&self) -> Vec<AdtOperator> {
+        // "Existing EXCESS operators can be overloaded" — +, -, * take the
+        // standard arithmetic precedences.
+        vec![
+            AdtOperator {
+                symbol: "+".into(),
+                precedence: 4,
+                assoc: Assoc::Left,
+                function: "Add".into(),
+                arity: 2,
+            },
+            AdtOperator {
+                symbol: "-".into(),
+                precedence: 4,
+                assoc: Assoc::Left,
+                function: "Sub".into(),
+                arity: 2,
+            },
+            AdtOperator {
+                symbol: "*".into(),
+                precedence: 5,
+                assoc: Assoc::Left,
+                function: "Mul".into(),
+                arity: 2,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adt::AdtRegistry;
+
+    fn setup() -> (AdtRegistry, crate::adt::AdtId) {
+        let r = AdtRegistry::with_builtins();
+        let id = r.lookup("Complex").unwrap();
+        (r, id)
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let (r, id) = setup();
+        let v = r.parse(id, "(1.5, -2)").unwrap();
+        match &v {
+            Value::Adt(_, b) => assert_eq!(r.display(id, b), "(1.5, -2)"),
+            _ => panic!("not adt"),
+        }
+        assert!(r.parse(id, "1.5").is_err());
+        assert!(r.parse(id, "(a, b)").is_err());
+    }
+
+    #[test]
+    fn figure7_add_both_syntaxes() {
+        // The language layer maps x.Add(y) and Add(x, y) to the same
+        // function; here we exercise the function itself.
+        let (r, id) = setup();
+        let a = r.parse(id, "(1, 2)").unwrap();
+        let b = r.parse(id, "(3, 4)").unwrap();
+        let add = r.function(id, "Add").unwrap();
+        let sum = (add.body)(&[a.clone(), b.clone()]).unwrap();
+        match &sum {
+            Value::Adt(_, bytes) => assert_eq!(r.display(id, bytes), "(4, 6)"),
+            _ => panic!("not adt"),
+        }
+        // The overloaded + operator reaches the same implementation.
+        assert_eq!(r.apply_operator("+", &[a, b]).unwrap(), sum);
+    }
+
+    #[test]
+    fn arithmetic_and_promotion() {
+        let (r, id) = setup();
+        let a = r.parse(id, "(1, 2)").unwrap();
+        let mul = r.function(id, "Mul").unwrap();
+        let sq = (mul.body)(&[a.clone(), a.clone()]).unwrap();
+        match &sq {
+            Value::Adt(_, bytes) => assert_eq!(r.display(id, bytes), "(-3, 4)"),
+            _ => panic!("not adt"),
+        }
+        // Real promotes: (1,2) + 1 = (2,2).
+        let add = r.function(id, "Add").unwrap();
+        let v = (add.body)(&[a.clone(), Value::Int(1)]).unwrap();
+        match &v {
+            Value::Adt(_, bytes) => assert_eq!(r.display(id, bytes), "(2, 2)"),
+            _ => panic!("not adt"),
+        }
+        let mag = r.function(id, "Magnitude").unwrap();
+        assert_eq!((mag.body)(&[r.parse(id, "(3, 4)").unwrap()]).unwrap(), Value::Float(5.0));
+    }
+
+    #[test]
+    fn complex_is_not_indexable() {
+        let (r, id) = setup();
+        assert!(!r.indexable(id), "no total order on complex numbers");
+        assert!(r.key_encode(id, &pack(1.0, 1.0)).is_err());
+    }
+}

@@ -1,0 +1,14 @@
+//! Built-in example ADTs.
+//!
+//! The paper uses two ADTs as running examples — `Date` (Figure 1) and
+//! `Complex` (Figure 7, where its E dbclass interface is shown) — and
+//! motivates the facility with geometric/engineering data
+//! (\[Lohm83, Kemp87\]), for which `Polygon` stands in here.
+
+pub mod complex;
+pub mod date;
+pub mod polygon;
+
+pub use complex::ComplexAdt;
+pub use date::DateAdt;
+pub use polygon::PolygonAdt;

@@ -1,0 +1,90 @@
+//! Data-model error type.
+
+use std::fmt;
+
+use exodus_storage::StorageError;
+
+/// Errors raised by the EXTRA data-model layer.
+#[derive(Debug)]
+pub enum ModelError {
+    /// A storage-level failure.
+    Storage(StorageError),
+    /// A named type that does not exist.
+    UnknownType(String),
+    /// A type name already in use.
+    DuplicateType(String),
+    /// An attribute that does not exist on a type.
+    UnknownAttribute { ty: String, attr: String },
+    /// Multiple inheritance produced a name clash that was not renamed
+    /// away (EXTRA provides *no* automatic resolution).
+    InheritanceConflict { attr: String, from: Vec<String> },
+    /// A rename clause naming an attribute the base type does not have.
+    BadRename { base: String, attr: String },
+    /// A value that does not conform to the declared type.
+    TypeMismatch { expected: String, got: String },
+    /// `ref` / `own ref` used with a type that has no object identity.
+    RefToValueType(String),
+    /// An integrity violation (exclusivity, dangling reference, ...).
+    Integrity(String),
+    /// An unknown ADT or ADT function/operator.
+    UnknownAdt(String),
+    /// An ADT function failed (bad argument, parse error, ...).
+    AdtError(String),
+    /// Array index out of range (EXCESS arrays are 1-based).
+    IndexOutOfRange { index: i64, len: usize },
+    /// Any other semantic violation.
+    Semantic(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Storage(e) => write!(f, "storage error: {e}"),
+            ModelError::UnknownType(t) => write!(f, "unknown type '{t}'"),
+            ModelError::DuplicateType(t) => write!(f, "type '{t}' is already defined"),
+            ModelError::UnknownAttribute { ty, attr } => {
+                write!(f, "type '{ty}' has no attribute '{attr}'")
+            }
+            ModelError::InheritanceConflict { attr, from } => write!(
+                f,
+                "attribute '{attr}' is inherited from multiple types ({}); \
+                 resolve the conflict with a rename clause",
+                from.join(", ")
+            ),
+            ModelError::BadRename { base, attr } => {
+                write!(f, "rename of '{attr}': base type '{base}' has no such attribute")
+            }
+            ModelError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            ModelError::RefToValueType(t) => {
+                write!(f, "'{t}' is not a schema type; ref/own ref require object identity")
+            }
+            ModelError::Integrity(m) => write!(f, "integrity violation: {m}"),
+            ModelError::UnknownAdt(a) => write!(f, "unknown ADT or ADT member '{a}'"),
+            ModelError::AdtError(m) => write!(f, "ADT error: {m}"),
+            ModelError::IndexOutOfRange { index, len } => {
+                write!(f, "array index {index} out of range (length {len}, arrays are 1-based)")
+            }
+            ModelError::Semantic(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for ModelError {
+    fn from(e: StorageError) -> Self {
+        ModelError::Storage(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type ModelResult<T> = Result<T, ModelError>;

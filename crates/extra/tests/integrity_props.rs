@@ -1,0 +1,205 @@
+//! Property tests for the object store's integrity invariants: after any
+//! sequence of creates, link updates, and deletes, no live object holds a
+//! dangling reference, and ownership is exclusive.
+
+use proptest::prelude::*;
+
+use exodus_storage::{Oid, StorageManager};
+use extra_model::schema::InheritSpec;
+use extra_model::{
+    Attribute, ModelError, ObjectStore, QualType, Type, TypeRegistry, Value,
+};
+
+struct World {
+    reg: TypeRegistry,
+    store: ObjectStore,
+    node: extra_model::TypeId,
+    live: Vec<Oid>,
+}
+
+fn world() -> World {
+    let mut reg = TypeRegistry::new();
+    // Node: a ref link and an own-ref component slot.
+    let node = reg.declare("Node").unwrap();
+    reg.complete(
+        node,
+        Vec::<InheritSpec>::new(),
+        vec![
+            Attribute::own("tag", Type::int4()),
+            Attribute::reference("link", Type::Schema(node)),
+            Attribute::own_ref("part", Type::Schema(node)),
+        ],
+    )
+    .unwrap();
+    let store = ObjectStore::new(StorageManager::in_memory(512)).unwrap();
+    World { reg, store, node, live: Vec::new() }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Create(i64),
+    /// Link live[a] → live[b] via the `ref` attribute.
+    Link(usize, usize),
+    /// Adopt live[b] as live[a]'s own-ref part.
+    Adopt(usize, usize),
+    Delete(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0i64..100).prop_map(Op::Create),
+        (0usize..32, 0usize..32).prop_map(|(a, b)| Op::Link(a, b)),
+        (0usize..32, 0usize..32).prop_map(|(a, b)| Op::Adopt(a, b)),
+        (0usize..32).prop_map(Op::Delete),
+    ]
+}
+
+fn node_value(tag: i64, link: Value, part: Value) -> Value {
+    Value::Tuple(vec![Value::Int(tag), link, part])
+}
+
+impl World {
+    fn qty(&self) -> QualType {
+        QualType::own(Type::Schema(self.node))
+    }
+
+    fn apply(&mut self, op: &Op) {
+        match op {
+            Op::Create(tag) => {
+                let oid = self
+                    .store
+                    .create_object(&self.reg, &self.qty(), node_value(*tag, Value::Null, Value::Null))
+                    .unwrap();
+                self.live.push(oid);
+            }
+            Op::Link(a, b) => {
+                if self.live.is_empty() {
+                    return;
+                }
+                let a = self.live[a % self.live.len()];
+                let b = self.live[b % self.live.len()];
+                let (_, _, mut v) = self.store.get(a).unwrap();
+                if let Value::Tuple(fields) = &mut v {
+                    fields[1] = Value::Ref(b);
+                }
+                self.store.set_value(&self.reg, a, v).unwrap();
+            }
+            Op::Adopt(a, b) => {
+                if self.live.is_empty() {
+                    return;
+                }
+                let a = self.live[a % self.live.len()];
+                let b = self.live[b % self.live.len()];
+                if a == b {
+                    return;
+                }
+                let (_, owner, _) = self.store.get(b).unwrap();
+                let (_, _, mut v) = self.store.get(a).unwrap();
+                if let Value::Tuple(fields) = &mut v {
+                    if matches!(fields[2], Value::Ref(_)) {
+                        return; // already holds a part; replacing would kill it
+                    }
+                    fields[2] = Value::Ref(b);
+                }
+                let result = self.store.set_value(&self.reg, a, v);
+                match result {
+                    Ok(()) => assert!(
+                        owner.is_null() || owner == a,
+                        "adoption of an owned object must have failed"
+                    ),
+                    Err(ModelError::Integrity(_)) => {
+                        assert!(!owner.is_null(), "free object rejected?");
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+            }
+            Op::Delete(a) => {
+                if self.live.is_empty() {
+                    return;
+                }
+                let oid = self.live[a % self.live.len()];
+                self.store.delete_object(&self.reg, oid).unwrap();
+                // Cascades may have taken others with it; recompute below.
+            }
+        }
+        self.live.retain(|o| self.store.exists(*o).unwrap());
+    }
+
+    /// Invariants: every live object's `link` is live or null; every
+    /// `part` is live, owned by exactly this object; owners are live.
+    fn check(&self) {
+        for &oid in &self.live {
+            let (_, owner, v) = self.store.get(oid).unwrap();
+            if !owner.is_null() {
+                assert!(
+                    self.store.exists(owner).unwrap(),
+                    "{oid} has a dead owner {owner}"
+                );
+            }
+            let Value::Tuple(fields) = &v else { panic!("not a tuple") };
+            match &fields[1] {
+                Value::Null => {}
+                Value::Ref(t) => assert!(
+                    self.store.exists(*t).unwrap(),
+                    "{oid} has a dangling ref {t}"
+                ),
+                other => panic!("bad link: {other:?}"),
+            }
+            match &fields[2] {
+                Value::Null => {}
+                Value::Ref(t) => {
+                    assert!(self.store.exists(*t).unwrap(), "{oid} owns a dead part {t}");
+                    let part_owner = self.store.owner_of(*t).unwrap();
+                    assert_eq!(part_owner, oid, "exclusive ownership violated");
+                }
+                other => panic!("bad part: {other:?}"),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn integrity_invariants_hold(ops in prop::collection::vec(op_strategy(), 1..60)) {
+        let mut w = world();
+        for op in &ops {
+            w.apply(op);
+            w.check();
+        }
+    }
+}
+
+#[test]
+fn delete_cycle_of_refs_terminates() {
+    let mut w = world();
+    w.apply(&Op::Create(1));
+    w.apply(&Op::Create(2));
+    w.apply(&Op::Link(0, 1));
+    w.apply(&Op::Link(1, 0));
+    w.apply(&Op::Delete(0));
+    w.check();
+    assert_eq!(w.live.len(), 1);
+    // Survivor's link was nulled.
+    let (_, _, v) = w.store.get(w.live[0]).unwrap();
+    match v {
+        Value::Tuple(fields) => assert_eq!(fields[1], Value::Null),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn deep_ownership_chain_cascades() {
+    let mut w = world();
+    for i in 0..10 {
+        w.apply(&Op::Create(i));
+    }
+    // 0 owns 1 owns 2 owns ... owns 9.
+    for i in 0..9 {
+        w.apply(&Op::Adopt(i, i + 1));
+    }
+    w.check();
+    w.apply(&Op::Delete(0));
+    assert!(w.live.is_empty(), "whole chain cascades: {:?}", w.live);
+}

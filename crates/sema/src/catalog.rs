@@ -1,0 +1,107 @@
+//! The catalog interface the analyzer resolves names against.
+//!
+//! The concrete catalog lives in `exodus-db`; sema (and the optimizer)
+//! see it through [`CatalogLookup`], keeping the layering acyclic.
+
+use excess_lang::Stmt;
+use exodus_storage::Oid;
+use extra_model::{QualType, TypeId};
+
+/// A named persistent database object (`create <type> <Name>`).
+#[derive(Debug, Clone)]
+pub struct NamedObject {
+    /// Its name.
+    pub name: String,
+    /// Its OID (collections: the anchor OID).
+    pub oid: Oid,
+    /// Its declared type.
+    pub qty: QualType,
+    /// Whether it is a top-level set (stored as a collection).
+    pub is_collection: bool,
+}
+
+/// An EXCESS function definition (`define function`).
+///
+/// A function whose first parameter is a schema type is *attached* to that
+/// type: invocable with method syntax and inherited through the lattice.
+#[derive(Debug, Clone)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, QualType)>,
+    /// Return type.
+    pub returns: QualType,
+    /// Body — a `retrieve` statement.
+    pub body: Stmt,
+    /// The schema type the function is attached to (the first parameter's
+    /// type, when it is a schema type).
+    pub attached_to: Option<TypeId>,
+}
+
+/// An EXCESS procedure definition (`define procedure`).
+#[derive(Debug, Clone)]
+pub struct ProcedureDef {
+    /// Procedure name.
+    pub name: String,
+    /// Parameter names and types.
+    pub params: Vec<(String, QualType)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A secondary index over one attribute of a collection's members.
+#[derive(Debug, Clone)]
+pub struct IndexInfo {
+    /// Index name.
+    pub name: String,
+    /// Indexed collection.
+    pub collection: String,
+    /// Indexed member attribute.
+    pub attr: String,
+    /// B+-tree root page.
+    pub root: u64,
+    /// Whether the index enforces key uniqueness (paper: keys are
+    /// associated with set instances).
+    pub unique: bool,
+}
+
+/// Name-resolution services provided by the database catalog.
+pub trait CatalogLookup {
+    /// Look up a named persistent object.
+    fn named(&self, name: &str) -> Option<NamedObject>;
+
+    /// All function definitions sharing `name` (receiver-type overloads).
+    fn functions_named(&self, name: &str) -> Vec<FunctionDef>;
+
+    /// Look up a procedure.
+    fn procedure(&self, name: &str) -> Option<ProcedureDef>;
+
+    /// An index on `collection(attr)`, if one exists.
+    fn index_on(&self, collection: &str, attr: &str) -> Option<IndexInfo>;
+
+    /// Member count of a named collection (optimizer statistics).
+    fn collection_size(&self, name: &str) -> Option<u64>;
+}
+
+/// An empty catalog, for tests that only need range variables.
+#[derive(Debug, Default)]
+pub struct EmptyCatalog;
+
+impl CatalogLookup for EmptyCatalog {
+    fn named(&self, _name: &str) -> Option<NamedObject> {
+        None
+    }
+    fn functions_named(&self, _name: &str) -> Vec<FunctionDef> {
+        Vec::new()
+    }
+    fn procedure(&self, _name: &str) -> Option<ProcedureDef> {
+        None
+    }
+    fn index_on(&self, _collection: &str, _attr: &str) -> Option<IndexInfo> {
+        None
+    }
+    fn collection_size(&self, _name: &str) -> Option<u64> {
+        None
+    }
+}

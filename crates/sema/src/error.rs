@@ -1,0 +1,91 @@
+//! Semantic-analysis errors.
+
+use std::fmt;
+
+use extra_model::ModelError;
+
+/// Errors raised during semantic analysis.
+#[derive(Debug)]
+pub enum SemaError {
+    /// An identifier that is neither a range variable, parameter, nor
+    /// named database object.
+    UnknownName(String),
+    /// An attribute missing from a type.
+    UnknownAttribute {
+        /// The type being accessed.
+        ty: String,
+        /// The missing attribute.
+        attr: String,
+    },
+    /// A range or from-clause path that does not end in a set or array.
+    NotIterable(String),
+    /// A value comparison applied to references — the paper allows only
+    /// `is`/`isnot` on references.
+    RefComparison(String),
+    /// `is`/`isnot` applied to non-references.
+    IsOnValue(String),
+    /// Operand/argument type mismatch.
+    TypeMismatch {
+        /// What the context required.
+        expected: String,
+        /// What was found.
+        got: String,
+    },
+    /// Misuse of an aggregate (bad `over` variable, non-numeric `sum`...).
+    Aggregate(String),
+    /// Unknown or mis-applied function/procedure.
+    Function(String),
+    /// An error from the data-model layer (type definition, etc.).
+    Model(ModelError),
+    /// Anything else.
+    Other(String),
+}
+
+impl fmt::Display for SemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemaError::UnknownName(n) => {
+                write!(f, "'{n}' is not a range variable, parameter or named object")
+            }
+            SemaError::UnknownAttribute { ty, attr } => {
+                write!(f, "type '{ty}' has no attribute '{attr}'")
+            }
+            SemaError::NotIterable(p) => {
+                write!(f, "'{p}' is not a set or array; range variables need a collection")
+            }
+            SemaError::RefComparison(op) => write!(
+                f,
+                "'{op}' cannot be applied to references; use 'is' or 'isnot' \
+                 (the only comparisons applicable to references)"
+            ),
+            SemaError::IsOnValue(k) => {
+                write!(f, "'is'/'isnot' compare object identity; operands are {k}, not references")
+            }
+            SemaError::TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            SemaError::Aggregate(m) => write!(f, "aggregate error: {m}"),
+            SemaError::Function(m) => write!(f, "function error: {m}"),
+            SemaError::Model(e) => write!(f, "{e}"),
+            SemaError::Other(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SemaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SemaError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for SemaError {
+    fn from(e: ModelError) -> Self {
+        SemaError::Model(e)
+    }
+}
+
+/// Convenience alias.
+pub type SemaResult<T> = Result<T, SemaError>;

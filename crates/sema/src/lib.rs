@@ -1,0 +1,35 @@
+//! # excess-sema
+//!
+//! Semantic analysis for EXCESS: name resolution, type checking, range
+//! resolution, and function/procedure signature checking.
+//!
+//! The analyzer enforces the paper's semantic rules:
+//!
+//! * **Uniform own/ref/own-ref treatment**: attribute paths step through
+//!   references transparently (`E.dept.floor` works whether `dept` is
+//!   `own`, `ref`, or `own ref`) — "casual users can ignore the
+//!   distinction".
+//! * **References compare only with `is`/`isnot`** ("these are the only
+//!   comparison operators applicable to references"); value comparisons
+//!   on references are rejected.
+//! * **Range resolution**: a range variable may range over a named set, a
+//!   nested-set path (`Employees.kids` — iterating employees implicitly),
+//!   or another variable's set-valued attribute (`E.kids`), yielding
+//!   dependent bindings; `all` marks universal quantification.
+//! * **Aggregate scoping**: `over` must name visible range variables; the
+//!   aggregate consumes them (they do not escape); `by` partitions.
+//! * **Function resolution through the type lattice**: an EXCESS function
+//!   defined for `Person` applies to `Employee` receivers; the most
+//!   specific applicable definition wins. ADT functions resolve by the
+//!   receiver's ADT in both call syntaxes (`x.Add(y)` / `Add(x, y)`).
+
+pub mod catalog;
+pub mod error;
+pub mod infer;
+pub mod lower;
+pub mod resolve;
+
+pub use catalog::{CatalogLookup, FunctionDef, IndexInfo, NamedObject, ProcedureDef};
+pub use error::{SemaError, SemaResult};
+pub use infer::SemaCtx;
+pub use resolve::{CheckedRetrieve, RangeEnv, ResolvedRange, RootSource};

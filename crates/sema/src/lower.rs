@@ -1,0 +1,117 @@
+//! Lowering syntactic type expressions to EXTRA types.
+
+use excess_lang::{Mode, QualTypeExpr, TypeExpr};
+use extra_model::{
+    AdtRegistry, Attribute, BaseType, Ownership, QualType, Type, TypeRegistry,
+};
+
+use crate::error::{SemaError, SemaResult};
+
+/// Lower a syntactic ownership mode.
+pub fn lower_mode(m: Mode) -> Ownership {
+    match m {
+        Mode::Own => Ownership::Own,
+        Mode::Ref => Ownership::Ref,
+        Mode::OwnRef => Ownership::OwnRef,
+    }
+}
+
+/// Resolve a type name: base type, ADT, or schema type (in that order —
+/// base-type names are reserved in practice).
+pub fn lower_named(name: &str, types: &TypeRegistry, adts: &AdtRegistry) -> SemaResult<Type> {
+    let base = match name {
+        "int1" => Some(BaseType::Int1),
+        "int2" => Some(BaseType::Int2),
+        "int4" | "int" => Some(BaseType::Int4),
+        "int8" => Some(BaseType::Int8),
+        "float4" => Some(BaseType::Float4),
+        "float8" | "float" => Some(BaseType::Float8),
+        "boolean" | "bool" => Some(BaseType::Boolean),
+        "varchar" | "string" => Some(BaseType::Varchar),
+        _ => None,
+    };
+    if let Some(b) = base {
+        return Ok(Type::Base(b));
+    }
+    if adts.contains(name) {
+        return Ok(Type::Adt(adts.lookup(name)?));
+    }
+    if types.contains(name) {
+        return Ok(Type::Schema(types.lookup(name)?));
+    }
+    Err(SemaError::UnknownName(name.into()))
+}
+
+/// Lower a syntactic type expression.
+pub fn lower_type(te: &TypeExpr, types: &TypeRegistry, adts: &AdtRegistry) -> SemaResult<Type> {
+    match te {
+        TypeExpr::Named(n) => lower_named(n, types, adts),
+        TypeExpr::Char(n) => Ok(Type::Base(BaseType::Char(*n))),
+        TypeExpr::Enum(syms) => Ok(Type::Base(BaseType::Enum(syms.clone()))),
+        TypeExpr::Set(e) => Ok(Type::Set(Box::new(lower_qual(e, types, adts)?))),
+        TypeExpr::Array(n, e) => Ok(Type::Array(*n, Box::new(lower_qual(e, types, adts)?))),
+        TypeExpr::Tuple(attrs) => {
+            let mut out = Vec::with_capacity(attrs.len());
+            for a in attrs {
+                out.push(Attribute {
+                    name: a.name.clone(),
+                    qty: lower_qual(&a.qty, types, adts)?,
+                });
+            }
+            Ok(Type::Tuple(out))
+        }
+    }
+}
+
+/// Lower a qualified type expression.
+pub fn lower_qual(
+    qte: &QualTypeExpr,
+    types: &TypeRegistry,
+    adts: &AdtRegistry,
+) -> SemaResult<QualType> {
+    Ok(QualType { mode: lower_mode(qte.mode), ty: lower_type(&qte.ty, types, adts)? })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_types_and_aliases() {
+        let types = TypeRegistry::new();
+        let adts = AdtRegistry::with_builtins();
+        assert_eq!(lower_named("int4", &types, &adts).unwrap(), Type::int4());
+        assert_eq!(lower_named("int", &types, &adts).unwrap(), Type::int4());
+        assert_eq!(lower_named("float8", &types, &adts).unwrap(), Type::float8());
+        assert!(matches!(lower_named("Date", &types, &adts).unwrap(), Type::Adt(_)));
+        assert!(matches!(
+            lower_named("Nothing", &types, &adts),
+            Err(SemaError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn constructors_lower_recursively() {
+        let mut types = TypeRegistry::new();
+        let adts = AdtRegistry::new();
+        let person = types
+            .define("Person", vec![], vec![Attribute::own("name", Type::varchar())])
+            .unwrap();
+        let te = TypeExpr::Set(Box::new(QualTypeExpr {
+            mode: Mode::OwnRef,
+            ty: TypeExpr::Named("Person".into()),
+        }));
+        assert_eq!(
+            lower_type(&te, &types, &adts).unwrap(),
+            Type::Set(Box::new(QualType::own_ref(Type::Schema(person))))
+        );
+        let te = TypeExpr::Array(Some(3), Box::new(QualTypeExpr {
+            mode: Mode::Own,
+            ty: TypeExpr::Char(8),
+        }));
+        assert_eq!(
+            lower_type(&te, &types, &adts).unwrap(),
+            Type::Array(Some(3), Box::new(QualType::own(Type::Base(BaseType::Char(8)))))
+        );
+    }
+}

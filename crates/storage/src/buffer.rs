@@ -1,0 +1,345 @@
+//! Buffer pool with clock (second-chance) replacement.
+//!
+//! All page access in the system goes through [`BufferPool::pin`], which
+//! returns a [`PinnedPage`] guard. While pinned, a page cannot be evicted;
+//! dropping the guard unpins it. Dirty pages are written back on eviction
+//! and on [`BufferPool::flush_all`]. The pool records hit/miss/eviction
+//! counters so the benchmark suite (experiment E9) can observe locality.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::PAGE_SIZE;
+use crate::volume::Volume;
+
+struct Frame {
+    page_no: u64,
+    data: RwLock<Box<[u8; PAGE_SIZE]>>,
+    dirty: AtomicBool,
+    pins: AtomicU32,
+    referenced: AtomicBool,
+}
+
+struct PoolState {
+    /// page_no → index into `frames`.
+    map: HashMap<u64, usize>,
+    frames: Vec<Option<Arc<Frame>>>,
+    hand: usize,
+}
+
+/// Monotonic counters describing pool behaviour.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Pins satisfied from the pool.
+    pub hits: u64,
+    /// Pins that required a volume read.
+    pub misses: u64,
+    /// Frames reclaimed by the clock hand.
+    pub evictions: u64,
+    /// Dirty pages written back.
+    pub writebacks: u64,
+}
+
+/// A buffer pool over a [`Volume`].
+pub struct BufferPool {
+    volume: Box<dyn Volume>,
+    capacity: usize,
+    state: Mutex<PoolState>,
+    /// Structure-modification locks, keyed by a structure's root page
+    /// (heap-file chain extension must be serialized per file).
+    smo_locks: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    writebacks: AtomicU64,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames over `volume`. Capacity is
+    /// clamped to at least 4 frames (some operations pin a few pages at
+    /// once).
+    pub fn new(volume: Box<dyn Volume>, capacity: usize) -> Self {
+        let capacity = capacity.max(4);
+        BufferPool {
+            volume,
+            capacity,
+            state: Mutex::new(PoolState {
+                map: HashMap::with_capacity(capacity),
+                frames: vec![None; capacity],
+                hand: 0,
+            }),
+            smo_locks: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The structure-modification lock for the structure rooted at
+    /// `root_page`. Chain/tree shape changes must hold this lock so
+    /// concurrent writers cannot orphan pages.
+    pub fn smo_lock(&self, root_page: u64) -> Arc<Mutex<()>> {
+        self.smo_locks
+            .lock()
+            .entry(root_page)
+            .or_insert_with(|| Arc::new(Mutex::new(())))
+            .clone()
+    }
+
+    /// Snapshot of the pool counters.
+    pub fn stats(&self) -> BufferStats {
+        BufferStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writebacks: self.writebacks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset the pool counters (benchmark harness convenience).
+    pub fn reset_stats(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+        self.writebacks.store(0, Ordering::Relaxed);
+    }
+
+    /// Pin a page, reading it from the volume on a miss.
+    pub fn pin(self: &Arc<Self>, page_no: u64) -> StorageResult<PinnedPage> {
+        let mut state = self.state.lock();
+        if let Some(&idx) = state.map.get(&page_no) {
+            let frame = state.frames[idx].as_ref().expect("mapped frame exists").clone();
+            frame.pins.fetch_add(1, Ordering::Relaxed);
+            frame.referenced.store(true, Ordering::Relaxed);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(PinnedPage {
+                pool: self.clone(),
+                frame,
+            });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let idx = self.find_victim(&mut state)?;
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        self.volume.read_page(page_no, &mut data[..])?;
+        let frame = Arc::new(Frame {
+            page_no,
+            data: RwLock::new(data),
+            dirty: AtomicBool::new(false),
+            pins: AtomicU32::new(1),
+            referenced: AtomicBool::new(true),
+        });
+        state.map.insert(page_no, idx);
+        state.frames[idx] = Some(frame.clone());
+        Ok(PinnedPage {
+            pool: self.clone(),
+            frame,
+        })
+    }
+
+    /// Allocate a fresh page on the volume and pin it (contents zeroed).
+    pub fn allocate(self: &Arc<Self>) -> StorageResult<PinnedPage> {
+        let page_no = self.volume.allocate_page()?;
+        let mut state = self.state.lock();
+        let idx = self.find_victim(&mut state)?;
+        let frame = Arc::new(Frame {
+            page_no,
+            data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
+            dirty: AtomicBool::new(true),
+            pins: AtomicU32::new(1),
+            referenced: AtomicBool::new(true),
+        });
+        state.map.insert(page_no, idx);
+        state.frames[idx] = Some(frame.clone());
+        Ok(PinnedPage {
+            pool: self.clone(),
+            frame,
+        })
+    }
+
+    /// Find a free or evictable frame index. Called with the state lock
+    /// held; may write back a dirty victim.
+    fn find_victim(&self, state: &mut PoolState) -> StorageResult<usize> {
+        // First pass: any empty frame.
+        if let Some(idx) = state.frames.iter().position(|f| f.is_none()) {
+            return Ok(idx);
+        }
+        // Clock: up to two sweeps (first clears reference bits).
+        let n = state.frames.len();
+        for _ in 0..2 * n {
+            let idx = state.hand;
+            state.hand = (state.hand + 1) % n;
+            let frame = state.frames[idx].as_ref().expect("full pool has no gaps");
+            if frame.pins.load(Ordering::Relaxed) > 0 {
+                continue;
+            }
+            if frame.referenced.swap(false, Ordering::Relaxed) {
+                continue;
+            }
+            // Victim found: write back if dirty, then drop.
+            if frame.dirty.load(Ordering::Relaxed) {
+                let data = frame.data.read();
+                self.volume.write_page(frame.page_no, &data[..])?;
+                frame.dirty.store(false, Ordering::Relaxed);
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            let page_no = frame.page_no;
+            state.map.remove(&page_no);
+            state.frames[idx] = None;
+            return Ok(idx);
+        }
+        Err(StorageError::PoolExhausted)
+    }
+
+    /// Write back every dirty page.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let state = self.state.lock();
+        for frame in state.frames.iter().flatten() {
+            if frame.dirty.load(Ordering::Relaxed) {
+                let data = frame.data.read();
+                self.volume.write_page(frame.page_no, &data[..])?;
+                frame.dirty.store(false, Ordering::Relaxed);
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of pages in the underlying volume.
+    pub fn volume_pages(&self) -> u64 {
+        self.volume.page_count()
+    }
+}
+
+/// A pinned page: access the bytes with [`PinnedPage::with_read`] /
+/// [`PinnedPage::with_write`]. The pin is released on drop.
+pub struct PinnedPage {
+    pool: Arc<BufferPool>,
+    frame: Arc<Frame>,
+}
+
+impl PinnedPage {
+    /// The page number this guard pins.
+    pub fn page_no(&self) -> u64 {
+        self.frame.page_no
+    }
+
+    /// Run `f` with shared access to the page bytes.
+    pub fn with_read<R>(&self, f: impl FnOnce(&[u8]) -> R) -> R {
+        let data = self.frame.data.read();
+        f(&data[..])
+    }
+
+    /// Run `f` with exclusive access to the page bytes; marks the page
+    /// dirty.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        let mut data = self.frame.data.write();
+        self.frame.dirty.store(true, Ordering::Relaxed);
+        f(&mut data[..])
+    }
+}
+
+impl Drop for PinnedPage {
+    fn drop(&mut self) {
+        self.frame.pins.fetch_sub(1, Ordering::Relaxed);
+        let _ = &self.pool; // keeps the pool alive while pages are pinned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::MemVolume;
+
+    fn pool(frames: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Box::new(MemVolume::new()), frames))
+    }
+
+    #[test]
+    fn pin_hit_and_miss_counters() {
+        let p = pool(8);
+        let page = p.allocate().unwrap();
+        let no = page.page_no();
+        drop(page);
+        let _a = p.pin(no).unwrap();
+        let _b = p.pin(no).unwrap();
+        let s = p.stats();
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 0);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let p = pool(4);
+        let mut pages = Vec::new();
+        for i in 0..12u8 {
+            let page = p.allocate().unwrap();
+            page.with_write(|buf| buf[0] = i);
+            pages.push(page.page_no());
+        }
+        // Re-read everything: evicted dirty pages must have been persisted.
+        for (i, &no) in pages.iter().enumerate() {
+            let page = p.pin(no).unwrap();
+            assert_eq!(page.with_read(|buf| buf[0]), i as u8);
+        }
+        assert!(p.stats().evictions > 0);
+        assert!(p.stats().writebacks > 0);
+    }
+
+    #[test]
+    fn pool_exhausted_when_all_pinned() {
+        let p = pool(4);
+        let _guards: Vec<_> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        assert!(matches!(p.allocate(), Err(StorageError::PoolExhausted)));
+    }
+
+    #[test]
+    fn flush_all_persists() {
+        let p = pool(8);
+        let page = p.allocate().unwrap();
+        let no = page.page_no();
+        page.with_write(|buf| buf[7] = 77);
+        drop(page);
+        p.flush_all().unwrap();
+        // Force eviction of the clean frame by filling the pool.
+        for _ in 0..16 {
+            let _ = p.allocate().unwrap();
+        }
+        let page = p.pin(no).unwrap();
+        assert_eq!(page.with_read(|buf| buf[7]), 77);
+    }
+
+    #[test]
+    fn concurrent_pins() {
+        let p = pool(16);
+        let page = p.allocate().unwrap();
+        let no = page.page_no();
+        page.with_write(|buf| buf[0] = 1);
+        drop(page);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    let page = p.pin(no).unwrap();
+                    page.with_write(|buf| buf[0] = buf[0].wrapping_add(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let page = p.pin(no).unwrap();
+        assert_eq!(page.with_read(|buf| buf[0]), 1u8.wrapping_add((8 * 1000) as u8));
+    }
+}

@@ -1,0 +1,64 @@
+//! Storage-level error type.
+
+use std::fmt;
+
+/// Errors raised by the storage manager.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An I/O error from a file-backed volume.
+    Io(std::io::Error),
+    /// A page number beyond the end of the volume.
+    PageOutOfBounds(u64),
+    /// A slot that does not exist or has been deleted.
+    InvalidSlot { page: u64, slot: u16 },
+    /// A record too large to fit on a page (use a large object instead).
+    RecordTooLarge(usize),
+    /// The buffer pool has no evictable frame (everything is pinned).
+    PoolExhausted,
+    /// An OID that was never allocated or has been destroyed.
+    UnknownOid(u64),
+    /// Structural corruption detected while reading a page.
+    Corrupt(String),
+    /// A B+-tree key already present when uniqueness was required.
+    DuplicateKey,
+    /// Read past the end of a large object.
+    LobOutOfBounds { offset: u64, len: u64 },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageOutOfBounds(p) => write!(f, "page {p} out of bounds"),
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "invalid slot {slot} on page {page}")
+            }
+            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes too large for a page"),
+            StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
+            StorageError::UnknownOid(o) => write!(f, "unknown oid {o}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt page: {m}"),
+            StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::LobOutOfBounds { offset, len } => {
+                write!(f, "large-object access at {offset} beyond length {len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type StorageResult<T> = Result<T, StorageError>;

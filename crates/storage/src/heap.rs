@@ -1,0 +1,362 @@
+//! Heap files: unordered collections of variable-length records.
+//!
+//! A heap file is identified by its header page ([`FileId`]). The header
+//! page records the first and last data pages; data pages form a doubly
+//! linked chain. Records are addressed by [`RecordId`] — `(page, slot)` —
+//! which stays valid until the record is deleted or moved by an update.
+//!
+//! Inserts go to the last page of the chain if the record fits, otherwise a
+//! new page is appended (first-fit on the tail keeps inserts O(1); the
+//! free-space of interior pages is reused only by in-page updates, which
+//! matches the simple space management the EXODUS-era storage managers
+//! shipped with).
+
+use std::sync::Arc;
+
+use crate::buffer::BufferPool;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{PageKind, PageView, SlottedPage, NO_PAGE};
+
+/// Identifies a heap file by its header page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u64);
+
+/// Identifies a record: the page it lives on and its slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page number.
+    pub page: u64,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Pack into a u64 (page in the high 48 bits, slot in the low 16) for
+    /// storage inside index entries.
+    pub fn pack(self) -> u64 {
+        (self.page << 16) | self.slot as u64
+    }
+
+    /// Inverse of [`RecordId::pack`].
+    pub fn unpack(v: u64) -> RecordId {
+        RecordId {
+            page: v >> 16,
+            slot: (v & 0xFFFF) as u16,
+        }
+    }
+}
+
+// Header-page body layout: first(8) | last(8) | record_count(8).
+const HB_FIRST: usize = 0;
+const HB_LAST: usize = 8;
+const HB_COUNT: usize = 16;
+
+fn body_get_u64(body: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&body[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn body_put_u64(body: &mut [u8], off: usize, v: u64) {
+    body[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// Handle to a heap file. Stateless: all state lives on pages.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapFile {
+    id: FileId,
+}
+
+impl HeapFile {
+    /// Create a new heap file, returning its id.
+    pub fn create(pool: &Arc<BufferPool>) -> StorageResult<FileId> {
+        let header = pool.allocate()?;
+        header.with_write(|buf| {
+            let mut p = SlottedPage::format(buf, PageKind::HeapHeader);
+            let body = p.body_mut();
+            body_put_u64(body, HB_FIRST, NO_PAGE);
+            body_put_u64(body, HB_LAST, NO_PAGE);
+            body_put_u64(body, HB_COUNT, 0);
+        });
+        Ok(FileId(header.page_no()))
+    }
+
+    /// Open an existing heap file by id.
+    pub fn open(id: FileId) -> HeapFile {
+        HeapFile { id }
+    }
+
+    /// The file's id.
+    pub fn id(&self) -> FileId {
+        self.id
+    }
+
+    /// Number of live records (maintained on the header page).
+    pub fn record_count(&self, pool: &Arc<BufferPool>) -> StorageResult<u64> {
+        let header = pool.pin(self.id.0)?;
+        Ok(header.with_read(|buf| body_get_u64(PageView::new(buf).body(), HB_COUNT)))
+    }
+
+    fn bump_count(&self, pool: &Arc<BufferPool>, delta: i64) -> StorageResult<()> {
+        let header = pool.pin(self.id.0)?;
+        header.with_write(|buf| {
+            let mut p = SlottedPage::new(buf);
+            let body = p.body_mut();
+            let c = body_get_u64(body, HB_COUNT) as i64 + delta;
+            body_put_u64(body, HB_COUNT, c.max(0) as u64);
+        });
+        Ok(())
+    }
+
+    /// Insert a record, returning its id. Serialized per file so chain
+    /// extension cannot orphan pages under concurrency.
+    pub fn insert(&self, pool: &Arc<BufferPool>, data: &[u8]) -> StorageResult<RecordId> {
+        if data.len() > SlottedPage::MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        let lock = pool.smo_lock(self.id.0);
+        let _guard = lock.lock();
+        let header = pool.pin(self.id.0)?;
+        let last = header.with_read(|buf| body_get_u64(PageView::new(buf).body(), HB_LAST));
+        if last != NO_PAGE {
+            let page = pool.pin(last)?;
+            let slot = page.with_write(|buf| {
+                let mut p = SlottedPage::new(buf);
+                if p.can_fit(data.len()) {
+                    Some(p.insert(data))
+                } else {
+                    None
+                }
+            });
+            if let Some(slot) = slot {
+                drop(header);
+                self.bump_count(pool, 1)?;
+                return Ok(RecordId { page: last, slot: slot? });
+            }
+        }
+        // Append a new data page to the chain.
+        let new_page = pool.allocate()?;
+        let new_no = new_page.page_no();
+        let slot = new_page.with_write(|buf| {
+            let mut p = SlottedPage::format(buf, PageKind::Heap);
+            p.set_prev(last);
+            p.insert(data)
+        })?;
+        if last != NO_PAGE {
+            let prev = pool.pin(last)?;
+            prev.with_write(|buf| SlottedPage::new(buf).set_next(new_no));
+        }
+        header.with_write(|buf| {
+            let mut p = SlottedPage::new(buf);
+            let body = p.body_mut();
+            if body_get_u64(body, HB_FIRST) == NO_PAGE {
+                body_put_u64(body, HB_FIRST, new_no);
+            }
+            body_put_u64(body, HB_LAST, new_no);
+        });
+        drop(header);
+        self.bump_count(pool, 1)?;
+        Ok(RecordId {
+            page: new_no,
+            slot,
+        })
+    }
+
+    /// Update a record. If the new value no longer fits on its page the
+    /// record is deleted and re-inserted, so the returned id may differ.
+    pub fn update(
+        &self,
+        pool: &Arc<BufferPool>,
+        rid: RecordId,
+        data: &[u8],
+    ) -> StorageResult<RecordId> {
+        let page = pool.pin(rid.page)?;
+        let fit = page.with_write(|buf| SlottedPage::new(buf).update(rid.page, rid.slot, data))?;
+        if fit {
+            return Ok(rid);
+        }
+        page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))?;
+        drop(page);
+        self.bump_count(pool, -1)?;
+        self.insert(pool, data)
+    }
+
+    /// Delete a record.
+    pub fn delete(&self, pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()> {
+        delete_record(pool, rid)?;
+        self.bump_count(pool, -1)
+    }
+
+    /// First data page of the chain, if any.
+    pub fn first_page(&self, pool: &Arc<BufferPool>) -> StorageResult<u64> {
+        let header = pool.pin(self.id.0)?;
+        Ok(header.with_read(|buf| body_get_u64(PageView::new(buf).body(), HB_FIRST)))
+    }
+
+    /// Iterate over all live records.
+    pub fn scan(&self, pool: Arc<BufferPool>) -> HeapScan {
+        HeapScan {
+            pool,
+            file: *self,
+            page: None,
+            slot: 0,
+            done: false,
+        }
+    }
+}
+
+/// Read one record by id (file-independent: the id names the page).
+pub fn read_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<Vec<u8>> {
+    let page = pool.pin(rid.page)?;
+    page.with_read(|buf| PageView::new(buf).read(rid.page, rid.slot).map(|r| r.to_vec()))
+}
+
+/// Delete one record by id without touching the file's record counter.
+/// Prefer [`HeapFile::delete`] when the file is known.
+pub fn delete_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()> {
+    let page = pool.pin(rid.page)?;
+    page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))
+}
+
+/// Iterator over `(RecordId, bytes)` pairs of a heap file.
+pub struct HeapScan {
+    pool: Arc<BufferPool>,
+    file: HeapFile,
+    /// Current page number; `None` before the first advance.
+    page: Option<u64>,
+    slot: u16,
+    done: bool,
+}
+
+impl Iterator for HeapScan {
+    type Item = StorageResult<(RecordId, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            let page_no = match self.page {
+                Some(p) => p,
+                None => {
+                    let first = match self.file.first_page(&self.pool) {
+                        Ok(p) => p,
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(e));
+                        }
+                    };
+                    if first == NO_PAGE {
+                        self.done = true;
+                        return None;
+                    }
+                    self.page = Some(first);
+                    self.slot = 0;
+                    first
+                }
+            };
+            let page = match self.pool.pin(page_no) {
+                Ok(p) => p,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            };
+            let found = page.with_read(|buf| {
+                let p = PageView::new(buf);
+                let n = p.slot_count();
+                while self.slot < n {
+                    let s = self.slot;
+                    self.slot += 1;
+                    if p.is_live(s) {
+                        let data = p.read(page_no, s).expect("live slot readable").to_vec();
+                        return Some((RecordId { page: page_no, slot: s }, data));
+                    }
+                }
+                None
+            });
+            if let Some(hit) = found {
+                return Some(Ok(hit));
+            }
+            // Advance to the next page in the chain.
+            let next = page.with_read(|buf| PageView::new(buf).next());
+            if next == NO_PAGE {
+                self.done = true;
+                return None;
+            }
+            self.page = Some(next);
+            self.slot = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::volume::MemVolume;
+
+    fn pool() -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(Box::new(MemVolume::new()), 32))
+    }
+
+    #[test]
+    fn spans_many_pages() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        let rec = vec![5u8; 1000];
+        let rids: Vec<_> = (0..100).map(|_| f.insert(&pool, &rec).unwrap()).collect();
+        let pages: std::collections::HashSet<u64> = rids.iter().map(|r| r.page).collect();
+        assert!(pages.len() > 1, "1000-byte × 100 records need multiple pages");
+        assert_eq!(f.record_count(&pool).unwrap(), 100);
+        assert_eq!(f.scan(pool.clone()).count(), 100);
+    }
+
+    #[test]
+    fn record_count_tracks_mutations() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        let a = f.insert(&pool, b"a").unwrap();
+        let _b = f.insert(&pool, b"b").unwrap();
+        assert_eq!(f.record_count(&pool).unwrap(), 2);
+        f.delete(&pool, a).unwrap();
+        assert_eq!(f.record_count(&pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn update_moving_record_keeps_count() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        // Nearly fill one page.
+        f.insert(&pool, &vec![0u8; 7000]).unwrap();
+        let small = f.insert(&pool, b"tiny").unwrap();
+        let moved = f.update(&pool, small, &vec![1u8; 5000]).unwrap();
+        assert_ne!(small.page, moved.page, "grown record must move off the full page");
+        assert_eq!(f.record_count(&pool).unwrap(), 2);
+        assert_eq!(read_record(&pool, moved).unwrap(), vec![1u8; 5000]);
+    }
+
+    #[test]
+    fn scan_empty_file() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        assert_eq!(f.scan(pool.clone()).count(), 0);
+    }
+
+    #[test]
+    fn two_files_are_independent() {
+        let pool = pool();
+        let f1 = HeapFile::open(HeapFile::create(&pool).unwrap());
+        let f2 = HeapFile::open(HeapFile::create(&pool).unwrap());
+        f1.insert(&pool, b"one").unwrap();
+        f2.insert(&pool, b"two").unwrap();
+        f2.insert(&pool, b"three").unwrap();
+        assert_eq!(f1.scan(pool.clone()).count(), 1);
+        assert_eq!(f2.scan(pool.clone()).count(), 2);
+    }
+
+    #[test]
+    fn rid_pack_round_trip() {
+        let rid = RecordId { page: 123456789, slot: 4321 };
+        assert_eq!(RecordId::unpack(rid.pack()), rid);
+    }
+}

@@ -1,0 +1,599 @@
+//! Slotted pages.
+//!
+//! Every page is [`PAGE_SIZE`] bytes. A page begins with a fixed header and
+//! a slot directory growing downward from the header while record bytes grow
+//! upward from the end of the page:
+//!
+//! ```text
+//! +-----------+----------------+ ... free ... +----------+----------+
+//! |  header   | slot0 slot1 …  |              | record1  | record0  |
+//! +-----------+----------------+--------------+----------+----------+
+//! ```
+//!
+//! Header layout (little-endian):
+//!
+//! | offset | size | field |
+//! |--------|------|-------|
+//! | 0      | 8    | `next` page in chain (`NO_PAGE` if none) |
+//! | 8      | 8    | `prev` page in chain |
+//! | 16     | 2    | slot count |
+//! | 18     | 2    | free-space pointer (offset of lowest record byte) |
+//! | 20     | 2    | page kind tag |
+//! | 22     | 2    | reserved |
+//!
+//! Each slot is 4 bytes: `offset: u16`, `len: u16`. A deleted slot has
+//! `offset == DEAD_SLOT`; slot ids are never reused within a page so record
+//! ids stay stable until compaction off-page.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Sentinel page number meaning "no page".
+pub const NO_PAGE: u64 = u64::MAX;
+/// Sentinel slot offset marking a deleted slot.
+const DEAD_SLOT: u16 = u16::MAX;
+
+const H_NEXT: usize = 0;
+const H_PREV: usize = 8;
+const H_NSLOTS: usize = 16;
+const H_FREE: usize = 18;
+const H_KIND: usize = 20;
+/// First byte past the fixed header; the slot directory starts here.
+pub const HEADER_SIZE: usize = 24;
+const SLOT_SIZE: usize = 4;
+
+/// Tags distinguishing what structure a page belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum PageKind {
+    /// Unallocated / freshly formatted.
+    Free = 0,
+    /// Heap-file data page.
+    Heap = 1,
+    /// Heap-file header page.
+    HeapHeader = 2,
+    /// B+-tree interior node.
+    BTreeInternal = 3,
+    /// B+-tree leaf node.
+    BTreeLeaf = 4,
+    /// Object-table directory page.
+    ObjectDir = 5,
+    /// Large-object data page.
+    Lob = 6,
+    /// Volume metadata (page 0).
+    Meta = 7,
+}
+
+impl PageKind {
+    fn from_u16(v: u16) -> PageKind {
+        match v {
+            1 => PageKind::Heap,
+            2 => PageKind::HeapHeader,
+            3 => PageKind::BTreeInternal,
+            4 => PageKind::BTreeLeaf,
+            5 => PageKind::ObjectDir,
+            6 => PageKind::Lob,
+            7 => PageKind::Meta,
+            _ => PageKind::Free,
+        }
+    }
+}
+
+/// A typed view over one page's bytes, providing slotted-record operations.
+///
+/// `SlottedPage` borrows the raw frame bytes; it performs no locking itself
+/// (the buffer pool's frame latch covers access).
+pub struct SlottedPage<'a> {
+    buf: &'a mut [u8],
+}
+
+/// Read-only counterpart to [`SlottedPage`]: usable on a shared borrow of
+/// the frame so readers never copy the page.
+pub struct PageView<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> PageView<'a> {
+    /// Wrap page bytes for reading.
+    pub fn new(buf: &'a [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        PageView { buf }
+    }
+
+    /// The page kind tag.
+    pub fn kind(&self) -> PageKind {
+        PageKind::from_u16(get_u16(self.buf, H_KIND))
+    }
+
+    /// Next page in this page's chain.
+    pub fn next(&self) -> u64 {
+        get_u64(self.buf, H_NEXT)
+    }
+
+    /// Previous page in this page's chain.
+    pub fn prev(&self) -> u64 {
+        get_u64(self.buf, H_PREV)
+    }
+
+    /// Number of slots ever allocated (live + dead).
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.buf, H_NSLOTS)
+    }
+
+    fn slot(&self, slot: u16) -> (u16, u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        (get_u16(self.buf, base), get_u16(self.buf, base + 2))
+    }
+
+    /// Whether a slot holds a live record.
+    pub fn is_live(&self, slot: u16) -> bool {
+        slot < self.slot_count() && self.slot(slot).0 != DEAD_SLOT
+    }
+
+    /// Read a record by slot id.
+    pub fn read(&self, page_no: u64, slot: u16) -> StorageResult<&'a [u8]> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::InvalidSlot { page: page_no, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if off == DEAD_SLOT {
+            return Err(StorageError::InvalidSlot { page: page_no, slot });
+        }
+        Ok(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Raw access to the area past the header.
+    pub fn body(&self) -> &'a [u8] {
+        &self.buf[HEADER_SIZE..]
+    }
+}
+
+fn get_u16(buf: &[u8], off: usize) -> u16 {
+    u16::from_le_bytes([buf[off], buf[off + 1]])
+}
+
+fn put_u16(buf: &mut [u8], off: usize, v: u16) {
+    buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Wrap existing page bytes. The caller must have formatted the page
+    /// (via [`SlottedPage::format`]) at some point.
+    pub fn new(buf: &'a mut [u8]) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        SlottedPage { buf }
+    }
+
+    /// Initialize an empty slotted page of the given kind.
+    pub fn format(buf: &'a mut [u8], kind: PageKind) -> Self {
+        debug_assert_eq!(buf.len(), PAGE_SIZE);
+        buf.fill(0);
+        put_u64(buf, H_NEXT, NO_PAGE);
+        put_u64(buf, H_PREV, NO_PAGE);
+        put_u16(buf, H_NSLOTS, 0);
+        put_u16(buf, H_FREE, PAGE_SIZE as u16);
+        put_u16(buf, H_KIND, kind as u16);
+        SlottedPage { buf }
+    }
+
+    /// The page kind tag.
+    pub fn kind(&self) -> PageKind {
+        PageKind::from_u16(get_u16(self.buf, H_KIND))
+    }
+
+    /// Set the page kind tag.
+    pub fn set_kind(&mut self, kind: PageKind) {
+        put_u16(self.buf, H_KIND, kind as u16);
+    }
+
+    /// Next page in this page's chain.
+    pub fn next(&self) -> u64 {
+        get_u64(self.buf, H_NEXT)
+    }
+
+    /// Set the next-page link.
+    pub fn set_next(&mut self, p: u64) {
+        put_u64(self.buf, H_NEXT, p);
+    }
+
+    /// Previous page in this page's chain.
+    pub fn prev(&self) -> u64 {
+        get_u64(self.buf, H_PREV)
+    }
+
+    /// Set the previous-page link.
+    pub fn set_prev(&mut self, p: u64) {
+        put_u64(self.buf, H_PREV, p);
+    }
+
+    /// Number of slots ever allocated on this page (live + dead).
+    pub fn slot_count(&self) -> u16 {
+        get_u16(self.buf, H_NSLOTS)
+    }
+
+    fn free_ptr(&self) -> u16 {
+        get_u16(self.buf, H_FREE)
+    }
+
+    fn slot_dir_end(&self) -> usize {
+        HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE
+    }
+
+    /// Bytes of contiguous free space available for one more record plus its
+    /// slot entry.
+    pub fn free_space(&self) -> usize {
+        (self.free_ptr() as usize)
+            .saturating_sub(self.slot_dir_end())
+            .saturating_sub(SLOT_SIZE)
+    }
+
+    /// Total reclaimable bytes (contiguous free space plus dead-record
+    /// space); a compaction makes it all contiguous.
+    pub fn reclaimable_space(&self) -> usize {
+        let mut dead = 0usize;
+        for s in 0..self.slot_count() {
+            let (off, len) = self.slot(s);
+            if off == DEAD_SLOT {
+                dead += len as usize;
+            }
+        }
+        self.free_space() + dead
+    }
+
+    fn slot(&self, slot: u16) -> (u16, u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        (get_u16(self.buf, base), get_u16(self.buf, base + 2))
+    }
+
+    fn set_slot(&mut self, slot: u16, off: u16, len: u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        put_u16(self.buf, base, off);
+        put_u16(self.buf, base + 2, len);
+    }
+
+    /// Largest record this (empty) page layout could hold.
+    pub const MAX_RECORD: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+    /// Insert a record, compacting if fragmented. Returns the slot id.
+    pub fn insert(&mut self, data: &[u8]) -> StorageResult<u16> {
+        if data.len() > Self::MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        if self.free_space() < data.len() {
+            if self.reclaimable_space() >= data.len() {
+                self.compact();
+            } else {
+                return Err(StorageError::RecordTooLarge(data.len()));
+            }
+        }
+        let slot = self.slot_count();
+        let new_free = self.free_ptr() as usize - data.len();
+        self.buf[new_free..new_free + data.len()].copy_from_slice(data);
+        put_u16(self.buf, H_FREE, new_free as u16);
+        put_u16(self.buf, H_NSLOTS, slot + 1);
+        self.set_slot(slot, new_free as u16, data.len() as u16);
+        Ok(slot)
+    }
+
+    /// Whether an insert of `len` bytes would succeed.
+    pub fn can_fit(&self, len: usize) -> bool {
+        len <= Self::MAX_RECORD && self.reclaimable_space() >= len && self.slot_count() < u16::MAX - 1
+    }
+
+    /// Read a record by slot id.
+    pub fn read(&self, page_no: u64, slot: u16) -> StorageResult<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::InvalidSlot { page: page_no, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if off == DEAD_SLOT {
+            return Err(StorageError::InvalidSlot { page: page_no, slot });
+        }
+        Ok(&self.buf[off as usize..off as usize + len as usize])
+    }
+
+    /// Whether a slot holds a live record.
+    pub fn is_live(&self, slot: u16) -> bool {
+        slot < self.slot_count() && self.slot(slot).0 != DEAD_SLOT
+    }
+
+    /// Delete a record. The slot id is not reused.
+    pub fn delete(&mut self, page_no: u64, slot: u16) -> StorageResult<()> {
+        if !self.is_live(slot) {
+            return Err(StorageError::InvalidSlot { page: page_no, slot });
+        }
+        let (_, len) = self.slot(slot);
+        self.set_slot(slot, DEAD_SLOT, len);
+        Ok(())
+    }
+
+    /// Update a record in place if the new data fits (possibly after
+    /// compaction); returns `false` if it cannot fit on this page, leaving
+    /// the old record intact.
+    pub fn update(&mut self, page_no: u64, slot: u16, data: &[u8]) -> StorageResult<bool> {
+        if !self.is_live(slot) {
+            return Err(StorageError::InvalidSlot { page: page_no, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if data.len() <= len as usize {
+            // Shrink in place; tail bytes become internal fragmentation
+            // reclaimed on the next compaction.
+            let start = off as usize;
+            self.buf[start..start + data.len()].copy_from_slice(data);
+            self.set_slot(slot, off, data.len() as u16);
+            return Ok(true);
+        }
+        // Need more room: logically delete, then try to re-insert reusing
+        // the same slot id.
+        self.set_slot(slot, DEAD_SLOT, len);
+        if self.free_space() + SLOT_SIZE < data.len() {
+            if self.reclaimable_space() + SLOT_SIZE >= data.len() {
+                self.compact();
+            } else {
+                // Restore and report no-fit.
+                self.set_slot(slot, off, len);
+                return Ok(false);
+            }
+        }
+        if self.free_space() + SLOT_SIZE < data.len() {
+            self.set_slot(slot, off, len);
+            return Ok(false);
+        }
+        let new_free = self.free_ptr() as usize - data.len();
+        self.buf[new_free..new_free + data.len()].copy_from_slice(data);
+        put_u16(self.buf, H_FREE, new_free as u16);
+        self.set_slot(slot, new_free as u16, data.len() as u16);
+        Ok(true)
+    }
+
+    /// Slide all live records to the end of the page, squeezing out dead
+    /// space. Slot ids are preserved.
+    pub fn compact(&mut self) {
+        let n = self.slot_count();
+        let mut live: Vec<(u16, u16, u16)> = Vec::with_capacity(n as usize);
+        for s in 0..n {
+            let (off, len) = self.slot(s);
+            if off != DEAD_SLOT {
+                live.push((s, off, len));
+            }
+        }
+        // Copy records out, then lay them back in from the top.
+        let mut scratch: Vec<(u16, Vec<u8>)> = live
+            .iter()
+            .map(|&(s, off, len)| (s, self.buf[off as usize..(off + len) as usize].to_vec()))
+            .collect();
+        let mut free = PAGE_SIZE;
+        for (s, data) in scratch.drain(..) {
+            free -= data.len();
+            self.buf[free..free + data.len()].copy_from_slice(&data);
+            self.set_slot(s, free as u16, data.len() as u16);
+        }
+        put_u16(self.buf, H_FREE, free as u16);
+        // Mark dead slots as zero-length so reclaimable_space stays exact.
+        for s in 0..n {
+            let (off, _) = self.slot(s);
+            if off == DEAD_SLOT {
+                self.set_slot(s, DEAD_SLOT, 0);
+            }
+        }
+    }
+
+    /// Count of live records on the page.
+    pub fn live_count(&self) -> usize {
+        (0..self.slot_count()).filter(|&s| self.is_live(s)).count()
+    }
+
+    /// Raw access to the area past the header, for non-slotted page kinds
+    /// (B+-tree nodes, object directory, LOB pages manage their own layout).
+    pub fn body(&self) -> &[u8] {
+        &self.buf[HEADER_SIZE..]
+    }
+
+    /// Mutable raw access to the area past the header.
+    pub fn body_mut(&mut self) -> &mut [u8] {
+        &mut self.buf[HEADER_SIZE..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Box<[u8; PAGE_SIZE]> {
+        Box::new([0u8; PAGE_SIZE])
+    }
+
+    #[test]
+    fn insert_read_delete() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        let s0 = p.insert(b"alpha").unwrap();
+        let s1 = p.insert(b"beta").unwrap();
+        assert_eq!(p.read(0, s0).unwrap(), b"alpha");
+        assert_eq!(p.read(0, s1).unwrap(), b"beta");
+        p.delete(0, s0).unwrap();
+        assert!(p.read(0, s0).is_err());
+        assert_eq!(p.read(0, s1).unwrap(), b"beta");
+        assert_eq!(p.live_count(), 1);
+    }
+
+    #[test]
+    fn fill_page_then_overflow() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        let rec = [7u8; 100];
+        let mut n = 0;
+        while p.can_fit(rec.len()) {
+            p.insert(&rec).unwrap();
+            n += 1;
+        }
+        assert!(n >= 70, "expected dozens of 100-byte records, got {n}");
+        assert!(p.insert(&rec).is_err());
+    }
+
+    #[test]
+    fn compaction_reclaims_dead_space() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        let mut slots = Vec::new();
+        let rec = [1u8; 200];
+        while p.can_fit(rec.len()) {
+            slots.push(p.insert(&rec).unwrap());
+        }
+        // Delete every other record, then a large record must still fit via
+        // compaction.
+        for (i, s) in slots.iter().enumerate() {
+            if i % 2 == 0 {
+                p.delete(0, *s).unwrap();
+            }
+        }
+        let big = vec![9u8; 1500];
+        assert!(p.can_fit(big.len()));
+        let s = p.insert(&big).unwrap();
+        assert_eq!(p.read(0, s).unwrap(), &big[..]);
+        // Survivors unchanged.
+        for (i, s) in slots.iter().enumerate() {
+            if i % 2 == 1 {
+                assert_eq!(p.read(0, *s).unwrap(), &rec[..]);
+            }
+        }
+    }
+
+    #[test]
+    fn update_grow_and_shrink() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        let s = p.insert(b"short").unwrap();
+        assert!(p.update(0, s, b"a considerably longer record body").unwrap());
+        assert_eq!(p.read(0, s).unwrap(), b"a considerably longer record body");
+        assert!(p.update(0, s, b"x").unwrap());
+        assert_eq!(p.read(0, s).unwrap(), b"x");
+    }
+
+    #[test]
+    fn update_no_fit_keeps_original() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        let filler = vec![0u8; 4000];
+        p.insert(&filler).unwrap();
+        let s = p.insert(&filler[..3000]).unwrap();
+        // Growing to 6000 cannot fit alongside the 4000-byte filler.
+        assert!(!p.update(0, s, &vec![1u8; 6000]).unwrap());
+        assert_eq!(p.read(0, s).unwrap().len(), 3000);
+    }
+
+    #[test]
+    fn chain_links_round_trip() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        assert_eq!(p.next(), NO_PAGE);
+        p.set_next(42);
+        p.set_prev(7);
+        assert_eq!(p.next(), 42);
+        assert_eq!(p.prev(), 7);
+        assert_eq!(p.kind(), PageKind::Heap);
+    }
+
+    #[test]
+    fn record_too_large_rejected() {
+        let mut buf = fresh();
+        let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
+        assert!(matches!(
+            p.insert(&vec![0u8; PAGE_SIZE]),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(Vec<u8>),
+        Delete(usize),
+        Update(usize, Vec<u8>),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            proptest::collection::vec(any::<u8>(), 0..300).prop_map(Op::Insert),
+            (0usize..64).prop_map(Op::Delete),
+            ((0usize..64), proptest::collection::vec(any::<u8>(), 0..300))
+                .prop_map(|(s, d)| Op::Update(s, d)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Random insert/delete/update sequences agree with a Vec model,
+        /// and all live records survive compaction.
+        #[test]
+        fn page_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+            let mut buf = Box::new([0u8; PAGE_SIZE]);
+            let mut page = SlottedPage::format(&mut buf[..], PageKind::Heap);
+            // model[slot] = Some(bytes) while live.
+            let mut model: Vec<Option<Vec<u8>>> = Vec::new();
+            for op in ops {
+                match op {
+                    Op::Insert(data) => {
+                        if page.can_fit(data.len()) {
+                            let slot = page.insert(&data).unwrap();
+                            prop_assert_eq!(slot as usize, model.len());
+                            model.push(Some(data));
+                        }
+                    }
+                    Op::Delete(i) => {
+                        if model.is_empty() { continue; }
+                        let slot = i % model.len();
+                        let expect_ok = model[slot].is_some();
+                        let got = page.delete(0, slot as u16).is_ok();
+                        prop_assert_eq!(got, expect_ok);
+                        model[slot] = None;
+                    }
+                    Op::Update(i, data) => {
+                        if model.is_empty() { continue; }
+                        let slot = i % model.len();
+                        if model[slot].is_none() {
+                            prop_assert!(page.update(0, slot as u16, &data).is_err());
+                            continue;
+                        }
+                        match page.update(0, slot as u16, &data) {
+                            Ok(true) => { model[slot] = Some(data); }
+                            Ok(false) => { /* no room; record unchanged */ }
+                            Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                        }
+                    }
+                }
+                // Full-state check.
+                for (slot, expect) in model.iter().enumerate() {
+                    match expect {
+                        Some(data) => prop_assert_eq!(page.read(0, slot as u16).unwrap(), &data[..]),
+                        None => prop_assert!(page.read(0, slot as u16).is_err()),
+                    }
+                }
+            }
+            // Compaction preserves every live record.
+            page.compact();
+            for (slot, expect) in model.iter().enumerate() {
+                if let Some(data) = expect {
+                    prop_assert_eq!(page.read(0, slot as u16).unwrap(), &data[..]);
+                }
+            }
+        }
+    }
+}

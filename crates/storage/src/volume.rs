@@ -1,0 +1,202 @@
+//! Volumes: the raw page space underneath the buffer pool.
+//!
+//! A volume stores a linear array of [`crate::page::PAGE_SIZE`]
+//! pages, addressed by page number. Two implementations are provided: an
+//! in-memory volume (the common case for tests and benchmarks) and a
+//! file-backed volume. Page 0 of every volume is reserved for metadata
+//! (allocation state and the free-page list head).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::PAGE_SIZE;
+
+/// Abstract page store. Implementations must be internally synchronized;
+/// the buffer pool calls them from multiple threads.
+pub trait Volume: Send + Sync {
+    /// Read page `page_no` into `buf` (exactly `PAGE_SIZE` bytes).
+    fn read_page(&self, page_no: u64, buf: &mut [u8]) -> StorageResult<()>;
+    /// Write `buf` to page `page_no`.
+    fn write_page(&self, page_no: u64, buf: &[u8]) -> StorageResult<()>;
+    /// Extend the volume by one page, returning its number.
+    fn allocate_page(&self) -> StorageResult<u64>;
+    /// Number of pages in the volume (allocated high-water mark).
+    fn page_count(&self) -> u64;
+}
+
+/// A purely in-memory volume.
+pub struct MemVolume {
+    pages: Mutex<Vec<Box<[u8; PAGE_SIZE]>>>,
+}
+
+impl MemVolume {
+    /// Create an empty in-memory volume (one reserved metadata page).
+    pub fn new() -> Self {
+        let v = MemVolume {
+            pages: Mutex::new(Vec::new()),
+        };
+        v.allocate_page().expect("in-memory allocation cannot fail");
+        v
+    }
+}
+
+impl Default for MemVolume {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Volume for MemVolume {
+    fn read_page(&self, page_no: u64, buf: &mut [u8]) -> StorageResult<()> {
+        let pages = self.pages.lock();
+        let page = pages
+            .get(page_no as usize)
+            .ok_or(StorageError::PageOutOfBounds(page_no))?;
+        buf.copy_from_slice(&page[..]);
+        Ok(())
+    }
+
+    fn write_page(&self, page_no: u64, buf: &[u8]) -> StorageResult<()> {
+        let mut pages = self.pages.lock();
+        let page = pages
+            .get_mut(page_no as usize)
+            .ok_or(StorageError::PageOutOfBounds(page_no))?;
+        page.copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> StorageResult<u64> {
+        let mut pages = self.pages.lock();
+        pages.push(Box::new([0u8; PAGE_SIZE]));
+        Ok(pages.len() as u64 - 1)
+    }
+
+    fn page_count(&self) -> u64 {
+        self.pages.lock().len() as u64
+    }
+}
+
+/// A file-backed volume. Pages live at `page_no * PAGE_SIZE` in the file.
+pub struct FileVolume {
+    file: Mutex<File>,
+    page_count: Mutex<u64>,
+}
+
+impl FileVolume {
+    /// Open (or create) a volume file. An existing file must be a whole
+    /// number of pages long.
+    pub fn open(path: &Path) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "volume file length {len} is not a multiple of the page size"
+            )));
+        }
+        let v = FileVolume {
+            file: Mutex::new(file),
+            page_count: Mutex::new(len / PAGE_SIZE as u64),
+        };
+        if v.page_count() == 0 {
+            v.allocate_page()?; // metadata page
+        }
+        Ok(v)
+    }
+}
+
+impl Volume for FileVolume {
+    fn read_page(&self, page_no: u64, buf: &mut [u8]) -> StorageResult<()> {
+        if page_no >= self.page_count() {
+            return Err(StorageError::PageOutOfBounds(page_no));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        file.read_exact(buf)?;
+        Ok(())
+    }
+
+    fn write_page(&self, page_no: u64, buf: &[u8]) -> StorageResult<()> {
+        if page_no >= self.page_count() {
+            return Err(StorageError::PageOutOfBounds(page_no));
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn allocate_page(&self) -> StorageResult<u64> {
+        let mut count = self.page_count.lock();
+        let page_no = *count;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
+        file.write_all(&[0u8; PAGE_SIZE])?;
+        *count += 1;
+        Ok(page_no)
+    }
+
+    fn page_count(&self) -> u64 {
+        *self.page_count.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_volume_round_trip() {
+        let v = MemVolume::new();
+        let p = v.allocate_page().unwrap();
+        let mut data = [0u8; PAGE_SIZE];
+        data[0] = 0xAB;
+        data[PAGE_SIZE - 1] = 0xCD;
+        v.write_page(p, &data).unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        v.read_page(p, &mut out).unwrap();
+        assert_eq!(out[0], 0xAB);
+        assert_eq!(out[PAGE_SIZE - 1], 0xCD);
+    }
+
+    #[test]
+    fn mem_volume_out_of_bounds() {
+        let v = MemVolume::new();
+        let mut buf = [0u8; PAGE_SIZE];
+        assert!(matches!(
+            v.read_page(99, &mut buf),
+            Err(StorageError::PageOutOfBounds(99))
+        ));
+    }
+
+    #[test]
+    fn file_volume_round_trip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("exodus-vol-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("vol.db");
+        let _ = std::fs::remove_file(&path);
+        {
+            let v = FileVolume::open(&path).unwrap();
+            let p = v.allocate_page().unwrap();
+            let mut data = [0u8; PAGE_SIZE];
+            data[100] = 42;
+            v.write_page(p, &data).unwrap();
+        }
+        {
+            let v = FileVolume::open(&path).unwrap();
+            assert_eq!(v.page_count(), 2);
+            let mut out = [0u8; PAGE_SIZE];
+            v.read_page(1, &mut out).unwrap();
+            assert_eq!(out[100], 42);
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,126 @@
+//! Engineering-design database: the application domain that motivated
+//! EXODUS's extensibility (geometric data \[Kemp87\], design hierarchies,
+//! and "queries such as those needed to compute design costs or to order
+//! parts for assembling a design object" \[Ston87c\]).
+//!
+//! Demonstrates: the `Polygon` ADT with its registered `&&&` (overlaps)
+//! operator, fixed-length arrays, `own ref` composition hierarchies with
+//! cascade deletion, and cost-rollup aggregates.
+//!
+//! Run with: `cargo run --example engineering_design`
+
+use extra_excess::{model::AdtRegistry, Database};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let db = Database::in_memory();
+    let mut s = db.session();
+    let adts = AdtRegistry::with_builtins();
+
+    // A design is composed of cells it exclusively owns (`own ref`:
+    // deleting a design deletes its cells — ORION composite objects).
+    // Cells reference a shared part library (`ref`).
+    s.run(r#"
+        define type Part (
+            pname: varchar,
+            unit_cost: float8,
+            stock: int4
+        );
+        define type Cell (
+            cname: varchar,
+            outline: Polygon,
+            part: ref Part,
+            quantity: int4
+        );
+        define type Design (
+            dname: varchar,
+            revision: int4,
+            cells: { own ref Cell },
+            checkpoints: [4] varchar
+        );
+        create { own ref Part } Parts;
+        create { own ref Design } Designs;
+    "#)?;
+
+    s.run(r#"
+        append to Parts (pname = "nand-gate", unit_cost = 0.12, stock = 5000);
+        append to Parts (pname = "flip-flop", unit_cost = 0.45, stock = 1200);
+        append to Parts (pname = "pad", unit_cost = 1.5, stock = 300);
+
+        append to Designs (dname = "alu", revision = 3);
+        append to Designs (dname = "uart", revision = 1);
+    "#)?;
+
+    // Place cells: geometry via the Polygon ADT.
+    s.run(r#"
+        range of D is Designs;
+        range of P is Parts;
+        append to D.cells (cname = "alu-core", outline = Polygon("((0 0) (40 0) (40 30) (0 30))"), quantity = 64)
+            where D.dname = "alu";
+        append to D.cells (cname = "alu-pads", outline = Polygon("((35 0) (60 0) (60 30) (35 30))"), quantity = 8)
+            where D.dname = "alu";
+        append to D.cells (cname = "uart-core", outline = Polygon("((0 0) (20 0) (20 10) (0 10))"), quantity = 12)
+            where D.dname = "uart";
+    "#)?;
+    // Wire cells to parts.
+    s.run(r#"
+        range of D is Designs;
+        range of C is D.cells;
+        range of P is Parts;
+        replace C (part = P) where C.cname = "alu-core" and P.pname = "nand-gate";
+        replace C (part = P) where C.cname = "alu-pads" and P.pname = "pad";
+        replace C (part = P) where C.cname = "uart-core" and P.pname = "flip-flop";
+    "#)?;
+
+    // --- Geometric queries through ADT functions and the &&& operator ----
+    let r = s.query(
+        "retrieve (C.cname, area = Area(C.outline)) from C in Designs.cells \
+         order by Area(C.outline) desc",
+    )?;
+    println!("cell areas (shoelace formula inside the ADT):\n{}", r.render(&adts));
+
+    // Design-rule check: cells of the *same* design that overlap. C and C2
+    // share the implicit Designs member (the paper's shared-parent
+    // semantics for nested-set paths), so pairs never cross designs.
+    let r = s.query(
+        "retrieve (a = C.cname, b = C2.cname) \
+         from C in Designs.cells, C2 in Designs.cells \
+         where C.outline &&& C2.outline and C.cname < C2.cname",
+    )?;
+    println!("DRC violations — overlapping cells (registered &&& operator):\n{}", r.render(&adts));
+
+    // --- The design-cost query [Ston87c] -----------------------------------
+    let r = s.query(
+        "retrieve (D.dname, cost = sum(C.quantity * C.part.unit_cost over C where C in D.cells)) \
+         from D in Designs order by D.dname asc",
+    )?;
+    println!("design cost rollup:\n{}", r.render(&adts));
+
+    // --- Ordering parts: which parts are under-stocked for assembly? -------
+    let r = s.query(
+        "retrieve (P.pname, needed = sum(C.quantity over C where C.part is P), stock = P.stock) \
+         from P in Parts",
+    )?;
+    println!("per-part demand vs stock:\n{}", r.render(&adts));
+
+    // --- Revision bookkeeping through arrays --------------------------------
+    s.run(r#"
+        range of D is Designs;
+        replace D (revision = D.revision + 1) where D.dname = "alu"
+    "#)?;
+    let r = s.query(r#"retrieve (D.revision) from D in Designs where D.dname = "alu""#)?;
+    println!("alu revision after bump:\n{}", r.render(&adts));
+
+    // --- Composite deletion: a design takes its cells with it ---------------
+    let before = s.query("retrieve (count(C over C)) from C in Designs.cells")?;
+    s.run(r#"range of D is Designs; delete D where D.dname = "uart""#)?;
+    let after = s.query("retrieve (count(C over C)) from C in Designs.cells")?;
+    println!(
+        "cells before deleting uart: {}, after: {} (own-ref cascade)",
+        before.rows[0][0], after.rows[0][0]
+    );
+    // The shared part library is untouched (parts were `ref`, not owned).
+    let parts = s.query("retrieve (count(P over P)) from P in Parts")?;
+    println!("parts remaining: {}", parts.rows[0][0]);
+
+    Ok(())
+}

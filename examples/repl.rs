@@ -1,0 +1,80 @@
+//! An interactive EXCESS shell.
+//!
+//! ```text
+//! cargo run --example repl
+//! excess> define type Person (name: varchar, age: int4)
+//! type Person defined
+//! excess> create { own ref Person } People key (age)
+//! People created
+//! excess> append to People (name = "ann", age = 30)
+//! appended 1 to People
+//! excess> retrieve (P.name) from P in People where P.age > 20
+//! name = "ann"
+//! ```
+//!
+//! Commands: `\q` quit, `\explain <query>` show the physical plan,
+//! `\user <name>` switch user.
+
+use std::io::{BufRead, Write};
+
+use extra_excess::{model::AdtRegistry, Database, Response};
+
+fn main() {
+    let db = Database::in_memory();
+    let mut session = db.session();
+    let adts = AdtRegistry::with_builtins();
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+
+    println!("EXTRA/EXCESS shell — \\q to quit, \\explain <query> for plans");
+    loop {
+        print!("excess> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("input error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\q" {
+            break;
+        }
+        if let Some(user) = line.strip_prefix("\\user ") {
+            session = db.session_as(user.trim());
+            println!("now acting as {}", session.user);
+            continue;
+        }
+        if let Some(q) = line.strip_prefix("\\explain ") {
+            match session.explain(q) {
+                Ok(plan) => print!("{plan}"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        match session.run(line) {
+            Ok(responses) => {
+                for r in responses {
+                    match r {
+                        Response::Done(msg) => println!("{msg}"),
+                        Response::Rows(rows) => {
+                            if rows.is_empty() {
+                                println!("(no rows)");
+                            } else {
+                                print!("{}", rows.render(&adts));
+                                println!("({} rows)", rows.len());
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # extra-excess
+//!
+//! A faithful, production-quality reproduction of **"A Data Model and
+//! Query Language for EXODUS"** (Michael J. Carey, David J. DeWitt, and
+//! Scott L. Vandenberg, SIGMOD 1988): the **EXTRA** data model and the
+//! **EXCESS** query language, built on an EXODUS-style storage manager.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`storage`] | slotted pages, buffer pool, heap files, object table, B+-tree, large objects |
+//! | [`model`] | the EXTRA data model: types, ADTs, inheritance, values, object store |
+//! | [`lang`] | the EXCESS front end: lexer, parser, AST |
+//! | [`sema`] | name resolution and type checking |
+//! | [`algebra`] | query algebra, rewrite rules, cost-based physical planner |
+//! | [`exec`] | compiled expressions and the plan runner |
+//! | [`db`] | the database facade: catalog, sessions, functions, procedures, authorization |
+//!
+//! Most users only need [`Database`]:
+//!
+//! ```
+//! use extra_excess::Database;
+//!
+//! let db = Database::in_memory();
+//! let mut session = db.session();
+//! session.run(r#"
+//!     define type Person (name: varchar, birthday: Date);
+//!     create { own ref Person } People;
+//!     append to People (name = "ann", birthday = Date("8/29/1953"));
+//! "#).unwrap();
+//! let rows = session.query(
+//!     r#"retrieve (P.name) from P in People
+//!        where P.birthday < Date("1/1/1960")"#).unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+pub use exodus_db as db;
+pub use exodus_db::{Database, DbError, DbResult, QueryResult, Response, Session, Value};
+pub use exodus_storage as storage;
+pub use extra_model as model;
+pub use excess_lang as lang;
+pub use excess_sema as sema;
+pub use excess_algebra as algebra;
+pub use excess_exec as exec;
