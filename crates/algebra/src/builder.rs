@@ -10,7 +10,13 @@ use crate::rules::{conjuncts, free_vars};
 /// all ranges stacked in dependency order, one big selection, universal
 /// selection, sort, projection.
 pub fn build_logical(stmt: &Stmt, checked: &CheckedRetrieve) -> SemaResult<Logical> {
-    let Stmt::Retrieve { targets, qual, order_by, .. } = stmt else {
+    let Stmt::Retrieve {
+        targets,
+        qual,
+        order_by,
+        ..
+    } = stmt
+    else {
         return Err(SemaError::Other("build_logical expects a retrieve".into()));
     };
 
@@ -20,7 +26,10 @@ pub fn build_logical(stmt: &Stmt, checked: &CheckedRetrieve) -> SemaResult<Logic
 
     let mut plan = Logical::Unit;
     for b in existential {
-        plan = Logical::Range { input: Box::new(plan), binding: b };
+        plan = Logical::Range {
+            input: Box::new(plan),
+            binding: b,
+        };
     }
 
     // Split the qualification: conjuncts touching universal variables
@@ -31,24 +40,31 @@ pub fn build_logical(stmt: &Stmt, checked: &CheckedRetrieve) -> SemaResult<Logic
         for c in conjuncts(q) {
             let vars = free_vars(&c);
             let is_universal = vars.iter().any(|v| universal_vars.contains(v));
-            let slot = if is_universal { &mut universal_pred } else { &mut existential_pred };
+            let slot = if is_universal {
+                &mut universal_pred
+            } else {
+                &mut existential_pred
+            };
             *slot = Some(match slot.take() {
                 None => c,
-                Some(prev) => Expr::Binary(
-                    excess_lang::BinOp::And,
-                    Box::new(prev),
-                    Box::new(c),
-                ),
+                Some(prev) => Expr::Binary(excess_lang::BinOp::And, Box::new(prev), Box::new(c)),
             });
         }
     }
     if let Some(p) = existential_pred {
-        plan = Logical::Select { input: Box::new(plan), pred: p };
+        plan = Logical::Select {
+            input: Box::new(plan),
+            pred: p,
+        };
     }
     match (universal.is_empty(), universal_pred) {
         (true, None) => {}
         (false, Some(p)) => {
-            plan = Logical::UniversalSelect { input: Box::new(plan), bindings: universal, pred: p };
+            plan = Logical::UniversalSelect {
+                input: Box::new(plan),
+                bindings: universal,
+                pred: p,
+            };
         }
         (false, None) => {
             // A universal range with no constraining predicate is vacuous.
@@ -57,7 +73,11 @@ pub fn build_logical(stmt: &Stmt, checked: &CheckedRetrieve) -> SemaResult<Logic
     }
 
     if let Some((key, asc)) = order_by {
-        plan = Logical::Sort { input: Box::new(plan), key: key.clone(), asc: *asc };
+        plan = Logical::Sort {
+            input: Box::new(plan),
+            key: key.clone(),
+            asc: *asc,
+        };
     }
 
     let named: Vec<(String, Expr)> = checked
@@ -66,5 +86,8 @@ pub fn build_logical(stmt: &Stmt, checked: &CheckedRetrieve) -> SemaResult<Logic
         .zip(targets.iter())
         .map(|((name, _), t)| (name.clone(), t.expr.clone()))
         .collect();
-    Ok(Logical::Project { input: Box::new(plan), targets: named })
+    Ok(Logical::Project {
+        input: Box::new(plan),
+        targets: named,
+    })
 }

@@ -5,6 +5,13 @@
 //! default. The estimates only need to rank alternatives consistently
 //! (scan vs index, join orders); the benchmark suite (experiment E8)
 //! checks the rankings, not the absolute numbers.
+//!
+//! The executor is batched (see `excess-exec`): operators exchange
+//! [`BATCH_ROWS`]-row column batches, so an operator's cost has a
+//! dominant per-row term plus a small per-batch dispatch term
+//! ([`batch_overhead`]). The per-batch term is kept small and monotone
+//! in cardinality so it refines absolute estimates without flipping any
+//! ranking the per-row terms establish.
 
 use excess_lang::{BinOp, Expr};
 use excess_sema::{CatalogLookup, ResolvedRange, RootSource};
@@ -22,6 +29,18 @@ pub const SEL_EQ: f64 = 0.05;
 pub const SEL_RANGE: f64 = 0.33;
 /// Selectivity of any other predicate.
 pub const SEL_OTHER: f64 = 0.5;
+/// Rows per execution batch assumed by the cost model (mirrors the
+/// executor's default batch size).
+pub const BATCH_ROWS: f64 = 1024.0;
+/// Fixed cost of pushing one batch through an operator (cursor dispatch,
+/// column bookkeeping) — small relative to one row's worth of work.
+pub const COST_PER_BATCH: f64 = 0.1;
+
+/// Amortized per-batch dispatch overhead for a stream of `rows` rows: at
+/// least one batch, then one more per [`BATCH_ROWS`] rows.
+pub fn batch_overhead(rows: f64) -> f64 {
+    (rows / BATCH_ROWS).ceil().max(1.0) * COST_PER_BATCH
+}
 
 /// Estimated selectivity of a predicate.
 pub fn selectivity(pred: &Expr) -> f64 {
@@ -39,7 +58,10 @@ pub fn selectivity(pred: &Expr) -> f64 {
 pub fn binding_cardinality(b: &ResolvedRange, catalog: &dyn CatalogLookup) -> f64 {
     match &b.root {
         RootSource::Collection(obj) => {
-            let base = catalog.collection_size(&obj.name).map(|n| n as f64).unwrap_or(DEFAULT_SIZE);
+            let base = catalog
+                .collection_size(&obj.name)
+                .map(|n| n as f64)
+                .unwrap_or(DEFAULT_SIZE);
             // Steps beyond the collection unnest one nested set.
             if b.steps.is_empty() {
                 base
@@ -63,7 +85,12 @@ pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
     match plan {
         Physical::Unit => 1.0,
         Physical::SeqScan { binding } => binding_cardinality(binding, catalog),
-        Physical::IndexScan { binding, lower, upper, .. } => {
+        Physical::IndexScan {
+            binding,
+            lower,
+            upper,
+            ..
+        } => {
             let base = binding_cardinality(binding, catalog);
             let sel = match (lower, upper) {
                 (std::ops::Bound::Included(a), std::ops::Bound::Included(b)) if a == b => SEL_EQ,
@@ -90,32 +117,51 @@ pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
     }
 }
 
-/// Estimated cost (abstract units ≈ member visits).
+/// Estimated cost (abstract units ≈ member visits). Each operator pays
+/// its per-row work plus [`batch_overhead`] for the batches it emits.
 pub fn cost(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
     match plan {
         Physical::Unit => 0.0,
-        Physical::SeqScan { binding } => binding_cardinality(binding, catalog),
+        Physical::SeqScan { binding } => {
+            let n = binding_cardinality(binding, catalog);
+            n + batch_overhead(n)
+        }
         Physical::IndexScan { binding, .. } => {
             let n = binding_cardinality(binding, catalog).max(2.0);
-            n.log2() + cardinality(plan, catalog)
+            let out = cardinality(plan, catalog);
+            n.log2() + out + batch_overhead(out)
         }
         Physical::Unnest { input, binding } => {
-            cost(input, catalog)
-                + cardinality(input, catalog) * binding_cardinality(binding, catalog)
+            let out = cardinality(input, catalog) * binding_cardinality(binding, catalog);
+            cost(input, catalog) + out + batch_overhead(out)
         }
         Physical::NestedLoop { outer, inner } => {
-            cost(outer, catalog) + cardinality(outer, catalog) * cost(inner, catalog)
+            let out = cardinality(plan, catalog);
+            cost(outer, catalog)
+                + cardinality(outer, catalog) * cost(inner, catalog)
+                + batch_overhead(out)
         }
-        Physical::Filter { input, .. } => cost(input, catalog) + cardinality(input, catalog),
-        Physical::UniversalFilter { input, bindings, .. } => {
-            let universe: f64 =
-                bindings.iter().map(|b| binding_cardinality(b, catalog)).product();
-            cost(input, catalog) + cardinality(input, catalog) * universe
+        Physical::Filter { input, .. } => {
+            let n = cardinality(input, catalog);
+            cost(input, catalog) + n + batch_overhead(n)
         }
-        Physical::Project { input, .. } => cost(input, catalog) + cardinality(input, catalog),
+        Physical::UniversalFilter {
+            input, bindings, ..
+        } => {
+            let universe: f64 = bindings
+                .iter()
+                .map(|b| binding_cardinality(b, catalog))
+                .product();
+            let n = cardinality(input, catalog);
+            cost(input, catalog) + n * universe + batch_overhead(n)
+        }
+        Physical::Project { input, .. } => {
+            let n = cardinality(input, catalog);
+            cost(input, catalog) + n + batch_overhead(n)
+        }
         Physical::Sort { input, .. } => {
             let n = cardinality(input, catalog).max(2.0);
-            cost(input, catalog) + n * n.log2()
+            cost(input, catalog) + n * n.log2() + batch_overhead(n)
         }
     }
 }

@@ -26,14 +26,22 @@ pub struct PlannerConfig {
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        PlannerConfig { use_indexes: true, pushdown: true, reorder_joins: true }
+        PlannerConfig {
+            use_indexes: true,
+            pushdown: true,
+            reorder_joins: true,
+        }
     }
 }
 
 impl PlannerConfig {
     /// Everything off: the naive evaluator baseline.
     pub fn naive() -> Self {
-        PlannerConfig { use_indexes: false, pushdown: false, reorder_joins: false }
+        PlannerConfig {
+            use_indexes: false,
+            pushdown: false,
+            reorder_joins: false,
+        }
     }
 }
 
@@ -44,7 +52,13 @@ pub fn plan_retrieve(
     ctx: &SemaCtx<'_>,
     config: PlannerConfig,
 ) -> SemaResult<Physical> {
-    let Stmt::Retrieve { targets, qual, order_by, .. } = stmt else {
+    let Stmt::Retrieve {
+        targets,
+        qual,
+        order_by,
+        ..
+    } = stmt
+    else {
         return Err(SemaError::Other("plan_retrieve expects a retrieve".into()));
     };
 
@@ -91,7 +105,10 @@ pub fn plan_retrieve(
             children.get(root.var.as_str()).cloned().unwrap_or_default();
         stack.reverse();
         while let Some(b) = stack.pop() {
-            plan = Physical::Unnest { input: Box::new(plan), binding: b.clone() };
+            plan = Physical::Unnest {
+                input: Box::new(plan),
+                binding: b.clone(),
+            };
             let mut kids = children.get(b.var.as_str()).cloned().unwrap_or_default();
             kids.reverse();
             stack.extend(kids);
@@ -148,7 +165,10 @@ pub fn plan_retrieve(
     // Remaining conjuncts (cross-chain, or everything when pushdown is
     // off) gate the joined stream.
     if let Some(p) = conjoin(existential_conjuncts) {
-        plan = Physical::Filter { input: Box::new(plan), pred: p };
+        plan = Physical::Filter {
+            input: Box::new(plan),
+            pred: p,
+        };
     }
     if !universal.is_empty() {
         if let Some(p) = conjoin(universal_conjuncts) {
@@ -160,7 +180,11 @@ pub fn plan_retrieve(
         }
     }
     if let Some((key, asc)) = order_by {
-        plan = Physical::Sort { input: Box::new(plan), key: key.clone(), asc: *asc };
+        plan = Physical::Sort {
+            input: Box::new(plan),
+            key: key.clone(),
+            asc: *asc,
+        };
     }
     let named: Vec<(String, Expr)> = checked
         .output
@@ -168,7 +192,10 @@ pub fn plan_retrieve(
         .zip(targets.iter())
         .map(|((name, _), t)| (name.clone(), t.expr.clone()))
         .collect();
-    Ok(Physical::Project { input: Box::new(plan), targets: named })
+    Ok(Physical::Project {
+        input: Box::new(plan),
+        targets: named,
+    })
 }
 
 /// Exhaustively pick the nested-loop order with the lowest estimated
@@ -213,7 +240,10 @@ fn best_permutation(chains: Vec<Physical>, ctx: &SemaCtx<'_>) -> Vec<Physical> {
     let order = best.expect("at least one permutation").1;
     // Reassemble chains in the chosen order.
     let mut slots: Vec<Option<Physical>> = chains.into_iter().map(Some).collect();
-    order.into_iter().map(|i| slots[i].take().expect("each index once")).collect()
+    order
+        .into_iter()
+        .map(|i| slots[i].take().expect("each index once"))
+        .collect()
 }
 
 /// Plan the access path for a root binding, possibly consuming an
@@ -234,13 +264,19 @@ fn plan_root(
     // Only a direct member iteration can use a member-attribute index.
     if config.use_indexes && root.steps.is_empty() {
         for (i, c) in remaining.iter().enumerate() {
-            let Some(p) = indexable_pred(c, &root.var, ctx.adts) else { continue };
-            let Some(index) = ctx.catalog.index_on(&obj.name, &p.attr) else { continue };
+            let Some(p) = indexable_pred(c, &root.var, ctx.adts) else {
+                continue;
+            };
+            let Some(index) = ctx.catalog.index_on(&obj.name, &p.attr) else {
+                continue;
+            };
             // Coerce the probe constant to the attribute's declared type
             // so its key encoding matches the index entries.
             let attr_ty = ctx.attr_type(&root.elem, &p.attr)?;
             let value = coerce(&p.value, &attr_ty.ty);
-            let Some(key) = value.key_encode(ctx.adts) else { continue };
+            let Some(key) = value.key_encode(ctx.adts) else {
+                continue;
+            };
             let (lower, upper) = match p.op {
                 BinOp::Eq => (Bound::Included(key.clone()), Bound::Included(key)),
                 BinOp::Lt => (Bound::Unbounded, Bound::Excluded(key)),
@@ -250,11 +286,18 @@ fn plan_root(
                 _ => unreachable!("indexable_pred filters operators"),
             };
             remaining.remove(i);
-            return Ok(Physical::IndexScan { binding: root.clone(), index, lower, upper });
+            return Ok(Physical::IndexScan {
+                binding: root.clone(),
+                index,
+                lower,
+                upper,
+            });
         }
     }
     if root.steps.is_empty() {
-        Ok(Physical::SeqScan { binding: root.clone() })
+        Ok(Physical::SeqScan {
+            binding: root.clone(),
+        })
     } else {
         // A collection-with-steps root should not occur (the resolver
         // introduces an implicit member binding), but plan it as scan +
@@ -269,7 +312,10 @@ fn plan_root(
         let scan = Physical::SeqScan { binding: base };
         let mut dep = root.clone();
         dep.root = RootSource::Var(format!("${}", obj.name));
-        Ok(Physical::Unnest { input: Box::new(scan), binding: dep })
+        Ok(Physical::Unnest {
+            input: Box::new(scan),
+            binding: dep,
+        })
     }
 }
 
@@ -321,7 +367,10 @@ fn attach_filter(plan: Physical, pred: &Expr, vars: &[String]) -> Physical {
                 }
             }
         }
-        Physical::Filter { input, pred: existing } => {
+        Physical::Filter {
+            input,
+            pred: existing,
+        } => {
             if covered(&input) {
                 Physical::Filter {
                     input: Box::new(attach_filter(*input, pred, vars)),
@@ -329,20 +378,22 @@ fn attach_filter(plan: Physical, pred: &Expr, vars: &[String]) -> Physical {
                 }
             } else {
                 Physical::Filter {
-                    input: Box::new(Physical::Filter { input, pred: existing }),
+                    input: Box::new(Physical::Filter {
+                        input,
+                        pred: existing,
+                    }),
                     pred: pred.clone(),
                 }
             }
         }
-        other => Physical::Filter { input: Box::new(other), pred: pred.clone() },
+        other => Physical::Filter {
+            input: Box::new(other),
+            pred: pred.clone(),
+        },
     }
 }
 
 /// Convenience: a retrieve's *unoptimized* plan, for the E8 ablation.
-pub fn optimize(
-    stmt: &Stmt,
-    checked: &CheckedRetrieve,
-    ctx: &SemaCtx<'_>,
-) -> SemaResult<Physical> {
+pub fn optimize(stmt: &Stmt, checked: &CheckedRetrieve, ctx: &SemaCtx<'_>) -> SemaResult<Physical> {
     plan_retrieve(stmt, checked, ctx, PlannerConfig::default())
 }

@@ -154,14 +154,17 @@ impl Logical {
                 writeln!(f, "Select {pred}")?;
                 input.fmt_at(f, depth + 1)
             }
-            Logical::UniversalSelect { input, bindings, pred } => {
+            Logical::UniversalSelect {
+                input,
+                bindings,
+                pred,
+            } => {
                 let vars: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
                 writeln!(f, "UniversalSelect forall {} : {pred}", vars.join(", "))?;
                 input.fmt_at(f, depth + 1)
             }
             Logical::Project { input, targets } => {
-                let cols: Vec<String> =
-                    targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
+                let cols: Vec<String> = targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
                 writeln!(f, "Project [{}]", cols.join(", "))?;
                 input.fmt_at(f, depth + 1)
             }
@@ -221,14 +224,17 @@ impl Physical {
                 writeln!(f, "Filter {pred}")?;
                 input.fmt_at(f, depth + 1)
             }
-            Physical::UniversalFilter { input, bindings, pred } => {
+            Physical::UniversalFilter {
+                input,
+                bindings,
+                pred,
+            } => {
                 let vars: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
                 writeln!(f, "UniversalFilter forall {} : {pred}", vars.join(", "))?;
                 input.fmt_at(f, depth + 1)
             }
             Physical::Project { input, targets } => {
-                let cols: Vec<String> =
-                    targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
+                let cols: Vec<String> = targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
                 writeln!(f, "Project [{}]", cols.join(", "))?;
                 input.fmt_at(f, depth + 1)
             }

@@ -24,7 +24,9 @@ pub fn conjuncts(e: &Expr) -> Vec<Expr> {
 
 /// Conjoin a list of predicates (`None` for the empty list).
 pub fn conjoin(preds: Vec<Expr>) -> Option<Expr> {
-    preds.into_iter().reduce(|a, b| Expr::Binary(BinOp::And, Box::new(a), Box::new(b)))
+    preds
+        .into_iter()
+        .reduce(|a, b| Expr::Binary(BinOp::And, Box::new(a), Box::new(b)))
 }
 
 /// Free variable-position names in an expression (includes named-object
@@ -64,7 +66,13 @@ fn collect_vars(e: &Expr, out: &mut HashSet<String>) {
                 collect_vars(a, out);
             }
         }
-        Expr::Agg(Aggregate { arg, over, by, qual, .. }) => {
+        Expr::Agg(Aggregate {
+            arg,
+            over,
+            by,
+            qual,
+            ..
+        }) => {
             // `over` variables are consumed by the aggregate; they are not
             // free in the enclosing query.
             let mut inner = HashSet::new();
@@ -104,7 +112,11 @@ pub fn const_eval(e: &Expr, adts: &AdtRegistry) -> Option<Value> {
             Value::Float(f) => Some(Value::Float(-f)),
             _ => None,
         },
-        Expr::Call { recv: None, name, args } if args.len() == 1 => {
+        Expr::Call {
+            recv: None,
+            name,
+            args,
+        } if args.len() == 1 => {
             let id = adts.lookup(name).ok()?;
             match &args[0] {
                 Expr::Lit(Lit::Str(s)) => adts.parse(id, s).ok(),
@@ -150,14 +162,27 @@ pub fn indexable_pred(c: &Expr, var: &str, adts: &AdtRegistry) -> Option<Indexab
             _ => None,
         }
     };
-    if !matches!(op, BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge) {
+    if !matches!(
+        op,
+        BinOp::Eq | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+    ) {
         return None;
     }
     if let (Some(attr), Some(value)) = (as_attr(lhs), const_eval(rhs, adts)) {
-        return Some(IndexablePred { var: var.into(), attr, op: *op, value });
+        return Some(IndexablePred {
+            var: var.into(),
+            attr,
+            op: *op,
+            value,
+        });
     }
     if let (Some(attr), Some(value)) = (as_attr(rhs), const_eval(lhs, adts)) {
-        return Some(IndexablePred { var: var.into(), attr, op: flip(*op), value });
+        return Some(IndexablePred {
+            var: var.into(),
+            attr,
+            op: flip(*op),
+            value,
+        });
     }
     None
 }

@@ -88,7 +88,15 @@ fn fixture() -> Fixture {
         root: 99,
         unique: false,
     }];
-    Fixture { types, adts, catalog: MockCatalog { named, sizes, indexes } }
+    Fixture {
+        types,
+        adts,
+        catalog: MockCatalog {
+            named,
+            sizes,
+            indexes,
+        },
+    }
 }
 
 fn plan_with(f: &Fixture, src: &str, cfg: PlannerConfig) -> Physical {
@@ -110,10 +118,16 @@ fn render(p: &Physical) -> String {
 #[test]
 fn index_selected_for_equality_on_indexed_attr() {
     let f = fixture();
-    let p = plan(&f, "retrieve (E.name) from E in Employees where E.salary = 50000.0");
+    let p = plan(
+        &f,
+        "retrieve (E.name) from E in Employees where E.salary = 50000.0",
+    );
     let s = render(&p);
     assert!(s.contains("IndexScan"), "{s}");
-    assert!(!s.contains("Filter"), "equality fully covered by the index:\n{s}");
+    assert!(
+        !s.contains("Filter"),
+        "equality fully covered by the index:\n{s}"
+    );
 }
 
 #[test]
@@ -131,12 +145,18 @@ fn index_selected_for_range_predicates() {
 #[test]
 fn no_index_without_matching_attr_or_flag() {
     let f = fixture();
-    let p = plan(&f, "retrieve (E.name) from E in Employees where E.name = \"x\"");
+    let p = plan(
+        &f,
+        "retrieve (E.name) from E in Employees where E.name = \"x\"",
+    );
     assert!(render(&p).contains("SeqScan"), "{}", render(&p));
     let p = plan_with(
         &f,
         "retrieve (E.name) from E in Employees where E.salary = 1.0",
-        PlannerConfig { use_indexes: false, ..Default::default() },
+        PlannerConfig {
+            use_indexes: false,
+            ..Default::default()
+        },
     );
     assert!(render(&p).contains("SeqScan"), "{}", render(&p));
 }
@@ -168,7 +188,10 @@ fn pushdown_places_single_var_filters_below_join() {
     let d_filter = s.find("Filter (D.floor").expect("D filter");
     let join_filter = s.find("Filter (E.dept is D)").expect("join filter");
     assert!(join_filter < nl, "join predicate above the loop:\n{s}");
-    assert!(e_filter > nl && d_filter > nl, "single-var filters pushed below:\n{s}");
+    assert!(
+        e_filter > nl && d_filter > nl,
+        "single-var filters pushed below:\n{s}"
+    );
 }
 
 #[test]
@@ -183,7 +206,10 @@ fn pushdown_disabled_leaves_one_filter_on_top() {
     let s = render(&p);
     assert_eq!(s.matches("Filter").count(), 1, "one combined filter:\n{s}");
     let nl = s.find("NestedLoop").unwrap();
-    assert!(s.find("Filter").unwrap() < nl, "filter above the join:\n{s}");
+    assert!(
+        s.find("Filter").unwrap() < nl,
+        "filter above the join:\n{s}"
+    );
 }
 
 #[test]
@@ -205,7 +231,10 @@ fn join_order_puts_small_collection_outer() {
         &f,
         "retrieve (E.name, D.dname) from E in Employees, D in Departments \
          where E.dept is D",
-        PlannerConfig { reorder_joins: false, ..Default::default() },
+        PlannerConfig {
+            reorder_joins: false,
+            ..Default::default()
+        },
     );
     let s = render(&p);
     let d_pos = s.find("over Departments").unwrap();
@@ -237,7 +266,11 @@ fn universal_bindings_become_universal_filter() {
     let mut env = RangeEnv::default();
     let range = parse_statement("range of X is all Employees", &OperatorTable::new()).unwrap();
     match range {
-        Stmt::RangeOf { var, universal, path } => env.declare(&var, universal, path),
+        Stmt::RangeOf {
+            var,
+            universal,
+            path,
+        } => env.declare(&var, universal, path),
         _ => unreachable!(),
     }
     let stmt = parse_statement(
@@ -258,10 +291,14 @@ fn adt_literal_bounds_compile_into_index_scan() {
     let date = Type::Adt(f.adts.lookup("Date").unwrap());
     let hired = f
         .types
-        .define("Hire", vec![], vec![
-            Attribute::own("who", Type::varchar()),
-            Attribute::own("day", date),
-        ])
+        .define(
+            "Hire",
+            vec![],
+            vec![
+                Attribute::own("who", Type::varchar()),
+                Attribute::own("day", date),
+            ],
+        )
         .unwrap();
     f.catalog.named.insert(
         "Hires".into(),

@@ -17,9 +17,7 @@ fn bench(c: &mut Criterion) {
             s.run("range of E is Employees").unwrap();
             g.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
                 b.iter(|| {
-                    let r = s
-                        .query("retrieve (sum(E.dept.budget over E))")
-                        .unwrap();
+                    let r = s.query("retrieve (sum(E.dept.budget over E))").unwrap();
                     assert_eq!(r.rows.len(), 1);
                 })
             });

@@ -12,15 +12,27 @@ fn bench(c: &mut Criterion) {
     let n = 20_000usize;
     let u = university(20, n, 0, DeptMode::Ref, 16384);
     let mut s = u.db.session();
-    s.run("define index emp_salary on Employees (salary); \
+    s.run(
+        "define index emp_salary on Employees (salary); \
            define index emp_hired on Employees (hired); \
-           range of E is Employees")
-        .unwrap();
+           range of E is Employees",
+    )
+    .unwrap();
     // Salary is uniform in [20k, 100k): thresholds select ~0.1%, ~10%, ~50%.
-    for (label, lo) in [("sel0.1%", 99_920.0), ("sel10%", 92_000.0), ("sel50%", 60_000.0)] {
+    for (label, lo) in [
+        ("sel0.1%", 99_920.0),
+        ("sel10%", 92_000.0),
+        ("sel50%", 60_000.0),
+    ] {
         let q = format!("retrieve (E.name) where E.salary >= {lo}");
         for (cfg_label, cfg) in [
-            ("seqscan", PlannerConfig { use_indexes: false, ..Default::default() }),
+            (
+                "seqscan",
+                PlannerConfig {
+                    use_indexes: false,
+                    ..Default::default()
+                },
+            ),
             ("index", PlannerConfig::default()),
         ] {
             u.db.set_planner(cfg);
@@ -35,7 +47,13 @@ fn bench(c: &mut Criterion) {
     // ADT-keyed predicate: the Date index applies because Date is ordered.
     u.db.set_planner(PlannerConfig::default());
     for (cfg_label, cfg) in [
-        ("seqscan", PlannerConfig { use_indexes: false, ..Default::default() }),
+        (
+            "seqscan",
+            PlannerConfig {
+                use_indexes: false,
+                ..Default::default()
+            },
+        ),
         ("index", PlannerConfig::default()),
     ] {
         u.db.set_planner(cfg);

@@ -13,7 +13,8 @@ fn bench(c: &mut Criterion) {
                 || exodus_bench::university_cascade(500, kids),
                 |db| {
                     let mut s = db.session();
-                    s.run("range of E is Employees; delete E where E.age >= 20").unwrap();
+                    s.run("range of E is Employees; delete E where E.age >= 20")
+                        .unwrap();
                 },
             )
         });
@@ -25,7 +26,8 @@ fn bench(c: &mut Criterion) {
                 || university(4, n, 0, DeptMode::Ref, 16384),
                 |u| {
                     let mut s = u.db.session();
-                    s.run("range of D is Departments; delete D where D.floor >= 1").unwrap();
+                    s.run("range of D is Departments; delete D where D.floor >= 1")
+                        .unwrap();
                 },
             )
         });

@@ -10,20 +10,31 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     let u = university(50, 5_000, 0, DeptMode::Ref, 16384);
     let mut s = u.db.session();
-    s.run("define index emp_salary on Employees (salary); \
-           create { own ref Department } Watch")
-        .unwrap();
-    s.run("range of D is Departments; \
+    s.run(
+        "define index emp_salary on Employees (salary); \
+           create { own ref Department } Watch",
+    )
+    .unwrap();
+    s.run(
+        "range of D is Departments; \
            append to Watch (dname = D.dname, floor = D.floor, budget = D.budget) \
-           where D.floor >= 9")
-        .unwrap();
+           where D.floor >= 9",
+    )
+    .unwrap();
     // Selective salary predicate + join against the small Watch set.
     let q = "retrieve (E.name, W.dname) \
              from E in Employees, W in Watch \
              where E.salary > 97000.0 and E.dept.floor = W.floor";
     let configs = [
         ("naive", PlannerConfig::naive()),
-        ("pushdown_only", PlannerConfig { pushdown: true, use_indexes: false, reorder_joins: false }),
+        (
+            "pushdown_only",
+            PlannerConfig {
+                pushdown: true,
+                use_indexes: false,
+                reorder_joins: false,
+            },
+        ),
         ("full", PlannerConfig::default()),
     ];
     for (label, cfg) in configs {

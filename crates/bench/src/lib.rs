@@ -115,7 +115,11 @@ pub fn university(
         ]));
     }
     db.bulk_append("Employees", employees).unwrap();
-    University { db, n_employees, n_departments }
+    University {
+        db,
+        n_employees,
+        n_departments,
+    }
 }
 
 /// Build a chain schema for the implicit-join depth sweep (E2):
@@ -142,7 +146,9 @@ pub fn chain(depth: usize, n: usize) -> Arc<Database> {
     let mut prev: Vec<extra_model::Value> = db
         .bulk_append(
             &format!("C{depth}"),
-            (0..n).map(|i| Value::Tuple(vec![Value::Int(i as i64)])).collect(),
+            (0..n)
+                .map(|i| Value::Tuple(vec![Value::Int(i as i64)]))
+                .collect(),
         )
         .unwrap()
         .into_iter()
@@ -168,12 +174,14 @@ pub fn chain(depth: usize, n: usize) -> Arc<Database> {
 pub fn flat_kids(n_employees: usize, kids: usize) -> Arc<Database> {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type FlatEmployee (name: varchar, floor: int4);
         define type FlatKid (name: varchar, age: int4, parent: ref FlatEmployee);
         create { own ref FlatEmployee } Emps;
         create { own ref FlatKid } Kids;
-    "#)
+    "#,
+    )
     .unwrap();
     let mut rng = StdRng::seed_from_u64(SEED);
     let emp_oids = db
@@ -210,11 +218,13 @@ pub fn university_cascade(n_employees: usize, kids: usize) -> Arc<Database> {
     use extra_model::{QualType, Type};
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, age: int4, kids: { own ref Person });
         define type Employee inherits Person (salary: float8);
         create { own ref Employee } Employees;
-    "#)
+    "#,
+    )
     .unwrap();
     let cat = db.read_catalog();
     let store = db.store();
@@ -253,7 +263,9 @@ pub fn university_cascade(n_employees: usize, kids: usize) -> Arc<Database> {
                 ]),
             )
             .unwrap();
-        store.append_member(&cat.types, anchor, Value::Ref(emp)).unwrap();
+        store
+            .append_member(&cat.types, anchor, Value::Ref(emp))
+            .unwrap();
     }
     drop(cat);
     db
@@ -296,13 +308,17 @@ mod tests {
     fn university_loads_and_queries() {
         let u = university(5, 200, 2, DeptMode::Ref, 1024);
         let mut s = u.db.session();
-        let r = s.query("retrieve (count(E over E)) from E in Employees").unwrap();
+        let r = s
+            .query("retrieve (count(E over E)) from E in Employees")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(200));
         let r = s
             .query("retrieve (E.name) from E in Employees where E.dept.floor = 1")
             .unwrap();
         assert!(!r.is_empty());
-        let r = s.query("retrieve (count(C over C)) from C in Employees.kids").unwrap();
+        let r = s
+            .query("retrieve (count(C over C)) from C in Employees.kids")
+            .unwrap();
         assert_eq!(r.rows[0][0], Value::Int(400));
     }
 
@@ -333,8 +349,12 @@ mod tests {
         let flat = flat_kids(40, 3);
         let mut sn = nested.db.session();
         let mut sf = flat.session();
-        let n = sn.query("retrieve (count(C over C)) from C in Employees.kids").unwrap();
-        let f = sf.query("retrieve (count(K over K)) from K in Kids").unwrap();
+        let n = sn
+            .query("retrieve (count(C over C)) from C in Employees.kids")
+            .unwrap();
+        let f = sf
+            .query("retrieve (count(K over K)) from K in Kids")
+            .unwrap();
         assert_eq!(n.rows, f.rows);
     }
 

@@ -107,15 +107,29 @@ pub enum Privilege {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)]
 pub enum BinOp {
-    Or, And,
-    Eq, Ne, Lt, Le, Gt, Ge,
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
     /// Object identity (the only comparisons applicable to references).
-    Is, IsNot,
+    Is,
+    IsNot,
     /// Set membership / containment.
-    In, Contains,
+    In,
+    Contains,
     /// Set operators.
-    Union, Intersect, SetMinus,
-    Add, Sub, Mul, Div, Mod,
+    Union,
+    Intersect,
+    SetMinus,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
 }
 
 /// Built-in unary operators.

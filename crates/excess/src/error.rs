@@ -31,7 +31,12 @@ impl ParseError {
                 column += 1;
             }
         }
-        ParseError { message: message.into(), offset, line, column }
+        ParseError {
+            message: message.into(),
+            offset,
+            line,
+            column,
+        }
     }
 }
 

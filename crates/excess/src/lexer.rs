@@ -51,10 +51,7 @@ pub fn lex(src: &str, ops: &OperatorTable) -> ParseResult<Vec<Token>> {
                 i += 1;
             }
             let mut is_float = false;
-            if i + 1 < bytes.len()
-                && bytes[i] == b'.'
-                && (bytes[i + 1] as char).is_ascii_digit()
-            {
+            if i + 1 < bytes.len() && bytes[i] == b'.' && (bytes[i + 1] as char).is_ascii_digit() {
                 is_float = true;
                 i += 1;
                 while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
@@ -126,7 +123,10 @@ pub fn lex(src: &str, ops: &OperatorTable) -> ParseResult<Vec<Token>> {
                     }
                 }
             }
-            toks.push(Token { tok: Tok::Str(out), offset: start });
+            toks.push(Token {
+                tok: Tok::Str(out),
+                offset: start,
+            });
             continue;
         }
         // Punctuation: maximal munch over the operator table.
@@ -141,14 +141,24 @@ pub fn lex(src: &str, ops: &OperatorTable) -> ParseResult<Vec<Token>> {
         match matched {
             Some(sym) => {
                 i += sym.len();
-                toks.push(Token { tok: Tok::Sym(sym), offset: start });
+                toks.push(Token {
+                    tok: Tok::Sym(sym),
+                    offset: start,
+                });
             }
             None => {
-                return Err(ParseError::at(src, i, format!("unexpected character '{c}'")));
+                return Err(ParseError::at(
+                    src,
+                    i,
+                    format!("unexpected character '{c}'"),
+                ));
             }
         }
     }
-    toks.push(Token { tok: Tok::Eof, offset: src.len() });
+    toks.push(Token {
+        tok: Tok::Eof,
+        offset: src.len(),
+    });
     Ok(toks)
 }
 
@@ -231,7 +241,11 @@ mod tests {
         // Before registration, `&&&` is an error.
         assert!(lex("a &&& b", &ops).is_err());
         ops.register("&&&", 3, crate::ops::OpAssoc::Left, false);
-        let t: Vec<Tok> = lex("a &&& b", &ops).unwrap().into_iter().map(|t| t.tok).collect();
+        let t: Vec<Tok> = lex("a &&& b", &ops)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.tok)
+            .collect();
         assert_eq!(t[1], Tok::Sym("&&&".into()));
     }
 

@@ -67,14 +67,21 @@ impl Default for OperatorTable {
 impl OperatorTable {
     /// A table with only the built-in EXCESS operators.
     pub fn new() -> OperatorTable {
-        let mut t = OperatorTable { infix: HashMap::new(), symbols: Vec::new() };
+        let mut t = OperatorTable {
+            infix: HashMap::new(),
+            symbols: Vec::new(),
+        };
         for s in STRUCTURAL {
             t.symbols.push((*s).to_string());
         }
         for (sym, prec) in BUILTINS {
             t.infix.insert(
                 (*sym).to_string(),
-                OpInfo { precedence: *prec, assoc: OpAssoc::Left, prefix: *sym == "-" },
+                OpInfo {
+                    precedence: *prec,
+                    assoc: OpAssoc::Left,
+                    prefix: *sym == "-",
+                },
             );
             if !t.symbols.iter().any(|s| s == sym) {
                 t.symbols.push((*sym).to_string());
@@ -86,7 +93,8 @@ impl OperatorTable {
 
     fn sort_symbols(&mut self) {
         // Longest-first for maximal munch.
-        self.symbols.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+        self.symbols
+            .sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
     }
 
     /// Register an operator (ADT registration). `precedence` is on the
@@ -101,7 +109,11 @@ impl OperatorTable {
         }
         self.infix.insert(
             symbol.to_string(),
-            OpInfo { precedence: precedence.saturating_mul(10), assoc, prefix },
+            OpInfo {
+                precedence: precedence.saturating_mul(10),
+                assoc,
+                prefix,
+            },
         );
         if !self.symbols.iter().any(|s| s == symbol) {
             self.symbols.push(symbol.to_string());

@@ -54,7 +54,12 @@ pub fn parse_program(src: &str, ops: &OperatorTable) -> ParseResult<Vec<Stmt>> {
 impl<'a> Parser<'a> {
     /// Lex `src` and prepare to parse.
     pub fn new(src: &'a str, ops: &'a OperatorTable) -> ParseResult<Parser<'a>> {
-        Ok(Parser { src, toks: lex(src, ops)?, pos: 0, ops })
+        Ok(Parser {
+            src,
+            toks: lex(src, ops)?,
+            pos: 0,
+            ops,
+        })
     }
 
     // -- token plumbing ----------------------------------------------------
@@ -164,7 +169,9 @@ impl<'a> Parser<'a> {
             Tok::Kw(Kw::Create) => self.create_stmt(),
             Tok::Kw(Kw::Destroy) => {
                 self.bump();
-                Ok(Stmt::Destroy { name: self.ident()? })
+                Ok(Stmt::Destroy {
+                    name: self.ident()?,
+                })
             }
             Tok::Kw(Kw::Drop) => self.drop_stmt(),
             Tok::Kw(Kw::Add) => {
@@ -192,7 +199,11 @@ impl<'a> Parser<'a> {
                 let assignments = self.assignments()?;
                 self.expect_sym(")")?;
                 let qual = self.optional_where()?;
-                Ok(Stmt::Replace { target, assignments, qual })
+                Ok(Stmt::Replace {
+                    target,
+                    assignments,
+                    qual,
+                })
             }
             Tok::Kw(Kw::Execute) => {
                 self.bump();
@@ -227,7 +238,11 @@ impl<'a> Parser<'a> {
                 self.expect_sym("(")?;
                 let attrs = self.attr_decls()?;
                 self.expect_sym(")")?;
-                Ok(Stmt::DefineType { name, inherits, attrs })
+                Ok(Stmt::DefineType {
+                    name,
+                    inherits,
+                    attrs,
+                })
             }
             Tok::Kw(Kw::Function) => {
                 self.bump();
@@ -239,7 +254,12 @@ impl<'a> Parser<'a> {
                 let returns = self.qual_type()?;
                 self.expect_kw(Kw::As)?;
                 let body = self.retrieve_stmt()?;
-                Ok(Stmt::DefineFunction { name, params, returns, body: Box::new(body) })
+                Ok(Stmt::DefineFunction {
+                    name,
+                    params,
+                    returns,
+                    body: Box::new(body),
+                })
             }
             Tok::Kw(Kw::Procedure) => {
                 self.bump();
@@ -267,7 +287,12 @@ impl<'a> Parser<'a> {
                 self.expect_sym("(")?;
                 let attr = self.ident()?;
                 self.expect_sym(")")?;
-                Ok(Stmt::DefineIndex { name, collection, attr, unique })
+                Ok(Stmt::DefineIndex {
+                    name,
+                    collection,
+                    attr,
+                    unique,
+                })
             }
             other => self.err(format!(
                 "expected 'type', 'function', 'procedure' or 'index' after 'define', found {other}"
@@ -342,7 +367,10 @@ impl<'a> Parser<'a> {
         } else {
             Mode::Own
         };
-        Ok(QualTypeExpr { mode, ty: self.type_expr()? })
+        Ok(QualTypeExpr {
+            mode,
+            ty: self.type_expr()?,
+        })
     }
 
     fn type_expr(&mut self) -> ParseResult<TypeExpr> {
@@ -402,10 +430,14 @@ impl<'a> Parser<'a> {
     fn create_stmt(&mut self) -> ParseResult<Stmt> {
         self.expect_kw(Kw::Create)?;
         if self.eat_kw(Kw::User) {
-            return Ok(Stmt::CreateUser { name: self.ident()? });
+            return Ok(Stmt::CreateUser {
+                name: self.ident()?,
+            });
         }
         if self.eat_kw(Kw::Group) {
-            return Ok(Stmt::CreateGroup { name: self.ident()? });
+            return Ok(Stmt::CreateGroup {
+                name: self.ident()?,
+            });
         }
         let qty = self.qual_type()?;
         let name = self.ident()?;
@@ -424,13 +456,19 @@ impl<'a> Parser<'a> {
     fn drop_stmt(&mut self) -> ParseResult<Stmt> {
         self.expect_kw(Kw::Drop)?;
         if self.eat_kw(Kw::Type) {
-            return Ok(Stmt::DropType { name: self.ident()? });
+            return Ok(Stmt::DropType {
+                name: self.ident()?,
+            });
         }
         if self.eat_kw(Kw::Function) {
-            return Ok(Stmt::DropFunction { name: self.ident()? });
+            return Ok(Stmt::DropFunction {
+                name: self.ident()?,
+            });
         }
         if self.eat_kw(Kw::Procedure) {
-            return Ok(Stmt::DropProcedure { name: self.ident()? });
+            return Ok(Stmt::DropProcedure {
+                name: self.ident()?,
+            });
         }
         self.err("expected 'type', 'function' or 'procedure' after 'drop'")
     }
@@ -442,7 +480,11 @@ impl<'a> Parser<'a> {
         self.expect_kw(Kw::Is)?;
         let universal = self.eat_kw(Kw::All);
         let path = self.path_expr()?;
-        Ok(Stmt::RangeOf { var, universal, path })
+        Ok(Stmt::RangeOf {
+            var,
+            universal,
+            path,
+        })
     }
 
     fn retrieve_stmt(&mut self) -> ParseResult<Stmt> {
@@ -502,7 +544,13 @@ impl<'a> Parser<'a> {
         } else {
             None
         };
-        Ok(Stmt::Retrieve { into, targets, from, qual, order_by })
+        Ok(Stmt::Retrieve {
+            into,
+            targets,
+            from,
+            qual,
+            order_by,
+        })
     }
 
     fn append_stmt(&mut self) -> ParseResult<Stmt> {
@@ -520,11 +568,19 @@ impl<'a> Parser<'a> {
             let assignments = self.assignments()?;
             self.expect_sym(")")?;
             let qual = self.optional_where()?;
-            Ok(Stmt::Append { target, value: AppendValue::Assignments(assignments), qual })
+            Ok(Stmt::Append {
+                target,
+                value: AppendValue::Assignments(assignments),
+                qual,
+            })
         } else {
             let value = self.expr()?;
             let qual = self.optional_where()?;
-            Ok(Stmt::Append { target, value: AppendValue::Expr(value), qual })
+            Ok(Stmt::Append {
+                target,
+                value: AppendValue::Expr(value),
+                qual,
+            })
         }
     }
 
@@ -560,9 +616,17 @@ impl<'a> Parser<'a> {
             grantees.push(self.ident()?);
         }
         if grant {
-            Ok(Stmt::Grant { privileges, object, grantees })
+            Ok(Stmt::Grant {
+                privileges,
+                object,
+                grantees,
+            })
         } else {
-            Ok(Stmt::Revoke { privileges, object, grantees })
+            Ok(Stmt::Revoke {
+                privileges,
+                object,
+                grantees,
+            })
         }
     }
 
@@ -662,7 +726,9 @@ impl<'a> Parser<'a> {
                 Tok::Sym(s) => s.clone(),
                 _ => break,
             };
-            let Some(info) = self.ops.infix(&sym) else { break };
+            let Some(info) = self.ops.infix(&sym) else {
+                break;
+            };
             if info.precedence < min_bp {
                 break;
             }
@@ -712,7 +778,11 @@ impl<'a> Parser<'a> {
                     // Method syntax: x.f(args).
                     let args = self.expr_list(")")?;
                     self.expect_sym(")")?;
-                    e = Expr::Call { recv: Some(Box::new(e)), name, args };
+                    e = Expr::Call {
+                        recv: Some(Box::new(e)),
+                        name,
+                        args,
+                    };
                 } else {
                     e = Expr::Path(Box::new(e), name);
                 }
@@ -796,14 +866,20 @@ impl<'a> Parser<'a> {
                     // A call can still be an aggregate-form user set
                     // function if over/by/where follow the single arg.
                     if args.len() == 1
-                        && matches!(self.peek(),
-                            Tok::Kw(Kw::Over) | Tok::Kw(Kw::By) | Tok::Kw(Kw::Where))
+                        && matches!(
+                            self.peek(),
+                            Tok::Kw(Kw::Over) | Tok::Kw(Kw::By) | Tok::Kw(Kw::Where)
+                        )
                     {
                         let agg = self.aggregate_tail(name, args.into_iter().next())?;
                         return Ok(Expr::Agg(agg));
                     }
                     self.expect_sym(")")?;
-                    Ok(Expr::Call { recv: None, name, args })
+                    Ok(Expr::Call {
+                        recv: None,
+                        name,
+                        args,
+                    })
                 } else {
                     Ok(Expr::Var(name))
                 }
@@ -839,6 +915,12 @@ impl<'a> Parser<'a> {
             None
         };
         self.expect_sym(")")?;
-        Ok(Aggregate { func, arg: arg.map(Box::new), over, by, qual })
+        Ok(Aggregate {
+            func,
+            arg: arg.map(Box::new),
+            over,
+            by,
+            qual,
+        })
     }
 }

@@ -120,10 +120,18 @@ impl fmt::Display for Expr {
             Expr::Var(v) => write!(f, "{v}"),
             Expr::Path(base, attr) => write!(f, "{base}.{attr}"),
             Expr::Index(base, idx) => write!(f, "{base}[{idx}]"),
-            Expr::Call { recv: Some(r), name, args } => {
+            Expr::Call {
+                recv: Some(r),
+                name,
+                args,
+            } => {
                 write!(f, "{r}.{name}({})", comma(args))
             }
-            Expr::Call { recv: None, name, args } => write!(f, "{name}({})", comma(args)),
+            Expr::Call {
+                recv: None,
+                name,
+                args,
+            } => write!(f, "{name}({})", comma(args)),
             Expr::Unary(UnOp::Not, e) => write!(f, "(not {e})"),
             Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
             Expr::Binary(op, a, b) => write!(f, "({a} {op} {b})"),
@@ -178,7 +186,11 @@ fn comma<T: fmt::Display>(items: &[T]) -> String {
 impl fmt::Display for Stmt {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Stmt::DefineType { name, inherits, attrs } => {
+            Stmt::DefineType {
+                name,
+                inherits,
+                attrs,
+            } => {
                 write!(f, "define type {name}")?;
                 if !inherits.is_empty() {
                     write!(f, " inherits ")?;
@@ -203,7 +215,12 @@ impl fmt::Display for Stmt {
             }
             Stmt::Destroy { name } => write!(f, "destroy {name}"),
             Stmt::DropType { name } => write!(f, "drop type {name}"),
-            Stmt::DefineFunction { name, params, returns, body } => {
+            Stmt::DefineFunction {
+                name,
+                params,
+                returns,
+                body,
+            } => {
                 write!(
                     f,
                     "define function {name} ({}) returns {returns} as {body}",
@@ -222,17 +239,36 @@ impl fmt::Display for Stmt {
             }
             Stmt::DropFunction { name } => write!(f, "drop function {name}"),
             Stmt::DropProcedure { name } => write!(f, "drop procedure {name}"),
-            Stmt::DefineIndex { name, collection, attr, unique } => {
+            Stmt::DefineIndex {
+                name,
+                collection,
+                attr,
+                unique,
+            } => {
                 write!(
                     f,
                     "define {}index {name} on {collection} ({attr})",
                     if *unique { "unique " } else { "" }
                 )
             }
-            Stmt::RangeOf { var, universal, path } => {
-                write!(f, "range of {var} is {}{path}", if *universal { "all " } else { "" })
+            Stmt::RangeOf {
+                var,
+                universal,
+                path,
+            } => {
+                write!(
+                    f,
+                    "range of {var} is {}{path}",
+                    if *universal { "all " } else { "" }
+                )
             }
-            Stmt::Retrieve { into, targets, from, qual, order_by } => {
+            Stmt::Retrieve {
+                into,
+                targets,
+                from,
+                qual,
+                order_by,
+            } => {
                 write!(f, "retrieve")?;
                 if let Some(n) = into {
                     write!(f, " into {n}")?;
@@ -265,7 +301,11 @@ impl fmt::Display for Stmt {
                 }
                 Ok(())
             }
-            Stmt::Append { target, value, qual } => {
+            Stmt::Append {
+                target,
+                value,
+                qual,
+            } => {
                 write!(f, "append to {target} ")?;
                 match value {
                     AppendValue::Assignments(assigns) => {
@@ -292,7 +332,11 @@ impl fmt::Display for Stmt {
                 }
                 Ok(())
             }
-            Stmt::Replace { target, assignments, qual } => {
+            Stmt::Replace {
+                target,
+                assignments,
+                qual,
+            } => {
                 write!(f, "replace {target} (")?;
                 for (i, (n, e)) in assignments.iter().enumerate() {
                     if i > 0 {
@@ -313,10 +357,23 @@ impl fmt::Display for Stmt {
                 }
                 Ok(())
             }
-            Stmt::Grant { privileges, object, grantees } => {
-                write!(f, "grant {} on {object} to {}", comma(privileges), grantees.join(", "))
+            Stmt::Grant {
+                privileges,
+                object,
+                grantees,
+            } => {
+                write!(
+                    f,
+                    "grant {} on {object} to {}",
+                    comma(privileges),
+                    grantees.join(", ")
+                )
             }
-            Stmt::Revoke { privileges, object, grantees } => {
+            Stmt::Revoke {
+                privileges,
+                object,
+                grantees,
+            } => {
                 write!(
                     f,
                     "revoke {} on {object} from {}",

@@ -6,12 +6,61 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Kw {
-    Add, All, And, Append, As, Asc, By, Char, Contains, Create, Define,
-    Delete, Desc, Destroy, Drop, End, Enum, Execute, False, For, From,
-    Function, Grant, Group, In, Index, Inherits, Intersect, Into, Is,
-    Isnot, Minus, Not, Null, Of, On, Or, Order, Over, Own, Procedure,
-    Range, Ref, Rename, Replace, Retrieve, Returns, Revoke, To, True,
-    Type, Union, Unique, User, Where,
+    Add,
+    All,
+    And,
+    Append,
+    As,
+    Asc,
+    By,
+    Char,
+    Contains,
+    Create,
+    Define,
+    Delete,
+    Desc,
+    Destroy,
+    Drop,
+    End,
+    Enum,
+    Execute,
+    False,
+    For,
+    From,
+    Function,
+    Grant,
+    Group,
+    In,
+    Index,
+    Inherits,
+    Intersect,
+    Into,
+    Is,
+    Isnot,
+    Minus,
+    Not,
+    Null,
+    Of,
+    On,
+    Or,
+    Order,
+    Over,
+    Own,
+    Procedure,
+    Range,
+    Ref,
+    Rename,
+    Replace,
+    Retrieve,
+    Returns,
+    Revoke,
+    To,
+    True,
+    Type,
+    Union,
+    Unique,
+    User,
+    Where,
 }
 
 impl Kw {

@@ -33,7 +33,11 @@ fn figure1_define_person() {
          (name: varchar, ssnum: int4, birthday: Date, kids: { own ref Person })",
     );
     match ast {
-        Stmt::DefineType { name, inherits, attrs } => {
+        Stmt::DefineType {
+            name,
+            inherits,
+            attrs,
+        } => {
             assert_eq!(name, "Person");
             assert!(inherits.is_empty());
             assert_eq!(attrs.len(), 4);
@@ -62,8 +66,14 @@ fn define_type_with_inheritance_and_rename() {
         Stmt::DefineType { inherits, .. } => {
             assert_eq!(inherits.len(), 2);
             assert_eq!(inherits[0].base, "Student");
-            assert_eq!(inherits[0].renames, vec![("dept".into(), "enrolled_dept".into())]);
-            assert_eq!(inherits[1].renames, vec![("dept".into(), "works_in_dept".into())]);
+            assert_eq!(
+                inherits[0].renames,
+                vec![("dept".into(), "enrolled_dept".into())]
+            );
+            assert_eq!(
+                inherits[1].renames,
+                vec![("dept".into(), "works_in_dept".into())]
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -98,7 +108,10 @@ fn create_statements_paper_forms() {
                 qty.ty,
                 TypeExpr::Array(
                     Some(10),
-                    Box::new(QualTypeExpr { mode: Mode::Ref, ty: TypeExpr::Named("Employee".into()) })
+                    Box::new(QualTypeExpr {
+                        mode: Mode::Ref,
+                        ty: TypeExpr::Named("Employee".into())
+                    })
                 )
             );
         }
@@ -114,7 +127,11 @@ fn create_statements_paper_forms() {
 #[test]
 fn range_statements() {
     match round_trip("range of E is Employees") {
-        Stmt::RangeOf { var, universal, path } => {
+        Stmt::RangeOf {
+            var,
+            universal,
+            path,
+        } => {
             assert_eq!(var, "E");
             assert!(!universal);
             assert_eq!(path, Expr::var("Employees"));
@@ -164,11 +181,15 @@ fn figure_direct_retrievals() {
 fn figure_nested_set_query() {
     // "retrieve (C.name) from C in Employees.kids
     //  where Employees.dept.floor = 2".
-    let ast = round_trip(
-        "retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2",
-    );
+    let ast =
+        round_trip("retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2");
     match ast {
-        Stmt::Retrieve { targets, from, qual, .. } => {
+        Stmt::Retrieve {
+            targets,
+            from,
+            qual,
+            ..
+        } => {
             assert_eq!(targets.len(), 1);
             assert_eq!(from.len(), 1);
             assert_eq!(from[0].var, "C");
@@ -190,7 +211,10 @@ fn figure_nested_set_query() {
 fn retrieve_into_and_order_by() {
     round_trip("retrieve into Rich (E.name, pay = E.salary) where E.salary > 100000.0");
     match round_trip("retrieve (E.name) order by E.salary desc") {
-        Stmt::Retrieve { order_by: Some((_, asc)), .. } => assert!(!asc),
+        Stmt::Retrieve {
+            order_by: Some((_, asc)),
+            ..
+        } => assert!(!asc),
         other => panic!("{other:?}"),
     }
 }
@@ -291,7 +315,11 @@ fn calls_both_syntaxes() {
     // "Add(CnumPair.val1, CnumPair.val2)".
     let method = expr_of("CnumPair.val1.Add(CnumPair.val2)");
     match method {
-        Expr::Call { recv: Some(r), name, args } => {
+        Expr::Call {
+            recv: Some(r),
+            name,
+            args,
+        } => {
             assert_eq!(*r, Expr::path(Expr::var("CnumPair"), &["val1"]));
             assert_eq!(name, "Add");
             assert_eq!(args.len(), 1);
@@ -300,7 +328,11 @@ fn calls_both_syntaxes() {
     }
     let sym = expr_of("Add(CnumPair.val1, CnumPair.val2)");
     match sym {
-        Expr::Call { recv: None, name, args } => {
+        Expr::Call {
+            recv: None,
+            name,
+            args,
+        } => {
             assert_eq!(name, "Add");
             assert_eq!(args.len(), 2);
         }
@@ -349,12 +381,18 @@ fn set_literals_and_indexing() {
 #[test]
 fn append_forms() {
     match round_trip("append to Employees (name = \"ann\", age = 30)") {
-        Stmt::Append { value: AppendValue::Assignments(a), .. } => assert_eq!(a.len(), 2),
+        Stmt::Append {
+            value: AppendValue::Assignments(a),
+            ..
+        } => assert_eq!(a.len(), 2),
         other => panic!("{other:?}"),
     }
     // Whole-value append; `to` optional.
     match parse("append Employees E2") {
-        Stmt::Append { value: AppendValue::Expr(e), .. } => assert_eq!(e, Expr::var("E2")),
+        Stmt::Append {
+            value: AppendValue::Expr(e),
+            ..
+        } => assert_eq!(e, Expr::var("E2")),
         other => panic!("{other:?}"),
     }
     round_trip("append to E.kids (name = \"junior\", age = 1)");
@@ -414,7 +452,11 @@ fn define_procedure_multi_statement() {
 #[test]
 fn authorization_statements() {
     match round_trip("grant read, append on Employees to alice, staff") {
-        Stmt::Grant { privileges, object, grantees } => {
+        Stmt::Grant {
+            privileges,
+            object,
+            grantees,
+        } => {
             assert_eq!(privileges, vec![Privilege::Read, Privilege::Append]);
             assert_eq!(object, "Employees");
             assert_eq!(grantees, vec!["alice".to_string(), "staff".to_string()]);

@@ -1,0 +1,309 @@
+//! Batched (vectorized) row representation shared across the execution
+//! spine.
+//!
+//! A [`RowBatch`] holds a run of rows column-wise: one vector of
+//! [`Value`]s per bound variable, plus a parallel vector of
+//! [`MemberId`] update identities per variable (the batch-level binding
+//! metadata that keeps set-oriented updates addressable). Operators pass
+//! batches of up to [`ExecCtx::batch_size`](crate::eval::ExecCtx) rows
+//! between each other instead of pushing environments one at a time;
+//! filters evaluate their predicate across a batch into a selection
+//! vector and [`RowBatch::gather`] the survivors.
+//!
+//! Expression evaluation is written against the [`Bindings`] trait so a
+//! single evaluator serves both a materialized [`Env`] (function
+//! parameters, update staging) and a zero-copy [`BatchRow`] view into a
+//! batch.
+
+use extra_model::Value;
+
+use crate::env::{Env, MemberId};
+
+/// Default number of rows per execution batch.
+pub const DEFAULT_BATCH_SIZE: usize = 1024;
+
+/// Read-only variable bindings: the evaluator's view of one row.
+pub trait Bindings {
+    /// Value bound to `var`.
+    fn value(&self, var: &str) -> Option<&Value>;
+    /// Update identity of `var`.
+    fn ident(&self, var: &str) -> MemberId;
+    /// Names of all bound variables.
+    fn bound_vars(&self) -> Vec<&str>;
+}
+
+impl Bindings for Env {
+    fn value(&self, var: &str) -> Option<&Value> {
+        self.get(var)
+    }
+
+    fn ident(&self, var: &str) -> MemberId {
+        self.id_of(var)
+    }
+
+    fn bound_vars(&self) -> Vec<&str> {
+        self.vars().collect()
+    }
+}
+
+/// A batch of rows stored as per-variable column vectors.
+#[derive(Debug, Clone, Default)]
+pub struct RowBatch {
+    vars: Vec<String>,
+    cols: Vec<Vec<Value>>,
+    ids: Vec<Vec<MemberId>>,
+    rows: usize,
+}
+
+impl RowBatch {
+    /// An empty batch with no columns.
+    pub fn new() -> RowBatch {
+        RowBatch::default()
+    }
+
+    /// An empty batch with the given column layout.
+    pub fn with_vars(vars: Vec<String>) -> RowBatch {
+        let n = vars.len();
+        RowBatch {
+            vars,
+            cols: (0..n).map(|_| Vec::new()).collect(),
+            ids: (0..n).map(|_| Vec::new()).collect(),
+            rows: 0,
+        }
+    }
+
+    /// A single-row batch materialized from any bindings. Columns are
+    /// ordered by variable name so batch layout is deterministic.
+    pub fn single(b: &dyn Bindings) -> RowBatch {
+        let mut names = b.bound_vars();
+        names.sort_unstable();
+        let mut batch = RowBatch::with_vars(names.iter().map(|s| s.to_string()).collect());
+        for (c, name) in names.iter().enumerate() {
+            batch.cols[c].push(b.value(name).cloned().unwrap_or(Value::Null));
+            batch.ids[c].push(b.ident(name));
+        }
+        batch.rows = 1;
+        batch
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the batch has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The column (variable) names.
+    pub fn vars(&self) -> &[String] {
+        &self.vars
+    }
+
+    /// Column position of `var`, if bound. Batches carry a handful of
+    /// variables, so a linear scan beats hashing.
+    pub fn col_of(&self, var: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == var)
+    }
+
+    /// View of row `row`.
+    pub fn row(&self, row: usize) -> BatchRow<'_> {
+        debug_assert!(row < self.rows);
+        BatchRow { batch: self, row }
+    }
+
+    /// Iterate over row views.
+    pub fn iter(&self) -> impl Iterator<Item = BatchRow<'_>> {
+        (0..self.rows).map(move |row| BatchRow { batch: self, row })
+    }
+
+    /// Append a copy of `src`'s row `row`, optionally binding `var` to
+    /// `(value, id)` on top (shadowing any existing column of that name).
+    pub fn push_extended(
+        &mut self,
+        src: &RowBatch,
+        row: usize,
+        var: &str,
+        value: Value,
+        id: MemberId,
+    ) {
+        debug_assert!(self.compatible_extension(src, var));
+        for (c, name) in self.vars.iter().enumerate() {
+            if name != var {
+                let s = src.col_of(name).expect("schema mismatch");
+                self.cols[c].push(src.cols[s][row].clone());
+                self.ids[c].push(src.ids[s][row].clone());
+            }
+        }
+        let vc = self.col_of(var).expect("bound variable has a column");
+        self.cols[vc].push(value);
+        self.ids[vc].push(id);
+        self.rows += 1;
+    }
+
+    /// The column layout a scan/unnest produces when binding `var` over
+    /// input rows shaped like `src`.
+    pub fn extended_vars(src: &RowBatch, var: &str) -> Vec<String> {
+        let mut vars = src.vars.clone();
+        if !vars.iter().any(|v| v == var) {
+            vars.push(var.to_string());
+        }
+        vars
+    }
+
+    fn compatible_extension(&self, src: &RowBatch, var: &str) -> bool {
+        self.vars
+            .iter()
+            .all(|v| v == var || src.col_of(v).is_some())
+            && src.vars.iter().all(|v| self.col_of(v).is_some())
+    }
+
+    /// Copy the selected rows into a new batch (`sel` is a selection
+    /// vector of row indices, in output order).
+    pub fn gather(&self, sel: &[usize]) -> RowBatch {
+        let mut out = RowBatch::with_vars(self.vars.clone());
+        for c in 0..self.cols.len() {
+            out.cols[c] = sel.iter().map(|&r| self.cols[c][r].clone()).collect();
+            out.ids[c] = sel.iter().map(|&r| self.ids[c][r].clone()).collect();
+        }
+        out.rows = sel.len();
+        out
+    }
+
+    /// Append all rows of `other` (column layouts must match; column
+    /// order may differ).
+    pub fn append(&mut self, other: RowBatch) {
+        if self.vars.is_empty() && self.rows == 0 {
+            *self = other;
+            return;
+        }
+        debug_assert_eq!(
+            {
+                let mut a = self.vars.clone();
+                a.sort();
+                a
+            },
+            {
+                let mut b = other.vars.clone();
+                b.sort();
+                b
+            },
+            "appending batches with different schemas"
+        );
+        for (c, name) in self.vars.iter().enumerate() {
+            if let Some(o) = other.col_of(name) {
+                self.cols[c].extend(other.cols[o].iter().cloned());
+                self.ids[c].extend(other.ids[o].iter().cloned());
+            }
+        }
+        self.rows += other.rows;
+    }
+
+    /// Split into chunks of at most `n` rows (used by materializing
+    /// operators to re-batch their output).
+    pub fn chunks(self, n: usize) -> Vec<RowBatch> {
+        let n = n.max(1);
+        if self.rows <= n {
+            return if self.rows == 0 {
+                Vec::new()
+            } else {
+                vec![self]
+            };
+        }
+        let mut out = Vec::with_capacity(self.rows.div_ceil(n));
+        let mut start = 0;
+        while start < self.rows {
+            let end = (start + n).min(self.rows);
+            let sel: Vec<usize> = (start..end).collect();
+            out.push(self.gather(&sel));
+            start = end;
+        }
+        out
+    }
+}
+
+/// A zero-copy view of one row of a [`RowBatch`].
+#[derive(Clone, Copy)]
+pub struct BatchRow<'a> {
+    batch: &'a RowBatch,
+    row: usize,
+}
+
+impl BatchRow<'_> {
+    /// The row's position within its batch.
+    pub fn index(&self) -> usize {
+        self.row
+    }
+}
+
+impl Bindings for BatchRow<'_> {
+    fn value(&self, var: &str) -> Option<&Value> {
+        self.batch
+            .col_of(var)
+            .map(|c| &self.batch.cols[c][self.row])
+    }
+
+    fn ident(&self, var: &str) -> MemberId {
+        self.batch
+            .col_of(var)
+            .map(|c| self.batch.ids[c][self.row].clone())
+            .unwrap_or(MemberId::None)
+    }
+
+    fn bound_vars(&self) -> Vec<&str> {
+        self.batch.vars.iter().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_lookup() {
+        let mut env = Env::new();
+        env.bind("x", Value::Int(1), MemberId::None);
+        env.bind("y", Value::Int(2), MemberId::None);
+        let b = RowBatch::single(&env);
+        assert_eq!(b.len(), 1);
+        let row = b.row(0);
+        assert_eq!(row.value("x"), Some(&Value::Int(1)));
+        assert_eq!(row.value("y"), Some(&Value::Int(2)));
+        assert_eq!(row.value("z"), None);
+    }
+
+    #[test]
+    fn extend_gather_append() {
+        let seed = RowBatch::single(&Env::new());
+        let mut b = RowBatch::with_vars(RowBatch::extended_vars(&seed, "v"));
+        for i in 0..5 {
+            b.push_extended(&seed, 0, "v", Value::Int(i), MemberId::None);
+        }
+        assert_eq!(b.len(), 5);
+        let odd = b.gather(&[1, 3]);
+        assert_eq!(odd.len(), 2);
+        assert_eq!(odd.row(1).value("v"), Some(&Value::Int(3)));
+        let mut all = RowBatch::new();
+        all.append(b);
+        all.append(odd);
+        assert_eq!(all.len(), 7);
+        let chunks = all.chunks(3);
+        assert_eq!(
+            chunks.iter().map(RowBatch::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+    }
+
+    #[test]
+    fn shadowing_rebinds_column() {
+        let mut env = Env::new();
+        env.bind("v", Value::Int(7), MemberId::None);
+        let seed = RowBatch::single(&env);
+        let vars = RowBatch::extended_vars(&seed, "v");
+        assert_eq!(vars.len(), 1, "shadowed var must not duplicate a column");
+        let mut b = RowBatch::with_vars(vars);
+        b.push_extended(&seed, 0, "v", Value::Int(9), MemberId::None);
+        assert_eq!(b.row(0).value("v"), Some(&Value::Int(9)));
+    }
+}

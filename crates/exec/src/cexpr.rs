@@ -161,7 +161,12 @@ impl<'a> Compiler<'a> {
         range_env: &'a RangeEnv,
         agg_counter: &'a Cell<usize>,
     ) -> Self {
-        Compiler { ctx, range_env, agg_counter, fn_stack: RefCell::new(Vec::new()) }
+        Compiler {
+            ctx,
+            range_env,
+            agg_counter,
+            fn_stack: RefCell::new(Vec::new()),
+        }
     }
 
     /// Compile an expression.
@@ -221,16 +226,29 @@ impl<'a> Compiler<'a> {
                     .ok_or_else(|| ModelError::UnknownAdt(format!("operator {sym}")))?
                     .1
                     .clone();
-                let cargs = args.iter().map(|a| self.compile(a)).collect::<ModelResult<_>>()?;
-                Ok(CExpr::AdtCall { id, func: cand.function, args: cargs })
+                let cargs = args
+                    .iter()
+                    .map(|a| self.compile(a))
+                    .collect::<ModelResult<_>>()?;
+                Ok(CExpr::AdtCall {
+                    id,
+                    func: cand.function,
+                    args: cargs,
+                })
             }
             Expr::Call { recv, name, args } => self.compile_call(recv.as_deref(), name, args),
             Expr::Agg(agg) => self.compile_agg(agg),
             Expr::SetLit(items) => Ok(CExpr::SetLit(
-                items.iter().map(|i| self.compile(i)).collect::<ModelResult<_>>()?,
+                items
+                    .iter()
+                    .map(|i| self.compile(i))
+                    .collect::<ModelResult<_>>()?,
             )),
             Expr::TupleLit(fields) => Ok(CExpr::TupleLit(
-                fields.iter().map(|(_, v)| self.compile(v)).collect::<ModelResult<_>>()?,
+                fields
+                    .iter()
+                    .map(|(_, v)| self.compile(v))
+                    .collect::<ModelResult<_>>()?,
             )),
         }
     }
@@ -238,9 +256,15 @@ impl<'a> Compiler<'a> {
     fn compile_binary(&self, op: BinOp, a: &Expr, b: &Expr) -> ModelResult<CExpr> {
         // Arithmetic on an ADT operand routes through the registered
         // operator (the Complex `+` overload).
-        if matches!(op, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod) {
+        if matches!(
+            op,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+        ) {
             for side in [a, b] {
-                if let Ok(QualType { ty: Type::Adt(id), .. }) = self.ctx.infer(side) {
+                if let Ok(QualType {
+                    ty: Type::Adt(id), ..
+                }) = self.ctx.infer(side)
+                {
                     let sym = op.to_string();
                     let cand = self
                         .ctx
@@ -264,7 +288,11 @@ impl<'a> Compiler<'a> {
                 }
             }
         }
-        Ok(CExpr::Bin(op, Box::new(self.compile(a)?), Box::new(self.compile(b)?)))
+        Ok(CExpr::Bin(
+            op,
+            Box::new(self.compile(a)?),
+            Box::new(self.compile(b)?),
+        ))
     }
 
     fn compile_call(&self, recv: Option<&Expr>, name: &str, args: &[Expr]) -> ModelResult<CExpr> {
@@ -280,19 +308,36 @@ impl<'a> Compiler<'a> {
             all.push(r);
         }
         all.extend(args.iter());
-        let first_ty = all.first().map(|e| self.ctx.infer(e)).transpose().map_err(sem)?;
-        if let Some(QualType { ty: Type::Adt(id), .. }) = &first_ty {
-            let cargs = all.iter().map(|a| self.compile(a)).collect::<ModelResult<_>>()?;
+        let first_ty = all
+            .first()
+            .map(|e| self.ctx.infer(e))
+            .transpose()
+            .map_err(sem)?;
+        if let Some(QualType {
+            ty: Type::Adt(id), ..
+        }) = &first_ty
+        {
+            let cargs = all
+                .iter()
+                .map(|a| self.compile(a))
+                .collect::<ModelResult<_>>()?;
             // Existence/arity were checked by sema; bind by name.
             self.ctx.adts.function(*id, name)?;
-            return Ok(CExpr::AdtCall { id: *id, func: name.to_string(), args: cargs });
+            return Ok(CExpr::AdtCall {
+                id: *id,
+                func: name.to_string(),
+                args: cargs,
+            });
         }
         let def = self
             .ctx
             .resolve_excess_function(name, first_ty.as_ref(), all.len())
             .map_err(sem)?;
         let func = self.compile_function(&def)?;
-        let cargs = all.iter().map(|a| self.compile(a)).collect::<ModelResult<_>>()?;
+        let cargs = all
+            .iter()
+            .map(|a| self.compile(a))
+            .collect::<ModelResult<_>>()?;
         Ok(CExpr::FunCall { func, args: cargs })
     }
 
@@ -447,8 +492,10 @@ impl<'a> Compiler<'a> {
                 break;
             }
         }
-        let kept: Vec<excess_sema::ResolvedRange> =
-            bindings.into_iter().filter(|b| keep.contains(&b.var)).collect();
+        let kept: Vec<excess_sema::ResolvedRange> = bindings
+            .into_iter()
+            .filter(|b| keep.contains(&b.var))
+            .collect();
         for v in &agg.over {
             if !kept.iter().any(|b| &b.var == v) {
                 return Err(ModelError::Semantic(format!(
@@ -482,7 +529,11 @@ impl<'a> Compiler<'a> {
             func,
             arg: agg.arg.as_ref().map(|a| inner.compile(a)).transpose()?,
             source: AggSource::Ranges(source_plan),
-            by: agg.by.iter().map(|b| inner.compile(b)).collect::<ModelResult<_>>()?,
+            by: agg
+                .by
+                .iter()
+                .map(|b| inner.compile(b))
+                .collect::<ModelResult<_>>()?,
             qual: agg.qual.as_ref().map(|q| inner.compile(q)).transpose()?,
             cacheable: !outer_refs,
         })))

@@ -1,0 +1,470 @@
+//! Pull-based batch cursors: the execution protocol over
+//! [`ExecNode`] plans.
+//!
+//! Every operator is a *batch transformer*: it consumes batches of input
+//! rows and produces batches of output rows (the input rows extended
+//! with whatever the operator binds). Leaves compose the same way — a
+//! scan joins each input row against the collection's members, so
+//! `NestedLoop { outer, inner }` is literally `open(inner, open(outer,
+//! seed))`: the outer's output batches become the inner's input batches,
+//! and the member list is fetched from storage once (in
+//! [`ExecCtx::batch_size`]-sized chunks via the storage layer's
+//! `next_batch` APIs) and replayed from a cache for every further input
+//! row, instead of re-scanned per outer row as the old row-at-a-time
+//! `for_each` protocol did.
+//!
+//! Filters evaluate their predicate across the whole batch into a
+//! selection vector, then [`RowBatch::gather`] the surviving rows (a
+//! batch that passes intact is forwarded without copying). Sort
+//! materializes, sorts a row-index permutation, and re-batches.
+
+use std::vec::IntoIter;
+
+use exodus_storage::btree::BTree;
+use exodus_storage::RecordId;
+use extra_model::{ModelError, ModelResult, Value};
+
+use crate::batch::{Bindings, RowBatch};
+use crate::cexpr::CExpr;
+use crate::env::MemberId;
+use crate::eval::{eval, truthy, ExecCtx};
+use crate::plan::{walk_path, ExecNode, USource};
+
+impl ExecNode {
+    /// Open a batch cursor over this plan, seeded with one batch of
+    /// pre-bound rows (typically a single row of parameters).
+    pub fn cursor(&self, seed: RowBatch) -> Cursor<'_> {
+        open(self, Cursor::Seed(Some(seed)))
+    }
+}
+
+/// A batch iterator over a plan subtree.
+pub enum Cursor<'p> {
+    /// Emits the seed batch once.
+    Seed(Option<RowBatch>),
+    /// Collection / index scan joined against its input rows.
+    Scan(ScanCursor<'p>),
+    /// Nested set/array unnest.
+    Unnest(UnnestCursor<'p>),
+    /// Selection-vector filter.
+    Filter {
+        /// Input cursor.
+        input: Box<Cursor<'p>>,
+        /// Compiled predicate.
+        pred: &'p CExpr,
+    },
+    /// Universal-quantification filter.
+    Universal {
+        /// Input cursor.
+        input: Box<Cursor<'p>>,
+        /// Sub-plan enumerating the universal bindings.
+        universe: &'p ExecNode,
+        /// Predicate that must hold for every universal binding.
+        pred: &'p CExpr,
+    },
+    /// Materializing sort.
+    Sort {
+        /// Input cursor.
+        input: Box<Cursor<'p>>,
+        /// Compiled key.
+        key: &'p CExpr,
+        /// Ascending?
+        asc: bool,
+        /// Sorted output, re-batched (filled on first pull).
+        out: Option<IntoIter<RowBatch>>,
+    },
+}
+
+fn open<'p>(node: &'p ExecNode, input: Cursor<'p>) -> Cursor<'p> {
+    match node {
+        ExecNode::Unit => input,
+        ExecNode::SeqScan { var, anchor } => Cursor::Scan(ScanCursor {
+            input: Box::new(input),
+            var,
+            kind: ScanKind::Heap { anchor: *anchor },
+            members: None,
+            in_batch: None,
+            in_row: 0,
+            pos: 0,
+        }),
+        ExecNode::IndexScan {
+            var,
+            anchor,
+            root,
+            lower,
+            upper,
+        } => Cursor::Scan(ScanCursor {
+            input: Box::new(input),
+            var,
+            kind: ScanKind::Index {
+                anchor: *anchor,
+                root: *root,
+                lower,
+                upper,
+            },
+            members: None,
+            in_batch: None,
+            in_row: 0,
+            pos: 0,
+        }),
+        ExecNode::Unnest {
+            input: child,
+            var,
+            source,
+        } => Cursor::Unnest(UnnestCursor {
+            input: Box::new(open(child, input)),
+            var,
+            source,
+            in_batch: None,
+            in_row: 0,
+            items: None,
+        }),
+        // Batch streams compose: the outer's output is the inner's input.
+        ExecNode::NestedLoop { outer, inner } => open(inner, open(outer, input)),
+        ExecNode::Filter { input: child, pred } => Cursor::Filter {
+            input: Box::new(open(child, input)),
+            pred,
+        },
+        ExecNode::UniversalFilter {
+            input: child,
+            universe,
+            pred,
+        } => Cursor::Universal {
+            input: Box::new(open(child, input)),
+            universe,
+            pred,
+        },
+        // A mid-tree projection only narrows the output list, which is
+        // applied by the plan runner; rows pass through.
+        ExecNode::Project { input: child, .. } => open(child, input),
+        ExecNode::Sort {
+            input: child,
+            key,
+            asc,
+        } => Cursor::Sort {
+            input: Box::new(open(child, input)),
+            key,
+            asc: *asc,
+            out: None,
+        },
+    }
+}
+
+impl Cursor<'_> {
+    /// Pull the next non-empty batch, or `None` when exhausted.
+    pub fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        match self {
+            Cursor::Seed(seed) => Ok(seed.take()),
+            Cursor::Scan(scan) => scan.next(ctx),
+            Cursor::Unnest(unnest) => unnest.next(ctx),
+            Cursor::Filter { input, pred } => loop {
+                let Some(batch) = input.next(ctx)? else {
+                    return Ok(None);
+                };
+                let mut sel: Vec<usize> = Vec::new();
+                for r in 0..batch.len() {
+                    if truthy(&eval(pred, ctx, &batch.row(r))?)? {
+                        sel.push(r);
+                    }
+                }
+                if sel.len() == batch.len() {
+                    if !batch.is_empty() {
+                        return Ok(Some(batch));
+                    }
+                } else if !sel.is_empty() {
+                    return Ok(Some(batch.gather(&sel)));
+                }
+            },
+            Cursor::Universal {
+                input,
+                universe,
+                pred,
+            } => loop {
+                let Some(batch) = input.next(ctx)? else {
+                    return Ok(None);
+                };
+                let mut sel: Vec<usize> = Vec::new();
+                for r in 0..batch.len() {
+                    let seed = RowBatch::single(&batch.row(r));
+                    let mut ucur = universe.cursor(seed);
+                    let mut holds = true; // vacuously true on empty universes
+                    'univ: while let Some(ub) = ucur.next(ctx)? {
+                        for u in 0..ub.len() {
+                            if !truthy(&eval(pred, ctx, &ub.row(u))?)? {
+                                holds = false;
+                                break 'univ; // stop pulling on first failure
+                            }
+                        }
+                    }
+                    if holds {
+                        sel.push(r);
+                    }
+                }
+                if sel.len() == batch.len() {
+                    if !batch.is_empty() {
+                        return Ok(Some(batch));
+                    }
+                } else if !sel.is_empty() {
+                    return Ok(Some(batch.gather(&sel)));
+                }
+            },
+            Cursor::Sort {
+                input,
+                key,
+                asc,
+                out,
+            } => {
+                if out.is_none() {
+                    let mut all = RowBatch::new();
+                    while let Some(b) = input.next(ctx)? {
+                        all.append(b);
+                    }
+                    let mut keys: Vec<Value> = Vec::with_capacity(all.len());
+                    for r in 0..all.len() {
+                        keys.push(eval(key, ctx, &all.row(r))?);
+                    }
+                    let mut idx: Vec<usize> = (0..all.len()).collect();
+                    // Stable: ties keep input order.
+                    idx.sort_by(|&a, &b| {
+                        let ord = keys[a]
+                            .compare(&keys[b], ctx.adts)
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        if *asc {
+                            ord
+                        } else {
+                            ord.reverse()
+                        }
+                    });
+                    let sorted = all.gather(&idx);
+                    *out = Some(sorted.chunks(ctx.batch_size).into_iter());
+                }
+                Ok(out.as_mut().expect("just filled").next())
+            }
+        }
+    }
+}
+
+/// How a scan fetches its members.
+enum ScanKind<'p> {
+    Heap {
+        anchor: exodus_storage::Oid,
+    },
+    Index {
+        anchor: exodus_storage::Oid,
+        root: u64,
+        lower: &'p std::ops::Bound<Vec<u8>>,
+        upper: &'p std::ops::Bound<Vec<u8>>,
+    },
+}
+
+/// A collection scan joined against its input rows. Members are fetched
+/// once — batch-at-a-time from storage — and cached for replay when the
+/// scan sits on the inner side of a nested loop.
+pub struct ScanCursor<'p> {
+    input: Box<Cursor<'p>>,
+    var: &'p str,
+    kind: ScanKind<'p>,
+    members: Option<Vec<(Value, MemberId)>>,
+    in_batch: Option<RowBatch>,
+    in_row: usize,
+    /// Position within `members` for the current input row.
+    pos: usize,
+}
+
+impl ScanCursor<'_> {
+    fn load_members(&self, ctx: &ExecCtx<'_>) -> ModelResult<Vec<(Value, MemberId)>> {
+        let cap = ctx.batch_size.max(1);
+        let mut out: Vec<(Value, MemberId)> = Vec::new();
+        match &self.kind {
+            ScanKind::Heap { anchor } => {
+                let mut scan = ctx.store.scan_members_batch(*anchor)?;
+                loop {
+                    let chunk = scan.next_batch(cap)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    for (rid, value) in chunk {
+                        out.push(member_binding(*anchor, rid, value));
+                    }
+                }
+            }
+            ScanKind::Index {
+                anchor,
+                root,
+                lower,
+                upper,
+            } => {
+                let tree = BTree::open(*root);
+                let pool = ctx.store.storage().pool().clone();
+                let mut scan = tree.scan(pool, (*lower).clone(), (*upper).clone());
+                loop {
+                    let chunk = scan.next_batch(cap)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    for (_, packed) in chunk {
+                        let rid = RecordId::unpack(packed);
+                        let bytes = ctx.store.storage().read(rid)?;
+                        let value = extra_model::valueio::from_bytes(&bytes)?;
+                        out.push(member_binding(*anchor, rid, value));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        let cap = ctx.batch_size.max(1);
+        let mut out: Option<RowBatch> = None;
+        loop {
+            if self.in_batch.is_none() {
+                match self.input.next(ctx)? {
+                    Some(b) if b.is_empty() => continue,
+                    Some(b) => {
+                        self.in_batch = Some(b);
+                        self.in_row = 0;
+                        self.pos = 0;
+                    }
+                    None => return Ok(out.filter(|b| !b.is_empty())),
+                }
+            }
+            if self.in_row >= self.in_batch.as_ref().expect("checked").len() {
+                self.in_batch = None;
+                continue;
+            }
+            if self.members.is_none() {
+                self.members = Some(self.load_members(ctx)?);
+            }
+            let src = self.in_batch.as_ref().expect("checked");
+            let ms = self.members.as_ref().expect("just loaded");
+            let out_batch = out
+                .get_or_insert_with(|| RowBatch::with_vars(RowBatch::extended_vars(src, self.var)));
+            while self.pos < ms.len() && out_batch.len() < cap {
+                let (value, id) = &ms[self.pos];
+                out_batch.push_extended(src, self.in_row, self.var, value.clone(), id.clone());
+                self.pos += 1;
+            }
+            if self.pos >= ms.len() {
+                self.pos = 0;
+                self.in_row += 1;
+            }
+            if out_batch.len() == cap {
+                return Ok(out);
+            }
+        }
+    }
+}
+
+fn member_binding(anchor: exodus_storage::Oid, rid: RecordId, value: Value) -> (Value, MemberId) {
+    let id = match &value {
+        Value::Ref(o) => MemberId::Object(*o),
+        _ => MemberId::Record { anchor, rid },
+    };
+    (value, id)
+}
+
+/// Unnests a nested set/array per input row.
+pub struct UnnestCursor<'p> {
+    input: Box<Cursor<'p>>,
+    var: &'p str,
+    source: &'p USource,
+    in_batch: Option<RowBatch>,
+    in_row: usize,
+    /// Remaining `(original index, item)` pairs of the current row's
+    /// collection (nulls — unfilled array slots — already dropped).
+    items: Option<IntoIter<(usize, Value)>>,
+}
+
+impl UnnestCursor<'_> {
+    fn items_for(&self, ctx: &ExecCtx<'_>, src: &RowBatch) -> ModelResult<Vec<(usize, Value)>> {
+        let collection = match self.source {
+            USource::FromVar { parent, path, .. } => {
+                let base =
+                    src.row(self.in_row).value(parent).cloned().ok_or_else(|| {
+                        ModelError::Semantic(format!("unbound parent '{parent}'"))
+                    })?;
+                walk_path(ctx, base, path)?
+            }
+            USource::FromObject { oid, path, .. } => walk_path(ctx, Value::Ref(*oid), path)?,
+        };
+        let items: Vec<Value> = match collection {
+            Value::Set(ms) => ms,
+            Value::Array(items) => items,
+            Value::Null => Vec::new(),
+            other => {
+                return Err(ModelError::TypeMismatch {
+                    expected: "a set or array".into(),
+                    got: other.kind().into(),
+                })
+            }
+        };
+        Ok(items
+            .into_iter()
+            .enumerate()
+            .filter(|(_, item)| !item.is_null())
+            .collect())
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        let cap = ctx.batch_size.max(1);
+        let (parent_desc, names) = match self.source {
+            USource::FromVar { parent, names, .. } => (parent.as_str(), names),
+            USource::FromObject { names, .. } => ("", names),
+        };
+        let mut out: Option<RowBatch> = None;
+        loop {
+            if self.in_batch.is_none() {
+                match self.input.next(ctx)? {
+                    Some(b) if b.is_empty() => continue,
+                    Some(b) => {
+                        self.in_batch = Some(b);
+                        self.in_row = 0;
+                        self.items = None;
+                    }
+                    None => return Ok(out.filter(|b| !b.is_empty())),
+                }
+            }
+            if self.in_row >= self.in_batch.as_ref().expect("checked").len() {
+                self.in_batch = None;
+                continue;
+            }
+            if self.items.is_none() {
+                let src = self.in_batch.as_ref().expect("checked");
+                self.items = Some(self.items_for(ctx, src)?.into_iter());
+            }
+            let src = self.in_batch.as_ref().expect("checked");
+            let out_batch = out
+                .get_or_insert_with(|| RowBatch::with_vars(RowBatch::extended_vars(src, self.var)));
+            let it = self.items.as_mut().expect("just filled");
+            let mut row_done = false;
+            while out_batch.len() < cap {
+                match it.next() {
+                    Some((i, item)) => {
+                        let id = match &item {
+                            Value::Ref(o) => MemberId::Object(*o),
+                            _ if !parent_desc.is_empty() => MemberId::Nested {
+                                parent: parent_desc.to_string(),
+                                steps: names.clone(),
+                                index: i,
+                            },
+                            _ => MemberId::None,
+                        };
+                        out_batch.push_extended(src, self.in_row, self.var, item, id);
+                    }
+                    None => {
+                        row_done = true;
+                        break;
+                    }
+                }
+            }
+            if row_done {
+                self.items = None;
+                self.in_row += 1;
+            }
+            if out_batch.len() == cap {
+                return Ok(out);
+            }
+        }
+    }
+}

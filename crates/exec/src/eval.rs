@@ -2,14 +2,12 @@
 
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::ops::ControlFlow;
 
 use excess_lang::BinOp;
 use excess_sema::CatalogLookup;
-use extra_model::{
-    AdtRegistry, ModelError, ModelResult, ObjectStore, TypeRegistry, Value,
-};
+use extra_model::{AdtRegistry, ModelError, ModelResult, ObjectStore, TypeRegistry, Value};
 
+use crate::batch::{Bindings, RowBatch, DEFAULT_BATCH_SIZE};
 use crate::cexpr::{AggFunc, AggSource, CAgg, CExpr, MAX_CALL_DEPTH};
 use crate::env::{Env, MemberId};
 
@@ -23,14 +21,29 @@ pub struct ExecCtx<'a> {
     pub adts: &'a AdtRegistry,
     /// Catalog (named objects for late binding).
     pub catalog: &'a dyn CatalogLookup,
+    /// Rows per execution batch (see [`crate::batch`]).
+    pub batch_size: usize,
     /// Current EXCESS-function call depth.
     pub depth: Cell<u32>,
     /// Group tables of cacheable aggregates, keyed by aggregate id.
     pub agg_cache: RefCell<HashMap<usize, HashMap<Vec<u8>, Value>>>,
+    /// Dereferenced-object cache. An `ExecCtx` lives for one statement,
+    /// and statements stage every expression evaluation before mutating
+    /// (set-oriented updates), so object values are stable for the
+    /// context's lifetime. Bounded to keep wide scans from pinning
+    /// arbitrary amounts of memory.
+    deref_cache: RefCell<HashMap<exodus_storage::Oid, Value>>,
+    /// Projected-attribute cache: `(object, field position)` → field
+    /// value, filled by the skip-decode deref in the `Attr` evaluator.
+    /// Same lifetime/staleness argument as `deref_cache`.
+    attr_cache: RefCell<HashMap<(exodus_storage::Oid, usize), Value>>,
 }
 
+/// Entry cap for [`ExecCtx::deref_cache`].
+const DEREF_CACHE_CAP: usize = 4096;
+
 impl<'a> ExecCtx<'a> {
-    /// New context.
+    /// New context with the default batch size.
     pub fn new(
         store: &'a ObjectStore,
         types: &'a TypeRegistry,
@@ -42,16 +55,36 @@ impl<'a> ExecCtx<'a> {
             types,
             adts,
             catalog,
+            batch_size: DEFAULT_BATCH_SIZE,
             depth: Cell::new(0),
             agg_cache: RefCell::new(HashMap::new()),
+            deref_cache: RefCell::new(HashMap::new()),
+            attr_cache: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// Override the execution batch size (clamped to at least 1).
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
     }
 }
 
-/// Chase references until a non-reference value is reached.
+/// Chase references until a non-reference value is reached. Hot path for
+/// implicit joins (`E.dept.budget`): resolved objects are cached on the
+/// context, so a batch of rows referencing the same object pays one
+/// storage read.
 pub fn deref(ctx: &ExecCtx<'_>, mut v: Value) -> ModelResult<Value> {
     while let Value::Ref(oid) = v {
+        if let Some(hit) = ctx.deref_cache.borrow().get(&oid) {
+            v = hit.clone();
+            continue;
+        }
         v = ctx.store.value_of(oid)?;
+        let mut cache = ctx.deref_cache.borrow_mut();
+        if cache.len() < DEREF_CACHE_CAP {
+            cache.insert(oid, v.clone());
+        }
     }
     Ok(v)
 }
@@ -68,25 +101,69 @@ pub fn truthy(v: &Value) -> ModelResult<bool> {
 }
 
 /// Evaluate a compiled expression.
-pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &Env) -> ModelResult<Value> {
+pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Value> {
     match e {
         CExpr::Const(v) => Ok(v.clone()),
         CExpr::Var(n) => env
-            .get(n)
+            .value(n)
             .cloned()
             .ok_or_else(|| ModelError::Semantic(format!("unbound variable '{n}'"))),
         CExpr::NamedSet(oid) => {
             let mut members = Vec::new();
-            for m in ctx.store.scan_members(*oid)? {
-                members.push(m?.1);
+            let mut scan = ctx.store.scan_members_batch(*oid)?;
+            loop {
+                let chunk = scan.next_batch(ctx.batch_size.max(1))?;
+                if chunk.is_empty() {
+                    break;
+                }
+                members.extend(chunk.into_iter().map(|(_, v)| v));
             }
             Ok(Value::Set(members))
         }
         CExpr::NamedRef(oid) => Ok(Value::Ref(*oid)),
         CExpr::NamedValue(oid) => ctx.store.value_of(*oid),
         CExpr::Attr(base, pos) => {
+            // Fast path: project straight out of a bound variable's tuple
+            // without cloning the whole row value first.
+            if let CExpr::Var(n) = &**base {
+                match env.value(n) {
+                    Some(Value::Tuple(fields)) => {
+                        return match fields.get(*pos) {
+                            Some(f) => Ok(f.clone()),
+                            None => Err(ModelError::Semantic(format!(
+                                "tuple has {} fields, wanted position {pos}",
+                                fields.len()
+                            ))),
+                        };
+                    }
+                    Some(Value::Null) => return Ok(Value::Null),
+                    _ => {} // refs and unbound fall through to the general path
+                }
+            }
             let v = eval(base, ctx, env)?;
-            let v = deref(ctx, v)?;
+            // Projected deref: when the base is a reference, skip-decode
+            // just the wanted field off the stored record instead of
+            // materializing the whole object value (the hot path of
+            // implicit joins such as `E.dept.budget`).
+            let v = if let Value::Ref(oid) = v {
+                if let Some(hit) = ctx.attr_cache.borrow().get(&(oid, *pos)) {
+                    return Ok(hit.clone());
+                }
+                if !ctx.deref_cache.borrow().contains_key(&oid) {
+                    if let Some(field) = ctx.store.field_of(oid, *pos)? {
+                        let mut cache = ctx.attr_cache.borrow_mut();
+                        if cache.len() < DEREF_CACHE_CAP {
+                            cache.insert((oid, *pos), field.clone());
+                        }
+                        return Ok(field);
+                    }
+                }
+                // Not a plain tuple record (ref chain, null, out-of-range
+                // position): the full deref reproduces ordinary behavior.
+                deref(ctx, Value::Ref(oid))?
+            } else {
+                deref(ctx, v)?
+            };
             match v {
                 Value::Tuple(mut fields) => {
                     if *pos >= fields.len() {
@@ -130,14 +207,18 @@ pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &Env) -> ModelResult<Value> {
         },
         CExpr::Bin(op, a, b) => eval_bin(*op, a, b, ctx, env),
         CExpr::AdtCall { id, func, args } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, ctx, env)).collect::<ModelResult<_>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, ctx, env))
+                .collect::<ModelResult<_>>()?;
             let f = ctx.adts.function(*id, func)?;
             (f.body)(&vals)
         }
         CExpr::FunCall { func, args } => {
-            let vals: Vec<Value> =
-                args.iter().map(|a| eval(a, ctx, env)).collect::<ModelResult<_>>()?;
+            let vals: Vec<Value> = args
+                .iter()
+                .map(|a| eval(a, ctx, env))
+                .collect::<ModelResult<_>>()?;
             call_function(func, &vals, ctx)
         }
         CExpr::Agg(agg) => eval_agg(agg, ctx, env),
@@ -150,7 +231,10 @@ pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &Env) -> ModelResult<Value> {
             Ok(set)
         }
         CExpr::TupleLit(fields) => Ok(Value::Tuple(
-            fields.iter().map(|f| eval(f, ctx, env)).collect::<ModelResult<_>>()?,
+            fields
+                .iter()
+                .map(|f| eval(f, ctx, env))
+                .collect::<ModelResult<_>>()?,
         )),
     }
 }
@@ -185,7 +269,7 @@ pub fn call_function(
             };
             env.bind(p, v.clone(), id);
         }
-        let result = crate::run::run_plan(&func.plan, ctx, &mut env)?;
+        let result = crate::run::run_plan(&func.plan, ctx, &env)?;
         if func.returns_set {
             let mut set = Value::empty_set();
             for row in result.rows {
@@ -212,7 +296,7 @@ fn eval_bin(
     a: &CExpr,
     b: &CExpr,
     ctx: &ExecCtx<'_>,
-    env: &Env,
+    env: &dyn Bindings,
 ) -> ModelResult<Value> {
     // Short-circuit logic.
     match op {
@@ -261,10 +345,12 @@ fn eval_bin(
             if va.is_null() || vb.is_null() {
                 return Ok(Value::Bool(false));
             }
-            let ord = va.compare(&vb, ctx.adts).ok_or_else(|| ModelError::TypeMismatch {
-                expected: "comparable values".into(),
-                got: format!("{} vs {}", va.kind(), vb.kind()),
-            })?;
+            let ord = va
+                .compare(&vb, ctx.adts)
+                .ok_or_else(|| ModelError::TypeMismatch {
+                    expected: "comparable values".into(),
+                    got: format!("{} vs {}", va.kind(), vb.kind()),
+                })?;
             let ok = match op {
                 BinOp::Lt => ord.is_lt(),
                 BinOp::Le => ord.is_le(),
@@ -360,8 +446,11 @@ fn arith(op: BinOp, a: &Value, b: &Value) -> ModelResult<Value> {
 // Aggregates
 // ---------------------------------------------------------------------------
 
-fn group_key(by: &[CExpr], ctx: &ExecCtx<'_>, env: &Env) -> ModelResult<Vec<u8>> {
-    let vals: Vec<Value> = by.iter().map(|b| eval(b, ctx, env)).collect::<ModelResult<_>>()?;
+fn group_key(by: &[CExpr], ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Vec<u8>> {
+    let vals: Vec<Value> = by
+        .iter()
+        .map(|b| eval(b, ctx, env))
+        .collect::<ModelResult<_>>()?;
     Ok(extra_model::valueio::to_bytes(&Value::Tuple(vals)))
 }
 
@@ -467,10 +556,13 @@ fn finalize(func: &AggFunc, vals: Vec<Value>, ctx: &ExecCtx<'_>) -> ModelResult<
     }
 }
 
-fn eval_agg(agg: &CAgg, ctx: &ExecCtx<'_>, env: &Env) -> ModelResult<Value> {
+fn eval_agg(agg: &CAgg, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Value> {
     match &agg.source {
         AggSource::SetArg => {
-            let arg = agg.arg.as_ref().expect("SetArg aggregates carry their argument");
+            let arg = agg
+                .arg
+                .as_ref()
+                .expect("SetArg aggregates carry their argument");
             let v = deref(ctx, eval(arg, ctx, env)?)?;
             let vals = match v {
                 Value::Set(ms) => ms,
@@ -490,21 +582,26 @@ fn eval_agg(agg: &CAgg, ctx: &ExecCtx<'_>, env: &Env) -> ModelResult<Value> {
             let cached = agg.cacheable && ctx.agg_cache.borrow().contains_key(&agg.id);
             if !cached {
                 let mut groups: HashMap<Vec<u8>, Vec<Value>> = HashMap::new();
-                let mut inner_env = env.clone();
-                let _ = plan.for_each(ctx, &mut inner_env, &mut |ctx, env| {
-                    if let Some(q) = &agg.qual {
-                        if !truthy(&eval(q, ctx, env)?)? {
-                            return Ok(ControlFlow::Continue(()));
+                // Iterate the `over` ranges batch-at-a-time, seeded with
+                // the current bindings (correlation through free outer
+                // variables).
+                let mut cur = plan.cursor(RowBatch::single(env));
+                while let Some(batch) = cur.next(ctx)? {
+                    for r in 0..batch.len() {
+                        let row = batch.row(r);
+                        if let Some(q) = &agg.qual {
+                            if !truthy(&eval(q, ctx, &row)?)? {
+                                continue;
+                            }
                         }
+                        let key = group_key(&agg.by, ctx, &row)?;
+                        let val = match &agg.arg {
+                            Some(a) => eval(a, ctx, &row)?,
+                            None => Value::Null,
+                        };
+                        groups.entry(key).or_default().push(val);
                     }
-                    let key = group_key(&agg.by, ctx, env)?;
-                    let val = match &agg.arg {
-                        Some(a) => eval(a, ctx, env)?,
-                        None => Value::Null,
-                    };
-                    groups.entry(key).or_default().push(val);
-                    Ok(ControlFlow::Continue(()))
-                })?;
+                }
                 let mut finalized = HashMap::with_capacity(groups.len());
                 for (k, vals) in groups {
                     finalized.insert(k, finalize(&agg.func, vals, ctx)?);

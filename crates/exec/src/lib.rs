@@ -1,7 +1,8 @@
 //! # excess-exec
 //!
-//! Query execution for EXCESS: compiled expressions, an environment-based
-//! evaluator, and a push-based (Volcano-flavored) plan runner.
+//! Query execution for EXCESS: compiled expressions, a bindings-based
+//! evaluator, and a batched (vectorized) plan runner — operators exchange
+//! [`batch::RowBatch`]es of column vectors instead of one row at a time.
 //!
 //! The physical plans produced by `excess-algebra` carry raw AST
 //! expressions; [`plan::prepare`] compiles them into an
@@ -24,13 +25,17 @@
 //! * universal ranges (`all`) make the qualification hold for *every*
 //!   binding (vacuously true on empty sets).
 
+pub mod batch;
 pub mod cexpr;
+pub mod cursor;
 pub mod env;
 pub mod eval;
 pub mod plan;
 pub mod run;
 
+pub use batch::{BatchRow, Bindings, RowBatch, DEFAULT_BATCH_SIZE};
 pub use cexpr::{CAgg, CExpr, CompiledFunction, Compiler};
+pub use cursor::Cursor;
 pub use env::{Env, MemberId};
 pub use eval::ExecCtx;
 pub use plan::{prepare, ExecNode};

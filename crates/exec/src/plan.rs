@@ -1,19 +1,17 @@
-//! Executable plans: compilation from physical plans and push-based
-//! iteration.
+//! Executable plans: compilation from physical plans. Iteration happens
+//! batch-at-a-time through [`crate::cursor`].
 
 use std::cell::Cell;
 use std::collections::HashMap;
-use std::ops::{Bound, ControlFlow};
+use std::ops::Bound;
 
 use excess_algebra::Physical;
 use excess_sema::{RangeEnv, ResolvedRange, RootSource, SemaCtx};
-use exodus_storage::btree::BTree;
-use exodus_storage::{Oid, RecordId};
+use exodus_storage::Oid;
 use extra_model::{ModelError, ModelResult, QualType, Value};
 
 use crate::cexpr::{CExpr, Compiler};
-use crate::env::{Env, MemberId};
-use crate::eval::{eval, truthy, ExecCtx};
+use crate::eval::ExecCtx;
 
 /// Where an unnest's collection value comes from.
 #[derive(Debug)]
@@ -118,11 +116,7 @@ fn sem(e: excess_sema::SemaError) -> ModelError {
 }
 
 /// Compile a physical plan into an executable one.
-pub fn prepare(
-    plan: &Physical,
-    ctx: &SemaCtx<'_>,
-    range_env: &RangeEnv,
-) -> ModelResult<ExecNode> {
+pub fn prepare(plan: &Physical, ctx: &SemaCtx<'_>, range_env: &RangeEnv) -> ModelResult<ExecNode> {
     let counter = Cell::new(0);
     prepare_with(plan, ctx, range_env, &counter)
 }
@@ -139,7 +133,12 @@ pub fn prepare_with(
     // compilation sees every variable.
     let mut vars = ctx.vars.clone();
     collect_vars(plan, &mut vars);
-    let full_ctx = SemaCtx { types: ctx.types, adts: ctx.adts, catalog: ctx.catalog, vars };
+    let full_ctx = SemaCtx {
+        types: ctx.types,
+        adts: ctx.adts,
+        catalog: ctx.catalog,
+        vars,
+    };
     prepare_node(plan, &full_ctx, range_env, agg_counter)
 }
 
@@ -160,7 +159,9 @@ fn collect_vars(plan: &Physical, vars: &mut HashMap<String, QualType>) {
         Physical::Filter { input, .. }
         | Physical::Project { input, .. }
         | Physical::Sort { input, .. } => collect_vars(input, vars),
-        Physical::UniversalFilter { input, bindings, .. } => {
+        Physical::UniversalFilter {
+            input, bindings, ..
+        } => {
             collect_vars(input, vars);
             for b in bindings {
                 vars.insert(b.var.clone(), b.elem.clone());
@@ -182,7 +183,12 @@ fn prepare_node(
             var: binding.var.clone(),
             anchor: collection_oid(binding)?,
         },
-        Physical::IndexScan { binding, index, lower, upper } => ExecNode::IndexScan {
+        Physical::IndexScan {
+            binding,
+            index,
+            lower,
+            upper,
+        } => ExecNode::IndexScan {
             var: binding.var.clone(),
             anchor: collection_oid(binding)?,
             root: index.root,
@@ -202,7 +208,11 @@ fn prepare_node(
             input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
             pred: compiler.compile(pred)?,
         },
-        Physical::UniversalFilter { input, bindings, pred } => ExecNode::UniversalFilter {
+        Physical::UniversalFilter {
+            input,
+            bindings,
+            pred,
+        } => ExecNode::UniversalFilter {
             input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
             universe: Box::new(prepare_bindings(bindings, ctx, range_env, agg_counter)?),
             pred: compiler.compile(pred)?,
@@ -235,15 +245,26 @@ pub fn prepare_bindings(
     for b in bindings {
         vars.insert(b.var.clone(), b.elem.clone());
     }
-    let full_ctx = SemaCtx { types: ctx.types, adts: ctx.adts, catalog: ctx.catalog, vars };
+    let full_ctx = SemaCtx {
+        types: ctx.types,
+        adts: ctx.adts,
+        catalog: ctx.catalog,
+        vars,
+    };
     let mut node = ExecNode::Unit;
     for b in bindings {
         node = match (&b.root, b.steps.is_empty()) {
             (RootSource::Collection(_), true) => {
-                let scan = ExecNode::SeqScan { var: b.var.clone(), anchor: collection_oid(b)? };
+                let scan = ExecNode::SeqScan {
+                    var: b.var.clone(),
+                    anchor: collection_oid(b)?,
+                };
                 match node {
                     ExecNode::Unit => scan,
-                    prev => ExecNode::NestedLoop { outer: Box::new(prev), inner: Box::new(scan) },
+                    prev => ExecNode::NestedLoop {
+                        outer: Box::new(prev),
+                        inner: Box::new(scan),
+                    },
                 }
             }
             _ => ExecNode::Unnest {
@@ -270,36 +291,37 @@ fn collection_oid(b: &ResolvedRange) -> ModelResult<Oid> {
 type MkSource = Box<dyn Fn(Vec<usize>, Vec<String>) -> USource>;
 
 fn unnest_source(b: &ResolvedRange, ctx: &SemaCtx<'_>) -> ModelResult<USource> {
-    let (start_qty, mk): (QualType, MkSource) =
-        match &b.root {
-            RootSource::Var(parent) => {
-                let qty = ctx
-                    .vars
-                    .get(parent)
-                    .cloned()
-                    .ok_or_else(|| ModelError::Semantic(format!("unbound parent '{parent}'")))?;
-                let parent = parent.clone();
-                (qty, Box::new(move |path, names| USource::FromVar {
+    let (start_qty, mk): (QualType, MkSource) = match &b.root {
+        RootSource::Var(parent) => {
+            let qty = ctx
+                .vars
+                .get(parent)
+                .cloned()
+                .ok_or_else(|| ModelError::Semantic(format!("unbound parent '{parent}'")))?;
+            let parent = parent.clone();
+            (
+                qty,
+                Box::new(move |path, names| USource::FromVar {
                     parent: parent.clone(),
                     path,
                     names,
-                }))
-            }
-            RootSource::Object(obj) => {
-                let oid = obj.oid;
-                (obj.qty.clone(), Box::new(move |path, names| USource::FromObject {
-                    oid,
-                    path,
-                    names,
-                }))
-            }
-            RootSource::Collection(_) => {
-                return Err(ModelError::Semantic(format!(
-                    "binding '{}' should be a scan, not an unnest",
-                    b.var
-                )))
-            }
-        };
+                }),
+            )
+        }
+        RootSource::Object(obj) => {
+            let oid = obj.oid;
+            (
+                obj.qty.clone(),
+                Box::new(move |path, names| USource::FromObject { oid, path, names }),
+            )
+        }
+        RootSource::Collection(_) => {
+            return Err(ModelError::Semantic(format!(
+                "binding '{}' should be a scan, not an unnest",
+                b.var
+            )))
+        }
+    };
     let mut cur = start_qty;
     let mut path = Vec::with_capacity(b.steps.len());
     for s in &b.steps {
@@ -308,163 +330,6 @@ fn unnest_source(b: &ResolvedRange, ctx: &SemaCtx<'_>) -> ModelResult<USource> {
         cur = ctx.attr_type(&cur, s).map_err(sem)?;
     }
     Ok(mk(path, b.steps.clone()))
-}
-
-type RowFn<'f> = dyn FnMut(&ExecCtx<'_>, &mut Env) -> ModelResult<ControlFlow<()>> + 'f;
-
-impl ExecNode {
-    /// Push every produced environment through `f`. `ControlFlow::Break`
-    /// stops iteration early.
-    pub fn for_each(
-        &self,
-        ctx: &ExecCtx<'_>,
-        env: &mut Env,
-        f: &mut RowFn<'_>,
-    ) -> ModelResult<ControlFlow<()>> {
-        match self {
-            ExecNode::Unit => f(ctx, env),
-            ExecNode::SeqScan { var, anchor } => {
-                let members: Vec<(RecordId, Value)> = ctx
-                    .store
-                    .scan_members(*anchor)?
-                    .collect::<ModelResult<Vec<_>>>()?;
-                for (rid, value) in members {
-                    let id = match &value {
-                        Value::Ref(o) => MemberId::Object(*o),
-                        _ => MemberId::Record { anchor: *anchor, rid },
-                    };
-                    let shadowed = env.bind(var, value, id);
-                    let flow = f(ctx, env)?;
-                    env.restore(var, shadowed);
-                    if flow.is_break() {
-                        return Ok(ControlFlow::Break(()));
-                    }
-                }
-                Ok(ControlFlow::Continue(()))
-            }
-            ExecNode::IndexScan { var, anchor, root, lower, upper } => {
-                let tree = BTree::open(*root);
-                let pool = ctx.store.storage().pool().clone();
-                let entries: Vec<(Vec<u8>, u64)> = tree
-                    .scan(pool, lower.clone(), upper.clone())
-                    .collect::<Result<_, _>>()?;
-                for (_, packed) in entries {
-                    let rid = RecordId::unpack(packed);
-                    let bytes = ctx.store.storage().read(rid)?;
-                    let value = extra_model::valueio::from_bytes(&bytes)?;
-                    let id = match &value {
-                        Value::Ref(o) => MemberId::Object(*o),
-                        _ => MemberId::Record { anchor: *anchor, rid },
-                    };
-                    let shadowed = env.bind(var, value, id);
-                    let flow = f(ctx, env)?;
-                    env.restore(var, shadowed);
-                    if flow.is_break() {
-                        return Ok(ControlFlow::Break(()));
-                    }
-                }
-                Ok(ControlFlow::Continue(()))
-            }
-            ExecNode::Unnest { input, var, source } => {
-                input.for_each(ctx, env, &mut |ctx, env| {
-                    let (collection, parent_desc, names) = match source {
-                        USource::FromVar { parent, path, names } => {
-                            let base = env.get(parent).cloned().ok_or_else(|| {
-                                ModelError::Semantic(format!("unbound parent '{parent}'"))
-                            })?;
-                            (walk_path(ctx, base, path)?, parent.clone(), names)
-                        }
-                        USource::FromObject { oid, path, names } => {
-                            let base = Value::Ref(*oid);
-                            (walk_path(ctx, base, path)?, String::new(), names)
-                        }
-                    };
-                    let items: Vec<Value> = match collection {
-                        Value::Set(ms) => ms,
-                        Value::Array(items) => items,
-                        Value::Null => Vec::new(),
-                        other => {
-                            return Err(ModelError::TypeMismatch {
-                                expected: "a set or array".into(),
-                                got: other.kind().into(),
-                            })
-                        }
-                    };
-                    for (i, item) in items.into_iter().enumerate() {
-                        if item.is_null() {
-                            continue; // unfilled array slots
-                        }
-                        let id = match &item {
-                            Value::Ref(o) => MemberId::Object(*o),
-                            _ if !parent_desc.is_empty() => MemberId::Nested {
-                                parent: parent_desc.clone(),
-                                steps: names.clone(),
-                                index: i,
-                            },
-                            _ => MemberId::None,
-                        };
-                        let shadowed = env.bind(var, item, id);
-                        let flow = f(ctx, env)?;
-                        env.restore(var, shadowed);
-                        if flow.is_break() {
-                            return Ok(ControlFlow::Break(()));
-                        }
-                    }
-                    Ok(ControlFlow::Continue(()))
-                })
-            }
-            ExecNode::NestedLoop { outer, inner } => outer.for_each(ctx, env, &mut |ctx, env| {
-                inner.for_each(ctx, env, f)
-            }),
-            ExecNode::Filter { input, pred } => input.for_each(ctx, env, &mut |ctx, env| {
-                if truthy(&eval(pred, ctx, env)?)? {
-                    f(ctx, env)
-                } else {
-                    Ok(ControlFlow::Continue(()))
-                }
-            }),
-            ExecNode::UniversalFilter { input, universe, pred } => {
-                input.for_each(ctx, env, &mut |ctx, env| {
-                    let mut holds = true;
-                    let _ = universe.for_each(ctx, env, &mut |ctx, env| {
-                        if truthy(&eval(pred, ctx, env)?)? {
-                            Ok(ControlFlow::Continue(()))
-                        } else {
-                            holds = false;
-                            Ok(ControlFlow::Break(()))
-                        }
-                    })?;
-                    if holds {
-                        f(ctx, env)
-                    } else {
-                        Ok(ControlFlow::Continue(()))
-                    }
-                })
-            }
-            ExecNode::Project { input, .. } => input.for_each(ctx, env, f),
-            ExecNode::Sort { input, key, asc } => {
-                let mut rows: Vec<(Value, Env)> = Vec::new();
-                let _ = input.for_each(ctx, env, &mut |ctx, env| {
-                    rows.push((eval(key, ctx, env)?, env.clone()));
-                    Ok(ControlFlow::Continue(()))
-                })?;
-                rows.sort_by(|(a, _), (b, _)| {
-                    let ord = a.compare(b, ctx.adts).unwrap_or(std::cmp::Ordering::Equal);
-                    if *asc {
-                        ord
-                    } else {
-                        ord.reverse()
-                    }
-                });
-                for (_, mut row_env) in rows {
-                    if f(ctx, &mut row_env)?.is_break() {
-                        return Ok(ControlFlow::Break(()));
-                    }
-                }
-                Ok(ControlFlow::Continue(()))
-            }
-        }
-    }
 }
 
 /// Walk attribute positions, dereferencing refs along the way.

@@ -1,10 +1,10 @@
 //! Running plans to completion.
 
-use std::ops::ControlFlow;
+use std::fmt;
 
 use extra_model::{AdtRegistry, ModelError, ModelResult, Value};
 
-use crate::env::Env;
+use crate::batch::{Bindings, RowBatch};
 use crate::eval::{eval, ExecCtx};
 use crate::plan::ExecNode;
 
@@ -31,18 +31,35 @@ impl QueryResult {
     /// Render as lines of `col = value` pairs (ADT values use their
     /// display forms).
     pub fn render(&self, adts: &AdtRegistry) -> String {
-        let mut out = String::new();
-        for row in &self.rows {
-            let parts: Vec<String> = self
-                .columns
-                .iter()
-                .zip(row.iter())
-                .map(|(c, v)| format!("{c} = {}", v.render(adts)))
-                .collect();
-            out.push_str(&parts.join(", "));
-            out.push('\n');
+        self.display(adts).to_string()
+    }
+
+    /// A [`fmt::Display`] adapter that streams rows straight into the
+    /// output formatter — no per-row intermediate strings.
+    pub fn display<'r>(&'r self, adts: &'r AdtRegistry) -> DisplayRows<'r> {
+        DisplayRows { result: self, adts }
+    }
+}
+
+/// Streaming renderer for a [`QueryResult`] (see
+/// [`QueryResult::display`]).
+pub struct DisplayRows<'r> {
+    result: &'r QueryResult,
+    adts: &'r AdtRegistry,
+}
+
+impl fmt::Display for DisplayRows<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.result.rows {
+            for (i, (c, v)) in self.result.columns.iter().zip(row.iter()).enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{c} = {}", v.render(self.adts))?;
+            }
+            f.write_str("\n")?;
         }
-        out
+        Ok(())
     }
 }
 
@@ -52,20 +69,25 @@ impl QueryResult {
 pub fn run_plan(
     plan: &ExecNode,
     ctx: &ExecCtx<'_>,
-    env: &mut Env,
+    env: &dyn Bindings,
 ) -> ModelResult<QueryResult> {
     let ExecNode::Project { input, targets } = plan else {
-        return Err(ModelError::Semantic("plan has no projection at the top".into()));
+        return Err(ModelError::Semantic(
+            "plan has no projection at the top".into(),
+        ));
     };
     let columns: Vec<String> = targets.iter().map(|(n, _)| n.clone()).collect();
     let mut rows = Vec::new();
-    let _ = input.for_each(ctx, env, &mut |ctx, env| {
-        let row: Vec<Value> = targets
-            .iter()
-            .map(|(_, e)| eval(e, ctx, env))
-            .collect::<ModelResult<_>>()?;
-        rows.push(row);
-        Ok(ControlFlow::Continue(()))
-    })?;
+    let mut cur = input.cursor(RowBatch::single(env));
+    while let Some(batch) = cur.next(ctx)? {
+        for r in 0..batch.len() {
+            let row = batch.row(r);
+            let out: Vec<Value> = targets
+                .iter()
+                .map(|(_, e)| eval(e, ctx, &row))
+                .collect::<ModelResult<_>>()?;
+            rows.push(out);
+        }
+    }
     Ok(QueryResult { columns, rows })
 }

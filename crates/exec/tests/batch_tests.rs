@@ -1,0 +1,143 @@
+//! Batch-boundary tests for the vectorized executor.
+//!
+//! The interesting sizes are the edges: empty inputs, collections that
+//! fill a batch exactly, one past a batch, and predicates whose survivors
+//! sit at a batch's very end. Every query is run at several batch sizes
+//! (including 1, which degenerates to row-at-a-time) and must produce an
+//! identical `QueryResult`.
+
+use std::sync::Arc;
+
+use exodus_db::{Database, Value};
+
+/// Batch sizes exercised against every scenario: degenerate row-at-a-time,
+/// a size smaller than the data, and the default.
+const SIZES: &[usize] = &[1, 7, excess_exec::DEFAULT_BATCH_SIZE];
+
+fn db_with_rows(n: i64) -> Arc<Database> {
+    let db = Database::in_memory();
+    let mut s = db.session();
+    s.run(
+        r#"
+        define type Row (k: int4, v: float8);
+        create { own Row } Rows;
+    "#,
+    )
+    .unwrap();
+    db.bulk_append(
+        "Rows",
+        (0..n)
+            .map(|i| Value::Tuple(vec![Value::Int(i), Value::Float(i as f64)]))
+            .collect(),
+    )
+    .unwrap();
+    db
+}
+
+/// Run `q` at every batch size and assert all results are identical,
+/// returning the common result.
+fn same_at_all_sizes(db: &Arc<Database>, q: &str) -> exodus_db::QueryResult {
+    let mut s = db.session();
+    db.set_batch_size(SIZES[0]);
+    let first = s.query(q).unwrap();
+    for &n in &SIZES[1..] {
+        db.set_batch_size(n);
+        let r = s.query(q).unwrap();
+        assert_eq!(first, r, "batch size {n} diverged on {q}");
+    }
+    db.set_batch_size(excess_exec::DEFAULT_BATCH_SIZE);
+    first
+}
+
+#[test]
+fn empty_collection() {
+    let db = db_with_rows(0);
+    let r = same_at_all_sizes(&db, "retrieve (R.k) from R in Rows");
+    assert!(r.is_empty());
+    let r = same_at_all_sizes(&db, "retrieve (count(R over R)) from R in Rows");
+    assert_eq!(r.rows[0][0], Value::Int(0));
+}
+
+#[test]
+fn exactly_batch_size() {
+    // 7 rows at batch size 7: one full batch, then exhaustion.
+    let db = db_with_rows(7);
+    let r = same_at_all_sizes(&db, "retrieve (R.k) from R in Rows");
+    assert_eq!(r.len(), 7);
+    assert_eq!(r.rows[6][0], Value::Int(6));
+}
+
+#[test]
+fn batch_size_plus_one() {
+    // 8 rows at batch size 7: a full batch plus a one-row straggler.
+    let db = db_with_rows(8);
+    let r = same_at_all_sizes(&db, "retrieve (R.k) from R in Rows order by R.k");
+    assert_eq!(r.len(), 8);
+    assert_eq!(r.rows[7][0], Value::Int(7));
+}
+
+#[test]
+fn default_batch_size_boundaries() {
+    let n = excess_exec::DEFAULT_BATCH_SIZE as i64;
+    for count in [n, n + 1] {
+        let db = db_with_rows(count);
+        let r = same_at_all_sizes(&db, "retrieve (count(R over R)) from R in Rows");
+        assert_eq!(r.rows[0][0], Value::Int(count));
+    }
+}
+
+#[test]
+fn predicate_selects_only_last_row_of_batch() {
+    // With batch size 7 the row k = 6 is the last row of the first batch
+    // and k = 13 the last of the second; the filter's selection vector
+    // must keep exactly those.
+    let db = db_with_rows(14);
+    let r = same_at_all_sizes(
+        &db,
+        "retrieve (R.k) from R in Rows where R.k = 6 or R.k = 13",
+    );
+    assert_eq!(r.len(), 2);
+    let mut got: Vec<&Value> = r.rows.iter().map(|row| &row[0]).collect();
+    got.sort_by_key(|v| match v {
+        Value::Int(i) => *i,
+        _ => unreachable!(),
+    });
+    assert_eq!(got, vec![&Value::Int(6), &Value::Int(13)]);
+}
+
+#[test]
+fn joins_and_sorts_survive_rebatching() {
+    let db = db_with_rows(9);
+    // Cross product spans batch boundaries in both inputs; sort
+    // materializes everything and re-chunks its output.
+    let r = same_at_all_sizes(
+        &db,
+        "retrieve (A.k, B.k) from A in Rows, B in Rows where A.k = B.k order by A.k",
+    );
+    assert_eq!(r.len(), 9);
+    assert_eq!(r.rows[8], vec![Value::Int(8), Value::Int(8)]);
+}
+
+#[test]
+fn updates_identical_across_batch_sizes() {
+    // Set-oriented replace must touch the same members no matter how the
+    // satisfying bindings were batched.
+    for &n in SIZES {
+        let db = db_with_rows(10);
+        db.set_batch_size(n);
+        let mut s = db.session();
+        s.run("range of R is Rows; replace R (v = 99.0) where R.k >= 6")
+            .unwrap();
+        let r = s
+            .query("retrieve (R.k) from R in Rows where R.v = 99.0 order by R.k")
+            .unwrap();
+        assert_eq!(r.len(), 4, "batch size {n}");
+        assert_eq!(r.rows[0][0], Value::Int(6));
+        s.run("range of R is Rows; delete R where R.v = 99.0")
+            .unwrap();
+        let r = s
+            .query("retrieve (count(R over R)) from R in Rows")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Int(6), "batch size {n}");
+    }
+}

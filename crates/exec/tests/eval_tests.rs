@@ -3,15 +3,13 @@
 
 use std::cell::Cell;
 
+use excess_exec::eval::{eval, ExecCtx};
+use excess_exec::{CExpr, Compiler, Env, MemberId};
 use excess_lang::{parse_statement, OperatorTable, Stmt};
 use excess_sema::catalog::EmptyCatalog;
 use excess_sema::{RangeEnv, SemaCtx};
-use excess_exec::eval::{eval, ExecCtx};
-use excess_exec::{CExpr, Compiler, Env, MemberId};
 use exodus_storage::StorageManager;
-use extra_model::{
-    AdtRegistry, ObjectStore, QualType, Type, TypeRegistry, Value,
-};
+use extra_model::{AdtRegistry, ObjectStore, QualType, Type, TypeRegistry, Value};
 
 struct Harness {
     types: TypeRegistry,
@@ -70,16 +68,26 @@ fn arithmetic_semantics() {
     assert_eq!(h.run("7 % 4"), Value::Int(3));
     assert_eq!(h.run("-(2 + 3)"), Value::Int(-5));
     assert_eq!(h.run("2 + null"), Value::Null, "null propagates");
-    assert!(h.eval_err(&h.compile("1 / 0", &[]), &Env::new()).contains("zero"));
+    assert!(h
+        .eval_err(&h.compile("1 / 0", &[]), &Env::new())
+        .contains("zero"));
 }
 
 #[test]
 fn comparison_semantics() {
     let h = Harness::new();
     assert_eq!(h.run("1 < 2"), Value::Bool(true));
-    assert_eq!(h.run("2 = 2.0"), Value::Bool(true), "cross-type numeric equality");
+    assert_eq!(
+        h.run("2 = 2.0"),
+        Value::Bool(true),
+        "cross-type numeric equality"
+    );
     assert_eq!(h.run("\"abc\" < \"abd\""), Value::Bool(true));
-    assert_eq!(h.run("null = null"), Value::Bool(false), "null never equals");
+    assert_eq!(
+        h.run("null = null"),
+        Value::Bool(false),
+        "null never equals"
+    );
     assert_eq!(h.run("null is null"), Value::Bool(true));
     assert_eq!(h.run("1 != 2"), Value::Bool(true));
 }

@@ -74,7 +74,10 @@ impl Auth {
 
     /// Revoke privileges.
     pub fn revoke(&mut self, object: &str, grantee: &str, privileges: &[Privilege]) {
-        if let Some(entry) = self.grants.get_mut(&(object.to_string(), grantee.to_string())) {
+        if let Some(entry) = self
+            .grants
+            .get_mut(&(object.to_string(), grantee.to_string()))
+        {
             for p in privileges {
                 if *p == Privilege::All {
                     entry.clear();
@@ -166,7 +169,12 @@ impl CatalogLookup for CatalogView<'_> {
     }
 
     fn functions_named(&self, name: &str) -> Vec<FunctionDef> {
-        self.cat.functions.iter().filter(|f| f.name == name).cloned().collect()
+        self.cat
+            .functions
+            .iter()
+            .filter(|f| f.name == name)
+            .cloned()
+            .collect()
     }
 
     fn procedure(&self, name: &str) -> Option<ProcedureDef> {

@@ -5,21 +5,17 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use excess_algebra::PlannerConfig;
+use excess_exec::QueryResult;
 use excess_lang::ops::OpAssoc;
-use excess_lang::{
-    parse_program, AttrDecl, InheritClause, OperatorTable, Param, Privilege, Stmt,
-};
+use excess_lang::{parse_program, AttrDecl, InheritClause, OperatorTable, Param, Privilege, Stmt};
 use excess_sema::lower::lower_qual;
 use excess_sema::resolve::Resolver;
 use excess_sema::{FunctionDef, IndexInfo, NamedObject, ProcedureDef, RangeEnv, SemaCtx};
 use exodus_storage::btree::BTree;
 use exodus_storage::{Oid, StorageManager};
-use excess_exec::QueryResult;
 use extra_model::adt::Assoc;
 use extra_model::schema::InheritSpec;
-use extra_model::{
-    AdtType, Attribute, ObjectStore, Ownership, QualType, Type, Value,
-};
+use extra_model::{AdtType, Attribute, ObjectStore, Ownership, QualType, Type, Value};
 
 use crate::catalog::{Catalog, CatalogView, ADMIN};
 use crate::dml::{self, Params};
@@ -50,6 +46,7 @@ pub struct Database {
     pub(crate) catalog: RwLock<Catalog>,
     pub(crate) ops: RwLock<OperatorTable>,
     pub(crate) planner: RwLock<PlannerConfig>,
+    pub(crate) batch_size: std::sync::atomic::AtomicUsize,
 }
 
 impl Database {
@@ -70,6 +67,7 @@ impl Database {
             catalog: RwLock::new(catalog),
             ops: RwLock::new(ops),
             planner: RwLock::new(PlannerConfig::default()),
+            batch_size: std::sync::atomic::AtomicUsize::new(excess_exec::DEFAULT_BATCH_SIZE),
         })
     }
 
@@ -122,6 +120,19 @@ impl Database {
     /// Set the planner configuration (experiment E8 ablations).
     pub fn set_planner(&self, config: PlannerConfig) {
         *self.planner.write() = config;
+    }
+
+    /// Rows per execution batch. `1` degenerates to row-at-a-time
+    /// iteration (useful for comparisons); the default is
+    /// [`excess_exec::DEFAULT_BATCH_SIZE`].
+    pub fn batch_size(&self) -> usize {
+        self.batch_size.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Set the rows-per-batch knob used by query and update execution.
+    pub fn set_batch_size(&self, n: usize) {
+        self.batch_size
+            .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Register a new ADT at runtime, extending the parser's operator
@@ -197,7 +208,9 @@ impl Session {
         let responses = self.run(src)?;
         match responses.into_iter().next_back() {
             Some(Response::Rows(r)) => Ok(r),
-            _ => Err(DbError::Catalog("the last statement was not a retrieve".into())),
+            _ => Err(DbError::Catalog(
+                "the last statement was not a retrieve".into(),
+            )),
         }
     }
 
@@ -212,12 +225,14 @@ impl Session {
             .next_back()
             .ok_or_else(|| DbError::Catalog("nothing to explain".into()))?;
         let cat = self.db.catalog.read();
-        let view = CatalogView { cat: &cat, store: &self.db.store };
+        let view = CatalogView {
+            cat: &cat,
+            store: &self.db.store,
+        };
         let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
         let resolver = Resolver::new(&ctx, &self.ranges);
         let checked = resolver.check_retrieve(&stmt)?;
-        let plan =
-            excess_algebra::plan_retrieve(&stmt, &checked, &ctx, *self.db.planner.read())?;
+        let plan = excess_algebra::plan_retrieve(&stmt, &checked, &ctx, *self.db.planner.read())?;
         Ok(plan.to_string())
     }
 
@@ -228,8 +243,15 @@ impl Session {
         let db = self.db.clone();
         if let Stmt::Retrieve { into: None, .. } = stmt {
             let cat = db.catalog.read();
-            return dml::retrieve(&db, &cat, &self.ranges, &self.user, stmt, &Params::default())
-                .map(Response::Rows);
+            return dml::retrieve(
+                &db,
+                &cat,
+                &self.ranges,
+                &self.user,
+                stmt,
+                &Params::default(),
+            )
+            .map(Response::Rows);
         }
         let mut cat = db.catalog.write();
         exec_statement(
@@ -255,16 +277,25 @@ pub(crate) fn exec_statement(
     depth: u32,
 ) -> DbResult<Response> {
     match stmt {
-        Stmt::DefineType { name, inherits, attrs } => define_type(cat, name, inherits, attrs),
+        Stmt::DefineType {
+            name,
+            inherits,
+            attrs,
+        } => define_type(cat, name, inherits, attrs),
         Stmt::Create { qty, name, key } => create_named(db, cat, qty, name, key.as_deref()),
         Stmt::Destroy { name } => destroy_named(db, cat, user, name),
         Stmt::DropType { name } => drop_type(cat, name),
-        Stmt::DefineFunction { name, params: ps, returns, body } => {
-            define_function(db, cat, name, ps, returns, body)
-        }
-        Stmt::DefineProcedure { name, params: ps, body } => {
-            define_procedure(cat, name, ps, body)
-        }
+        Stmt::DefineFunction {
+            name,
+            params: ps,
+            returns,
+            body,
+        } => define_function(db, cat, name, ps, returns, body),
+        Stmt::DefineProcedure {
+            name,
+            params: ps,
+            body,
+        } => define_procedure(cat, name, ps, body),
         Stmt::DropFunction { name } => {
             let before = cat.functions.len();
             cat.functions.retain(|f| f.name != *name);
@@ -279,10 +310,17 @@ pub(crate) fn exec_statement(
             }
             Ok(Response::Done(format!("procedure {name} dropped")))
         }
-        Stmt::DefineIndex { name, collection, attr, unique } => {
-            define_index(db, cat, name, collection, attr, *unique)
-        }
-        Stmt::RangeOf { var, universal, path } => {
+        Stmt::DefineIndex {
+            name,
+            collection,
+            attr,
+            unique,
+        } => define_index(db, cat, name, collection, attr, *unique),
+        Stmt::RangeOf {
+            var,
+            universal,
+            path,
+        } => {
             ranges.declare(var, *universal, path.clone());
             Ok(Response::Done(format!("range of {var} declared")))
         }
@@ -296,7 +334,11 @@ pub(crate) fn exec_statement(
         Stmt::Delete { .. } => dml::delete(db, cat, ranges, user, stmt, params),
         Stmt::Replace { .. } => dml::replace(db, cat, ranges, user, stmt, params),
         Stmt::Execute { .. } => dml::execute_procedure(db, cat, ranges, user, stmt, params, depth),
-        Stmt::Grant { privileges, object, grantees } => {
+        Stmt::Grant {
+            privileges,
+            object,
+            grantees,
+        } => {
             require_admin(user, "grant")?;
             for g in grantees {
                 if !cat.auth.grantee_exists(g) {
@@ -306,7 +348,11 @@ pub(crate) fn exec_statement(
             }
             Ok(Response::Done(format!("granted on {object}")))
         }
-        Stmt::Revoke { privileges, object, grantees } => {
+        Stmt::Revoke {
+            privileges,
+            object,
+            grantees,
+        } => {
             require_admin(user, "revoke")?;
             for g in grantees {
                 cat.auth.revoke(object, g, privileges);
@@ -371,11 +417,16 @@ fn define_type(
     attrs: &[AttrDecl],
 ) -> DbResult<Response> {
     if cat.named.contains_key(name) || cat.adts.contains(name) {
-        return Err(DbError::Catalog(format!("the name '{name}' is already in use")));
+        return Err(DbError::Catalog(format!(
+            "the name '{name}' is already in use"
+        )));
     }
     let specs: Vec<InheritSpec> = inherits
         .iter()
-        .map(|c| InheritSpec { base: c.base.clone(), renames: c.renames.clone() })
+        .map(|c| InheritSpec {
+            base: c.base.clone(),
+            renames: c.renames.clone(),
+        })
         .collect();
     // Forward-declare so self-referential attribute types resolve
     // (`define type Person (kids: { own ref Person })`).
@@ -425,7 +476,9 @@ fn create_named(
     key: Option<&str>,
 ) -> DbResult<Response> {
     if cat.named.contains_key(name) || cat.types.contains(name) || cat.adts.contains(name) {
-        return Err(DbError::Catalog(format!("the name '{name}' is already in use")));
+        return Err(DbError::Catalog(format!(
+            "the name '{name}' is already in use"
+        )));
     }
     let lowered = lower_qual(qty, &cat.types, &cat.adts)?;
     if lowered.mode != Ownership::Own {
@@ -442,7 +495,12 @@ fn create_named(
     };
     cat.named.insert(
         name.to_string(),
-        NamedObject { name: name.to_string(), oid, qty: lowered, is_collection },
+        NamedObject {
+            name: name.to_string(),
+            oid,
+            qty: lowered,
+            is_collection,
+        },
     );
     // A key (paper: associated with set instances) is a unique index.
     if let Some(attr) = key {
@@ -528,7 +586,10 @@ fn define_function(
     }
     // Validate the body with the parameters in scope. Parameters of
     // schema type are reference-valued at runtime.
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let mut ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     for (p, q) in &lowered_params {
         ctx.vars.insert(p.clone(), runtime_param_type(q));
@@ -543,7 +604,10 @@ fn define_function(
     }
     let def = FunctionDef {
         name: name.to_string(),
-        params: lowered_params.iter().map(|(p, q)| (p.clone(), runtime_param_type(q))).collect(),
+        params: lowered_params
+            .iter()
+            .map(|(p, q)| (p.clone(), runtime_param_type(q)))
+            .collect(),
         returns: lowered_returns,
         body: body.clone(),
         attached_to,
@@ -567,7 +631,9 @@ fn define_procedure(
     body: &[Stmt],
 ) -> DbResult<Response> {
     if cat.procedures.contains_key(name) {
-        return Err(DbError::Catalog(format!("procedure '{name}' already exists")));
+        return Err(DbError::Catalog(format!(
+            "procedure '{name}' already exists"
+        )));
     }
     let lowered: Vec<(String, QualType)> = params
         .iter()
@@ -580,7 +646,11 @@ fn define_procedure(
         .collect::<DbResult<_>>()?;
     cat.procedures.insert(
         name.to_string(),
-        ProcedureDef { name: name.to_string(), params: lowered, body: body.to_vec() },
+        ProcedureDef {
+            name: name.to_string(),
+            params: lowered,
+            body: body.to_vec(),
+        },
     );
     Ok(Response::Done(format!("procedure {name} defined")))
 }
@@ -605,7 +675,10 @@ fn define_index(
         return Err(DbError::Catalog(format!("'{collection}' is not a set")));
     }
     let elem = db.store.collection_elem(obj.oid)?;
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     let attr_qty = ctx.attr_type(&elem, attr)?;
     // The access-method applicability check: orderable attribute types
@@ -645,5 +718,7 @@ fn define_index(
         root: tree.root(),
         unique,
     });
-    Ok(Response::Done(format!("index {name} built on {collection}({attr})")))
+    Ok(Response::Done(format!(
+        "index {name} built on {collection}({attr})"
+    )))
 }

@@ -4,21 +4,16 @@
 //! index maintenance.
 
 use std::collections::HashMap;
-use std::ops::ControlFlow;
 
 use excess_exec::{
-    prepare, run_plan, Env, ExecCtx, ExecNode, MemberId, QueryResult,
+    prepare, run_plan, Bindings, Env, ExecCtx, ExecNode, MemberId, QueryResult, RowBatch,
 };
-use excess_lang::{
-    AppendValue, Expr, FromBinding, Privilege, Stmt, Target,
-};
+use excess_lang::{AppendValue, Expr, FromBinding, Privilege, Stmt, Target};
 use excess_sema::resolve::Resolver;
 use excess_sema::{CheckedRetrieve, RangeEnv, SemaCtx};
 use exodus_storage::btree::BTree;
 use exodus_storage::{Oid, RecordId};
-use extra_model::{
-    AdtRegistry, ModelError, Ownership, QualType, Type, Value,
-};
+use extra_model::{AdtRegistry, ModelError, Ownership, QualType, Type, Value};
 
 use crate::catalog::{Catalog, CatalogView};
 use crate::database::{default_value, Database};
@@ -54,7 +49,10 @@ fn plan_query(
     params: &Params,
     stmt: &Stmt,
 ) -> DbResult<(ExecNode, CheckedRetrieve)> {
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let mut ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     for (name, (qty, _)) in &params.vars {
         ctx.vars.insert(name.clone(), qty.clone());
@@ -86,7 +84,13 @@ fn check_read(cat: &Catalog, user: &str, checked: &CheckedRetrieve, stmt: &Stmt)
             excess_sema::RootSource::Var(_) => {}
         }
     }
-    if let Stmt::Retrieve { targets, qual, order_by, .. } = stmt {
+    if let Stmt::Retrieve {
+        targets,
+        qual,
+        order_by,
+        ..
+    } = stmt
+    {
         let mut exprs: Vec<&Expr> = targets.iter().map(|t| &t.expr).collect();
         if let Some(q) = qual {
             exprs.push(q);
@@ -111,7 +115,13 @@ fn check_read(cat: &Catalog, user: &str, checked: &CheckedRetrieve, stmt: &Stmt)
     }
     // EXCESS function calls need execute (§4.2.3: schema types can be made
     // abstract by granting access only through their functions).
-    if let Stmt::Retrieve { targets, qual, order_by, .. } = stmt {
+    if let Stmt::Retrieve {
+        targets,
+        qual,
+        order_by,
+        ..
+    } = stmt
+    {
         let mut fns: Vec<String> = Vec::new();
         let mut visit = |e: &Expr| collect_function_names(cat, e, &mut fns);
         for t in targets {
@@ -150,7 +160,13 @@ fn collect_function_names(cat: &Catalog, e: &Expr, out: &mut Vec<String>) {
                 collect_function_names(cat, a, out);
             }
         }
-        Expr::Agg(Aggregate { func, arg, by, qual, .. }) => {
+        Expr::Agg(Aggregate {
+            func,
+            arg,
+            by,
+            qual,
+            ..
+        }) => {
             if cat.functions.iter().any(|f| &f.name == func) {
                 out.push(func.clone());
             }
@@ -200,10 +216,14 @@ pub fn retrieve(
 ) -> DbResult<QueryResult> {
     let (node, checked) = plan_query(db, cat, ranges, params, stmt)?;
     check_read(cat, user, &checked, stmt)?;
-    let view = CatalogView { cat, store: &db.store };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
-    let mut env = base_env(params);
-    let result = run_plan(&node, &ctx, &mut env)?;
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
+    let ctx =
+        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let env = base_env(params);
+    let result = run_plan(&node, &ctx, &env)?;
     drop(ctx);
     Ok(result)
 }
@@ -220,15 +240,24 @@ pub fn retrieve_into(
 ) -> DbResult<QueryResult> {
     let (node, checked) = plan_query(db, cat, ranges, params, stmt)?;
     check_read(cat, user, &checked, stmt)?;
-    let view = CatalogView { cat, store: &db.store };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
-    let mut env = base_env(params);
-    let result = run_plan(&node, &ctx, &mut env)?;
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
+    let ctx =
+        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let env = base_env(params);
+    let result = run_plan(&node, &ctx, &env)?;
     drop(ctx);
 
-    if let Stmt::Retrieve { into: Some(name), .. } = stmt {
+    if let Stmt::Retrieve {
+        into: Some(name), ..
+    } = stmt
+    {
         if cat.named.contains_key(name.as_str()) {
-            return Err(DbError::Catalog(format!("the name '{name}' is already in use")));
+            return Err(DbError::Catalog(format!(
+                "the name '{name}' is already in use"
+            )));
         }
         // Snapshot semantics: own-mode tuples; reference-valued outputs
         // are stored as plain refs (not integrity-tracked).
@@ -242,18 +271,18 @@ pub fn retrieve_into(
                 };
                 extra_model::Attribute {
                     name: n.clone(),
-                    qty: QualType { mode, ty: q.ty.clone() },
+                    qty: QualType {
+                        mode,
+                        ty: q.ty.clone(),
+                    },
                 }
             })
             .collect();
         let elem = QualType::own(Type::Tuple(attrs));
         let anchor = db.store.create_collection(&elem)?;
         for row in &result.rows {
-            db.store.append_member(
-                &cat.types,
-                anchor,
-                Value::Tuple(row.clone()),
-            )?;
+            db.store
+                .append_member(&cat.types, anchor, Value::Tuple(row.clone()))?;
         }
         cat.named.insert(
             name.clone(),
@@ -268,10 +297,13 @@ pub fn retrieve_into(
     Ok(result)
 }
 
-/// Collect the satisfying environments for an update statement.
-/// `exprs` are all expressions whose variables must be bound; `extra_from`
-/// forces a binding for an update-target collection.
-fn collect_envs(
+/// Collect the satisfying bindings for an update statement as one
+/// materialized [`RowBatch`] — every satisfying binding (values plus
+/// update identities) is computed *before* any mutation, preserving the
+/// paper's set-oriented update semantics. `exprs` are all expressions
+/// whose variables must be bound; `extra_from` forces a binding for an
+/// update-target collection.
+fn collect_bindings(
     db: &Database,
     cat: &Catalog,
     ranges: &RangeEnv,
@@ -279,12 +311,21 @@ fn collect_envs(
     exprs: Vec<Expr>,
     extra_from: Vec<FromBinding>,
     qual: Option<Expr>,
-) -> DbResult<(Vec<Env>, CheckedRetrieve)> {
-    let targets: Vec<Target> = exprs.into_iter().map(|e| Target { name: None, expr: e }).collect();
+) -> DbResult<(RowBatch, CheckedRetrieve)> {
+    let targets: Vec<Target> = exprs
+        .into_iter()
+        .map(|e| Target {
+            name: None,
+            expr: e,
+        })
+        .collect();
     let stmt = Stmt::Retrieve {
         into: None,
         targets: if targets.is_empty() {
-            vec![Target { name: None, expr: Expr::Lit(excess_lang::Lit::Int(1)) }]
+            vec![Target {
+                name: None,
+                expr: Expr::Lit(excess_lang::Lit::Int(1)),
+            }]
         } else {
             targets
         },
@@ -296,15 +337,19 @@ fn collect_envs(
     let ExecNode::Project { input, .. } = &node else {
         return Err(DbError::Catalog("update plan has no projection".into()));
     };
-    let view = CatalogView { cat, store: &db.store };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
-    let mut env = base_env(params);
-    let mut envs = Vec::new();
-    let _ = input.for_each(&ctx, &mut env, &mut |_, env| {
-        envs.push(env.clone());
-        Ok(ControlFlow::Continue(()))
-    })?;
-    Ok((envs, checked))
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
+    let ctx =
+        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let env = base_env(params);
+    let mut all = RowBatch::new();
+    let mut cur = input.cursor(RowBatch::single(&env));
+    while let Some(batch) = cur.next(&ctx)? {
+        all.append(batch);
+    }
+    Ok((all, checked))
 }
 
 /// Key bytes for a member's indexed attribute (dereferencing ref-mode
@@ -329,13 +374,11 @@ pub fn member_attr_key(
     Ok(field.key_encode(adts))
 }
 
-fn attr_pos_of(
-    cat: &Catalog,
-    db: &Database,
-    elem: &QualType,
-    attr: &str,
-) -> DbResult<usize> {
-    let view = CatalogView { cat, store: &db.store };
+fn attr_pos_of(cat: &Catalog, db: &Database, elem: &QualType, attr: &str) -> DbResult<usize> {
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     Ok(ctx.attr_pos(elem, attr)?)
 }
@@ -365,7 +408,11 @@ fn index_entries_for(
 /// Call *before* mutating, so violations leave no partial state.
 fn probe_unique(db: &Database, entries: &[IndexEntry]) -> DbResult<()> {
     for (root, key, unique, attr) in entries {
-        if *unique && !BTree::open(*root).lookup(db.store.storage().pool(), key)?.is_empty() {
+        if *unique
+            && !BTree::open(*root)
+                .lookup(db.store.storage().pool(), key)?
+                .is_empty()
+        {
             return Err(DbError::Model(ModelError::Integrity(format!(
                 "key violation: a member with this '{attr}' already exists"
             ))));
@@ -431,8 +478,7 @@ fn member_from_assignments(
 ) -> DbResult<Value> {
     let Type::Schema(tid) = elem.ty else {
         return Err(DbError::Catalog(
-            "attribute assignments require a tuple-typed element; append a value instead"
-                .into(),
+            "attribute assignments require a tuple-typed element; append a value instead".into(),
         ));
     };
     let st = cat.types.get(tid);
@@ -484,11 +530,10 @@ fn insert_member(
             Value::Tuple(fields) => {
                 // A constructed tuple becomes a new object.
                 let obj_q = QualType::own(elem.ty.clone());
-                Value::Ref(db.store.create_object(
-                    &cat.types,
-                    &obj_q,
-                    Value::Tuple(fields),
-                )?)
+                Value::Ref(
+                    db.store
+                        .create_object(&cat.types, &obj_q, Value::Tuple(fields))?,
+                )
             }
             other => {
                 return Err(DbError::Model(ModelError::TypeMismatch {
@@ -514,7 +559,12 @@ pub fn append(
     stmt: &Stmt,
     params: &Params,
 ) -> DbResult<crate::database::Response> {
-    let Stmt::Append { target, value, qual } = stmt else {
+    let Stmt::Append {
+        target,
+        value,
+        qual,
+    } = stmt
+    else {
         unreachable!("dispatch");
     };
     // Expressions that must be resolvable.
@@ -526,26 +576,40 @@ pub fn append(
 
     match target {
         // append to <NamedCollection> ...
-        Expr::Var(name) if cat.named.get(name).map(|o| o.is_collection).unwrap_or(false) => {
+        Expr::Var(name)
+            if cat
+                .named
+                .get(name)
+                .map(|o| o.is_collection)
+                .unwrap_or(false) =>
+        {
             if !cat.auth.allowed(user, name, Privilege::Append) {
                 return Err(DbError::Auth(format!("{user} may not append to {name}")));
             }
             let anchor = cat.named[name].oid;
-            let (envs, checked) =
-                collect_envs(db, cat, ranges, params, exprs, Vec::new(), qual.clone())?;
+            let (bindings, checked) =
+                collect_bindings(db, cat, ranges, params, exprs, Vec::new(), qual.clone())?;
             let vars = update_vars(params, &checked);
-            let view = CatalogView { cat, store: &db.store };
-            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
+            let view = CatalogView {
+                cat,
+                store: &db.store,
+            };
+            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+                .with_batch_size(db.batch_size());
             let mut staged: Vec<Value> = Vec::new();
-            for env in &envs {
-                staged.push(eval_member_value(db, cat, &ctx, env, ranges, &vars, anchor, value)?);
+            for env in bindings.iter() {
+                staged.push(eval_member_value(
+                    db, cat, &ctx, &env, ranges, &vars, anchor, value,
+                )?);
             }
             drop(ctx);
             let n = staged.len();
             for v in staged {
                 insert_member(db, cat, name, anchor, v)?;
             }
-            Ok(crate::database::Response::Done(format!("appended {n} to {name}")))
+            Ok(crate::database::Response::Done(format!(
+                "appended {n} to {name}"
+            )))
         }
         // append to <var-array object> <expr> — push.
         Expr::Var(name)
@@ -564,16 +628,22 @@ pub fn append(
                 return Err(DbError::Auth(format!("{user} may not append to {name}")));
             }
             let obj = cat.named[name].clone();
-            let Type::Array(None, elem) = &obj.qty.ty else { unreachable!() };
+            let Type::Array(None, elem) = &obj.qty.ty else {
+                unreachable!()
+            };
             let elem = (**elem).clone();
-            let (envs, checked) =
-                collect_envs(db, cat, ranges, params, exprs, Vec::new(), qual.clone())?;
+            let (bindings, checked) =
+                collect_bindings(db, cat, ranges, params, exprs, Vec::new(), qual.clone())?;
             let vars = update_vars(params, &checked);
-            let view = CatalogView { cat, store: &db.store };
-            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
+            let view = CatalogView {
+                cat,
+                store: &db.store,
+            };
+            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+                .with_batch_size(db.batch_size());
             let mut staged: Vec<Value> = Vec::new();
-            for env in &envs {
-                staged.push(eval_expr(db, cat, &ctx, env, ranges, &vars, vexpr)?);
+            for env in bindings.iter() {
+                staged.push(eval_expr(db, cat, &ctx, &env, ranges, &vars, vexpr)?);
             }
             drop(ctx);
             let n = staged.len();
@@ -591,7 +661,9 @@ pub fn append(
                 }
                 db.store.set_value(&cat.types, obj.oid, arr)?;
             }
-            Ok(crate::database::Response::Done(format!("appended {n} to {name}")))
+            Ok(crate::database::Response::Done(format!(
+                "appended {n} to {name}"
+            )))
         }
         // append to <array>[i] <expr> — slot assignment.
         Expr::Index(_, _) => {
@@ -600,7 +672,9 @@ pub fn append(
                     "array slots take a value expression, not assignments".into(),
                 ));
             };
-            let Expr::Index(base, idx) = target else { unreachable!() };
+            let Expr::Index(base, idx) = target else {
+                unreachable!()
+            };
             let Expr::Var(obj_name) = &**base else {
                 return Err(DbError::Catalog(
                     "array slot assignment requires a named array object".into(),
@@ -618,7 +692,7 @@ pub fn append(
                 return Err(DbError::Catalog(format!("'{obj_name}' is not an array")));
             };
             let elem = (**elem).clone();
-            let (envs, checked) = collect_envs(
+            let (bindings, checked) = collect_bindings(
                 db,
                 cat,
                 ranges,
@@ -628,12 +702,16 @@ pub fn append(
                 qual.clone(),
             )?;
             let vars = update_vars(params, &checked);
-            let view = CatalogView { cat, store: &db.store };
-            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
+            let view = CatalogView {
+                cat,
+                store: &db.store,
+            };
+            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+                .with_batch_size(db.batch_size());
             let mut staged: Vec<(i64, Value)> = Vec::new();
-            for env in &envs {
-                let i = eval_expr(db, cat, &ctx, env, ranges, &vars, idx)?.as_i64()?;
-                let v = eval_expr(db, cat, &ctx, env, ranges, &vars, vexpr)?;
+            for env in bindings.iter() {
+                let i = eval_expr(db, cat, &ctx, &env, ranges, &vars, idx)?.as_i64()?;
+                let v = eval_expr(db, cat, &ctx, &env, ranges, &vars, vexpr)?;
                 staged.push((i, v));
             }
             drop(ctx);
@@ -659,15 +737,17 @@ pub fn append(
                 }
                 db.store.set_value(&cat.types, obj.oid, arr)?;
             }
-            Ok(crate::database::Response::Done(format!("{obj_name} updated")))
+            Ok(crate::database::Response::Done(format!(
+                "{obj_name} updated"
+            )))
         }
         // append to <path>.<set attr> ... — nested set append.
         Expr::Path(_, _) => {
             let (root_var, steps) = flatten(target)?;
             let mut exprs2 = exprs.clone();
             exprs2.push(target.clone());
-            let (envs, checked) =
-                collect_envs(db, cat, ranges, params, exprs2, Vec::new(), qual.clone())?;
+            let (bindings, checked) =
+                collect_bindings(db, cat, ranges, params, exprs2, Vec::new(), qual.clone())?;
             // Authorization: appending inside members of a collection.
             for b in &checked.bindings {
                 if let excess_sema::RootSource::Collection(o) = &b.root {
@@ -681,16 +761,20 @@ pub fn append(
             }
             let elem = container_elem(db, cat, params, &checked, &root_var, &steps)?;
             let vars = update_vars(params, &checked);
-            let view = CatalogView { cat, store: &db.store };
-            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
+            let view = CatalogView {
+                cat,
+                store: &db.store,
+            };
+            let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+                .with_batch_size(db.batch_size());
             let mut staged: Vec<(UpdateSite, Value)> = Vec::new();
-            for env in &envs {
+            for env in bindings.iter() {
                 let member = match value {
                     AppendValue::Assignments(assigns) => {
                         let vals: Vec<(String, Value)> = assigns
                             .iter()
                             .map(|(n, e)| {
-                                Ok((n.clone(), eval_expr(db, cat, &ctx, env, ranges, &vars, e)?))
+                                Ok((n.clone(), eval_expr(db, cat, &ctx, &env, ranges, &vars, e)?))
                             })
                             .collect::<DbResult<_>>()?;
                         let tuple = member_from_assignments(cat, &elem, &vals)?;
@@ -703,9 +787,9 @@ pub fn append(
                             )?),
                         }
                     }
-                    AppendValue::Expr(e) => eval_expr(db, cat, &ctx, env, ranges, &vars, e)?,
+                    AppendValue::Expr(e) => eval_expr(db, cat, &ctx, &env, ranges, &vars, e)?,
                 };
-                let site = resolve_site(db, cat, env, &root_var, &steps, &checked)?;
+                let site = resolve_site(db, cat, &env, &root_var, &steps, &checked)?;
                 staged.push((site, member));
             }
             drop(ctx);
@@ -725,7 +809,7 @@ fn eval_member_value(
     db: &Database,
     cat: &Catalog,
     ctx: &ExecCtx<'_>,
-    env: &Env,
+    env: &dyn Bindings,
     ranges: &RangeEnv,
     vars: &HashMap<String, QualType>,
     anchor: Oid,
@@ -763,12 +847,15 @@ fn eval_expr(
     db: &Database,
     cat: &Catalog,
     ctx: &ExecCtx<'_>,
-    env: &Env,
+    env: &dyn Bindings,
     ranges: &RangeEnv,
     vars: &HashMap<String, QualType>,
     e: &Expr,
 ) -> DbResult<Value> {
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let mut sctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     sctx.vars = vars.clone();
     let counter = std::cell::Cell::new(10_000);
@@ -789,7 +876,9 @@ fn flatten(e: &Expr) -> DbResult<(String, Vec<String>)> {
             steps.push(a.clone());
             Ok((root, steps))
         }
-        other => Err(DbError::Catalog(format!("unsupported update target {other}"))),
+        other => Err(DbError::Catalog(format!(
+            "unsupported update target {other}"
+        ))),
     }
 }
 
@@ -798,10 +887,7 @@ fn flatten(e: &Expr) -> DbResult<(String, Vec<String>)> {
 #[derive(Debug)]
 enum UpdateSite {
     /// Edit a set/array at `path` inside the value of `owner`.
-    Container {
-        owner: OwnerId,
-        path: Vec<usize>,
-    },
+    Container { owner: OwnerId, path: Vec<usize> },
 }
 
 /// The owner that must be rewritten.
@@ -825,7 +911,10 @@ fn container_elem(
     root_var: &str,
     steps: &[String],
 ) -> DbResult<QualType> {
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     let mut cur = if let Some(b) = checked.bindings.iter().find(|b| b.var == root_var) {
         b.elem.clone()
@@ -834,7 +923,9 @@ fn container_elem(
     } else if let Some(obj) = cat.named.get(root_var) {
         obj.qty.clone()
     } else {
-        return Err(DbError::Catalog(format!("unknown update root '{root_var}'")));
+        return Err(DbError::Catalog(format!(
+            "unknown update root '{root_var}'"
+        )));
     };
     for s in steps {
         cur = ctx.attr_type(&cur, s)?;
@@ -853,39 +944,47 @@ fn container_elem(
 fn resolve_site(
     db: &Database,
     cat: &Catalog,
-    env: &Env,
+    env: &dyn Bindings,
     root_var: &str,
     steps: &[String],
     checked: &CheckedRetrieve,
 ) -> DbResult<UpdateSite> {
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     // Starting point: the root variable's value + identity, or a named
     // object.
-    let (mut owner, mut value, mut qty): (OwnerId, Value, QualType) =
-        if let Some(v) = env.get(root_var) {
-            let qty = checked
-                .bindings
-                .iter()
-                .find(|b| b.var == root_var)
-                .map(|b| b.elem.clone())
-                .ok_or_else(|| DbError::Catalog(format!("untyped update root '{root_var}'")))?;
-            match env.id_of(root_var) {
-                MemberId::Object(oid) => (OwnerId::Object(oid), db.store.value_of(oid)?, qty),
-                MemberId::Record { anchor, rid } => {
-                    (OwnerId::Member { anchor, rid }, v.clone(), qty)
-                }
-                MemberId::Nested { .. } | MemberId::None => {
-                    return Err(DbError::Catalog(format!(
-                        "cannot update through '{root_var}' (no stable identity)"
-                    )))
-                }
+    let (mut owner, mut value, mut qty): (OwnerId, Value, QualType) = if let Some(v) =
+        env.value(root_var)
+    {
+        let qty = checked
+            .bindings
+            .iter()
+            .find(|b| b.var == root_var)
+            .map(|b| b.elem.clone())
+            .ok_or_else(|| DbError::Catalog(format!("untyped update root '{root_var}'")))?;
+        match env.ident(root_var) {
+            MemberId::Object(oid) => (OwnerId::Object(oid), db.store.value_of(oid)?, qty),
+            MemberId::Record { anchor, rid } => (OwnerId::Member { anchor, rid }, v.clone(), qty),
+            MemberId::Nested { .. } | MemberId::None => {
+                return Err(DbError::Catalog(format!(
+                    "cannot update through '{root_var}' (no stable identity)"
+                )))
             }
-        } else if let Some(obj) = cat.named.get(root_var) {
-            (OwnerId::Object(obj.oid), db.store.value_of(obj.oid)?, obj.qty.clone())
-        } else {
-            return Err(DbError::Catalog(format!("unknown update root '{root_var}'")));
-        };
+        }
+    } else if let Some(obj) = cat.named.get(root_var) {
+        (
+            OwnerId::Object(obj.oid),
+            db.store.value_of(obj.oid)?,
+            obj.qty.clone(),
+        )
+    } else {
+        return Err(DbError::Catalog(format!(
+            "unknown update root '{root_var}'"
+        )));
+    };
 
     // Walk the steps; crossing a reference moves the owner.
     let mut path: Vec<usize> = Vec::new();
@@ -1026,7 +1125,7 @@ pub fn delete(
     };
     // Force a binding when the target is a bare collection name.
     let extra_from = synth_from(cat, ranges, var);
-    let (envs, checked) = collect_envs(
+    let (bindings, checked) = collect_bindings(
         db,
         cat,
         ranges,
@@ -1041,8 +1140,8 @@ pub fn delete(
     let mut objects: Vec<Oid> = Vec::new();
     let mut records: Vec<(Oid, RecordId)> = Vec::new();
     let mut nested: Vec<(UpdateSite, usize)> = Vec::new();
-    for env in &envs {
-        match env.id_of(var) {
+    for env in bindings.iter() {
+        match env.ident(var) {
             MemberId::Object(oid) => {
                 if !objects.contains(&oid) {
                     objects.push(oid);
@@ -1053,8 +1152,12 @@ pub fn delete(
                     records.push((anchor, rid));
                 }
             }
-            MemberId::Nested { parent, steps, index } => {
-                let site = resolve_site(db, cat, env, &parent, &steps, &checked)?;
+            MemberId::Nested {
+                parent,
+                steps,
+                index,
+            } => {
+                let site = resolve_site(db, cat, &env, &parent, &steps, &checked)?;
                 nested.push((site, index));
             }
             MemberId::None => {
@@ -1087,7 +1190,10 @@ pub fn delete(
     // Nested members: group by owner, remove indices descending.
     let mut grouped: Vec<(OwnerId, Vec<usize>, Vec<usize>)> = Vec::new();
     for (UpdateSite::Container { owner, path }, index) in nested {
-        match grouped.iter_mut().find(|(o, p, _)| *o == owner && *p == path) {
+        match grouped
+            .iter_mut()
+            .find(|(o, p, _)| *o == owner && *p == path)
+        {
             Some((_, _, idxs)) => idxs.push(index),
             None => grouped.push((owner, path, vec![index])),
         }
@@ -1130,7 +1236,10 @@ fn synth_from(cat: &Catalog, ranges: &RangeEnv, var: &str) -> Vec<FromBinding> {
     let declared = ranges.get(var).is_some();
     let is_collection = cat.named.get(var).map(|o| o.is_collection).unwrap_or(false);
     if !declared && is_collection {
-        vec![FromBinding { var: var.to_string(), path: Expr::Var(var.to_string()) }]
+        vec![FromBinding {
+            var: var.to_string(),
+            path: Expr::Var(var.to_string()),
+        }]
     } else {
         Vec::new()
     }
@@ -1168,7 +1277,12 @@ pub fn replace(
     stmt: &Stmt,
     params: &Params,
 ) -> DbResult<crate::database::Response> {
-    let Stmt::Replace { target, assignments, qual } = stmt else {
+    let Stmt::Replace {
+        target,
+        assignments,
+        qual,
+    } = stmt
+    else {
         unreachable!("dispatch");
     };
     let Expr::Var(var) = target else {
@@ -1179,8 +1293,8 @@ pub fn replace(
     let extra_from = synth_from(cat, ranges, var);
     let mut exprs: Vec<Expr> = vec![target.clone()];
     exprs.extend(assignments.iter().map(|(_, e)| e.clone()));
-    let (envs, checked) =
-        collect_envs(db, cat, ranges, params, exprs, extra_from, qual.clone())?;
+    let (bindings, checked) =
+        collect_bindings(db, cat, ranges, params, exprs, extra_from, qual.clone())?;
     check_update_auth(cat, user, &checked, Privilege::Replace)?;
     if let Some(obj) = cat.named.get(var) {
         if !obj.is_collection && !cat.auth.allowed(user, var, Privilege::Replace) {
@@ -1198,11 +1312,17 @@ pub fn replace(
     } else {
         return Err(DbError::Catalog(format!("unknown replace target '{var}'")));
     };
-    let view = CatalogView { cat, store: &db.store };
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
     let sctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     let mut positions = Vec::with_capacity(assignments.len());
     for (attr, _) in assignments {
-        positions.push((sctx.attr_pos(&target_qty, attr)?, sctx.attr_type(&target_qty, attr)?));
+        positions.push((
+            sctx.attr_pos(&target_qty, attr)?,
+            sctx.attr_type(&target_qty, attr)?,
+        ));
     }
     drop(sctx);
 
@@ -1213,22 +1333,30 @@ pub fn replace(
         Nested(OwnerId, Vec<usize>, usize, Vec<(usize, Value)>),
     }
     let vars = update_vars(params, &checked);
-    let view = CatalogView { cat, store: &db.store };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
+    let ctx =
+        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
     let mut staged: Vec<Staged> = Vec::new();
-    for env in &envs {
+    for env in bindings.iter() {
         let mut updates = Vec::with_capacity(assignments.len());
         for ((_, e), (pos, qty)) in assignments.iter().zip(&positions) {
-            let v = eval_expr(db, cat, &ctx, env, ranges, &vars, e)?;
+            let v = eval_expr(db, cat, &ctx, &env, ranges, &vars, e)?;
             v.conforms(qty, &cat.types, &cat.adts)?;
             updates.push((*pos, v));
         }
-        match env.id_of(var) {
+        match env.ident(var) {
             MemberId::Object(oid) => staged.push(Staged::Object(oid, updates)),
             MemberId::Record { anchor, rid } => staged.push(Staged::Record(anchor, rid, updates)),
-            MemberId::Nested { parent, steps, index } => {
+            MemberId::Nested {
+                parent,
+                steps,
+                index,
+            } => {
                 let UpdateSite::Container { owner, path } =
-                    resolve_site(db, cat, env, &parent, &steps, &checked)?;
+                    resolve_site(db, cat, &env, &parent, &steps, &checked)?;
                 staged.push(Staged::Nested(owner, path, index, updates));
             }
             MemberId::None => {
@@ -1266,9 +1394,7 @@ pub fn replace(
                         let mut new_entries = Vec::new();
                         for idx in cat.indexes.iter().filter(|i| i.collection == name) {
                             let pos = attr_pos_of(cat, db, &elem, &idx.attr)?;
-                            if let Some(key) =
-                                member_attr_key(db, &new_value, pos, &cat.adts)?
-                            {
+                            if let Some(key) = member_attr_key(db, &new_value, pos, &cat.adts)? {
                                 new_entries.push((idx.root, key, idx.unique, idx.attr.clone()));
                             }
                         }
@@ -1290,8 +1416,7 @@ pub fn replace(
                 db.store.set_value(&cat.types, oid, new_value)?;
                 for (anchor, rid, _) in removed {
                     if let Some(name) = collection_name_of(cat, anchor) {
-                        let entries =
-                            index_entries_for(db, cat, &name, anchor, &Value::Ref(oid))?;
+                        let entries = index_entries_for(db, cat, &name, anchor, &Value::Ref(oid))?;
                         index_insert(db, &entries, rid)?;
                     }
                 }
@@ -1383,18 +1508,29 @@ pub fn execute_procedure(
             args.len()
         )));
     }
-    let (envs, checked) =
-        collect_envs(db, cat, ranges, params, args.clone(), Vec::new(), qual.clone())?;
+    let (bindings, checked) = collect_bindings(
+        db,
+        cat,
+        ranges,
+        params,
+        args.clone(),
+        Vec::new(),
+        qual.clone(),
+    )?;
     // Evaluate argument tuples per binding.
     let vars = update_vars(params, &checked);
-    let mut calls: Vec<Vec<Value>> = Vec::with_capacity(envs.len());
+    let mut calls: Vec<Vec<Value>> = Vec::with_capacity(bindings.len());
     {
-        let view = CatalogView { cat, store: &db.store };
-        let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view);
-        for env in &envs {
+        let view = CatalogView {
+            cat,
+            store: &db.store,
+        };
+        let ctx =
+            ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+        for env in bindings.iter() {
             let vals: Vec<Value> = args
                 .iter()
-                .map(|a| eval_expr(db, cat, &ctx, env, ranges, &vars, a))
+                .map(|a| eval_expr(db, cat, &ctx, &env, ranges, &vars, a))
                 .collect::<DbResult<_>>()?;
             calls.push(vals);
         }
@@ -1422,5 +1558,7 @@ pub fn execute_procedure(
             )?;
         }
     }
-    Ok(crate::database::Response::Done(format!("{proc} executed for {n} bindings")))
+    Ok(crate::database::Response::Done(format!(
+        "{proc} executed for {n} bindings"
+    )))
 }

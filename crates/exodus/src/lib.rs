@@ -46,5 +46,6 @@ pub use database::{Database, Response, Session};
 pub use error::{DbError, DbResult};
 
 // Re-exports so downstream users need only this crate.
+pub use excess_exec as exec;
 pub use excess_exec::QueryResult;
 pub use extra_model::{AdtRegistry, AdtType, Value};

@@ -6,12 +6,14 @@ use exodus_db::{Database, Value};
 fn quickstart_flow() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, age: int4);
         create { own ref Person } People;
         append to People (name = "ann", age = 30);
         append to People (name = "bob", age = 40);
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s
         .query("retrieve (P.name, P.age) from P in People where P.age > 35")
@@ -24,12 +26,14 @@ fn quickstart_flow() {
 fn session_ranges_persist() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, age: int4);
         create { own ref Person } People;
         append to People (name = "ann", age = 30);
         range of P is People
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s.query("retrieve (P.name)").unwrap();
     assert_eq!(r.rows.len(), 1);
@@ -39,28 +43,30 @@ fn session_ranges_persist() {
 fn implicit_join_through_ref() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Department (dname: varchar, floor: int4);
         define type Employee (name: varchar, salary: float8, dept: ref Department);
         create { own ref Department } Departments;
         create { own ref Employee } Employees;
         append to Departments (dname = "toy", floor = 2);
         append to Departments (dname = "shoe", floor = 1);
-    "#)
+    "#,
+    )
     .unwrap();
     // Wire employees to departments.
-    s.run(r#"
+    s.run(
+        r#"
         range of D is Departments;
         append to Employees (name = "ann", salary = 40000.0);
         append to Employees (name = "bob", salary = 50000.0);
         range of E is Employees;
         replace E (dept = D) where E.name = "ann" and D.dname = "toy";
         replace E (dept = D) where E.name = "bob" and D.dname = "shoe"
-    "#)
+    "#,
+    )
     .unwrap();
-    let r = s
-        .query("retrieve (E.name) where E.dept.floor = 2")
-        .unwrap();
+    let r = s.query("retrieve (E.name) where E.dept.floor = 2").unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("ann")]]);
 }
 
@@ -68,7 +74,8 @@ fn implicit_join_through_ref() {
 fn delete_and_update() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, age: int4);
         create { own ref Person } People;
         append to People (name = "a", age = 10);
@@ -77,9 +84,12 @@ fn delete_and_update() {
         range of P is People;
         replace P (age = P.age + 1) where P.age >= 20;
         delete P where P.age > 25
-    "#)
+    "#,
+    )
     .unwrap();
-    let r = s.query("retrieve (P.name, P.age) order by P.age asc").unwrap();
+    let r = s
+        .query("retrieve (P.name, P.age) order by P.age asc")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![

@@ -169,9 +169,12 @@ impl AdtRegistry {
     /// (`Date`, `Complex`, `Polygon`).
     pub fn with_builtins() -> Self {
         let mut r = Self::new();
-        r.register(Arc::new(crate::adts::date::DateAdt)).expect("fresh registry");
-        r.register(Arc::new(crate::adts::complex::ComplexAdt)).expect("fresh registry");
-        r.register(Arc::new(crate::adts::polygon::PolygonAdt)).expect("fresh registry");
+        r.register(Arc::new(crate::adts::date::DateAdt))
+            .expect("fresh registry");
+        r.register(Arc::new(crate::adts::complex::ComplexAdt))
+            .expect("fresh registry");
+        r.register(Arc::new(crate::adts::polygon::PolygonAdt))
+            .expect("fresh registry");
         r
     }
 
@@ -192,7 +195,10 @@ impl AdtRegistry {
                     name, op.symbol, op.function
                 )));
             }
-            self.operators.entry(op.symbol.clone()).or_default().push((id, op));
+            self.operators
+                .entry(op.symbol.clone())
+                .or_default()
+                .push((id, op));
         }
         self.by_name.insert(name, id);
         self.adts.push(adt);
@@ -249,14 +255,18 @@ impl AdtRegistry {
 
     /// All registrations for an operator symbol.
     pub fn operator_candidates(&self, symbol: &str) -> &[(AdtId, AdtOperator)] {
-        self.operators.get(symbol).map(|v| v.as_slice()).unwrap_or(&[])
+        self.operators
+            .get(symbol)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Every registered operator symbol with its parse properties
     /// (the EXCESS parser folds these into its operator table).
     pub fn operator_symbols(&self) -> impl Iterator<Item = (&str, u8, Assoc, usize)> {
         self.operators.iter().flat_map(|(sym, regs)| {
-            regs.iter().map(move |(_, op)| (sym.as_str(), op.precedence, op.assoc, op.arity))
+            regs.iter()
+                .map(move |(_, op)| (sym.as_str(), op.precedence, op.assoc, op.arity))
         })
     }
 
@@ -378,10 +388,18 @@ mod tests {
         let a = reg.parse(id, "30").unwrap();
         let b = reg.parse(id, "20").unwrap();
         let f = reg.function(id, "Warmer").unwrap();
-        assert_eq!((f.body)(&[a.clone(), b.clone()]).unwrap(), Value::Bool(true));
-        assert_eq!(reg.apply_operator(">>", &[b, a]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            (f.body)(&[a.clone(), b.clone()]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            reg.apply_operator(">>", &[b, a]).unwrap(),
+            Value::Bool(false)
+        );
         assert!(reg.function(id, "Cooler").is_err());
-        assert!(reg.apply_operator("@@", &[reg.parse(id, "1").unwrap()]).is_err());
+        assert!(reg
+            .apply_operator("@@", &[reg.parse(id, "1").unwrap()])
+            .is_err());
     }
 
     #[test]
@@ -408,7 +426,10 @@ mod tests {
             }
         }
         let mut reg = AdtRegistry::new();
-        assert!(matches!(reg.register(Arc::new(Broken)), Err(ModelError::AdtError(_))));
+        assert!(matches!(
+            reg.register(Arc::new(Broken)),
+            Err(ModelError::AdtError(_))
+        ));
     }
 
     #[test]

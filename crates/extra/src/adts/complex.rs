@@ -81,7 +81,10 @@ impl AdtType for ComplexAdt {
     fn parse(&self, literal: &str) -> ModelResult<Vec<u8>> {
         let s = literal.trim();
         let bad = || ModelError::AdtError(format!("bad Complex literal '{s}'"));
-        let inner = s.strip_prefix('(').and_then(|x| x.strip_suffix(')')).ok_or_else(bad)?;
+        let inner = s
+            .strip_prefix('(')
+            .and_then(|x| x.strip_suffix(')'))
+            .ok_or_else(bad)?;
         let (re, im) = inner.split_once(',').ok_or_else(bad)?;
         Ok(pack(
             re.trim().parse().map_err(|_| bad())?,
@@ -100,7 +103,9 @@ impl AdtType for ComplexAdt {
         vec![
             binop("Add", |(ar, ai), (br, bi)| (ar + br, ai + bi)),
             binop("Sub", |(ar, ai), (br, bi)| (ar - br, ai - bi)),
-            binop("Mul", |(ar, ai), (br, bi)| (ar * br - ai * bi, ar * bi + ai * br)),
+            binop("Mul", |(ar, ai), (br, bi)| {
+                (ar * br - ai * bi, ar * bi + ai * br)
+            }),
             AdtFunction {
                 name: "Magnitude".into(),
                 arity: 1,
@@ -221,7 +226,10 @@ mod tests {
             _ => panic!("not adt"),
         }
         let mag = r.function(id, "Magnitude").unwrap();
-        assert_eq!((mag.body)(&[r.parse(id, "(3, 4)").unwrap()]).unwrap(), Value::Float(5.0));
+        assert_eq!(
+            (mag.body)(&[r.parse(id, "(3, 4)").unwrap()]).unwrap(),
+            Value::Float(5.0)
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ fn unpack(bytes: &[u8]) -> ModelResult<(u32, u32, u32)> {
 fn date_arg(v: &Value) -> ModelResult<(u32, u32, u32)> {
     match v {
         Value::Adt(_, bytes) => unpack(bytes),
-        other => Err(ModelError::AdtError(format!("expected a Date, got {}", other.kind()))),
+        other => Err(ModelError::AdtError(format!(
+            "expected a Date, got {}",
+            other.kind()
+        ))),
     }
 }
 
@@ -199,7 +202,10 @@ mod tests {
             _ => unreachable!(),
         };
         let dates = ["1953-08-29", "1987-01-02", "1987-12-31", "1988-06-01"];
-        let keys: Vec<Vec<u8>> = dates.iter().map(|d| r.key_encode(id, &parse(d)).unwrap()).collect();
+        let keys: Vec<Vec<u8>> = dates
+            .iter()
+            .map(|d| r.key_encode(id, &parse(d)).unwrap())
+            .collect();
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }

@@ -69,7 +69,12 @@ fn signed_area(pts: &[(f64, f64)]) -> f64 {
 }
 
 fn bbox(pts: &[(f64, f64)]) -> (f64, f64, f64, f64) {
-    let mut b = (f64::INFINITY, f64::INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+    let mut b = (
+        f64::INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::NEG_INFINITY,
+    );
     for &(x, y) in pts {
         b.0 = b.0.min(x);
         b.1 = b.1.min(y);
@@ -87,7 +92,10 @@ impl AdtType for PolygonAdt {
     fn parse(&self, literal: &str) -> ModelResult<Vec<u8>> {
         let s = literal.trim();
         let bad = || ModelError::AdtError(format!("bad Polygon literal '{s}'"));
-        let inner = s.strip_prefix('(').and_then(|x| x.strip_suffix(')')).ok_or_else(bad)?;
+        let inner = s
+            .strip_prefix('(')
+            .and_then(|x| x.strip_suffix(')'))
+            .ok_or_else(bad)?;
         let mut points = Vec::new();
         let mut rest = inner.trim();
         while !rest.is_empty() {
@@ -104,7 +112,9 @@ impl AdtType for PolygonAdt {
             rest = rest[close + 1..].trim();
         }
         if points.len() < 3 {
-            return Err(ModelError::AdtError("a Polygon needs at least 3 vertices".into()));
+            return Err(ModelError::AdtError(
+                "a Polygon needs at least 3 vertices".into(),
+            ));
         }
         Ok(pack(&points))
     }
@@ -112,8 +122,7 @@ impl AdtType for PolygonAdt {
     fn display(&self, bytes: &[u8]) -> String {
         match unpack(bytes) {
             Ok(points) => {
-                let inner: Vec<String> =
-                    points.iter().map(|(x, y)| format!("({x} {y})")).collect();
+                let inner: Vec<String> = points.iter().map(|(x, y)| format!("({x} {y})")).collect();
                 format!("({})", inner.join(" "))
             }
             Err(_) => "<corrupt Polygon>".into(),
@@ -164,8 +173,7 @@ impl AdtType for PolygonAdt {
                     for i in 0..n {
                         let (xi, yi) = pts[i];
                         let (xj, yj) = pts[j];
-                        if ((yi > py) != (yj > py))
-                            && (px < (xj - xi) * (py - yi) / (yj - yi) + xi)
+                        if ((yi > py) != (yj > py)) && (px < (xj - xi) * (py - yi) / (yj - yi) + xi)
                         {
                             inside = !inside;
                         }
@@ -183,7 +191,9 @@ impl AdtType for PolygonAdt {
                     // index would implement.
                     let a = bbox(&poly_arg(&args[0])?);
                     let b = bbox(&poly_arg(&args[1])?);
-                    Ok(Value::Bool(a.0 <= b.2 && b.0 <= a.2 && a.1 <= b.3 && b.1 <= a.3))
+                    Ok(Value::Bool(
+                        a.0 <= b.2 && b.0 <= a.2 && a.1 <= b.3 && b.1 <= a.3,
+                    ))
                 }),
             },
         ]
@@ -230,15 +240,30 @@ mod tests {
         let (r, id) = setup();
         let rect = r.parse(id, "((0 0) (4 0) (4 3) (0 3))").unwrap();
         let call = |name: &str, args: &[Value]| (r.function(id, name).unwrap().body)(args).unwrap();
-        assert_eq!(call("Area", std::slice::from_ref(&rect)), Value::Float(12.0));
-        assert_eq!(call("Perimeter", std::slice::from_ref(&rect)), Value::Float(14.0));
-        assert_eq!(call("NumVertices", std::slice::from_ref(&rect)), Value::Int(4));
         assert_eq!(
-            call("Contains", &[rect.clone(), Value::Float(2.0), Value::Float(1.0)]),
+            call("Area", std::slice::from_ref(&rect)),
+            Value::Float(12.0)
+        );
+        assert_eq!(
+            call("Perimeter", std::slice::from_ref(&rect)),
+            Value::Float(14.0)
+        );
+        assert_eq!(
+            call("NumVertices", std::slice::from_ref(&rect)),
+            Value::Int(4)
+        );
+        assert_eq!(
+            call(
+                "Contains",
+                &[rect.clone(), Value::Float(2.0), Value::Float(1.0)]
+            ),
             Value::Bool(true)
         );
         assert_eq!(
-            call("Contains", &[rect.clone(), Value::Float(9.0), Value::Float(1.0)]),
+            call(
+                "Contains",
+                &[rect.clone(), Value::Float(9.0), Value::Float(1.0)]
+            ),
             Value::Bool(false)
         );
     }
@@ -249,7 +274,13 @@ mod tests {
         let a = r.parse(id, "((0 0) (2 0) (2 2) (0 2))").unwrap();
         let b = r.parse(id, "((1 1) (3 1) (3 3) (1 3))").unwrap();
         let c = r.parse(id, "((10 10) (11 10) (11 11) (10 11))").unwrap();
-        assert_eq!(r.apply_operator("&&&", &[a.clone(), b]).unwrap(), Value::Bool(true));
-        assert_eq!(r.apply_operator("&&&", &[a, c]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            r.apply_operator("&&&", &[a.clone(), b]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            r.apply_operator("&&&", &[a, c]).unwrap(),
+            Value::Bool(false)
+        );
     }
 }

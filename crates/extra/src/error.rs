@@ -52,19 +52,28 @@ impl fmt::Display for ModelError {
                 from.join(", ")
             ),
             ModelError::BadRename { base, attr } => {
-                write!(f, "rename of '{attr}': base type '{base}' has no such attribute")
+                write!(
+                    f,
+                    "rename of '{attr}': base type '{base}' has no such attribute"
+                )
             }
             ModelError::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: expected {expected}, got {got}")
             }
             ModelError::RefToValueType(t) => {
-                write!(f, "'{t}' is not a schema type; ref/own ref require object identity")
+                write!(
+                    f,
+                    "'{t}' is not a schema type; ref/own ref require object identity"
+                )
             }
             ModelError::Integrity(m) => write!(f, "integrity violation: {m}"),
             ModelError::UnknownAdt(a) => write!(f, "unknown ADT or ADT member '{a}'"),
             ModelError::AdtError(m) => write!(f, "ADT error: {m}"),
             ModelError::IndexOutOfRange { index, len } => {
-                write!(f, "array index {index} out of range (length {len}, arrays are 1-based)")
+                write!(
+                    f,
+                    "array index {index} out of range (length {len}, arrays are 1-based)"
+                )
             }
             ModelError::Semantic(m) => write!(f, "{m}"),
         }

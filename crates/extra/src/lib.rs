@@ -39,6 +39,6 @@ pub mod valueio;
 pub use adt::{AdtFunction, AdtId, AdtOperator, AdtRegistry, AdtType};
 pub use error::{ModelError, ModelResult};
 pub use schema::{SchemaType, TypeId, TypeRegistry};
-pub use store::ObjectStore;
+pub use store::{MemberScan, ObjectStore};
 pub use types::{Attribute, BaseType, Ownership, QualType, Type};
 pub use value::Value;

@@ -49,14 +49,20 @@ pub struct InheritSpec {
 impl InheritSpec {
     /// Inherit without renames.
     pub fn plain(base: &str) -> InheritSpec {
-        InheritSpec { base: base.into(), renames: Vec::new() }
+        InheritSpec {
+            base: base.into(),
+            renames: Vec::new(),
+        }
     }
 
     /// Inherit with renames.
     pub fn renamed(base: &str, renames: &[(&str, &str)]) -> InheritSpec {
         InheritSpec {
             base: base.into(),
-            renames: renames.iter().map(|(a, b)| (a.to_string(), b.to_string())).collect(),
+            renames: renames
+                .iter()
+                .map(|(a, b)| (a.to_string(), b.to_string()))
+                .collect(),
         }
     }
 }
@@ -256,8 +262,7 @@ impl TypeRegistry {
             }
             for fa in &base.flat {
                 let mut attr = fa.attr.clone();
-                if let Some((_, new_name)) =
-                    spec.renames.iter().find(|(old, _)| *old == attr.name)
+                if let Some((_, new_name)) = spec.renames.iter().find(|(old, _)| *old == attr.name)
                 {
                     attr.name = new_name.clone();
                 }
@@ -270,9 +275,15 @@ impl TypeRegistry {
                         self.get(existing.origin.declared_in).name.clone(),
                         self.get(fa.origin.declared_in).name.clone(),
                     ];
-                    return Err(ModelError::InheritanceConflict { attr: attr.name, from });
+                    return Err(ModelError::InheritanceConflict {
+                        attr: attr.name,
+                        from,
+                    });
                 }
-                flat.push(FlatAttr { attr, origin: fa.origin.clone() });
+                flat.push(FlatAttr {
+                    attr,
+                    origin: fa.origin.clone(),
+                });
             }
         }
 
@@ -349,8 +360,7 @@ impl TypeRegistry {
                 return false;
             }
             let t = self.get(tid);
-            t.supertypes.contains(&id)
-                || t.local_attrs.iter().any(|a| mentions(&a.qty.ty, id))
+            t.supertypes.contains(&id) || t.local_attrs.iter().any(|a| mentions(&a.qty.ty, id))
         })
     }
 
@@ -410,7 +420,10 @@ mod tests {
         assert_eq!(t.arity(), 2);
         assert_eq!(t.attribute("name").unwrap().0, 0);
         assert!(t.attribute("salary").is_none());
-        assert!(matches!(reg.lookup("Nobody"), Err(ModelError::UnknownType(_))));
+        assert!(matches!(
+            reg.lookup("Nobody"),
+            Err(ModelError::UnknownType(_))
+        ));
     }
 
     #[test]
@@ -450,8 +463,12 @@ mod tests {
         // Paper Figure 3: Student and Employee both have a dept attribute;
         // TA inherits from both — conflict unless renamed.
         let mut reg = TypeRegistry::new();
-        reg.define("Department", vec![], vec![Attribute::own("dname", Type::varchar())])
-            .unwrap();
+        reg.define(
+            "Department",
+            vec![],
+            vec![Attribute::own("dname", Type::varchar())],
+        )
+        .unwrap();
         let dept = reg.lookup("Department").unwrap();
         reg.define(
             "Student",
@@ -471,7 +488,10 @@ mod tests {
         let err = reg
             .define(
                 "TA",
-                vec![InheritSpec::plain("Student"), InheritSpec::plain("Employee")],
+                vec![
+                    InheritSpec::plain("Student"),
+                    InheritSpec::plain("Employee"),
+                ],
                 vec![],
             )
             .unwrap_err();
@@ -497,11 +517,18 @@ mod tests {
     #[test]
     fn diamond_is_not_a_conflict() {
         let mut reg = TypeRegistry::new();
-        reg.define("Thing", vec![], vec![Attribute::own("id", Type::int4())]).unwrap();
-        reg.define("A", vec![InheritSpec::plain("Thing")], vec![]).unwrap();
-        reg.define("B", vec![InheritSpec::plain("Thing")], vec![]).unwrap();
+        reg.define("Thing", vec![], vec![Attribute::own("id", Type::int4())])
+            .unwrap();
+        reg.define("A", vec![InheritSpec::plain("Thing")], vec![])
+            .unwrap();
+        reg.define("B", vec![InheritSpec::plain("Thing")], vec![])
+            .unwrap();
         let d = reg
-            .define("D", vec![InheritSpec::plain("A"), InheritSpec::plain("B")], vec![])
+            .define(
+                "D",
+                vec![InheritSpec::plain("A"), InheritSpec::plain("B")],
+                vec![],
+            )
             .unwrap();
         let t = reg.get(d);
         assert_eq!(t.arity(), 1, "diamond attribute appears once");
@@ -564,11 +591,7 @@ mod tests {
     fn ref_requires_schema_type() {
         let mut reg = TypeRegistry::new();
         let err = reg
-            .define(
-                "Bad",
-                vec![],
-                vec![Attribute::reference("x", Type::int4())],
-            )
+            .define("Bad", vec![], vec![Attribute::reference("x", Type::int4())])
             .unwrap_err();
         assert!(matches!(err, ModelError::RefToValueType(_)));
         // Nested inside a set, too.
@@ -612,7 +635,10 @@ mod tests {
         assert_eq!(reg.display_qual(&qty), "own ref Person");
         let set = Type::Set(Box::new(qty));
         assert_eq!(reg.display_type(&set), "{ own ref Person }");
-        let arr = Type::Array(Some(10), Box::new(QualType::reference(Type::Schema(person))));
+        let arr = Type::Array(
+            Some(10),
+            Box::new(QualType::reference(Type::Schema(person))),
+        );
         assert_eq!(reg.display_type(&arr), "[10] ref Person");
     }
 }

@@ -239,6 +239,28 @@ impl ObjectStore {
         Ok(self.get(oid)?.2)
     }
 
+    /// Decode only field `pos` of a tuple-valued object, skipping the
+    /// other fields (no allocation for them). Returns `None` when the
+    /// stored value is not a tuple or `pos` is out of range; callers fall
+    /// back to [`ObjectStore::value_of`] for those cases.
+    pub fn field_of(&self, oid: Oid, pos: usize) -> ModelResult<Option<Value>> {
+        let entry = self.table.get(self.pool(), oid)?;
+        let rec = self.sm.read(entry.rid)?;
+        if rec.len() < 9 {
+            return Err(ModelError::Semantic("truncated object record".into()));
+        }
+        match rec[8] {
+            TAG_INLINE => valueio::tuple_field_from_bytes(&rec[9..], pos),
+            TAG_LOB => {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&rec[9..17]);
+                let lob = Lob::open(LobId(u64::from_le_bytes(b)));
+                valueio::tuple_field_from_bytes(&lob.read_all(self.pool())?, pos)
+            }
+            other => Err(ModelError::Semantic(format!("bad record tag {other}"))),
+        }
+    }
+
     /// The owner of an object (`Oid::NULL` if unowned).
     pub fn owner_of(&self, oid: Oid) -> ModelResult<Oid> {
         Ok(self.get(oid)?.1)
@@ -301,7 +323,8 @@ impl ObjectStore {
         //    detach it from its owner's value first (unless the owner is
         //    being deleted too).
         if !owner.is_null() && !visited.contains(&owner) {
-            self.children.delete(self.pool(), &child_key(owner, oid), oid.0)?;
+            self.children
+                .delete(self.pool(), &child_key(owner, oid), oid.0)?;
             if self.exists(owner)? {
                 let (_, oowner, ovalue) = self.get(owner)?;
                 let cleaned = null_out(&ovalue, oid);
@@ -361,9 +384,7 @@ impl ObjectStore {
                         let _ = hf.delete(self.pool(), rid);
                     }
                 }
-                other => {
-                    return Err(ModelError::Semantic(format!("bad backref kind {other}")))
-                }
+                other => return Err(ModelError::Semantic(format!("bad backref kind {other}"))),
             }
         }
 
@@ -417,7 +438,8 @@ impl ObjectStore {
             )));
         }
         self.rewrite_record(child, owner, &value)?;
-        self.children.insert(self.pool(), &child_key(owner, child), child.0, false)?;
+        self.children
+            .insert(self.pool(), &child_key(owner, child), child.0, false)?;
         Ok(())
     }
 
@@ -430,7 +452,8 @@ impl ObjectStore {
             )));
         }
         self.rewrite_record(child, Oid::NULL, &value)?;
-        self.children.delete(self.pool(), &child_key(owner, child), child.0)?;
+        self.children
+            .delete(self.pool(), &child_key(owner, child), child.0)?;
         Ok(())
     }
 
@@ -464,9 +487,15 @@ impl ObjectStore {
                     Value::Null => Ok(()),
                     Value::Ref(oid) => {
                         out.push(if qty.mode == Ownership::Ref {
-                            Edge::Ref { target: *oid, declared }
+                            Edge::Ref {
+                                target: *oid,
+                                declared,
+                            }
                         } else {
-                            Edge::Own { child: *oid, declared }
+                            Edge::Own {
+                                child: *oid,
+                                declared,
+                            }
                         });
                         Ok(())
                     }
@@ -548,12 +577,16 @@ impl ObjectStore {
     fn remove_edge(&self, source: Oid, edge: &Edge) -> ModelResult<()> {
         match edge {
             Edge::Ref { target, .. } => {
-                self.backrefs
-                    .delete(self.pool(), &backref_key(*target, BK_OBJECT, source, 0), 0)?;
+                self.backrefs.delete(
+                    self.pool(),
+                    &backref_key(*target, BK_OBJECT, source, 0),
+                    0,
+                )?;
                 Ok(())
             }
             Edge::Own { child, .. } => {
-                self.children.delete(self.pool(), &child_key(source, *child), child.0)?;
+                self.children
+                    .delete(self.pool(), &child_key(source, *child), child.0)?;
                 Ok(())
             }
         }
@@ -570,9 +603,13 @@ impl ObjectStore {
         let rec = self.encode_payload(Oid::NULL, &Value::Null)?;
         let rid = self.sm.insert(self.file, &rec)?;
         let anchor = self.table.allocate(self.pool(), rid, type_id)?;
-        self.collections
-            .write()
-            .insert(anchor, CollectionInfo { file, elem: self.intern(elem) });
+        self.collections.write().insert(
+            anchor,
+            CollectionInfo {
+                file,
+                elem: self.intern(elem),
+            },
+        );
         Ok(anchor)
     }
 
@@ -672,6 +709,15 @@ impl ObjectStore {
             }))
     }
 
+    /// Batched member scan: decodes records a batch at a time on top of
+    /// the heap file's page-at-a-time [`HeapScan::next_batch`].
+    pub fn scan_members_batch(&self, anchor: Oid) -> ModelResult<MemberScan> {
+        let info = self.collection_info(anchor)?;
+        Ok(MemberScan {
+            scan: HeapFile::open(info.file).scan(self.pool().clone()),
+        })
+    }
+
     /// Number of members.
     pub fn member_count(&self, anchor: Oid) -> ModelResult<u64> {
         let info = self.collection_info(anchor)?;
@@ -681,12 +727,7 @@ impl ObjectStore {
     /// Remove a member by record id. `own ref` members are deleted
     /// (exclusive ownership); `ref` members are merely dropped from the
     /// set; `own` members vanish with their record.
-    pub fn remove_member(
-        &self,
-        reg: &TypeRegistry,
-        anchor: Oid,
-        rid: RecordId,
-    ) -> ModelResult<()> {
+    pub fn remove_member(&self, reg: &TypeRegistry, anchor: Oid, rid: RecordId) -> ModelResult<()> {
         let info = self.collection_info(anchor)?;
         let elem = self.qtype(info.elem);
         let hf = HeapFile::open(info.file);
@@ -694,10 +735,14 @@ impl ObjectStore {
         let member = valueio::from_bytes(&bytes)?;
         hf.delete(self.pool(), rid)?;
         if let Value::Ref(target) = member {
-            self.backrefs
-                .delete(self.pool(), &backref_key(target, BK_MEMBER, anchor, rid.pack()), 0)?;
+            self.backrefs.delete(
+                self.pool(),
+                &backref_key(target, BK_MEMBER, anchor, rid.pack()),
+                0,
+            )?;
             if elem.mode == Ownership::OwnRef {
-                self.children.delete(self.pool(), &child_key(anchor, target), target.0)?;
+                self.children
+                    .delete(self.pool(), &child_key(anchor, target), target.0)?;
                 // Rewrite owner so delete_object's cascade bookkeeping stays
                 // consistent, then delete the exclusively-owned component.
                 let (_, _, v) = self.get(target)?;
@@ -741,7 +786,10 @@ impl ObjectStore {
                 h.copy_from_slice(&k[9..17]);
                 let mut x = [0u8; 8];
                 x.copy_from_slice(&k[17..25]);
-                Ok((Oid(u64::from_be_bytes(h)), RecordId::unpack(u64::from_be_bytes(x))))
+                Ok((
+                    Oid(u64::from_be_bytes(h)),
+                    RecordId::unpack(u64::from_be_bytes(x)),
+                ))
             })
             .collect()
     }
@@ -775,8 +823,7 @@ impl ObjectStore {
                 let v = self.value_of(*x)?;
                 self.deep_eq_rec(&v, other, seen)
             }
-            (Value::Tuple(xs), Value::Tuple(ys))
-            | (Value::Array(xs), Value::Array(ys)) => {
+            (Value::Tuple(xs), Value::Tuple(ys)) | (Value::Array(xs), Value::Array(ys)) => {
                 if xs.len() != ys.len() {
                     return Ok(false);
                 }
@@ -810,6 +857,24 @@ impl ObjectStore {
 }
 
 /// Replace every `Ref(target)` in `v` with `Null` (GEM null-out).
+/// A batched collection-member scan (see
+/// [`ObjectStore::scan_members_batch`]).
+pub struct MemberScan {
+    scan: exodus_storage::heap::HeapScan,
+}
+
+impl MemberScan {
+    /// Decode up to `n` more `(rid, value)` members. Returns an empty
+    /// vector when the collection is exhausted.
+    pub fn next_batch(&mut self, n: usize) -> ModelResult<Vec<(RecordId, Value)>> {
+        self.scan
+            .next_batch(n)?
+            .into_iter()
+            .map(|(rid, bytes)| Ok((rid, valueio::from_bytes(&bytes)?)))
+            .collect()
+    }
+}
+
 fn null_out(v: &Value, target: Oid) -> Value {
     match v {
         Value::Ref(o) if *o == target => Value::Null,
@@ -820,9 +885,7 @@ fn null_out(v: &Value, target: Oid) -> Value {
                 .map(|m| null_out(m, target))
                 .collect(),
         ),
-        Value::Array(items) => {
-            Value::Array(items.iter().map(|i| null_out(i, target)).collect())
-        }
+        Value::Array(items) => Value::Array(items.iter().map(|i| null_out(i, target)).collect()),
         other => other.clone(),
     }
 }
@@ -879,7 +942,13 @@ mod tests {
             )
             .unwrap();
         let store = ObjectStore::new(StorageManager::in_memory(256)).unwrap();
-        Fixture { reg, store, person, dept, employee }
+        Fixture {
+            reg,
+            store,
+            person,
+            dept,
+            employee,
+        }
     }
 
     fn person_v(name: &str, age: i64) -> Value {
@@ -900,7 +969,10 @@ mod tests {
     fn create_and_get_object() {
         let f = fixture();
         let qty = QualType::own(Type::Schema(f.person));
-        let oid = f.store.create_object(&f.reg, &qty, person_v("ann", 30)).unwrap();
+        let oid = f
+            .store
+            .create_object(&f.reg, &qty, person_v("ann", 30))
+            .unwrap();
         let (got_qty, owner, v) = f.store.get(oid).unwrap();
         assert_eq!(got_qty, qty);
         assert!(owner.is_null());
@@ -922,7 +994,11 @@ mod tests {
         let e_qty = QualType::own(Type::Schema(f.employee));
         // Valid: dept ref to a Department.
         f.store
-            .create_object(&f.reg, &e_qty, employee_v("bob", 40, 50e3, Value::Ref(d), vec![]))
+            .create_object(
+                &f.reg,
+                &e_qty,
+                employee_v("bob", 40, 50e3, Value::Ref(d), vec![]),
+            )
             .unwrap();
         // Dangling ref rejected.
         let err = f
@@ -937,11 +1013,19 @@ mod tests {
         // Wrong-type ref rejected (a Person where a Department is needed).
         let p = f
             .store
-            .create_object(&f.reg, &QualType::own(Type::Schema(f.person)), person_v("kid", 5))
+            .create_object(
+                &f.reg,
+                &QualType::own(Type::Schema(f.person)),
+                person_v("kid", 5),
+            )
             .unwrap();
         let err = f
             .store
-            .create_object(&f.reg, &e_qty, employee_v("sam", 20, 1e3, Value::Ref(p), vec![]))
+            .create_object(
+                &f.reg,
+                &e_qty,
+                employee_v("sam", 20, 1e3, Value::Ref(p), vec![]),
+            )
             .unwrap_err();
         assert!(matches!(err, ModelError::TypeMismatch { .. }));
     }
@@ -979,18 +1063,32 @@ mod tests {
         let f = fixture();
         let kid1 = f
             .store
-            .create_object(&f.reg, &QualType::own(Type::Schema(f.person)), person_v("k1", 5))
+            .create_object(
+                &f.reg,
+                &QualType::own(Type::Schema(f.person)),
+                person_v("k1", 5),
+            )
             .unwrap();
         let kid2 = f
             .store
-            .create_object(&f.reg, &QualType::own(Type::Schema(f.person)), person_v("k2", 7))
+            .create_object(
+                &f.reg,
+                &QualType::own(Type::Schema(f.person)),
+                person_v("k2", 7),
+            )
             .unwrap();
         let e = f
             .store
             .create_object(
                 &f.reg,
                 &QualType::own(Type::Schema(f.employee)),
-                employee_v("bob", 40, 50e3, Value::Null, vec![Value::Ref(kid1), Value::Ref(kid2)]),
+                employee_v(
+                    "bob",
+                    40,
+                    50e3,
+                    Value::Null,
+                    vec![Value::Ref(kid1), Value::Ref(kid2)],
+                ),
             )
             .unwrap();
         assert_eq!(f.store.owner_of(kid1).unwrap(), e);
@@ -1006,15 +1104,27 @@ mod tests {
         let f = fixture();
         let kid = f
             .store
-            .create_object(&f.reg, &QualType::own(Type::Schema(f.person)), person_v("k", 5))
+            .create_object(
+                &f.reg,
+                &QualType::own(Type::Schema(f.person)),
+                person_v("k", 5),
+            )
             .unwrap();
         let e_qty = QualType::own(Type::Schema(f.employee));
         f.store
-            .create_object(&f.reg, &e_qty, employee_v("a", 40, 1e3, Value::Null, vec![Value::Ref(kid)]))
+            .create_object(
+                &f.reg,
+                &e_qty,
+                employee_v("a", 40, 1e3, Value::Null, vec![Value::Ref(kid)]),
+            )
             .unwrap();
         let err = f
             .store
-            .create_object(&f.reg, &e_qty, employee_v("b", 41, 1e3, Value::Null, vec![Value::Ref(kid)]))
+            .create_object(
+                &f.reg,
+                &e_qty,
+                employee_v("b", 41, 1e3, Value::Null, vec![Value::Ref(kid)]),
+            )
             .unwrap_err();
         assert!(matches!(err, ModelError::Integrity(_)));
     }
@@ -1028,7 +1138,11 @@ mod tests {
         let _ = &mut reg;
         let kid = f
             .store
-            .create_object(&f.reg, &QualType::own(Type::Schema(f.person)), person_v("k", 5))
+            .create_object(
+                &f.reg,
+                &QualType::own(Type::Schema(f.person)),
+                person_v("k", 5),
+            )
             .unwrap();
         let e = f
             .store
@@ -1046,7 +1160,10 @@ mod tests {
         f.store
             .set_value(&f.reg, e, employee_v("a", 40, 1e3, Value::Null, vec![]))
             .unwrap();
-        assert!(!f.store.exists(kid).unwrap(), "removed own-ref component dies");
+        assert!(
+            !f.store.exists(kid).unwrap(),
+            "removed own-ref component dies"
+        );
     }
 
     #[test]
@@ -1077,13 +1194,23 @@ mod tests {
             )
             .unwrap();
         f.store
-            .set_value(&f.reg, e, employee_v("bob", 40, 50e3, Value::Ref(d2), vec![]))
+            .set_value(
+                &f.reg,
+                e,
+                employee_v("bob", 40, 50e3, Value::Ref(d2), vec![]),
+            )
             .unwrap();
         // Deleting d1 must not touch e; deleting d2 nulls e's dept.
         f.store.delete_object(&f.reg, d1).unwrap();
-        assert_eq!(f.store.get(e).unwrap().2, employee_v("bob", 40, 50e3, Value::Ref(d2), vec![]));
+        assert_eq!(
+            f.store.get(e).unwrap().2,
+            employee_v("bob", 40, 50e3, Value::Ref(d2), vec![])
+        );
         f.store.delete_object(&f.reg, d2).unwrap();
-        assert_eq!(f.store.get(e).unwrap().2, employee_v("bob", 40, 50e3, Value::Null, vec![]));
+        assert_eq!(
+            f.store.get(e).unwrap().2,
+            employee_v("bob", 40, 50e3, Value::Null, vec![])
+        );
     }
 
     #[test]
@@ -1114,15 +1241,27 @@ mod tests {
         let f = fixture();
         let p = f
             .store
-            .create_object(&f.reg, &QualType::own(Type::Schema(f.person)), person_v("ann", 30))
+            .create_object(
+                &f.reg,
+                &QualType::own(Type::Schema(f.person)),
+                person_v("ann", 30),
+            )
             .unwrap();
         let anchor = f
             .store
             .create_collection(&QualType::reference(Type::Schema(f.person)))
             .unwrap();
-        f.store.append_member(&f.reg, anchor, Value::Ref(p)).unwrap();
-        let err = f.store.append_member(&f.reg, anchor, Value::Ref(p)).unwrap_err();
-        assert!(matches!(err, ModelError::Integrity(_)), "sets dedupe by identity");
+        f.store
+            .append_member(&f.reg, anchor, Value::Ref(p))
+            .unwrap();
+        let err = f
+            .store
+            .append_member(&f.reg, anchor, Value::Ref(p))
+            .unwrap_err();
+        assert!(
+            matches!(err, ModelError::Integrity(_)),
+            "sets dedupe by identity"
+        );
         // Deleting the object removes the dangling member.
         f.store.delete_object(&f.reg, p).unwrap();
         assert_eq!(f.store.member_count(anchor).unwrap(), 0);
@@ -1134,25 +1273,40 @@ mod tests {
         let e_qty = QualType::own(Type::Schema(f.employee));
         let e1 = f
             .store
-            .create_object(&f.reg, &e_qty, employee_v("a", 30, 1e3, Value::Null, vec![]))
+            .create_object(
+                &f.reg,
+                &e_qty,
+                employee_v("a", 30, 1e3, Value::Null, vec![]),
+            )
             .unwrap();
         let e2 = f
             .store
-            .create_object(&f.reg, &e_qty, employee_v("b", 31, 2e3, Value::Null, vec![]))
+            .create_object(
+                &f.reg,
+                &e_qty,
+                employee_v("b", 31, 2e3, Value::Null, vec![]),
+            )
             .unwrap();
         let anchor = f
             .store
             .create_collection(&QualType::own_ref(Type::Schema(f.employee)))
             .unwrap();
-        f.store.append_member(&f.reg, anchor, Value::Ref(e1)).unwrap();
-        f.store.append_member(&f.reg, anchor, Value::Ref(e2)).unwrap();
+        f.store
+            .append_member(&f.reg, anchor, Value::Ref(e1))
+            .unwrap();
+        f.store
+            .append_member(&f.reg, anchor, Value::Ref(e2))
+            .unwrap();
         assert_eq!(f.store.owner_of(e1).unwrap(), anchor);
         // Exclusivity across collections too.
         let other = f
             .store
             .create_collection(&QualType::own_ref(Type::Schema(f.employee)))
             .unwrap();
-        assert!(f.store.append_member(&f.reg, other, Value::Ref(e1)).is_err());
+        assert!(f
+            .store
+            .append_member(&f.reg, other, Value::Ref(e1))
+            .is_err());
         // Removing a member deletes the owned object.
         let rid = f
             .store
@@ -1173,8 +1327,14 @@ mod tests {
     fn deep_vs_identity_equality() {
         let f = fixture();
         let q = QualType::own(Type::Schema(f.person));
-        let a = f.store.create_object(&f.reg, &q, person_v("ann", 30)).unwrap();
-        let b = f.store.create_object(&f.reg, &q, person_v("ann", 30)).unwrap();
+        let a = f
+            .store
+            .create_object(&f.reg, &q, person_v("ann", 30))
+            .unwrap();
+        let b = f
+            .store
+            .create_object(&f.reg, &q, person_v("ann", 30))
+            .unwrap();
         // is: different objects.
         assert_ne!(Value::Ref(a), Value::Ref(b));
         // deep equality in the sense of [Banc86]: equal contents.

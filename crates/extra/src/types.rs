@@ -186,17 +186,26 @@ pub struct QualType {
 impl QualType {
     /// An `own` (plain value) qualified type.
     pub fn own(ty: Type) -> QualType {
-        QualType { mode: Ownership::Own, ty }
+        QualType {
+            mode: Ownership::Own,
+            ty,
+        }
     }
 
     /// A `ref` qualified type.
     pub fn reference(ty: Type) -> QualType {
-        QualType { mode: Ownership::Ref, ty }
+        QualType {
+            mode: Ownership::Ref,
+            ty,
+        }
     }
 
     /// An `own ref` qualified type.
     pub fn own_ref(ty: Type) -> QualType {
-        QualType { mode: Ownership::OwnRef, ty }
+        QualType {
+            mode: Ownership::OwnRef,
+            ty,
+        }
     }
 
     /// Whether values of this qualified type are stored as OIDs.
@@ -217,17 +226,26 @@ pub struct Attribute {
 impl Attribute {
     /// Construct an `own` attribute.
     pub fn own(name: &str, ty: Type) -> Attribute {
-        Attribute { name: name.into(), qty: QualType::own(ty) }
+        Attribute {
+            name: name.into(),
+            qty: QualType::own(ty),
+        }
     }
 
     /// Construct a `ref` attribute.
     pub fn reference(name: &str, ty: Type) -> Attribute {
-        Attribute { name: name.into(), qty: QualType::reference(ty) }
+        Attribute {
+            name: name.into(),
+            qty: QualType::reference(ty),
+        }
     }
 
     /// Construct an `own ref` attribute.
     pub fn own_ref(name: &str, ty: Type) -> Attribute {
-        Attribute { name: name.into(), qty: QualType::own_ref(ty) }
+        Attribute {
+            name: name.into(),
+            qty: QualType::own_ref(ty),
+        }
     }
 }
 

@@ -136,6 +136,67 @@ pub fn decode_value(r: &mut ByteReader<'_>) -> ModelResult<Value> {
     }
 }
 
+/// Advance `r` past one encoded value without materializing it.
+fn skip_value(r: &mut ByteReader<'_>) -> ModelResult<()> {
+    let corrupt = |m: &str| ModelError::Storage(StorageError::Corrupt(m.into()));
+    match r.get_u8()? {
+        T_NULL => {}
+        T_INT => {
+            r.get_i64()?;
+        }
+        T_FLOAT => {
+            r.get_f64()?;
+        }
+        T_BOOL => {
+            r.get_u8()?;
+        }
+        T_STR => {
+            r.get_str()?;
+        }
+        T_ENUM => {
+            r.get_u16()?;
+            r.get_str()?;
+        }
+        T_ADT => {
+            r.get_u32()?;
+            r.get_bytes()?;
+        }
+        T_TUPLE | T_SET | T_ARRAY => {
+            let n = r.get_varint()? as usize;
+            for _ in 0..n {
+                skip_value(r)?;
+            }
+        }
+        T_REF => {
+            r.get_u64()?;
+        }
+        other => return Err(corrupt(&format!("unknown value tag {other}"))),
+    }
+    Ok(())
+}
+
+/// Decode only field `pos` of a top-level tuple, skipping its siblings.
+///
+/// The projected-attribute fast path (`E.dept.budget` derefs `E` for one
+/// field): fields before `pos` are skipped tag-by-tag instead of decoded,
+/// so the scan allocates nothing for them. Returns `None` when the bytes
+/// are not a tuple or `pos` is out of range — callers fall back to a full
+/// decode, which reproduces the ordinary error (or ref-chasing) behavior.
+pub fn tuple_field_from_bytes(bytes: &[u8], pos: usize) -> ModelResult<Option<Value>> {
+    let mut r = ByteReader::new(bytes);
+    if r.get_u8()? != T_TUPLE {
+        return Ok(None);
+    }
+    let n = r.get_varint()? as usize;
+    if pos >= n {
+        return Ok(None);
+    }
+    for _ in 0..pos {
+        skip_value(&mut r)?;
+    }
+    Ok(Some(decode_value(&mut r)?))
+}
+
 /// Deserialize a value from bytes.
 pub fn from_bytes(bytes: &[u8]) -> ModelResult<Value> {
     let mut r = ByteReader::new(bytes);
@@ -178,6 +239,35 @@ mod tests {
             Value::Array(vec![Value::Null, Value::Float(1.5)]),
             Value::Tuple(vec![Value::Bool(false)]),
         ]));
+    }
+
+    #[test]
+    fn tuple_field_projection() {
+        let v = Value::Tuple(vec![
+            Value::str("ann"),
+            Value::Set(vec![Value::Int(1), Value::Int(2)]),
+            Value::Ref(Oid(7)),
+            Value::Float(1.5),
+        ]);
+        let bytes = to_bytes(&v);
+        assert_eq!(
+            tuple_field_from_bytes(&bytes, 0).unwrap(),
+            Some(Value::str("ann"))
+        );
+        assert_eq!(
+            tuple_field_from_bytes(&bytes, 2).unwrap(),
+            Some(Value::Ref(Oid(7)))
+        );
+        assert_eq!(
+            tuple_field_from_bytes(&bytes, 3).unwrap(),
+            Some(Value::Float(1.5))
+        );
+        // Out of range and non-tuple both defer to the caller.
+        assert_eq!(tuple_field_from_bytes(&bytes, 4).unwrap(), None);
+        assert_eq!(
+            tuple_field_from_bytes(&to_bytes(&Value::Int(3)), 0).unwrap(),
+            None
+        );
     }
 
     #[test]

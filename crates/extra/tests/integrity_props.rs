@@ -6,9 +6,7 @@ use proptest::prelude::*;
 
 use exodus_storage::{Oid, StorageManager};
 use extra_model::schema::InheritSpec;
-use extra_model::{
-    Attribute, ModelError, ObjectStore, QualType, Type, TypeRegistry, Value,
-};
+use extra_model::{Attribute, ModelError, ObjectStore, QualType, Type, TypeRegistry, Value};
 
 struct World {
     reg: TypeRegistry,
@@ -32,7 +30,12 @@ fn world() -> World {
     )
     .unwrap();
     let store = ObjectStore::new(StorageManager::in_memory(512)).unwrap();
-    World { reg, store, node, live: Vec::new() }
+    World {
+        reg,
+        store,
+        node,
+        live: Vec::new(),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -68,7 +71,11 @@ impl World {
             Op::Create(tag) => {
                 let oid = self
                     .store
-                    .create_object(&self.reg, &self.qty(), node_value(*tag, Value::Null, Value::Null))
+                    .create_object(
+                        &self.reg,
+                        &self.qty(),
+                        node_value(*tag, Value::Null, Value::Null),
+                    )
                     .unwrap();
                 self.live.push(oid);
             }
@@ -136,7 +143,9 @@ impl World {
                     "{oid} has a dead owner {owner}"
                 );
             }
-            let Value::Tuple(fields) = &v else { panic!("not a tuple") };
+            let Value::Tuple(fields) = &v else {
+                panic!("not a tuple")
+            };
             match &fields[1] {
                 Value::Null => {}
                 Value::Ref(t) => assert!(

@@ -45,13 +45,19 @@ impl fmt::Display for SemaError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SemaError::UnknownName(n) => {
-                write!(f, "'{n}' is not a range variable, parameter or named object")
+                write!(
+                    f,
+                    "'{n}' is not a range variable, parameter or named object"
+                )
             }
             SemaError::UnknownAttribute { ty, attr } => {
                 write!(f, "type '{ty}' has no attribute '{attr}'")
             }
             SemaError::NotIterable(p) => {
-                write!(f, "'{p}' is not a set or array; range variables need a collection")
+                write!(
+                    f,
+                    "'{p}' is not a set or array; range variables need a collection"
+                )
             }
             SemaError::RefComparison(op) => write!(
                 f,
@@ -59,7 +65,10 @@ impl fmt::Display for SemaError {
                  (the only comparisons applicable to references)"
             ),
             SemaError::IsOnValue(k) => {
-                write!(f, "'is'/'isnot' compare object identity; operands are {k}, not references")
+                write!(
+                    f,
+                    "'is'/'isnot' compare object identity; operands are {k}, not references"
+                )
             }
             SemaError::TypeMismatch { expected, got } => {
                 write!(f, "type mismatch: expected {expected}, got {got}")

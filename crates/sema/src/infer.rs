@@ -4,9 +4,7 @@ use std::collections::HashMap;
 
 use excess_lang::{Aggregate, BinOp, Expr, Lit, UnOp};
 use extra_model::adt::AdtReturn;
-use extra_model::{
-    AdtRegistry, BaseType, Ownership, QualType, Type, TypeRegistry,
-};
+use extra_model::{AdtRegistry, BaseType, Ownership, QualType, Type, TypeRegistry};
 
 use crate::catalog::{CatalogLookup, FunctionDef};
 use crate::error::{SemaError, SemaResult};
@@ -57,7 +55,12 @@ impl<'a> SemaCtx<'a> {
         adts: &'a AdtRegistry,
         catalog: &'a dyn CatalogLookup,
     ) -> Self {
-        SemaCtx { types, adts, catalog, vars: HashMap::new() }
+        SemaCtx {
+            types,
+            adts,
+            catalog,
+            vars: HashMap::new(),
+        }
     }
 
     /// Whether values of this type are references at runtime.
@@ -107,18 +110,19 @@ impl<'a> SemaCtx<'a> {
         match &base.ty {
             Type::Schema(tid) => {
                 let st = self.types.get(*tid);
-                st.attribute(attr).map(|(i, _)| i).ok_or_else(|| SemaError::UnknownAttribute {
-                    ty: st.name.clone(),
-                    attr: attr.into(),
-                })
+                st.attribute(attr)
+                    .map(|(i, _)| i)
+                    .ok_or_else(|| SemaError::UnknownAttribute {
+                        ty: st.name.clone(),
+                        attr: attr.into(),
+                    })
             }
-            Type::Tuple(attrs) => attrs
-                .iter()
-                .position(|a| a.name == attr)
-                .ok_or_else(|| SemaError::UnknownAttribute {
+            Type::Tuple(attrs) => attrs.iter().position(|a| a.name == attr).ok_or_else(|| {
+                SemaError::UnknownAttribute {
                     ty: self.display(base),
                     attr: attr.into(),
-                }),
+                }
+            }),
             other => Err(SemaError::UnknownAttribute {
                 ty: self.types.display_type(other),
                 attr: attr.into(),
@@ -139,7 +143,11 @@ impl<'a> SemaCtx<'a> {
         }
         // Numeric widening.
         if is_numeric(&a.ty) && is_numeric(&b.ty) {
-            return Ok(if is_integer(&a.ty) && is_integer(&b.ty) { int8() } else { float8() });
+            return Ok(if is_integer(&a.ty) && is_integer(&b.ty) {
+                int8()
+            } else {
+                float8()
+            });
         }
         if self.types.assignable(&a.ty, &b.ty) && a.mode == b.mode {
             return Ok(b.clone());
@@ -147,7 +155,10 @@ impl<'a> SemaCtx<'a> {
         if self.types.assignable(&b.ty, &a.ty) && a.mode == b.mode {
             return Ok(a.clone());
         }
-        Err(SemaError::TypeMismatch { expected: self.display(a), got: self.display(b) })
+        Err(SemaError::TypeMismatch {
+            expected: self.display(a),
+            got: self.display(b),
+        })
     }
 
     /// Whether two types are value-comparable with `=`/`!=`.
@@ -298,9 +309,7 @@ impl<'a> SemaCtx<'a> {
                     }
                 }
                 let recv = recv.ok_or_else(|| {
-                    SemaError::Function(format!(
-                        "operator '{sym}' requires an ADT-typed operand"
-                    ))
+                    SemaError::Function(format!("operator '{sym}' requires an ADT-typed operand"))
                 })?;
                 let cand = self
                     .adts
@@ -354,7 +363,10 @@ impl<'a> SemaCtx<'a> {
         all.extend(args.iter());
         let first_ty = all.first().map(|e| self.infer(e)).transpose()?;
         // ADT function dispatch on the first argument's ADT.
-        if let Some(QualType { ty: Type::Adt(id), .. }) = &first_ty {
+        if let Some(QualType {
+            ty: Type::Adt(id), ..
+        }) = &first_ty
+        {
             let f = self.adts.function(*id, name).map_err(|_| {
                 SemaError::Function(format!(
                     "ADT '{}' has no function '{name}'",
@@ -380,9 +392,10 @@ impl<'a> SemaCtx<'a> {
             let got = self.infer(arg)?;
             // Numeric literals/expressions coerce across widths (the
             // runtime conformance check enforces ranges).
-            let numeric_ok = is_numeric(&got.ty) && is_numeric(&pty.ty)
+            let numeric_ok = is_numeric(&got.ty)
+                && is_numeric(&pty.ty)
                 && !(matches!(&pty.ty, Type::Base(b) if b.is_integer())
-                     && matches!(&got.ty, Type::Base(b) if b.is_float()));
+                    && matches!(&got.ty, Type::Base(b) if b.is_float()));
             if !self.types.assignable(&got.ty, &pty.ty) && !numeric_ok {
                 return Err(SemaError::TypeMismatch {
                     expected: format!("{} (parameter '{pname}' of '{name}')", self.display(pty)),
@@ -444,7 +457,11 @@ impl<'a> SemaCtx<'a> {
                         got: format!("{} % {}", self.display(&qa), self.display(&qb)),
                     });
                 }
-                Ok(if is_integer(&qa.ty) && is_integer(&qb.ty) { int8() } else { float8() })
+                Ok(if is_integer(&qa.ty) && is_integer(&qb.ty) {
+                    int8()
+                } else {
+                    float8()
+                })
             }
             BinOp::Eq | BinOp::Ne => {
                 // "the only comparison operators applicable to references
@@ -487,11 +504,16 @@ impl<'a> SemaCtx<'a> {
                 Ok(boolean())
             }
             BinOp::In | BinOp::Contains => {
-                let (member, set) = if op == BinOp::In { (&qa, &qb) } else { (&qb, &qa) };
+                let (member, set) = if op == BinOp::In {
+                    (&qa, &qb)
+                } else {
+                    (&qb, &qa)
+                };
                 match &set.ty {
                     Type::Set(elem) => {
                         // Identity membership for ref-sets, value for own.
-                        if elem.mode != Ownership::Own && !self.is_ref_valued(member)
+                        if elem.mode != Ownership::Own
+                            && !self.is_ref_valued(member)
                             && !matches!(member.ty, Type::Unknown)
                         {
                             return Err(SemaError::TypeMismatch {
@@ -499,9 +521,7 @@ impl<'a> SemaCtx<'a> {
                                 got: self.display(member),
                             });
                         }
-                        if elem.mode == Ownership::Own
-                            && !self.eq_comparable(member, elem)
-                        {
+                        if elem.mode == Ownership::Own && !self.eq_comparable(member, elem) {
                             return Err(SemaError::TypeMismatch {
                                 expected: self.display(elem),
                                 got: self.display(member),
@@ -516,20 +536,18 @@ impl<'a> SemaCtx<'a> {
                     }),
                 }
             }
-            BinOp::Union | BinOp::Intersect | BinOp::SetMinus => {
-                match (&qa.ty, &qb.ty) {
-                    (Type::Set(ea), Type::Set(eb)) => {
-                        let elem = self.unify(ea, eb)?;
-                        Ok(QualType::own(Type::Set(Box::new(elem))))
-                    }
-                    (Type::Unknown, _) => Ok(qb),
-                    (_, Type::Unknown) => Ok(qa),
-                    _ => Err(SemaError::TypeMismatch {
-                        expected: "sets".into(),
-                        got: format!("{} {opname} {}", self.display(&qa), self.display(&qb)),
-                    }),
+            BinOp::Union | BinOp::Intersect | BinOp::SetMinus => match (&qa.ty, &qb.ty) {
+                (Type::Set(ea), Type::Set(eb)) => {
+                    let elem = self.unify(ea, eb)?;
+                    Ok(QualType::own(Type::Set(Box::new(elem))))
                 }
-            }
+                (Type::Unknown, _) => Ok(qb),
+                (_, Type::Unknown) => Ok(qa),
+                _ => Err(SemaError::TypeMismatch {
+                    expected: "sets".into(),
+                    got: format!("{} {opname} {}", self.display(&qa), self.display(&qb)),
+                }),
+            },
         }
     }
 
@@ -587,9 +605,8 @@ impl<'a> SemaCtx<'a> {
                 Ok(at)
             }
             "unique" => {
-                let at = arg_ty.ok_or_else(|| {
-                    SemaError::Aggregate("unique needs an argument".into())
-                })?;
+                let at = arg_ty
+                    .ok_or_else(|| SemaError::Aggregate("unique needs an argument".into()))?;
                 Ok(QualType::own(Type::Set(Box::new(at))))
             }
             // User-defined set function: a function over a set of the

@@ -1,9 +1,7 @@
 //! Lowering syntactic type expressions to EXTRA types.
 
 use excess_lang::{Mode, QualTypeExpr, TypeExpr};
-use extra_model::{
-    AdtRegistry, Attribute, BaseType, Ownership, QualType, Type, TypeRegistry,
-};
+use extra_model::{AdtRegistry, Attribute, BaseType, Ownership, QualType, Type, TypeRegistry};
 
 use crate::error::{SemaError, SemaResult};
 
@@ -69,7 +67,10 @@ pub fn lower_qual(
     types: &TypeRegistry,
     adts: &AdtRegistry,
 ) -> SemaResult<QualType> {
-    Ok(QualType { mode: lower_mode(qte.mode), ty: lower_type(&qte.ty, types, adts)? })
+    Ok(QualType {
+        mode: lower_mode(qte.mode),
+        ty: lower_type(&qte.ty, types, adts)?,
+    })
 }
 
 #[cfg(test)]
@@ -82,8 +83,14 @@ mod tests {
         let adts = AdtRegistry::with_builtins();
         assert_eq!(lower_named("int4", &types, &adts).unwrap(), Type::int4());
         assert_eq!(lower_named("int", &types, &adts).unwrap(), Type::int4());
-        assert_eq!(lower_named("float8", &types, &adts).unwrap(), Type::float8());
-        assert!(matches!(lower_named("Date", &types, &adts).unwrap(), Type::Adt(_)));
+        assert_eq!(
+            lower_named("float8", &types, &adts).unwrap(),
+            Type::float8()
+        );
+        assert!(matches!(
+            lower_named("Date", &types, &adts).unwrap(),
+            Type::Adt(_)
+        ));
         assert!(matches!(
             lower_named("Nothing", &types, &adts),
             Err(SemaError::UnknownName(_))
@@ -95,7 +102,11 @@ mod tests {
         let mut types = TypeRegistry::new();
         let adts = AdtRegistry::new();
         let person = types
-            .define("Person", vec![], vec![Attribute::own("name", Type::varchar())])
+            .define(
+                "Person",
+                vec![],
+                vec![Attribute::own("name", Type::varchar())],
+            )
             .unwrap();
         let te = TypeExpr::Set(Box::new(QualTypeExpr {
             mode: Mode::OwnRef,
@@ -105,13 +116,19 @@ mod tests {
             lower_type(&te, &types, &adts).unwrap(),
             Type::Set(Box::new(QualType::own_ref(Type::Schema(person))))
         );
-        let te = TypeExpr::Array(Some(3), Box::new(QualTypeExpr {
-            mode: Mode::Own,
-            ty: TypeExpr::Char(8),
-        }));
+        let te = TypeExpr::Array(
+            Some(3),
+            Box::new(QualTypeExpr {
+                mode: Mode::Own,
+                ty: TypeExpr::Char(8),
+            }),
+        );
         assert_eq!(
             lower_type(&te, &types, &adts).unwrap(),
-            Type::Array(Some(3), Box::new(QualType::own(Type::Base(BaseType::Char(8)))))
+            Type::Array(
+                Some(3),
+                Box::new(QualType::own(Type::Base(BaseType::Char(8))))
+            )
         );
     }
 }

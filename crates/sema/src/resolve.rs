@@ -165,7 +165,13 @@ fn collect_free(e: &Expr, out: &mut HashSet<String>) {
         Expr::Var(n) => {
             out.insert(n.clone());
         }
-        Expr::Agg(Aggregate { arg, over, by, qual, .. }) => {
+        Expr::Agg(Aggregate {
+            arg,
+            over,
+            by,
+            qual,
+            ..
+        }) => {
             let mut inner = HashSet::new();
             if let Some(a) = arg {
                 collect_free(a, &mut inner);
@@ -262,7 +268,11 @@ impl<'a> Resolver<'a> {
         // With steps, a known variable (including the shared implicit
         // member) takes precedence, giving the paper's shared-parent
         // semantics for `range of C is Employees.kids`.
-        let collection = self.ctx.catalog.named(&root_name).filter(|o| o.is_collection);
+        let collection = self
+            .ctx
+            .catalog
+            .named(&root_name)
+            .filter(|o| o.is_collection);
         if steps.is_empty() {
             if let Some(obj) = collection {
                 let elem = match &obj.qty.ty {
@@ -322,11 +332,16 @@ impl<'a> Resolver<'a> {
             // A named set/array object (`range of X is TopTen`) or a
             // set-valued variable (a set-typed function parameter)
             // iterates its elements.
-            if let (RootSource::Object(_) | RootSource::Var(_), Some(e)) =
-                (&root, cur.ty.element())
+            if let (RootSource::Object(_) | RootSource::Var(_), Some(e)) = (&root, cur.ty.element())
             {
                 let elem = e.clone();
-                return Ok(vec![ResolvedRange { var: var.into(), universal, root, steps, elem }]);
+                return Ok(vec![ResolvedRange {
+                    var: var.into(),
+                    universal,
+                    root,
+                    steps,
+                    elem,
+                }]);
             }
             return Err(SemaError::NotIterable(format!("{path}")));
         }
@@ -437,8 +452,7 @@ impl<'a> Resolver<'a> {
             let mut next_pending = Vec::new();
             for (v, u, p) in pending {
                 let (root, _) = flatten_path(&p)?;
-                let ready =
-                    root == v || known.contains_key(&root) || !decl_names.contains(&root);
+                let ready = root == v || known.contains_key(&root) || !decl_names.contains(&root);
                 if ready {
                     for r in self.resolve_range(&v, u, &p, &known)? {
                         known.insert(r.var.clone(), r.elem.clone());
@@ -459,8 +473,11 @@ impl<'a> Resolver<'a> {
         }
 
         // Order so that every binding follows the one it depends on.
-        let order: HashMap<String, usize> =
-            resolved.iter().enumerate().map(|(i, r)| (r.var.clone(), i)).collect();
+        let order: HashMap<String, usize> = resolved
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.var.clone(), i))
+            .collect();
         let mut sorted = resolved.clone();
         sorted.sort_by_key(|r| depth_of(r, &resolved, &order));
         Ok(sorted)
@@ -501,7 +518,14 @@ impl<'a> Resolver<'a> {
 
     /// Check a retrieve statement, producing bindings and output schema.
     pub fn check_retrieve(&self, stmt: &Stmt) -> SemaResult<CheckedRetrieve> {
-        let Stmt::Retrieve { targets, from, qual, order_by, .. } = stmt else {
+        let Stmt::Retrieve {
+            targets,
+            from,
+            qual,
+            order_by,
+            ..
+        } = stmt
+        else {
             return Err(SemaError::Other("not a retrieve statement".into()));
         };
         let mut exprs: Vec<&Expr> = targets.iter().map(|t| &t.expr).collect();
@@ -546,7 +570,10 @@ impl<'a> Resolver<'a> {
         }
         if let Some(q) = qual {
             let qt = ctx.infer(q)?;
-            if !matches!(qt.ty, Type::Base(extra_model::BaseType::Boolean) | Type::Unknown) {
+            if !matches!(
+                qt.ty,
+                Type::Base(extra_model::BaseType::Boolean) | Type::Unknown
+            ) {
                 return Err(SemaError::TypeMismatch {
                     expected: "boolean qualification".into(),
                     got: self.ctx.types.display_qual(&qt),

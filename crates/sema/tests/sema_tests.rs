@@ -22,7 +22,11 @@ impl CatalogLookup for MockCatalog {
         self.named.get(name).cloned()
     }
     fn functions_named(&self, name: &str) -> Vec<FunctionDef> {
-        self.functions.iter().filter(|f| f.name == name).cloned().collect()
+        self.functions
+            .iter()
+            .filter(|f| f.name == name)
+            .cloned()
+            .collect()
     }
     fn procedure(&self, _name: &str) -> Option<excess_sema::ProcedureDef> {
         None
@@ -91,7 +95,9 @@ fn fixture() -> Fixture {
         NamedObject {
             name: "Employees".into(),
             oid: Oid(1),
-            qty: QualType::own(Type::Set(Box::new(QualType::own_ref(Type::Schema(employee))))),
+            qty: QualType::own(Type::Set(Box::new(QualType::own_ref(Type::Schema(
+                employee,
+            ))))),
             is_collection: true,
         },
     );
@@ -134,7 +140,11 @@ fn fixture() -> Fixture {
         attached_to: Some(employee),
     }];
 
-    Fixture { types, adts, catalog: MockCatalog { named, functions } }
+    Fixture {
+        types,
+        adts,
+        catalog: MockCatalog { named, functions },
+    }
 }
 
 fn check(src: &str) -> Result<excess_sema::CheckedRetrieve, SemaError> {
@@ -149,12 +159,17 @@ fn check_with_ranges(
     let ctx = SemaCtx::new(&f.types, &f.adts, &f.catalog);
     let mut env = RangeEnv::default();
     for (v, u, p) in ranges {
-        let stmt =
-            parse_statement(&format!("range of {v} is {}{p}", if *u { "all " } else { "" }),
-                            &OperatorTable::new())
-            .unwrap();
+        let stmt = parse_statement(
+            &format!("range of {v} is {}{p}", if *u { "all " } else { "" }),
+            &OperatorTable::new(),
+        )
+        .unwrap();
         match stmt {
-            Stmt::RangeOf { var, universal, path } => env.declare(&var, universal, path),
+            Stmt::RangeOf {
+                var,
+                universal,
+                path,
+            } => env.declare(&var, universal, path),
             _ => unreachable!(),
         }
     }
@@ -164,12 +179,17 @@ fn check_with_ranges(
 
 #[test]
 fn simple_range_query() {
-    let checked =
-        check_with_ranges("retrieve (E.name, E.salary) where E.age > 30", &[("E", false, "Employees")])
-            .unwrap();
+    let checked = check_with_ranges(
+        "retrieve (E.name, E.salary) where E.age > 30",
+        &[("E", false, "Employees")],
+    )
+    .unwrap();
     assert_eq!(checked.bindings.len(), 1);
     assert_eq!(checked.bindings[0].var, "E");
-    assert!(matches!(checked.bindings[0].root, RootSource::Collection(_)));
+    assert!(matches!(
+        checked.bindings[0].root,
+        RootSource::Collection(_)
+    ));
     assert_eq!(checked.output.len(), 2);
     assert_eq!(checked.output[0].0, "name");
     assert_eq!(checked.output[0].1, QualType::own(Type::varchar()));
@@ -191,12 +211,14 @@ fn figure4_nested_set_query() {
     // retrieve (C.name) from C in Employees.kids
     // where Employees.dept.floor = 2
     let checked =
-        check("retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2")
-            .unwrap();
+        check("retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2").unwrap();
     // Two bindings: the implicit Employees member and C over its kids.
     assert_eq!(checked.bindings.len(), 2);
     assert_eq!(checked.bindings[0].var, "Employees");
-    assert!(matches!(checked.bindings[0].root, RootSource::Collection(_)));
+    assert!(matches!(
+        checked.bindings[0].root,
+        RootSource::Collection(_)
+    ));
     assert_eq!(checked.bindings[1].var, "C");
     assert_eq!(checked.bindings[1].depends_on(), Some("Employees"));
     assert_eq!(checked.bindings[1].steps, vec!["kids".to_string()]);
@@ -205,9 +227,11 @@ fn figure4_nested_set_query() {
 #[test]
 fn implicit_join_through_path() {
     // E.dept.floor steps through a ref attribute transparently.
-    let checked =
-        check_with_ranges("retrieve (E.dept.dname) where E.dept.floor = 2", &[("E", false, "Employees")])
-            .unwrap();
+    let checked = check_with_ranges(
+        "retrieve (E.dept.dname) where E.dept.floor = 2",
+        &[("E", false, "Employees")],
+    )
+    .unwrap();
     assert_eq!(checked.output[0].0, "dname");
 }
 
@@ -314,16 +338,9 @@ fn adt_functions_and_literals() {
     )
     .unwrap();
     // Both call syntaxes type-check (Figure 7).
-    let a = check_with_ranges(
-        "retrieve (E.birthday.Year())",
-        &[("E", false, "Employees")],
-    )
-    .unwrap();
-    let b = check_with_ranges(
-        "retrieve (Year(E.birthday))",
-        &[("E", false, "Employees")],
-    )
-    .unwrap();
+    let a =
+        check_with_ranges("retrieve (E.birthday.Year())", &[("E", false, "Employees")]).unwrap();
+    let b = check_with_ranges("retrieve (Year(E.birthday))", &[("E", false, "Employees")]).unwrap();
     assert_eq!(a.output[0].1, b.output[0].1);
     // Unknown ADT function.
     let err = check_with_ranges(
@@ -337,20 +354,13 @@ fn adt_functions_and_literals() {
 #[test]
 fn excess_function_inherited_through_lattice() {
     // earns is defined for Employee; E ranges over Employees — fine.
-    let checked = check_with_ranges(
-        "retrieve (earns(E))",
-        &[("E", false, "Employees")],
-    )
-    .unwrap();
+    let checked = check_with_ranges("retrieve (earns(E))", &[("E", false, "Employees")]).unwrap();
     assert_eq!(checked.output[0].1, QualType::own(Type::float8()));
     // Method syntax too.
     check_with_ranges("retrieve (E.earns())", &[("E", false, "Employees")]).unwrap();
     // Not applicable to a Department.
-    let err = check_with_ranges(
-        "retrieve (D.earns())",
-        &[("D", false, "Departments")],
-    )
-    .unwrap_err();
+    let err =
+        check_with_ranges("retrieve (D.earns())", &[("D", false, "Departments")]).unwrap_err();
     assert!(matches!(err, SemaError::Function(_)), "{err}");
 }
 
@@ -362,11 +372,7 @@ fn arithmetic_and_set_ops() {
     )
     .unwrap();
     assert_eq!(checked.output[0].1, QualType::own(Type::float8()));
-    let checked = check_with_ranges(
-        "retrieve ({1, 2} union {3})",
-        &[],
-    )
-    .unwrap();
+    let checked = check_with_ranges("retrieve ({1, 2} union {3})", &[]).unwrap();
     assert!(matches!(checked.output[0].1.ty, Type::Set(_)));
     let err = check_with_ranges("retrieve (1 union 2)", &[]).unwrap_err();
     assert!(matches!(err, SemaError::TypeMismatch { .. }), "{err}");
@@ -401,10 +407,6 @@ fn universal_quantification_flag() {
 
 #[test]
 fn range_over_non_set_rejected() {
-    let err = check_with_ranges(
-        "retrieve (X.name)",
-        &[("X", false, "StarEmployee")],
-    )
-    .unwrap_err();
+    let err = check_with_ranges("retrieve (X.name)", &[("X", false, "StarEmployee")]).unwrap_err();
     assert!(matches!(err, SemaError::NotIterable(_)), "{err}");
 }

@@ -118,7 +118,11 @@ fn decode_node(kind: PageKind, body: &[u8]) -> StorageResult<Node> {
 }
 
 fn leaf_encoded_size(l: &Leaf) -> usize {
-    2 + l.entries.iter().map(|(k, _)| 2 + k.len() + 8).sum::<usize>()
+    2 + l
+        .entries
+        .iter()
+        .map(|(k, _)| 2 + k.len() + 8)
+        .sum::<usize>()
 }
 
 fn internal_encoded_size(n: &Internal) -> usize {
@@ -165,9 +169,16 @@ impl BTree {
         let root = pool.allocate()?;
         root.with_write(|buf| {
             let mut p = SlottedPage::format(buf, PageKind::BTreeLeaf);
-            encode_leaf(&Leaf { entries: Vec::new() }, p.body_mut());
+            encode_leaf(
+                &Leaf {
+                    entries: Vec::new(),
+                },
+                p.body_mut(),
+            );
         });
-        Ok(BTree { root: root.page_no() })
+        Ok(BTree {
+            root: root.page_no(),
+        })
     }
 
     /// Open an existing tree by root page number.
@@ -238,7 +249,12 @@ impl BTree {
                     let mut p = SlottedPage::format(buf, PageKind::BTreeLeaf);
                     p.set_prev(page_no);
                     p.set_next(old_next);
-                    encode_leaf(&Leaf { entries: right_entries }, p.body_mut());
+                    encode_leaf(
+                        &Leaf {
+                            entries: right_entries,
+                        },
+                        p.body_mut(),
+                    );
                 });
                 if old_next != NO_PAGE {
                     let nxt = pool.pin(old_next)?;
@@ -275,7 +291,10 @@ impl BTree {
                 right_page.with_write(|buf| {
                     let mut p = SlottedPage::format(buf, PageKind::BTreeInternal);
                     encode_internal(
-                        &Internal { keys: right_keys, children: right_children },
+                        &Internal {
+                            keys: right_keys,
+                            children: right_children,
+                        },
                         p.body_mut(),
                     );
                 });
@@ -312,7 +331,10 @@ impl BTree {
         root.with_write(|buf| {
             let mut p = SlottedPage::format(buf, PageKind::BTreeInternal);
             encode_internal(
-                &Internal { keys: vec![sep], children: vec![left_no, right] },
+                &Internal {
+                    keys: vec![sep],
+                    children: vec![left_no, right],
+                },
                 p.body_mut(),
             );
         });
@@ -423,7 +445,9 @@ impl BTree {
         let mut page_no = self.leftmost_leaf(pool)?;
         loop {
             let Node::Leaf(leaf) = self.read_node(pool, page_no)? else {
-                return Err(StorageError::Corrupt("leaf chain reached a non-leaf".into()));
+                return Err(StorageError::Corrupt(
+                    "leaf chain reached a non-leaf".into(),
+                ));
             };
             n += leaf.entries.len();
             let page = pool.pin(page_no)?;
@@ -502,6 +526,62 @@ impl BTreeScan {
     }
 }
 
+impl BTreeScan {
+    /// Drain up to `n` in-bounds entries into a batch, draining whole
+    /// buffered leaves at a time. Returns an empty vector when the scan
+    /// is exhausted.
+    pub fn next_batch(&mut self, n: usize) -> StorageResult<Vec<(Vec<u8>, u64)>> {
+        let mut out: Vec<(Vec<u8>, u64)> = Vec::new();
+        if n == 0 {
+            return Ok(out);
+        }
+        loop {
+            match &mut self.state {
+                ScanState::Done => return Ok(out),
+                ScanState::NotStarted => {
+                    if let Err(e) = self.start() {
+                        self.state = ScanState::Done;
+                        return Err(e);
+                    }
+                }
+                ScanState::InLeaf { entries, next } => {
+                    let next = *next;
+                    let mut past_upper = false;
+                    for (k, v) in entries.by_ref() {
+                        if match &self.lower {
+                            Bound::Unbounded => false,
+                            Bound::Included(l) => k < *l,
+                            Bound::Excluded(l) => k <= *l,
+                        } {
+                            continue;
+                        }
+                        if match &self.upper {
+                            Bound::Unbounded => false,
+                            Bound::Included(u) => k > *u,
+                            Bound::Excluded(u) => k >= *u,
+                        } {
+                            past_upper = true;
+                            break;
+                        }
+                        out.push((k, v));
+                        if out.len() == n {
+                            return Ok(out);
+                        }
+                    }
+                    if past_upper || next == NO_PAGE {
+                        self.state = ScanState::Done;
+                        return Ok(out);
+                    }
+                    if let Err(e) = self.load_leaf(next) {
+                        self.state = ScanState::Done;
+                        return Err(e);
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl Iterator for BTreeScan {
     type Item = StorageResult<(Vec<u8>, u64)>;
 
@@ -576,6 +656,39 @@ mod tests {
     }
 
     #[test]
+    fn batch_scan_matches_iterator() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        for i in 0..2000 {
+            t.insert(&pool, &ikey(i), i as u64, false).unwrap();
+        }
+        let bounds = [
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(ikey(100)), Bound::Excluded(ikey(1500))),
+            (Bound::Excluded(ikey(0)), Bound::Included(ikey(0))),
+        ];
+        for (lo, hi) in bounds {
+            let want: Vec<_> = t
+                .scan(pool.clone(), lo.clone(), hi.clone())
+                .map(|r| r.unwrap())
+                .collect();
+            for n in [1usize, 64, 4096] {
+                let mut s = t.scan(pool.clone(), lo.clone(), hi.clone());
+                let mut got = Vec::new();
+                loop {
+                    let b = s.next_batch(n).unwrap();
+                    if b.is_empty() {
+                        break;
+                    }
+                    assert!(b.len() <= n);
+                    got.extend(b);
+                }
+                assert_eq!(got, want, "batch size {n}");
+            }
+        }
+    }
+
+    #[test]
     fn many_inserts_force_splits_sorted_scan() {
         let pool = pool();
         let t = BTree::create(&pool).unwrap();
@@ -645,7 +758,11 @@ mod tests {
             t.insert(&pool, &ikey(i), i as u64, false).unwrap();
         }
         let got: Vec<u64> = t
-            .scan(pool.clone(), Bound::Included(ikey(10)), Bound::Excluded(ikey(20)))
+            .scan(
+                pool.clone(),
+                Bound::Included(ikey(10)),
+                Bound::Excluded(ikey(20)),
+            )
             .map(|r| r.unwrap().1)
             .collect();
         assert_eq!(got, (10..20).collect::<Vec<u64>>());

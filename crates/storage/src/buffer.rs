@@ -118,7 +118,10 @@ impl BufferPool {
     pub fn pin(self: &Arc<Self>, page_no: u64) -> StorageResult<PinnedPage> {
         let mut state = self.state.lock();
         if let Some(&idx) = state.map.get(&page_no) {
-            let frame = state.frames[idx].as_ref().expect("mapped frame exists").clone();
+            let frame = state.frames[idx]
+                .as_ref()
+                .expect("mapped frame exists")
+                .clone();
             frame.pins.fetch_add(1, Ordering::Relaxed);
             frame.referenced.store(true, Ordering::Relaxed);
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -340,6 +343,9 @@ mod tests {
             h.join().unwrap();
         }
         let page = p.pin(no).unwrap();
-        assert_eq!(page.with_read(|buf| buf[0]), 1u8.wrapping_add((8 * 1000) as u8));
+        assert_eq!(
+            page.with_read(|buf| buf[0]),
+            1u8.wrapping_add((8 * 1000) as u8)
+        );
     }
 }

@@ -31,7 +31,9 @@ impl ByteWriter {
 
     /// New writer with reserved capacity.
     pub fn with_capacity(n: usize) -> Self {
-        ByteWriter { buf: Vec::with_capacity(n) }
+        ByteWriter {
+            buf: Vec::with_capacity(n),
+        }
     }
 
     /// Finish, yielding the bytes.
@@ -221,7 +223,8 @@ impl KeyWriter {
 
     /// Encode a signed 64-bit integer: flip the sign bit, big-endian.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.extend_from_slice(&((v as u64) ^ (1u64 << 63)).to_be_bytes());
+        self.buf
+            .extend_from_slice(&((v as u64) ^ (1u64 << 63)).to_be_bytes());
     }
 
     /// Encode an unsigned 64-bit integer: big-endian.
@@ -388,7 +391,16 @@ mod tests {
 
     #[test]
     fn f64_key_order_matches_numeric_order() {
-        let vals = [f64::NEG_INFINITY, -1e10, -1.5, -0.0, 0.0, 1.5, 1e10, f64::INFINITY];
+        let vals = [
+            f64::NEG_INFINITY,
+            -1e10,
+            -1.5,
+            -0.0,
+            0.0,
+            1.5,
+            1e10,
+            f64::INFINITY,
+        ];
         for w in vals.windows(2) {
             let (a, b) = (enc_f64(w[0]), enc_f64(w[1]));
             assert!(a <= b, "{} !<= {}", w[0], w[1]);

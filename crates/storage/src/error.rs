@@ -33,7 +33,9 @@ impl fmt::Display for StorageError {
             StorageError::InvalidSlot { page, slot } => {
                 write!(f, "invalid slot {slot} on page {page}")
             }
-            StorageError::RecordTooLarge(n) => write!(f, "record of {n} bytes too large for a page"),
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes too large for a page")
+            }
             StorageError::PoolExhausted => write!(f, "buffer pool exhausted (all frames pinned)"),
             StorageError::UnknownOid(o) => write!(f, "unknown oid {o}"),
             StorageError::Corrupt(m) => write!(f, "corrupt page: {m}"),

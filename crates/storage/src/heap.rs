@@ -131,7 +131,10 @@ impl HeapFile {
             if let Some(slot) = slot {
                 drop(header);
                 self.bump_count(pool, 1)?;
-                return Ok(RecordId { page: last, slot: slot? });
+                return Ok(RecordId {
+                    page: last,
+                    slot: slot?,
+                });
             }
         }
         // Append a new data page to the chain.
@@ -156,10 +159,7 @@ impl HeapFile {
         });
         drop(header);
         self.bump_count(pool, 1)?;
-        Ok(RecordId {
-            page: new_no,
-            slot,
-        })
+        Ok(RecordId { page: new_no, slot })
     }
 
     /// Update a record. If the new value no longer fits on its page the
@@ -208,7 +208,11 @@ impl HeapFile {
 /// Read one record by id (file-independent: the id names the page).
 pub fn read_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<Vec<u8>> {
     let page = pool.pin(rid.page)?;
-    page.with_read(|buf| PageView::new(buf).read(rid.page, rid.slot).map(|r| r.to_vec()))
+    page.with_read(|buf| {
+        PageView::new(buf)
+            .read(rid.page, rid.slot)
+            .map(|r| r.to_vec())
+    })
 }
 
 /// Delete one record by id without touching the file's record counter.
@@ -226,6 +230,76 @@ pub struct HeapScan {
     page: Option<u64>,
     slot: u16,
     done: bool,
+}
+
+impl HeapScan {
+    /// Drain up to `n` records into a batch, pinning each visited page
+    /// once (the row-at-a-time [`Iterator`] path re-pins per record).
+    /// Returns an empty vector when the scan is exhausted.
+    pub fn next_batch(&mut self, n: usize) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
+        let mut out: Vec<(RecordId, Vec<u8>)> = Vec::new();
+        if self.done || n == 0 {
+            return Ok(out);
+        }
+        loop {
+            let page_no = match self.page {
+                Some(p) => p,
+                None => {
+                    let first = self.file.first_page(&self.pool).inspect_err(|_| {
+                        self.done = true;
+                    })?;
+                    if first == NO_PAGE {
+                        self.done = true;
+                        return Ok(out);
+                    }
+                    self.page = Some(first);
+                    self.slot = 0;
+                    first
+                }
+            };
+            let page = self.pool.pin(page_no).inspect_err(|_| {
+                self.done = true;
+            })?;
+            // One pin per page: copy every live slot we still need.
+            let next = page.with_read(|buf| {
+                let p = PageView::new(buf);
+                let slots = p.slot_count();
+                while self.slot < slots && out.len() < n {
+                    let s = self.slot;
+                    self.slot += 1;
+                    if p.is_live(s) {
+                        let data = p.read(page_no, s).expect("live slot readable").to_vec();
+                        out.push((
+                            RecordId {
+                                page: page_no,
+                                slot: s,
+                            },
+                            data,
+                        ));
+                    }
+                }
+                if self.slot < slots {
+                    None // batch filled mid-page; resume here next call
+                } else {
+                    Some(p.next())
+                }
+            });
+            match next {
+                None => return Ok(out),
+                Some(NO_PAGE) => {
+                    self.done = true;
+                    return Ok(out);
+                }
+                Some(next_page) => {
+                    self.page = Some(next_page);
+                    self.slot = 0;
+                    if out.len() == n {
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
 }
 
 impl Iterator for HeapScan {
@@ -270,7 +344,13 @@ impl Iterator for HeapScan {
                     self.slot += 1;
                     if p.is_live(s) {
                         let data = p.read(page_no, s).expect("live slot readable").to_vec();
-                        return Some((RecordId { page: page_no, slot: s }, data));
+                        return Some((
+                            RecordId {
+                                page: page_no,
+                                slot: s,
+                            },
+                            data,
+                        ));
                     }
                 }
                 None
@@ -306,7 +386,10 @@ mod tests {
         let rec = vec![5u8; 1000];
         let rids: Vec<_> = (0..100).map(|_| f.insert(&pool, &rec).unwrap()).collect();
         let pages: std::collections::HashSet<u64> = rids.iter().map(|r| r.page).collect();
-        assert!(pages.len() > 1, "1000-byte × 100 records need multiple pages");
+        assert!(
+            pages.len() > 1,
+            "1000-byte × 100 records need multiple pages"
+        );
         assert_eq!(f.record_count(&pool).unwrap(), 100);
         assert_eq!(f.scan(pool.clone()).count(), 100);
     }
@@ -330,7 +413,10 @@ mod tests {
         f.insert(&pool, &vec![0u8; 7000]).unwrap();
         let small = f.insert(&pool, b"tiny").unwrap();
         let moved = f.update(&pool, small, &vec![1u8; 5000]).unwrap();
-        assert_ne!(small.page, moved.page, "grown record must move off the full page");
+        assert_ne!(
+            small.page, moved.page,
+            "grown record must move off the full page"
+        );
         assert_eq!(f.record_count(&pool).unwrap(), 2);
         assert_eq!(read_record(&pool, moved).unwrap(), vec![1u8; 5000]);
     }
@@ -355,8 +441,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_scan_matches_iterator() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        let rids: Vec<_> = (0..100u8)
+            .map(|i| f.insert(&pool, &vec![i; 700]).unwrap())
+            .collect();
+        // Leave dead slots so batching must skip them.
+        f.delete(&pool, rids[3]).unwrap();
+        f.delete(&pool, rids[50]).unwrap();
+        let want: Vec<_> = f.scan(pool.clone()).map(|r| r.unwrap()).collect();
+        for n in [1usize, 7, 98, 200] {
+            let mut s = f.scan(pool.clone());
+            let mut got = Vec::new();
+            loop {
+                let b = s.next_batch(n).unwrap();
+                if b.is_empty() {
+                    break;
+                }
+                assert!(b.len() <= n);
+                got.extend(b);
+            }
+            assert_eq!(got, want, "batch size {n}");
+        }
+    }
+
+    #[test]
+    fn batch_scan_empty_file() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        assert!(f.scan(pool.clone()).next_batch(16).unwrap().is_empty());
+    }
+
+    #[test]
     fn rid_pack_round_trip() {
-        let rid = RecordId { page: 123456789, slot: 4321 };
+        let rid = RecordId {
+            page: 123456789,
+            slot: 4321,
+        };
         assert_eq!(RecordId::unpack(rid.pack()), rid);
     }
 }

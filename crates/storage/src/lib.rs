@@ -74,7 +74,10 @@ impl StorageManager {
     /// Create a storage manager backed by a file on disk.
     pub fn file_backed(path: &std::path::Path, pool_pages: usize) -> StorageResult<Self> {
         Ok(StorageManager {
-            pool: Arc::new(BufferPool::new(Box::new(FileVolume::open(path)?), pool_pages)),
+            pool: Arc::new(BufferPool::new(
+                Box::new(FileVolume::open(path)?),
+                pool_pages,
+            )),
         })
     }
 

@@ -43,7 +43,9 @@ impl Lob {
             let mut p = SlottedPage::format(buf, PageKind::Lob);
             p.body_mut()[..8].copy_from_slice(&0u64.to_le_bytes());
         });
-        Ok(Lob { id: LobId(page.page_no()) })
+        Ok(Lob {
+            id: LobId(page.page_no()),
+        })
     }
 
     /// Open an existing large object.
@@ -87,7 +89,10 @@ impl Lob {
             (0, offset as usize)
         } else {
             let rest = offset - FIRST_CAP as u64;
-            (1 + rest / CONT_CAP as u64, (rest % CONT_CAP as u64) as usize)
+            (
+                1 + rest / CONT_CAP as u64,
+                (rest % CONT_CAP as u64) as usize,
+            )
         }
     }
 

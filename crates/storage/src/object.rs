@@ -92,7 +92,9 @@ impl ObjectTable {
                 body_put_u64(body, 8 + i * 8, NO_PAGE);
             }
         });
-        Ok(ObjectTable { root: root.page_no() })
+        Ok(ObjectTable {
+            root: root.page_no(),
+        })
     }
 
     /// Open an existing object table by root page number.
@@ -298,16 +300,34 @@ mod tests {
         let a = t.allocate(&pool, rid(10, 1), 7).unwrap();
         let b = t.allocate(&pool, rid(11, 2), 8).unwrap();
         assert_ne!(a, b);
-        assert_eq!(t.get(&pool, a).unwrap(), ObjectEntry { rid: rid(10, 1), type_id: 7 });
-        assert_eq!(t.get(&pool, b).unwrap(), ObjectEntry { rid: rid(11, 2), type_id: 8 });
+        assert_eq!(
+            t.get(&pool, a).unwrap(),
+            ObjectEntry {
+                rid: rid(10, 1),
+                type_id: 7
+            }
+        );
+        assert_eq!(
+            t.get(&pool, b).unwrap(),
+            ObjectEntry {
+                rid: rid(11, 2),
+                type_id: 8
+            }
+        );
     }
 
     #[test]
     fn null_and_unknown_oids_error() {
         let pool = pool();
         let t = ObjectTable::create(&pool).unwrap();
-        assert!(matches!(t.get(&pool, Oid::NULL), Err(StorageError::UnknownOid(0))));
-        assert!(matches!(t.get(&pool, Oid(9999)), Err(StorageError::UnknownOid(9999))));
+        assert!(matches!(
+            t.get(&pool, Oid::NULL),
+            Err(StorageError::UnknownOid(0))
+        ));
+        assert!(matches!(
+            t.get(&pool, Oid(9999)),
+            Err(StorageError::UnknownOid(9999))
+        ));
         assert!(!t.exists(&pool, Oid(9999)).unwrap());
     }
 
@@ -342,7 +362,10 @@ mod tests {
         let n = ENTRIES_PER_PAGE * 3 + 17;
         let mut oids = Vec::new();
         for i in 0..n {
-            oids.push(t.allocate(&pool, rid(i, (i % 100) as u16), i as u32).unwrap());
+            oids.push(
+                t.allocate(&pool, rid(i, (i % 100) as u16), i as u32)
+                    .unwrap(),
+            );
         }
         for (i, o) in oids.iter().enumerate() {
             let e = t.get(&pool, *o).unwrap();

@@ -134,11 +134,17 @@ impl<'a> PageView<'a> {
     /// Read a record by slot id.
     pub fn read(&self, page_no: u64, slot: u16) -> StorageResult<&'a [u8]> {
         if slot >= self.slot_count() {
-            return Err(StorageError::InvalidSlot { page: page_no, slot });
+            return Err(StorageError::InvalidSlot {
+                page: page_no,
+                slot,
+            });
         }
         let (off, len) = self.slot(slot);
         if off == DEAD_SLOT {
-            return Err(StorageError::InvalidSlot { page: page_no, slot });
+            return Err(StorageError::InvalidSlot {
+                page: page_no,
+                slot,
+            });
         }
         Ok(&self.buf[off as usize..off as usize + len as usize])
     }
@@ -288,17 +294,25 @@ impl<'a> SlottedPage<'a> {
 
     /// Whether an insert of `len` bytes would succeed.
     pub fn can_fit(&self, len: usize) -> bool {
-        len <= Self::MAX_RECORD && self.reclaimable_space() >= len && self.slot_count() < u16::MAX - 1
+        len <= Self::MAX_RECORD
+            && self.reclaimable_space() >= len
+            && self.slot_count() < u16::MAX - 1
     }
 
     /// Read a record by slot id.
     pub fn read(&self, page_no: u64, slot: u16) -> StorageResult<&[u8]> {
         if slot >= self.slot_count() {
-            return Err(StorageError::InvalidSlot { page: page_no, slot });
+            return Err(StorageError::InvalidSlot {
+                page: page_no,
+                slot,
+            });
         }
         let (off, len) = self.slot(slot);
         if off == DEAD_SLOT {
-            return Err(StorageError::InvalidSlot { page: page_no, slot });
+            return Err(StorageError::InvalidSlot {
+                page: page_no,
+                slot,
+            });
         }
         Ok(&self.buf[off as usize..off as usize + len as usize])
     }
@@ -311,7 +325,10 @@ impl<'a> SlottedPage<'a> {
     /// Delete a record. The slot id is not reused.
     pub fn delete(&mut self, page_no: u64, slot: u16) -> StorageResult<()> {
         if !self.is_live(slot) {
-            return Err(StorageError::InvalidSlot { page: page_no, slot });
+            return Err(StorageError::InvalidSlot {
+                page: page_no,
+                slot,
+            });
         }
         let (_, len) = self.slot(slot);
         self.set_slot(slot, DEAD_SLOT, len);
@@ -323,7 +340,10 @@ impl<'a> SlottedPage<'a> {
     /// the old record intact.
     pub fn update(&mut self, page_no: u64, slot: u16, data: &[u8]) -> StorageResult<bool> {
         if !self.is_live(slot) {
-            return Err(StorageError::InvalidSlot { page: page_no, slot });
+            return Err(StorageError::InvalidSlot {
+                page: page_no,
+                slot,
+            });
         }
         let (off, len) = self.slot(slot);
         if data.len() <= len as usize {
@@ -475,7 +495,9 @@ mod tests {
         let mut buf = fresh();
         let mut p = SlottedPage::format(&mut buf[..], PageKind::Heap);
         let s = p.insert(b"short").unwrap();
-        assert!(p.update(0, s, b"a considerably longer record body").unwrap());
+        assert!(p
+            .update(0, s, b"a considerably longer record body")
+            .unwrap());
         assert_eq!(p.read(0, s).unwrap(), b"a considerably longer record body");
         assert!(p.update(0, s, b"x").unwrap());
         assert_eq!(p.read(0, s).unwrap(), b"x");

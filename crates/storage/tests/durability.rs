@@ -29,16 +29,14 @@ fn heap_file_survives_reopen() {
         let sm = StorageManager::file_backed(&path, 16).unwrap();
         file_id = sm.create_file().unwrap();
         for i in 0..500u32 {
-            sm.insert(file_id, format!("record-{i}").as_bytes()).unwrap();
+            sm.insert(file_id, format!("record-{i}").as_bytes())
+                .unwrap();
         }
         sm.flush().unwrap();
     }
     {
         let sm = StorageManager::file_backed(&path, 16).unwrap();
-        let records: Vec<Vec<u8>> = sm
-            .scan(file_id)
-            .map(|r| r.unwrap().1)
-            .collect();
+        let records: Vec<Vec<u8>> = sm.scan(file_id).map(|r| r.unwrap().1).collect();
         assert_eq!(records.len(), 500);
         assert_eq!(records[0], b"record-0");
         assert_eq!(records[499], b"record-499");

@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A design is composed of cells it exclusively owns (`own ref`:
     // deleting a design deletes its cells — ORION composite objects).
     // Cells reference a shared part library (`ref`).
-    s.run(r#"
+    s.run(
+        r#"
         define type Part (
             pname: varchar,
             unit_cost: float8,
@@ -39,16 +40,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         create { own ref Part } Parts;
         create { own ref Design } Designs;
-    "#)?;
+    "#,
+    )?;
 
-    s.run(r#"
+    s.run(
+        r#"
         append to Parts (pname = "nand-gate", unit_cost = 0.12, stock = 5000);
         append to Parts (pname = "flip-flop", unit_cost = 0.45, stock = 1200);
         append to Parts (pname = "pad", unit_cost = 1.5, stock = 300);
 
         append to Designs (dname = "alu", revision = 3);
         append to Designs (dname = "uart", revision = 1);
-    "#)?;
+    "#,
+    )?;
 
     // Place cells: geometry via the Polygon ADT.
     s.run(r#"
@@ -62,21 +66,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             where D.dname = "uart";
     "#)?;
     // Wire cells to parts.
-    s.run(r#"
+    s.run(
+        r#"
         range of D is Designs;
         range of C is D.cells;
         range of P is Parts;
         replace C (part = P) where C.cname = "alu-core" and P.pname = "nand-gate";
         replace C (part = P) where C.cname = "alu-pads" and P.pname = "pad";
         replace C (part = P) where C.cname = "uart-core" and P.pname = "flip-flop";
-    "#)?;
+    "#,
+    )?;
 
     // --- Geometric queries through ADT functions and the &&& operator ----
     let r = s.query(
         "retrieve (C.cname, area = Area(C.outline)) from C in Designs.cells \
          order by Area(C.outline) desc",
     )?;
-    println!("cell areas (shoelace formula inside the ADT):\n{}", r.render(&adts));
+    println!(
+        "cell areas (shoelace formula inside the ADT):\n{}",
+        r.render(&adts)
+    );
 
     // Design-rule check: cells of the *same* design that overlap. C and C2
     // share the implicit Designs member (the paper's shared-parent
@@ -86,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          from C in Designs.cells, C2 in Designs.cells \
          where C.outline &&& C2.outline and C.cname < C2.cname",
     )?;
-    println!("DRC violations — overlapping cells (registered &&& operator):\n{}", r.render(&adts));
+    println!(
+        "DRC violations — overlapping cells (registered &&& operator):\n{}",
+        r.render(&adts)
+    );
 
     // --- The design-cost query [Ston87c] -----------------------------------
     let r = s.query(
@@ -103,10 +115,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("per-part demand vs stock:\n{}", r.render(&adts));
 
     // --- Revision bookkeeping through arrays --------------------------------
-    s.run(r#"
+    s.run(
+        r#"
         range of D is Designs;
         replace D (revision = D.revision + 1) where D.dname = "alu"
-    "#)?;
+    "#,
+    )?;
     let r = s.query(r#"retrieve (D.revision) from D in Designs where D.dname = "alu""#)?;
     println!("alu revision after bump:\n{}", r.render(&adts));
 

@@ -9,7 +9,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = db.session();
 
     // -- Figure 1: schema definition (EXTRA DDL) ---------------------------
-    session.run(r#"
+    session.run(
+        r#"
         define type Person (
             name: varchar,
             ssnum: int4,
@@ -21,16 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             salary: float8,
             dept: ref Department
         );
-    "#)?;
+    "#,
+    )?;
     println!("schema defined: Person, Department, Employee (inherits Person)");
 
     // -- Separation of type and instance -----------------------------------
-    session.run(r#"
+    session.run(
+        r#"
         create { own ref Department } Departments;
         create { own ref Employee } Employees;
         create Employee StarEmployee;
         create [10] ref Employee TopTen;
-    "#)?;
+    "#,
+    )?;
 
     // -- Populate -----------------------------------------------------------
     session.run(r#"
@@ -51,15 +55,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- Implicit joins through path expressions ---------------------------
     let adts = extra_model_registry();
-    let r = session.query(
-        r#"retrieve (E.name, E.salary) where E.dept.floor = 2 order by E.salary desc"#,
-    )?;
+    let r = session
+        .query(r#"retrieve (E.name, E.salary) where E.dept.floor = 2 order by E.salary desc"#)?;
     println!("second-floor employees:\n{}", r.render(&adts));
 
     // -- The paper's nested-set query ---------------------------------------
-    let r = session.query(
-        "retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2",
-    )?;
+    let r = session
+        .query("retrieve (C.name) from C in Employees.kids where Employees.dept.floor = 2")?;
     println!("kids of second-floor employees:\n{}", r.render(&adts));
 
     // -- Aggregates with over ------------------------------------------------
@@ -70,9 +72,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("department payrolls:\n{}", r.render(&adts));
 
     // -- ADT values: dates compare chronologically ---------------------------
-    let r = session.query(
-        r#"retrieve (E.name, E.birthday) where E.birthday < Date("1/1/1960")"#,
-    )?;
+    let r =
+        session.query(r#"retrieve (E.name, E.birthday) where E.birthday < Date("1/1/1960")"#)?;
     println!("born before 1960:\n{}", r.render(&adts));
 
     // -- Functions: derived attributes, inherited through the lattice --------

@@ -19,7 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The registrar (admin) sets up the schema and the protection scheme.
     let mut registrar = db.session();
-    registrar.run(r#"
+    registrar.run(
+        r#"
         define type Student (
             sname: varchar,
             gpa: float8,
@@ -40,23 +41,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         append to Courses (title = "databases", units = 4);
         append to Courses (title = "compilers", units = 4);
-    "#)?;
-    registrar.run(r#"
+    "#,
+    )?;
+    registrar.run(
+        r#"
         range of S is Students;
         range of C is Courses;
         append to C.roster S where C.title = "databases" and S.gpa > 2.0;
         append to C.roster S where C.title = "compilers" and S.sname = "pat";
-    "#)?;
+    "#,
+    )?;
 
     // Users and groups.
-    registrar.run(r#"
+    registrar.run(
+        r#"
         create user dean;
         create user advisor;
         create group faculty;
         add user advisor to group faculty;
         grant read on Courses to all_users;
         grant read on Students to dean
-    "#)?;
+    "#,
+    )?;
 
     // The dean sees raw records.
     let mut dean = db.session_as("dean");
@@ -72,7 +78,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // ...but the registrar exposes exactly one derived fact through a
     // function and a maintenance action through a procedure.
-    registrar.run(r#"
+    registrar.run(
+        r#"
         define function InGoodStanding (st: Student) returns boolean
             as retrieve (st.gpa >= 2.0);
         define procedure FlagProbation (threshold: float8) as
@@ -82,7 +89,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         grant execute on InGoodStanding to faculty;
         grant execute on FlagProbation to faculty;
         grant read on Students to faculty
-    "#)?;
+    "#,
+    )?;
     // NB: faculty got read on Students so the function's *host query* can
     // range over it; the interesting grant is execute on FlagProbation,
     // whose body writes data the advisor could never write directly.
@@ -90,23 +98,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = advisor.query(
         "retrieve (S.sname, ok = S.InGoodStanding()) from S in Students order by S.sname asc",
     )?;
-    println!("advisor's view (derived standing only):\n{}", r.render(&adts));
+    println!(
+        "advisor's view (derived standing only):\n{}",
+        r.render(&adts)
+    );
 
     // The advisor runs the maintenance procedure (definer's rights).
     advisor.run("execute FlagProbation(2.0)")?;
-    let r = dean.query(
-        "retrieve (S.sname) from S in Students where S.probation = true",
-    )?;
-    println!("on probation after the advisor's sweep:\n{}", r.render(&adts));
+    let r = dean.query("retrieve (S.sname) from S in Students where S.probation = true")?;
+    println!(
+        "on probation after the advisor's sweep:\n{}",
+        r.render(&adts)
+    );
 
     // Procedures bind parameters per satisfying where-binding: one call
     // per course, threshold scaled by units.
-    registrar.run(r#"
+    registrar.run(
+        r#"
         define procedure NoteHeavyCourse (t: varchar) as
             range of C2 is Courses;
             replace C2 (title = t) where C2.title = t
         end
-    "#)?;
+    "#,
+    )?;
     registrar.run(
         "range of C is Courses; \
          execute NoteHeavyCourse(C.title) where C.units >= 4",

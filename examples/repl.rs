@@ -67,7 +67,7 @@ fn main() {
                             if rows.is_empty() {
                                 println!("(no rows)");
                             } else {
-                                print!("{}", rows.render(&adts));
+                                print!("{}", rows.display(&adts));
                                 println!("({} rows)", rows.len());
                             }
                         }

@@ -35,11 +35,11 @@
 //! assert_eq!(rows.len(), 1);
 //! ```
 
+pub use excess_algebra as algebra;
+pub use excess_exec as exec;
+pub use excess_lang as lang;
+pub use excess_sema as sema;
 pub use exodus_db as db;
 pub use exodus_db::{Database, DbError, DbResult, QueryResult, Response, Session, Value};
 pub use exodus_storage as storage;
 pub use extra_model as model;
-pub use excess_lang as lang;
-pub use excess_sema as sema;
-pub use excess_algebra as algebra;
-pub use excess_exec as exec;

@@ -6,10 +6,14 @@ use extra_excess::{Database, DbError, Value};
 
 /// The paper's running schema: Person / Department / Employee with a Date
 /// ADT attribute, a `ref` department, and an `own ref` kids set.
-fn university_db() -> (std::sync::Arc<extra_excess::db::Database>, extra_excess::Session) {
+fn university_db() -> (
+    std::sync::Arc<extra_excess::db::Database>,
+    extra_excess::Session,
+) {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (
             name: varchar,
             ssnum: int4,
@@ -23,7 +27,8 @@ fn university_db() -> (std::sync::Arc<extra_excess::db::Database>, extra_excess:
         );
         create { own ref Department } Departments;
         create { own ref Employee } Employees;
-    "#)
+    "#,
+    )
     .unwrap();
     (db, s)
 }
@@ -76,8 +81,18 @@ fn f2_create_instances() {
     s.run("create { own ref Employee } Interns").unwrap();
     s.run(r#"append to Interns (name = "ivy", ssnum = 99, birthday = Date("6/6/2000"), salary = 1000.0)"#)
         .unwrap();
-    assert_eq!(s.query("retrieve (I.name) from I in Interns").unwrap().len(), 1);
-    assert_eq!(s.query("retrieve (E.name) from E in Employees").unwrap().len(), 3);
+    assert_eq!(
+        s.query("retrieve (I.name) from I in Interns")
+            .unwrap()
+            .len(),
+        1
+    );
+    assert_eq!(
+        s.query("retrieve (E.name) from E in Employees")
+            .unwrap()
+            .len(),
+        3
+    );
     // A named single object and a named array (paper: StarEmployee, TopTen).
     s.run("create Employee StarEmployee").unwrap();
     s.run("create [10] ref Employee TopTen").unwrap();
@@ -94,9 +109,11 @@ fn f2_create_instances() {
 #[test]
 fn f3_inheritance_rename() {
     let (_db, mut s) = university_db();
-    s.run(r#"
+    s.run(
+        r#"
         define type Student (name: varchar, dept: ref Department, gpa: float8)
-    "#)
+    "#,
+    )
     .unwrap();
     // Student and Employee both carry a `dept`: inheriting both without
     // renaming is a conflict — "we provide no automatic resolution".
@@ -104,7 +121,10 @@ fn f3_inheritance_rename() {
         .run("define type TA inherits Student, Employee (hours: int4)")
         .unwrap_err();
     let msg = err.to_string();
-    assert!(msg.contains("rename"), "conflict message should suggest renaming: {msg}");
+    assert!(
+        msg.contains("rename"),
+        "conflict message should suggest renaming: {msg}"
+    );
     // Figure 3's resolution: rename on both sides. (`name` also collides
     // between Student and Person-via-Employee.)
     s.run(
@@ -146,7 +166,11 @@ fn f4_nested_set_query() {
         })
         .collect();
     names.sort();
-    assert_eq!(names, vec!["annjr", "bobjr", "bobsis"], "kids of 2nd-floor employees");
+    assert_eq!(
+        names,
+        vec!["annjr", "bobjr", "bobsis"],
+        "kids of 2nd-floor employees"
+    );
     // The `range of C is Employees.kids` form is equivalent.
     let r2 = s
         .query(
@@ -171,13 +195,22 @@ fn f5_direct_retrieval() {
     assert_eq!(r.rows, vec![vec![Value::Null]]);
     // Named single schema object.
     s.run("create Employee StarEmployee").unwrap();
-    s.run(r#"replace StarEmployee (name = "star", salary = 99000.0)"#).unwrap();
-    let r = s.query("retrieve (StarEmployee.name, StarEmployee.salary)").unwrap();
-    assert_eq!(r.rows, vec![vec![Value::str("star"), Value::Float(99000.0)]]);
+    s.run(r#"replace StarEmployee (name = "star", salary = 99000.0)"#)
+        .unwrap();
+    let r = s
+        .query("retrieve (StarEmployee.name, StarEmployee.salary)")
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::str("star"), Value::Float(99000.0)]]
+    );
     // Array slots: retrieve (TopTen[1].name, TopTen[1].salary).
     s.run("create [10] ref Employee TopTen").unwrap();
-    s.run(r#"append to TopTen[1] E where E.name = "bob""#).unwrap();
-    let r = s.query("retrieve (TopTen[1].name, TopTen[1].salary)").unwrap();
+    s.run(r#"append to TopTen[1] E where E.name = "bob""#)
+        .unwrap();
+    let r = s
+        .query("retrieve (TopTen[1].name, TopTen[1].salary)")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("bob"), Value::Float(52000.0)]]);
     // Unfilled slots are null.
     let r = s.query("retrieve (TopTen[2])").unwrap();
@@ -229,20 +262,29 @@ fn f6_identity_and_integrity() {
              append to E.kids C where E.name = \"cal\" and C.name = \"annjr\"",
         )
         .unwrap_err();
-    assert!(err.to_string().contains("own-ref") || err.to_string().contains("member"), "{err}");
+    assert!(
+        err.to_string().contains("own-ref") || err.to_string().contains("member"),
+        "{err}"
+    );
 
     // GEM-style null-out: deleting a department nulls employee refs.
-    s.run("range of D is Departments; delete D where D.dname = \"toy\"").unwrap();
+    s.run("range of D is Departments; delete D where D.dname = \"toy\"")
+        .unwrap();
     let r = s
         .query("retrieve (E.name) from E in Employees where E.dept is null")
         .unwrap();
     assert_eq!(r.rows.len(), 2, "ann and bob lost their department");
 
     // Cascade: deleting an employee deletes the kids.
-    let before = s.query("retrieve (C.name) from C in Employees.kids").unwrap();
+    let before = s
+        .query("retrieve (C.name) from C in Employees.kids")
+        .unwrap();
     assert_eq!(before.rows.len(), 3);
-    s.run("range of E is Employees; delete E where E.name = \"bob\"").unwrap();
-    let after = s.query("retrieve (C.name) from C in Employees.kids").unwrap();
+    s.run("range of E is Employees; delete E where E.name = \"bob\"")
+        .unwrap();
+    let after = s
+        .query("retrieve (C.name) from C in Employees.kids")
+        .unwrap();
     assert_eq!(after.rows.len(), 1, "bob's kids died with him");
 }
 
@@ -254,11 +296,13 @@ fn f6_identity_and_integrity() {
 fn f7_complex_adt() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type CnumPair (val1: Complex, val2: Complex);
         create { own CnumPair } Pairs;
         append to Pairs (val1 = Complex("(1, 2)"), val2 = Complex("(3, 4)"));
-    "#)
+    "#,
+    )
     .unwrap();
     // Method syntax: CnumPair.val1.Add(CnumPair.val2).
     let a = s
@@ -270,7 +314,9 @@ fn f7_complex_adt() {
         .unwrap();
     assert_eq!(a.rows, b.rows, "both call syntaxes are identical (§4.1)");
     // The overloaded + operator reaches the same function.
-    let c = s.query("retrieve (P.val1 + P.val2) from P in Pairs").unwrap();
+    let c = s
+        .query("retrieve (P.val1 + P.val2) from P in Pairs")
+        .unwrap();
     assert_eq!(a.rows, c.rows);
     match &a.rows[0][0] {
         Value::Adt(_, _) => {}
@@ -295,7 +341,9 @@ fn f8_aggregates_over_by() {
     let (_db, mut s) = university_db();
     seed(&mut s);
     // Plain aggregate over a fresh range.
-    let r = s.query("retrieve (avg(E.salary over E)) from E in Employees").unwrap();
+    let r = s
+        .query("retrieve (avg(E.salary over E)) from E in Employees")
+        .unwrap();
     match r.rows[0][0] {
         Value::Float(f) => assert!((f - 45000.0).abs() < 1e-6),
         ref other => panic!("{other:?}"),
@@ -351,7 +399,9 @@ fn f8_aggregates_over_by() {
         other => panic!("{other:?}"),
     }
     // min/max on an ADT (Date is ordered).
-    let r = s.query("retrieve (min(E.birthday over E)) from E in Employees").unwrap();
+    let r = s
+        .query("retrieve (min(E.birthday over E)) from E in Employees")
+        .unwrap();
     match &r.rows[0][0] {
         Value::Adt(_, _) => {}
         other => panic!("{other:?}"),
@@ -432,24 +482,39 @@ fn f9_functions_procedures() {
 fn f10_authorization() {
     let (_db, mut s) = university_db();
     seed(&mut s);
-    s.run(r#"
+    s.run(
+        r#"
         create user alice;
         create user bob;
         create group staff;
         add user alice to group staff;
         grant read on Employees to staff;
         grant read on Departments to all_users
-    "#)
+    "#,
+    )
     .unwrap();
     let db = _db;
     // alice reads through her group.
     let mut alice = db.session_as("alice");
-    assert_eq!(alice.query("retrieve (E.name) from E in Employees").unwrap().len(), 3);
+    assert_eq!(
+        alice
+            .query("retrieve (E.name) from E in Employees")
+            .unwrap()
+            .len(),
+        3
+    );
     // bob cannot read Employees, but all_users covers Departments.
     let mut bobs = db.session_as("bob");
-    let err = bobs.query("retrieve (E.name) from E in Employees").unwrap_err();
+    let err = bobs
+        .query("retrieve (E.name) from E in Employees")
+        .unwrap_err();
     assert!(matches!(err, DbError::Auth(_)), "{err}");
-    assert_eq!(bobs.query("retrieve (D.dname) from D in Departments").unwrap().len(), 2);
+    assert_eq!(
+        bobs.query("retrieve (D.dname) from D in Departments")
+            .unwrap()
+            .len(),
+        2
+    );
     // Updates need their own privilege.
     let err = alice
         .run("range of E is Employees; delete E where E.name = \"cal\"")
@@ -457,7 +522,9 @@ fn f10_authorization() {
     assert!(matches!(err, DbError::Auth(_)), "{err}");
     // Revoke works.
     s.run("revoke read on Employees from staff").unwrap();
-    let err = alice.query("retrieve (E.name) from E in Employees").unwrap_err();
+    let err = alice
+        .query("retrieve (E.name) from E in Employees")
+        .unwrap_err();
     assert!(matches!(err, DbError::Auth(_)), "{err}");
     // Non-admins cannot grant.
     let err = alice.run("grant read on Employees to alice").unwrap_err();
@@ -473,7 +540,9 @@ fn f10_authorization() {
         .unwrap_err();
     assert!(matches!(err, DbError::Auth(_)), "{err}");
     s.run("grant execute on Salary2 to alice").unwrap();
-    alice.query("retrieve (E.Salary2()) from E in Employees").unwrap();
+    alice
+        .query("retrieve (E.Salary2()) from E in Employees")
+        .unwrap();
 
     // Data abstraction (§4.2.3): grant access only through a procedure —
     // the body runs with definer rights.
@@ -488,7 +557,11 @@ fn f10_authorization() {
     let r = s
         .query("retrieve (E.name) from E in Employees where E.name = \"redacted\"")
         .unwrap();
-    assert_eq!(r.rows.len(), 1, "procedure mutated what bob could not touch directly");
+    assert_eq!(
+        r.rows.len(),
+        1,
+        "procedure mutated what bob could not touch directly"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -509,7 +582,11 @@ fn f11_universal_quantification() {
              retrieve (D.dname) from D in Departments where E.salary < D.budget",
         )
         .unwrap();
-    assert_eq!(r.rows, vec![vec![Value::str("toy")]], "only toy's budget dominates all salaries");
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::str("toy")]],
+        "only toy's budget dominates all salaries"
+    );
     // Tighter bound: toy/2 = 50000 still fails on bob.
     let r = s
         .query(
@@ -544,7 +621,9 @@ fn f12_updates() {
          delete C where C.name = \"bobsis\"",
     )
     .unwrap();
-    let r = s.query("retrieve (C.name) from C in Employees.kids").unwrap();
+    let r = s
+        .query("retrieve (C.name) from C in Employees.kids")
+        .unwrap();
     assert_eq!(r.rows.len(), 2);
     // The deleted own-ref kid no longer exists anywhere.
     let r = s
@@ -585,6 +664,10 @@ fn f12_updates() {
     assert!(err.is_some(), "own-ref exclusivity across collections");
     // But a ref-mode collection can share.
     s.run("create { ref Employee } Wall").unwrap();
-    s.run("range of E is Employees; append to Wall E where E.name = \"cal\"").unwrap();
-    assert_eq!(s.query("retrieve (W.name) from W in Wall").unwrap().len(), 1);
+    s.run("range of E is Employees; append to Wall E where E.name = \"cal\"")
+        .unwrap();
+    assert_eq!(
+        s.query("retrieve (W.name) from W in Wall").unwrap().len(),
+        1
+    );
 }

@@ -4,16 +4,21 @@
 
 use extra_excess::{Database, Value};
 
-fn base() -> (std::sync::Arc<extra_excess::db::Database>, extra_excess::Session) {
+fn base() -> (
+    std::sync::Arc<extra_excess::db::Database>,
+    extra_excess::Session,
+) {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, age: int4);
         create { own ref Person } People;
         append to People (name = "a", age = 10);
         append to People (name = "b", age = 20);
         append to People (name = "c", age = 30);
-    "#)
+    "#,
+    )
     .unwrap();
     (db, s)
 }
@@ -33,7 +38,8 @@ fn recursive_function_rejected() {
 #[test]
 fn procedure_recursion_depth_guard() {
     let (_db, mut s) = base();
-    s.run("define procedure Spin (x: int4) as execute Spin(x) end").unwrap();
+    s.run("define procedure Spin (x: int4) as execute Spin(x) end")
+        .unwrap();
     let err = s.run("execute Spin(1)").unwrap_err();
     assert!(err.to_string().contains("nesting"), "{err}");
 }
@@ -47,7 +53,9 @@ fn user_set_function_as_aggregate() {
          as retrieve (max(x over x) - min(x over x)) from x in xs",
     )
     .unwrap();
-    let r = s.query("retrieve (Spread(P.age over P)) from P in People").unwrap();
+    let r = s
+        .query("retrieve (Spread(P.age over P)) from P in People")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(20)]]);
 }
 
@@ -79,7 +87,9 @@ fn procedure_param_conformance_checked() {
     )
     .unwrap();
     s.run("execute SetAge(\"a\", 99)").unwrap();
-    let r = s.query("retrieve (P.age) from P in People where P.name = \"a\"").unwrap();
+    let r = s
+        .query("retrieve (P.age) from P in People where P.name = \"a\"")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(99)]]);
     // Wrong argument type fails cleanly.
     let err = s.run("execute SetAge(1, 2)").unwrap_err();
@@ -92,7 +102,8 @@ fn procedure_param_conformance_checked() {
 #[test]
 fn procedure_invoked_per_binding_with_argument_expressions() {
     let (_db, mut s) = base();
-    s.run(r#"
+    s.run(
+        r#"
         define type Rule (pattern: varchar, bump: int4);
         create { own Rule } Rules;
         append to Rules (pattern = "a", bump = 1);
@@ -101,12 +112,15 @@ fn procedure_invoked_per_binding_with_argument_expressions() {
             range of P is People;
             replace P (age = P.age + amount) where P.name = nm
         end
-    "#)
+    "#,
+    )
     .unwrap();
     // One invocation per rule, arguments drawn from the binding.
     s.run("range of R is Rules; execute Bump(R.pattern, R.bump) where R.bump > 0")
         .unwrap();
-    let r = s.query("retrieve (P.name, P.age) from P in People order by P.name asc").unwrap();
+    let r = s
+        .query("retrieve (P.name, P.age) from P in People order by P.name asc")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![

@@ -8,17 +8,23 @@ use extra_excess::{Database, DbError, Value};
 fn key_on_create_enforces_uniqueness() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, ssnum: int4);
         create { own ref Person } People key (ssnum);
         append to People (name = "ann", ssnum = 100);
         append to People (name = "bob", ssnum = 200);
-    "#)
+    "#,
+    )
     .unwrap();
     // Duplicate key rejected, set unchanged.
-    let err = s.run(r#"append to People (name = "eve", ssnum = 100)"#).unwrap_err();
+    let err = s
+        .run(r#"append to People (name = "eve", ssnum = 100)"#)
+        .unwrap_err();
     assert!(err.to_string().contains("key violation"), "{err}");
-    let r = s.query("retrieve (count(P over P)) from P in People").unwrap();
+    let r = s
+        .query("retrieve (count(P over P)) from P in People")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
     // Replacing into a conflicting key is rejected too.
     let err = s
@@ -26,9 +32,13 @@ fn key_on_create_enforces_uniqueness() {
         .unwrap_err();
     assert!(err.to_string().contains("key violation"), "{err}");
     // Replacing to a fresh value works; the vacated key is reusable.
-    s.run("range of P is People; replace P (ssnum = 300) where P.name = \"ann\"").unwrap();
-    s.run(r#"append to People (name = "eve", ssnum = 100)"#).unwrap();
-    let r = s.query("retrieve (count(P over P)) from P in People").unwrap();
+    s.run("range of P is People; replace P (ssnum = 300) where P.name = \"ann\"")
+        .unwrap();
+    s.run(r#"append to People (name = "eve", ssnum = 100)"#)
+        .unwrap();
+    let r = s
+        .query("retrieve (count(P over P)) from P in People")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(3)]]);
 }
 
@@ -36,11 +46,13 @@ fn key_on_create_enforces_uniqueness() {
 fn key_index_also_serves_queries() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, ssnum: int4);
         create { own ref Person } People key (ssnum);
         append to People (name = "ann", ssnum = 100);
-    "#)
+    "#,
+    )
     .unwrap();
     let plan = s
         .explain("retrieve (P.name) from P in People where P.ssnum = 100")
@@ -52,7 +64,8 @@ fn key_index_also_serves_queries() {
 fn key_only_on_sets() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run("define type Person (name: varchar, ssnum: int4)").unwrap();
+    s.run("define type Person (name: varchar, ssnum: int4)")
+        .unwrap();
     let err = s.run("create Person Star key (ssnum)").unwrap_err();
     assert!(err.to_string().contains("set instances"), "{err}");
 }
@@ -61,14 +74,16 @@ fn key_only_on_sets() {
 fn deleted_member_frees_its_key() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, ssnum: int4);
         create { own ref Person } People key (ssnum);
         append to People (name = "ann", ssnum = 1);
         range of P is People;
         delete P where P.ssnum = 1;
         append to People (name = "ann2", ssnum = 1)
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s.query("retrieve (P.name) from P in People").unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("ann2")]]);
@@ -78,36 +93,46 @@ fn deleted_member_frees_its_key() {
 fn unique_index_statement_and_build_time_violations() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, ssnum: int4);
         create { own ref Person } People;
         append to People (name = "a", ssnum = 1);
         append to People (name = "b", ssnum = 1);
-    "#)
+    "#,
+    )
     .unwrap();
     // Building a unique index over existing duplicates fails.
-    let err = s.run("define unique index pk on People (ssnum)").unwrap_err();
+    let err = s
+        .run("define unique index pk on People (ssnum)")
+        .unwrap_err();
     assert!(matches!(err, DbError::Catalog(_)), "{err}");
     // After repair it builds and enforces.
-    s.run("range of P is People; replace P (ssnum = 2) where P.name = \"b\"").unwrap();
+    s.run("range of P is People; replace P (ssnum = 2) where P.name = \"b\"")
+        .unwrap();
     s.run("define unique index pk on People (ssnum)").unwrap();
-    let err = s.run(r#"append to People (name = "c", ssnum = 2)"#).unwrap_err();
+    let err = s
+        .run(r#"append to People (name = "c", ssnum = 2)"#)
+        .unwrap_err();
     assert!(err.to_string().contains("key violation"), "{err}");
     // Non-unique indexes still allow duplicates.
     s.run("define index byname on People (name)").unwrap();
-    s.run(r#"append to People (name = "a", ssnum = 9)"#).unwrap();
+    s.run(r#"append to People (name = "a", ssnum = 9)"#)
+        .unwrap();
 }
 
 #[test]
 fn key_violation_leaves_no_partial_state() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, ssnum: int4);
         create { own ref Person } People key (ssnum);
         append to People (name = "ann", ssnum = 100);
         append to People (name = "bob", ssnum = 200);
-    "#)
+    "#,
+    )
     .unwrap();
     let err = s
         .run("range of P is People; replace P (ssnum = 200) where P.name = \"ann\"")
@@ -118,9 +143,13 @@ fn key_violation_leaves_no_partial_state() {
         .query("retrieve (P.ssnum) from P in People where P.name = \"ann\"")
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(100)]]);
-    let r = s.query("retrieve (P.name) from P in People where P.ssnum = 100").unwrap();
+    let r = s
+        .query("retrieve (P.name) from P in People where P.ssnum = 100")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("ann")]]);
-    let r = s.query("retrieve (P.name) from P in People where P.ssnum = 200").unwrap();
+    let r = s
+        .query("retrieve (P.name) from P in People where P.ssnum = 200")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("bob")]]);
 }
 
@@ -130,13 +159,17 @@ fn null_keys_are_not_constrained() {
     // members may both have a null key.
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, ssnum: int4);
         create { own ref Person } People key (ssnum);
         append to People (name = "x");
         append to People (name = "y");
-    "#)
+    "#,
+    )
     .unwrap();
-    let r = s.query("retrieve (count(P over P)) from P in People").unwrap();
+    let r = s
+        .query("retrieve (count(P over P)) from P in People")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
 }

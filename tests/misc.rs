@@ -7,10 +7,12 @@ use extra_excess::{Database, Response, Value};
 fn enumerations_end_to_end() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Bug (title: varchar, sev: enum(low, medium, high));
         create { own Bug } Bugs;
-    "#)
+    "#,
+    )
     .unwrap();
     // Enum values enter through the Rust API (the DDL carries the symbol
     // list; literals-by-symbol are a front-end nicety not in the paper).
@@ -24,7 +26,9 @@ fn enumerations_end_to_end() {
     )
     .unwrap();
     // Enums order by declaration ordinal.
-    let r = s.query("retrieve (B.title) from B in Bugs order by B.sev desc").unwrap();
+    let r = s
+        .query("retrieve (B.title) from B in Bugs order by B.sev desc")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![
@@ -43,7 +47,8 @@ fn enumerations_end_to_end() {
 fn whole_value_append_copies_between_own_collections() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Row (k: int4, v: varchar);
         create { own Row } Source;
         create { own Row } Sink;
@@ -51,12 +56,14 @@ fn whole_value_append_copies_between_own_collections() {
         append to Source (k = 2, v = "two");
         range of S is Source;
         append to Sink S where S.k = 2;
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s.query("retrieve (T.v) from T in Sink").unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("two")]]);
     // It is a copy: mutating Source leaves Sink alone (value semantics).
-    s.run("range of S is Source; replace S (v = \"TWO\") where S.k = 2").unwrap();
+    s.run("range of S is Source; replace S (v = \"TWO\") where S.k = 2")
+        .unwrap();
     let r = s.query("retrieve (T.v) from T in Sink").unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("two")]]);
 }
@@ -65,16 +72,23 @@ fn whole_value_append_copies_between_own_collections() {
 fn variable_length_array_grows() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         create [] varchar Log;
         append to Log "first";
         append to Log "second";
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s.query("retrieve (Log[1], Log[2])").unwrap();
-    assert_eq!(r.rows, vec![vec![Value::str("first"), Value::str("second")]]);
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::str("first"), Value::str("second")]]
+    );
     // Iterate a named array object.
-    let r = s.query("range of L is Log; retrieve (count(L over L))").unwrap();
+    let r = s
+        .query("range of L is Log; retrieve (count(L over L))")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(2)]]);
 }
 
@@ -83,12 +97,14 @@ fn session_run_returns_per_statement_responses() {
     let db = Database::in_memory();
     let mut s = db.session();
     let responses = s
-        .run(r#"
+        .run(
+            r#"
             define type T (x: int4);
             create { own T } Ts;
             append to Ts (x = 1);
             retrieve (V.x) from V in Ts
-        "#)
+        "#,
+        )
         .unwrap();
     assert_eq!(responses.len(), 4);
     assert!(matches!(responses[0], Response::Done(_)));
@@ -99,11 +115,13 @@ fn session_run_returns_per_statement_responses() {
 fn explain_renders_nested_plans() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Kid (name: varchar);
         define type Emp (name: varchar, kids: { own Kid });
         create { own ref Emp } Emps;
-    "#)
+    "#,
+    )
     .unwrap();
     let plan = s
         .explain("retrieve (C.name) from C in Emps.kids where Emps.name = \"x\"")
@@ -118,7 +136,8 @@ fn scripts_mix_ddl_dml_and_queries() {
     let db = Database::in_memory();
     let mut s = db.session();
     let r = s
-        .query(r#"
+        .query(
+            r#"
             define type City (name: varchar, pop: int4);
             create { own ref City } Cities key (name);
             append to Cities (name = "madison", pop = 170000);
@@ -126,23 +145,29 @@ fn scripts_mix_ddl_dml_and_queries() {
             range of C is Cities;
             replace C (pop = C.pop + 1000) where C.name = "madison";
             retrieve (C.name, C.pop) where C.pop > 100000
-        "#)
+        "#,
+        )
         .unwrap();
-    assert_eq!(r.rows, vec![vec![Value::str("madison"), Value::Int(171000)]]);
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::str("madison"), Value::Int(171000)]]
+    );
 }
 
 #[test]
 fn set_valued_targets_render() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Emp (name: varchar, tags: { varchar });
         create { own ref Emp } Emps;
         append to Emps (name = "a");
         range of E is Emps;
         append to E.tags "x" where E.name = "a";
         append to E.tags "y" where E.name = "a";
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s.query("retrieve (E.tags) from E in Emps").unwrap();
     match &r.rows[0][0] {
@@ -172,13 +197,15 @@ fn negative_numbers_and_precedence_in_queries() {
 fn polygon_operator_through_sql() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Zone (label: varchar, shape: Polygon);
         create { own Zone } Zones;
         append to Zones (label = "a", shape = Polygon("((0 0) (2 0) (2 2) (0 2))"));
         append to Zones (label = "b", shape = Polygon("((1 1) (3 1) (3 3) (1 3))"));
         append to Zones (label = "c", shape = Polygon("((9 9) (10 9) (10 10) (9 10))"));
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s
         .query(
@@ -193,20 +220,27 @@ fn polygon_operator_through_sql() {
 fn named_object_identity_against_members() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Emp (name: varchar);
         create { own ref Emp } Emps;
         create Emp Boss;
         append to Emps (name = "w1");
         replace Boss (name = "boss");
-    "#)
+    "#,
+    )
     .unwrap();
     // The named object is not a member of the set, so no member is it.
-    let r = s.query("retrieve (E.name) from E in Emps where E is Boss").unwrap();
+    let r = s
+        .query("retrieve (E.name) from E in Emps where E is Boss")
+        .unwrap();
     assert!(r.is_empty());
     // But a ref-mode collection can hold it, and then identity matches.
-    s.run("create { ref Emp } Wall; append to Wall Boss").unwrap();
-    let r = s.query("retrieve (W.name) from W in Wall where W is Boss").unwrap();
+    s.run("create { ref Emp } Wall; append to Wall Boss")
+        .unwrap();
+    let r = s
+        .query("retrieve (W.name) from W in Wall where W is Boss")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("boss")]]);
 }
 
@@ -214,10 +248,12 @@ fn named_object_identity_against_members() {
 fn unknown_user_has_no_rights() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type T (x: int4);
         create { own T } Ts;
-    "#)
+    "#,
+    )
     .unwrap();
     let mut ghost = db.session_as("ghost");
     let err = ghost.query("retrieve (V.x) from V in Ts").unwrap_err();

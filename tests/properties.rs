@@ -20,14 +20,21 @@ fn emp_strategy() -> impl Strategy<Value = Emp> {
     })
 }
 
-fn load(emps: &[Emp]) -> (std::sync::Arc<extra_excess::db::Database>, extra_excess::Session) {
+fn load(
+    emps: &[Emp],
+) -> (
+    std::sync::Arc<extra_excess::db::Database>,
+    extra_excess::Session,
+) {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Person (name: varchar, age: int4, salary: float8);
         create { own ref Person } People;
         range of P is People
-    "#)
+    "#,
+    )
     .unwrap();
     let rows: Vec<Value> = emps
         .iter()

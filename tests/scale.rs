@@ -8,42 +8,74 @@ use extra_excess::{Database, Value};
 fn ten_thousand_members_scan_filter_aggregate() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Row (k: int4, v: float8);
         create { own Row } Rows;
-    "#)
+    "#,
+    )
     .unwrap();
     let rows: Vec<Value> = (0..10_000)
         .map(|i| Value::Tuple(vec![Value::Int(i), Value::Float(i as f64 * 0.5)]))
         .collect();
     db.bulk_append("Rows", rows).unwrap();
-    let r = s.query("retrieve (count(R over R), sum(R.k over R)) from R in Rows").unwrap();
+    let r = s
+        .query("retrieve (count(R over R), sum(R.k over R)) from R in Rows")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(10_000));
     assert_eq!(r.rows[0][1], Value::Int((0..10_000i64).sum()));
-    let r = s.query("retrieve (R.k) from R in Rows where R.k >= 9995").unwrap();
+    let r = s
+        .query("retrieve (R.k) from R in Rows where R.k >= 9995")
+        .unwrap();
     assert_eq!(r.rows.len(), 5);
+
+    // Batched execution must not depend on how the 10k rows fall across
+    // batch boundaries: a row-at-a-time run (batch size 1) and an odd
+    // size that leaves a partial final batch agree with the default.
+    let baseline = s
+        .query("retrieve (R.k) from R in Rows where R.k >= 9995")
+        .unwrap();
+    for batch_size in [1, 1000, 1023] {
+        db.set_batch_size(batch_size);
+        let r = s
+            .query("retrieve (R.k) from R in Rows where R.k >= 9995")
+            .unwrap();
+        assert_eq!(baseline, r, "batch size {batch_size} diverged at scale");
+    }
+    db.set_batch_size(extra_excess::exec::DEFAULT_BATCH_SIZE);
 }
 
 #[test]
 fn large_member_values_spill_to_large_objects() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Doc (title: varchar, body: varchar);
         create { own ref Doc } Docs;
-    "#)
+    "#,
+    )
     .unwrap();
     let big = "lorem ipsum ".repeat(2_000); // ~24 KB, far past a page
-    s.run(&format!(r#"append to Docs (title = "big", body = "{big}")"#)).unwrap();
-    s.run(r#"append to Docs (title = "small", body = "x")"#).unwrap();
-    let r = s.query(r#"retrieve (D.body) from D in Docs where D.title = "big""#).unwrap();
+    s.run(&format!(
+        r#"append to Docs (title = "big", body = "{big}")"#
+    ))
+    .unwrap();
+    s.run(r#"append to Docs (title = "small", body = "x")"#)
+        .unwrap();
+    let r = s
+        .query(r#"retrieve (D.body) from D in Docs where D.title = "big""#)
+        .unwrap();
     match &r.rows[0][0] {
         Value::Str(s) => assert_eq!(s.len(), big.len()),
         other => panic!("{other:?}"),
     }
     // Update the large value back down and up again.
-    s.run(r#"range of D is Docs; replace D (body = "tiny") where D.title = "big""#).unwrap();
-    let r = s.query(r#"retrieve (D.body) from D in Docs where D.title = "big""#).unwrap();
+    s.run(r#"range of D is Docs; replace D (body = "tiny") where D.title = "big""#)
+        .unwrap();
+    let r = s
+        .query(r#"retrieve (D.body) from D in Docs where D.title = "big""#)
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::str("tiny"));
 }
 
@@ -51,13 +83,20 @@ fn large_member_values_spill_to_large_objects() {
 fn parallel_readers() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Row (k: int4);
         create { own Row } Rows;
-    "#)
+    "#,
+    )
     .unwrap();
-    db.bulk_append("Rows", (0..2_000).map(|i| Value::Tuple(vec![Value::Int(i)])).collect())
-        .unwrap();
+    db.bulk_append(
+        "Rows",
+        (0..2_000)
+            .map(|i| Value::Tuple(vec![Value::Int(i)]))
+            .collect(),
+    )
+    .unwrap();
     let mut handles = Vec::new();
     for t in 0..8 {
         let db: Arc<_> = db.clone();
@@ -66,7 +105,9 @@ fn parallel_readers() {
             for round in 0..20 {
                 let cut = (t * 100 + round) % 2000;
                 let r = s
-                    .query(&format!("retrieve (count(R over R where R.k >= {cut})) from R in Rows"))
+                    .query(&format!(
+                        "retrieve (count(R over R where R.k >= {cut})) from R in Rows"
+                    ))
                     .unwrap();
                 assert_eq!(r.rows[0][0], Value::Int(2000 - cut));
             }
@@ -81,13 +122,20 @@ fn parallel_readers() {
 fn readers_interleaved_with_writers() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Row (k: int4);
         create { own Row } Rows;
-    "#)
+    "#,
+    )
     .unwrap();
-    db.bulk_append("Rows", (0..500).map(|i| Value::Tuple(vec![Value::Int(i)])).collect())
-        .unwrap();
+    db.bulk_append(
+        "Rows",
+        (0..500)
+            .map(|i| Value::Tuple(vec![Value::Int(i)]))
+            .collect(),
+    )
+    .unwrap();
     let writer = {
         let db = db.clone();
         std::thread::spawn(move || {
@@ -102,7 +150,9 @@ fn readers_interleaved_with_writers() {
         std::thread::spawn(move || {
             let mut s = db.session();
             for _ in 0..50 {
-                let r = s.query("retrieve (count(R over R)) from R in Rows").unwrap();
+                let r = s
+                    .query("retrieve (count(R over R)) from R in Rows")
+                    .unwrap();
                 match r.rows[0][0] {
                     Value::Int(n) => assert!((500..=700).contains(&n), "monotonic count, got {n}"),
                     ref other => panic!("{other:?}"),
@@ -112,7 +162,9 @@ fn readers_interleaved_with_writers() {
     };
     writer.join().unwrap();
     reader.join().unwrap();
-    let r = db.query("retrieve (count(R over R)) from R in Rows").unwrap();
+    let r = db
+        .query("retrieve (count(R over R)) from R in Rows")
+        .unwrap();
     assert_eq!(r.rows[0][0], Value::Int(700));
 }
 
@@ -120,7 +172,8 @@ fn readers_interleaved_with_writers() {
 fn four_level_inheritance_with_most_specific_dispatch() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type A (name: varchar);
         define type B inherits A (b: int4);
         define type C inherits B (c: int4);
@@ -129,13 +182,21 @@ fn four_level_inheritance_with_most_specific_dispatch() {
         append to Ds (name = "deep", b = 1, c = 2, d = 3);
         define function Tag (x: A) returns varchar as retrieve ("A");
         define function Tag (x: C) returns varchar as retrieve ("C");
-    "#)
+    "#,
+    )
     .unwrap();
     // Attribute flattening across four levels.
-    let r = s.query("retrieve (X.name, X.b, X.c, X.d) from X in Ds").unwrap();
+    let r = s
+        .query("retrieve (X.name, X.b, X.c, X.d) from X in Ds")
+        .unwrap();
     assert_eq!(
         r.rows,
-        vec![vec![Value::str("deep"), Value::Int(1), Value::Int(2), Value::Int(3)]]
+        vec![vec![
+            Value::str("deep"),
+            Value::Int(1),
+            Value::Int(2),
+            Value::Int(3)
+        ]]
     );
     // Most specific overload: D is-a C is-a B is-a A; Tag-for-C wins.
     let r = s.query("retrieve (X.Tag()) from X in Ds").unwrap();
@@ -146,12 +207,14 @@ fn four_level_inheritance_with_most_specific_dispatch() {
 fn deeply_nested_own_structures() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Leaf (v: int4);
         define type Mid (label: varchar, leaves: { Leaf });
         define type Root (name: varchar, mids: { Mid });
         create { own Root } Roots;
-    "#)
+    "#,
+    )
     .unwrap();
     let leaf = |v: i64| Value::Tuple(vec![Value::Int(v)]);
     let mid = |l: &str, vs: &[i64]| {
@@ -167,7 +230,10 @@ fn deeply_nested_own_structures() {
                 Value::str("r1"),
                 Value::Set(vec![mid("m1", &[1, 2]), mid("m2", &[3])]),
             ]),
-            Value::Tuple(vec![Value::str("r2"), Value::Set(vec![mid("m3", &[4, 5, 6])])]),
+            Value::Tuple(vec![
+                Value::str("r2"),
+                Value::Set(vec![mid("m3", &[4, 5, 6])]),
+            ]),
         ],
     )
     .unwrap();
@@ -180,8 +246,14 @@ fn deeply_nested_own_structures() {
         )
         .unwrap();
     assert_eq!(r.rows.len(), 4);
-    assert_eq!(r.rows[0], vec![Value::str("r1"), Value::str("m2"), Value::Int(3)]);
-    assert_eq!(r.rows[3], vec![Value::str("r2"), Value::str("m3"), Value::Int(6)]);
+    assert_eq!(
+        r.rows[0],
+        vec![Value::str("r1"), Value::str("m2"), Value::Int(3)]
+    );
+    assert_eq!(
+        r.rows[3],
+        vec![Value::str("r2"), Value::str("m3"), Value::Int(6)]
+    );
     // Aggregate over the doubly nested level.
     let r = s
         .query("retrieve (sum(L.v over L)) from L in Roots.mids.leaves")

@@ -11,13 +11,15 @@ use extra_excess::{Database, DbError, Value};
 fn small_db() -> (Arc<extra_excess::db::Database>, extra_excess::Session) {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Item (label: varchar, qty: int4, price: float8, tags: { varchar });
         create { own ref Item } Items;
         append to Items (label = "apple", qty = 10, price = 0.5);
         append to Items (label = "pear", qty = 3, price = 0.75);
         append to Items (label = "fig", qty = 0, price = 2.0);
-    "#)
+    "#,
+    )
     .unwrap();
     (db, s)
 }
@@ -30,10 +32,14 @@ fn small_db() -> (Arc<extra_excess::db::Database>, extra_excess::Session) {
 fn null_comparisons_reject() {
     let (_db, mut s) = small_db();
     s.run(r#"append to Items (label = "ghost")"#).unwrap(); // qty, price null
-    // A null in a comparison never qualifies.
-    let r = s.query("retrieve (I.label) from I in Items where I.qty >= 0").unwrap();
+                                                            // A null in a comparison never qualifies.
+    let r = s
+        .query("retrieve (I.label) from I in Items where I.qty >= 0")
+        .unwrap();
     assert_eq!(r.rows.len(), 3, "ghost's null qty does not qualify");
-    let r = s.query("retrieve (I.label) from I in Items where I.qty = null").unwrap();
+    let r = s
+        .query("retrieve (I.label) from I in Items where I.qty = null")
+        .unwrap();
     assert!(r.is_empty(), "= null is never true; use `is null`");
     // Arithmetic propagates null, which then fails to qualify.
     let r = s
@@ -46,7 +52,8 @@ fn null_comparisons_reject() {
 fn is_null_on_references() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type A (name: varchar);
         define type B (tag: varchar, link: ref A);
         create { own ref A } As;
@@ -57,9 +64,12 @@ fn is_null_on_references() {
         range of A1 is As;
         range of B1 is Bs;
         replace B1 (link = A1) where B1.tag = "wired";
-    "#)
+    "#,
+    )
     .unwrap();
-    let r = s.query("retrieve (B1.tag) from B1 in Bs where B1.link is null").unwrap();
+    let r = s
+        .query("retrieve (B1.tag) from B1 in Bs where B1.link is null")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("unwired")]]);
     let r = s
         .query("retrieve (B1.tag) from B1 in Bs where B1.link isnot null")
@@ -83,7 +93,9 @@ fn set_literals_and_operators() {
         Value::Set(m) => assert_eq!(m.len(), 3, "sets dedupe"),
         other => panic!("{other:?}"),
     }
-    let r = s.query(r#"retrieve ({1, 2, 3} intersect {2, 3, 4})"#).unwrap();
+    let r = s
+        .query(r#"retrieve ({1, 2, 3} intersect {2, 3, 4})"#)
+        .unwrap();
     match &r.rows[0][0] {
         Value::Set(m) => assert_eq!(m.len(), 2),
         other => panic!("{other:?}"),
@@ -100,18 +112,21 @@ fn set_literals_and_operators() {
 #[test]
 fn nested_value_sets() {
     let (_db, mut s) = small_db();
-    s.run(r#"
+    s.run(
+        r#"
         range of I is Items;
         append to I.tags "fruit" where I.qty > 0;
         append to I.tags "cheap" where I.price < 0.6;
-    "#)
+    "#,
+    )
     .unwrap();
     let r = s
         .query(r#"retrieve (I.label) from I in Items where I.tags contains "cheap""#)
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("apple")]]);
     // Duplicate appends are absorbed by set semantics.
-    s.run(r#"range of I is Items; append to I.tags "fruit" where I.qty > 0"#).unwrap();
+    s.run(r#"range of I is Items; append to I.tags "fruit" where I.qty > 0"#)
+        .unwrap();
     let r = s
         .query("retrieve (count(I.tags)) from I in Items where I.label = \"apple\"")
         .unwrap();
@@ -126,50 +141,70 @@ fn nested_value_sets() {
 fn fixed_arrays_are_one_based_and_bounded() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Probe (name: varchar);
         create [3] float8 Readings;
         append to Readings[1] 1.5;
         append to Readings[3] 3.5;
-    "#)
+    "#,
+    )
     .unwrap();
-    let r = s.query("retrieve (Readings[1], Readings[2], Readings[3])").unwrap();
+    let r = s
+        .query("retrieve (Readings[1], Readings[2], Readings[3])")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![vec![Value::Float(1.5), Value::Null, Value::Float(3.5)]]
     );
     let err = s.run("append to Readings[4] 9.0").unwrap_err();
-    assert!(matches!(err, DbError::Model(ModelError::IndexOutOfRange { .. })), "{err}");
+    assert!(
+        matches!(err, DbError::Model(ModelError::IndexOutOfRange { .. })),
+        "{err}"
+    );
     let err = s.run("append to Readings[0] 9.0").unwrap_err();
-    assert!(matches!(err, DbError::Model(ModelError::IndexOutOfRange { .. })), "{err}");
+    assert!(
+        matches!(err, DbError::Model(ModelError::IndexOutOfRange { .. })),
+        "{err}"
+    );
 }
 
 #[test]
 fn char_length_enforced() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Code (code: char(3));
         create { own Code } Codes;
         append to Codes (code = "abc");
-    "#)
+    "#,
+    )
     .unwrap();
     let err = s.run(r#"append to Codes (code = "abcd")"#).unwrap_err();
-    assert!(matches!(err, DbError::Model(ModelError::TypeMismatch { .. })), "{err}");
+    assert!(
+        matches!(err, DbError::Model(ModelError::TypeMismatch { .. })),
+        "{err}"
+    );
 }
 
 #[test]
 fn int_width_enforced() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Tiny (v: int1);
         create { own Tiny } Tinies;
         append to Tinies (v = 127);
-    "#)
+    "#,
+    )
     .unwrap();
     let err = s.run("append to Tinies (v = 128)").unwrap_err();
-    assert!(matches!(err, DbError::Model(ModelError::TypeMismatch { .. })), "{err}");
+    assert!(
+        matches!(err, DbError::Model(ModelError::TypeMismatch { .. })),
+        "{err}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -179,12 +214,16 @@ fn int_width_enforced() {
 #[test]
 fn retrieve_into_materializes_a_named_set() {
     let (_db, mut s) = small_db();
-    s.run(r#"
+    s.run(
+        r#"
         range of I is Items;
         retrieve into Stocked (I.label, I.qty) where I.qty > 0
-    "#)
+    "#,
+    )
     .unwrap();
-    let r = s.query("retrieve (S.label, S.qty) from S in Stocked order by S.qty desc").unwrap();
+    let r = s
+        .query("retrieve (S.label, S.qty) from S in Stocked order by S.qty desc")
+        .unwrap();
     assert_eq!(
         r.rows,
         vec![
@@ -193,8 +232,11 @@ fn retrieve_into_materializes_a_named_set() {
         ]
     );
     // The snapshot does not track later changes.
-    s.run("range of I is Items; replace I (qty = 99) where I.label = \"apple\"").unwrap();
-    let r = s.query("retrieve (S.qty) from S in Stocked where S.label = \"apple\"").unwrap();
+    s.run("range of I is Items; replace I (qty = 99) where I.label = \"apple\"")
+        .unwrap();
+    let r = s
+        .query("retrieve (S.qty) from S in Stocked where S.label = \"apple\"")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::Int(10)]]);
     // Name collision.
     let err = s.run("retrieve into Stocked (1)").unwrap_err();
@@ -216,7 +258,10 @@ fn frac(v: &Value) -> ModelResult<(i64, i64)> {
             d.copy_from_slice(&b[8..]);
             Ok((i64::from_le_bytes(n), i64::from_le_bytes(d)))
         }
-        other => Err(ModelError::AdtError(format!("not a Fraction: {}", other.kind()))),
+        other => Err(ModelError::AdtError(format!(
+            "not a Fraction: {}",
+            other.kind()
+        ))),
     }
 }
 
@@ -228,8 +273,14 @@ impl AdtType for Fraction {
         let (n, d) = literal
             .split_once('/')
             .ok_or_else(|| ModelError::AdtError("want n/d".into()))?;
-        let n: i64 = n.trim().parse().map_err(|_| ModelError::AdtError("bad n".into()))?;
-        let d: i64 = d.trim().parse().map_err(|_| ModelError::AdtError("bad d".into()))?;
+        let n: i64 = n
+            .trim()
+            .parse()
+            .map_err(|_| ModelError::AdtError("bad n".into()))?;
+        let d: i64 = d
+            .trim()
+            .parse()
+            .map_err(|_| ModelError::AdtError("bad d".into()))?;
         if d == 0 {
             return Err(ModelError::AdtError("zero denominator".into()));
         }
@@ -288,12 +339,14 @@ fn runtime_adt_registration_extends_parser_and_planner() {
     let mut s = db.session();
     assert!(s.run("define type R (r: Fraction)").is_err());
     db.register_adt(Arc::new(Fraction)).unwrap();
-    s.run(r#"
+    s.run(
+        r#"
         define type Recipe (title: varchar, scale: Fraction);
         create { own ref Recipe } Recipes;
         append to Recipes (title = "bread", scale = Fraction("3/4"));
         append to Recipes (title = "cake", scale = Fraction("1/2"));
-    "#)
+    "#,
+    )
     .unwrap();
     // The new ** operator parses and evaluates.
     let r = s
@@ -308,11 +361,15 @@ fn runtime_adt_registration_extends_parser_and_planner() {
         .query(r#"retrieve (R.title) from R in Recipes where R.scale > Fraction("2/3")"#)
         .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("bread")]]);
-    s.run("define index recipe_scale on Recipes (scale)").unwrap();
+    s.run("define index recipe_scale on Recipes (scale)")
+        .unwrap();
     let plan = s
         .explain(r#"retrieve (R.title) from R in Recipes where R.scale = Fraction("1/2")"#)
         .unwrap();
-    assert!(plan.contains("IndexScan"), "ADT key should use the index:\n{plan}");
+    assert!(
+        plan.contains("IndexScan"),
+        "ADT key should use the index:\n{plan}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -323,10 +380,12 @@ fn runtime_adt_registration_extends_parser_and_planner() {
 fn drop_type_guards_dependents() {
     let db = Database::in_memory();
     let mut s = db.session();
-    s.run(r#"
+    s.run(
+        r#"
         define type Base (x: int4);
         define type Derived inherits Base (y: int4);
-    "#)
+    "#,
+    )
     .unwrap();
     let err = s.run("drop type Base").unwrap_err();
     assert!(matches!(err, DbError::Catalog(_)), "{err}");
@@ -344,16 +403,22 @@ fn destroy_collection_removes_members_and_name() {
     assert!(matches!(err, DbError::Sema(_)), "{err}");
     // The name is reusable.
     s.run("create { own ref Item } Items").unwrap();
-    assert!(s.query("retrieve (I.label) from I in Items").unwrap().is_empty());
+    assert!(s
+        .query("retrieve (I.label) from I in Items")
+        .unwrap()
+        .is_empty());
 }
 
 #[test]
 fn functions_and_procedures_droppable() {
     let (_db, mut s) = small_db();
-    s.run("define function Doubled (i: Item) returns int4 as retrieve (i.qty * 2)").unwrap();
-    s.run("define procedure Zero (l: varchar) as \
-           range of I is Items; replace I (qty = 0) where I.label = l end")
+    s.run("define function Doubled (i: Item) returns int4 as retrieve (i.qty * 2)")
         .unwrap();
+    s.run(
+        "define procedure Zero (l: varchar) as \
+           range of I is Items; replace I (qty = 0) where I.label = l end",
+    )
+    .unwrap();
     assert_eq!(
         s.query("retrieve (I.Doubled()) from I in Items where I.label = \"pear\"")
             .unwrap()
@@ -386,7 +451,9 @@ fn order_by_and_explain() {
         ]
     );
     s.run("define index item_qty on Items (qty)").unwrap();
-    let plan = s.explain("retrieve (I.label) from I in Items where I.qty = 10").unwrap();
+    let plan = s
+        .explain("retrieve (I.label) from I in Items where I.qty = 10")
+        .unwrap();
     assert!(plan.contains("IndexScan"), "{plan}");
     let plan = s
         .explain("retrieve (I.label) from I in Items where I.label = \"apple\"")
@@ -398,16 +465,27 @@ fn order_by_and_explain() {
 fn index_maintained_across_updates() {
     let (_db, mut s) = small_db();
     s.run("define index item_qty on Items (qty)").unwrap();
-    s.run("range of I is Items; replace I (qty = 42) where I.label = \"fig\"").unwrap();
-    let r = s.query("retrieve (I.label) from I in Items where I.qty = 42").unwrap();
+    s.run("range of I is Items; replace I (qty = 42) where I.label = \"fig\"")
+        .unwrap();
+    let r = s
+        .query("retrieve (I.label) from I in Items where I.qty = 42")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("fig")]]);
-    let r = s.query("retrieve (I.label) from I in Items where I.qty = 0").unwrap();
+    let r = s
+        .query("retrieve (I.label) from I in Items where I.qty = 0")
+        .unwrap();
     assert!(r.is_empty(), "stale index entry would resurrect qty = 0");
-    s.run("range of I is Items; delete I where I.qty = 42").unwrap();
-    let r = s.query("retrieve (I.label) from I in Items where I.qty = 42").unwrap();
+    s.run("range of I is Items; delete I where I.qty = 42")
+        .unwrap();
+    let r = s
+        .query("retrieve (I.label) from I in Items where I.qty = 42")
+        .unwrap();
     assert!(r.is_empty());
-    s.run(r#"append to Items (label = "new", qty = 42, price = 1.0)"#).unwrap();
-    let r = s.query("retrieve (I.label) from I in Items where I.qty = 42").unwrap();
+    s.run(r#"append to Items (label = "new", qty = 42, price = 1.0)"#)
+        .unwrap();
+    let r = s
+        .query("retrieve (I.label) from I in Items where I.qty = 42")
+        .unwrap();
     assert_eq!(r.rows, vec![vec![Value::str("new")]]);
 }
 
@@ -420,7 +498,9 @@ fn useful_error_messages() {
     let (_db, mut s) = small_db();
     let err = s.query("retrieve (I.nope) from I in Items").unwrap_err();
     assert!(err.to_string().contains("nope"), "{err}");
-    let err = s.query("retrieve (I.label + 1) from I in Items").unwrap_err();
+    let err = s
+        .query("retrieve (I.label + 1) from I in Items")
+        .unwrap_err();
     assert!(err.to_string().contains("number"), "{err}");
     let err = s.run("append to Items (nosuch = 1)").unwrap_err();
     assert!(err.to_string().contains("nosuch"), "{err}");
