@@ -42,6 +42,31 @@ pub fn batch_overhead(rows: f64) -> f64 {
     (rows / BATCH_ROWS).ceil().max(1.0) * COST_PER_BATCH
 }
 
+/// Minimum estimated rows at the leftmost scan before the planner
+/// considers fanning a pipeline out to worker threads. Mirrored by the
+/// executor's runtime gate, since aggregate `over` sub-plans bypass the
+/// planner.
+pub const PARALLEL_MIN_ROWS: f64 = 4096.0;
+/// Per-worker startup/teardown charge (thread spawn, per-worker context,
+/// partition bookkeeping) in row-cost units.
+pub const PARALLEL_STARTUP_COST: f64 = 256.0;
+/// Per-row cost of merging worker output back into the serial tail in
+/// deterministic order.
+pub const PARALLEL_MERGE_COST: f64 = 0.01;
+
+/// Cost of running a pipeline of serial cost `input_cost` under a
+/// parallel exchange at degree `dop`: the pipeline work divides across
+/// workers, while startup scales with `dop` and the ordered merge scales
+/// with the output rows. At `dop = 1` this degenerates to the serial
+/// cost plus startup, so the planner never prefers a one-worker exchange.
+pub fn parallel_cost(input_cost: f64, out_rows: f64, dop: usize) -> f64 {
+    let d = dop.max(1) as f64;
+    input_cost / d
+        + d * PARALLEL_STARTUP_COST
+        + out_rows * PARALLEL_MERGE_COST
+        + batch_overhead(out_rows)
+}
+
 /// Estimated selectivity of a predicate.
 pub fn selectivity(pred: &Expr) -> f64 {
     conjuncts(pred)
@@ -111,9 +136,9 @@ pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
         Physical::UniversalFilter { input, .. } => {
             (cardinality(input, catalog) * SEL_OTHER).max(1.0)
         }
-        Physical::Project { input, .. } | Physical::Sort { input, .. } => {
-            cardinality(input, catalog)
-        }
+        Physical::Project { input, .. }
+        | Physical::Sort { input, .. }
+        | Physical::Parallel { input, .. } => cardinality(input, catalog),
     }
 }
 
@@ -162,6 +187,9 @@ pub fn cost(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
         Physical::Sort { input, .. } => {
             let n = cardinality(input, catalog).max(2.0);
             cost(input, catalog) + n * n.log2() + batch_overhead(n)
+        }
+        Physical::Parallel { input, dop } => {
+            parallel_cost(cost(input, catalog), cardinality(input, catalog), *dop)
         }
     }
 }

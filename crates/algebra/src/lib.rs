@@ -29,5 +29,5 @@ pub mod plan;
 pub mod rules;
 
 pub use builder::build_logical;
-pub use physical::{optimize, plan_retrieve, PlannerConfig};
+pub use physical::{optimize, plan_retrieve, plan_retrieve_dop, PlannerConfig};
 pub use plan::{Logical, Physical};

@@ -45,12 +45,27 @@ impl PlannerConfig {
     }
 }
 
-/// Plan a checked retrieve into a physical plan.
+/// Plan a checked retrieve into a physical plan (serial: DOP fixed at 1).
 pub fn plan_retrieve(
     stmt: &Stmt,
     checked: &CheckedRetrieve,
     ctx: &SemaCtx<'_>,
     config: PlannerConfig,
+) -> SemaResult<Physical> {
+    plan_retrieve_dop(stmt, checked, ctx, config, 1)
+}
+
+/// Plan a checked retrieve with up to `dop` worker threads available.
+/// At `dop <= 1` this is exactly [`plan_retrieve`], so all serial plan
+/// rankings are preserved; above that the planner may wrap the
+/// scan→unnest→filter pipeline in a [`Physical::Parallel`] exchange when
+/// the [`crate::cost::parallel_cost`] model says fan-out wins.
+pub fn plan_retrieve_dop(
+    stmt: &Stmt,
+    checked: &CheckedRetrieve,
+    ctx: &SemaCtx<'_>,
+    config: PlannerConfig,
+    dop: usize,
 ) -> SemaResult<Physical> {
     let Stmt::Retrieve {
         targets,
@@ -170,6 +185,10 @@ pub fn plan_retrieve(
             pred: p,
         };
     }
+    // The fully filtered pipeline is the widest parallel-safe prefix:
+    // everything above (universal quantification, sort, projection) runs
+    // in the serial tail.
+    plan = maybe_parallelize(plan, ctx, dop);
     if !universal.is_empty() {
         if let Some(p) = conjoin(universal_conjuncts) {
             plan = Physical::UniversalFilter {
@@ -196,6 +215,48 @@ pub fn plan_retrieve(
         input: Box::new(plan),
         targets: named,
     })
+}
+
+/// Wrap `plan` in a parallel exchange when (a) workers are available,
+/// (b) its leftmost leaf is a partitionable scan big enough to clear
+/// [`crate::cost::PARALLEL_MIN_ROWS`], and (c) the DOP-aware cost model
+/// says dividing the pipeline across workers beats running it serially.
+fn maybe_parallelize(plan: Physical, ctx: &SemaCtx<'_>, dop: usize) -> Physical {
+    if dop < 2 {
+        return plan;
+    }
+    let Some(scan_rows) = leftmost_scan_rows(&plan, ctx) else {
+        return plan;
+    };
+    if scan_rows < crate::cost::PARALLEL_MIN_ROWS {
+        return plan;
+    }
+    let serial = crate::cost::cost(&plan, ctx.catalog);
+    let out = cardinality(&plan, ctx.catalog);
+    if crate::cost::parallel_cost(serial, out, dop) >= serial {
+        return plan;
+    }
+    Physical::Parallel {
+        input: Box::new(plan),
+        dop,
+    }
+}
+
+/// Estimated rows of the leftmost scan of a parallel-safe pipeline, or
+/// `None` when the pipeline bottoms out in something unpartitionable
+/// (`Unit`, or operators that must stay in the serial tail).
+fn leftmost_scan_rows(plan: &Physical, ctx: &SemaCtx<'_>) -> Option<f64> {
+    match plan {
+        Physical::SeqScan { .. } | Physical::IndexScan { .. } => {
+            Some(cardinality(plan, ctx.catalog))
+        }
+        Physical::Unnest { input, .. }
+        | Physical::Filter { input, .. }
+        | Physical::Project { input, .. }
+        | Physical::Parallel { input, .. } => leftmost_scan_rows(input, ctx),
+        Physical::NestedLoop { outer, .. } => leftmost_scan_rows(outer, ctx),
+        Physical::Unit | Physical::UniversalFilter { .. } | Physical::Sort { .. } => None,
+    }
 }
 
 /// Exhaustively pick the nested-loop order with the lowest estimated

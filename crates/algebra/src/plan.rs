@@ -126,6 +126,16 @@ pub enum Physical {
         /// Ascending?
         asc: bool,
     },
+    /// Parallel exchange: partition the leftmost scan of `input` into
+    /// morsels and fan the pipeline out to `dop` worker threads, merging
+    /// the output batches back in deterministic scan order. Everything
+    /// above the exchange stays single-threaded.
+    Parallel {
+        /// The pipeline to parallelize (scan → unnest/filter prefix).
+        input: Box<Physical>,
+        /// Degree of parallelism (worker thread count).
+        dop: usize,
+    },
 }
 
 fn indent(f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
@@ -242,6 +252,10 @@ impl Physical {
                 writeln!(f, "Sort by {key} {}", if *asc { "asc" } else { "desc" })?;
                 input.fmt_at(f, depth + 1)
             }
+            Physical::Parallel { input, dop } => {
+                writeln!(f, "Parallel dop={dop}")?;
+                input.fmt_at(f, depth + 1)
+            }
         }
     }
 
@@ -265,7 +279,8 @@ impl Physical {
             Physical::Filter { input, .. }
             | Physical::UniversalFilter { input, .. }
             | Physical::Project { input, .. }
-            | Physical::Sort { input, .. } => input.bound_vars(),
+            | Physical::Sort { input, .. }
+            | Physical::Parallel { input, .. } => input.bound_vars(),
         }
     }
 }

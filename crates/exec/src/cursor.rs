@@ -18,6 +18,7 @@
 //! batch that passes intact is forwarded without copying). Sort
 //! materializes, sorts a row-index permutation, and re-batches.
 
+use std::collections::VecDeque;
 use std::vec::IntoIter;
 
 use exodus_storage::btree::BTree;
@@ -73,9 +74,29 @@ pub enum Cursor<'p> {
         /// Sorted output, re-batched (filled on first pull).
         out: Option<IntoIter<RowBatch>>,
     },
+    /// Emits pre-built batches (parallel workers replay morsel output
+    /// through the rest of a pipeline with this as the substituted leaf).
+    Queue(VecDeque<RowBatch>),
+    /// Parallel exchange over a pipeline (see [`crate::parallel`]).
+    Parallel(ParallelCursor<'p>),
 }
 
 fn open<'p>(node: &'p ExecNode, input: Cursor<'p>) -> Cursor<'p> {
+    open_sub(node, None, input)
+}
+
+/// Open a cursor over `node`, except that the node identical to `leaf`
+/// (by address) is replaced by `input` instead of opening normally —
+/// parallel workers use this to splice morsel batches in for the
+/// partitioned leftmost scan.
+pub(crate) fn open_sub<'p>(
+    node: &'p ExecNode,
+    leaf: Option<&'p ExecNode>,
+    input: Cursor<'p>,
+) -> Cursor<'p> {
+    if leaf.is_some_and(|l| std::ptr::eq(node, l)) {
+        return input;
+    }
     match node {
         ExecNode::Unit => input,
         ExecNode::SeqScan { var, anchor } => Cursor::Scan(ScanCursor {
@@ -112,7 +133,7 @@ fn open<'p>(node: &'p ExecNode, input: Cursor<'p>) -> Cursor<'p> {
             var,
             source,
         } => Cursor::Unnest(UnnestCursor {
-            input: Box::new(open(child, input)),
+            input: Box::new(open_sub(child, leaf, input)),
             var,
             source,
             in_batch: None,
@@ -120,9 +141,11 @@ fn open<'p>(node: &'p ExecNode, input: Cursor<'p>) -> Cursor<'p> {
             items: None,
         }),
         // Batch streams compose: the outer's output is the inner's input.
-        ExecNode::NestedLoop { outer, inner } => open(inner, open(outer, input)),
+        ExecNode::NestedLoop { outer, inner } => {
+            open_sub(inner, leaf, open_sub(outer, leaf, input))
+        }
         ExecNode::Filter { input: child, pred } => Cursor::Filter {
-            input: Box::new(open(child, input)),
+            input: Box::new(open_sub(child, leaf, input)),
             pred,
         },
         ExecNode::UniversalFilter {
@@ -130,23 +153,28 @@ fn open<'p>(node: &'p ExecNode, input: Cursor<'p>) -> Cursor<'p> {
             universe,
             pred,
         } => Cursor::Universal {
-            input: Box::new(open(child, input)),
+            input: Box::new(open_sub(child, leaf, input)),
             universe,
             pred,
         },
         // A mid-tree projection only narrows the output list, which is
         // applied by the plan runner; rows pass through.
-        ExecNode::Project { input: child, .. } => open(child, input),
+        ExecNode::Project { input: child, .. } => open_sub(child, leaf, input),
         ExecNode::Sort {
             input: child,
             key,
             asc,
         } => Cursor::Sort {
-            input: Box::new(open(child, input)),
+            input: Box::new(open_sub(child, leaf, input)),
             key,
             asc: *asc,
             out: None,
         },
+        ExecNode::Parallel { input: child, .. } => Cursor::Parallel(ParallelCursor {
+            plan: child,
+            input: Box::new(input),
+            state: None,
+        }),
     }
 }
 
@@ -240,6 +268,69 @@ impl Cursor<'_> {
                 }
                 Ok(out.as_mut().expect("just filled").next())
             }
+            Cursor::Queue(batches) => loop {
+                match batches.pop_front() {
+                    Some(b) if b.is_empty() => continue,
+                    other => return Ok(other),
+                }
+            },
+            Cursor::Parallel(par) => par.next(ctx),
+        }
+    }
+}
+
+/// The exchange operator: materializes its (single-row) upstream seed,
+/// hands the pipeline to the morsel driver on first pull, and replays
+/// the merged output batches. When the driver declines (small scan, one
+/// worker, multi-row seed) the pipeline runs serially in place.
+pub struct ParallelCursor<'p> {
+    /// The pipeline below the exchange.
+    plan: &'p ExecNode,
+    /// Upstream cursor producing the seed rows.
+    input: Box<Cursor<'p>>,
+    /// Filled on first pull.
+    state: Option<ParState<'p>>,
+}
+
+enum ParState<'p> {
+    /// Worker output, merged in deterministic scan order.
+    Batches(IntoIter<RowBatch>),
+    /// Serial fallback.
+    Serial(Box<Cursor<'p>>),
+}
+
+impl<'p> ParallelCursor<'p> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        if self.state.is_none() {
+            // The exchange is a pipeline breaker for its seed: scoped
+            // worker threads cannot outlive a pull, so the whole parallel
+            // phase runs eagerly on the first one.
+            let mut seed = RowBatch::new();
+            while let Some(b) = self.input.next(ctx)? {
+                seed.append(b);
+            }
+            let fanned = if seed.len() == 1 {
+                crate::parallel::try_parallel(self.plan, ctx, &seed, &|_, batch| Ok(batch))?
+            } else {
+                None
+            };
+            self.state = Some(match fanned {
+                Some(batches) => ParState::Batches(batches.into_iter()),
+                None => ParState::Serial(Box::new(open_sub(
+                    self.plan,
+                    None,
+                    Cursor::Seed(Some(seed)),
+                ))),
+            });
+        }
+        match self.state.as_mut().expect("just filled") {
+            ParState::Batches(it) => loop {
+                match it.next() {
+                    Some(b) if b.is_empty() => continue,
+                    other => return Ok(other),
+                }
+            },
+            ParState::Serial(cur) => cur.next(ctx),
         }
     }
 }
@@ -356,7 +447,11 @@ impl ScanCursor<'_> {
     }
 }
 
-fn member_binding(anchor: exodus_storage::Oid, rid: RecordId, value: Value) -> (Value, MemberId) {
+pub(crate) fn member_binding(
+    anchor: exodus_storage::Oid,
+    rid: RecordId,
+    value: Value,
+) -> (Value, MemberId) {
     let id = match &value {
         Value::Ref(o) => MemberId::Object(*o),
         _ => MemberId::Record { anchor, rid },

@@ -19,10 +19,15 @@ pub struct ExecCtx<'a> {
     pub types: &'a TypeRegistry,
     /// ADTs.
     pub adts: &'a AdtRegistry,
-    /// Catalog (named objects for late binding).
-    pub catalog: &'a dyn CatalogLookup,
+    /// Catalog (named objects for late binding). `Sync` so parallel
+    /// workers can share it (see [`crate::parallel`]).
+    pub catalog: &'a (dyn CatalogLookup + Sync),
     /// Rows per execution batch (see [`crate::batch`]).
     pub batch_size: usize,
+    /// Worker threads available to parallel exchanges. At 1 (the
+    /// default) every pipeline runs serially; worker contexts are
+    /// themselves created with 1 so parallelism never nests.
+    pub workers: usize,
     /// Current EXCESS-function call depth.
     pub depth: Cell<u32>,
     /// Group tables of cacheable aggregates, keyed by aggregate id.
@@ -48,7 +53,7 @@ impl<'a> ExecCtx<'a> {
         store: &'a ObjectStore,
         types: &'a TypeRegistry,
         adts: &'a AdtRegistry,
-        catalog: &'a dyn CatalogLookup,
+        catalog: &'a (dyn CatalogLookup + Sync),
     ) -> Self {
         ExecCtx {
             store,
@@ -56,6 +61,7 @@ impl<'a> ExecCtx<'a> {
             adts,
             catalog,
             batch_size: DEFAULT_BATCH_SIZE,
+            workers: 1,
             depth: Cell::new(0),
             agg_cache: RefCell::new(HashMap::new()),
             deref_cache: RefCell::new(HashMap::new()),
@@ -66,6 +72,12 @@ impl<'a> ExecCtx<'a> {
     /// Override the execution batch size (clamped to at least 1).
     pub fn with_batch_size(mut self, n: usize) -> Self {
         self.batch_size = n.max(1);
+        self
+    }
+
+    /// Override the worker-thread budget (clamped to at least 1).
+    pub fn with_workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
         self
     }
 }
@@ -582,24 +594,60 @@ fn eval_agg(agg: &CAgg, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Va
             let cached = agg.cacheable && ctx.agg_cache.borrow().contains_key(&agg.id);
             if !cached {
                 let mut groups: HashMap<Vec<u8>, Vec<Value>> = HashMap::new();
-                // Iterate the `over` ranges batch-at-a-time, seeded with
-                // the current bindings (correlation through free outer
-                // variables).
-                let mut cur = plan.cursor(RowBatch::single(env));
-                while let Some(batch) = cur.next(ctx)? {
+                // Parallel path: aggregate `over` plans come straight from
+                // `prepare_bindings` (they bypass the planner's exchange
+                // insertion), so the morsel driver is consulted here.
+                // Workers run the per-row qual/key/arg evaluation; the
+                // deterministic merge order makes the group value lists —
+                // and thus float sums — identical to serial execution.
+                let seed = RowBatch::single(env);
+                let parallel = crate::parallel::try_parallel(plan, ctx, &seed, &|wctx, batch| {
+                    let mut rows: Vec<(Vec<u8>, Value)> = Vec::with_capacity(batch.len());
                     for r in 0..batch.len() {
                         let row = batch.row(r);
                         if let Some(q) = &agg.qual {
-                            if !truthy(&eval(q, ctx, &row)?)? {
+                            if !truthy(&eval(q, wctx, &row)?)? {
                                 continue;
                             }
                         }
-                        let key = group_key(&agg.by, ctx, &row)?;
+                        let key = group_key(&agg.by, wctx, &row)?;
                         let val = match &agg.arg {
-                            Some(a) => eval(a, ctx, &row)?,
+                            Some(a) => eval(a, wctx, &row)?,
                             None => Value::Null,
                         };
-                        groups.entry(key).or_default().push(val);
+                        rows.push((key, val));
+                    }
+                    Ok(rows)
+                })?;
+                match parallel {
+                    Some(parts) => {
+                        for part in parts {
+                            for (key, val) in part {
+                                groups.entry(key).or_default().push(val);
+                            }
+                        }
+                    }
+                    None => {
+                        // Serial path: iterate the `over` ranges
+                        // batch-at-a-time, seeded with the current bindings
+                        // (correlation through free outer variables).
+                        let mut cur = plan.cursor(seed);
+                        while let Some(batch) = cur.next(ctx)? {
+                            for r in 0..batch.len() {
+                                let row = batch.row(r);
+                                if let Some(q) = &agg.qual {
+                                    if !truthy(&eval(q, ctx, &row)?)? {
+                                        continue;
+                                    }
+                                }
+                                let key = group_key(&agg.by, ctx, &row)?;
+                                let val = match &agg.arg {
+                                    Some(a) => eval(a, ctx, &row)?,
+                                    None => Value::Null,
+                                };
+                                groups.entry(key).or_default().push(val);
+                            }
+                        }
                     }
                 }
                 let mut finalized = HashMap::with_capacity(groups.len());

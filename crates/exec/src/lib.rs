@@ -30,6 +30,7 @@ pub mod cexpr;
 pub mod cursor;
 pub mod env;
 pub mod eval;
+mod parallel;
 pub mod plan;
 pub mod run;
 

@@ -1,0 +1,307 @@
+//! Morsel-driven intra-query parallelism.
+//!
+//! [`try_parallel`] fans a scan→unnest→filter pipeline prefix out to a
+//! pool of `std::thread::scope` workers. The leftmost storage scan is
+//! split into *morsels* — contiguous page runs from
+//! `HeapFile::partitions` / `BTree::partitions` — which sit in a shared
+//! work queue that workers claim from with an atomic counter (fast
+//! workers steal the slack of slow ones, so page-occupancy skew does not
+//! serialize the query). Each worker binds the morsel's members against
+//! the single seed row, replays them through the remainder of the
+//! pipeline (the partitioned leaf is spliced out via
+//! [`crate::cursor::open_sub`]), folds every output batch with the
+//! caller's function, and pushes the results through a bounded channel
+//! into the single-threaded tail.
+//!
+//! Results are tagged `(morsel index, batch sequence)` and sorted before
+//! they are returned, so the merged output order — and therefore every
+//! downstream computation, including float summation order — is
+//! bit-identical to a serial scan. Workers run with `workers = 1` and
+//! fresh caches, so parallelism never nests and the `Cell`/`RefCell`
+//! interior mutability of [`ExecCtx`] never crosses a thread.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::Mutex;
+
+use exodus_storage::btree::{BTree, BTreeScan};
+use exodus_storage::{Oid, RecordId};
+use extra_model::{MemberScan, ModelError, ModelResult, Value};
+
+use crate::batch::RowBatch;
+use crate::cursor::{member_binding, open_sub, Cursor};
+use crate::eval::ExecCtx;
+use crate::plan::ExecNode;
+
+/// Member count below which fan-out is never attempted. Mirrors the
+/// planner's cost-model gate (`excess-algebra`'s `PARALLEL_MIN_ROWS`);
+/// re-checked here with the *actual* collection count because aggregate
+/// `over` plans reach the executor without passing through the planner.
+pub(crate) const PARALLEL_MIN_ROWS: u64 = 4096;
+/// Morsels handed out per worker: enough slack for work stealing to
+/// even out skew, few enough that claim overhead stays negligible.
+const MORSELS_PER_WORKER: usize = 4;
+/// Bounded result-channel capacity per worker (backpressure for the
+/// serial tail).
+const CHANNEL_SLACK: usize = 2;
+
+/// The leftmost storage scan of a parallel-safe pipeline prefix. Only
+/// row-local operators may sit between the exchange and the leaf
+/// (filter, unnest, projection pass-through, the outer side of a nested
+/// loop); sort and universal quantification force the serial path.
+fn leftmost_scan(node: &ExecNode) -> Option<&ExecNode> {
+    match node {
+        ExecNode::SeqScan { .. } | ExecNode::IndexScan { .. } => Some(node),
+        ExecNode::Unnest { input, .. }
+        | ExecNode::Filter { input, .. }
+        | ExecNode::Project { input, .. }
+        | ExecNode::Parallel { input, .. } => leftmost_scan(input),
+        ExecNode::NestedLoop { outer, .. } => leftmost_scan(outer),
+        ExecNode::Unit | ExecNode::UniversalFilter { .. } | ExecNode::Sort { .. } => None,
+    }
+}
+
+/// A unit of scan work: one partition of the leaf's storage structure.
+enum Morsel {
+    Heap(MemberScan),
+    Index(BTreeScan),
+}
+
+impl Morsel {
+    /// Next chunk of decoded `(rid, member value)` pairs.
+    fn next_chunk(&mut self, ctx: &ExecCtx<'_>, cap: usize) -> ModelResult<Vec<(RecordId, Value)>> {
+        match self {
+            Morsel::Heap(scan) => scan.next_batch(cap),
+            Morsel::Index(scan) => {
+                let entries = scan.next_batch(cap)?;
+                let mut out = Vec::with_capacity(entries.len());
+                for (_, packed) in entries {
+                    let rid = RecordId::unpack(packed);
+                    let bytes = ctx.store.storage().read(rid)?;
+                    out.push((rid, extra_model::valueio::from_bytes(&bytes)?));
+                }
+                Ok(out)
+            }
+        }
+    }
+}
+
+/// Build the morsel queue for the pipeline's leaf, or `None` when the
+/// leaf's collection is below [`PARALLEL_MIN_ROWS`].
+fn morsels_for(ctx: &ExecCtx<'_>, leaf: &ExecNode, k: usize) -> ModelResult<Option<Vec<Morsel>>> {
+    match leaf {
+        ExecNode::SeqScan { anchor, .. } => {
+            if ctx.store.member_count(*anchor)? < PARALLEL_MIN_ROWS {
+                return Ok(None);
+            }
+            Ok(Some(
+                ctx.store
+                    .scan_members_partitions(*anchor, k)?
+                    .into_iter()
+                    .map(Morsel::Heap)
+                    .collect(),
+            ))
+        }
+        ExecNode::IndexScan {
+            anchor,
+            root,
+            lower,
+            upper,
+            ..
+        } => {
+            if ctx.store.member_count(*anchor)? < PARALLEL_MIN_ROWS {
+                return Ok(None);
+            }
+            let scans = BTree::open(*root).partitions(
+                ctx.store.storage().pool(),
+                k,
+                lower.clone(),
+                upper.clone(),
+            )?;
+            Ok(Some(scans.into_iter().map(Morsel::Index).collect()))
+        }
+        _ => Ok(None),
+    }
+}
+
+/// Shared work queue: workers claim morsels with an atomic ticket.
+struct MorselQueue {
+    next: AtomicUsize,
+    slots: Vec<Mutex<Option<Morsel>>>,
+}
+
+impl MorselQueue {
+    fn claim(&self) -> Option<(usize, Morsel)> {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            let slot = self.slots.get(i)?;
+            if let Some(m) = slot.lock().expect("morsel slot lock").take() {
+                return Some((i, m));
+            }
+        }
+    }
+}
+
+/// Drain a morsel into input batches for the pipeline remainder: each
+/// member extends the single seed row with the scan variable's binding.
+fn morsel_batches(
+    wctx: &ExecCtx<'_>,
+    morsel: &mut Morsel,
+    seed: &RowBatch,
+    var: &str,
+    anchor: Oid,
+) -> ModelResult<VecDeque<RowBatch>> {
+    let cap = wctx.batch_size.max(1);
+    let mut out = VecDeque::new();
+    loop {
+        let chunk = morsel.next_chunk(wctx, cap)?;
+        if chunk.is_empty() {
+            return Ok(out);
+        }
+        let mut batch = RowBatch::with_vars(RowBatch::extended_vars(seed, var));
+        for (rid, value) in chunk {
+            let (value, id) = member_binding(anchor, rid, value);
+            batch.push_extended(seed, 0, var, value, id);
+        }
+        out.push_back(batch);
+    }
+}
+
+/// Run `plan` under morsel-driven parallelism, folding every output
+/// batch with `fold` on the worker that produced it. Returns
+/// `Ok(None)` when the pipeline is not worth (or not safe to)
+/// parallelize — the caller must then run it serially — and
+/// `Ok(Some(results))` with the folded items in exact serial scan order
+/// otherwise.
+///
+/// Requirements checked here: at least two workers on `ctx`, a
+/// single-row `seed` (the correlation environment), a partitionable
+/// leftmost scan, and a collection clearing [`PARALLEL_MIN_ROWS`].
+pub(crate) fn try_parallel<T, F>(
+    plan: &ExecNode,
+    ctx: &ExecCtx<'_>,
+    seed: &RowBatch,
+    fold: &F,
+) -> ModelResult<Option<Vec<T>>>
+where
+    T: Send,
+    F: Fn(&ExecCtx<'_>, RowBatch) -> ModelResult<T> + Sync,
+{
+    if ctx.workers < 2 || seed.len() != 1 {
+        return Ok(None);
+    }
+    let Some(leaf) = leftmost_scan(plan) else {
+        return Ok(None);
+    };
+    let (var, anchor) = match leaf {
+        ExecNode::SeqScan { var, anchor } | ExecNode::IndexScan { var, anchor, .. } => {
+            (var.as_str(), *anchor)
+        }
+        _ => unreachable!("leftmost_scan returns scans only"),
+    };
+    let Some(morsels) = morsels_for(ctx, leaf, ctx.workers * MORSELS_PER_WORKER)? else {
+        return Ok(None);
+    };
+    if morsels.is_empty() {
+        return Ok(Some(Vec::new()));
+    }
+    let workers = ctx.workers.min(morsels.len());
+    let queue = MorselQueue {
+        next: AtomicUsize::new(0),
+        slots: morsels.into_iter().map(|m| Mutex::new(Some(m))).collect(),
+    };
+    let abort = AtomicBool::new(false);
+    // Workers get plain `Sync` pieces of the context, never the context
+    // itself (its caches are single-threaded by design).
+    let (store, types, adts, catalog) = (ctx.store, ctx.types, ctx.adts, ctx.catalog);
+    let batch_size = ctx.batch_size;
+    let (tx, rx) = sync_channel::<(usize, usize, ModelResult<T>)>(workers * CHANNEL_SLACK);
+
+    let merged = std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let (queue, abort) = (&queue, &abort);
+            s.spawn(move || {
+                let wctx = ExecCtx::new(store, types, adts, catalog).with_batch_size(batch_size);
+                'morsels: while let Some((midx, mut morsel)) = queue.claim() {
+                    if abort.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let mut seq = 0usize;
+                    let batches = match morsel_batches(&wctx, &mut morsel, seed, var, anchor) {
+                        Ok(b) => b,
+                        Err(e) => {
+                            abort.store(true, Ordering::Relaxed);
+                            let _ = tx.send((midx, seq, Err(e)));
+                            break;
+                        }
+                    };
+                    let mut cur = open_sub(plan, Some(leaf), Cursor::Queue(batches));
+                    loop {
+                        match cur.next(&wctx) {
+                            Ok(Some(batch)) => {
+                                let item = fold(&wctx, batch);
+                                let failed = item.is_err();
+                                if failed {
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                                if tx.send((midx, seq, item)).is_err() || failed {
+                                    break 'morsels;
+                                }
+                                seq += 1;
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let _ = tx.send((midx, seq, Err(e)));
+                                break 'morsels;
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // The single-threaded tail: drain the bounded channel while the
+        // workers run, then restore deterministic (morsel, sequence)
+        // order. `rx` closes once every worker has dropped its sender.
+        let mut items: Vec<(usize, usize, T)> = Vec::new();
+        let mut first_err: Option<ModelError> = None;
+        for (midx, seq, item) in rx {
+            match item {
+                Ok(t) => items.push((midx, seq, t)),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                items.sort_by_key(|&(midx, seq, _)| (midx, seq));
+                Ok(items.into_iter().map(|(_, _, t)| t).collect::<Vec<T>>())
+            }
+        }
+    })?;
+    Ok(Some(merged))
+}
+
+#[cfg(test)]
+mod tests {
+    /// The types shipped between workers and the tail must be `Send`;
+    /// the shared plan/context pieces must be `Sync`.
+    #[test]
+    fn read_path_is_send_sync_clean() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<crate::batch::RowBatch>();
+        assert_send::<extra_model::Value>();
+        assert_send::<super::Morsel>();
+        assert_sync::<crate::plan::ExecNode>();
+        assert_sync::<crate::cexpr::CExpr>();
+        assert_sync::<extra_model::ObjectStore>();
+    }
+}

@@ -109,6 +109,17 @@ pub enum ExecNode {
         /// Ascending?
         asc: bool,
     },
+    /// Parallel exchange: run `input` across `dop` worker threads by
+    /// partitioning its leftmost scan into morsels (see
+    /// [`crate::parallel`]), merging output batches in deterministic
+    /// scan order. Falls back to serial execution when the scan is too
+    /// small or the session runs with one worker.
+    Parallel {
+        /// The pipeline to fan out.
+        input: Box<ExecNode>,
+        /// Degree of parallelism requested by the planner.
+        dop: usize,
+    },
 }
 
 fn sem(e: excess_sema::SemaError) -> ModelError {
@@ -158,7 +169,8 @@ fn collect_vars(plan: &Physical, vars: &mut HashMap<String, QualType>) {
         }
         Physical::Filter { input, .. }
         | Physical::Project { input, .. }
-        | Physical::Sort { input, .. } => collect_vars(input, vars),
+        | Physical::Sort { input, .. }
+        | Physical::Parallel { input, .. } => collect_vars(input, vars),
         Physical::UniversalFilter {
             input, bindings, ..
         } => {
@@ -228,6 +240,10 @@ fn prepare_node(
             input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
             key: compiler.compile(key)?,
             asc: *asc,
+        },
+        Physical::Parallel { input, dop } => ExecNode::Parallel {
+            input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
+            dop: *dop,
         },
     })
 }

@@ -47,6 +47,7 @@ pub struct Database {
     pub(crate) ops: RwLock<OperatorTable>,
     pub(crate) planner: RwLock<PlannerConfig>,
     pub(crate) batch_size: std::sync::atomic::AtomicUsize,
+    pub(crate) worker_threads: std::sync::atomic::AtomicUsize,
 }
 
 impl Database {
@@ -68,6 +69,7 @@ impl Database {
             ops: RwLock::new(ops),
             planner: RwLock::new(PlannerConfig::default()),
             batch_size: std::sync::atomic::AtomicUsize::new(excess_exec::DEFAULT_BATCH_SIZE),
+            worker_threads: std::sync::atomic::AtomicUsize::new(1),
         })
     }
 
@@ -133,6 +135,33 @@ impl Database {
     pub fn set_batch_size(&self, n: usize) {
         self.batch_size
             .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Worker threads available to each query (degree of parallelism).
+    pub fn worker_threads(&self) -> usize {
+        self.worker_threads
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Set the per-query worker-thread count. `1` (the default) runs
+    /// everything on the calling thread; higher values let large scans
+    /// fan out to morsel-driven workers. Small collections stay serial
+    /// regardless (see the planner's parallelism threshold).
+    pub fn set_worker_threads(&self, n: usize) {
+        self.worker_threads
+            .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Buffer-pool observability counters (hits, misses, evictions,
+    /// writebacks) accumulated since creation or the last
+    /// [`Database::reset_storage_stats`].
+    pub fn storage_stats(&self) -> exodus_storage::BufferStats {
+        self.store.storage().pool().stats()
+    }
+
+    /// Zero the buffer-pool counters.
+    pub fn reset_storage_stats(&self) {
+        self.store.storage().pool().reset_stats()
     }
 
     /// Register a new ADT at runtime, extending the parser's operator
@@ -232,8 +261,18 @@ impl Session {
         let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
         let resolver = Resolver::new(&ctx, &self.ranges);
         let checked = resolver.check_retrieve(&stmt)?;
-        let plan = excess_algebra::plan_retrieve(&stmt, &checked, &ctx, *self.db.planner.read())?;
-        Ok(plan.to_string())
+        let plan = excess_algebra::plan_retrieve_dop(
+            &stmt,
+            &checked,
+            &ctx,
+            *self.db.planner.read(),
+            self.db.worker_threads(),
+        )?;
+        let stats = self.db.storage_stats();
+        Ok(format!(
+            "{plan}-- buffer pool: hits={} misses={} evictions={} writebacks={}\n",
+            stats.hits, stats.misses, stats.evictions, stats.writebacks
+        ))
     }
 
     /// Execute a single parsed statement. Plain retrieves run under a

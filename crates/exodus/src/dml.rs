@@ -67,7 +67,13 @@ fn plan_query(
     }
     let resolver = Resolver::new(&ctx, &local);
     let checked = resolver.check_retrieve(stmt)?;
-    let plan = excess_algebra::plan_retrieve(stmt, &checked, &ctx, *db.planner.read())?;
+    let plan = excess_algebra::plan_retrieve_dop(
+        stmt,
+        &checked,
+        &ctx,
+        *db.planner.read(),
+        db.worker_threads(),
+    )?;
     let node = prepare(&plan, &ctx, &local)?;
     Ok((node, checked))
 }
@@ -220,8 +226,9 @@ pub fn retrieve(
         cat,
         store: &db.store,
     };
-    let ctx =
-        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+        .with_batch_size(db.batch_size())
+        .with_workers(db.worker_threads());
     let env = base_env(params);
     let result = run_plan(&node, &ctx, &env)?;
     drop(ctx);
@@ -244,8 +251,9 @@ pub fn retrieve_into(
         cat,
         store: &db.store,
     };
-    let ctx =
-        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+        .with_batch_size(db.batch_size())
+        .with_workers(db.worker_threads());
     let env = base_env(params);
     let result = run_plan(&node, &ctx, &env)?;
     drop(ctx);
@@ -341,8 +349,9 @@ fn collect_bindings(
         cat,
         store: &db.store,
     };
-    let ctx =
-        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+        .with_batch_size(db.batch_size())
+        .with_workers(db.worker_threads());
     let env = base_env(params);
     let mut all = RowBatch::new();
     let mut cur = input.cursor(RowBatch::single(&env));
@@ -595,7 +604,8 @@ pub fn append(
                 store: &db.store,
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
-                .with_batch_size(db.batch_size());
+                .with_batch_size(db.batch_size())
+                .with_workers(db.worker_threads());
             let mut staged: Vec<Value> = Vec::new();
             for env in bindings.iter() {
                 staged.push(eval_member_value(
@@ -640,7 +650,8 @@ pub fn append(
                 store: &db.store,
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
-                .with_batch_size(db.batch_size());
+                .with_batch_size(db.batch_size())
+                .with_workers(db.worker_threads());
             let mut staged: Vec<Value> = Vec::new();
             for env in bindings.iter() {
                 staged.push(eval_expr(db, cat, &ctx, &env, ranges, &vars, vexpr)?);
@@ -707,7 +718,8 @@ pub fn append(
                 store: &db.store,
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
-                .with_batch_size(db.batch_size());
+                .with_batch_size(db.batch_size())
+                .with_workers(db.worker_threads());
             let mut staged: Vec<(i64, Value)> = Vec::new();
             for env in bindings.iter() {
                 let i = eval_expr(db, cat, &ctx, &env, ranges, &vars, idx)?.as_i64()?;
@@ -766,7 +778,8 @@ pub fn append(
                 store: &db.store,
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
-                .with_batch_size(db.batch_size());
+                .with_batch_size(db.batch_size())
+                .with_workers(db.worker_threads());
             let mut staged: Vec<(UpdateSite, Value)> = Vec::new();
             for env in bindings.iter() {
                 let member = match value {
@@ -1337,8 +1350,9 @@ pub fn replace(
         cat,
         store: &db.store,
     };
-    let ctx =
-        ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+        .with_batch_size(db.batch_size())
+        .with_workers(db.worker_threads());
     let mut staged: Vec<Staged> = Vec::new();
     for env in bindings.iter() {
         let mut updates = Vec::with_capacity(assignments.len());
@@ -1525,8 +1539,9 @@ pub fn execute_procedure(
             cat,
             store: &db.store,
         };
-        let ctx =
-            ExecCtx::new(&db.store, &cat.types, &cat.adts, &view).with_batch_size(db.batch_size());
+        let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+            .with_batch_size(db.batch_size())
+            .with_workers(db.worker_threads());
         for env in bindings.iter() {
             let vals: Vec<Value> = args
                 .iter()

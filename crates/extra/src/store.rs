@@ -713,9 +713,23 @@ impl ObjectStore {
     /// the heap file's page-at-a-time [`HeapScan::next_batch`].
     pub fn scan_members_batch(&self, anchor: Oid) -> ModelResult<MemberScan> {
         let info = self.collection_info(anchor)?;
-        Ok(MemberScan {
-            scan: HeapFile::open(info.file).scan(self.pool().clone()),
-        })
+        Ok(MemberScan::new(
+            HeapFile::open(info.file).scan(self.pool().clone()),
+        ))
+    }
+
+    /// Split a collection's member scan into at most `k` partitioned
+    /// scans over contiguous heap-page runs — the morsel sources for
+    /// parallel query execution. Concatenating the partitions in order
+    /// reproduces [`ObjectStore::scan_members_batch`]'s member order; an
+    /// empty collection yields no partitions.
+    pub fn scan_members_partitions(&self, anchor: Oid, k: usize) -> ModelResult<Vec<MemberScan>> {
+        let info = self.collection_info(anchor)?;
+        Ok(HeapFile::open(info.file)
+            .partitions(self.pool(), k)?
+            .into_iter()
+            .map(MemberScan::new)
+            .collect())
     }
 
     /// Number of members.
@@ -861,16 +875,26 @@ impl ObjectStore {
 /// [`ObjectStore::scan_members_batch`]).
 pub struct MemberScan {
     scan: exodus_storage::heap::HeapScan,
+    /// Reused record arena: one allocation per batch refill instead of
+    /// one `Vec<u8>` per record.
+    scratch: exodus_storage::heap::RecordBatch,
 }
 
 impl MemberScan {
+    fn new(scan: exodus_storage::heap::HeapScan) -> MemberScan {
+        MemberScan {
+            scan,
+            scratch: exodus_storage::heap::RecordBatch::new(),
+        }
+    }
+
     /// Decode up to `n` more `(rid, value)` members. Returns an empty
     /// vector when the collection is exhausted.
     pub fn next_batch(&mut self, n: usize) -> ModelResult<Vec<(RecordId, Value)>> {
-        self.scan
-            .next_batch(n)?
-            .into_iter()
-            .map(|(rid, bytes)| Ok((rid, valueio::from_bytes(&bytes)?)))
+        self.scan.next_batch_into(n, &mut self.scratch)?;
+        self.scratch
+            .iter()
+            .map(|(rid, bytes)| Ok((rid, valueio::from_bytes(bytes)?)))
             .collect()
     }
 }

@@ -436,7 +436,69 @@ impl BTree {
             lower,
             upper,
             state: ScanState::NotStarted,
+            start_at: None,
+            stop_after: None,
         }
+    }
+
+    /// Split a bounded scan into at most `k` scans over contiguous runs
+    /// of the in-range leaf chain (morsel sources for parallel
+    /// execution). Concatenating the partitions in order reproduces the
+    /// full bounded scan's entry order. Fewer than `k` scans come back
+    /// when the range touches fewer leaves; an empty range yields none.
+    pub fn partitions(
+        &self,
+        pool: &Arc<BufferPool>,
+        k: usize,
+        lower: Bound<Vec<u8>>,
+        upper: Bound<Vec<u8>>,
+    ) -> StorageResult<Vec<BTreeScan>> {
+        // Collect the leaf chain from the lower-bound leaf up to the
+        // first leaf wholly past the upper bound.
+        let mut leaves = Vec::new();
+        let mut page_no = match &lower {
+            Bound::Unbounded => self.leftmost_leaf(pool)?,
+            Bound::Included(key) | Bound::Excluded(key) => self.descend(pool, key)?,
+        };
+        loop {
+            let Node::Leaf(leaf) = self.read_node(pool, page_no)? else {
+                return Err(StorageError::Corrupt(
+                    "leaf chain reached a non-leaf".into(),
+                ));
+            };
+            let min_key = leaf.entries.first().map(|(k, _)| k.as_slice());
+            let wholly_past = match (&upper, min_key) {
+                (Bound::Included(u), Some(mk)) => mk > u.as_slice(),
+                (Bound::Excluded(u), Some(mk)) => mk >= u.as_slice(),
+                _ => false,
+            };
+            if wholly_past {
+                break;
+            }
+            leaves.push(page_no);
+            let page = pool.pin(page_no)?;
+            let next = page.with_read(|buf| PageView::new(buf).next());
+            if next == NO_PAGE {
+                break;
+            }
+            page_no = next;
+        }
+        if leaves.is_empty() {
+            return Ok(Vec::new());
+        }
+        let per = leaves.len().div_ceil(k.max(1));
+        Ok(leaves
+            .chunks(per)
+            .map(|run| BTreeScan {
+                tree: *self,
+                pool: pool.clone(),
+                lower: lower.clone(),
+                upper: upper.clone(),
+                state: ScanState::NotStarted,
+                start_at: Some(run[0]),
+                stop_after: Some(*run.last().expect("chunks are non-empty")),
+            })
+            .collect())
     }
 
     /// Total number of entries (walks the leaf level).
@@ -482,6 +544,10 @@ pub struct BTreeScan {
     lower: Bound<Vec<u8>>,
     upper: Bound<Vec<u8>>,
     state: ScanState,
+    /// Partitioned scans start at this leaf instead of descending.
+    start_at: Option<u64>,
+    /// Partitioned scans stop following the chain after this leaf.
+    stop_after: Option<u64>,
 }
 
 impl BTreeScan {
@@ -489,8 +555,12 @@ impl BTreeScan {
         let Node::Leaf(leaf) = self.tree.read_node(&self.pool, page_no)? else {
             return Err(StorageError::Corrupt("scan reached a non-leaf".into()));
         };
-        let page = self.pool.pin(page_no)?;
-        let next = page.with_read(|buf| PageView::new(buf).next());
+        let next = if self.stop_after == Some(page_no) {
+            NO_PAGE
+        } else {
+            let page = self.pool.pin(page_no)?;
+            page.with_read(|buf| PageView::new(buf).next())
+        };
         self.state = ScanState::InLeaf {
             entries: leaf.entries.into_iter(),
             next,
@@ -499,6 +569,9 @@ impl BTreeScan {
     }
 
     fn start(&mut self) -> StorageResult<()> {
+        if let Some(first) = self.start_at {
+            return self.load_leaf(first);
+        }
         let first = match &self.lower {
             Bound::Unbounded => self.tree.leftmost_leaf(&self.pool)?,
             Bound::Included(k) | Bound::Excluded(k) => {
@@ -685,6 +758,56 @@ mod tests {
                 }
                 assert_eq!(got, want, "batch size {n}");
             }
+        }
+    }
+
+    #[test]
+    fn partitions_cover_range_in_order() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        for i in 0..2000 {
+            t.insert(&pool, &ikey(i), i as u64, false).unwrap();
+        }
+        let bounds = [
+            (Bound::Unbounded, Bound::Unbounded),
+            (Bound::Included(ikey(100)), Bound::Excluded(ikey(1500))),
+            (Bound::Excluded(ikey(1999)), Bound::Unbounded),
+        ];
+        for (lo, hi) in bounds {
+            let want: Vec<_> = t
+                .scan(pool.clone(), lo.clone(), hi.clone())
+                .map(|r| r.unwrap())
+                .collect();
+            for k in [1usize, 3, 7, 1000] {
+                let parts = t.partitions(&pool, k, lo.clone(), hi.clone()).unwrap();
+                assert!(parts.len() <= k, "at most k partitions");
+                let mut got = Vec::new();
+                for mut part in parts {
+                    loop {
+                        let b = part.next_batch(64).unwrap();
+                        if b.is_empty() {
+                            break;
+                        }
+                        got.extend(b);
+                    }
+                }
+                assert_eq!(got, want, "k={k} bounds {lo:?}..{hi:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn partitions_empty_tree() {
+        let pool = pool();
+        let t = BTree::create(&pool).unwrap();
+        let parts = t
+            .partitions(&pool, 4, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        // The empty root leaf forms at most one partition, which yields
+        // no entries.
+        assert!(parts.len() <= 1);
+        for mut p in parts {
+            assert!(p.next_batch(16).unwrap().is_empty());
         }
     }
 

@@ -45,10 +45,15 @@ pub struct BufferStats {
 }
 
 /// A buffer pool over a [`Volume`].
+///
+/// The frame table is guarded by a read/write lock rather than a mutex so
+/// concurrent scan workers can satisfy pin *hits* — by far the common case
+/// under morsel-parallel execution — under a shared lock; only misses,
+/// allocations, and eviction take the exclusive lock.
 pub struct BufferPool {
     volume: Box<dyn Volume>,
     capacity: usize,
-    state: Mutex<PoolState>,
+    state: RwLock<PoolState>,
     /// Structure-modification locks, keyed by a structure's root page
     /// (heap-file chain extension must be serialized per file).
     smo_locks: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
@@ -67,7 +72,7 @@ impl BufferPool {
         BufferPool {
             volume,
             capacity,
-            state: Mutex::new(PoolState {
+            state: RwLock::new(PoolState {
                 map: HashMap::with_capacity(capacity),
                 frames: vec![None; capacity],
                 hand: 0,
@@ -116,14 +121,23 @@ impl BufferPool {
 
     /// Pin a page, reading it from the volume on a miss.
     pub fn pin(self: &Arc<Self>, page_no: u64) -> StorageResult<PinnedPage> {
-        let mut state = self.state.lock();
-        if let Some(&idx) = state.map.get(&page_no) {
-            let frame = state.frames[idx]
-                .as_ref()
-                .expect("mapped frame exists")
-                .clone();
-            frame.pins.fetch_add(1, Ordering::Relaxed);
-            frame.referenced.store(true, Ordering::Relaxed);
+        // Fast path: resident page, shared lock only. The pin count is
+        // bumped while the lock is held, so the evictor (which needs the
+        // exclusive lock) can never reclaim the frame underneath us.
+        {
+            let state = self.state.read();
+            if let Some(frame) = Self::try_hit(&state, page_no) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(PinnedPage {
+                    pool: self.clone(),
+                    frame,
+                });
+            }
+        }
+        let mut state = self.state.write();
+        // Re-check: another thread may have faulted the page in between
+        // the lock handoff.
+        if let Some(frame) = Self::try_hit(&state, page_no) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(PinnedPage {
                 pool: self.clone(),
@@ -149,10 +163,23 @@ impl BufferPool {
         })
     }
 
+    /// Look up a resident page and pin it. Must run under either lock
+    /// mode (the pin bump is what fences out the evictor).
+    fn try_hit(state: &PoolState, page_no: u64) -> Option<Arc<Frame>> {
+        let &idx = state.map.get(&page_no)?;
+        let frame = state.frames[idx]
+            .as_ref()
+            .expect("mapped frame exists")
+            .clone();
+        frame.pins.fetch_add(1, Ordering::Relaxed);
+        frame.referenced.store(true, Ordering::Relaxed);
+        Some(frame)
+    }
+
     /// Allocate a fresh page on the volume and pin it (contents zeroed).
     pub fn allocate(self: &Arc<Self>) -> StorageResult<PinnedPage> {
         let page_no = self.volume.allocate_page()?;
-        let mut state = self.state.lock();
+        let mut state = self.state.write();
         let idx = self.find_victim(&mut state)?;
         let frame = Arc::new(Frame {
             page_no,
@@ -206,7 +233,7 @@ impl BufferPool {
 
     /// Write back every dirty page.
     pub fn flush_all(&self) -> StorageResult<()> {
-        let state = self.state.lock();
+        let state = self.state.read();
         for frame in state.frames.iter().flatten() {
             if frame.dirty.load(Ordering::Relaxed) {
                 let data = frame.data.read();

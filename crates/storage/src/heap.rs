@@ -201,7 +201,42 @@ impl HeapFile {
             page: None,
             slot: 0,
             done: false,
+            run: None,
         }
+    }
+
+    /// Split the file into at most `k` scans over contiguous runs of the
+    /// page chain (morsel sources for parallel execution). Every live
+    /// record appears in exactly one partition, and concatenating the
+    /// partitions in order reproduces the full-scan record order. Fewer
+    /// than `k` scans come back when the chain has fewer pages; an empty
+    /// file yields no partitions.
+    pub fn partitions(&self, pool: &Arc<BufferPool>, k: usize) -> StorageResult<Vec<HeapScan>> {
+        let mut pages = Vec::new();
+        let mut page_no = self.first_page(pool)?;
+        while page_no != NO_PAGE {
+            pages.push(page_no);
+            let page = pool.pin(page_no)?;
+            page_no = page.with_read(|buf| PageView::new(buf).next());
+        }
+        if pages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let per = pages.len().div_ceil(k.max(1));
+        Ok(pages
+            .chunks(per)
+            .map(|run| HeapScan {
+                pool: pool.clone(),
+                file: *self,
+                page: None,
+                slot: 0,
+                done: false,
+                run: Some(Run {
+                    pages: run.to_vec(),
+                    next: 0,
+                }),
+            })
+            .collect())
     }
 }
 
@@ -222,6 +257,63 @@ pub fn delete_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()>
     page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))
 }
 
+/// A batch of records packed into one contiguous byte arena.
+///
+/// `HeapScan::next_batch_into` refills a caller-owned `RecordBatch` so the
+/// per-record copies land in a single reused allocation instead of one
+/// `Vec<u8>` per record. Record slices stay valid until the next refill.
+#[derive(Debug, Default)]
+pub struct RecordBatch {
+    /// Concatenated record bytes.
+    bytes: Vec<u8>,
+    /// Per-record `(rid, start, end)` offsets into `bytes`.
+    index: Vec<(RecordId, u32, u32)>,
+}
+
+impl RecordBatch {
+    /// An empty batch (no backing capacity yet).
+    pub fn new() -> RecordBatch {
+        RecordBatch::default()
+    }
+
+    /// Drop all records but keep the arena capacity for reuse.
+    pub fn clear(&mut self) {
+        self.bytes.clear();
+        self.index.clear();
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True when the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    fn push(&mut self, rid: RecordId, data: &[u8]) {
+        let start = self.bytes.len() as u32;
+        self.bytes.extend_from_slice(data);
+        self.index.push((rid, start, self.bytes.len() as u32));
+    }
+
+    /// Iterate over `(rid, record bytes)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> {
+        self.index
+            .iter()
+            .map(|&(rid, s, e)| (rid, &self.bytes[s as usize..e as usize]))
+    }
+}
+
+/// An explicit run of chain pages a partitioned scan is confined to.
+#[derive(Debug)]
+struct Run {
+    pages: Vec<u64>,
+    /// Index of the next page to visit after the current one.
+    next: usize,
+}
+
 /// Iterator over `(RecordId, bytes)` pairs of a heap file.
 pub struct HeapScan {
     pool: Arc<BufferPool>,
@@ -230,32 +322,70 @@ pub struct HeapScan {
     page: Option<u64>,
     slot: u16,
     done: bool,
+    /// `Some` confines the scan to an explicit page run (see
+    /// [`HeapFile::partitions`]); `None` follows the on-page chain.
+    run: Option<Run>,
 }
 
 impl HeapScan {
+    /// The first page this scan should visit, or `None` when empty.
+    fn start_page(&mut self) -> StorageResult<Option<u64>> {
+        match &mut self.run {
+            Some(run) => {
+                let first = run.pages.first().copied();
+                run.next = 1;
+                Ok(first)
+            }
+            None => {
+                let first = self.file.first_page(&self.pool)?;
+                Ok((first != NO_PAGE).then_some(first))
+            }
+        }
+    }
+
+    /// The page after the current one: the next entry of an explicit run,
+    /// or `chain_next` read from the page itself.
+    fn follow(&mut self, chain_next: u64) -> Option<u64> {
+        match &mut self.run {
+            Some(run) => {
+                let n = run.pages.get(run.next).copied();
+                run.next += 1;
+                n
+            }
+            None => (chain_next != NO_PAGE).then_some(chain_next),
+        }
+    }
+
     /// Drain up to `n` records into a batch, pinning each visited page
     /// once (the row-at-a-time [`Iterator`] path re-pins per record).
     /// Returns an empty vector when the scan is exhausted.
     pub fn next_batch(&mut self, n: usize) -> StorageResult<Vec<(RecordId, Vec<u8>)>> {
-        let mut out: Vec<(RecordId, Vec<u8>)> = Vec::new();
+        let mut batch = RecordBatch::new();
+        self.next_batch_into(n, &mut batch)?;
+        Ok(batch.iter().map(|(rid, b)| (rid, b.to_vec())).collect())
+    }
+
+    /// Refill `out` with up to `n` records, reusing its arena. `out` is
+    /// cleared first; it stays empty when the scan is exhausted.
+    pub fn next_batch_into(&mut self, n: usize, out: &mut RecordBatch) -> StorageResult<()> {
+        out.clear();
         if self.done || n == 0 {
-            return Ok(out);
+            return Ok(());
         }
         loop {
             let page_no = match self.page {
                 Some(p) => p,
-                None => {
-                    let first = self.file.first_page(&self.pool).inspect_err(|_| {
-                        self.done = true;
-                    })?;
-                    if first == NO_PAGE {
-                        self.done = true;
-                        return Ok(out);
+                None => match self.start_page().inspect_err(|_| self.done = true)? {
+                    Some(first) => {
+                        self.page = Some(first);
+                        self.slot = 0;
+                        first
                     }
-                    self.page = Some(first);
-                    self.slot = 0;
-                    first
-                }
+                    None => {
+                        self.done = true;
+                        return Ok(());
+                    }
+                },
             };
             let page = self.pool.pin(page_no).inspect_err(|_| {
                 self.done = true;
@@ -268,14 +398,14 @@ impl HeapScan {
                     let s = self.slot;
                     self.slot += 1;
                     if p.is_live(s) {
-                        let data = p.read(page_no, s).expect("live slot readable").to_vec();
-                        out.push((
+                        let data = p.read(page_no, s).expect("live slot readable");
+                        out.push(
                             RecordId {
                                 page: page_no,
                                 slot: s,
                             },
                             data,
-                        ));
+                        );
                     }
                 }
                 if self.slot < slots {
@@ -285,18 +415,20 @@ impl HeapScan {
                 }
             });
             match next {
-                None => return Ok(out),
-                Some(NO_PAGE) => {
-                    self.done = true;
-                    return Ok(out);
-                }
-                Some(next_page) => {
-                    self.page = Some(next_page);
-                    self.slot = 0;
-                    if out.len() == n {
-                        return Ok(out);
+                None => return Ok(()),
+                Some(chain_next) => match self.follow(chain_next) {
+                    None => {
+                        self.done = true;
+                        return Ok(());
                     }
-                }
+                    Some(next_page) => {
+                        self.page = Some(next_page);
+                        self.slot = 0;
+                        if out.len() == n {
+                            return Ok(());
+                        }
+                    }
+                },
             }
         }
     }
@@ -313,17 +445,17 @@ impl Iterator for HeapScan {
             let page_no = match self.page {
                 Some(p) => p,
                 None => {
-                    let first = match self.file.first_page(&self.pool) {
-                        Ok(p) => p,
+                    let first = match self.start_page() {
+                        Ok(Some(p)) => p,
+                        Ok(None) => {
+                            self.done = true;
+                            return None;
+                        }
                         Err(e) => {
                             self.done = true;
                             return Some(Err(e));
                         }
                     };
-                    if first == NO_PAGE {
-                        self.done = true;
-                        return None;
-                    }
                     self.page = Some(first);
                     self.slot = 0;
                     first
@@ -358,14 +490,18 @@ impl Iterator for HeapScan {
             if let Some(hit) = found {
                 return Some(Ok(hit));
             }
-            // Advance to the next page in the chain.
-            let next = page.with_read(|buf| PageView::new(buf).next());
-            if next == NO_PAGE {
-                self.done = true;
-                return None;
+            // Advance to the next page in the chain (or explicit run).
+            let chain_next = page.with_read(|buf| PageView::new(buf).next());
+            match self.follow(chain_next) {
+                None => {
+                    self.done = true;
+                    return None;
+                }
+                Some(next) => {
+                    self.page = Some(next);
+                    self.slot = 0;
+                }
             }
-            self.page = Some(next);
-            self.slot = 0;
         }
     }
 }
@@ -471,6 +607,93 @@ mod tests {
         let pool = pool();
         let f = HeapFile::open(HeapFile::create(&pool).unwrap());
         assert!(f.scan(pool.clone()).next_batch(16).unwrap().is_empty());
+    }
+
+    /// Concatenated partition output for a given `k`.
+    fn partition_union(f: &HeapFile, pool: &Arc<BufferPool>, k: usize) -> Vec<(RecordId, Vec<u8>)> {
+        let mut got = Vec::new();
+        for mut part in f.partitions(pool, k).unwrap() {
+            loop {
+                let b = part.next_batch(17).unwrap();
+                if b.is_empty() {
+                    break;
+                }
+                got.extend(b);
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn partitions_cover_file_in_order() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        let rids: Vec<_> = (0..120u8)
+            .map(|i| f.insert(&pool, &vec![i; 600]).unwrap())
+            .collect();
+        f.delete(&pool, rids[10]).unwrap();
+        f.delete(&pool, rids[77]).unwrap();
+        let want: Vec<_> = f.scan(pool.clone()).map(|r| r.unwrap()).collect();
+        let n_pages: std::collections::HashSet<u64> = want.iter().map(|(r, _)| r.page).collect();
+        assert!(n_pages.len() >= 4, "fixture must span several pages");
+        for k in [1usize, 2, 3, n_pages.len(), n_pages.len() + 50] {
+            let parts = f.partitions(&pool, k).unwrap();
+            assert!(!parts.is_empty() && parts.len() <= k);
+            assert_eq!(partition_union(&f, &pool, k), want, "k={k}");
+        }
+    }
+
+    #[test]
+    fn partitions_k1_equals_full_scan() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        for i in 0..40u8 {
+            f.insert(&pool, &vec![i; 500]).unwrap();
+        }
+        let parts = f.partitions(&pool, 1).unwrap();
+        assert_eq!(parts.len(), 1);
+        let want: Vec<_> = f.scan(pool.clone()).map(|r| r.unwrap()).collect();
+        assert_eq!(partition_union(&f, &pool, 1), want);
+    }
+
+    #[test]
+    fn partitions_single_page_file() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        f.insert(&pool, b"only").unwrap();
+        let parts = f.partitions(&pool, 8).unwrap();
+        assert_eq!(parts.len(), 1, "one page cannot split further");
+        assert_eq!(partition_union(&f, &pool, 8).len(), 1);
+    }
+
+    #[test]
+    fn partitions_empty_file() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        assert!(f.partitions(&pool, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_into_reuses_arena() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        for i in 0..30u8 {
+            f.insert(&pool, &[i; 64]).unwrap();
+        }
+        let mut scan = f.scan(pool.clone());
+        let mut batch = RecordBatch::new();
+        let mut seen = 0usize;
+        loop {
+            scan.next_batch_into(7, &mut batch).unwrap();
+            if batch.is_empty() {
+                break;
+            }
+            for (_, bytes) in batch.iter() {
+                assert_eq!(bytes, vec![seen as u8; 64]);
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, 30);
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod object;
 pub mod page;
 pub mod volume;
 
+pub use buffer::BufferStats;
 pub use error::{StorageError, StorageResult};
 pub use heap::{FileId, RecordId};
 pub use object::Oid;
