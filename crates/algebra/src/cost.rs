@@ -142,6 +142,34 @@ pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
     }
 }
 
+/// Pre-order `(label, estimated rows)` annotations for every node of a
+/// physical plan, in the same order the executor's profiler indexes its
+/// compiled tree: node first, then children — `NestedLoop` outer before
+/// inner, `UniversalFilter` descending only into its input (the
+/// universal bindings have no cursor of their own). Used to pair
+/// estimated-vs-actual rows in `EXPLAIN ANALYZE` output.
+pub fn annotate_preorder(plan: &Physical, catalog: &dyn CatalogLookup) -> Vec<(String, f64)> {
+    fn walk(node: &Physical, catalog: &dyn CatalogLookup, out: &mut Vec<(String, f64)>) {
+        out.push((node.label(), cardinality(node, catalog)));
+        match node {
+            Physical::Unit | Physical::SeqScan { .. } | Physical::IndexScan { .. } => {}
+            Physical::NestedLoop { outer, inner } => {
+                walk(outer, catalog, out);
+                walk(inner, catalog, out);
+            }
+            Physical::Unnest { input, .. }
+            | Physical::Filter { input, .. }
+            | Physical::UniversalFilter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. }
+            | Physical::Parallel { input, .. } => walk(input, catalog, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, catalog, &mut out);
+    out
+}
+
 /// Estimated cost (abstract units ≈ member visits). Each operator pays
 /// its per-row work plus [`batch_overhead`] for the batches it emits.
 pub fn cost(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {

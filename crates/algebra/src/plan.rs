@@ -207,55 +207,55 @@ impl fmt::Display for Logical {
 }
 
 impl Physical {
-    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
-        indent(f, depth)?;
+    /// One-line operator label, shared by [`fmt::Display`] and the
+    /// profiler's annotated plan tree.
+    pub fn label(&self) -> String {
         match self {
-            Physical::Unit => writeln!(f, "Unit"),
+            Physical::Unit => "Unit".into(),
             Physical::SeqScan { binding } => {
-                writeln!(f, "SeqScan {} over {}", binding.var, range_source(binding))
+                format!("SeqScan {} over {}", binding.var, range_source(binding))
             }
-            Physical::IndexScan { binding, index, .. } => writeln!(
-                f,
+            Physical::IndexScan { binding, index, .. } => format!(
                 "IndexScan {} over {} using {}",
                 binding.var,
                 range_source(binding),
                 index.name
             ),
-            Physical::Unnest { input, binding } => {
-                writeln!(f, "Unnest {} over {}", binding.var, range_source(binding))?;
-                input.fmt_at(f, depth + 1)
+            Physical::Unnest { binding, .. } => {
+                format!("Unnest {} over {}", binding.var, range_source(binding))
             }
+            Physical::NestedLoop { .. } => "NestedLoop".into(),
+            Physical::Filter { pred, .. } => format!("Filter {pred}"),
+            Physical::UniversalFilter { bindings, pred, .. } => {
+                let vars: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
+                format!("UniversalFilter forall {} : {pred}", vars.join(", "))
+            }
+            Physical::Project { targets, .. } => {
+                let cols: Vec<String> = targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
+                format!("Project [{}]", cols.join(", "))
+            }
+            Physical::Sort { key, asc, .. } => {
+                format!("Sort by {key} {}", if *asc { "asc" } else { "desc" })
+            }
+            Physical::Parallel { dop, .. } => format!("Parallel dop={dop}"),
+        }
+    }
+
+    fn fmt_at(&self, f: &mut fmt::Formatter<'_>, depth: usize) -> fmt::Result {
+        indent(f, depth)?;
+        writeln!(f, "{}", self.label())?;
+        match self {
+            Physical::Unit | Physical::SeqScan { .. } | Physical::IndexScan { .. } => Ok(()),
             Physical::NestedLoop { outer, inner } => {
-                writeln!(f, "NestedLoop")?;
                 outer.fmt_at(f, depth + 1)?;
                 inner.fmt_at(f, depth + 1)
             }
-            Physical::Filter { input, pred } => {
-                writeln!(f, "Filter {pred}")?;
-                input.fmt_at(f, depth + 1)
-            }
-            Physical::UniversalFilter {
-                input,
-                bindings,
-                pred,
-            } => {
-                let vars: Vec<&str> = bindings.iter().map(|b| b.var.as_str()).collect();
-                writeln!(f, "UniversalFilter forall {} : {pred}", vars.join(", "))?;
-                input.fmt_at(f, depth + 1)
-            }
-            Physical::Project { input, targets } => {
-                let cols: Vec<String> = targets.iter().map(|(n, e)| format!("{n} = {e}")).collect();
-                writeln!(f, "Project [{}]", cols.join(", "))?;
-                input.fmt_at(f, depth + 1)
-            }
-            Physical::Sort { input, key, asc } => {
-                writeln!(f, "Sort by {key} {}", if *asc { "asc" } else { "desc" })?;
-                input.fmt_at(f, depth + 1)
-            }
-            Physical::Parallel { input, dop } => {
-                writeln!(f, "Parallel dop={dop}")?;
-                input.fmt_at(f, depth + 1)
-            }
+            Physical::Unnest { input, .. }
+            | Physical::Filter { input, .. }
+            | Physical::UniversalFilter { input, .. }
+            | Physical::Project { input, .. }
+            | Physical::Sort { input, .. }
+            | Physical::Parallel { input, .. } => input.fmt_at(f, depth + 1),
         }
     }
 

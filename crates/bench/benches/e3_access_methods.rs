@@ -4,20 +4,33 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use excess_algebra::PlannerConfig;
-use exodus_bench::{university, DeptMode};
+use exodus_bench::{university_with, DeptMode, University};
+
+/// Build the 20k-employee fixture with the planner fixed at construction
+/// time (the load is deterministic, so both fixtures hold the same data).
+fn fixture(cfg: PlannerConfig) -> University {
+    let u = university_with(20, 20_000, 0, DeptMode::Ref, 16384, |b| b.planner(cfg));
+    u.db.run(
+        "define index emp_salary on Employees (salary); \
+           define index emp_hired on Employees (hired)",
+    )
+    .unwrap();
+    u
+}
 
 fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("e3_access_methods");
     g.sample_size(10);
-    let n = 20_000usize;
-    let u = university(20, n, 0, DeptMode::Ref, 16384);
-    let mut s = u.db.session();
-    s.run(
-        "define index emp_salary on Employees (salary); \
-           define index emp_hired on Employees (hired); \
-           range of E is Employees",
-    )
-    .unwrap();
+    let configs = [
+        (
+            "seqscan",
+            fixture(PlannerConfig {
+                use_indexes: false,
+                ..Default::default()
+            }),
+        ),
+        ("index", fixture(PlannerConfig::default())),
+    ];
     // Salary is uniform in [20k, 100k): thresholds select ~0.1%, ~10%, ~50%.
     for (label, lo) in [
         ("sel0.1%", 99_920.0),
@@ -25,18 +38,10 @@ fn bench(c: &mut Criterion) {
         ("sel50%", 60_000.0),
     ] {
         let q = format!("retrieve (E.name) where E.salary >= {lo}");
-        for (cfg_label, cfg) in [
-            (
-                "seqscan",
-                PlannerConfig {
-                    use_indexes: false,
-                    ..Default::default()
-                },
-            ),
-            ("index", PlannerConfig::default()),
-        ] {
-            u.db.set_planner(cfg);
-            g.bench_function(BenchmarkId::new(cfg_label, label), |b| {
+        for (cfg_label, u) in &configs {
+            let mut s = u.db.session();
+            s.run("range of E is Employees").unwrap();
+            g.bench_function(BenchmarkId::new(*cfg_label, label), |b| {
                 b.iter(|| {
                     let r = s.query(&q).unwrap();
                     criterion::black_box(r);
@@ -45,19 +50,10 @@ fn bench(c: &mut Criterion) {
         }
     }
     // ADT-keyed predicate: the Date index applies because Date is ordered.
-    u.db.set_planner(PlannerConfig::default());
-    for (cfg_label, cfg) in [
-        (
-            "seqscan",
-            PlannerConfig {
-                use_indexes: false,
-                ..Default::default()
-            },
-        ),
-        ("index", PlannerConfig::default()),
-    ] {
-        u.db.set_planner(cfg);
-        g.bench_function(BenchmarkId::new(cfg_label, "date_eq"), |b| {
+    for (cfg_label, u) in &configs {
+        let mut s = u.db.session();
+        s.run("range of E is Employees").unwrap();
+        g.bench_function(BenchmarkId::new(*cfg_label, "date_eq"), |b| {
             b.iter(|| {
                 let r = s
                     .query("retrieve (E.name) where E.hired < Date(\"1/10/1950\")")

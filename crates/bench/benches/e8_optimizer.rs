@@ -3,24 +3,29 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use excess_algebra::PlannerConfig;
-use exodus_bench::{university, DeptMode};
+use exodus_bench::{university_with, DeptMode, University};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("e8_optimizer");
-    g.sample_size(10);
-    let u = university(50, 5_000, 0, DeptMode::Ref, 16384);
-    let mut s = u.db.session();
-    s.run(
+/// Build the fixture with the planner fixed at construction time; the
+/// deterministic load means every ablation sees identical data.
+fn fixture(cfg: PlannerConfig) -> University {
+    let u = university_with(50, 5_000, 0, DeptMode::Ref, 16384, |b| b.planner(cfg));
+    u.db.run(
         "define index emp_salary on Employees (salary); \
            create { own ref Department } Watch",
     )
     .unwrap();
-    s.run(
+    u.db.run(
         "range of D is Departments; \
            append to Watch (dname = D.dname, floor = D.floor, budget = D.budget) \
            where D.floor >= 9",
     )
     .unwrap();
+    u
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e8_optimizer");
+    g.sample_size(10);
     // Selective salary predicate + join against the small Watch set.
     let q = "retrieve (E.name, W.dname) \
              from E in Employees, W in Watch \
@@ -38,7 +43,8 @@ fn bench(c: &mut Criterion) {
         ("full", PlannerConfig::default()),
     ];
     for (label, cfg) in configs {
-        u.db.set_planner(cfg);
+        let u = fixture(cfg);
+        let mut s = u.db.session();
         g.bench_function(BenchmarkId::new("config", label), |b| {
             b.iter(|| {
                 let r = s.query(q).unwrap();
@@ -46,7 +52,6 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
-    u.db.set_planner(PlannerConfig::default());
     g.finish();
 }
 

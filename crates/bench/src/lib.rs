@@ -57,7 +57,31 @@ pub fn university(
     dept_mode: DeptMode,
     pool_pages: usize,
 ) -> University {
-    let db = Database::with_storage(StorageManager::in_memory(pool_pages));
+    university_with(
+        n_departments,
+        n_employees,
+        kids,
+        dept_mode,
+        pool_pages,
+        |b| b,
+    )
+}
+
+/// [`university`], with extra construction-time configuration applied to
+/// the [`DatabaseBuilder`] (batch size, worker threads, planner rules,
+/// profiling). The load is deterministic, so two universities built at
+/// the same scale but different configurations hold identical data.
+pub fn university_with(
+    n_departments: usize,
+    n_employees: usize,
+    kids: usize,
+    dept_mode: DeptMode,
+    pool_pages: usize,
+    configure: impl FnOnce(exodus_db::DatabaseBuilder) -> exodus_db::DatabaseBuilder,
+) -> University {
+    let db = configure(Database::builder().storage(StorageManager::in_memory(pool_pages)))
+        .build()
+        .expect("bench database configuration is valid");
     let mut s = db.session();
     let dept_decl = match dept_mode {
         DeptMode::Own => "dept: Department",

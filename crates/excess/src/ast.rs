@@ -405,4 +405,13 @@ pub enum Stmt {
         /// The group.
         group: String,
     },
+    /// `explain [analyze] <statement>` — show the plan for the wrapped
+    /// statement; with `analyze`, execute it and report per-operator
+    /// metrics.
+    Explain {
+        /// `explain analyze` (execute and profile) vs plain `explain`.
+        analyze: bool,
+        /// The statement being explained.
+        stmt: Box<Stmt>,
+    },
 }

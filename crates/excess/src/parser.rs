@@ -216,6 +216,15 @@ impl<'a> Parser<'a> {
             }
             Tok::Kw(Kw::Grant) => self.grant_revoke(true),
             Tok::Kw(Kw::Revoke) => self.grant_revoke(false),
+            Tok::Kw(Kw::Explain) => {
+                self.bump();
+                let analyze = self.eat_kw(Kw::Analyze);
+                if matches!(self.peek(), Tok::Kw(Kw::Explain)) {
+                    return self.err("explain cannot be nested");
+                }
+                let stmt = Box::new(self.statement()?);
+                Ok(Stmt::Explain { analyze, stmt })
+            }
             other => self.err(format!("expected a statement, found {other}")),
         }
     }

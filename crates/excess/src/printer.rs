@@ -384,6 +384,13 @@ impl fmt::Display for Stmt {
             Stmt::CreateUser { name } => write!(f, "create user {name}"),
             Stmt::CreateGroup { name } => write!(f, "create group {name}"),
             Stmt::AddToGroup { user, group } => write!(f, "add user {user} to group {group}"),
+            Stmt::Explain { analyze, stmt } => {
+                write!(
+                    f,
+                    "explain {}{stmt}",
+                    if *analyze { "analyze " } else { "" }
+                )
+            }
         }
     }
 }

@@ -8,6 +8,7 @@ use std::fmt;
 pub enum Kw {
     Add,
     All,
+    Analyze,
     And,
     Append,
     As,
@@ -24,6 +25,7 @@ pub enum Kw {
     End,
     Enum,
     Execute,
+    Explain,
     False,
     For,
     From,
@@ -69,6 +71,7 @@ impl Kw {
         Some(match s {
             "add" => Kw::Add,
             "all" => Kw::All,
+            "analyze" => Kw::Analyze,
             "and" => Kw::And,
             "append" => Kw::Append,
             "as" => Kw::As,
@@ -85,6 +88,7 @@ impl Kw {
             "end" => Kw::End,
             "enum" => Kw::Enum,
             "execute" => Kw::Execute,
+            "explain" => Kw::Explain,
             "false" => Kw::False,
             "for" => Kw::For,
             "from" => Kw::From,
@@ -131,6 +135,7 @@ impl Kw {
         match self {
             Kw::Add => "add",
             Kw::All => "all",
+            Kw::Analyze => "analyze",
             Kw::And => "and",
             Kw::Append => "append",
             Kw::As => "as",
@@ -147,6 +152,7 @@ impl Kw {
             Kw::End => "end",
             Kw::Enum => "enum",
             Kw::Execute => "execute",
+            Kw::Explain => "explain",
             Kw::False => "false",
             Kw::For => "for",
             Kw::From => "from",

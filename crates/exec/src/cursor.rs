@@ -30,12 +30,20 @@ use crate::cexpr::CExpr;
 use crate::env::MemberId;
 use crate::eval::{eval, truthy, ExecCtx};
 use crate::plan::{walk_path, ExecNode, USource};
+use crate::profile::PlanIndex;
 
 impl ExecNode {
     /// Open a batch cursor over this plan, seeded with one batch of
     /// pre-bound rows (typically a single row of parameters).
     pub fn cursor(&self, seed: RowBatch) -> Cursor<'_> {
-        open(self, Cursor::Seed(Some(seed)))
+        open(self, Cursor::Seed(Some(seed)), None)
+    }
+
+    /// Like [`ExecNode::cursor`], but resolves each cursor's metric slot
+    /// against `index` so pulls are profiled (see [`crate::profile`]).
+    /// The index must have been built over this same plan tree.
+    pub fn cursor_profiled<'p>(&'p self, seed: RowBatch, index: Option<&PlanIndex>) -> Cursor<'p> {
+        open(self, Cursor::Seed(Some(seed)), index)
     }
 }
 
@@ -53,6 +61,8 @@ pub enum Cursor<'p> {
         input: Box<Cursor<'p>>,
         /// Compiled predicate.
         pred: &'p CExpr,
+        /// Metric slot when profiling.
+        slot: Option<u32>,
     },
     /// Universal-quantification filter.
     Universal {
@@ -62,6 +72,8 @@ pub enum Cursor<'p> {
         universe: &'p ExecNode,
         /// Predicate that must hold for every universal binding.
         pred: &'p CExpr,
+        /// Metric slot when profiling.
+        slot: Option<u32>,
     },
     /// Materializing sort.
     Sort {
@@ -73,6 +85,8 @@ pub enum Cursor<'p> {
         asc: bool,
         /// Sorted output, re-batched (filled on first pull).
         out: Option<IntoIter<RowBatch>>,
+        /// Metric slot when profiling.
+        slot: Option<u32>,
     },
     /// Emits pre-built batches (parallel workers replay morsel output
     /// through the rest of a pipeline with this as the substituted leaf).
@@ -81,22 +95,26 @@ pub enum Cursor<'p> {
     Parallel(ParallelCursor<'p>),
 }
 
-fn open<'p>(node: &'p ExecNode, input: Cursor<'p>) -> Cursor<'p> {
-    open_sub(node, None, input)
+fn open<'p>(node: &'p ExecNode, input: Cursor<'p>, index: Option<&PlanIndex>) -> Cursor<'p> {
+    open_sub(node, None, input, index)
 }
 
 /// Open a cursor over `node`, except that the node identical to `leaf`
 /// (by address) is replaced by `input` instead of opening normally —
 /// parallel workers use this to splice morsel batches in for the
-/// partitioned leftmost scan.
+/// partitioned leftmost scan. When `index` is given, each cursor
+/// resolves its profiling slot (nodes absent from the index — aggregate
+/// sub-plans, universe plans — simply stay unprofiled).
 pub(crate) fn open_sub<'p>(
     node: &'p ExecNode,
     leaf: Option<&'p ExecNode>,
     input: Cursor<'p>,
+    index: Option<&PlanIndex>,
 ) -> Cursor<'p> {
     if leaf.is_some_and(|l| std::ptr::eq(node, l)) {
         return input;
     }
+    let slot = index.and_then(|ix| ix.slot_of(node));
     match node {
         ExecNode::Unit => input,
         ExecNode::SeqScan { var, anchor } => Cursor::Scan(ScanCursor {
@@ -107,6 +125,7 @@ pub(crate) fn open_sub<'p>(
             in_batch: None,
             in_row: 0,
             pos: 0,
+            slot,
         }),
         ExecNode::IndexScan {
             var,
@@ -127,68 +146,109 @@ pub(crate) fn open_sub<'p>(
             in_batch: None,
             in_row: 0,
             pos: 0,
+            slot,
         }),
         ExecNode::Unnest {
             input: child,
             var,
             source,
         } => Cursor::Unnest(UnnestCursor {
-            input: Box::new(open_sub(child, leaf, input)),
+            input: Box::new(open_sub(child, leaf, input, index)),
             var,
             source,
             in_batch: None,
             in_row: 0,
             items: None,
+            slot,
         }),
         // Batch streams compose: the outer's output is the inner's input.
         ExecNode::NestedLoop { outer, inner } => {
-            open_sub(inner, leaf, open_sub(outer, leaf, input))
+            open_sub(inner, leaf, open_sub(outer, leaf, input, index), index)
         }
         ExecNode::Filter { input: child, pred } => Cursor::Filter {
-            input: Box::new(open_sub(child, leaf, input)),
+            input: Box::new(open_sub(child, leaf, input, index)),
             pred,
+            slot,
         },
         ExecNode::UniversalFilter {
             input: child,
             universe,
             pred,
         } => Cursor::Universal {
-            input: Box::new(open_sub(child, leaf, input)),
+            input: Box::new(open_sub(child, leaf, input, index)),
             universe,
             pred,
+            slot,
         },
         // A mid-tree projection only narrows the output list, which is
         // applied by the plan runner; rows pass through.
-        ExecNode::Project { input: child, .. } => open_sub(child, leaf, input),
+        ExecNode::Project { input: child, .. } => open_sub(child, leaf, input, index),
         ExecNode::Sort {
             input: child,
             key,
             asc,
         } => Cursor::Sort {
-            input: Box::new(open_sub(child, leaf, input)),
+            input: Box::new(open_sub(child, leaf, input, index)),
             key,
             asc: *asc,
             out: None,
+            slot,
         },
         ExecNode::Parallel { input: child, .. } => Cursor::Parallel(ParallelCursor {
             plan: child,
             input: Box::new(input),
             state: None,
+            slot,
         }),
     }
 }
 
 impl Cursor<'_> {
+    /// This cursor's profiling slot, if one was resolved at open time.
+    fn slot(&self) -> Option<u32> {
+        match self {
+            Cursor::Seed(_) | Cursor::Queue(_) => None,
+            Cursor::Scan(s) => s.slot,
+            Cursor::Unnest(u) => u.slot,
+            Cursor::Filter { slot, .. }
+            | Cursor::Universal { slot, .. }
+            | Cursor::Sort { slot, .. } => *slot,
+            Cursor::Parallel(p) => p.slot,
+        }
+    }
+
     /// Pull the next non-empty batch, or `None` when exhausted.
+    ///
+    /// When the context carries a profiler and this cursor has a slot,
+    /// the pull is timed (wall clock, inclusive of upstream pulls) and
+    /// the produced batch is counted — one timer sample and a few adds
+    /// per *batch*, nothing per row.
     pub fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        match (self.slot(), ctx.profiler.as_ref()) {
+            (Some(slot), Some(_)) => {
+                let t0 = std::time::Instant::now();
+                let out = self.next_inner(ctx);
+                let prof = ctx.profiler.as_ref().expect("checked above");
+                prof.record_ns(slot, t0.elapsed().as_nanos() as u64);
+                if let Ok(Some(batch)) = &out {
+                    prof.record_out(slot, batch.len());
+                }
+                out
+            }
+            _ => self.next_inner(ctx),
+        }
+    }
+
+    fn next_inner(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
         match self {
             Cursor::Seed(seed) => Ok(seed.take()),
             Cursor::Scan(scan) => scan.next(ctx),
             Cursor::Unnest(unnest) => unnest.next(ctx),
-            Cursor::Filter { input, pred } => loop {
+            Cursor::Filter { input, pred, slot } => loop {
                 let Some(batch) = input.next(ctx)? else {
                     return Ok(None);
                 };
+                ctx.prof_in(*slot, batch.len());
                 let mut sel: Vec<usize> = Vec::new();
                 for r in 0..batch.len() {
                     if truthy(&eval(pred, ctx, &batch.row(r))?)? {
@@ -207,10 +267,12 @@ impl Cursor<'_> {
                 input,
                 universe,
                 pred,
+                slot,
             } => loop {
                 let Some(batch) = input.next(ctx)? else {
                     return Ok(None);
                 };
+                ctx.prof_in(*slot, batch.len());
                 let mut sel: Vec<usize> = Vec::new();
                 for r in 0..batch.len() {
                     let seed = RowBatch::single(&batch.row(r));
@@ -241,10 +303,12 @@ impl Cursor<'_> {
                 key,
                 asc,
                 out,
+                slot,
             } => {
                 if out.is_none() {
                     let mut all = RowBatch::new();
                     while let Some(b) = input.next(ctx)? {
+                        ctx.prof_in(*slot, b.len());
                         all.append(b);
                     }
                     let mut keys: Vec<Value> = Vec::with_capacity(all.len());
@@ -290,6 +354,8 @@ pub struct ParallelCursor<'p> {
     input: Box<Cursor<'p>>,
     /// Filled on first pull.
     state: Option<ParState<'p>>,
+    /// Metric slot of the exchange node when profiling.
+    slot: Option<u32>,
 }
 
 enum ParState<'p> {
@@ -307,10 +373,17 @@ impl<'p> ParallelCursor<'p> {
             // phase runs eagerly on the first one.
             let mut seed = RowBatch::new();
             while let Some(b) = self.input.next(ctx)? {
+                ctx.prof_in(self.slot, b.len());
                 seed.append(b);
             }
             let fanned = if seed.len() == 1 {
-                crate::parallel::try_parallel(self.plan, ctx, &seed, &|_, batch| Ok(batch))?
+                crate::parallel::try_parallel_slotted(
+                    self.plan,
+                    ctx,
+                    &seed,
+                    self.slot,
+                    &|_, batch| Ok(batch),
+                )?
             } else {
                 None
             };
@@ -320,6 +393,7 @@ impl<'p> ParallelCursor<'p> {
                     self.plan,
                     None,
                     Cursor::Seed(Some(seed)),
+                    ctx.profiler.as_ref().map(|p| p.index()),
                 ))),
             });
         }
@@ -360,6 +434,8 @@ pub struct ScanCursor<'p> {
     in_row: usize,
     /// Position within `members` for the current input row.
     pos: usize,
+    /// Metric slot when profiling.
+    slot: Option<u32>,
 }
 
 impl ScanCursor<'_> {
@@ -413,6 +489,7 @@ impl ScanCursor<'_> {
                 match self.input.next(ctx)? {
                     Some(b) if b.is_empty() => continue,
                     Some(b) => {
+                        ctx.prof_in(self.slot, b.len());
                         self.in_batch = Some(b);
                         self.in_row = 0;
                         self.pos = 0;
@@ -469,6 +546,8 @@ pub struct UnnestCursor<'p> {
     /// Remaining `(original index, item)` pairs of the current row's
     /// collection (nulls — unfilled array slots — already dropped).
     items: Option<IntoIter<(usize, Value)>>,
+    /// Metric slot when profiling.
+    slot: Option<u32>,
 }
 
 impl UnnestCursor<'_> {
@@ -513,6 +592,7 @@ impl UnnestCursor<'_> {
                 match self.input.next(ctx)? {
                     Some(b) if b.is_empty() => continue,
                     Some(b) => {
+                        ctx.prof_in(self.slot, b.len());
                         self.in_batch = Some(b);
                         self.in_row = 0;
                         self.items = None;

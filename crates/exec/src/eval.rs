@@ -10,6 +10,7 @@ use extra_model::{AdtRegistry, ModelError, ModelResult, ObjectStore, TypeRegistr
 use crate::batch::{Bindings, RowBatch, DEFAULT_BATCH_SIZE};
 use crate::cexpr::{AggFunc, AggSource, CAgg, CExpr, MAX_CALL_DEPTH};
 use crate::env::{Env, MemberId};
+use crate::profile::PlanProfiler;
 
 /// Shared execution context.
 pub struct ExecCtx<'a> {
@@ -42,6 +43,9 @@ pub struct ExecCtx<'a> {
     /// value, filled by the skip-decode deref in the `Attr` evaluator.
     /// Same lifetime/staleness argument as `deref_cache`.
     attr_cache: RefCell<HashMap<(exodus_storage::Oid, usize), Value>>,
+    /// Per-operator profiler (EXPLAIN ANALYZE). `None` — the default —
+    /// keeps the batch path counter-free and untimed.
+    pub profiler: Option<PlanProfiler>,
 }
 
 /// Entry cap for [`ExecCtx::deref_cache`].
@@ -66,6 +70,7 @@ impl<'a> ExecCtx<'a> {
             agg_cache: RefCell::new(HashMap::new()),
             deref_cache: RefCell::new(HashMap::new()),
             attr_cache: RefCell::new(HashMap::new()),
+            profiler: None,
         }
     }
 
@@ -79,6 +84,23 @@ impl<'a> ExecCtx<'a> {
     pub fn with_workers(mut self, n: usize) -> Self {
         self.workers = n.max(1);
         self
+    }
+
+    /// Install a per-operator profiler; cursors opened through
+    /// [`crate::plan::ExecNode::cursor_profiled`] will bump its counters
+    /// and sample wall time per pull.
+    pub fn with_profiler(mut self, profiler: PlanProfiler) -> Self {
+        self.profiler = Some(profiler);
+        self
+    }
+
+    /// Count one batch of `rows` input rows against `slot`, when both a
+    /// slot and a profiler are present. A no-op (one branch) otherwise.
+    #[inline]
+    pub fn prof_in(&self, slot: Option<u32>, rows: usize) {
+        if let (Some(s), Some(p)) = (slot, self.profiler.as_ref()) {
+            p.record_in(s, rows);
+        }
     }
 }
 
@@ -594,31 +616,41 @@ fn eval_agg(agg: &CAgg, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Va
             let cached = agg.cacheable && ctx.agg_cache.borrow().contains_key(&agg.id);
             if !cached {
                 let mut groups: HashMap<Vec<u8>, Vec<Value>> = HashMap::new();
-                // Parallel path: aggregate `over` plans come straight from
-                // `prepare_bindings` (they bypass the planner's exchange
-                // insertion), so the morsel driver is consulted here.
-                // Workers run the per-row qual/key/arg evaluation; the
-                // deterministic merge order makes the group value lists —
-                // and thus float sums — identical to serial execution.
+                // Parallel path: aggregate `over` plans bypass the
+                // planner's exchange insertion, so the morsel driver is
+                // consulted here. Workers run the per-row qual/key/arg
+                // evaluation; the deterministic merge order makes the
+                // group value lists — and thus float sums — identical to
+                // serial execution.
                 let seed = RowBatch::single(env);
-                let parallel = crate::parallel::try_parallel(plan, ctx, &seed, &|wctx, batch| {
-                    let mut rows: Vec<(Vec<u8>, Value)> = Vec::with_capacity(batch.len());
-                    for r in 0..batch.len() {
-                        let row = batch.row(r);
-                        if let Some(q) = &agg.qual {
-                            if !truthy(&eval(q, wctx, &row)?)? {
-                                continue;
+                // The aggregate plan's root doubles as its "exchange"
+                // node in the profile: per-worker morsel stats attach
+                // there when the driver engages.
+                let agg_slot = ctx.profiler.as_ref().and_then(|p| p.index().slot_of(plan));
+                let parallel = crate::parallel::try_parallel_slotted(
+                    plan,
+                    ctx,
+                    &seed,
+                    agg_slot,
+                    &|wctx, batch| {
+                        let mut rows: Vec<(Vec<u8>, Value)> = Vec::with_capacity(batch.len());
+                        for r in 0..batch.len() {
+                            let row = batch.row(r);
+                            if let Some(q) = &agg.qual {
+                                if !truthy(&eval(q, wctx, &row)?)? {
+                                    continue;
+                                }
                             }
+                            let key = group_key(&agg.by, wctx, &row)?;
+                            let val = match &agg.arg {
+                                Some(a) => eval(a, wctx, &row)?,
+                                None => Value::Null,
+                            };
+                            rows.push((key, val));
                         }
-                        let key = group_key(&agg.by, wctx, &row)?;
-                        let val = match &agg.arg {
-                            Some(a) => eval(a, wctx, &row)?,
-                            None => Value::Null,
-                        };
-                        rows.push((key, val));
-                    }
-                    Ok(rows)
-                })?;
+                        Ok(rows)
+                    },
+                )?;
                 match parallel {
                     Some(parts) => {
                         for part in parts {
@@ -631,7 +663,8 @@ fn eval_agg(agg: &CAgg, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Va
                         // Serial path: iterate the `over` ranges
                         // batch-at-a-time, seeded with the current bindings
                         // (correlation through free outer variables).
-                        let mut cur = plan.cursor(seed);
+                        let mut cur =
+                            plan.cursor_profiled(seed, ctx.profiler.as_ref().map(|p| p.index()));
                         while let Some(batch) = cur.next(ctx)? {
                             for r in 0..batch.len() {
                                 let row = batch.row(r);

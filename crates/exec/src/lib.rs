@@ -32,6 +32,7 @@ pub mod env;
 pub mod eval;
 mod parallel;
 pub mod plan;
+pub mod profile;
 pub mod run;
 
 pub use batch::{BatchRow, Bindings, RowBatch, DEFAULT_BATCH_SIZE};
@@ -40,4 +41,7 @@ pub use cursor::Cursor;
 pub use env::{Env, MemberId};
 pub use eval::ExecCtx;
 pub use plan::{prepare, ExecNode};
-pub use run::{run_plan, QueryResult};
+pub use profile::{
+    BufferDelta, NodeAnnot, OpProfile, PlanIndex, PlanProfiler, QueryProfile, WorkerStats,
+};
+pub use run::{run_plan, FromValue, QueryResult, Row};

@@ -1,6 +1,6 @@
 //! Morsel-driven intra-query parallelism.
 //!
-//! [`try_parallel`] fans a scan→unnest→filter pipeline prefix out to a
+//! [`try_parallel_slotted`] fans a scan→unnest→filter pipeline prefix out to a
 //! pool of `std::thread::scope` workers. The leftmost storage scan is
 //! split into *morsels* — contiguous page runs from
 //! `HeapFile::partitions` / `BTree::partitions` — which sit in a shared
@@ -33,6 +33,7 @@ use crate::batch::RowBatch;
 use crate::cursor::{member_binding, open_sub, Cursor};
 use crate::eval::ExecCtx;
 use crate::plan::ExecNode;
+use crate::profile::{PlanProfiler, WorkerStats};
 
 /// Member count below which fan-out is never attempted. Mirrors the
 /// planner's cost-model gate (`excess-algebra`'s `PARALLEL_MIN_ROWS`);
@@ -151,18 +152,31 @@ fn morsel_batches(
     seed: &RowBatch,
     var: &str,
     anchor: Oid,
+    leaf_slot: Option<u32>,
 ) -> ModelResult<VecDeque<RowBatch>> {
     let cap = wctx.batch_size.max(1);
     let mut out = VecDeque::new();
+    // When profiling, the morsel drain stands in for the spliced-out scan
+    // cursor: its rows/batches/time are attributed to the scan's slot so
+    // parallel counts agree with a serial run.
+    let timer = leaf_slot
+        .filter(|_| wctx.profiler.is_some())
+        .map(|_| std::time::Instant::now());
     loop {
         let chunk = morsel.next_chunk(wctx, cap)?;
         if chunk.is_empty() {
+            if let (Some(t0), Some(slot), Some(p)) = (timer, leaf_slot, wctx.profiler.as_ref()) {
+                p.record_ns(slot, t0.elapsed().as_nanos() as u64);
+            }
             return Ok(out);
         }
         let mut batch = RowBatch::with_vars(RowBatch::extended_vars(seed, var));
         for (rid, value) in chunk {
             let (value, id) = member_binding(anchor, rid, value);
             batch.push_extended(seed, 0, var, value, id);
+        }
+        if let (Some(slot), Some(p)) = (leaf_slot, wctx.profiler.as_ref()) {
+            p.record_out(slot, batch.len());
         }
         out.push_back(batch);
     }
@@ -178,10 +192,16 @@ fn morsel_batches(
 /// Requirements checked here: at least two workers on `ctx`, a
 /// single-row `seed` (the correlation environment), a partitionable
 /// leftmost scan, and a collection clearing [`PARALLEL_MIN_ROWS`].
-pub(crate) fn try_parallel<T, F>(
+///
+/// The caller supplies `exch_slot`, the profiling slot worker morsel
+/// counts and merge-wait time attach to (see [`crate::profile`]): the
+/// exchange operator's slot when one exists, or the aggregate `over`
+/// plan's own root — such plans have no exchange node.
+pub(crate) fn try_parallel_slotted<T, F>(
     plan: &ExecNode,
     ctx: &ExecCtx<'_>,
     seed: &RowBatch,
+    exch_slot: Option<u32>,
     fold: &F,
 ) -> ModelResult<Option<Vec<T>>>
 where
@@ -213,31 +233,57 @@ where
     };
     let abort = AtomicBool::new(false);
     // Workers get plain `Sync` pieces of the context, never the context
-    // itself (its caches are single-threaded by design).
+    // itself (its caches are single-threaded by design). Profiling
+    // applies only when the session profiler's index covers this
+    // pipeline (it indexes aggregate `over` plans too, as expression
+    // children of their operator); each worker then gets a zero-counter
+    // fork whose sums are absorbed after the scope joins, so merged
+    // operator counts are deterministic and identical to a serial run.
+    let prof = ctx
+        .profiler
+        .as_ref()
+        .filter(|p| p.index().slot_of(leaf).is_some());
+    let mut worker_profs: Vec<Option<PlanProfiler>> =
+        (0..workers).map(|_| prof.map(|p| p.fork())).collect();
+    let finished: Mutex<Vec<(usize, PlanProfiler, WorkerStats)>> = Mutex::new(Vec::new());
     let (store, types, adts, catalog) = (ctx.store, ctx.types, ctx.adts, ctx.catalog);
     let batch_size = ctx.batch_size;
     let (tx, rx) = sync_channel::<(usize, usize, ModelResult<T>)>(workers * CHANNEL_SLACK);
 
     let merged = std::thread::scope(|s| {
-        for _ in 0..workers {
+        for (wid, slot) in worker_profs.iter_mut().enumerate() {
             let tx = tx.clone();
-            let (queue, abort) = (&queue, &abort);
+            let (queue, abort, finished) = (&queue, &abort, &finished);
+            let wprof = slot.take();
             s.spawn(move || {
-                let wctx = ExecCtx::new(store, types, adts, catalog).with_batch_size(batch_size);
+                let mut wctx =
+                    ExecCtx::new(store, types, adts, catalog).with_batch_size(batch_size);
+                if let Some(p) = wprof {
+                    wctx = wctx.with_profiler(p);
+                }
+                let leaf_slot = wctx.profiler.as_ref().and_then(|p| p.index().slot_of(leaf));
+                let mut stats = WorkerStats {
+                    morsels: 0,
+                    rows: 0,
+                };
                 'morsels: while let Some((midx, mut morsel)) = queue.claim() {
                     if abort.load(Ordering::Relaxed) {
                         break;
                     }
+                    stats.morsels += 1;
                     let mut seq = 0usize;
-                    let batches = match morsel_batches(&wctx, &mut morsel, seed, var, anchor) {
-                        Ok(b) => b,
-                        Err(e) => {
-                            abort.store(true, Ordering::Relaxed);
-                            let _ = tx.send((midx, seq, Err(e)));
-                            break;
-                        }
-                    };
-                    let mut cur = open_sub(plan, Some(leaf), Cursor::Queue(batches));
+                    let batches =
+                        match morsel_batches(&wctx, &mut morsel, seed, var, anchor, leaf_slot) {
+                            Ok(b) => b,
+                            Err(e) => {
+                                abort.store(true, Ordering::Relaxed);
+                                let _ = tx.send((midx, seq, Err(e)));
+                                break;
+                            }
+                        };
+                    stats.rows += batches.iter().map(|b| b.len() as u64).sum::<u64>();
+                    let index = wctx.profiler.as_ref().map(|p| p.index());
+                    let mut cur = open_sub(plan, Some(leaf), Cursor::Queue(batches), index);
                     loop {
                         match cur.next(&wctx) {
                             Ok(Some(batch)) => {
@@ -260,12 +306,16 @@ where
                         }
                     }
                 }
+                if let Some(p) = wctx.profiler.take() {
+                    finished.lock().expect("profiler bin").push((wid, p, stats));
+                }
             });
         }
         drop(tx);
         // The single-threaded tail: drain the bounded channel while the
         // workers run, then restore deterministic (morsel, sequence)
         // order. `rx` closes once every worker has dropped its sender.
+        let drain_t0 = prof.map(|_| std::time::Instant::now());
         let mut items: Vec<(usize, usize, T)> = Vec::new();
         let mut first_err: Option<ModelError> = None;
         for (midx, seq, item) in rx {
@@ -278,14 +328,37 @@ where
                 }
             }
         }
+        let merge_wait_ns = drain_t0.map_or(0, |t0| t0.elapsed().as_nanos() as u64);
         match first_err {
             Some(e) => Err(e),
             None => {
                 items.sort_by_key(|&(midx, seq, _)| (midx, seq));
-                Ok(items.into_iter().map(|(_, _, t)| t).collect::<Vec<T>>())
+                Ok((
+                    items.into_iter().map(|(_, _, t)| t).collect::<Vec<T>>(),
+                    merge_wait_ns,
+                ))
             }
         }
-    })?;
+    });
+    let (merged, merge_wait_ns) = merged?;
+    if let Some(p) = prof {
+        // Deterministic absorption order: by worker id, not completion.
+        let mut done = finished.into_inner().expect("profiler bin");
+        done.sort_by_key(|(wid, _, _)| *wid);
+        let mut stats = Vec::with_capacity(done.len());
+        for (_, wp, ws) in done {
+            p.absorb(wp);
+            stats.push(ws);
+        }
+        // The seed row "entered" the spliced-out scan, exactly as it
+        // would have entered the serial scan cursor.
+        if let Some(slot) = p.index().slot_of(leaf) {
+            p.record_in(slot, seed.len());
+        }
+        if let Some(slot) = exch_slot {
+            p.record_parallel(slot, stats, merge_wait_ns);
+        }
+    }
     Ok(Some(merged))
 }
 

@@ -7,14 +7,28 @@ use extra_model::{AdtRegistry, ModelError, ModelResult, Value};
 use crate::batch::{Bindings, RowBatch};
 use crate::eval::{eval, ExecCtx};
 use crate::plan::ExecNode;
+use crate::profile::QueryProfile;
 
 /// A query result: column names plus rows of values.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// When the originating session ran with profiling enabled, `profile`
+/// carries the per-operator [`QueryProfile`]; it is ignored by
+/// equality so profiled and unprofiled runs of the same query compare
+/// equal.
+#[derive(Debug, Clone, Default)]
 pub struct QueryResult {
     /// Output column names.
     pub columns: Vec<String>,
     /// Result rows.
     pub rows: Vec<Vec<Value>>,
+    /// Per-operator execution profile, if the run was profiled.
+    pub profile: Option<QueryProfile>,
+}
+
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl QueryResult {
@@ -28,6 +42,15 @@ impl QueryResult {
         self.rows.is_empty()
     }
 
+    /// Iterate over rows as [`Row`] views supporting typed access by
+    /// column name.
+    pub fn iter(&self) -> impl Iterator<Item = Row<'_>> {
+        self.rows.iter().map(move |values| Row {
+            columns: &self.columns,
+            values,
+        })
+    }
+
     /// Render as lines of `col = value` pairs (ADT values use their
     /// display forms).
     pub fn render(&self, adts: &AdtRegistry) -> String {
@@ -38,6 +61,99 @@ impl QueryResult {
     /// output formatter — no per-row intermediate strings.
     pub fn display<'r>(&'r self, adts: &'r AdtRegistry) -> DisplayRows<'r> {
         DisplayRows { result: self, adts }
+    }
+}
+
+/// One result row, borrowed from a [`QueryResult`].
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'r> {
+    columns: &'r [String],
+    values: &'r [Value],
+}
+
+impl<'r> Row<'r> {
+    /// The raw value of `name`, or `None` if no such column exists.
+    pub fn value(&self, name: &str) -> Option<&'r Value> {
+        let i = self.columns.iter().position(|c| c == name)?;
+        self.values.get(i)
+    }
+
+    /// The value of `name` converted to `T`, or `None` if the column
+    /// is missing or holds a different type.
+    pub fn get<T: FromValue<'r>>(&self, name: &str) -> Option<T> {
+        T::from_value(self.value(name)?)
+    }
+
+    /// Column names, in output order.
+    pub fn columns(&self) -> &'r [String] {
+        self.columns
+    }
+
+    /// Raw values, in output order.
+    pub fn values(&self) -> &'r [Value] {
+        self.values
+    }
+}
+
+/// Conversion from a borrowed [`Value`] for [`Row::get`].
+pub trait FromValue<'r>: Sized {
+    /// Convert, returning `None` on a type mismatch.
+    fn from_value(v: &'r Value) -> Option<Self>;
+}
+
+impl<'r> FromValue<'r> for i64 {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        match v {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+}
+
+impl<'r> FromValue<'r> for f64 {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        match v {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+impl<'r> FromValue<'r> for bool {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        match v {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl<'r> FromValue<'r> for &'r str {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        match v {
+            Value::Str(s) => Some(s.as_str()),
+            Value::Enum(_, s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl<'r> FromValue<'r> for String {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        <&str>::from_value(v).map(str::to_owned)
+    }
+}
+
+impl<'r> FromValue<'r> for &'r Value {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        Some(v)
+    }
+}
+
+impl<'r> FromValue<'r> for Value {
+    fn from_value(v: &'r Value) -> Option<Self> {
+        Some(v.clone())
     }
 }
 
@@ -77,9 +193,15 @@ pub fn run_plan(
         ));
     };
     let columns: Vec<String> = targets.iter().map(|(n, _)| n.clone()).collect();
+    // The Project node itself has no cursor; account for it here so the
+    // profile covers the whole tree.
+    let index = ctx.profiler.as_ref().map(|p| p.index());
+    let proj_slot = index.and_then(|ix| ix.slot_of(plan));
     let mut rows = Vec::new();
-    let mut cur = input.cursor(RowBatch::single(env));
+    let mut cur = input.cursor_profiled(RowBatch::single(env), index);
+    let t0 = proj_slot.map(|_| std::time::Instant::now());
     while let Some(batch) = cur.next(ctx)? {
+        ctx.prof_in(proj_slot, batch.len());
         for r in 0..batch.len() {
             let row = batch.row(r);
             let out: Vec<Value> = targets
@@ -89,5 +211,13 @@ pub fn run_plan(
             rows.push(out);
         }
     }
-    Ok(QueryResult { columns, rows })
+    if let (Some(slot), Some(t0), Some(p)) = (proj_slot, t0, ctx.profiler.as_ref()) {
+        p.record_ns(slot, t0.elapsed().as_nanos() as u64);
+        p.record_out(slot, rows.len());
+    }
+    Ok(QueryResult {
+        columns,
+        rows,
+        profile: None,
+    })
 }

@@ -15,7 +15,14 @@ use exodus_db::{Database, Value};
 const SIZES: &[usize] = &[1, 7, excess_exec::DEFAULT_BATCH_SIZE];
 
 fn db_with_rows(n: i64) -> Arc<Database> {
-    let db = Database::in_memory();
+    db_with_rows_at(n, excess_exec::DEFAULT_BATCH_SIZE)
+}
+
+/// Build the `n`-row fixture with the batch size fixed at construction
+/// time via [`Database::builder`]. The data is deterministic, so two
+/// fixtures at different batch sizes hold identical contents.
+fn db_with_rows_at(n: i64, batch_size: usize) -> Arc<Database> {
+    let db = Database::builder().batch_size(batch_size).build().unwrap();
     let mut s = db.session();
     s.run(
         r#"
@@ -34,35 +41,33 @@ fn db_with_rows(n: i64) -> Arc<Database> {
     db
 }
 
-/// Run `q` at every batch size and assert all results are identical,
-/// returning the common result.
-fn same_at_all_sizes(db: &Arc<Database>, q: &str) -> exodus_db::QueryResult {
-    let mut s = db.session();
-    db.set_batch_size(SIZES[0]);
-    let first = s.query(q).unwrap();
+/// Run `q` against an `n_rows` fixture at every batch size and assert
+/// all results are identical, returning the common result.
+fn same_at_all_sizes(n_rows: i64, q: &str) -> exodus_db::QueryResult {
+    let first = {
+        let db = db_with_rows_at(n_rows, SIZES[0]);
+        db.session().query(q).unwrap()
+    };
     for &n in &SIZES[1..] {
-        db.set_batch_size(n);
-        let r = s.query(q).unwrap();
+        let db = db_with_rows_at(n_rows, n);
+        let r = db.session().query(q).unwrap();
         assert_eq!(first, r, "batch size {n} diverged on {q}");
     }
-    db.set_batch_size(excess_exec::DEFAULT_BATCH_SIZE);
     first
 }
 
 #[test]
 fn empty_collection() {
-    let db = db_with_rows(0);
-    let r = same_at_all_sizes(&db, "retrieve (R.k) from R in Rows");
+    let r = same_at_all_sizes(0, "retrieve (R.k) from R in Rows");
     assert!(r.is_empty());
-    let r = same_at_all_sizes(&db, "retrieve (count(R over R)) from R in Rows");
+    let r = same_at_all_sizes(0, "retrieve (count(R over R)) from R in Rows");
     assert_eq!(r.rows[0][0], Value::Int(0));
 }
 
 #[test]
 fn exactly_batch_size() {
     // 7 rows at batch size 7: one full batch, then exhaustion.
-    let db = db_with_rows(7);
-    let r = same_at_all_sizes(&db, "retrieve (R.k) from R in Rows");
+    let r = same_at_all_sizes(7, "retrieve (R.k) from R in Rows");
     assert_eq!(r.len(), 7);
     assert_eq!(r.rows[6][0], Value::Int(6));
 }
@@ -70,8 +75,7 @@ fn exactly_batch_size() {
 #[test]
 fn batch_size_plus_one() {
     // 8 rows at batch size 7: a full batch plus a one-row straggler.
-    let db = db_with_rows(8);
-    let r = same_at_all_sizes(&db, "retrieve (R.k) from R in Rows order by R.k");
+    let r = same_at_all_sizes(8, "retrieve (R.k) from R in Rows order by R.k");
     assert_eq!(r.len(), 8);
     assert_eq!(r.rows[7][0], Value::Int(7));
 }
@@ -80,8 +84,7 @@ fn batch_size_plus_one() {
 fn default_batch_size_boundaries() {
     let n = excess_exec::DEFAULT_BATCH_SIZE as i64;
     for count in [n, n + 1] {
-        let db = db_with_rows(count);
-        let r = same_at_all_sizes(&db, "retrieve (count(R over R)) from R in Rows");
+        let r = same_at_all_sizes(count, "retrieve (count(R over R)) from R in Rows");
         assert_eq!(r.rows[0][0], Value::Int(count));
     }
 }
@@ -91,9 +94,8 @@ fn predicate_selects_only_last_row_of_batch() {
     // With batch size 7 the row k = 6 is the last row of the first batch
     // and k = 13 the last of the second; the filter's selection vector
     // must keep exactly those.
-    let db = db_with_rows(14);
     let r = same_at_all_sizes(
-        &db,
+        14,
         "retrieve (R.k) from R in Rows where R.k = 6 or R.k = 13",
     );
     assert_eq!(r.len(), 2);
@@ -107,15 +109,30 @@ fn predicate_selects_only_last_row_of_batch() {
 
 #[test]
 fn joins_and_sorts_survive_rebatching() {
-    let db = db_with_rows(9);
     // Cross product spans batch boundaries in both inputs; sort
     // materializes everything and re-chunks its output.
     let r = same_at_all_sizes(
-        &db,
+        9,
         "retrieve (A.k, B.k) from A in Rows, B in Rows where A.k = B.k order by A.k",
     );
     assert_eq!(r.len(), 9);
     assert_eq!(r.rows[8], vec![Value::Int(8), Value::Int(8)]);
+}
+
+/// The deprecated runtime setter must keep working (as a shim over the
+/// builder-configured default) until it is removed.
+#[test]
+#[allow(deprecated)]
+fn deprecated_set_batch_size_shim_still_works() {
+    let db = db_with_rows(8);
+    db.set_batch_size(3);
+    assert_eq!(db.batch_size(), 3);
+    let r = db
+        .session()
+        .query("retrieve (R.k) from R in Rows order by R.k")
+        .unwrap();
+    assert_eq!(r.len(), 8);
+    assert_eq!(r.rows[7][0], Value::Int(7));
 }
 
 #[test]
@@ -123,8 +140,7 @@ fn updates_identical_across_batch_sizes() {
     // Set-oriented replace must touch the same members no matter how the
     // satisfying bindings were batched.
     for &n in SIZES {
-        let db = db_with_rows(10);
-        db.set_batch_size(n);
+        let db = db_with_rows_at(10, n);
         let mut s = db.session();
         s.run("range of R is Rows; replace R (v = 99.0) where R.k >= 6")
             .unwrap();

@@ -1,11 +1,12 @@
 //! The `Database` facade and `Session`s.
 
+use std::fmt;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
 
 use excess_algebra::PlannerConfig;
-use excess_exec::QueryResult;
+use excess_exec::{QueryProfile, QueryResult};
 use excess_lang::ops::OpAssoc;
 use excess_lang::{parse_program, AttrDecl, InheritClause, OperatorTable, Param, Privilege, Stmt};
 use excess_sema::lower::lower_qual;
@@ -28,6 +29,8 @@ pub enum Response {
     Done(String),
     /// Query rows.
     Rows(QueryResult),
+    /// An `explain [analyze]` report.
+    Explained(Explanation),
 }
 
 impl Response {
@@ -35,7 +38,36 @@ impl Response {
     pub fn rows(self) -> Option<QueryResult> {
         match self {
             Response::Rows(r) => Some(r),
-            Response::Done(_) => None,
+            Response::Done(_) | Response::Explained(_) => None,
+        }
+    }
+
+    /// The explanation, if this was an `explain`.
+    pub fn explanation(self) -> Option<Explanation> {
+        match self {
+            Response::Explained(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// A structured `EXPLAIN` report: the optimizer's physical plan, plus —
+/// for `EXPLAIN ANALYZE` — the observed per-operator execution profile.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The physical plan, rendered as an indented operator tree.
+    pub plan: String,
+    /// Per-operator metrics (`EXPLAIN ANALYZE` only).
+    pub profile: Option<QueryProfile>,
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // The profile renders the same tree annotated with actuals, so
+        // show it alone when present; the bare plan otherwise.
+        match &self.profile {
+            Some(p) => write!(f, "{p}"),
+            None => f.write_str(self.plan.trim_end()),
         }
     }
 }
@@ -48,9 +80,100 @@ pub struct Database {
     pub(crate) planner: RwLock<PlannerConfig>,
     pub(crate) batch_size: std::sync::atomic::AtomicUsize,
     pub(crate) worker_threads: std::sync::atomic::AtomicUsize,
+    pub(crate) profiling: std::sync::atomic::AtomicBool,
+}
+
+/// Configuration for a [`Database`], applied atomically at
+/// [`DatabaseBuilder::build`]. Replaces the deprecated mutable setter
+/// trio (`set_batch_size` / `set_worker_threads` / `set_planner`).
+#[derive(Default)]
+pub struct DatabaseBuilder {
+    storage: Option<StorageManager>,
+    batch_size: Option<usize>,
+    worker_threads: Option<usize>,
+    planner: Option<PlannerConfig>,
+    profiling: bool,
+}
+
+impl DatabaseBuilder {
+    /// Storage manager to build over (file-backed, or an in-memory pool
+    /// of a specific size). Defaults to an in-memory 4096-page pool.
+    pub fn storage(mut self, sm: StorageManager) -> Self {
+        self.storage = Some(sm);
+        self
+    }
+
+    /// Rows per execution batch. `1` degenerates to row-at-a-time
+    /// iteration (useful for comparisons); the default is
+    /// [`excess_exec::DEFAULT_BATCH_SIZE`]. Clamped to at least 1.
+    pub fn batch_size(mut self, n: usize) -> Self {
+        self.batch_size = Some(n);
+        self
+    }
+
+    /// Worker threads available to each query — its degree of
+    /// parallelism. **DOP-1 determinism:** at the default of `1` every
+    /// query runs entirely on the calling thread, so execution order
+    /// (and thus any timing or buffer-pool counters) is fully
+    /// deterministic; at higher values results are still merged in
+    /// deterministic scan order, but thread scheduling varies. `0` is
+    /// rejected by [`DatabaseBuilder::build`] — it is not a degree of
+    /// parallelism (the old setter silently treated it as 1).
+    pub fn worker_threads(mut self, n: usize) -> Self {
+        self.worker_threads = Some(n);
+        self
+    }
+
+    /// Planner configuration (experiment E8 ablations).
+    pub fn planner(mut self, config: PlannerConfig) -> Self {
+        self.planner = Some(config);
+        self
+    }
+
+    /// Profile every statement: per-operator metrics are attached to
+    /// each [`QueryResult`] (`result.profile`). Off by default — the
+    /// disabled path costs one pointer check per batch pull.
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Build the database.
+    pub fn build(self) -> DbResult<Arc<Database>> {
+        if self.worker_threads == Some(0) {
+            return Err(DbError::Catalog(
+                "worker_threads must be at least 1 (1 = run queries on the calling \
+                 thread, deterministically)"
+                    .into(),
+            ));
+        }
+        let sm = self
+            .storage
+            .unwrap_or_else(|| StorageManager::in_memory(4096));
+        let db = Database::with_storage(sm);
+        if let Some(config) = self.planner {
+            *db.planner.write() = config;
+        }
+        if let Some(n) = self.batch_size {
+            db.batch_size
+                .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+        }
+        if let Some(n) = self.worker_threads {
+            db.worker_threads
+                .store(n, std::sync::atomic::Ordering::Relaxed);
+        }
+        db.profiling
+            .store(self.profiling, std::sync::atomic::Ordering::Relaxed);
+        Ok(db)
+    }
 }
 
 impl Database {
+    /// Configure a new database.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder::default()
+    }
+
     /// An in-memory database with the built-in ADTs registered.
     pub fn in_memory() -> Arc<Database> {
         Self::with_storage(StorageManager::in_memory(4096))
@@ -70,6 +193,7 @@ impl Database {
             planner: RwLock::new(PlannerConfig::default()),
             batch_size: std::sync::atomic::AtomicUsize::new(excess_exec::DEFAULT_BATCH_SIZE),
             worker_threads: std::sync::atomic::AtomicUsize::new(1),
+            profiling: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -120,6 +244,10 @@ impl Database {
     }
 
     /// Set the planner configuration (experiment E8 ablations).
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure via Database::builder().planner(..)"
+    )]
     pub fn set_planner(&self, config: PlannerConfig) {
         *self.planner.write() = config;
     }
@@ -132,6 +260,10 @@ impl Database {
     }
 
     /// Set the rows-per-batch knob used by query and update execution.
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure via Database::builder().batch_size(..)"
+    )]
     pub fn set_batch_size(&self, n: usize) {
         self.batch_size
             .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
@@ -146,10 +278,21 @@ impl Database {
     /// Set the per-query worker-thread count. `1` (the default) runs
     /// everything on the calling thread; higher values let large scans
     /// fan out to morsel-driven workers. Small collections stay serial
-    /// regardless (see the planner's parallelism threshold).
+    /// regardless (see the planner's parallelism threshold). `0` is
+    /// silently treated as `1`; the builder rejects it instead.
+    #[deprecated(
+        since = "0.2.0",
+        note = "configure via Database::builder().worker_threads(..)"
+    )]
     pub fn set_worker_threads(&self, n: usize) {
         self.worker_threads
             .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether every statement is profiled (set via
+    /// [`DatabaseBuilder::profiling`]).
+    pub fn profiling(&self) -> bool {
+        self.profiling.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Buffer-pool observability counters (hits, misses, evictions,
@@ -243,8 +386,21 @@ impl Session {
         }
     }
 
-    /// Render a query's physical plan (EXPLAIN).
-    pub fn explain(&mut self, src: &str) -> DbResult<String> {
+    /// Explain a statement's physical plan without executing it
+    /// (EXPLAIN). The source may also carry an explicit
+    /// `explain [analyze]` prefix, which takes precedence.
+    pub fn explain(&mut self, src: &str) -> DbResult<Explanation> {
+        self.explain_inner(src, false)
+    }
+
+    /// Execute a statement with per-operator profiling and return the
+    /// plan annotated with observed metrics (EXPLAIN ANALYZE). Update
+    /// statements are applied — exactly once.
+    pub fn explain_analyze(&mut self, src: &str) -> DbResult<Explanation> {
+        self.explain_inner(src, true)
+    }
+
+    fn explain_inner(&mut self, src: &str, analyze: bool) -> DbResult<Explanation> {
         let stmts = {
             let ops = self.db.ops.read();
             parse_program(src, &ops)?
@@ -253,26 +409,17 @@ impl Session {
             .into_iter()
             .next_back()
             .ok_or_else(|| DbError::Catalog("nothing to explain".into()))?;
-        let cat = self.db.catalog.read();
-        let view = CatalogView {
-            cat: &cat,
-            store: &self.db.store,
+        let (analyze, inner) = match stmt {
+            Stmt::Explain { analyze: a, stmt } => (analyze || a, *stmt),
+            other => (analyze, other),
         };
-        let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
-        let resolver = Resolver::new(&ctx, &self.ranges);
-        let checked = resolver.check_retrieve(&stmt)?;
-        let plan = excess_algebra::plan_retrieve_dop(
-            &stmt,
-            &checked,
-            &ctx,
-            *self.db.planner.read(),
-            self.db.worker_threads(),
-        )?;
-        let stats = self.db.storage_stats();
-        Ok(format!(
-            "{plan}-- buffer pool: hits={} misses={} evictions={} writebacks={}\n",
-            stats.hits, stats.misses, stats.evictions, stats.writebacks
-        ))
+        match self.execute(&Stmt::Explain {
+            analyze,
+            stmt: Box::new(inner),
+        })? {
+            Response::Explained(e) => Ok(e),
+            _ => Err(DbError::Catalog("statement produced no explanation".into())),
+        }
     }
 
     /// Execute a single parsed statement. Plain retrieves run under a
@@ -289,6 +436,7 @@ impl Session {
                 &self.user,
                 stmt,
                 &Params::default(),
+                db.profiling(),
             )
             .map(Response::Rows);
         }
@@ -364,15 +512,21 @@ pub(crate) fn exec_statement(
             Ok(Response::Done(format!("range of {var} declared")))
         }
         Stmt::Retrieve { into: None, .. } => {
-            dml::retrieve(db, cat, ranges, user, stmt, params).map(Response::Rows)
+            dml::retrieve(db, cat, ranges, user, stmt, params, db.profiling()).map(Response::Rows)
         }
         Stmt::Retrieve { into: Some(_), .. } => {
-            dml::retrieve_into(db, cat, ranges, user, stmt, params).map(Response::Rows)
+            dml::retrieve_into(db, cat, ranges, user, stmt, params, db.profiling())
+                .map(Response::Rows)
         }
-        Stmt::Append { .. } => dml::append(db, cat, ranges, user, stmt, params),
-        Stmt::Delete { .. } => dml::delete(db, cat, ranges, user, stmt, params),
-        Stmt::Replace { .. } => dml::replace(db, cat, ranges, user, stmt, params),
-        Stmt::Execute { .. } => dml::execute_procedure(db, cat, ranges, user, stmt, params, depth),
+        Stmt::Append { .. } => dml::append(db, cat, ranges, user, stmt, params, None),
+        Stmt::Delete { .. } => dml::delete(db, cat, ranges, user, stmt, params, None),
+        Stmt::Replace { .. } => dml::replace(db, cat, ranges, user, stmt, params, None),
+        Stmt::Execute { .. } => {
+            dml::execute_procedure(db, cat, ranges, user, stmt, params, depth, None)
+        }
+        Stmt::Explain { analyze, stmt } => {
+            explain_stmt(db, cat, ranges, user, stmt, params, depth, *analyze)
+        }
         Stmt::Grant {
             privileges,
             object,
@@ -423,6 +577,81 @@ pub(crate) fn exec_statement(
             Ok(Response::Done(format!("{u} added to {group}")))
         }
     }
+}
+
+/// `explain [analyze] <stmt>`: render the physical plan; under
+/// `analyze`, also execute the statement — exactly once — with
+/// per-operator profiling. Plan-only explain of an update statement
+/// mutates nothing (the bindings query is planned but never run).
+#[allow(clippy::too_many_arguments)]
+fn explain_stmt(
+    db: &Database,
+    cat: &mut Catalog,
+    ranges: &mut RangeEnv,
+    user: &str,
+    inner: &Stmt,
+    params: &Params,
+    depth: u32,
+    analyze: bool,
+) -> DbResult<Response> {
+    let explanation = match inner {
+        Stmt::Retrieve { into, .. } => {
+            let plan = dml::explain_plan(db, cat, ranges, user, inner, params)?;
+            let profile = if analyze {
+                let result = if into.is_some() {
+                    dml::retrieve_into(db, cat, ranges, user, inner, params, true)?
+                } else {
+                    dml::retrieve(db, cat, ranges, user, inner, params, true)?
+                };
+                result.profile
+            } else {
+                None
+            };
+            Explanation { plan, profile }
+        }
+        Stmt::Append { .. } | Stmt::Delete { .. } | Stmt::Replace { .. } | Stmt::Execute { .. } => {
+            let mut sink = dml::ExplainSink {
+                analyze,
+                ..Default::default()
+            };
+            match inner {
+                Stmt::Append { .. } => {
+                    dml::append(db, cat, ranges, user, inner, params, Some(&mut sink))?;
+                }
+                Stmt::Delete { .. } => {
+                    dml::delete(db, cat, ranges, user, inner, params, Some(&mut sink))?;
+                }
+                Stmt::Replace { .. } => {
+                    dml::replace(db, cat, ranges, user, inner, params, Some(&mut sink))?;
+                }
+                Stmt::Execute { .. } => {
+                    dml::execute_procedure(
+                        db,
+                        cat,
+                        ranges,
+                        user,
+                        inner,
+                        params,
+                        depth,
+                        Some(&mut sink),
+                    )?;
+                }
+                _ => unreachable!("matched above"),
+            }
+            Explanation {
+                plan: sink
+                    .plan
+                    .ok_or_else(|| DbError::Catalog("statement produced no plan".into()))?,
+                profile: sink.profile,
+            }
+        }
+        _ => {
+            return Err(DbError::Catalog(
+                "explain supports retrieve and update statements".into(),
+            ))
+        }
+    };
+    Ok(Response::Explained(explanation))
 }
 
 fn require_admin(user: &str, action: &str) -> DbResult<()> {

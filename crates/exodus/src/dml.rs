@@ -5,8 +5,10 @@
 
 use std::collections::HashMap;
 
+use excess_algebra::Physical;
 use excess_exec::{
-    prepare, run_plan, Bindings, Env, ExecCtx, ExecNode, MemberId, QueryResult, RowBatch,
+    prepare, run_plan, Bindings, BufferDelta, Env, ExecCtx, ExecNode, MemberId, PlanIndex,
+    PlanProfiler, QueryProfile, QueryResult, RowBatch,
 };
 use excess_lang::{AppendValue, Expr, FromBinding, Privilege, Stmt, Target};
 use excess_sema::resolve::Resolver;
@@ -41,6 +43,31 @@ fn base_env(params: &Params) -> Env {
     env
 }
 
+/// EXPLAIN plumbing for update statements: captures the bindings-query
+/// plan and, under `analyze`, its execution profile. Without `analyze`
+/// the statement is only planned — [`collect_bindings`] returns an empty
+/// batch, so the update applies to nothing and mutates no state.
+#[derive(Default)]
+pub(crate) struct ExplainSink {
+    /// Execute the statement (`explain analyze`) or only plan it.
+    pub analyze: bool,
+    /// The rendered physical plan of the bindings query.
+    pub plan: Option<String>,
+    /// Execution profile (`analyze` only).
+    pub profile: Option<QueryProfile>,
+}
+
+/// Build a profiler for a compiled plan, annotated with the physical
+/// plan's labels and row estimates.
+fn make_profiler(db: &Database, cat: &Catalog, node: &ExecNode, phys: &Physical) -> PlanProfiler {
+    let view = CatalogView {
+        cat,
+        store: &db.store,
+    };
+    let annot = excess_algebra::cost::annotate_preorder(phys, &view);
+    PlanProfiler::new(PlanIndex::new(node, Some(&annot)))
+}
+
 /// Check, plan and compile a retrieve-shaped statement.
 fn plan_query(
     db: &Database,
@@ -48,7 +75,7 @@ fn plan_query(
     ranges: &RangeEnv,
     params: &Params,
     stmt: &Stmt,
-) -> DbResult<(ExecNode, CheckedRetrieve)> {
+) -> DbResult<(ExecNode, CheckedRetrieve, Physical)> {
     let view = CatalogView {
         cat,
         store: &db.store,
@@ -75,7 +102,7 @@ fn plan_query(
         db.worker_threads(),
     )?;
     let node = prepare(&plan, &ctx, &local)?;
-    Ok((node, checked))
+    Ok((node, checked, plan))
 }
 
 /// Read-authorization: the user needs `read` on every named object a
@@ -210,8 +237,24 @@ fn collect_function_names(cat: &Catalog, e: &Expr, out: &mut Vec<String>) {
     }
 }
 
+/// Render the physical plan of a retrieve-shaped statement without
+/// executing it.
+pub(crate) fn explain_plan(
+    db: &Database,
+    cat: &Catalog,
+    ranges: &RangeEnv,
+    user: &str,
+    stmt: &Stmt,
+    params: &Params,
+) -> DbResult<String> {
+    let (_, checked, phys) = plan_query(db, cat, ranges, params, stmt)?;
+    check_read(cat, user, &checked, stmt)?;
+    Ok(phys.to_string())
+}
+
 /// Execute a retrieve (no `into`; read-only — runs under a shared
-/// catalog lock).
+/// catalog lock). With `profile`, per-operator metrics land on the
+/// result's `profile` field.
 pub fn retrieve(
     db: &Database,
     cat: &Catalog,
@@ -219,18 +262,33 @@ pub fn retrieve(
     user: &str,
     stmt: &Stmt,
     params: &Params,
+    profile: bool,
 ) -> DbResult<QueryResult> {
-    let (node, checked) = plan_query(db, cat, ranges, params, stmt)?;
+    let (node, checked, phys) = plan_query(db, cat, ranges, params, stmt)?;
     check_read(cat, user, &checked, stmt)?;
     let view = CatalogView {
         cat,
         store: &db.store,
     };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+    let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads());
+    let before = profile.then(|| db.storage_stats());
+    if profile {
+        ctx = ctx.with_profiler(make_profiler(db, cat, &node, &phys));
+    }
     let env = base_env(params);
-    let result = run_plan(&node, &ctx, &env)?;
+    let t0 = std::time::Instant::now();
+    let mut result = run_plan(&node, &ctx, &env)?;
+    if let Some(p) = ctx.profiler.take() {
+        let delta = before.map(|b| BufferDelta::between(&b, &db.storage_stats()));
+        result.profile = Some(p.finish(
+            t0.elapsed().as_nanos() as u64,
+            result.len() as u64,
+            db.worker_threads(),
+            delta,
+        ));
+    }
     drop(ctx);
     Ok(result)
 }
@@ -244,18 +302,33 @@ pub fn retrieve_into(
     user: &str,
     stmt: &Stmt,
     params: &Params,
+    profile: bool,
 ) -> DbResult<QueryResult> {
-    let (node, checked) = plan_query(db, cat, ranges, params, stmt)?;
+    let (node, checked, phys) = plan_query(db, cat, ranges, params, stmt)?;
     check_read(cat, user, &checked, stmt)?;
     let view = CatalogView {
         cat,
         store: &db.store,
     };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+    let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads());
+    let before = profile.then(|| db.storage_stats());
+    if profile {
+        ctx = ctx.with_profiler(make_profiler(db, cat, &node, &phys));
+    }
     let env = base_env(params);
-    let result = run_plan(&node, &ctx, &env)?;
+    let t0 = std::time::Instant::now();
+    let mut result = run_plan(&node, &ctx, &env)?;
+    if let Some(p) = ctx.profiler.take() {
+        let delta = before.map(|b| BufferDelta::between(&b, &db.storage_stats()));
+        result.profile = Some(p.finish(
+            t0.elapsed().as_nanos() as u64,
+            result.len() as u64,
+            db.worker_threads(),
+            delta,
+        ));
+    }
     drop(ctx);
 
     if let Stmt::Retrieve {
@@ -311,6 +384,7 @@ pub fn retrieve_into(
 /// paper's set-oriented update semantics. `exprs` are all expressions
 /// whose variables must be bound; `extra_from` forces a binding for an
 /// update-target collection.
+#[allow(clippy::too_many_arguments)]
 fn collect_bindings(
     db: &Database,
     cat: &Catalog,
@@ -319,6 +393,7 @@ fn collect_bindings(
     exprs: Vec<Expr>,
     extra_from: Vec<FromBinding>,
     qual: Option<Expr>,
+    explain: Option<&mut ExplainSink>,
 ) -> DbResult<(RowBatch, CheckedRetrieve)> {
     let targets: Vec<Target> = exprs
         .into_iter()
@@ -341,7 +416,19 @@ fn collect_bindings(
         qual,
         order_by: None,
     };
-    let (node, checked) = plan_query(db, cat, ranges, params, &stmt)?;
+    let (node, checked, phys) = plan_query(db, cat, ranges, params, &stmt)?;
+    let profiling = match explain {
+        Some(sink) => {
+            sink.plan = Some(phys.to_string());
+            if !sink.analyze {
+                // Plan-only EXPLAIN: no bindings means every update
+                // applies to nothing and mutates no state.
+                return Ok((RowBatch::new(), checked));
+            }
+            Some(sink)
+        }
+        None => None,
+    };
     let ExecNode::Project { input, .. } = &node else {
         return Err(DbError::Catalog("update plan has no projection".into()));
     };
@@ -349,14 +436,35 @@ fn collect_bindings(
         cat,
         store: &db.store,
     };
-    let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
+    let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads());
+    let before = profiling.as_ref().map(|_| db.storage_stats());
+    if profiling.is_some() {
+        ctx = ctx.with_profiler(make_profiler(db, cat, &node, &phys));
+    }
     let env = base_env(params);
+    let t0 = std::time::Instant::now();
+    let index = ctx.profiler.as_ref().map(|p| p.index());
+    let proj_slot = index.and_then(|ix| ix.slot_of(&node));
     let mut all = RowBatch::new();
-    let mut cur = input.cursor(RowBatch::single(&env));
+    let mut cur = input.cursor_profiled(RowBatch::single(&env), index);
     while let Some(batch) = cur.next(&ctx)? {
+        ctx.prof_in(proj_slot, batch.len());
         all.append(batch);
+    }
+    if let (Some(sink), Some(p)) = (profiling, ctx.profiler.take()) {
+        if let Some(slot) = proj_slot {
+            p.record_ns(slot, t0.elapsed().as_nanos() as u64);
+            p.record_out(slot, all.len());
+        }
+        let delta = before.map(|b| BufferDelta::between(&b, &db.storage_stats()));
+        sink.profile = Some(p.finish(
+            t0.elapsed().as_nanos() as u64,
+            all.len() as u64,
+            db.worker_threads(),
+            delta,
+        ));
     }
     Ok((all, checked))
 }
@@ -560,13 +668,14 @@ fn insert_member(
 }
 
 /// `append [to] target (...) [where q]`.
-pub fn append(
+pub(crate) fn append(
     db: &Database,
     cat: &mut Catalog,
     ranges: &RangeEnv,
     user: &str,
     stmt: &Stmt,
     params: &Params,
+    explain: Option<&mut ExplainSink>,
 ) -> DbResult<crate::database::Response> {
     let Stmt::Append {
         target,
@@ -596,8 +705,16 @@ pub fn append(
                 return Err(DbError::Auth(format!("{user} may not append to {name}")));
             }
             let anchor = cat.named[name].oid;
-            let (bindings, checked) =
-                collect_bindings(db, cat, ranges, params, exprs, Vec::new(), qual.clone())?;
+            let (bindings, checked) = collect_bindings(
+                db,
+                cat,
+                ranges,
+                params,
+                exprs,
+                Vec::new(),
+                qual.clone(),
+                explain,
+            )?;
             let vars = update_vars(params, &checked);
             let view = CatalogView {
                 cat,
@@ -642,8 +759,16 @@ pub fn append(
                 unreachable!()
             };
             let elem = (**elem).clone();
-            let (bindings, checked) =
-                collect_bindings(db, cat, ranges, params, exprs, Vec::new(), qual.clone())?;
+            let (bindings, checked) = collect_bindings(
+                db,
+                cat,
+                ranges,
+                params,
+                exprs,
+                Vec::new(),
+                qual.clone(),
+                explain,
+            )?;
             let vars = update_vars(params, &checked);
             let view = CatalogView {
                 cat,
@@ -711,6 +836,7 @@ pub fn append(
                 vec![(**idx).clone(), vexpr.clone()],
                 Vec::new(),
                 qual.clone(),
+                explain,
             )?;
             let vars = update_vars(params, &checked);
             let view = CatalogView {
@@ -758,8 +884,16 @@ pub fn append(
             let (root_var, steps) = flatten(target)?;
             let mut exprs2 = exprs.clone();
             exprs2.push(target.clone());
-            let (bindings, checked) =
-                collect_bindings(db, cat, ranges, params, exprs2, Vec::new(), qual.clone())?;
+            let (bindings, checked) = collect_bindings(
+                db,
+                cat,
+                ranges,
+                params,
+                exprs2,
+                Vec::new(),
+                qual.clone(),
+                explain,
+            )?;
             // Authorization: appending inside members of a collection.
             for b in &checked.bindings {
                 if let excess_sema::RootSource::Collection(o) = &b.root {
@@ -1120,13 +1254,14 @@ fn navigate_mut<'v>(value: &'v mut Value, path: &[usize]) -> DbResult<&'v mut Va
 // ---------------------------------------------------------------------------
 
 /// `delete <var> [where q]`.
-pub fn delete(
+pub(crate) fn delete(
     db: &Database,
     cat: &mut Catalog,
     ranges: &RangeEnv,
     user: &str,
     stmt: &Stmt,
     params: &Params,
+    explain: Option<&mut ExplainSink>,
 ) -> DbResult<crate::database::Response> {
     let Stmt::Delete { target, qual } = stmt else {
         unreachable!("dispatch");
@@ -1146,6 +1281,7 @@ pub fn delete(
         vec![target.clone()],
         extra_from,
         qual.clone(),
+        explain,
     )?;
     check_update_auth(cat, user, &checked, Privilege::Delete)?;
 
@@ -1282,13 +1418,14 @@ fn check_update_auth(
 // ---------------------------------------------------------------------------
 
 /// `replace <var> (attr = e, ...) [where q]`.
-pub fn replace(
+pub(crate) fn replace(
     db: &Database,
     cat: &mut Catalog,
     ranges: &RangeEnv,
     user: &str,
     stmt: &Stmt,
     params: &Params,
+    explain: Option<&mut ExplainSink>,
 ) -> DbResult<crate::database::Response> {
     let Stmt::Replace {
         target,
@@ -1306,8 +1443,16 @@ pub fn replace(
     let extra_from = synth_from(cat, ranges, var);
     let mut exprs: Vec<Expr> = vec![target.clone()];
     exprs.extend(assignments.iter().map(|(_, e)| e.clone()));
-    let (bindings, checked) =
-        collect_bindings(db, cat, ranges, params, exprs, extra_from, qual.clone())?;
+    let (bindings, checked) = collect_bindings(
+        db,
+        cat,
+        ranges,
+        params,
+        exprs,
+        extra_from,
+        qual.clone(),
+        explain,
+    )?;
     check_update_auth(cat, user, &checked, Privilege::Replace)?;
     if let Some(obj) = cat.named.get(var) {
         if !obj.is_collection && !cat.auth.allowed(user, var, Privilege::Replace) {
@@ -1490,7 +1635,8 @@ fn apply_updates(value: &mut Value, updates: &[(usize, Value)]) -> DbResult<()> 
 
 /// `execute P(args) [where q]` — invoked once per satisfying binding of
 /// the `where` clause (the paper's generalization of IDM stored commands).
-pub fn execute_procedure(
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_procedure(
     db: &Database,
     cat: &mut Catalog,
     ranges: &mut RangeEnv,
@@ -1498,6 +1644,7 @@ pub fn execute_procedure(
     stmt: &Stmt,
     params: &Params,
     depth: u32,
+    explain: Option<&mut ExplainSink>,
 ) -> DbResult<crate::database::Response> {
     let Stmt::Execute { proc, args, qual } = stmt else {
         unreachable!("dispatch");
@@ -1530,6 +1677,7 @@ pub fn execute_procedure(
         args.clone(),
         Vec::new(),
         qual.clone(),
+        explain,
     )?;
     // Evaluate argument tuples per binding.
     let vars = update_vars(params, &checked);

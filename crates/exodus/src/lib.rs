@@ -42,10 +42,10 @@ pub mod dml;
 pub mod error;
 
 pub use catalog::{Auth, Catalog, CatalogView};
-pub use database::{Database, Response, Session};
+pub use database::{Database, DatabaseBuilder, Explanation, Response, Session};
 pub use error::{DbError, DbResult};
 
 // Re-exports so downstream users need only this crate.
 pub use excess_exec as exec;
-pub use excess_exec::QueryResult;
+pub use excess_exec::{BufferDelta, OpProfile, QueryProfile, QueryResult, Row, WorkerStats};
 pub use extra_model::{AdtRegistry, AdtType, Value};

@@ -9,8 +9,11 @@ use exodus_db::{Database, Value};
 /// Enough members to clear the executor's parallelism threshold (4096).
 const SCALE: usize = 6000;
 
-fn people_db(scale: usize) -> Arc<Database> {
-    let db = Database::in_memory();
+/// Build the fixture with the worker-thread count fixed at construction
+/// time. The load is deterministic, so fixtures built at different DOPs
+/// hold identical data.
+fn people_db_with(scale: usize, workers: usize) -> Arc<Database> {
+    let db = Database::builder().worker_threads(workers).build().unwrap();
     db.run(
         r#"
         define type Person (name: varchar, age: int4, salary: float8);
@@ -44,12 +47,11 @@ const QUERIES: &[&str] = &[
 /// merges worker output in serial scan order).
 #[test]
 fn parallel_results_match_serial() {
-    let db = people_db(SCALE);
+    let serial_db = people_db_with(SCALE, 1);
+    let parallel_db = people_db_with(SCALE, 4);
     for q in QUERIES {
-        db.set_worker_threads(1);
-        let serial = db.query(q).unwrap();
-        db.set_worker_threads(4);
-        let parallel = db.query(q).unwrap();
+        let serial = serial_db.query(q).unwrap();
+        let parallel = parallel_db.query(q).unwrap();
         assert_eq!(serial.columns, parallel.columns, "{q}");
         assert_eq!(serial.rows, parallel.rows, "{q}");
         // Belt and braces for any future order-relaxing exchange: the
@@ -66,8 +68,7 @@ fn parallel_results_match_serial() {
 /// queries and DML produce exactly the results a serial run would.
 #[test]
 fn concurrent_sessions_mixed_queries_and_dml() {
-    let db = people_db(SCALE);
-    db.set_worker_threads(4);
+    let db = people_db_with(SCALE, 4);
     // Serial baseline before any concurrency.
     let baseline: Vec<_> = QUERIES.iter().map(|q| db.query(q).unwrap()).collect();
 

@@ -5,7 +5,9 @@
 use extra_excess::Database;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let db = Database::in_memory();
+    // Construction-time configuration through the builder; worker_threads(1)
+    // keeps execution on the calling thread (and bit-deterministic).
+    let db = Database::builder().worker_threads(1).build()?;
     let mut session = db.session();
 
     // -- Figure 1: schema definition (EXTRA DDL) ---------------------------
@@ -86,8 +88,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // -- EXPLAIN: the optimizer at work ---------------------------------------
     session.run("define index emp_salary on Employees (salary)")?;
-    let plan = session.explain("retrieve (E.name) where E.salary > 50000.0")?;
+    let plan = session
+        .explain("retrieve (E.name) where E.salary > 50000.0")?
+        .plan;
     println!("plan for a selective salary predicate (uses the B+-tree):\n{plan}");
+
+    // -- EXPLAIN ANALYZE: the profiler at work --------------------------------
+    // Executes the query once and annotates every operator with actual
+    // rows, batches, time, and estimated-vs-actual cardinality.
+    let analyzed = session.explain_analyze(
+        r#"retrieve (E.name, E.salary) where E.dept.floor = 2 order by E.salary desc"#,
+    )?;
+    println!("profiled plan:\n{analyzed}");
+
+    // -- Typed row access over a query result ---------------------------------
+    let r = session.query("retrieve (E.name, E.salary) order by E.salary desc")?;
+    for row in r.iter() {
+        let name: &str = row.get("name").expect("name column");
+        let salary: f64 = row.get("salary").expect("salary column");
+        println!("{name} earns {salary}");
+    }
 
     Ok(())
 }

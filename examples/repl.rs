@@ -53,7 +53,7 @@ fn main() {
         }
         if let Some(q) = line.strip_prefix("\\explain ") {
             match session.explain(q) {
-                Ok(plan) => print!("{plan}"),
+                Ok(plan) => println!("{plan}"),
                 Err(e) => eprintln!("error: {e}"),
             }
             continue;
@@ -71,6 +71,7 @@ fn main() {
                                 println!("({} rows)", rows.len());
                             }
                         }
+                        Response::Explained(e) => println!("{e}"),
                     }
                 }
             }

@@ -40,6 +40,9 @@ pub use excess_exec as exec;
 pub use excess_lang as lang;
 pub use excess_sema as sema;
 pub use exodus_db as db;
-pub use exodus_db::{Database, DbError, DbResult, QueryResult, Response, Session, Value};
+pub use exodus_db::{
+    Database, DatabaseBuilder, DbError, DbResult, Explanation, OpProfile, QueryProfile,
+    QueryResult, Response, Row, Session, Value,
+};
 pub use exodus_storage as storage;
 pub use extra_model as model;

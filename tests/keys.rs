@@ -56,7 +56,8 @@ fn key_index_also_serves_queries() {
     .unwrap();
     let plan = s
         .explain("retrieve (P.name) from P in People where P.ssnum = 100")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan.contains("IndexScan"), "{plan}");
 }
 

@@ -125,7 +125,8 @@ fn explain_renders_nested_plans() {
     .unwrap();
     let plan = s
         .explain("retrieve (C.name) from C in Emps.kids where Emps.name = \"x\"")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan.contains("Unnest C"), "{plan}");
     assert!(plan.contains("SeqScan Emps"), "{plan}");
     assert!(plan.contains("Filter"), "{plan}");

@@ -138,7 +138,7 @@ proptest! {
         let q = format!("retrieve (P.name) where P.age = {probe}");
         let scan = s.query(&q).unwrap();
         s.run("define index people_age on People (age)").unwrap();
-        let plan = s.explain(&q).unwrap();
+        let plan = s.explain(&q).unwrap().plan;
         prop_assert!(plan.contains("IndexScan"), "{}", plan);
         let probed = s.query(&q).unwrap();
         let sorted = |r: &extra_excess::QueryResult| {

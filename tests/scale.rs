@@ -32,17 +32,30 @@ fn ten_thousand_members_scan_filter_aggregate() {
     // Batched execution must not depend on how the 10k rows fall across
     // batch boundaries: a row-at-a-time run (batch size 1) and an odd
     // size that leaves a partial final batch agree with the default.
+    // Each size gets its own builder-configured database over the same
+    // deterministic data.
     let baseline = s
         .query("retrieve (R.k) from R in Rows where R.k >= 9995")
         .unwrap();
     for batch_size in [1, 1000, 1023] {
-        db.set_batch_size(batch_size);
-        let r = s
+        let db2 = Database::builder().batch_size(batch_size).build().unwrap();
+        let mut s2 = db2.session();
+        s2.run(
+            r#"
+            define type Row (k: int4, v: float8);
+            create { own Row } Rows;
+        "#,
+        )
+        .unwrap();
+        let rows: Vec<Value> = (0..10_000)
+            .map(|i| Value::Tuple(vec![Value::Int(i), Value::Float(i as f64 * 0.5)]))
+            .collect();
+        db2.bulk_append("Rows", rows).unwrap();
+        let r = s2
             .query("retrieve (R.k) from R in Rows where R.k >= 9995")
             .unwrap();
         assert_eq!(baseline, r, "batch size {batch_size} diverged at scale");
     }
-    db.set_batch_size(extra_excess::exec::DEFAULT_BATCH_SIZE);
 }
 
 #[test]

@@ -365,7 +365,8 @@ fn runtime_adt_registration_extends_parser_and_planner() {
         .unwrap();
     let plan = s
         .explain(r#"retrieve (R.title) from R in Recipes where R.scale = Fraction("1/2")"#)
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(
         plan.contains("IndexScan"),
         "ADT key should use the index:\n{plan}"
@@ -453,11 +454,13 @@ fn order_by_and_explain() {
     s.run("define index item_qty on Items (qty)").unwrap();
     let plan = s
         .explain("retrieve (I.label) from I in Items where I.qty = 10")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan.contains("IndexScan"), "{plan}");
     let plan = s
         .explain("retrieve (I.label) from I in Items where I.label = \"apple\"")
-        .unwrap();
+        .unwrap()
+        .plan;
     assert!(plan.contains("SeqScan"), "no index on label:\n{plan}");
 }
 
