@@ -22,6 +22,7 @@
 //!   greedy join ordering by estimated cardinality, and final plan
 //!   assembly.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod builder;
 pub mod cost;
 pub mod physical;

@@ -5,6 +5,7 @@
 //! experiment index. Everything is deterministic (seeded RNG) so runs are
 //! reproducible.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 use std::sync::Arc;
 
 use exodus_db::Database;
@@ -68,7 +69,7 @@ pub fn university(
 }
 
 /// [`university`], with extra construction-time configuration applied to
-/// the [`DatabaseBuilder`] (batch size, worker threads, planner rules,
+/// the [`exodus_db::DatabaseBuilder`] (batch size, worker threads, planner rules,
 /// profiling). The load is deterministic, so two universities built at
 /// the same scale but different configurations hold identical data.
 pub fn university_with(

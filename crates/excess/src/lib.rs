@@ -27,6 +27,7 @@
 //! The crate is purely syntactic: names are resolved and types checked in
 //! `excess-sema`.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod ast;
 pub mod error;
 pub mod lexer;

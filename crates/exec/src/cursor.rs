@@ -91,7 +91,7 @@ pub enum Cursor<'p> {
     /// Emits pre-built batches (parallel workers replay morsel output
     /// through the rest of a pipeline with this as the substituted leaf).
     Queue(VecDeque<RowBatch>),
-    /// Parallel exchange over a pipeline (see [`crate::parallel`]).
+    /// Parallel exchange over a pipeline (see the `parallel` module).
     Parallel(ParallelCursor<'p>),
 }
 

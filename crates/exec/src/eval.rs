@@ -21,7 +21,7 @@ pub struct ExecCtx<'a> {
     /// ADTs.
     pub adts: &'a AdtRegistry,
     /// Catalog (named objects for late binding). `Sync` so parallel
-    /// workers can share it (see [`crate::parallel`]).
+    /// workers can share it (see the `parallel` module).
     pub catalog: &'a (dyn CatalogLookup + Sync),
     /// Rows per execution batch (see [`crate::batch`]).
     pub batch_size: usize,

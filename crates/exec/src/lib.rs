@@ -25,6 +25,7 @@
 //! * universal ranges (`all`) make the qualification hold for *every*
 //!   binding (vacuously true on empty sets).
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod batch;
 pub mod cexpr;
 pub mod cursor;

@@ -111,7 +111,7 @@ pub enum ExecNode {
     },
     /// Parallel exchange: run `input` across `dop` worker threads by
     /// partitioning its leftmost scan into morsels (see
-    /// [`crate::parallel`]), merging output batches in deterministic
+    /// the `parallel` module), merging output batches in deterministic
     /// scan order. Falls back to serial execution when the scan is too
     /// small or the session runs with one worker.
     Parallel {

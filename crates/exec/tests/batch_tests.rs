@@ -14,10 +14,6 @@ use exodus_db::{Database, Value};
 /// a size smaller than the data, and the default.
 const SIZES: &[usize] = &[1, 7, excess_exec::DEFAULT_BATCH_SIZE];
 
-fn db_with_rows(n: i64) -> Arc<Database> {
-    db_with_rows_at(n, excess_exec::DEFAULT_BATCH_SIZE)
-}
-
 /// Build the `n`-row fixture with the batch size fixed at construction
 /// time via [`Database::builder`]. The data is deterministic, so two
 /// fixtures at different batch sizes hold identical contents.
@@ -117,22 +113,6 @@ fn joins_and_sorts_survive_rebatching() {
     );
     assert_eq!(r.len(), 9);
     assert_eq!(r.rows[8], vec![Value::Int(8), Value::Int(8)]);
-}
-
-/// The deprecated runtime setter must keep working (as a shim over the
-/// builder-configured default) until it is removed.
-#[test]
-#[allow(deprecated)]
-fn deprecated_set_batch_size_shim_still_works() {
-    let db = db_with_rows(8);
-    db.set_batch_size(3);
-    assert_eq!(db.batch_size(), 3);
-    let r = db
-        .session()
-        .query("retrieve (R.k) from R in Rows order by R.k")
-        .unwrap();
-    assert_eq!(r.len(), 8);
-    assert_eq!(r.rows[7][0], Value::Int(7));
 }
 
 #[test]

@@ -1,6 +1,7 @@
 //! The `Database` facade and `Session`s.
 
 use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -13,7 +14,7 @@ use excess_sema::lower::lower_qual;
 use excess_sema::resolve::Resolver;
 use excess_sema::{FunctionDef, IndexInfo, NamedObject, ProcedureDef, RangeEnv, SemaCtx};
 use exodus_storage::btree::BTree;
-use exodus_storage::{Oid, StorageManager};
+use exodus_storage::{Durability, Oid, RecoveryReport, StorageManager};
 use extra_model::adt::Assoc;
 use extra_model::schema::InheritSpec;
 use extra_model::{AdtType, Attribute, ObjectStore, Ownership, QualType, Type, Value};
@@ -81,14 +82,18 @@ pub struct Database {
     pub(crate) batch_size: std::sync::atomic::AtomicUsize,
     pub(crate) worker_threads: std::sync::atomic::AtomicUsize,
     pub(crate) profiling: std::sync::atomic::AtomicBool,
+    pub(crate) recovery: Option<RecoveryReport>,
 }
 
 /// Configuration for a [`Database`], applied atomically at
-/// [`DatabaseBuilder::build`]. Replaces the deprecated mutable setter
-/// trio (`set_batch_size` / `set_worker_threads` / `set_planner`).
+/// [`DatabaseBuilder::build`]. Replaces the old mutable setters
+/// (of which only the deprecated `set_planner` shim remains).
 #[derive(Default)]
 pub struct DatabaseBuilder {
     storage: Option<StorageManager>,
+    path: Option<PathBuf>,
+    durability: Option<Durability>,
+    pool_pages: Option<usize>,
     batch_size: Option<usize>,
     worker_threads: Option<usize>,
     planner: Option<PlannerConfig>,
@@ -98,8 +103,42 @@ pub struct DatabaseBuilder {
 impl DatabaseBuilder {
     /// Storage manager to build over (file-backed, or an in-memory pool
     /// of a specific size). Defaults to an in-memory 4096-page pool.
+    /// Mutually exclusive with [`DatabaseBuilder::path`].
     pub fn storage(mut self, sm: StorageManager) -> Self {
         self.storage = Some(sm);
+        self
+    }
+
+    /// Open (or create) a file-backed database at `path`. Crash recovery
+    /// runs before the first statement; inspect the outcome via
+    /// [`Database::recovery`]. Defaults to [`Durability::Fsync`] unless
+    /// [`DatabaseBuilder::durability`] says otherwise.
+    pub fn path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.path = Some(path.into());
+        self
+    }
+
+    /// Durability level for a file-backed database (see
+    /// [`exodus_storage::Durability`] for the exact contract):
+    ///
+    /// * [`Durability::None`] — no write-ahead log; crash loses
+    ///   everything since the last explicit flush. The write path is
+    ///   byte-identical to the pre-WAL engine (benchmarks use this).
+    /// * [`Durability::Buffered`] — every update statement is logged and
+    ///   survives a process crash, but not an OS crash or power loss.
+    /// * [`Durability::Fsync`] — the log is fsynced at each statement
+    ///   boundary; survives power loss.
+    ///
+    /// Requires [`DatabaseBuilder::path`].
+    pub fn durability(mut self, level: Durability) -> Self {
+        self.durability = Some(level);
+        self
+    }
+
+    /// Buffer-pool size in pages for a [`DatabaseBuilder::path`]-opened
+    /// database (default 4096).
+    pub fn pool_pages(mut self, n: usize) -> Self {
+        self.pool_pages = Some(n);
         self
     }
 
@@ -147,10 +186,40 @@ impl DatabaseBuilder {
                     .into(),
             ));
         }
-        let sm = self
-            .storage
-            .unwrap_or_else(|| StorageManager::in_memory(4096));
-        let db = Database::with_storage(sm);
+        if self.storage.is_some() && self.path.is_some() {
+            return Err(DbError::Catalog(
+                "storage(..) and path(..) are mutually exclusive; path opens its own \
+                 storage manager"
+                    .into(),
+            ));
+        }
+        if self.path.is_none()
+            && matches!(
+                self.durability,
+                Some(Durability::Buffered | Durability::Fsync)
+            )
+        {
+            return Err(DbError::Catalog(
+                "durability requires a file-backed database; set path(..)".into(),
+            ));
+        }
+        let (sm, recovery) = match self.path {
+            Some(path) => {
+                let (sm, report) = StorageManager::open(
+                    &path,
+                    self.pool_pages.unwrap_or(4096),
+                    self.durability.unwrap_or(Durability::Fsync),
+                )?;
+                (sm, Some(report))
+            }
+            None => {
+                let sm = self
+                    .storage
+                    .unwrap_or_else(|| StorageManager::in_memory(self.pool_pages.unwrap_or(4096)));
+                (sm, None)
+            }
+        };
+        let db = Database::with_storage_report(sm, recovery);
         if let Some(config) = self.planner {
             *db.planner.write() = config;
         }
@@ -182,6 +251,10 @@ impl Database {
     /// A database over an explicit storage manager (e.g. file-backed, or
     /// with a specific buffer-pool size).
     pub fn with_storage(sm: StorageManager) -> Arc<Database> {
+        Self::with_storage_report(sm, None)
+    }
+
+    fn with_storage_report(sm: StorageManager, recovery: Option<RecoveryReport>) -> Arc<Database> {
         let store = ObjectStore::new(sm).expect("fresh store");
         let catalog = Catalog::new();
         let mut ops = OperatorTable::new();
@@ -194,7 +267,29 @@ impl Database {
             batch_size: std::sync::atomic::AtomicUsize::new(excess_exec::DEFAULT_BATCH_SIZE),
             worker_threads: std::sync::atomic::AtomicUsize::new(1),
             profiling: std::sync::atomic::AtomicBool::new(false),
+            recovery,
         })
+    }
+
+    /// The crash-recovery report from opening a file-backed database via
+    /// [`DatabaseBuilder::path`] (`None` for in-memory databases).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The storage durability level ([`Durability::None`] for in-memory
+    /// databases and pre-WAL storage managers).
+    pub fn durability(&self) -> Durability {
+        self.store.storage().durability()
+    }
+
+    /// Force every dirty page to the volume, fsync it, and prune the
+    /// write-ahead log to the records written since this call. The next
+    /// open recovers from a (near-)empty log. No-op consistency-wise:
+    /// an interrupted checkpoint changes no logical state.
+    pub fn checkpoint(&self) -> DbResult<()> {
+        self.store.storage().checkpoint()?;
+        Ok(())
     }
 
     /// The object store.
@@ -218,6 +313,9 @@ impl Database {
             .cloned()
             .ok_or_else(|| DbError::Catalog(format!("no collection '{collection}'")))?;
         let elem = self.store.collection_elem(obj.oid)?;
+        // The whole load is one logged unit; with durability off this is
+        // a no-op and the loader keeps its unlogged fast path.
+        let unit = self.store.storage().begin_unit()?;
         let mut oids = Vec::with_capacity(members.len());
         for m in members {
             match elem.mode {
@@ -240,6 +338,7 @@ impl Database {
                 }
             }
         }
+        unit.commit()?;
         Ok(oids)
     }
 
@@ -259,34 +358,10 @@ impl Database {
         self.batch_size.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Set the rows-per-batch knob used by query and update execution.
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure via Database::builder().batch_size(..)"
-    )]
-    pub fn set_batch_size(&self, n: usize) {
-        self.batch_size
-            .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
-    }
-
     /// Worker threads available to each query (degree of parallelism).
     pub fn worker_threads(&self) -> usize {
         self.worker_threads
             .load(std::sync::atomic::Ordering::Relaxed)
-    }
-
-    /// Set the per-query worker-thread count. `1` (the default) runs
-    /// everything on the calling thread; higher values let large scans
-    /// fan out to morsel-driven workers. Small collections stay serial
-    /// regardless (see the planner's parallelism threshold). `0` is
-    /// silently treated as `1`; the builder rejects it instead.
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure via Database::builder().worker_threads(..)"
-    )]
-    pub fn set_worker_threads(&self, n: usize) {
-        self.worker_threads
-            .store(n.max(1), std::sync::atomic::Ordering::Relaxed);
     }
 
     /// Whether every statement is profiled (set via
@@ -441,7 +516,11 @@ impl Session {
             .map(Response::Rows);
         }
         let mut cat = db.catalog.write();
-        exec_statement(
+        // One logged unit per statement: the WAL's commit record makes
+        // the statement's page writes crash-atomic (no-op when the
+        // database was opened with `Durability::None` or in memory).
+        let unit = db.store.storage().begin_unit()?;
+        let response = exec_statement(
             &db,
             &mut cat,
             &mut self.ranges,
@@ -449,7 +528,9 @@ impl Session {
             stmt,
             &Params::default(),
             0,
-        )
+        );
+        unit.commit()?;
+        response
     }
 }
 

@@ -36,6 +36,7 @@
 //! assert_eq!(result.rows.len(), 1);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod catalog;
 pub mod database;
 pub mod dml;
@@ -48,4 +49,5 @@ pub use error::{DbError, DbResult};
 // Re-exports so downstream users need only this crate.
 pub use excess_exec as exec;
 pub use excess_exec::{BufferDelta, OpProfile, QueryProfile, QueryResult, Row, WorkerStats};
+pub use exodus_storage::{Durability, RecoveryReport};
 pub use extra_model::{AdtRegistry, AdtType, Value};

@@ -1,0 +1,121 @@
+//! The builder's durability surface: file-backed open, recovery reports,
+//! statement-level logged units, checkpointing, and the builder's
+//! validation rules.
+
+use std::path::PathBuf;
+
+use exodus_db::{Database, Durability, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("exodus-db-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn file_backed_database_reports_clean_recovery() {
+    let dir = temp_dir("clean");
+    let db = Database::builder()
+        .path(dir.join("db.vol"))
+        .durability(Durability::Fsync)
+        .build()
+        .unwrap();
+    let report = db.recovery().expect("file-backed open runs recovery");
+    assert!(report.was_clean());
+    assert_eq!(db.durability(), Durability::Fsync);
+
+    let mut s = db.session();
+    s.run(
+        r#"
+        define type Person (name: varchar, age: int4);
+        create { own ref Person } People;
+        append to People (name = "ann", age = 30);
+    "#,
+    )
+    .unwrap();
+    let r = s.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("ann")]]);
+
+    db.checkpoint().unwrap();
+    // The WAL directory exists next to the volume and survives checkpoint.
+    assert!(dir.join("db.vol.wal").is_dir());
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn durability_none_skips_the_log() {
+    let dir = temp_dir("none");
+    let db = Database::builder()
+        .path(dir.join("db.vol"))
+        .durability(Durability::None)
+        .build()
+        .unwrap();
+    assert_eq!(db.durability(), Durability::None);
+    let mut s = db.session();
+    s.run(
+        r#"
+        define type P (k: int4);
+        create { own P } Ks;
+        append to Ks (k = 1);
+    "#,
+    )
+    .unwrap();
+    assert!(
+        !dir.join("db.vol.wal").exists(),
+        "None must not write a log"
+    );
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn in_memory_database_has_no_recovery_report() {
+    let db = Database::builder().build().unwrap();
+    assert!(db.recovery().is_none());
+    assert_eq!(db.durability(), Durability::None);
+    // Checkpoint on an in-memory database is a harmless flush.
+    db.checkpoint().unwrap();
+}
+
+#[test]
+fn builder_rejects_conflicting_storage_configuration() {
+    let err = match Database::builder().durability(Durability::Fsync).build() {
+        Err(e) => e,
+        Ok(_) => panic!("durability without path must be rejected"),
+    };
+    assert!(err.to_string().contains("path"), "{err}");
+
+    let dir = temp_dir("conflict");
+    let err = match Database::builder()
+        .storage(exodus_storage::StorageManager::in_memory(64))
+        .path(dir.join("db.vol"))
+        .build()
+    {
+        Err(e) => e,
+        Ok(_) => panic!("storage + path must be rejected"),
+    };
+    assert!(err.to_string().contains("mutually exclusive"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bulk_append_is_logged_as_one_unit() {
+    let dir = temp_dir("bulk");
+    let db = Database::builder()
+        .path(dir.join("db.vol"))
+        .durability(Durability::Buffered)
+        .build()
+        .unwrap();
+    db.run("define type P (k: int4); create { own P } Ks;")
+        .unwrap();
+    let tuples = (0..100)
+        .map(|i| Value::Tuple(vec![Value::Int(i)]))
+        .collect();
+    db.bulk_append("Ks", tuples).unwrap();
+    let r = db.query("retrieve (K.k) from K in Ks").unwrap();
+    assert_eq!(r.len(), 100);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

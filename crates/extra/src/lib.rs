@@ -27,6 +27,7 @@
 //!   `own ref` components and nulls out dangling `ref`s (GEM-style), and
 //!   `own ref` exclusivity is enforced through owner tracking.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod adt;
 pub mod adts;
 pub mod error;

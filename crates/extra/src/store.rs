@@ -710,7 +710,7 @@ impl ObjectStore {
     }
 
     /// Batched member scan: decodes records a batch at a time on top of
-    /// the heap file's page-at-a-time [`HeapScan::next_batch`].
+    /// the heap file's page-at-a-time [`HeapScan::next_batch`](exodus_storage::heap::HeapScan::next_batch).
     pub fn scan_members_batch(&self, anchor: Oid) -> ModelResult<MemberScan> {
         let info = self.collection_info(anchor)?;
         Ok(MemberScan::new(

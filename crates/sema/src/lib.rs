@@ -23,6 +23,7 @@
 //!   specific applicable definition wins. ADT functions resolve by the
 //!   receiver's ADT in both call syntaxes (`x.Add(y)` / `Add(x, y)`).
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod catalog;
 pub mod error;
 pub mod infer;

@@ -7,6 +7,7 @@
 //! prints the median/min per-iteration time. No statistics beyond that —
 //! enough to compare implementations, not to publish confidence intervals.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 use std::fmt;
 use std::time::{Duration, Instant};
 

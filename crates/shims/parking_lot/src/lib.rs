@@ -4,6 +4,7 @@
 //! recovered (`into_inner`) rather than propagated, matching parking_lot's
 //! behaviour of not poisoning on panic.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 use std::sync::PoisonError;
 
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);

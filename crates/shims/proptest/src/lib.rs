@@ -8,6 +8,7 @@
 //! case number, and the fixed per-test seed makes every failure
 //! reproducible by rerunning the test.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod test_runner {
     /// Configuration accepted by `#![proptest_config(..)]`.
     #[derive(Debug, Clone)]

@@ -4,6 +4,7 @@
 //! is splitmix64 — deterministic, fast, and plenty for test workloads;
 //! it makes no cryptographic claims.
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub trait RngCore {
     fn next_u64(&mut self) -> u64;
 

@@ -13,8 +13,9 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 
 use crate::error::{StorageError, StorageResult};
-use crate::page::PAGE_SIZE;
+use crate::page::{self, PAGE_SIZE};
 use crate::volume::Volume;
+use crate::wal::Wal;
 
 struct Frame {
     page_no: u64,
@@ -22,6 +23,8 @@ struct Frame {
     dirty: AtomicBool,
     pins: AtomicU32,
     referenced: AtomicBool,
+    /// LSN of the last WAL record covering this page (0 without a WAL).
+    lsn: AtomicU64,
 }
 
 struct PoolState {
@@ -57,6 +60,9 @@ pub struct BufferPool {
     /// Structure-modification locks, keyed by a structure's root page
     /// (heap-file chain extension must be serialized per file).
     smo_locks: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    /// The write-ahead log, when the pool is recoverable. Governs the
+    /// no-steal eviction gate, the flush rule, and page checksums.
+    wal: Option<Arc<Wal>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -68,6 +74,19 @@ impl BufferPool {
     /// clamped to at least 4 frames (some operations pin a few pages at
     /// once).
     pub fn new(volume: Box<dyn Volume>, capacity: usize) -> Self {
+        Self::build(volume, capacity, None)
+    }
+
+    /// Create a recoverable pool: exclusive page writes are registered
+    /// with `wal`'s active logged unit, pages a unit dirtied are gated
+    /// from eviction until it ends (no-steal), the log is flushed up to a
+    /// page's LSN before any write-back (the flush rule), and pages are
+    /// checksummed across the volume boundary.
+    pub fn with_wal(volume: Box<dyn Volume>, capacity: usize, wal: Arc<Wal>) -> Self {
+        Self::build(volume, capacity, Some(wal))
+    }
+
+    fn build(volume: Box<dyn Volume>, capacity: usize, wal: Option<Arc<Wal>>) -> Self {
         let capacity = capacity.max(4);
         BufferPool {
             volume,
@@ -78,6 +97,7 @@ impl BufferPool {
                 hand: 0,
             }),
             smo_locks: Mutex::new(HashMap::new()),
+            wal,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -88,6 +108,20 @@ impl BufferPool {
     /// Number of frames.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The attached write-ahead log, if the pool is recoverable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Append a descriptive operation record under the active logged unit.
+    /// A no-op without a WAL — structure code calls this unconditionally.
+    pub(crate) fn log_op(&self, rec: &crate::wal::WalRecord) -> StorageResult<()> {
+        if let Some(wal) = &self.wal {
+            wal.log_op(rec)?;
+        }
+        Ok(())
     }
 
     /// The structure-modification lock for the structure rooted at
@@ -148,8 +182,15 @@ impl BufferPool {
         let idx = self.find_victim(&mut state)?;
         let mut data = Box::new([0u8; PAGE_SIZE]);
         self.volume.read_page(page_no, &mut data[..])?;
+        if self.wal.is_some() && !page::verify_page_checksum(&data[..]) {
+            return Err(StorageError::Corrupt(format!(
+                "page {page_no} failed its checksum (torn write?); \
+                 recovery restores such pages from full-page images"
+            )));
+        }
         let frame = Arc::new(Frame {
             page_no,
+            lsn: AtomicU64::new(page::page_lsn(&data[..])),
             data: RwLock::new(data),
             dirty: AtomicBool::new(false),
             pins: AtomicU32::new(1),
@@ -179,10 +220,16 @@ impl BufferPool {
     /// Allocate a fresh page on the volume and pin it (contents zeroed).
     pub fn allocate(self: &Arc<Self>) -> StorageResult<PinnedPage> {
         let page_no = self.volume.allocate_page()?;
+        if let Some(wal) = &self.wal {
+            // The fresh (dirty, zeroed) page belongs to whatever unit is
+            // populating it.
+            wal.note_write(page_no);
+        }
         let mut state = self.state.write();
         let idx = self.find_victim(&mut state)?;
         let frame = Arc::new(Frame {
             page_no,
+            lsn: AtomicU64::new(0),
             data: RwLock::new(Box::new([0u8; PAGE_SIZE])),
             dirty: AtomicBool::new(true),
             pins: AtomicU32::new(1),
@@ -215,12 +262,19 @@ impl BufferPool {
             if frame.referenced.swap(false, Ordering::Relaxed) {
                 continue;
             }
+            // The no-steal rule: a page dirtied by the active logged unit
+            // must not reach the volume before the unit's commit record.
+            if frame.dirty.load(Ordering::Relaxed)
+                && self
+                    .wal
+                    .as_ref()
+                    .is_some_and(|w| w.page_gated(frame.page_no))
+            {
+                continue;
+            }
             // Victim found: write back if dirty, then drop.
             if frame.dirty.load(Ordering::Relaxed) {
-                let data = frame.data.read();
-                self.volume.write_page(frame.page_no, &data[..])?;
-                frame.dirty.store(false, Ordering::Relaxed);
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                self.write_back(frame)?;
             }
             self.evictions.fetch_add(1, Ordering::Relaxed);
             let page_no = frame.page_no;
@@ -231,23 +285,90 @@ impl BufferPool {
         Err(StorageError::PoolExhausted)
     }
 
-    /// Write back every dirty page.
+    /// Write one dirty frame to the volume, honouring the flush rule and
+    /// stamping the page checksum when the pool is recoverable.
+    fn write_back(&self, frame: &Frame) -> StorageResult<()> {
+        if let Some(wal) = &self.wal {
+            // The flush rule: the log must be durable up to this page's
+            // LSN before the page itself is.
+            wal.flush_up_to(frame.lsn.load(Ordering::Acquire))?;
+            let data = frame.data.read();
+            let mut scratch = Box::new([0u8; PAGE_SIZE]);
+            scratch.copy_from_slice(&data[..]);
+            drop(data);
+            page::stamp_page_checksum(&mut scratch[..]);
+            self.volume.write_page(frame.page_no, &scratch[..])?;
+        } else {
+            let data = frame.data.read();
+            self.volume.write_page(frame.page_no, &data[..])?;
+        }
+        frame.dirty.store(false, Ordering::Relaxed);
+        self.writebacks.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Write back every dirty page. Pages gated by an active logged unit
+    /// are skipped (checkpoints run with no unit open, so they see
+    /// everything).
     pub fn flush_all(&self) -> StorageResult<()> {
         let state = self.state.read();
         for frame in state.frames.iter().flatten() {
             if frame.dirty.load(Ordering::Relaxed) {
-                let data = frame.data.read();
-                self.volume.write_page(frame.page_no, &data[..])?;
-                frame.dirty.store(false, Ordering::Relaxed);
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                if self
+                    .wal
+                    .as_ref()
+                    .is_some_and(|w| w.page_gated(frame.page_no))
+                {
+                    continue;
+                }
+                self.write_back(frame)?;
             }
         }
+        Ok(())
+    }
+
+    /// Page numbers of every dirty resident page, sorted (checkpoint
+    /// collection order).
+    pub fn dirty_page_numbers(&self) -> Vec<u64> {
+        let state = self.state.read();
+        let mut pages: Vec<u64> = state
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| f.dirty.load(Ordering::Relaxed))
+            .map(|f| f.page_no)
+            .collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Copy of a page's current bytes (the commit path reads after-images
+    /// with this).
+    pub fn page_image(self: &Arc<Self>, page_no: u64) -> StorageResult<Vec<u8>> {
+        let page = self.pin(page_no)?;
+        Ok(page.with_read(|buf| buf.to_vec()))
+    }
+
+    /// Stamp `lsn` into a page's header and frame (see
+    /// [`crate::page::page_lsn`]). Called by the commit path right after
+    /// the page's after-image is appended to the log.
+    pub fn stamp_page_lsn(self: &Arc<Self>, page_no: u64, lsn: u64) -> StorageResult<()> {
+        let page = self.pin(page_no)?;
+        page.frame.lsn.store(lsn, Ordering::Release);
+        let mut data = page.frame.data.write();
+        page::set_page_lsn(&mut data[..], lsn);
+        page.frame.dirty.store(true, Ordering::Relaxed);
         Ok(())
     }
 
     /// Number of pages in the underlying volume.
     pub fn volume_pages(&self) -> u64 {
         self.volume.page_count()
+    }
+
+    /// Force the volume's written pages to stable storage.
+    pub fn sync_volume(&self) -> StorageResult<()> {
+        self.volume.sync()
     }
 }
 
@@ -271,8 +392,12 @@ impl PinnedPage {
     }
 
     /// Run `f` with exclusive access to the page bytes; marks the page
-    /// dirty.
+    /// dirty and, when the pool is recoverable, registers the page with
+    /// the active logged unit (its after-image is captured at commit).
     pub fn with_write<R>(&self, f: impl FnOnce(&mut [u8]) -> R) -> R {
+        if let Some(wal) = &self.pool.wal {
+            wal.note_write(self.frame.page_no);
+        }
         let mut data = self.frame.data.write();
         self.frame.dirty.store(true, Ordering::Relaxed);
         f(&mut data[..])

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageKind, PageView, SlottedPage, NO_PAGE};
+use crate::wal::WalRecord;
 
 /// Identifies a heap file by its header page number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -131,10 +132,16 @@ impl HeapFile {
             if let Some(slot) = slot {
                 drop(header);
                 self.bump_count(pool, 1)?;
-                return Ok(RecordId {
+                let rid = RecordId {
                     page: last,
                     slot: slot?,
-                });
+                };
+                pool.log_op(&WalRecord::HeapInsert {
+                    file: self.id.0,
+                    rid: rid.pack(),
+                    len: data.len() as u32,
+                })?;
+                return Ok(rid);
             }
         }
         // Append a new data page to the chain.
@@ -159,7 +166,13 @@ impl HeapFile {
         });
         drop(header);
         self.bump_count(pool, 1)?;
-        Ok(RecordId { page: new_no, slot })
+        let rid = RecordId { page: new_no, slot };
+        pool.log_op(&WalRecord::HeapInsert {
+            file: self.id.0,
+            rid: rid.pack(),
+            len: data.len() as u32,
+        })?;
+        Ok(rid)
     }
 
     /// Update a record. If the new value no longer fits on its page the
@@ -173,18 +186,37 @@ impl HeapFile {
         let page = pool.pin(rid.page)?;
         let fit = page.with_write(|buf| SlottedPage::new(buf).update(rid.page, rid.slot, data))?;
         if fit {
+            pool.log_op(&WalRecord::HeapUpdate {
+                file: self.id.0,
+                old_rid: rid.pack(),
+                new_rid: rid.pack(),
+                len: data.len() as u32,
+            })?;
             return Ok(rid);
         }
         page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))?;
         drop(page);
         self.bump_count(pool, -1)?;
-        self.insert(pool, data)
+        let new_rid = self.insert(pool, data)?;
+        pool.log_op(&WalRecord::HeapUpdate {
+            file: self.id.0,
+            old_rid: rid.pack(),
+            new_rid: new_rid.pack(),
+            len: data.len() as u32,
+        })?;
+        Ok(new_rid)
     }
 
     /// Delete a record.
     pub fn delete(&self, pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()> {
-        delete_record(pool, rid)?;
-        self.bump_count(pool, -1)
+        let page = pool.pin(rid.page)?;
+        page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))?;
+        drop(page);
+        self.bump_count(pool, -1)?;
+        pool.log_op(&WalRecord::HeapDelete {
+            file: self.id.0,
+            rid: rid.pack(),
+        })
     }
 
     /// First data page of the chain, if any.
@@ -251,10 +283,16 @@ pub fn read_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<Vec<u
 }
 
 /// Delete one record by id without touching the file's record counter.
-/// Prefer [`HeapFile::delete`] when the file is known.
+/// Prefer [`HeapFile::delete`] when the file is known (the log record then
+/// names the file instead of `u64::MAX`).
 pub fn delete_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()> {
     let page = pool.pin(rid.page)?;
-    page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))
+    page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))?;
+    drop(page);
+    pool.log_op(&WalRecord::HeapDelete {
+        file: u64::MAX,
+        rid: rid.pack(),
+    })
 }
 
 /// A batch of records packed into one contiguous byte arena.

@@ -22,6 +22,12 @@
 //! * [`lob`] — large storage objects (EXODUS's hallmark): byte sequences
 //!   spanning many pages with positional read/write.
 //! * [`encoding`] — order-preserving key encoding for composite keys.
+//! * [`wal`] — a segmented, CRC-checksummed write-ahead log with logged
+//!   units as the unit of atomicity.
+//! * [`recovery`] — the analysis/redo pass that brings a volume back to a
+//!   consistent state after a crash.
+//! * [`failpoint`] — deterministic crash injection for testing the two
+//!   modules above (`cfg(test)` / the `failpoints` cargo feature).
 //!
 //! # Quick example
 //!
@@ -33,22 +39,52 @@
 //! let rid = sm.insert(file, b"hello, exodus").unwrap();
 //! assert_eq!(sm.read(rid).unwrap(), b"hello, exodus");
 //! ```
+//!
+//! # Durability
+//!
+//! A file-backed manager opened with [`StorageManager::open`] and a
+//! [`Durability`] other than [`Durability::None`] is crash-consistent:
+//! mutations grouped under a [`Unit`] either survive a crash entirely or
+//! disappear entirely, and opening the database again runs recovery
+//! automatically. See [`wal`] for the protocol and DESIGN.md §11 for the
+//! guarantees per level.
+//!
+//! ```no_run
+//! use exodus_storage::{Durability, StorageManager};
+//!
+//! let path = std::path::Path::new("/tmp/example.vol");
+//! let (sm, report) = StorageManager::open(path, 1024, Durability::Fsync).unwrap();
+//! assert!(report.was_clean());
+//! let unit = sm.begin_unit().unwrap();
+//! let file = sm.create_file().unwrap();
+//! sm.insert(file, b"durable").unwrap();
+//! unit.commit().unwrap(); // after-images + commit record hit the log
+//! sm.checkpoint().unwrap();
+//! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub mod btree;
 pub mod buffer;
+pub mod crc;
 pub mod encoding;
 pub mod error;
+pub mod failpoint;
 pub mod heap;
 pub mod lob;
 pub mod object;
 pub mod page;
+pub mod recovery;
 pub mod volume;
+pub mod wal;
 
 pub use buffer::BufferStats;
 pub use error::{StorageError, StorageResult};
 pub use heap::{FileId, RecordId};
 pub use object::Oid;
+pub use recovery::RecoveryReport;
+pub use wal::{Durability, Lsn, Wal, WalRecord};
 
+use std::path::Path;
 use std::sync::Arc;
 
 use buffer::BufferPool;
@@ -73,6 +109,11 @@ impl StorageManager {
     }
 
     /// Create a storage manager backed by a file on disk.
+    ///
+    /// No write-ahead log is attached: equivalent to
+    /// [`StorageManager::open`] with [`Durability::None`], minus the
+    /// recovery pass. Prefer `open` for anything that must survive a
+    /// crash.
     pub fn file_backed(path: &std::path::Path, pool_pages: usize) -> StorageResult<Self> {
         Ok(StorageManager {
             pool: Arc::new(BufferPool::new(
@@ -80,6 +121,113 @@ impl StorageManager {
                 pool_pages,
             )),
         })
+    }
+
+    /// Open (or create) a file-backed database at `path`, running crash
+    /// recovery first. Returns the manager and a [`RecoveryReport`]
+    /// describing what recovery found.
+    ///
+    /// The write-ahead log lives in a sibling directory named
+    /// `<path>.wal`. With [`Durability::None`] any leftover log is
+    /// replayed one final time and then deleted — subsequent writes are
+    /// unlogged, and a stale log must not outlive them.
+    pub fn open(
+        path: &Path,
+        pool_pages: usize,
+        durability: Durability,
+    ) -> StorageResult<(Self, RecoveryReport)> {
+        Self::open_with_config(path, pool_pages, durability, wal::DEFAULT_SEGMENT_BYTES)
+    }
+
+    /// [`StorageManager::open`] with an explicit log segment size
+    /// (rollover boundary tests use tiny segments).
+    pub fn open_with_config(
+        path: &Path,
+        pool_pages: usize,
+        durability: Durability,
+        segment_bytes: u64,
+    ) -> StorageResult<(Self, RecoveryReport)> {
+        let wal_dir = wal_dir_for(path);
+        let report = recovery::recover(&wal_dir, path)?;
+        let pool = match durability {
+            Durability::None => {
+                // Unlogged mode: recovery ran above; a log kept around any
+                // longer could replay stale images over unlogged writes.
+                if wal_dir.exists() {
+                    std::fs::remove_dir_all(&wal_dir)?;
+                }
+                BufferPool::new(Box::new(FileVolume::open(path)?), pool_pages)
+            }
+            Durability::Buffered | Durability::Fsync => {
+                let volume = FileVolume::open(path)?;
+                let wal = Arc::new(Wal::open(&wal_dir, durability, segment_bytes)?);
+                BufferPool::with_wal(Box::new(volume), pool_pages, wal)
+            }
+        };
+        Ok((
+            StorageManager {
+                pool: Arc::new(pool),
+            },
+            report,
+        ))
+    }
+
+    /// The configured durability level ([`Durability::None`] when no log
+    /// is attached).
+    pub fn durability(&self) -> Durability {
+        self.pool.wal().map_or(Durability::None, |w| w.durability())
+    }
+
+    /// Open a logged unit: every page dirtied until [`Unit::commit`] is
+    /// pinned in the pool (no-steal) and after-imaged to the log at
+    /// commit, so a crash anywhere inside the unit rolls the whole unit
+    /// back on recovery. One unit is active at a time; this blocks until
+    /// the slot frees. Without a WAL the guard is a no-op.
+    ///
+    /// Note the buffer pool must have room for the unit's whole write set
+    /// — gated pages cannot be evicted.
+    pub fn begin_unit(&self) -> StorageResult<Unit> {
+        let id = match self.pool.wal() {
+            Some(wal) => wal.begin_unit()?,
+            None => 0,
+        };
+        Ok(Unit {
+            pool: self.pool.clone(),
+            id,
+            open: true,
+        })
+    }
+
+    /// Take a checkpoint: bring the volume up to date with the log and
+    /// prune log segments that can never be replayed again.
+    ///
+    /// Protocol (with a WAL attached): pause new units, flush the log,
+    /// append unit-0 after-images of every dirty page (covering
+    /// out-of-unit mutations), flush again, write all dirty pages back,
+    /// sync the volume, append [`WalRecord::Checkpoint`], flush it, then
+    /// delete dead segments. If a crash lands anywhere inside, recovery
+    /// replays from the *previous* checkpoint — the new record only
+    /// becomes the cutoff once durable. Without a WAL this degrades to
+    /// flush-and-sync.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        let Some(wal) = self.pool.wal().cloned() else {
+            self.pool.flush_all()?;
+            return self.pool.sync_volume();
+        };
+        let _pause = wal.pause_units();
+        wal.flush()?;
+        for page_no in self.pool.dirty_page_numbers() {
+            let image = self.pool.page_image(page_no)?;
+            let lsn = wal.append(0, &WalRecord::PageImage { page_no, image })?;
+            self.pool.stamp_page_lsn(page_no, lsn)?;
+        }
+        wal.flush()?;
+        self.pool.flush_all()?;
+        self.pool.sync_volume()?;
+        let cp_lsn = wal.append(0, &WalRecord::Checkpoint)?;
+        wal.flush()?;
+        wal.gc_segments(cp_lsn)?;
+        Ok(())
     }
 
     /// The underlying buffer pool.
@@ -121,6 +269,73 @@ impl StorageManager {
     pub fn flush(&self) -> StorageResult<()> {
         self.pool.flush_all()
     }
+}
+
+/// A logged unit: the storage-level unit of atomicity (see
+/// [`StorageManager::begin_unit`]). Mutations made while the guard is
+/// alive either all survive a crash (after [`Unit::commit`] returns) or
+/// all disappear on recovery.
+///
+/// Dropping the guard commits too (swallowing errors): rollback in this
+/// redo-only design happens *only* via crash recovery, by omission of the
+/// commit record — there is no runtime abort.
+#[must_use = "dropping a Unit commits it with errors swallowed; call commit()"]
+pub struct Unit {
+    pool: Arc<BufferPool>,
+    id: u64,
+    open: bool,
+}
+
+impl Unit {
+    /// The unit's id as it appears in the log (0 for a no-op unit without
+    /// a WAL).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Commit: append an after-image of every page the unit dirtied, then
+    /// the commit record, then flush the log per the durability level.
+    /// The unit's pages become evictable again afterwards.
+    pub fn commit(mut self) -> StorageResult<()> {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> StorageResult<()> {
+        if !self.open {
+            return Ok(());
+        }
+        self.open = false;
+        let Some(wal) = self.pool.wal().cloned() else {
+            return Ok(());
+        };
+        let result = (|| {
+            for page_no in wal.unit_dirty_pages(self.id) {
+                let image = self.pool.page_image(page_no)?;
+                let lsn = wal.append(self.id, &WalRecord::PageImage { page_no, image })?;
+                self.pool.stamp_page_lsn(page_no, lsn)?;
+            }
+            wal.append(self.id, &WalRecord::Commit)?;
+            wal.flush()
+        })();
+        // Success or not, release the slot: after an append error the
+        // commit record is absent, so recovery rolls the unit back.
+        wal.end_unit(self.id);
+        result
+    }
+}
+
+impl Drop for Unit {
+    fn drop(&mut self) {
+        let _ = self.finish();
+    }
+}
+
+/// The log directory for a volume at `path`: a sibling named
+/// `<path>.wal`.
+fn wal_dir_for(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    std::path::PathBuf::from(os)
 }
 
 #[cfg(test)]

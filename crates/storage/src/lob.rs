@@ -18,6 +18,7 @@ use std::sync::Arc;
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageKind, PageView, SlottedPage, NO_PAGE, PAGE_SIZE};
+use crate::wal::WalRecord;
 
 const BODY: usize = PAGE_SIZE - crate::page::HEADER_SIZE;
 /// Data capacity of the first page (length header uses 8 bytes).
@@ -203,7 +204,11 @@ impl Lob {
         if new_end > total {
             self.set_len(pool, new_end)?;
         }
-        Ok(())
+        pool.log_op(&WalRecord::LobWrite {
+            first: self.id.0,
+            offset,
+            len: data.len() as u64,
+        })
     }
 
     /// Append `data` at the end.
@@ -217,6 +222,10 @@ impl Lob {
         let total = self.len(pool)?;
         if len < total {
             self.set_len(pool, len)?;
+            pool.log_op(&WalRecord::LobTruncate {
+                first: self.id.0,
+                len,
+            })?;
         }
         Ok(())
     }

@@ -20,6 +20,9 @@
 //! | 18     | 2    | free-space pointer (offset of lowest record byte) |
 //! | 20     | 2    | page kind tag |
 //! | 22     | 2    | reserved |
+//! | 24     | 8    | `page_lsn`: LSN of the last WAL record covering this page |
+//! | 32     | 4    | page checksum (stamped at write-back; 0 = never stamped) |
+//! | 36     | 4    | reserved |
 //!
 //! Each slot is 4 bytes: `offset: u16`, `len: u16`. A deleted slot has
 //! `offset == DEAD_SLOT`; slot ids are never reused within a page so record
@@ -39,9 +42,53 @@ const H_PREV: usize = 8;
 const H_NSLOTS: usize = 16;
 const H_FREE: usize = 18;
 const H_KIND: usize = 20;
+const H_LSN: usize = 24;
+const H_CKSUM: usize = 32;
 /// First byte past the fixed header; the slot directory starts here.
-pub const HEADER_SIZE: usize = 24;
+pub const HEADER_SIZE: usize = 40;
 const SLOT_SIZE: usize = 4;
+
+/// The LSN of the last WAL record whose effects this page contains.
+/// Zero on pages that have never been touched under a WAL.
+pub fn page_lsn(buf: &[u8]) -> u64 {
+    get_u64(buf, H_LSN)
+}
+
+/// Stamp the page LSN (see [`page_lsn`]).
+pub fn set_page_lsn(buf: &mut [u8], lsn: u64) {
+    put_u64(buf, H_LSN, lsn);
+}
+
+/// CRC-32 of the page contents, excluding the checksum field itself.
+fn page_crc(buf: &[u8]) -> u32 {
+    let c = crate::crc::crc32_multi(&[&buf[..H_CKSUM], &buf[H_CKSUM + 4..]]);
+    // 0 is reserved to mean "never stamped"; remap a real 0 to 1.
+    if c == 0 {
+        1
+    } else {
+        c
+    }
+}
+
+/// Stamp the page checksum. Called by the buffer pool as a page is written
+/// back to a recoverable volume, so torn disk writes are detectable.
+pub fn stamp_page_checksum(buf: &mut [u8]) {
+    let c = page_crc(buf);
+    buf[H_CKSUM..H_CKSUM + 4].copy_from_slice(&c.to_le_bytes());
+}
+
+/// Verify the page checksum. `true` when the stored checksum matches the
+/// contents, or when the page was never stamped (checksum field 0 — e.g. a
+/// freshly allocated page that no write-back ever covered).
+pub fn verify_page_checksum(buf: &[u8]) -> bool {
+    let stored = u32::from_le_bytes([
+        buf[H_CKSUM],
+        buf[H_CKSUM + 1],
+        buf[H_CKSUM + 2],
+        buf[H_CKSUM + 3],
+    ]);
+    stored == 0 || stored == page_crc(buf)
+}
 
 /// Tags distinguishing what structure a page belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -152,6 +199,11 @@ impl<'a> PageView<'a> {
     /// Raw access to the area past the header.
     pub fn body(&self) -> &'a [u8] {
         &self.buf[HEADER_SIZE..]
+    }
+
+    /// The page LSN (see [`page_lsn`]).
+    pub fn lsn(&self) -> u64 {
+        page_lsn(self.buf)
     }
 }
 
@@ -423,6 +475,16 @@ impl<'a> SlottedPage<'a> {
     /// Mutable raw access to the area past the header.
     pub fn body_mut(&mut self) -> &mut [u8] {
         &mut self.buf[HEADER_SIZE..]
+    }
+
+    /// The page LSN (see [`page_lsn`]).
+    pub fn lsn(&self) -> u64 {
+        page_lsn(self.buf)
+    }
+
+    /// Stamp the page LSN (see [`set_page_lsn`]).
+    pub fn set_lsn(&mut self, lsn: u64) {
+        set_page_lsn(self.buf, lsn);
     }
 }
 

@@ -13,6 +13,7 @@ use std::path::Path;
 use parking_lot::Mutex;
 
 use crate::error::{StorageError, StorageResult};
+use crate::failpoint::{self, WriteAction};
 use crate::page::PAGE_SIZE;
 
 /// Abstract page store. Implementations must be internally synchronized;
@@ -26,6 +27,11 @@ pub trait Volume: Send + Sync {
     fn allocate_page(&self) -> StorageResult<u64>;
     /// Number of pages in the volume (allocated high-water mark).
     fn page_count(&self) -> u64;
+    /// Force written pages to stable storage (checkpoint barrier). The
+    /// in-memory volume has nothing to force.
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
 }
 
 /// A purely in-memory volume.
@@ -130,7 +136,15 @@ impl Volume for FileVolume {
         }
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-        file.write_all(buf)?;
+        match failpoint::check_write("volume.write_page", buf.len())? {
+            WriteAction::Full => file.write_all(buf)?,
+            WriteAction::Torn(n) => {
+                file.write_all(&buf[..n])?;
+                return Err(StorageError::Io(std::io::Error::other(
+                    "failpoint: torn page write",
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -139,13 +153,27 @@ impl Volume for FileVolume {
         let page_no = *count;
         let mut file = self.file.lock();
         file.seek(SeekFrom::Start(page_no * PAGE_SIZE as u64))?;
-        file.write_all(&[0u8; PAGE_SIZE])?;
+        match failpoint::check_write("volume.allocate", PAGE_SIZE)? {
+            WriteAction::Full => file.write_all(&[0u8; PAGE_SIZE])?,
+            WriteAction::Torn(n) => {
+                file.write_all(&[0u8; PAGE_SIZE][..n])?;
+                return Err(StorageError::Io(std::io::Error::other(
+                    "failpoint: torn page allocation",
+                )));
+            }
+        }
         *count += 1;
         Ok(page_no)
     }
 
     fn page_count(&self) -> u64 {
         *self.page_count.lock()
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        failpoint::check_write("volume.sync", 0).map(|_| ())?;
+        self.file.lock().sync_data()?;
+        Ok(())
     }
 }
 

@@ -1,0 +1,972 @@
+//! Write-ahead log: append-only, segmented, checksummed.
+//!
+//! The log is a directory of segment files (`wal-NNNNNNNNNN.seg`). Each
+//! segment starts with a 16-byte header (magic, format version, LSN of the
+//! segment's first record) and then holds a sequence of frames:
+//!
+//! ```text
+//! | len: u32 | crc: u32 | lsn: u64 | unit: u64 | record bytes ... |
+//! |<-------- frame header ------->|<-------- crc-covered -------->|
+//! ```
+//!
+//! `len` counts the crc-covered bytes. LSNs number records contiguously
+//! from 1 across segments; a reader verifies both the CRC and the LSN
+//! chain, so a torn tail (a frame half-written at a crash) is detected and
+//! truncated rather than replayed.
+//!
+//! # The recovery protocol (redo-only, no-steal)
+//!
+//! A *logged unit* is the storage-level unit of atomicity (the database
+//! layer wraps each DML statement in one). The protocol:
+//!
+//! 1. [`Wal::begin_unit`] appends [`WalRecord::Begin`]. One unit is active
+//!    at a time; pages it dirties are registered by the buffer pool and may
+//!    **not** be written back to the volume while the unit is open (the
+//!    no-steal rule — uncommitted bytes never reach the volume).
+//! 2. Structure operations append descriptive records (heap/B+-tree/LOB
+//!    insert/update/delete/split) as they execute. These document *what*
+//!    happened — the record catalogue recovery diagnostics print — while
+//!    the redo payload travels in full-page images.
+//! 3. At commit, a [`WalRecord::PageImage`] after-image of every page the
+//!    unit dirtied is appended, then [`WalRecord::Commit`], then the log is
+//!    flushed per the [`Durability`] level.
+//!
+//! Recovery ([`crate::recovery`]) replays the page images of committed
+//! units in LSN order; uncommitted units contribute nothing, which is
+//! exactly statement rollback. [`WalRecord::Checkpoint`] marks a point
+//! where the volume held everything earlier; segments wholly before it are
+//! deleted.
+//!
+//! The flush rule ("no dirty page leaves the pool ahead of its log
+//! record") is enforced by the buffer pool calling [`Wal::flush_up_to`]
+//! with the page's LSN before any volume write.
+
+use std::collections::HashSet;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex as StdMutex};
+
+use parking_lot::Mutex;
+
+use crate::crc::crc32;
+use crate::error::{StorageError, StorageResult};
+use crate::failpoint::{self, WriteAction};
+use crate::page::PAGE_SIZE;
+
+/// A log sequence number. Records are numbered contiguously from 1; 0
+/// means "no record" (e.g. the page LSN of a never-logged page).
+pub type Lsn = u64;
+
+/// How hard committed work is pinned down.
+///
+/// See DESIGN.md §11 for the full crash-consistency contract table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No write-ahead log at all. Fastest; an interrupted process may
+    /// corrupt a file-backed volume. The only choice for in-memory
+    /// volumes, where there is nothing to recover.
+    #[default]
+    None,
+    /// Log records are written to the segment file but not fsynced at
+    /// commit. Committed statements survive a *process* crash (the OS
+    /// still holds the bytes) but may be lost on power failure.
+    Buffered,
+    /// The log is fsynced before a commit is acknowledged. Committed
+    /// statements survive power loss.
+    Fsync,
+}
+
+/// One log record. The frame envelope (LSN + unit id) travels outside the
+/// record, so variants only carry operation payloads.
+///
+/// `PageImage` is the redo payload; the structure-level records are
+/// descriptive (they let recovery diagnostics narrate what a unit did, and
+/// give tests a catalogue to assert against).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A logged unit opened.
+    Begin,
+    /// A logged unit committed; its page images precede this record.
+    Commit,
+    /// Everything with a smaller LSN is on the volume.
+    Checkpoint,
+    /// Full after-image of one page.
+    PageImage {
+        /// The page the image belongs to.
+        page_no: u64,
+        /// Exactly [`PAGE_SIZE`] bytes.
+        image: Vec<u8>,
+    },
+    /// A heap-file record was inserted.
+    HeapInsert {
+        /// Header page of the heap file.
+        file: u64,
+        /// Packed [`crate::RecordId`] of the new record.
+        rid: u64,
+        /// Record length in bytes.
+        len: u32,
+    },
+    /// A heap-file record was overwritten (it may have moved).
+    HeapUpdate {
+        /// Header page of the heap file.
+        file: u64,
+        /// Packed record id before the update.
+        old_rid: u64,
+        /// Packed record id after the update.
+        new_rid: u64,
+        /// New record length in bytes.
+        len: u32,
+    },
+    /// A heap-file record was deleted. `file` is `u64::MAX` when the
+    /// deletion went through the file-independent path.
+    HeapDelete {
+        /// Header page of the heap file, or `u64::MAX` if unknown.
+        file: u64,
+        /// Packed record id.
+        rid: u64,
+    },
+    /// A key/value pair entered a B+-tree.
+    BTreeInsert {
+        /// Root page of the tree.
+        root: u64,
+        /// Encoded key length in bytes.
+        key_len: u32,
+    },
+    /// A key/value pair left a B+-tree.
+    BTreeDelete {
+        /// Root page of the tree.
+        root: u64,
+        /// Encoded key length in bytes.
+        key_len: u32,
+    },
+    /// A B+-tree node split into two.
+    BTreeSplit {
+        /// Root page of the tree.
+        root: u64,
+        /// Page that was split.
+        left: u64,
+        /// Newly allocated right sibling.
+        right: u64,
+    },
+    /// A byte range of a large object was written or appended.
+    LobWrite {
+        /// First page of the LOB chain.
+        first: u64,
+        /// Byte offset of the write.
+        offset: u64,
+        /// Bytes written.
+        len: u64,
+    },
+    /// A large object was truncated.
+    LobTruncate {
+        /// First page of the LOB chain.
+        first: u64,
+        /// New length in bytes.
+        len: u64,
+    },
+}
+
+const TAG_BEGIN: u8 = 1;
+const TAG_COMMIT: u8 = 2;
+const TAG_CHECKPOINT: u8 = 3;
+const TAG_PAGE_IMAGE: u8 = 4;
+const TAG_HEAP_INSERT: u8 = 5;
+const TAG_HEAP_UPDATE: u8 = 6;
+const TAG_HEAP_DELETE: u8 = 7;
+const TAG_BTREE_INSERT: u8 = 8;
+const TAG_BTREE_DELETE: u8 = 9;
+const TAG_BTREE_SPLIT: u8 = 10;
+const TAG_LOB_WRITE: u8 = 11;
+const TAG_LOB_TRUNCATE: u8 = 12;
+
+impl WalRecord {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut u64s = |tag: u8, vals: &[u64]| {
+            out.push(tag);
+            for v in vals {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        };
+        match self {
+            WalRecord::Begin => u64s(TAG_BEGIN, &[]),
+            WalRecord::Commit => u64s(TAG_COMMIT, &[]),
+            WalRecord::Checkpoint => u64s(TAG_CHECKPOINT, &[]),
+            WalRecord::PageImage { page_no, image } => {
+                debug_assert_eq!(image.len(), PAGE_SIZE);
+                u64s(TAG_PAGE_IMAGE, &[*page_no]);
+                out.extend_from_slice(image);
+            }
+            WalRecord::HeapInsert { file, rid, len } => {
+                u64s(TAG_HEAP_INSERT, &[*file, *rid, *len as u64])
+            }
+            WalRecord::HeapUpdate {
+                file,
+                old_rid,
+                new_rid,
+                len,
+            } => u64s(TAG_HEAP_UPDATE, &[*file, *old_rid, *new_rid, *len as u64]),
+            WalRecord::HeapDelete { file, rid } => u64s(TAG_HEAP_DELETE, &[*file, *rid]),
+            WalRecord::BTreeInsert { root, key_len } => {
+                u64s(TAG_BTREE_INSERT, &[*root, *key_len as u64])
+            }
+            WalRecord::BTreeDelete { root, key_len } => {
+                u64s(TAG_BTREE_DELETE, &[*root, *key_len as u64])
+            }
+            WalRecord::BTreeSplit { root, left, right } => {
+                u64s(TAG_BTREE_SPLIT, &[*root, *left, *right])
+            }
+            WalRecord::LobWrite { first, offset, len } => {
+                u64s(TAG_LOB_WRITE, &[*first, *offset, *len])
+            }
+            WalRecord::LobTruncate { first, len } => u64s(TAG_LOB_TRUNCATE, &[*first, *len]),
+        }
+    }
+
+    fn decode(buf: &[u8]) -> Option<WalRecord> {
+        let (&tag, rest) = buf.split_first()?;
+        let mut fields = rest.chunks_exact(8).map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            u64::from_le_bytes(b)
+        });
+        let n = rest.len() / 8;
+        let mut take = |want: usize| -> Option<Vec<u64>> {
+            (n == want && rest.len() == want * 8).then(|| fields.by_ref().take(want).collect())
+        };
+        Some(match tag {
+            TAG_BEGIN if rest.is_empty() => WalRecord::Begin,
+            TAG_COMMIT if rest.is_empty() => WalRecord::Commit,
+            TAG_CHECKPOINT if rest.is_empty() => WalRecord::Checkpoint,
+            TAG_PAGE_IMAGE => {
+                if rest.len() != 8 + PAGE_SIZE {
+                    return None;
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&rest[..8]);
+                WalRecord::PageImage {
+                    page_no: u64::from_le_bytes(b),
+                    image: rest[8..].to_vec(),
+                }
+            }
+            TAG_HEAP_INSERT => {
+                let v = take(3)?;
+                WalRecord::HeapInsert {
+                    file: v[0],
+                    rid: v[1],
+                    len: v[2] as u32,
+                }
+            }
+            TAG_HEAP_UPDATE => {
+                let v = take(4)?;
+                WalRecord::HeapUpdate {
+                    file: v[0],
+                    old_rid: v[1],
+                    new_rid: v[2],
+                    len: v[3] as u32,
+                }
+            }
+            TAG_HEAP_DELETE => {
+                let v = take(2)?;
+                WalRecord::HeapDelete {
+                    file: v[0],
+                    rid: v[1],
+                }
+            }
+            TAG_BTREE_INSERT => {
+                let v = take(2)?;
+                WalRecord::BTreeInsert {
+                    root: v[0],
+                    key_len: v[1] as u32,
+                }
+            }
+            TAG_BTREE_DELETE => {
+                let v = take(2)?;
+                WalRecord::BTreeDelete {
+                    root: v[0],
+                    key_len: v[1] as u32,
+                }
+            }
+            TAG_BTREE_SPLIT => {
+                let v = take(3)?;
+                WalRecord::BTreeSplit {
+                    root: v[0],
+                    left: v[1],
+                    right: v[2],
+                }
+            }
+            TAG_LOB_WRITE => {
+                let v = take(3)?;
+                WalRecord::LobWrite {
+                    first: v[0],
+                    offset: v[1],
+                    len: v[2],
+                }
+            }
+            TAG_LOB_TRUNCATE => {
+                let v = take(2)?;
+                WalRecord::LobTruncate {
+                    first: v[0],
+                    len: v[1],
+                }
+            }
+            _ => return None,
+        })
+    }
+}
+
+/// Magic bytes opening every segment file.
+const SEG_MAGIC: [u8; 4] = *b"XWAL";
+/// Log format version.
+const SEG_VERSION: u32 = 1;
+/// Bytes of the segment header: magic, version, first LSN.
+pub(crate) const SEG_HEADER: usize = 16;
+/// Default segment size before rollover.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
+/// Bytes of the frame header (`len` + `crc`).
+const FRAME_HEADER: usize = 8;
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.seg"))
+}
+
+/// List segment files in `dir`, ordered by sequence number.
+pub(crate) fn list_segments(dir: &Path) -> StorageResult<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// One decoded log entry.
+#[derive(Debug, Clone)]
+pub struct WalEntry {
+    /// The record's log sequence number.
+    pub lsn: Lsn,
+    /// The logged unit it belongs to (0 = outside any unit).
+    pub unit: u64,
+    /// The record itself.
+    pub rec: WalRecord,
+}
+
+/// Where a log scan stopped.
+#[derive(Debug, Default)]
+pub(crate) struct LogTail {
+    /// LSN of the last valid record (0 when the log is empty).
+    pub last_lsn: Lsn,
+    /// Whether the scan hit a torn/corrupt frame (vs clean end-of-log).
+    pub torn: bool,
+    /// Segment seq + byte offset just past the last valid frame, if any
+    /// segment exists.
+    pub valid_end: Option<(u64, u64)>,
+    /// Bytes of invalid tail discovered (in the torn segment and beyond).
+    pub torn_bytes: u64,
+}
+
+/// Scan every segment, yielding valid entries in order and the position
+/// where validity ends. Stops at the first torn frame; later segments are
+/// counted as torn bytes wholesale.
+pub(crate) fn read_log(dir: &Path) -> StorageResult<(Vec<WalEntry>, LogTail)> {
+    let mut entries = Vec::new();
+    let mut tail = LogTail::default();
+    let mut expect_lsn: Lsn = 0; // 0 = take the first segment's word for it
+    for (seq, path) in list_segments(dir)? {
+        if tail.torn {
+            tail.torn_bytes += std::fs::metadata(&path)?.len();
+            continue;
+        }
+        let mut bytes = Vec::new();
+        File::open(&path)?.read_to_end(&mut bytes)?;
+        let seg_len = bytes.len() as u64;
+        let header_ok = bytes.len() >= SEG_HEADER
+            && bytes[..4] == SEG_MAGIC
+            && u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) == SEG_VERSION;
+        let first_lsn = if header_ok {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[8..16]);
+            u64::from_le_bytes(b)
+        } else {
+            0
+        };
+        if !header_ok || (expect_lsn != 0 && first_lsn != expect_lsn) {
+            // A segment created moments before the crash (header torn), or
+            // one that does not continue the chain: end of the valid log.
+            tail.torn = true;
+            tail.torn_bytes += seg_len;
+            continue;
+        }
+        if expect_lsn == 0 {
+            expect_lsn = first_lsn;
+        }
+        let mut pos = SEG_HEADER;
+        tail.valid_end = Some((seq, pos as u64));
+        while pos + FRAME_HEADER <= bytes.len() {
+            let len =
+                u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+                    as usize;
+            let crc = u32::from_le_bytes([
+                bytes[pos + 4],
+                bytes[pos + 5],
+                bytes[pos + 6],
+                bytes[pos + 7],
+            ]);
+            let body_start = pos + FRAME_HEADER;
+            if len < 17 || body_start + len > bytes.len() {
+                break; // incomplete frame: torn tail
+            }
+            let body = &bytes[body_start..body_start + len];
+            if crc32(body) != crc {
+                break;
+            }
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&body[..8]);
+            let lsn = u64::from_le_bytes(b);
+            b.copy_from_slice(&body[8..16]);
+            let unit = u64::from_le_bytes(b);
+            if lsn != expect_lsn {
+                break;
+            }
+            let Some(rec) = WalRecord::decode(&body[16..]) else {
+                break;
+            };
+            entries.push(WalEntry { lsn, unit, rec });
+            tail.last_lsn = lsn;
+            expect_lsn += 1;
+            pos = body_start + len;
+            tail.valid_end = Some((seq, pos as u64));
+        }
+        if (pos as u64) < seg_len {
+            tail.torn = true;
+            tail.torn_bytes += seg_len - pos as u64;
+        }
+    }
+    Ok((entries, tail))
+}
+
+struct WalInner {
+    file: File,
+    seg_seq: u64,
+    seg_len: u64,
+    /// LSN of the last appended record.
+    appended_lsn: Lsn,
+    /// LSN through which the log has been fsynced.
+    synced_lsn: Lsn,
+}
+
+struct UnitSlot {
+    active: Option<ActiveUnit>,
+    next_id: u64,
+}
+
+struct ActiveUnit {
+    id: u64,
+    dirty: HashSet<u64>,
+}
+
+/// The write-ahead log. See the module docs for the protocol.
+pub struct Wal {
+    dir: PathBuf,
+    durability: Durability,
+    segment_bytes: u64,
+    inner: Mutex<WalInner>,
+    unit: StdMutex<UnitSlot>,
+    unit_cv: Condvar,
+    /// Mirror of `inner.appended_lsn` readable without the append lock.
+    appended: AtomicU64,
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, positioning appends after the
+    /// last valid record. Run [`crate::recovery::recover`] first: this
+    /// trusts the tail it finds. `durability` must not be
+    /// [`Durability::None`] — a database without a log simply has no
+    /// [`Wal`].
+    pub fn open(dir: &Path, durability: Durability, segment_bytes: u64) -> StorageResult<Wal> {
+        assert!(
+            durability != Durability::None,
+            "Durability::None means no WAL is constructed"
+        );
+        std::fs::create_dir_all(dir)?;
+        let (_, tail) = read_log(dir)?;
+        let (file, seg_seq, seg_len) = match tail.valid_end {
+            Some((seq, off)) => {
+                let mut file = OpenOptions::new()
+                    .read(true)
+                    .write(true)
+                    .open(segment_path(dir, seq))?;
+                file.set_len(off)?; // drop any torn tail defensively
+                file.seek(std::io::SeekFrom::Start(off))?;
+                (file, seq, off)
+            }
+            None => {
+                let (file, len) = new_segment(dir, 1, 1)?;
+                (file, 1, len)
+            }
+        };
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            durability,
+            segment_bytes,
+            inner: Mutex::new(WalInner {
+                file,
+                seg_seq,
+                seg_len,
+                appended_lsn: tail.last_lsn,
+                synced_lsn: tail.last_lsn,
+            }),
+            unit: StdMutex::new(UnitSlot {
+                active: None,
+                next_id: 1,
+            }),
+            unit_cv: Condvar::new(),
+            appended: AtomicU64::new(tail.last_lsn),
+        })
+    }
+
+    /// The configured durability level (never [`Durability::None`]).
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Append one record for `unit` (0 = outside any unit); returns its
+    /// LSN. Buffered in the OS — call [`Wal::flush`] to make it durable.
+    pub fn append(&self, unit: u64, rec: &WalRecord) -> StorageResult<Lsn> {
+        let mut inner = self.inner.lock();
+        let lsn = inner.appended_lsn + 1;
+        let mut body = Vec::with_capacity(64);
+        body.extend_from_slice(&lsn.to_le_bytes());
+        body.extend_from_slice(&unit.to_le_bytes());
+        rec.encode_into(&mut body);
+        let mut frame = Vec::with_capacity(FRAME_HEADER + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+        match failpoint::check_write("wal.append", frame.len())? {
+            WriteAction::Full => inner.file.write_all(&frame)?,
+            WriteAction::Torn(n) => {
+                inner.file.write_all(&frame[..n])?;
+                return Err(StorageError::Io(std::io::Error::other(
+                    "failpoint: torn log append",
+                )));
+            }
+        }
+        inner.seg_len += frame.len() as u64;
+        inner.appended_lsn = lsn;
+        self.appended.store(lsn, Ordering::Release);
+        if inner.seg_len >= self.segment_bytes {
+            if self.durability == Durability::Fsync {
+                // The retiring segment may hold frames newer than the last
+                // group fsync; pin them down before moving on, so
+                // `flush_up_to` never needs to reach back across files.
+                failpoint::check_write("wal.fsync", 0).map(|_| ())?;
+                inner.file.sync_data()?;
+                inner.synced_lsn = lsn;
+            }
+            let (file, len) = new_segment(&self.dir, inner.seg_seq + 1, lsn + 1)?;
+            inner.file = file;
+            inner.seg_seq += 1;
+            inner.seg_len = len;
+        }
+        Ok(lsn)
+    }
+
+    /// LSN of the last appended record.
+    pub fn appended_lsn(&self) -> Lsn {
+        self.appended.load(Ordering::Acquire)
+    }
+
+    /// Make everything appended so far durable per the configured level.
+    /// Under [`Durability::Buffered`] this is a no-op (the OS holds the
+    /// bytes; that survives a process crash, which is the level's
+    /// contract). Under [`Durability::Fsync`] the segment is fsynced —
+    /// once per distinct LSN, so a burst of committers shares one fsync
+    /// (group commit).
+    pub fn flush(&self) -> StorageResult<()> {
+        let target = self.appended.load(Ordering::Acquire);
+        self.flush_up_to(target)
+    }
+
+    /// The flush rule: ensure the log is durable through `lsn` before a
+    /// page with that `page_lsn` is written to the volume.
+    pub fn flush_up_to(&self, lsn: Lsn) -> StorageResult<()> {
+        if self.durability != Durability::Fsync {
+            return Ok(());
+        }
+        let mut inner = self.inner.lock();
+        if inner.synced_lsn >= lsn {
+            return Ok(());
+        }
+        failpoint::check_write("wal.fsync", 0).map(|_| ())?;
+        inner.file.sync_data()?;
+        inner.synced_lsn = inner.appended_lsn;
+        Ok(())
+    }
+
+    /// Open a logged unit, blocking until no other unit is active, and
+    /// append its [`WalRecord::Begin`]. Returns the unit id.
+    pub fn begin_unit(&self) -> StorageResult<u64> {
+        let mut slot = self.unit.lock().expect("unit slot");
+        while slot.active.is_some() {
+            slot = self.unit_cv.wait(slot).expect("unit slot");
+        }
+        let id = slot.next_id;
+        slot.next_id += 1;
+        slot.active = Some(ActiveUnit {
+            id,
+            dirty: HashSet::new(),
+        });
+        drop(slot);
+        match self.append(id, &WalRecord::Begin) {
+            Ok(_) => Ok(id),
+            Err(e) => {
+                self.end_unit(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Record that the active unit dirtied `page_no` (called by the
+    /// buffer pool on every exclusive page access). A no-op outside a
+    /// unit.
+    pub fn note_write(&self, page_no: u64) {
+        let mut slot = self.unit.lock().expect("unit slot");
+        if let Some(active) = slot.active.as_mut() {
+            active.dirty.insert(page_no);
+        }
+    }
+
+    /// Whether `page_no` is pinned down by the active unit (the no-steal
+    /// rule): such pages may not be written back to the volume.
+    pub fn page_gated(&self, page_no: u64) -> bool {
+        let slot = self.unit.lock().expect("unit slot");
+        slot.active
+            .as_ref()
+            .is_some_and(|a| a.dirty.contains(&page_no))
+    }
+
+    /// The pages the unit has dirtied so far, sorted (deterministic
+    /// commit image order). The set stays gated until [`Wal::end_unit`].
+    pub fn unit_dirty_pages(&self, unit: u64) -> Vec<u64> {
+        let slot = self.unit.lock().expect("unit slot");
+        let mut pages: Vec<u64> = slot
+            .active
+            .as_ref()
+            .filter(|a| a.id == unit)
+            .map(|a| a.dirty.iter().copied().collect())
+            .unwrap_or_default();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Close the unit (after `Commit` was appended — or on abandonment),
+    /// releasing its pages for eviction and waking queued units.
+    pub fn end_unit(&self, unit: u64) {
+        let mut slot = self.unit.lock().expect("unit slot");
+        if slot.active.as_ref().is_some_and(|a| a.id == unit) {
+            slot.active = None;
+        }
+        drop(slot);
+        self.unit_cv.notify_one();
+    }
+
+    /// The id of the active unit, or 0. Structure code logs descriptive
+    /// records under this id.
+    pub fn current_unit(&self) -> u64 {
+        let slot = self.unit.lock().expect("unit slot");
+        slot.active.as_ref().map_or(0, |a| a.id)
+    }
+
+    /// Append a descriptive operation record under the active unit (or
+    /// unit 0 when none is open).
+    pub fn log_op(&self, rec: &WalRecord) -> StorageResult<Lsn> {
+        self.append(self.current_unit(), rec)
+    }
+
+    /// Hold the unit slot without opening a logged unit: blocks until no
+    /// unit is active, and blocks [`Wal::begin_unit`] until the returned
+    /// guard drops. Checkpoints use this so no unit's uncommitted pages
+    /// can be mid-flight while the volume is brought up to date.
+    pub fn pause_units(&self) -> UnitPause<'_> {
+        let mut slot = self.unit.lock().expect("unit slot");
+        while slot.active.is_some() {
+            slot = self.unit_cv.wait(slot).expect("unit slot");
+        }
+        slot.active = Some(ActiveUnit {
+            id: PAUSE_UNIT,
+            dirty: HashSet::new(),
+        });
+        UnitPause { wal: self }
+    }
+
+    /// Delete segments that end strictly before `keep_lsn` (every record
+    /// the segment holds is older). Called after a checkpoint record with
+    /// that LSN is durable: such segments can never be replayed again. The
+    /// segment holding `keep_lsn` — and the current one — always survive.
+    pub fn gc_segments(&self, keep_lsn: Lsn) -> StorageResult<()> {
+        let segs = list_segments(&self.dir)?;
+        // A segment is dead if the *next* segment starts at or before
+        // `keep_lsn` (so everything in it is < keep_lsn).
+        for pair in segs.windows(2) {
+            let (_, ref path) = pair[0];
+            let (_, ref next_path) = pair[1];
+            if segment_first_lsn(next_path).is_some_and(|first| first <= keep_lsn) {
+                std::fs::remove_file(path)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The reserved pseudo-unit id [`Wal::pause_units`] parks in the slot.
+const PAUSE_UNIT: u64 = u64::MAX;
+
+/// Guard holding the unit slot closed (see [`Wal::pause_units`]).
+pub struct UnitPause<'a> {
+    wal: &'a Wal,
+}
+
+impl Drop for UnitPause<'_> {
+    fn drop(&mut self) {
+        self.wal.end_unit(PAUSE_UNIT);
+    }
+}
+
+/// Read the `first_lsn` field of a segment header, if it is intact.
+fn segment_first_lsn(path: &Path) -> Option<Lsn> {
+    let mut header = [0u8; SEG_HEADER];
+    let mut file = File::open(path).ok()?;
+    file.read_exact(&mut header).ok()?;
+    (header[..4] == SEG_MAGIC).then(|| {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&header[8..16]);
+        u64::from_le_bytes(b)
+    })
+}
+
+/// Create segment file `seq`, writing its header.
+fn new_segment(dir: &Path, seq: u64, first_lsn: Lsn) -> StorageResult<(File, u64)> {
+    let mut header = Vec::with_capacity(SEG_HEADER);
+    header.extend_from_slice(&SEG_MAGIC);
+    header.extend_from_slice(&SEG_VERSION.to_le_bytes());
+    header.extend_from_slice(&first_lsn.to_le_bytes());
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(segment_path(dir, seq))?;
+    match failpoint::check_write("wal.segment", header.len())? {
+        WriteAction::Full => file.write_all(&header)?,
+        WriteAction::Torn(n) => {
+            file.write_all(&header[..n])?;
+            return Err(StorageError::Io(std::io::Error::other(
+                "failpoint: torn segment header",
+            )));
+        }
+    }
+    Ok((file, SEG_HEADER as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("exodus-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn all_record_shapes() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Begin,
+            WalRecord::Commit,
+            WalRecord::Checkpoint,
+            WalRecord::PageImage {
+                page_no: 7,
+                image: vec![0xA5; PAGE_SIZE],
+            },
+            WalRecord::HeapInsert {
+                file: 1,
+                rid: 99,
+                len: 128,
+            },
+            WalRecord::HeapUpdate {
+                file: 1,
+                old_rid: 99,
+                new_rid: 100,
+                len: 4,
+            },
+            WalRecord::HeapDelete { file: 1, rid: 100 },
+            WalRecord::BTreeInsert {
+                root: 2,
+                key_len: 16,
+            },
+            WalRecord::BTreeDelete {
+                root: 2,
+                key_len: 16,
+            },
+            WalRecord::BTreeSplit {
+                root: 2,
+                left: 3,
+                right: 4,
+            },
+            WalRecord::LobWrite {
+                first: 5,
+                offset: 0,
+                len: 1000,
+            },
+            WalRecord::LobTruncate { first: 5, len: 10 },
+        ]
+    }
+
+    #[test]
+    fn record_encoding_round_trips() {
+        for rec in all_record_shapes() {
+            let mut buf = Vec::new();
+            rec.encode_into(&mut buf);
+            assert_eq!(WalRecord::decode(&buf).as_ref(), Some(&rec), "{rec:?}");
+        }
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let wal = Wal::open(&dir, Durability::Buffered, DEFAULT_SEGMENT_BYTES).unwrap();
+        let recs = all_record_shapes();
+        for (i, rec) in recs.iter().enumerate() {
+            let lsn = wal.append(i as u64, rec).unwrap();
+            assert_eq!(lsn, i as u64 + 1);
+        }
+        wal.flush().unwrap();
+        drop(wal);
+        let (entries, tail) = read_log(&dir).unwrap();
+        assert!(!tail.torn);
+        assert_eq!(entries.len(), recs.len());
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.lsn, i as u64 + 1);
+            assert_eq!(e.unit, i as u64);
+            assert_eq!(e.rec, recs[i]);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_rollover_and_reopen() {
+        let dir = temp_dir("rollover");
+        // Tiny segments: every couple of appends rolls over.
+        let wal = Wal::open(&dir, Durability::Buffered, 128).unwrap();
+        for i in 0..50u64 {
+            wal.append(
+                0,
+                &WalRecord::HeapInsert {
+                    file: i,
+                    rid: i,
+                    len: 1,
+                },
+            )
+            .unwrap();
+        }
+        drop(wal);
+        assert!(
+            list_segments(&dir).unwrap().len() > 3,
+            "expected several segments"
+        );
+        let (entries, tail) = read_log(&dir).unwrap();
+        assert_eq!(entries.len(), 50);
+        assert!(!tail.torn);
+        // Reopen appends where we left off.
+        let wal = Wal::open(&dir, Durability::Buffered, 128).unwrap();
+        let lsn = wal.append(0, &WalRecord::Checkpoint).unwrap();
+        assert_eq!(lsn, 51);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_ignored() {
+        let dir = temp_dir("torn");
+        let wal = Wal::open(&dir, Durability::Buffered, DEFAULT_SEGMENT_BYTES).unwrap();
+        for i in 0..10u64 {
+            wal.append(
+                1,
+                &WalRecord::HeapInsert {
+                    file: 0,
+                    rid: i,
+                    len: 1,
+                },
+            )
+            .unwrap();
+        }
+        drop(wal);
+        // Chop the last frame in half.
+        let (_, path) = list_segments(&dir).unwrap().pop().unwrap();
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 20).unwrap();
+        drop(f);
+        let (entries, tail) = read_log(&dir).unwrap();
+        assert_eq!(entries.len(), 9);
+        assert!(tail.torn);
+        assert!(tail.torn_bytes > 0);
+        // Garbage at the tail is equally rejected (CRC).
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[0xFF; 64]).unwrap();
+        drop(f);
+        let (entries, tail) = read_log(&dir).unwrap();
+        assert_eq!(entries.len(), 9);
+        assert!(tail.torn);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_log_reads_empty() {
+        let dir = temp_dir("empty");
+        let (entries, tail) = read_log(&dir).unwrap();
+        assert!(entries.is_empty());
+        assert!(!tail.torn);
+        assert_eq!(tail.last_lsn, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unit_slot_serializes_units() {
+        let dir = temp_dir("units");
+        let wal = std::sync::Arc::new(
+            Wal::open(&dir, Durability::Buffered, DEFAULT_SEGMENT_BYTES).unwrap(),
+        );
+        let u1 = wal.begin_unit().unwrap();
+        wal.note_write(42);
+        assert!(wal.page_gated(42));
+        assert!(!wal.page_gated(43));
+        assert_eq!(wal.unit_dirty_pages(u1), vec![42]);
+        // A second unit waits until the first ends.
+        let w2 = wal.clone();
+        let t = std::thread::spawn(move || {
+            let u2 = w2.begin_unit().unwrap();
+            w2.end_unit(u2);
+            u2
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        wal.end_unit(u1);
+        let u2 = t.join().unwrap();
+        assert!(u2 > u1);
+        assert!(!wal.page_gated(42));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -35,14 +35,15 @@
 //! assert_eq!(rows.len(), 1);
 //! ```
 
+#![deny(rustdoc::broken_intra_doc_links)]
 pub use excess_algebra as algebra;
 pub use excess_exec as exec;
 pub use excess_lang as lang;
 pub use excess_sema as sema;
 pub use exodus_db as db;
 pub use exodus_db::{
-    Database, DatabaseBuilder, DbError, DbResult, Explanation, OpProfile, QueryProfile,
-    QueryResult, Response, Row, Session, Value,
+    Database, DatabaseBuilder, DbError, DbResult, Durability, Explanation, OpProfile, QueryProfile,
+    QueryResult, RecoveryReport, Response, Row, Session, Value,
 };
 pub use exodus_storage as storage;
 pub use extra_model as model;

@@ -1,0 +1,78 @@
+//! Executes every fenced example in docs/EXCESS.md.
+//!
+//! The reference promises that its `excess` blocks run top-to-bottom in
+//! one session of a fresh database, and that `excess-error` blocks fail.
+//! This test is that promise: a drifted example breaks the build.
+
+use extra_excess::Database;
+
+struct Block {
+    lang: String,
+    line: usize,
+    code: String,
+}
+
+/// Pull fenced code blocks (``` ... ```) out of a markdown file.
+fn fenced_blocks(markdown: &str) -> Vec<Block> {
+    let mut blocks = Vec::new();
+    let mut current: Option<Block> = None;
+    for (i, line) in markdown.lines().enumerate() {
+        let trimmed = line.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("```") {
+            match current.take() {
+                Some(b) => blocks.push(b),
+                None => {
+                    current = Some(Block {
+                        lang: rest.trim().to_string(),
+                        line: i + 1,
+                        code: String::new(),
+                    })
+                }
+            }
+        } else if let Some(b) = current.as_mut() {
+            b.code.push_str(line);
+            b.code.push('\n');
+        }
+    }
+    assert!(current.is_none(), "unterminated code fence");
+    blocks
+}
+
+#[test]
+fn every_excess_example_runs() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/EXCESS.md");
+    let doc = std::fs::read_to_string(path).expect("docs/EXCESS.md");
+    let blocks = fenced_blocks(&doc);
+
+    let mut ran = 0;
+    let mut expected_failures = 0;
+    let db = Database::in_memory();
+    let mut session = db.session();
+    for b in &blocks {
+        match b.lang.as_str() {
+            "excess" => {
+                session.run(&b.code).unwrap_or_else(|e| {
+                    panic!("docs/EXCESS.md:{}: example failed: {e}\n{}", b.line, b.code)
+                });
+                ran += 1;
+            }
+            "excess-error" => {
+                assert!(
+                    session.run(&b.code).is_err(),
+                    "docs/EXCESS.md:{}: example documented as an error succeeded:\n{}",
+                    b.line,
+                    b.code
+                );
+                expected_failures += 1;
+            }
+            _ => {}
+        }
+    }
+    // The reference must actually exercise the language: a refactor that
+    // drops the fences (or retags them) should fail loudly.
+    assert!(ran >= 20, "only {ran} runnable examples found");
+    assert!(
+        expected_failures >= 3,
+        "only {expected_failures} error examples found"
+    );
+}
