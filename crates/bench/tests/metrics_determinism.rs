@@ -1,0 +1,142 @@
+//! Metrics determinism across degrees of parallelism.
+//!
+//! Counter deltas for an identical workload must not depend on thread
+//! scheduling: every run at a given DOP yields *identical* deltas, and
+//! DOP-independent counters agree across DOPs. This pins the
+//! `HeapFile::partitions` chain cache (the old chain walk re-pinned
+//! every heap page on each parallel scan, inflating pool hits at DOP 4
+//! by the heap's page count per query) and guards against future
+//! scheduling-dependent accounting sneaking in.
+//!
+//! The workload queries an own-mode snapshot collection (built with
+//! `retrieve into`), so scans decode inline values and never chase
+//! references: ref-chasing queries populate worker-local deref caches,
+//! whose pin pattern legitimately depends on which worker claims which
+//! morsel.
+
+use exodus_bench::{university_with, DeptMode};
+use exodus_db::MetricsSnapshot;
+
+/// Deref-free selection over the 10k-member snapshot (~1.4%
+/// selectivity).
+const Q: &str = "retrieve (S.sal) where S.sal > 99000.0";
+
+/// Matching members of [`Q`].
+const ROWS: usize = 140;
+
+/// Counter deltas over three identical queries, measured after one
+/// warm-up execution (the warm-up lets DOP > 1 build the partition
+/// chain cache, whose one-time page walk is a real, documented cost).
+fn workload_deltas(dop: usize) -> Vec<(String, u64)> {
+    let u = university_with(20, 10_000, 0, DeptMode::Ref, 65_536, |b| {
+        b.worker_threads(dop)
+    });
+    let mut s = u.db.session();
+    s.run("range of E is Employees").unwrap();
+    s.run("retrieve into Snap (sal = E.salary) from E in Employees")
+        .unwrap();
+    s.run("range of S is Snap").unwrap();
+    s.query(Q).unwrap();
+    let before = u.db.metrics_snapshot().unwrap();
+    for _ in 0..3 {
+        assert_eq!(s.query(Q).unwrap().rows.len(), ROWS);
+    }
+    let after = u.db.metrics_snapshot().unwrap();
+    after
+        .check_monotonic_since(&before)
+        .expect("counters moved backwards");
+    MetricsSnapshot::counter_deltas(&before, &after)
+}
+
+/// Counters whose values legitimately depend on the degree of
+/// parallelism — still deterministic *within* a DOP (see
+/// [`pool_counters_pinned_at_dop_1_and_4`] for the exact per-DOP
+/// values):
+///
+/// * `exec_morsels_total` / `exec_batches_total`: the parallel plan
+///   claims morsels and chunks each one independently; the serial plan
+///   batches one continuous scan.
+/// * `storage_pool_hits_total`: morsel-boundary re-pins follow the
+///   partition geometry (a function of `dop × MORSELS_PER_WORKER`),
+///   and at DOP ≥ 2 the planner costs the parallel candidate, which
+///   re-reads the collection count from its header page a constant
+///   four extra times per query.
+const DOP_DEPENDENT: [&str; 3] = [
+    "exec_batches_total",
+    "exec_morsels_total",
+    "storage_pool_hits_total",
+];
+
+#[test]
+fn counters_identical_across_dop() {
+    let d1 = workload_deltas(1);
+    let d1_again = workload_deltas(1);
+    assert_eq!(d1, d1_again, "DOP-1 counter deltas are not deterministic");
+
+    let d4 = workload_deltas(4);
+    let d4_again = workload_deltas(4);
+    // Which worker claims which morsel varies run to run; the totals
+    // may not.
+    assert_eq!(d4, d4_again, "DOP-4 counter deltas are not deterministic");
+
+    let strip = |d: &[(String, u64)]| -> Vec<(String, u64)> {
+        d.iter()
+            .filter(|(n, _)| !DOP_DEPENDENT.contains(&n.as_str()))
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        strip(&d1),
+        strip(&d4),
+        "DOP-independent counters diverged between DOP 1 and DOP 4 \
+         (full deltas: DOP1 {d1:?} vs DOP4 {d4:?})"
+    );
+}
+
+/// Exact page-pin accounting, pinned per DOP. The 10k-member snapshot
+/// heap spans 19 pages and sits entirely in the 64Ki-page pool, so
+/// every pin is a hit and misses stay zero. Per query:
+///
+/// * DOP 1 — 29 pins: the header (chain start), each of the 19 pages
+///   once, and 9 re-pins where a 1024-row batch boundary lands
+///   mid-page.
+/// * DOP 4 — 33 pins: the header (`member_count` gate), each page once
+///   across all morsels (cached partitions pin nothing), 9 re-pins at
+///   chunk boundaries inside the 2-page morsels, and 4 planner pins —
+///   costing the parallel candidate re-reads the collection count from
+///   the header via `leftmost_scan_rows`, `cost`, and `cardinality`.
+#[test]
+fn pool_counters_pinned_at_dop_1_and_4() {
+    let d1 = workload_deltas(1);
+    let d4 = workload_deltas(4);
+    let counter = |d: &[(String, u64)], name: &str| -> u64 {
+        d.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    for (dop, d, hits) in [(1, &d1, 87), (4, &d4, 99)] {
+        assert_eq!(
+            counter(d, "storage_pool_hits_total"),
+            hits,
+            "DOP-{dop} pool hits moved; was 3 × {} per the breakdown above",
+            hits / 3
+        );
+        assert_eq!(counter(d, "storage_pool_misses_total"), 0, "DOP-{dop}");
+        assert_eq!(
+            counter(d, "exec_rows_total"),
+            3 * ROWS as u64,
+            "DOP-{dop}; was 3 × {ROWS} matching members"
+        );
+        assert_eq!(counter(d, "db_statements_total"), 3, "DOP-{dop}");
+        assert_eq!(counter(d, "db_statements_retrieve_total"), 3, "DOP-{dop}");
+    }
+    // The DOP-dependent executor counters, pinned per DOP: DOP 1 never
+    // touches the morsel queue; DOP 4 splits the 19 pages into 10
+    // morsels per query and chunks them into the same batch total every
+    // run.
+    assert_eq!(counter(&d1, "exec_morsels_total"), 0);
+    assert_eq!(counter(&d1, "exec_batches_total"), 30);
+    assert_eq!(counter(&d4, "exec_morsels_total"), 30);
+    assert_eq!(counter(&d4, "exec_batches_total"), 45);
+}

@@ -414,4 +414,11 @@ pub enum Stmt {
         /// The statement being explained.
         stmt: Box<Stmt>,
     },
+    /// `observe <statement>` — execute the wrapped statement and report
+    /// the metric activity it caused (wall-clock time plus counter
+    /// deltas).
+    Observe {
+        /// The statement being observed.
+        stmt: Box<Stmt>,
+    },
 }

@@ -222,8 +222,22 @@ impl<'a> Parser<'a> {
                 if matches!(self.peek(), Tok::Kw(Kw::Explain)) {
                     return self.err("explain cannot be nested");
                 }
+                if matches!(self.peek(), Tok::Kw(Kw::Observe)) {
+                    return self.err("explain cannot wrap observe");
+                }
                 let stmt = Box::new(self.statement()?);
                 Ok(Stmt::Explain { analyze, stmt })
+            }
+            Tok::Kw(Kw::Observe) => {
+                self.bump();
+                if matches!(self.peek(), Tok::Kw(Kw::Observe)) {
+                    return self.err("observe cannot be nested");
+                }
+                if matches!(self.peek(), Tok::Kw(Kw::Explain)) {
+                    return self.err("observe cannot wrap explain");
+                }
+                let stmt = Box::new(self.statement()?);
+                Ok(Stmt::Observe { stmt })
             }
             other => self.err(format!("expected a statement, found {other}")),
         }

@@ -391,6 +391,7 @@ impl fmt::Display for Stmt {
                     if *analyze { "analyze " } else { "" }
                 )
             }
+            Stmt::Observe { stmt } => write!(f, "observe {stmt}"),
         }
     }
 }

@@ -42,6 +42,7 @@ pub enum Kw {
     Minus,
     Not,
     Null,
+    Observe,
     Of,
     On,
     Or,
@@ -105,6 +106,7 @@ impl Kw {
             "minus" => Kw::Minus,
             "not" => Kw::Not,
             "null" => Kw::Null,
+            "observe" => Kw::Observe,
             "of" => Kw::Of,
             "on" => Kw::On,
             "or" => Kw::Or,
@@ -169,6 +171,7 @@ impl Kw {
             Kw::Minus => "minus",
             Kw::Not => "not",
             Kw::Null => "null",
+            Kw::Observe => "observe",
             Kw::Of => "of",
             Kw::On => "on",
             Kw::Or => "or",

@@ -46,6 +46,9 @@ pub struct ExecCtx<'a> {
     /// Per-operator profiler (EXPLAIN ANALYZE). `None` — the default —
     /// keeps the batch path counter-free and untimed.
     pub profiler: Option<PlanProfiler>,
+    /// Database-wide executor counters (see [`crate::ExecMetrics`]).
+    /// `None` when the database was built with metrics disabled.
+    pub metrics: Option<std::sync::Arc<crate::metrics::ExecMetrics>>,
 }
 
 /// Entry cap for [`ExecCtx::deref_cache`].
@@ -71,6 +74,7 @@ impl<'a> ExecCtx<'a> {
             deref_cache: RefCell::new(HashMap::new()),
             attr_cache: RefCell::new(HashMap::new()),
             profiler: None,
+            metrics: None,
         }
     }
 
@@ -91,6 +95,16 @@ impl<'a> ExecCtx<'a> {
     /// and sample wall time per pull.
     pub fn with_profiler(mut self, profiler: PlanProfiler) -> Self {
         self.profiler = Some(profiler);
+        self
+    }
+
+    /// Attach the database-wide executor counters. `None` leaves the
+    /// batch loop entirely counter-free (the metrics-disabled path).
+    pub fn with_metrics(
+        mut self,
+        metrics: Option<std::sync::Arc<crate::metrics::ExecMetrics>>,
+    ) -> Self {
+        self.metrics = metrics;
         self
     }
 

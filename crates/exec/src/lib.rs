@@ -31,6 +31,7 @@ pub mod cexpr;
 pub mod cursor;
 pub mod env;
 pub mod eval;
+pub mod metrics;
 mod parallel;
 pub mod plan;
 pub mod profile;
@@ -41,6 +42,7 @@ pub use cexpr::{CAgg, CExpr, CompiledFunction, Compiler};
 pub use cursor::Cursor;
 pub use env::{Env, MemberId};
 pub use eval::ExecCtx;
+pub use metrics::ExecMetrics;
 pub use plan::{prepare, ExecNode};
 pub use profile::{
     BufferDelta, NodeAnnot, OpProfile, PlanIndex, PlanProfiler, QueryProfile, WorkerStats,

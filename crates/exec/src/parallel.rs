@@ -248,6 +248,7 @@ where
     let finished: Mutex<Vec<(usize, PlanProfiler, WorkerStats)>> = Mutex::new(Vec::new());
     let (store, types, adts, catalog) = (ctx.store, ctx.types, ctx.adts, ctx.catalog);
     let batch_size = ctx.batch_size;
+    let metrics = ctx.metrics.clone();
     let (tx, rx) = sync_channel::<(usize, usize, ModelResult<T>)>(workers * CHANNEL_SLACK);
 
     let merged = std::thread::scope(|s| {
@@ -255,9 +256,11 @@ where
             let tx = tx.clone();
             let (queue, abort, finished) = (&queue, &abort, &finished);
             let wprof = slot.take();
+            let wmetrics = metrics.clone();
             s.spawn(move || {
-                let mut wctx =
-                    ExecCtx::new(store, types, adts, catalog).with_batch_size(batch_size);
+                let mut wctx = ExecCtx::new(store, types, adts, catalog)
+                    .with_batch_size(batch_size)
+                    .with_metrics(wmetrics);
                 if let Some(p) = wprof {
                     wctx = wctx.with_profiler(p);
                 }
@@ -271,6 +274,9 @@ where
                         break;
                     }
                     stats.morsels += 1;
+                    if let Some(m) = wctx.metrics.as_ref() {
+                        m.morsels.inc();
+                    }
                     let mut seq = 0usize;
                     let batches =
                         match morsel_batches(&wctx, &mut morsel, seed, var, anchor, leaf_slot) {
@@ -315,7 +321,7 @@ where
         // The single-threaded tail: drain the bounded channel while the
         // workers run, then restore deterministic (morsel, sequence)
         // order. `rx` closes once every worker has dropped its sender.
-        let drain_t0 = prof.map(|_| std::time::Instant::now());
+        let drain_t0 = (prof.is_some() || metrics.is_some()).then(std::time::Instant::now);
         let mut items: Vec<(usize, usize, T)> = Vec::new();
         let mut first_err: Option<ModelError> = None;
         for (midx, seq, item) in rx {
@@ -341,6 +347,9 @@ where
         }
     });
     let (merged, merge_wait_ns) = merged?;
+    if let Some(m) = ctx.metrics.as_ref() {
+        m.merge_wait_ns.observe(merge_wait_ns);
+    }
     if let Some(p) = prof {
         // Deterministic absorption order: by worker id, not completion.
         let mut done = finished.into_inner().expect("profiler bin");

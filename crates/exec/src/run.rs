@@ -202,6 +202,10 @@ pub fn run_plan(
     let t0 = proj_slot.map(|_| std::time::Instant::now());
     while let Some(batch) = cur.next(ctx)? {
         ctx.prof_in(proj_slot, batch.len());
+        if let Some(m) = ctx.metrics.as_ref() {
+            m.batches.inc();
+            m.rows.add(batch.len() as u64);
+        }
         for r in 0..batch.len() {
             let row = batch.row(r);
             let out: Vec<Value> = targets

@@ -13,6 +13,10 @@ use excess_lang::{parse_program, AttrDecl, InheritClause, OperatorTable, Param, 
 use excess_sema::lower::lower_qual;
 use excess_sema::resolve::Resolver;
 use excess_sema::{FunctionDef, IndexInfo, NamedObject, ProcedureDef, RangeEnv, SemaCtx};
+use exodus_obs::{
+    MetricsRegistry, MetricsSnapshot, RingTracer, SlowQuery, SlowQueryLog, Span, SpanGuard,
+    TraceConfig,
+};
 use exodus_storage::btree::BTree;
 use exodus_storage::{Durability, Oid, RecoveryReport, StorageManager};
 use extra_model::adt::Assoc;
@@ -22,6 +26,7 @@ use extra_model::{AdtType, Attribute, ObjectStore, Ownership, QualType, Type, Va
 use crate::catalog::{Catalog, CatalogView, ADMIN};
 use crate::dml::{self, Params};
 use crate::error::{DbError, DbResult};
+use crate::observe::{verb_index, DbMetrics};
 
 /// Result of one statement.
 #[derive(Debug)]
@@ -32,23 +37,62 @@ pub enum Response {
     Rows(QueryResult),
     /// An `explain [analyze]` report.
     Explained(Explanation),
+    /// An `observe <stmt>` report: the inner response plus the metric
+    /// activity the statement caused.
+    Observed(Observation),
 }
 
 impl Response {
-    /// The rows, if this was a query.
+    /// The rows, if this was a query (looking through `observe`).
     pub fn rows(self) -> Option<QueryResult> {
         match self {
             Response::Rows(r) => Some(r),
+            Response::Observed(o) => o.response.rows(),
             Response::Done(_) | Response::Explained(_) => None,
         }
     }
 
-    /// The explanation, if this was an `explain`.
+    /// The explanation, if this was an `explain` (looking through
+    /// `observe`).
     pub fn explanation(self) -> Option<Explanation> {
         match self {
             Response::Explained(e) => Some(e),
+            Response::Observed(o) => o.response.explanation(),
             _ => None,
         }
+    }
+
+    /// The observation, if this was an `observe`.
+    pub fn observation(self) -> Option<Observation> {
+        match self {
+            Response::Observed(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// What an `observe <stmt>` saw: the wrapped statement's response plus
+/// the counters it moved (zero deltas omitted). Requires metrics
+/// (`counters` is empty when the database was built with
+/// [`DatabaseBuilder::metrics`] off).
+#[derive(Debug)]
+pub struct Observation {
+    /// The wrapped statement's own response.
+    pub response: Box<Response>,
+    /// Wall-clock duration of the wrapped statement.
+    pub elapsed_ns: u64,
+    /// Counter deltas caused by the statement, sorted by name with
+    /// zero deltas dropped.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl fmt::Display for Observation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "elapsed: {:.3} ms", self.elapsed_ns as f64 / 1e6)?;
+        for (name, delta) in &self.counters {
+            writeln!(f, "{name}: +{delta}")?;
+        }
+        Ok(())
     }
 }
 
@@ -83,11 +127,13 @@ pub struct Database {
     pub(crate) worker_threads: std::sync::atomic::AtomicUsize,
     pub(crate) profiling: std::sync::atomic::AtomicBool,
     pub(crate) recovery: Option<RecoveryReport>,
+    pub(crate) metrics: Option<DbMetrics>,
+    pub(crate) tracer: Option<Arc<RingTracer>>,
+    pub(crate) slow_log: Option<Arc<SlowQueryLog<QueryProfile>>>,
 }
 
 /// Configuration for a [`Database`], applied atomically at
-/// [`DatabaseBuilder::build`]. Replaces the old mutable setters
-/// (of which only the deprecated `set_planner` shim remains).
+/// [`DatabaseBuilder::build`]. Replaces the old mutable setters.
 #[derive(Default)]
 pub struct DatabaseBuilder {
     storage: Option<StorageManager>,
@@ -98,6 +144,8 @@ pub struct DatabaseBuilder {
     worker_threads: Option<usize>,
     planner: Option<PlannerConfig>,
     profiling: bool,
+    metrics: Option<bool>,
+    trace: Option<TraceConfig>,
 }
 
 impl DatabaseBuilder {
@@ -177,6 +225,26 @@ impl DatabaseBuilder {
         self
     }
 
+    /// System-wide metrics (the `exodus-obs` registry): WAL, buffer
+    /// pool, recovery, executor and statement counters, readable via
+    /// [`Database::metrics_snapshot`]. **On by default**; the enabled
+    /// cost is a few relaxed atomic adds per statement/batch. Pass
+    /// `false` for a zero-instrumentation build (snapshots return
+    /// `None` and `observe` reports no counters).
+    pub fn metrics(mut self, on: bool) -> Self {
+        self.metrics = Some(on);
+        self
+    }
+
+    /// Enable structured tracing spans and the slow-query log (see
+    /// [`TraceConfig`]). Off by default. Implies
+    /// [`DatabaseBuilder::profiling`] so slow-query entries carry a
+    /// full [`QueryProfile`].
+    pub fn trace(mut self, config: TraceConfig) -> Self {
+        self.trace = Some(config);
+        self
+    }
+
     /// Build the database.
     pub fn build(self) -> DbResult<Arc<Database>> {
         if self.worker_threads == Some(0) {
@@ -219,7 +287,7 @@ impl DatabaseBuilder {
                 (sm, None)
             }
         };
-        let db = Database::with_storage_report(sm, recovery);
+        let db = Database::assemble(sm, recovery, self.metrics.unwrap_or(true), self.trace);
         if let Some(config) = self.planner {
             *db.planner.write() = config;
         }
@@ -231,8 +299,11 @@ impl DatabaseBuilder {
             db.worker_threads
                 .store(n, std::sync::atomic::Ordering::Relaxed);
         }
+        // Tracing implies profiling: the slow-query log keeps each
+        // over-threshold statement's QueryProfile.
+        let profiling = self.profiling || db.tracer.is_some();
         db.profiling
-            .store(self.profiling, std::sync::atomic::Ordering::Relaxed);
+            .store(profiling, std::sync::atomic::Ordering::Relaxed);
         Ok(db)
     }
 }
@@ -255,6 +326,47 @@ impl Database {
     }
 
     fn with_storage_report(sm: StorageManager, recovery: Option<RecoveryReport>) -> Arc<Database> {
+        Self::assemble(sm, recovery, true, None)
+    }
+
+    fn assemble(
+        sm: StorageManager,
+        recovery: Option<RecoveryReport>,
+        metrics_on: bool,
+        trace: Option<TraceConfig>,
+    ) -> Arc<Database> {
+        let metrics = metrics_on.then(|| {
+            let registry = Arc::new(MetricsRegistry::new());
+            sm.register_metrics(&registry);
+            if let Some(report) = &recovery {
+                report.register_metrics(&registry);
+            }
+            let exec = excess_exec::ExecMetrics::register(&registry);
+            DbMetrics::register(registry, exec)
+        });
+        let (tracer, slow_log) = match trace {
+            Some(config) => {
+                let tracer = Arc::new(RingTracer::new(config.span_capacity));
+                if let Some(report) = &recovery {
+                    // Recovery ran inside StorageManager::open, before
+                    // any tracer existed; record it retroactively as an
+                    // immediately-closed span carrying the report.
+                    drop(tracer.start(
+                        "recovery",
+                        format!(
+                            "scanned {} records, replayed {} units, rolled back {}",
+                            report.records_scanned, report.units_replayed, report.units_rolled_back
+                        ),
+                    ));
+                }
+                let log = Arc::new(SlowQueryLog::new(
+                    config.slow_query_threshold_ns,
+                    config.slow_query_capacity,
+                ));
+                (Some(tracer), Some(log))
+            }
+            None => (None, None),
+        };
         let store = ObjectStore::new(sm).expect("fresh store");
         let catalog = Catalog::new();
         let mut ops = OperatorTable::new();
@@ -268,6 +380,9 @@ impl Database {
             worker_threads: std::sync::atomic::AtomicUsize::new(1),
             profiling: std::sync::atomic::AtomicBool::new(false),
             recovery,
+            metrics,
+            tracer,
+            slow_log,
         })
     }
 
@@ -342,15 +457,6 @@ impl Database {
         Ok(oids)
     }
 
-    /// Set the planner configuration (experiment E8 ablations).
-    #[deprecated(
-        since = "0.2.0",
-        note = "configure via Database::builder().planner(..)"
-    )]
-    pub fn set_planner(&self, config: PlannerConfig) {
-        *self.planner.write() = config;
-    }
-
     /// Rows per execution batch. `1` degenerates to row-at-a-time
     /// iteration (useful for comparisons); the default is
     /// [`excess_exec::DEFAULT_BATCH_SIZE`].
@@ -370,16 +476,42 @@ impl Database {
         self.profiling.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// Buffer-pool observability counters (hits, misses, evictions,
-    /// writebacks) accumulated since creation or the last
-    /// [`Database::reset_storage_stats`].
-    pub fn storage_stats(&self) -> exodus_storage::BufferStats {
-        self.store.storage().pool().stats()
+    /// A point-in-time view of every registered metric — WAL, buffer
+    /// pool, recovery, executor and statement instruments — in
+    /// deterministic (name-sorted) order. `None` when the database was
+    /// built with [`DatabaseBuilder::metrics`] off. Encode with
+    /// [`MetricsSnapshot::to_json`] or [`MetricsSnapshot::to_prometheus`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.metrics.as_ref().map(|m| m.registry.snapshot())
     }
 
-    /// Zero the buffer-pool counters.
-    pub fn reset_storage_stats(&self) {
-        self.store.storage().pool().reset_stats()
+    /// The slow-query log, slowest first: statements at or above the
+    /// configured threshold, each with its [`QueryProfile`] (the profile
+    /// renders the full annotated plan). Empty unless
+    /// [`DatabaseBuilder::trace`] was set.
+    pub fn slow_queries(&self) -> Vec<SlowQuery<QueryProfile>> {
+        self.slow_log
+            .as_ref()
+            .map(|log| log.entries())
+            .unwrap_or_default()
+    }
+
+    /// Completed tracing spans, oldest first (children complete before
+    /// their parents). Empty unless [`DatabaseBuilder::trace`] was set.
+    pub fn trace_spans(&self) -> Vec<Span> {
+        self.tracer.as_ref().map(|t| t.spans()).unwrap_or_default()
+    }
+
+    /// Open a tracing span, if tracing is on. Bind the guard with a
+    /// name (`let _span = ...`) — `_` drops it immediately.
+    pub(crate) fn span(&self, name: &'static str, detail: impl Into<String>) -> Option<SpanGuard> {
+        self.tracer.as_ref().map(|t| t.start(name, detail))
+    }
+
+    /// The executor's metric handles, cloned into each statement's
+    /// `ExecCtx`.
+    pub(crate) fn exec_metrics(&self) -> Option<std::sync::Arc<excess_exec::ExecMetrics>> {
+        self.metrics.as_ref().map(|m| m.exec.clone())
     }
 
     /// Register a new ADT at runtime, extending the parser's operator
@@ -399,6 +531,9 @@ impl Database {
 
     /// Open a session as a specific user.
     pub fn session_as(self: &Arc<Self>, user: &str) -> Session {
+        if let Some(m) = &self.metrics {
+            m.active_sessions.inc();
+        }
         Session {
             db: self.clone(),
             user: user.to_string(),
@@ -435,10 +570,19 @@ pub struct Session {
     ranges: RangeEnv,
 }
 
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(m) = &self.db.metrics {
+            m.active_sessions.dec();
+        }
+    }
+}
+
 impl Session {
     /// Run one or more statements.
     pub fn run(&mut self, src: &str) -> DbResult<Vec<Response>> {
         let stmts = {
+            let _span = self.db.span("parse", src);
             let ops = self.db.ops.read();
             parse_program(src, &ops)?
         };
@@ -502,10 +646,45 @@ impl Session {
     /// everything else takes the exclusive lock.
     pub fn execute(&mut self, stmt: &Stmt) -> DbResult<Response> {
         let db = self.db.clone();
+        if db.metrics.is_none() && db.tracer.is_none() {
+            // Fully uninstrumented build: not even a clock read.
+            return self.execute_inner(&db, stmt);
+        }
+        // Render the statement only when a tracer will keep it.
+        let _span = db
+            .tracer
+            .as_ref()
+            .map(|t| t.start("statement", stmt.to_string()));
+        let t0 = std::time::Instant::now();
+        let result = self.execute_inner(&db, stmt);
+        let elapsed_ns = t0.elapsed().as_nanos() as u64;
+        if let Some(m) = &db.metrics {
+            m.statements.inc();
+            m.statements_by_verb[verb_index(stmt)].inc();
+            if result.is_err() {
+                m.errors.inc();
+            }
+            m.statement_ns.observe(elapsed_ns);
+        }
+        if let Some(log) = &db.slow_log {
+            if log.is_slow(elapsed_ns) {
+                if let Some(m) = &db.metrics {
+                    m.slow_queries.inc();
+                }
+                let profile = result.as_ref().ok().and_then(response_profile);
+                log.record(stmt.to_string(), elapsed_ns, profile);
+            }
+        }
+        result
+    }
+
+    /// The statement path proper, shared by the instrumented wrapper
+    /// above.
+    fn execute_inner(&mut self, db: &Arc<Database>, stmt: &Stmt) -> DbResult<Response> {
         if let Stmt::Retrieve { into: None, .. } = stmt {
             let cat = db.catalog.read();
             return dml::retrieve(
-                &db,
+                db,
                 &cat,
                 &self.ranges,
                 &self.user,
@@ -521,7 +700,7 @@ impl Session {
         // database was opened with `Durability::None` or in memory).
         let unit = db.store.storage().begin_unit()?;
         let response = exec_statement(
-            &db,
+            db,
             &mut cat,
             &mut self.ranges,
             &self.user,
@@ -529,8 +708,20 @@ impl Session {
             &Params::default(),
             0,
         );
+        let _commit_span = db.span("wal_commit", "");
         unit.commit()?;
         response
+    }
+}
+
+/// The execution profile carried by a response, looking through
+/// `observe` wrappers (for the slow-query log).
+fn response_profile(r: &Response) -> Option<QueryProfile> {
+    match r {
+        Response::Rows(rows) => rows.profile.clone(),
+        Response::Explained(e) => e.profile.clone(),
+        Response::Observed(o) => response_profile(&o.response),
+        Response::Done(_) => None,
     }
 }
 
@@ -608,6 +799,7 @@ pub(crate) fn exec_statement(
         Stmt::Explain { analyze, stmt } => {
             explain_stmt(db, cat, ranges, user, stmt, params, depth, *analyze)
         }
+        Stmt::Observe { stmt } => observe_stmt(db, cat, ranges, user, stmt, params, depth),
         Stmt::Grant {
             privileges,
             object,
@@ -733,6 +925,34 @@ fn explain_stmt(
         }
     };
     Ok(Response::Explained(explanation))
+}
+
+/// `observe <stmt>`: execute the statement — exactly once — and report
+/// the metric activity it caused: wall-clock time plus every counter
+/// delta (zeros dropped). With metrics disabled the statement still
+/// runs; the counter list is just empty.
+fn observe_stmt(
+    db: &Database,
+    cat: &mut Catalog,
+    ranges: &mut RangeEnv,
+    user: &str,
+    inner: &Stmt,
+    params: &Params,
+    depth: u32,
+) -> DbResult<Response> {
+    let before = db.metrics_snapshot();
+    let t0 = std::time::Instant::now();
+    let response = exec_statement(db, cat, ranges, user, inner, params, depth)?;
+    let elapsed_ns = t0.elapsed().as_nanos() as u64;
+    let counters = match (before, db.metrics_snapshot()) {
+        (Some(b), Some(a)) => MetricsSnapshot::counter_deltas(&b, &a),
+        _ => Vec::new(),
+    };
+    Ok(Response::Observed(Observation {
+        response: Box::new(response),
+        elapsed_ns,
+        counters,
+    }))
 }
 
 fn require_admin(user: &str, action: &str) -> DbResult<()> {

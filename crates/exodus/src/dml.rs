@@ -93,15 +93,22 @@ fn plan_query(
         }
     }
     let resolver = Resolver::new(&ctx, &local);
-    let checked = resolver.check_retrieve(stmt)?;
-    let plan = excess_algebra::plan_retrieve_dop(
-        stmt,
-        &checked,
-        &ctx,
-        *db.planner.read(),
-        db.worker_threads(),
-    )?;
-    let node = prepare(&plan, &ctx, &local)?;
+    let checked = {
+        let _span = db.span("sema", "");
+        resolver.check_retrieve(stmt)?
+    };
+    let (plan, node) = {
+        let _span = db.span("plan", "");
+        let plan = excess_algebra::plan_retrieve_dop(
+            stmt,
+            &checked,
+            &ctx,
+            *db.planner.read(),
+            db.worker_threads(),
+        )?;
+        let node = prepare(&plan, &ctx, &local)?;
+        (plan, node)
+    };
     Ok((node, checked, plan))
 }
 
@@ -272,16 +279,20 @@ pub fn retrieve(
     };
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
-        .with_workers(db.worker_threads());
-    let before = profile.then(|| db.storage_stats());
+        .with_workers(db.worker_threads())
+        .with_metrics(db.exec_metrics());
+    let before = profile.then(|| db.store.storage().pool().stats());
     if profile {
         ctx = ctx.with_profiler(make_profiler(db, cat, &node, &phys));
     }
     let env = base_env(params);
     let t0 = std::time::Instant::now();
-    let mut result = run_plan(&node, &ctx, &env)?;
+    let mut result = {
+        let _span = db.span("execute", "");
+        run_plan(&node, &ctx, &env)?
+    };
     if let Some(p) = ctx.profiler.take() {
-        let delta = before.map(|b| BufferDelta::between(&b, &db.storage_stats()));
+        let delta = before.map(|b| BufferDelta::between(&b, &db.store.storage().pool().stats()));
         result.profile = Some(p.finish(
             t0.elapsed().as_nanos() as u64,
             result.len() as u64,
@@ -312,16 +323,20 @@ pub fn retrieve_into(
     };
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
-        .with_workers(db.worker_threads());
-    let before = profile.then(|| db.storage_stats());
+        .with_workers(db.worker_threads())
+        .with_metrics(db.exec_metrics());
+    let before = profile.then(|| db.store.storage().pool().stats());
     if profile {
         ctx = ctx.with_profiler(make_profiler(db, cat, &node, &phys));
     }
     let env = base_env(params);
     let t0 = std::time::Instant::now();
-    let mut result = run_plan(&node, &ctx, &env)?;
+    let mut result = {
+        let _span = db.span("execute", "");
+        run_plan(&node, &ctx, &env)?
+    };
     if let Some(p) = ctx.profiler.take() {
-        let delta = before.map(|b| BufferDelta::between(&b, &db.storage_stats()));
+        let delta = before.map(|b| BufferDelta::between(&b, &db.store.storage().pool().stats()));
         result.profile = Some(p.finish(
             t0.elapsed().as_nanos() as u64,
             result.len() as u64,
@@ -438,8 +453,11 @@ fn collect_bindings(
     };
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
-        .with_workers(db.worker_threads());
-    let before = profiling.as_ref().map(|_| db.storage_stats());
+        .with_workers(db.worker_threads())
+        .with_metrics(db.exec_metrics());
+    let before = profiling
+        .as_ref()
+        .map(|_| db.store.storage().pool().stats());
     if profiling.is_some() {
         ctx = ctx.with_profiler(make_profiler(db, cat, &node, &phys));
     }
@@ -448,17 +466,19 @@ fn collect_bindings(
     let index = ctx.profiler.as_ref().map(|p| p.index());
     let proj_slot = index.and_then(|ix| ix.slot_of(&node));
     let mut all = RowBatch::new();
+    let exec_span = db.span("execute", "");
     let mut cur = input.cursor_profiled(RowBatch::single(&env), index);
     while let Some(batch) = cur.next(&ctx)? {
         ctx.prof_in(proj_slot, batch.len());
         all.append(batch);
     }
+    drop(exec_span);
     if let (Some(sink), Some(p)) = (profiling, ctx.profiler.take()) {
         if let Some(slot) = proj_slot {
             p.record_ns(slot, t0.elapsed().as_nanos() as u64);
             p.record_out(slot, all.len());
         }
-        let delta = before.map(|b| BufferDelta::between(&b, &db.storage_stats()));
+        let delta = before.map(|b| BufferDelta::between(&b, &db.store.storage().pool().stats()));
         sink.profile = Some(p.finish(
             t0.elapsed().as_nanos() as u64,
             all.len() as u64,
@@ -722,7 +742,8 @@ pub(crate) fn append(
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
-                .with_workers(db.worker_threads());
+                .with_workers(db.worker_threads())
+                .with_metrics(db.exec_metrics());
             let mut staged: Vec<Value> = Vec::new();
             for env in bindings.iter() {
                 staged.push(eval_member_value(
@@ -776,7 +797,8 @@ pub(crate) fn append(
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
-                .with_workers(db.worker_threads());
+                .with_workers(db.worker_threads())
+                .with_metrics(db.exec_metrics());
             let mut staged: Vec<Value> = Vec::new();
             for env in bindings.iter() {
                 staged.push(eval_expr(db, cat, &ctx, &env, ranges, &vars, vexpr)?);
@@ -845,7 +867,8 @@ pub(crate) fn append(
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
-                .with_workers(db.worker_threads());
+                .with_workers(db.worker_threads())
+                .with_metrics(db.exec_metrics());
             let mut staged: Vec<(i64, Value)> = Vec::new();
             for env in bindings.iter() {
                 let i = eval_expr(db, cat, &ctx, &env, ranges, &vars, idx)?.as_i64()?;
@@ -913,7 +936,8 @@ pub(crate) fn append(
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
-                .with_workers(db.worker_threads());
+                .with_workers(db.worker_threads())
+                .with_metrics(db.exec_metrics());
             let mut staged: Vec<(UpdateSite, Value)> = Vec::new();
             for env in bindings.iter() {
                 let member = match value {
@@ -1497,7 +1521,8 @@ pub(crate) fn replace(
     };
     let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
-        .with_workers(db.worker_threads());
+        .with_workers(db.worker_threads())
+        .with_metrics(db.exec_metrics());
     let mut staged: Vec<Staged> = Vec::new();
     for env in bindings.iter() {
         let mut updates = Vec::with_capacity(assignments.len());
@@ -1689,7 +1714,8 @@ pub(crate) fn execute_procedure(
         };
         let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
             .with_batch_size(db.batch_size())
-            .with_workers(db.worker_threads());
+            .with_workers(db.worker_threads())
+            .with_metrics(db.exec_metrics());
         for env in bindings.iter() {
             let vals: Vec<Value> = args
                 .iter()

@@ -41,13 +41,18 @@ pub mod catalog;
 pub mod database;
 pub mod dml;
 pub mod error;
+mod observe;
 
 pub use catalog::{Auth, Catalog, CatalogView};
-pub use database::{Database, DatabaseBuilder, Explanation, Response, Session};
+pub use database::{Database, DatabaseBuilder, Explanation, Observation, Response, Session};
 pub use error::{DbError, DbResult};
 
 // Re-exports so downstream users need only this crate.
 pub use excess_exec as exec;
 pub use excess_exec::{BufferDelta, OpProfile, QueryProfile, QueryResult, Row, WorkerStats};
-pub use exodus_storage::{Durability, RecoveryReport};
+pub use exodus_obs as obs;
+pub use exodus_obs::{
+    validate_exposition, MetricSample, MetricsSnapshot, SampleValue, SlowQuery, Span, TraceConfig,
+};
+pub use exodus_storage::{BufferStats, Durability, RecoveryReport};
 pub use extra_model::{AdtRegistry, AdtType, Value};

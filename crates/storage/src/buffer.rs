@@ -60,6 +60,15 @@ pub struct BufferPool {
     /// Structure-modification locks, keyed by a structure's root page
     /// (heap-file chain extension must be serialized per file).
     smo_locks: Mutex<HashMap<u64, Arc<Mutex<()>>>>,
+    /// Cached heap-file page chains, keyed by header page. Pages are
+    /// never freed or reused (the volume allocator is append-only), so a
+    /// cached chain can only grow: [`crate::heap::HeapFile::insert`]
+    /// appends the new page under the file's SMO lock, and a missing
+    /// entry is rebuilt by walking the chain. This keeps
+    /// chain-partitioning (morsel-parallel scans) from re-pinning every
+    /// page just to read next pointers — which would also make buffer
+    /// counters depend on the degree of parallelism.
+    chains: Mutex<HashMap<u64, Vec<u64>>>,
     /// The write-ahead log, when the pool is recoverable. Governs the
     /// no-steal eviction gate, the flush rule, and page checksums.
     wal: Option<Arc<Wal>>,
@@ -97,6 +106,7 @@ impl BufferPool {
                 hand: 0,
             }),
             smo_locks: Mutex::new(HashMap::new()),
+            chains: Mutex::new(HashMap::new()),
             wal,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -133,6 +143,26 @@ impl BufferPool {
             .entry(root_page)
             .or_insert_with(|| Arc::new(Mutex::new(())))
             .clone()
+    }
+
+    /// The cached page chain for the heap file headed at `header`, if
+    /// one has been built (see the `chains` field).
+    pub(crate) fn chain_get(&self, header: u64) -> Option<Vec<u64>> {
+        self.chains.lock().get(&header).cloned()
+    }
+
+    /// Install the full page chain for the heap file headed at `header`.
+    pub(crate) fn chain_put(&self, header: u64, pages: Vec<u64>) {
+        self.chains.lock().insert(header, pages);
+    }
+
+    /// Record that a new page was linked onto the end of `header`'s
+    /// chain. A no-op when the chain was never cached. Callers must hold
+    /// the file's SMO lock (the same lock that serializes the link).
+    pub(crate) fn chain_append(&self, header: u64, page: u64) {
+        if let Some(pages) = self.chains.lock().get_mut(&header) {
+            pages.push(page);
+        }
     }
 
     /// Snapshot of the pool counters.

@@ -164,6 +164,7 @@ impl HeapFile {
             }
             body_put_u64(body, HB_LAST, new_no);
         });
+        pool.chain_append(self.id.0, new_no);
         drop(header);
         self.bump_count(pool, 1)?;
         let rid = RecordId { page: new_no, slot };
@@ -244,13 +245,27 @@ impl HeapFile {
     /// than `k` scans come back when the chain has fewer pages; an empty
     /// file yields no partitions.
     pub fn partitions(&self, pool: &Arc<BufferPool>, k: usize) -> StorageResult<Vec<HeapScan>> {
-        let mut pages = Vec::new();
-        let mut page_no = self.first_page(pool)?;
-        while page_no != NO_PAGE {
-            pages.push(page_no);
-            let page = pool.pin(page_no)?;
-            page_no = page.with_read(|buf| PageView::new(buf).next());
-        }
+        let pages = match pool.chain_get(self.id.0) {
+            Some(pages) => pages,
+            None => {
+                // Build the chain once and cache it. Pages are never
+                // unlinked (deletes only empty them), so the cache stays
+                // valid; inserts extend it via `chain_append`. Built under
+                // the SMO lock so a concurrent chain extension cannot slip
+                // between the walk and the install.
+                let lock = pool.smo_lock(self.id.0);
+                let _guard = lock.lock();
+                let mut pages = Vec::new();
+                let mut page_no = self.first_page(pool)?;
+                while page_no != NO_PAGE {
+                    pages.push(page_no);
+                    let page = pool.pin(page_no)?;
+                    page_no = page.with_read(|buf| PageView::new(buf).next());
+                }
+                pool.chain_put(self.id.0, pages.clone());
+                pages
+            }
+        };
         if pages.is_empty() {
             return Ok(Vec::new());
         }
@@ -702,6 +717,34 @@ mod tests {
         let parts = f.partitions(&pool, 8).unwrap();
         assert_eq!(parts.len(), 1, "one page cannot split further");
         assert_eq!(partition_union(&f, &pool, 8).len(), 1);
+    }
+
+    #[test]
+    fn partitions_see_pages_added_after_chain_is_cached() {
+        let pool = pool();
+        let f = HeapFile::open(HeapFile::create(&pool).unwrap());
+        for i in 0..40u8 {
+            f.insert(&pool, &vec![i; 600]).unwrap();
+        }
+        let _ = f.partitions(&pool, 4).unwrap(); // builds and caches the chain
+        for i in 40..80u8 {
+            f.insert(&pool, &vec![i; 600]).unwrap(); // must extend the cache
+        }
+        let want: Vec<_> = f.scan(pool.clone()).map(|r| r.unwrap()).collect();
+        assert_eq!(partition_union(&f, &pool, 3), want);
+        // And the cached walk costs no extra pins per call: two calls in
+        // a row pin the same number of pages.
+        pool.reset_stats();
+        let _ = f.partitions(&pool, 4).unwrap();
+        let first = pool.stats();
+        let _ = f.partitions(&pool, 4).unwrap();
+        let second = pool.stats();
+        assert_eq!(
+            first.hits + first.misses,
+            0,
+            "cached partitions pin nothing"
+        );
+        assert_eq!(second, first);
     }
 
     #[test]

@@ -85,9 +85,11 @@ pub use recovery::RecoveryReport;
 pub use wal::{Durability, Lsn, Wal, WalRecord};
 
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use buffer::BufferPool;
+use exodus_obs::MetricsRegistry;
 use volume::{FileVolume, MemVolume};
 
 /// The top-level storage manager: a buffer pool over a volume, plus
@@ -97,6 +99,8 @@ use volume::{FileVolume, MemVolume};
 #[derive(Clone)]
 pub struct StorageManager {
     pool: Arc<BufferPool>,
+    /// Checkpoints taken through this manager (shared across clones).
+    checkpoints: Arc<AtomicU64>,
 }
 
 impl StorageManager {
@@ -105,6 +109,7 @@ impl StorageManager {
     pub fn in_memory(pool_pages: usize) -> Self {
         StorageManager {
             pool: Arc::new(BufferPool::new(Box::new(MemVolume::new()), pool_pages)),
+            checkpoints: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -120,6 +125,7 @@ impl StorageManager {
                 Box::new(FileVolume::open(path)?),
                 pool_pages,
             )),
+            checkpoints: Arc::new(AtomicU64::new(0)),
         })
     }
 
@@ -167,6 +173,7 @@ impl StorageManager {
         Ok((
             StorageManager {
                 pool: Arc::new(pool),
+                checkpoints: Arc::new(AtomicU64::new(0)),
             },
             report,
         ))
@@ -210,6 +217,7 @@ impl StorageManager {
     /// becomes the cutoff once durable. Without a WAL this degrades to
     /// flush-and-sync.
     pub fn checkpoint(&self) -> StorageResult<()> {
+        self.checkpoints.fetch_add(1, Ordering::Relaxed);
         let Some(wal) = self.pool.wal().cloned() else {
             self.pool.flush_all()?;
             return self.pool.sync_volume();
@@ -233,6 +241,83 @@ impl StorageManager {
     /// The underlying buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// Register this manager's instruments on `reg` under the `storage_`
+    /// prefix: buffer-pool counters, checkpoint count, and — when a WAL
+    /// is attached — append/fsync/group-commit activity. All values are
+    /// read through callbacks over counters the subsystems maintain
+    /// anyway, so registration adds no hot-path cost.
+    pub fn register_metrics(&self, reg: &MetricsRegistry) {
+        let pool = self.pool.clone();
+        reg.counter_fn(
+            "storage_pool_hits_total",
+            "Page pins satisfied from the buffer pool.",
+            {
+                let pool = pool.clone();
+                move || pool.stats().hits
+            },
+        );
+        reg.counter_fn(
+            "storage_pool_misses_total",
+            "Page pins that required a volume read.",
+            {
+                let pool = pool.clone();
+                move || pool.stats().misses
+            },
+        );
+        reg.counter_fn(
+            "storage_pool_evictions_total",
+            "Frames reclaimed by the clock hand.",
+            {
+                let pool = pool.clone();
+                move || pool.stats().evictions
+            },
+        );
+        reg.counter_fn(
+            "storage_pool_writebacks_total",
+            "Dirty pages written back to the volume.",
+            {
+                let pool = pool.clone();
+                move || pool.stats().writebacks
+            },
+        );
+        let checkpoints = self.checkpoints.clone();
+        reg.counter_fn(
+            "storage_checkpoints_total",
+            "Checkpoints taken.",
+            move || checkpoints.load(Ordering::Relaxed),
+        );
+        if let Some(wal) = self.pool.wal() {
+            let w = wal.clone();
+            reg.counter_fn(
+                "storage_wal_appends_total",
+                "Log records appended.",
+                move || w.metrics().appends.load(Ordering::Relaxed),
+            );
+            let w = wal.clone();
+            reg.counter_fn(
+                "storage_wal_append_bytes_total",
+                "Log frame bytes appended.",
+                move || w.metrics().append_bytes.load(Ordering::Relaxed),
+            );
+            let w = wal.clone();
+            reg.counter_fn(
+                "storage_wal_fsyncs_total",
+                "Log fsyncs issued.",
+                move || w.metrics().fsyncs.load(Ordering::Relaxed),
+            );
+            reg.histogram_shared(
+                "storage_wal_group_commit_records",
+                "Records made durable per fsync (group-commit batch size).",
+                wal.metrics().group_commit_records.clone(),
+            );
+            reg.histogram_shared(
+                "storage_wal_fsync_ns",
+                "Wall-clock log fsync latency in nanoseconds.",
+                wal.metrics().fsync_ns.clone(),
+            );
+        }
     }
 
     /// Create a new heap file, returning its id.

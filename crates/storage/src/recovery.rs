@@ -67,6 +67,43 @@ impl RecoveryReport {
     pub fn was_clean(&self) -> bool {
         self.pages_restored == 0 && self.units_rolled_back == 0 && !self.torn_tail
     }
+
+    /// Register this report's figures on `reg` under the
+    /// `storage_recovery_` prefix. Recovery runs once, before the rest of
+    /// the system comes up, so the values are constants captured at
+    /// registration time.
+    pub fn register_metrics(&self, reg: &exodus_obs::MetricsRegistry) {
+        let fields: [(&str, &str, u64); 5] = [
+            (
+                "storage_recovery_records_scanned",
+                "Valid log records scanned by the last recovery pass.",
+                self.records_scanned,
+            ),
+            (
+                "storage_recovery_units_replayed",
+                "Committed units replayed by the last recovery pass.",
+                self.units_replayed,
+            ),
+            (
+                "storage_recovery_units_rolled_back",
+                "Uncommitted units rolled back by the last recovery pass.",
+                self.units_rolled_back,
+            ),
+            (
+                "storage_recovery_pages_restored",
+                "Page images written to the volume by the last recovery pass.",
+                self.pages_restored,
+            ),
+            (
+                "storage_recovery_bytes_truncated",
+                "Bytes of invalid log tail truncated by the last recovery pass.",
+                self.bytes_truncated,
+            ),
+        ];
+        for (name, help, value) in fields {
+            reg.counter_fn(name, help, move || value);
+        }
+    }
 }
 
 /// Run analysis + redo + tail truncation. `wal_dir` may not exist yet (a

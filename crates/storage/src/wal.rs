@@ -46,8 +46,10 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex as StdMutex};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
 
+use exodus_obs::{Histogram, COUNT_BUCKETS, LATENCY_BUCKETS_NS};
 use parking_lot::Mutex;
 
 use crate::crc::crc32;
@@ -478,6 +480,34 @@ struct ActiveUnit {
     dirty: HashSet<u64>,
 }
 
+/// Process-local activity counters a [`Wal`] maintains on its hot paths.
+/// Plain relaxed atomics and owned histograms — the metrics registry
+/// reads them through callbacks at snapshot time (see `exodus-obs`).
+pub struct WalMetrics {
+    /// Records appended by this process.
+    pub appends: AtomicU64,
+    /// Frame bytes (header + body) appended by this process.
+    pub append_bytes: AtomicU64,
+    /// `sync_data` calls issued (group commits + segment rollovers).
+    pub fsyncs: AtomicU64,
+    /// Records made durable per fsync (the group-commit batch size).
+    pub group_commit_records: Arc<Histogram>,
+    /// Wall-clock `sync_data` latency.
+    pub fsync_ns: Arc<Histogram>,
+}
+
+impl WalMetrics {
+    fn new() -> WalMetrics {
+        WalMetrics {
+            appends: AtomicU64::new(0),
+            append_bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            group_commit_records: Arc::new(Histogram::new(COUNT_BUCKETS)),
+            fsync_ns: Arc::new(Histogram::new(LATENCY_BUCKETS_NS)),
+        }
+    }
+}
+
 /// The write-ahead log. See the module docs for the protocol.
 pub struct Wal {
     dir: PathBuf,
@@ -488,6 +518,7 @@ pub struct Wal {
     unit_cv: Condvar,
     /// Mirror of `inner.appended_lsn` readable without the append lock.
     appended: AtomicU64,
+    metrics: WalMetrics,
 }
 
 impl Wal {
@@ -535,7 +566,29 @@ impl Wal {
             }),
             unit_cv: Condvar::new(),
             appended: AtomicU64::new(tail.last_lsn),
+            metrics: WalMetrics::new(),
         })
+    }
+
+    /// The log's activity counters (see [`WalMetrics`]).
+    pub fn metrics(&self) -> &WalMetrics {
+        &self.metrics
+    }
+
+    /// Fsync `inner`'s segment file, accounting the latency and the
+    /// number of records the sync makes durable (the group-commit batch).
+    fn sync_inner(&self, inner: &mut WalInner) -> StorageResult<()> {
+        failpoint::check_write("wal.fsync", 0).map(|_| ())?;
+        let batch = inner.appended_lsn - inner.synced_lsn;
+        let start = Instant::now();
+        inner.file.sync_data()?;
+        self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .fsync_ns
+            .observe(start.elapsed().as_nanos() as u64);
+        self.metrics.group_commit_records.observe(batch);
+        inner.synced_lsn = inner.appended_lsn;
+        Ok(())
     }
 
     /// The configured durability level (never [`Durability::None`]).
@@ -568,14 +621,16 @@ impl Wal {
         inner.seg_len += frame.len() as u64;
         inner.appended_lsn = lsn;
         self.appended.store(lsn, Ordering::Release);
+        self.metrics.appends.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .append_bytes
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
         if inner.seg_len >= self.segment_bytes {
             if self.durability == Durability::Fsync {
                 // The retiring segment may hold frames newer than the last
                 // group fsync; pin them down before moving on, so
                 // `flush_up_to` never needs to reach back across files.
-                failpoint::check_write("wal.fsync", 0).map(|_| ())?;
-                inner.file.sync_data()?;
-                inner.synced_lsn = lsn;
+                self.sync_inner(&mut inner)?;
             }
             let (file, len) = new_segment(&self.dir, inner.seg_seq + 1, lsn + 1)?;
             inner.file = file;
@@ -611,10 +666,7 @@ impl Wal {
         if inner.synced_lsn >= lsn {
             return Ok(());
         }
-        failpoint::check_write("wal.fsync", 0).map(|_| ())?;
-        inner.file.sync_data()?;
-        inner.synced_lsn = inner.appended_lsn;
-        Ok(())
+        self.sync_inner(&mut inner)
     }
 
     /// Open a logged unit, blocking until no other unit is active, and

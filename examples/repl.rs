@@ -17,7 +17,7 @@
 
 use std::io::{BufRead, Write};
 
-use extra_excess::{model::AdtRegistry, Database, Response};
+use extra_excess::{model::AdtRegistry, Database, Observation, Response};
 
 fn main() {
     let db = Database::in_memory();
@@ -61,21 +61,37 @@ fn main() {
         match session.run(line) {
             Ok(responses) => {
                 for r in responses {
-                    match r {
-                        Response::Done(msg) => println!("{msg}"),
-                        Response::Rows(rows) => {
-                            if rows.is_empty() {
-                                println!("(no rows)");
-                            } else {
-                                print!("{}", rows.display(&adts));
-                                println!("({} rows)", rows.len());
-                            }
-                        }
-                        Response::Explained(e) => println!("{e}"),
-                    }
+                    print_response(r, &adts);
                 }
             }
             Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}
+
+fn print_response(r: Response, adts: &AdtRegistry) {
+    match r {
+        Response::Done(msg) => println!("{msg}"),
+        Response::Rows(rows) => {
+            if rows.is_empty() {
+                println!("(no rows)");
+            } else {
+                print!("{}", rows.display(adts));
+                println!("({} rows)", rows.len());
+            }
+        }
+        Response::Explained(e) => println!("{e}"),
+        // `observe <stmt>`: the wrapped response, then what it cost.
+        Response::Observed(Observation {
+            response,
+            elapsed_ns,
+            counters,
+        }) => {
+            print_response(*response, adts);
+            println!("elapsed: {:.3} ms", elapsed_ns as f64 / 1e6);
+            for (name, delta) in counters {
+                println!("{name}: +{delta}");
+            }
         }
     }
 }

@@ -36,14 +36,22 @@
 //! ```
 
 #![deny(rustdoc::broken_intra_doc_links)]
+
+/// The observability quick-start, included verbatim from
+/// `docs/OBSERVABILITY.md` so its `rust` example compiles and runs as a
+/// doctest (the `excess` blocks run under `tests/doc_examples.rs`).
+#[doc = include_str!("../docs/OBSERVABILITY.md")]
+pub mod observability_doc {}
+
 pub use excess_algebra as algebra;
 pub use excess_exec as exec;
 pub use excess_lang as lang;
 pub use excess_sema as sema;
 pub use exodus_db as db;
 pub use exodus_db::{
-    Database, DatabaseBuilder, DbError, DbResult, Durability, Explanation, OpProfile, QueryProfile,
-    QueryResult, RecoveryReport, Response, Row, Session, Value,
+    obs, Database, DatabaseBuilder, DbError, DbResult, Durability, Explanation, MetricsSnapshot,
+    Observation, OpProfile, QueryProfile, QueryResult, RecoveryReport, Response, Row, Session,
+    SlowQuery, Span, TraceConfig, Value,
 };
 pub use exodus_storage as storage;
 pub use extra_model as model;

@@ -1,8 +1,11 @@
-//! Executes every fenced example in docs/EXCESS.md.
+//! Executes every fenced example in docs/EXCESS.md and
+//! docs/OBSERVABILITY.md.
 //!
-//! The reference promises that its `excess` blocks run top-to-bottom in
+//! The docs promise that their `excess` blocks run top-to-bottom in
 //! one session of a fresh database, and that `excess-error` blocks fail.
-//! This test is that promise: a drifted example breaks the build.
+//! This test is that promise: a drifted example breaks the build. (The
+//! `rust` block in docs/OBSERVABILITY.md runs as a rustdoc doctest via
+//! the facade crate instead.)
 
 use extra_excess::Database;
 
@@ -38,10 +41,11 @@ fn fenced_blocks(markdown: &str) -> Vec<Block> {
     blocks
 }
 
-#[test]
-fn every_excess_example_runs() {
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/docs/EXCESS.md");
-    let doc = std::fs::read_to_string(path).expect("docs/EXCESS.md");
+/// Run every `excess` block of `doc` in one fresh session; `excess-error`
+/// blocks must fail. Returns (blocks run, expected failures seen).
+fn run_doc(doc_name: &str) -> (usize, usize) {
+    let path = format!("{}/docs/{doc_name}", env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
     let blocks = fenced_blocks(&doc);
 
     let mut ran = 0;
@@ -52,14 +56,17 @@ fn every_excess_example_runs() {
         match b.lang.as_str() {
             "excess" => {
                 session.run(&b.code).unwrap_or_else(|e| {
-                    panic!("docs/EXCESS.md:{}: example failed: {e}\n{}", b.line, b.code)
+                    panic!(
+                        "docs/{doc_name}:{}: example failed: {e}\n{}",
+                        b.line, b.code
+                    )
                 });
                 ran += 1;
             }
             "excess-error" => {
                 assert!(
                     session.run(&b.code).is_err(),
-                    "docs/EXCESS.md:{}: example documented as an error succeeded:\n{}",
+                    "docs/{doc_name}:{}: example documented as an error succeeded:\n{}",
                     b.line,
                     b.code
                 );
@@ -68,11 +75,27 @@ fn every_excess_example_runs() {
             _ => {}
         }
     }
+    (ran, expected_failures)
+}
+
+#[test]
+fn every_excess_example_runs() {
+    let (ran, expected_failures) = run_doc("EXCESS.md");
     // The reference must actually exercise the language: a refactor that
     // drops the fences (or retags them) should fail loudly.
     assert!(ran >= 20, "only {ran} runnable examples found");
     assert!(
         expected_failures >= 3,
+        "only {expected_failures} error examples found"
+    );
+}
+
+#[test]
+fn every_observability_example_runs() {
+    let (ran, expected_failures) = run_doc("OBSERVABILITY.md");
+    assert!(ran >= 2, "only {ran} runnable examples found");
+    assert!(
+        expected_failures >= 1,
         "only {expected_failures} error examples found"
     );
 }

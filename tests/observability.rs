@@ -1,0 +1,308 @@
+//! The observability surface end to end: metrics snapshots, recovery
+//! counters vs. the `RecoveryReport`, tracing spans, the slow-query
+//! log, `observe <stmt>`, and the encodings (JSON round-trip and
+//! Prometheus exposition).
+
+use std::path::PathBuf;
+
+use extra_excess::db::validate_exposition;
+use extra_excess::{Database, Durability, MetricsSnapshot, TraceConfig};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("exodus-obs-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A tiny schema with a handful of rows, run through `session`.
+fn seed(db: &std::sync::Arc<Database>) {
+    let mut s = db.session();
+    s.run(
+        r#"
+        define type Person (name: varchar, age: int4);
+        create { own ref Person } People;
+        append to People (name = "ann", age = 30);
+        append to People (name = "bob", age = 41);
+        append to People (name = "cey", age = 52);
+    "#,
+    )
+    .unwrap();
+}
+
+/// After a durable workload and a non-checkpointed shutdown, the reopen
+/// replays the log — and the `storage_recovery_*` counters in the
+/// metrics snapshot must equal the `RecoveryReport` field for field.
+#[test]
+fn recovery_counters_match_the_report() {
+    let dir = temp_dir("recovery");
+    let path = dir.join("db.vol");
+    {
+        let db = Database::builder()
+            .path(&path)
+            .durability(Durability::Fsync)
+            .build()
+            .unwrap();
+        seed(&db);
+        // Dropped without a checkpoint: the volume may be stale, the
+        // log is not, so the next open has real redo work.
+    }
+    let db = Database::builder()
+        .path(&path)
+        .durability(Durability::Fsync)
+        .build()
+        .unwrap();
+    let report = db.recovery().expect("file-backed open recovers").clone();
+    assert!(report.records_scanned > 0, "workload left no log records");
+    assert!(report.units_replayed > 0, "reopen had nothing to replay");
+
+    let snap = db.metrics_snapshot().expect("metrics are on by default");
+    let counter = |name: &str| {
+        snap.counter(name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    assert_eq!(
+        counter("storage_recovery_records_scanned"),
+        report.records_scanned
+    );
+    assert_eq!(
+        counter("storage_recovery_units_replayed"),
+        report.units_replayed
+    );
+    assert_eq!(
+        counter("storage_recovery_units_rolled_back"),
+        report.units_rolled_back
+    );
+    assert_eq!(
+        counter("storage_recovery_pages_restored"),
+        report.pages_restored
+    );
+    assert_eq!(
+        counter("storage_recovery_bytes_truncated"),
+        report.bytes_truncated
+    );
+
+    // The durable append path on the reopened database moves the WAL
+    // counters (the catalog itself is per-open, so a fresh schema).
+    let mut s = db.session();
+    s.run(
+        r#"
+        define type Crew (name: varchar);
+        create { own Crew } Crews;
+        append to Crews (name = "dee");
+    "#,
+    )
+    .unwrap();
+    let snap = db.metrics_snapshot().unwrap();
+    assert!(snap.counter("storage_wal_appends_total").unwrap() > 0);
+    assert!(snap.counter("storage_wal_fsyncs_total").unwrap() > 0);
+    assert!(snap.counter("storage_pool_hits_total").unwrap() > 0);
+    drop(s);
+    drop(db);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn statement_counters_and_active_sessions() {
+    let db = Database::in_memory();
+    seed(&db);
+    let mut s = db.session();
+    s.query("retrieve (P.name) from P in People where P.age > 35")
+        .unwrap();
+    let snap = db.metrics_snapshot().unwrap();
+    // `seed` ran 5 statements, this session one more.
+    assert_eq!(snap.counter("db_statements_total"), Some(6));
+    assert_eq!(snap.counter("db_statements_retrieve_total"), Some(1));
+    assert_eq!(snap.counter("db_statements_append_total"), Some(3));
+    assert_eq!(snap.counter("db_errors_total"), Some(0));
+    assert_eq!(snap.gauge("db_active_sessions"), Some(1));
+
+    assert!(s.run("retrieve (Nope.x)").is_err());
+    let snap = db.metrics_snapshot().unwrap();
+    assert_eq!(snap.counter("db_errors_total"), Some(1));
+
+    let s2 = db.session_as("guest");
+    assert_eq!(
+        db.metrics_snapshot().unwrap().gauge("db_active_sessions"),
+        Some(2)
+    );
+    drop(s2);
+    drop(s);
+    assert_eq!(
+        db.metrics_snapshot().unwrap().gauge("db_active_sessions"),
+        Some(0)
+    );
+}
+
+/// With a zero threshold every statement enters the slow-query log,
+/// slowest first, and retrieves carry their execution profile (tracing
+/// implies profiling).
+#[test]
+fn slow_query_log_captures_statements_with_profiles() {
+    let db = Database::builder()
+        .trace(TraceConfig {
+            slow_query_threshold_ns: 0,
+            ..TraceConfig::default()
+        })
+        .build()
+        .unwrap();
+    seed(&db);
+    let mut s = db.session();
+    s.query("retrieve (P.name) from P in People where P.age > 35")
+        .unwrap();
+
+    let slow = db.slow_queries();
+    assert_eq!(slow.len(), 6, "zero threshold must log every statement");
+    assert!(
+        slow.windows(2).all(|w| w[0].elapsed_ns >= w[1].elapsed_ns),
+        "slow queries are not sorted slowest first"
+    );
+    let retrieve = slow
+        .iter()
+        .find(|q| q.statement.starts_with("retrieve"))
+        .expect("the retrieve was logged");
+    let profile = retrieve
+        .payload
+        .as_ref()
+        .expect("tracing implies profiling");
+    // The profile renders the annotated physical plan.
+    assert!(format!("{profile}").contains("SeqScan"), "{profile}");
+    assert_eq!(
+        db.metrics_snapshot()
+            .unwrap()
+            .counter("db_slow_queries_total"),
+        Some(6)
+    );
+}
+
+/// One traced retrieve produces the full span lifecycle, with
+/// sema/plan/execute/wal_commit nested under the statement span.
+#[test]
+fn trace_spans_cover_the_statement_lifecycle() {
+    let db = Database::builder()
+        .trace(TraceConfig::default())
+        .build()
+        .unwrap();
+    seed(&db);
+    let mut s = db.session();
+    s.query("retrieve (P.name) from P in People where P.age > 35")
+        .unwrap();
+
+    let spans = db.trace_spans();
+    let find = |name: &str| {
+        spans
+            .iter()
+            .rfind(|sp| sp.name == name)
+            .unwrap_or_else(|| panic!("no {name} span in {spans:?}"))
+    };
+    let statement = find("statement");
+    assert!(
+        statement.detail.starts_with("retrieve"),
+        "{}",
+        statement.detail
+    );
+    for child in ["sema", "plan", "execute"] {
+        assert_eq!(
+            find(child).parent,
+            Some(statement.id),
+            "{child} span is not nested under the statement span"
+        );
+    }
+    // Commit spans come from the seed's DML; each nests under one of
+    // the statement spans.
+    let statement_ids: Vec<u64> = spans
+        .iter()
+        .filter(|sp| sp.name == "statement")
+        .map(|sp| sp.id)
+        .collect();
+    let commits: Vec<_> = spans.iter().filter(|sp| sp.name == "wal_commit").collect();
+    assert!(!commits.is_empty(), "no wal_commit spans in {spans:?}");
+    for c in &commits {
+        assert!(
+            c.parent.is_some_and(|p| statement_ids.contains(&p)),
+            "wal_commit span {c:?} is not nested under a statement span"
+        );
+    }
+    // Parsing happens before the statement span opens, so it is a root.
+    assert_eq!(find("parse").parent, None);
+}
+
+/// `observe <stmt>` wraps the inner response with its wall-clock time
+/// and the counters it moved, and refuses to nest.
+#[test]
+fn observe_statement_reports_counter_deltas() {
+    let db = Database::in_memory();
+    seed(&db);
+    let mut s = db.session();
+    let responses = s.run("observe retrieve (P.name) from P in People").unwrap();
+    let obs = responses
+        .into_iter()
+        .next()
+        .unwrap()
+        .observation()
+        .expect("observe returns Response::Observed");
+    assert!(format!("{obs}").contains("elapsed:"));
+    assert!(
+        obs.counters.iter().any(|(n, _)| n == "exec_rows_total"),
+        "expected executor deltas, got {:?}",
+        obs.counters
+    );
+    assert!(
+        obs.counters.iter().all(|(_, d)| *d > 0),
+        "zero deltas must be dropped"
+    );
+    assert_eq!(obs.response.rows().expect("inner rows").len(), 3);
+
+    assert!(s
+        .run("observe observe retrieve (P.name) from P in People")
+        .is_err());
+    assert!(s
+        .run("explain observe retrieve (P.name) from P in People")
+        .is_err());
+}
+
+/// The snapshot survives its own JSON encoding and the Prometheus
+/// exposition parses clean.
+#[test]
+fn snapshot_encodings_round_trip_and_validate() {
+    let db = Database::in_memory();
+    seed(&db);
+    db.session()
+        .query("retrieve (P.age) from P in People")
+        .unwrap();
+
+    let snap = db.metrics_snapshot().unwrap();
+    let back = MetricsSnapshot::from_json(&snap.to_json()).expect("snapshot JSON parses");
+    assert_eq!(snap, back);
+
+    let families = validate_exposition(&snap.to_prometheus()).expect("exposition is well-formed");
+    assert!(families >= 20, "only {families} metric families registered");
+}
+
+/// `.metrics(false)` strips the whole surface: no snapshots, no spans,
+/// no slow queries — and statements still run.
+#[test]
+fn disabled_metrics_leave_no_surface() {
+    let db = Database::builder().metrics(false).build().unwrap();
+    seed(&db);
+    let mut s = db.session();
+    assert_eq!(
+        s.query("retrieve (P.name) from P in People").unwrap().len(),
+        3
+    );
+    assert!(db.metrics_snapshot().is_none());
+    assert!(db.slow_queries().is_empty());
+    assert!(db.trace_spans().is_empty());
+    // `observe` still executes its inner statement; the deltas are
+    // simply empty.
+    let obs = s
+        .run("observe retrieve (P.name) from P in People")
+        .unwrap()
+        .into_iter()
+        .next()
+        .unwrap()
+        .observation()
+        .unwrap();
+    assert!(obs.counters.is_empty());
+    assert_eq!(obs.response.rows().unwrap().len(), 3);
+}
