@@ -93,18 +93,21 @@ fn counters_identical_across_dop() {
     );
 }
 
-/// Exact page-pin accounting, pinned per DOP. The 10k-member snapshot
-/// heap spans 19 pages and sits entirely in the 64Ki-page pool, so
-/// every pin is a hit and misses stay zero. Per query:
+/// Exact page-pin accounting, pinned per DOP. Every heap record now
+/// carries a 16-byte MVCC version-stamp header, so the 10k-member
+/// snapshot heap spans 39 pages (it was 19 before versioning); it still
+/// sits entirely in the 64Ki-page pool, so every pin is a hit and
+/// misses stay zero. Per query:
 ///
-/// * DOP 1 — 29 pins: the header (chain start), each of the 19 pages
+/// * DOP 1 — 49 pins: the header (chain start), each of the 39 pages
 ///   once, and 9 re-pins where a 1024-row batch boundary lands
 ///   mid-page.
-/// * DOP 4 — 33 pins: the header (`member_count` gate), each page once
-///   across all morsels (cached partitions pin nothing), 9 re-pins at
-///   chunk boundaries inside the 2-page morsels, and 4 planner pins —
-///   costing the parallel candidate re-reads the collection count from
-///   the header via `leftmost_scan_rows`, `cost`, and `cardinality`.
+/// * DOP 4 — 44 pins: the header (`member_count` gate), each page once
+///   across all morsels (cached partitions pin nothing; each 3-page
+///   morsel holds under 1024 rows, so no chunk-boundary re-pins), and
+///   4 planner pins — costing the parallel candidate re-reads the
+///   collection count from the header via `leftmost_scan_rows`,
+///   `cost`, and `cardinality`.
 #[test]
 fn pool_counters_pinned_at_dop_1_and_4() {
     let d1 = workload_deltas(1);
@@ -115,7 +118,7 @@ fn pool_counters_pinned_at_dop_1_and_4() {
             .map(|(_, v)| *v)
             .unwrap_or(0)
     };
-    for (dop, d, hits) in [(1, &d1, 87), (4, &d4, 99)] {
+    for (dop, d, hits) in [(1, &d1, 147), (4, &d4, 132)] {
         assert_eq!(
             counter(d, "storage_pool_hits_total"),
             hits,
@@ -132,11 +135,11 @@ fn pool_counters_pinned_at_dop_1_and_4() {
         assert_eq!(counter(d, "db_statements_retrieve_total"), 3, "DOP-{dop}");
     }
     // The DOP-dependent executor counters, pinned per DOP: DOP 1 never
-    // touches the morsel queue; DOP 4 splits the 19 pages into 10
-    // morsels per query and chunks them into the same batch total every
-    // run.
+    // touches the morsel queue; DOP 4 splits the 39 pages into 13
+    // morsels per query, each small enough to chunk into exactly one
+    // batch.
     assert_eq!(counter(&d1, "exec_morsels_total"), 0);
     assert_eq!(counter(&d1, "exec_batches_total"), 30);
-    assert_eq!(counter(&d4, "exec_morsels_total"), 30);
-    assert_eq!(counter(&d4, "exec_batches_total"), 45);
+    assert_eq!(counter(&d4, "exec_morsels_total"), 39);
+    assert_eq!(counter(&d4, "exec_batches_total"), 39);
 }

@@ -421,4 +421,12 @@ pub enum Stmt {
         /// The statement being observed.
         stmt: Box<Stmt>,
     },
+    /// `begin` — open an explicit multi-statement transaction. Reads
+    /// inside it see a single snapshot plus the transaction's own
+    /// writes; writes become visible to others only at `commit`.
+    Begin,
+    /// `commit` — durably publish the open transaction's writes.
+    Commit,
+    /// `abort` — discard the open transaction's writes.
+    Abort,
 }

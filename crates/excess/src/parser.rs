@@ -225,6 +225,12 @@ impl<'a> Parser<'a> {
                 if matches!(self.peek(), Tok::Kw(Kw::Observe)) {
                     return self.err("explain cannot wrap observe");
                 }
+                if let Tok::Kw(k @ (Kw::Begin | Kw::Commit | Kw::Abort)) = self.peek() {
+                    return self.err(format!(
+                        "explain cannot wrap '{}': transaction control has no plan",
+                        k.as_str()
+                    ));
+                }
                 let stmt = Box::new(self.statement()?);
                 Ok(Stmt::Explain { analyze, stmt })
             }
@@ -236,8 +242,27 @@ impl<'a> Parser<'a> {
                 if matches!(self.peek(), Tok::Kw(Kw::Explain)) {
                     return self.err("observe cannot wrap explain");
                 }
+                if let Tok::Kw(k @ (Kw::Begin | Kw::Commit | Kw::Abort)) = self.peek() {
+                    return self.err(format!(
+                        "observe cannot wrap '{}': transaction control is not a \
+                         metered statement",
+                        k.as_str()
+                    ));
+                }
                 let stmt = Box::new(self.statement()?);
                 Ok(Stmt::Observe { stmt })
+            }
+            Tok::Kw(Kw::Begin) => {
+                self.bump();
+                Ok(Stmt::Begin)
+            }
+            Tok::Kw(Kw::Commit) => {
+                self.bump();
+                Ok(Stmt::Commit)
+            }
+            Tok::Kw(Kw::Abort) => {
+                self.bump();
+                Ok(Stmt::Abort)
             }
             other => self.err(format!("expected a statement, found {other}")),
         }

@@ -392,6 +392,9 @@ impl fmt::Display for Stmt {
                 )
             }
             Stmt::Observe { stmt } => write!(f, "observe {stmt}"),
+            Stmt::Begin => write!(f, "begin"),
+            Stmt::Commit => write!(f, "commit"),
+            Stmt::Abort => write!(f, "abort"),
         }
     }
 }

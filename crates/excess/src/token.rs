@@ -6,6 +6,7 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Kw {
+    Abort,
     Add,
     All,
     Analyze,
@@ -13,8 +14,10 @@ pub enum Kw {
     Append,
     As,
     Asc,
+    Begin,
     By,
     Char,
+    Commit,
     Contains,
     Create,
     Define,
@@ -70,6 +73,7 @@ impl Kw {
     /// Keyword for an identifier, if reserved.
     pub fn lookup(s: &str) -> Option<Kw> {
         Some(match s {
+            "abort" => Kw::Abort,
             "add" => Kw::Add,
             "all" => Kw::All,
             "analyze" => Kw::Analyze,
@@ -77,8 +81,10 @@ impl Kw {
             "append" => Kw::Append,
             "as" => Kw::As,
             "asc" => Kw::Asc,
+            "begin" => Kw::Begin,
             "by" => Kw::By,
             "char" => Kw::Char,
+            "commit" => Kw::Commit,
             "contains" => Kw::Contains,
             "create" => Kw::Create,
             "define" => Kw::Define,
@@ -135,6 +141,7 @@ impl Kw {
     /// The keyword's source spelling.
     pub fn as_str(&self) -> &'static str {
         match self {
+            Kw::Abort => "abort",
             Kw::Add => "add",
             Kw::All => "all",
             Kw::Analyze => "analyze",
@@ -142,8 +149,10 @@ impl Kw {
             Kw::Append => "append",
             Kw::As => "as",
             Kw::Asc => "asc",
+            Kw::Begin => "begin",
             Kw::By => "by",
             Kw::Char => "char",
+            Kw::Commit => "commit",
             Kw::Contains => "contains",
             Kw::Create => "create",
             Kw::Define => "define",

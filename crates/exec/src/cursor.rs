@@ -444,7 +444,7 @@ impl ScanCursor<'_> {
         let mut out: Vec<(Value, MemberId)> = Vec::new();
         match &self.kind {
             ScanKind::Heap { anchor } => {
-                let mut scan = ctx.store.scan_members_batch(*anchor)?;
+                let mut scan = ctx.store.scan_members_batch_at(*anchor, ctx.snapshot)?;
                 loop {
                     let chunk = scan.next_batch(cap)?;
                     if chunk.is_empty() {
@@ -471,7 +471,18 @@ impl ScanCursor<'_> {
                     }
                     for (_, packed) in chunk {
                         let rid = RecordId::unpack(packed);
-                        let bytes = ctx.store.storage().read(rid)?;
+                        // Index entries are maintained synchronously by the
+                        // writer, so they can point at versions outside this
+                        // snapshot (uncommitted inserts, deleted members);
+                        // the visibility check filters those out.
+                        let Some(bytes) = exodus_storage::heap::read_record_visible(
+                            ctx.store.storage().pool(),
+                            rid,
+                            ctx.snapshot,
+                        )?
+                        else {
+                            continue;
+                        };
                         let value = extra_model::valueio::from_bytes(&bytes)?;
                         out.push(member_binding(*anchor, rid, value));
                     }

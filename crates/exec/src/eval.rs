@@ -43,6 +43,12 @@ pub struct ExecCtx<'a> {
     /// value, filled by the skip-decode deref in the `Attr` evaluator.
     /// Same lifetime/staleness argument as `deref_cache`.
     attr_cache: RefCell<HashMap<(exodus_storage::Oid, usize), Value>>,
+    /// Snapshot timestamp every storage read evaluates against.
+    /// Defaults to [`exodus_storage::TS_LATEST`] (see-everything), which
+    /// is only correct when no concurrent writer exists; sessions thread
+    /// the statement's real snapshot (or the write transaction's own
+    /// timestamp) through [`ExecCtx::with_snapshot`].
+    pub snapshot: u64,
     /// Per-operator profiler (EXPLAIN ANALYZE). `None` — the default —
     /// keeps the batch path counter-free and untimed.
     pub profiler: Option<PlanProfiler>,
@@ -73,9 +79,17 @@ impl<'a> ExecCtx<'a> {
             agg_cache: RefCell::new(HashMap::new()),
             deref_cache: RefCell::new(HashMap::new()),
             attr_cache: RefCell::new(HashMap::new()),
+            snapshot: exodus_storage::TS_LATEST,
             profiler: None,
             metrics: None,
         }
+    }
+
+    /// Pin every storage read this context performs to the version
+    /// state visible at `snap` (snapshot isolation).
+    pub fn with_snapshot(mut self, snap: u64) -> Self {
+        self.snapshot = snap;
+        self
     }
 
     /// Override the execution batch size (clamped to at least 1).
@@ -128,7 +142,7 @@ pub fn deref(ctx: &ExecCtx<'_>, mut v: Value) -> ModelResult<Value> {
             v = hit.clone();
             continue;
         }
-        v = ctx.store.value_of(oid)?;
+        v = ctx.store.value_of_at(oid, ctx.snapshot)?;
         let mut cache = ctx.deref_cache.borrow_mut();
         if cache.len() < DEREF_CACHE_CAP {
             cache.insert(oid, v.clone());
@@ -158,7 +172,7 @@ pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Val
             .ok_or_else(|| ModelError::Semantic(format!("unbound variable '{n}'"))),
         CExpr::NamedSet(oid) => {
             let mut members = Vec::new();
-            let mut scan = ctx.store.scan_members_batch(*oid)?;
+            let mut scan = ctx.store.scan_members_batch_at(*oid, ctx.snapshot)?;
             loop {
                 let chunk = scan.next_batch(ctx.batch_size.max(1))?;
                 if chunk.is_empty() {
@@ -169,7 +183,7 @@ pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Val
             Ok(Value::Set(members))
         }
         CExpr::NamedRef(oid) => Ok(Value::Ref(*oid)),
-        CExpr::NamedValue(oid) => ctx.store.value_of(*oid),
+        CExpr::NamedValue(oid) => ctx.store.value_of_at(*oid, ctx.snapshot),
         CExpr::Attr(base, pos) => {
             // Fast path: project straight out of a bound variable's tuple
             // without cloning the whole row value first.
@@ -198,7 +212,7 @@ pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Val
                     return Ok(hit.clone());
                 }
                 if !ctx.deref_cache.borrow().contains_key(&oid) {
-                    if let Some(field) = ctx.store.field_of(oid, *pos)? {
+                    if let Some(field) = ctx.store.field_of_at(oid, *pos, ctx.snapshot)? {
                         let mut cache = ctx.attr_cache.borrow_mut();
                         if cache.len() < DEREF_CACHE_CAP {
                             cache.insert((oid, *pos), field.clone());

@@ -79,7 +79,16 @@ impl Morsel {
                 let mut out = Vec::with_capacity(entries.len());
                 for (_, packed) in entries {
                     let rid = RecordId::unpack(packed);
-                    let bytes = ctx.store.storage().read(rid)?;
+                    // Index entries can reference versions outside the
+                    // snapshot (writer-synchronous maintenance); skip them.
+                    let Some(bytes) = exodus_storage::heap::read_record_visible(
+                        ctx.store.storage().pool(),
+                        rid,
+                        ctx.snapshot,
+                    )?
+                    else {
+                        continue;
+                    };
                     out.push((rid, extra_model::valueio::from_bytes(&bytes)?));
                 }
                 Ok(out)
@@ -98,7 +107,7 @@ fn morsels_for(ctx: &ExecCtx<'_>, leaf: &ExecNode, k: usize) -> ModelResult<Opti
             }
             Ok(Some(
                 ctx.store
-                    .scan_members_partitions(*anchor, k)?
+                    .scan_members_partitions_at(*anchor, k, ctx.snapshot)?
                     .into_iter()
                     .map(Morsel::Heap)
                     .collect(),
@@ -248,6 +257,7 @@ where
     let finished: Mutex<Vec<(usize, PlanProfiler, WorkerStats)>> = Mutex::new(Vec::new());
     let (store, types, adts, catalog) = (ctx.store, ctx.types, ctx.adts, ctx.catalog);
     let batch_size = ctx.batch_size;
+    let snapshot = ctx.snapshot;
     let metrics = ctx.metrics.clone();
     let (tx, rx) = sync_channel::<(usize, usize, ModelResult<T>)>(workers * CHANNEL_SLACK);
 
@@ -260,6 +270,7 @@ where
             s.spawn(move || {
                 let mut wctx = ExecCtx::new(store, types, adts, catalog)
                     .with_batch_size(batch_size)
+                    .with_snapshot(snapshot)
                     .with_metrics(wmetrics);
                 if let Some(p) = wprof {
                     wctx = wctx.with_profiler(p);

@@ -428,9 +428,12 @@ impl Database {
             .cloned()
             .ok_or_else(|| DbError::Catalog(format!("no collection '{collection}'")))?;
         let elem = self.store.collection_elem(obj.oid)?;
-        // The whole load is one logged unit; with durability off this is
-        // a no-op and the loader keeps its unlogged fast path.
-        let unit = self.store.storage().begin_unit()?;
+        drop(cat);
+        // The whole load is one write transaction (lock order: writer
+        // slot before catalog), so readers either see none of the batch
+        // or all of it.
+        let txn = self.store.storage().begin_txn()?;
+        let cat = self.catalog.read();
         let mut oids = Vec::with_capacity(members.len());
         for m in members {
             match elem.mode {
@@ -453,7 +456,8 @@ impl Database {
                 }
             }
         }
-        unit.commit()?;
+        drop(cat);
+        txn.commit()?;
         Ok(oids)
     }
 
@@ -538,6 +542,7 @@ impl Database {
             db: self.clone(),
             user: user.to_string(),
             ranges: RangeEnv::default(),
+            txn: None,
         }
     }
 
@@ -562,16 +567,26 @@ fn sync_operators(ops: &mut OperatorTable, adts: &extra_model::AdtRegistry) {
     }
 }
 
-/// A session: a user plus the session's `range of` declarations.
+/// A session: a user plus the session's `range of` declarations and, at
+/// most, one open explicit transaction.
 pub struct Session {
     db: Arc<Database>,
     /// The session's user.
     pub user: String,
     ranges: RangeEnv,
+    /// The open explicit transaction (`begin` ... `commit`/`abort`).
+    /// Holds the storage writer slot, so at most one session can have
+    /// one at a time; everything the session executes while it is open
+    /// runs at the transaction's own timestamp.
+    txn: Option<exodus_storage::WriteTxn>,
 }
 
 impl Drop for Session {
     fn drop(&mut self) {
+        // An explicit transaction left open when the session dies is
+        // aborted (the WriteTxn drop rolls it back and frees the writer
+        // slot).
+        self.txn = None;
         if let Some(m) = &self.db.metrics {
             m.active_sessions.dec();
         }
@@ -679,11 +694,79 @@ impl Session {
     }
 
     /// The statement path proper, shared by the instrumented wrapper
-    /// above.
+    /// above. Every statement executes through a transaction:
+    ///
+    /// * `begin` / `commit` / `abort` manage the session's explicit
+    ///   transaction (which holds the storage writer slot for its whole
+    ///   lifetime);
+    /// * inside an explicit transaction, DML runs at the transaction's
+    ///   own timestamp (DDL is refused — see [`txn_permits`]);
+    /// * an autocommit read runs against a fresh [`exodus_storage::Snapshot`]
+    ///   under the shared catalog lock (it never blocks, and never sees
+    ///   another session's uncommitted writes);
+    /// * any other autocommit statement runs inside an implicit
+    ///   single-statement write transaction. The writer slot is always
+    ///   acquired *before* the catalog lock (lock order: writer gate,
+    ///   then catalog), so a session blocked on the gate never holds a
+    ///   lock a reader needs.
     fn execute_inner(&mut self, db: &Arc<Database>, stmt: &Stmt) -> DbResult<Response> {
+        match stmt {
+            Stmt::Begin => return self.begin_txn(db),
+            Stmt::Commit => return self.commit_txn(db),
+            Stmt::Abort => return self.abort_txn(db),
+            // A range declaration is pure session state: it reads no
+            // data and writes no pages, so it needs neither the writer
+            // gate nor a snapshot. Routing it through the implicit
+            // write transaction would make a reader session's
+            // `range of R is C; retrieve ...` block on a concurrent
+            // writer — exactly what snapshot reads promise not to do.
+            Stmt::RangeOf {
+                var,
+                universal,
+                path,
+            } => {
+                self.ranges.declare(var, *universal, path.clone());
+                return Ok(Response::Done(format!("range of {var} declared")));
+            }
+            _ => {}
+        }
+        if let Some(txn) = &self.txn {
+            if let Err(m) = txn_permits(stmt) {
+                return Err(DbError::Txn(m));
+            }
+            let snap = txn.ts();
+            if let Stmt::Retrieve { into: None, .. } = stmt {
+                let cat = db.catalog.read();
+                return dml::retrieve_at(
+                    db,
+                    &cat,
+                    &self.ranges,
+                    &self.user,
+                    stmt,
+                    &Params::default(),
+                    db.profiling(),
+                    snap,
+                )
+                .map(Response::Rows);
+            }
+            let mut cat = db.catalog.write();
+            return exec_statement(
+                db,
+                &mut cat,
+                &mut self.ranges,
+                &self.user,
+                stmt,
+                &Params::default(),
+                0,
+            );
+        }
         if let Stmt::Retrieve { into: None, .. } = stmt {
+            // Autocommit read: a registered snapshot (not `TS_LATEST`) so
+            // a concurrent writer's in-flight rows stay invisible and
+            // vacuum cannot reclaim versions this statement still needs.
+            let snap = db.store.storage().begin_snapshot();
             let cat = db.catalog.read();
-            return dml::retrieve(
+            return dml::retrieve_at(
                 db,
                 &cat,
                 &self.ranges,
@@ -691,14 +774,17 @@ impl Session {
                 stmt,
                 &Params::default(),
                 db.profiling(),
+                snap.ts(),
             )
             .map(Response::Rows);
         }
+        // Implicit single-statement transaction: acquire the writer slot
+        // first, then the catalog lock. Commit happens even when the
+        // statement itself failed — partial page effects of a failed
+        // statement were already applied and logged, exactly as the old
+        // per-statement unit behaved — so error semantics are unchanged.
+        let txn = db.store.storage().begin_txn()?;
         let mut cat = db.catalog.write();
-        // One logged unit per statement: the WAL's commit record makes
-        // the statement's page writes crash-atomic (no-op when the
-        // database was opened with `Durability::None` or in memory).
-        let unit = db.store.storage().begin_unit()?;
         let response = exec_statement(
             db,
             &mut cat,
@@ -708,9 +794,100 @@ impl Session {
             &Params::default(),
             0,
         );
+        drop(cat);
         let _commit_span = db.span("wal_commit", "");
-        unit.commit()?;
+        txn.commit()?;
+        let _ = db.store.vacuum();
         response
+    }
+
+    /// `begin`: open the session's explicit transaction.
+    fn begin_txn(&mut self, db: &Arc<Database>) -> DbResult<Response> {
+        if self.txn.is_some() {
+            return Err(DbError::Txn(
+                "a transaction is already open; commit or abort it first".into(),
+            ));
+        }
+        let _span = db.span("txn", "begin");
+        let txn = db.store.storage().begin_txn()?;
+        self.txn = Some(txn);
+        Ok(Response::Done("transaction started".into()))
+    }
+
+    /// `commit`: durably publish the open transaction's writes.
+    fn commit_txn(&mut self, db: &Arc<Database>) -> DbResult<Response> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("no transaction is open; use begin first".into()))?;
+        let _span = db.span("txn", "commit");
+        let ts = txn.commit()?;
+        let _ = db.store.vacuum();
+        Ok(Response::Done(format!("committed at timestamp {ts}")))
+    }
+
+    /// `abort`: discard the open transaction's writes.
+    fn abort_txn(&mut self, db: &Arc<Database>) -> DbResult<Response> {
+        let txn = self
+            .txn
+            .take()
+            .ok_or_else(|| DbError::Txn("no transaction is open; use begin first".into()))?;
+        let _span = db.span("txn", "abort");
+        txn.abort()?;
+        let _ = db.store.vacuum();
+        Ok(Response::Done("transaction aborted".into()))
+    }
+}
+
+/// Whether a statement may run inside an explicit transaction. Only DML
+/// — `retrieve` (including `into`), `append`, `delete`, `replace` — plus
+/// `range of` declarations and `explain`/`observe` wrappers of those
+/// qualify. DDL, grants and procedure execution are refused: they mutate
+/// in-memory catalog state the page-level rollback cannot restore.
+fn txn_permits(stmt: &Stmt) -> Result<(), String> {
+    match stmt {
+        Stmt::Retrieve { .. }
+        | Stmt::Append { .. }
+        | Stmt::Delete { .. }
+        | Stmt::Replace { .. }
+        | Stmt::RangeOf { .. } => Ok(()),
+        Stmt::Explain { stmt, .. } | Stmt::Observe { stmt } => txn_permits(stmt),
+        other => Err(format!(
+            "'{}' cannot run inside an explicit transaction; only retrieve, append, \
+             delete, replace and range declarations can (commit or abort first)",
+            verb_of(other)
+        )),
+    }
+}
+
+/// The leading verb of a statement, for error messages.
+fn verb_of(stmt: &Stmt) -> &'static str {
+    match stmt {
+        Stmt::DefineType { .. } => "define type",
+        Stmt::Create { .. } => "create",
+        Stmt::Destroy { .. } => "destroy",
+        Stmt::DropType { .. } => "drop type",
+        Stmt::DefineFunction { .. } => "define function",
+        Stmt::DefineProcedure { .. } => "define procedure",
+        Stmt::DropFunction { .. } => "drop function",
+        Stmt::DropProcedure { .. } => "drop procedure",
+        Stmt::DefineIndex { .. } => "define index",
+        Stmt::RangeOf { .. } => "range of",
+        Stmt::Retrieve { .. } => "retrieve",
+        Stmt::Append { .. } => "append",
+        Stmt::Delete { .. } => "delete",
+        Stmt::Replace { .. } => "replace",
+        Stmt::Execute { .. } => "execute",
+        Stmt::Grant { .. } => "grant",
+        Stmt::Revoke { .. } => "revoke",
+        Stmt::CreateUser { .. } => "create user",
+        Stmt::CreateGroup { .. } => "create group",
+        Stmt::AddToGroup { .. } => "add user",
+        Stmt::Explain { .. } => "explain",
+        Stmt::Observe { .. } => "observe",
+        Stmt::Begin => "begin",
+        Stmt::Commit => "commit",
+        Stmt::Abort => "abort",
     }
 }
 
@@ -849,6 +1026,15 @@ pub(crate) fn exec_statement(
             }
             Ok(Response::Done(format!("{u} added to {group}")))
         }
+        // Transaction control is handled by the session before dispatch
+        // (`Session::execute_inner`); reaching here means the verb was
+        // nested somewhere it cannot work (a procedure body, `observe`,
+        // `explain`).
+        Stmt::Begin | Stmt::Commit | Stmt::Abort => Err(DbError::Txn(format!(
+            "'{}' is a session-level statement; it cannot run inside \
+             procedures, explain, or observe",
+            verb_of(stmt)
+        ))),
     }
 }
 
@@ -1204,6 +1390,7 @@ fn define_procedure(
             "procedure '{name}' already exists"
         )));
     }
+    excess_sema::validate_procedure_body(body)?;
     let lowered: Vec<(String, QualType)> = params
         .iter()
         .map(|p| {

@@ -259,9 +259,24 @@ pub(crate) fn explain_plan(
     Ok(phys.to_string())
 }
 
+/// The snapshot a statement executing under the session's write
+/// transaction evaluates at: the writer's own timestamp. The writer
+/// gate is held by the calling session for the whole statement, so the
+/// storage layer's current write timestamp is unambiguously ours.
+/// `TS_LATEST` outside a transaction (single-session read paths).
+fn write_snap(db: &Database) -> u64 {
+    db.store
+        .storage()
+        .txn()
+        .current_write_ts()
+        .unwrap_or(exodus_storage::TS_LATEST)
+}
+
 /// Execute a retrieve (no `into`; read-only — runs under a shared
 /// catalog lock). With `profile`, per-operator metrics land on the
-/// result's `profile` field.
+/// result's `profile` field. Reads at the calling transaction's own
+/// timestamp; autocommit readers use [`retrieve_at`] with a registered
+/// snapshot instead.
 pub fn retrieve(
     db: &Database,
     cat: &Catalog,
@@ -270,6 +285,22 @@ pub fn retrieve(
     stmt: &Stmt,
     params: &Params,
     profile: bool,
+) -> DbResult<QueryResult> {
+    retrieve_at(db, cat, ranges, user, stmt, params, profile, write_snap(db))
+}
+
+/// [`retrieve`] pinned to an explicit snapshot timestamp: every storage
+/// read resolves the record version visible at `snap`.
+#[allow(clippy::too_many_arguments)]
+pub fn retrieve_at(
+    db: &Database,
+    cat: &Catalog,
+    ranges: &RangeEnv,
+    user: &str,
+    stmt: &Stmt,
+    params: &Params,
+    profile: bool,
+    snap: u64,
 ) -> DbResult<QueryResult> {
     let (node, checked, phys) = plan_query(db, cat, ranges, params, stmt)?;
     check_read(cat, user, &checked, stmt)?;
@@ -280,6 +311,7 @@ pub fn retrieve(
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads())
+        .with_snapshot(snap)
         .with_metrics(db.exec_metrics());
     let before = profile.then(|| db.store.storage().pool().stats());
     if profile {
@@ -324,6 +356,7 @@ pub fn retrieve_into(
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads())
+        .with_snapshot(write_snap(db))
         .with_metrics(db.exec_metrics());
     let before = profile.then(|| db.store.storage().pool().stats());
     if profile {
@@ -454,6 +487,7 @@ fn collect_bindings(
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads())
+        .with_snapshot(write_snap(db))
         .with_metrics(db.exec_metrics());
     let before = profiling
         .as_ref()
@@ -743,6 +777,7 @@ pub(crate) fn append(
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
                 .with_workers(db.worker_threads())
+                .with_snapshot(write_snap(db))
                 .with_metrics(db.exec_metrics());
             let mut staged: Vec<Value> = Vec::new();
             for env in bindings.iter() {
@@ -798,6 +833,7 @@ pub(crate) fn append(
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
                 .with_workers(db.worker_threads())
+                .with_snapshot(write_snap(db))
                 .with_metrics(db.exec_metrics());
             let mut staged: Vec<Value> = Vec::new();
             for env in bindings.iter() {
@@ -868,6 +904,7 @@ pub(crate) fn append(
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
                 .with_workers(db.worker_threads())
+                .with_snapshot(write_snap(db))
                 .with_metrics(db.exec_metrics());
             let mut staged: Vec<(i64, Value)> = Vec::new();
             for env in bindings.iter() {
@@ -937,6 +974,7 @@ pub(crate) fn append(
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
                 .with_workers(db.worker_threads())
+                .with_snapshot(write_snap(db))
                 .with_metrics(db.exec_metrics());
             let mut staged: Vec<(UpdateSite, Value)> = Vec::new();
             for env in bindings.iter() {
@@ -1522,6 +1560,7 @@ pub(crate) fn replace(
     let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
         .with_workers(db.worker_threads())
+        .with_snapshot(write_snap(db))
         .with_metrics(db.exec_metrics());
     let mut staged: Vec<Staged> = Vec::new();
     for env in bindings.iter() {
@@ -1715,6 +1754,7 @@ pub(crate) fn execute_procedure(
         let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
             .with_batch_size(db.batch_size())
             .with_workers(db.worker_threads())
+            .with_snapshot(write_snap(db))
             .with_metrics(db.exec_metrics());
         for env in bindings.iter() {
             let vals: Vec<Value> = args

@@ -19,6 +19,9 @@ pub enum DbError {
     Auth(String),
     /// Catalog misuse (duplicate names, missing objects...).
     Catalog(String),
+    /// Transaction misuse (`commit` without `begin`, DDL inside an
+    /// explicit transaction...).
+    Txn(String),
 }
 
 impl fmt::Display for DbError {
@@ -29,6 +32,7 @@ impl fmt::Display for DbError {
             DbError::Model(e) => write!(f, "{e}"),
             DbError::Auth(m) => write!(f, "authorization error: {m}"),
             DbError::Catalog(m) => write!(f, "catalog error: {m}"),
+            DbError::Txn(m) => write!(f, "transaction error: {m}"),
         }
     }
 }

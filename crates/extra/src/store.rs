@@ -34,9 +34,10 @@ use parking_lot::RwLock;
 
 use exodus_storage::btree::BTree;
 use exodus_storage::buffer::BufferPool;
-use exodus_storage::heap::HeapFile;
+use exodus_storage::heap::{self, HeapFile};
 use exodus_storage::lob::{Lob, LobId};
 use exodus_storage::object::ObjectTable;
+use exodus_storage::txn::{visible, ReclaimOp, TS_LATEST};
 use exodus_storage::{FileId, Oid, RecordId, StorageManager};
 
 use crate::error::{ModelError, ModelResult};
@@ -146,6 +147,31 @@ impl ObjectStore {
         self.sm.pool()
     }
 
+    /// The active write transaction's provisional timestamp, if the
+    /// caller runs inside one — mutations are then versioned (new
+    /// versions stamped with the timestamp, superseded versions
+    /// end-stamped instead of destroyed).
+    fn write_ts(&self) -> Option<u64> {
+        self.sm.txn().current_write_ts()
+    }
+
+    /// The snapshot implicit reads evaluate against: the writer's own
+    /// timestamp inside a write transaction (it sees its own mutations),
+    /// [`TS_LATEST`] otherwise. Reader sessions pass explicit snapshots
+    /// through the `_at` read variants instead.
+    fn current_snap(&self) -> u64 {
+        self.write_ts().unwrap_or(TS_LATEST)
+    }
+
+    /// Insert a record, versioned when inside a write transaction.
+    fn insert_record(&self, file: FileId, rec: &[u8]) -> ModelResult<RecordId> {
+        let hf = HeapFile::open(file);
+        Ok(match self.write_ts() {
+            Some(ts) => hf.insert_at(self.pool(), rec, ts)?,
+            None => hf.insert(self.pool(), rec)?,
+        })
+    }
+
     /// Intern a qualified type, returning its small id.
     pub fn intern(&self, qty: &QualType) -> u32 {
         let mut types = self.types.write();
@@ -212,7 +238,7 @@ impl ObjectStore {
     ) -> ModelResult<Oid> {
         let type_id = self.intern(qty);
         let rec = self.encode_payload(Oid::NULL, &value)?;
-        let rid = self.sm.insert(self.file, &rec)?;
+        let rid = self.insert_record(self.file, &rec)?;
         let oid = self.table.allocate(self.pool(), rid, type_id)?;
         let edges = self.collect_edges(reg, qty, &value)?;
         for e in &edges {
@@ -221,15 +247,60 @@ impl ObjectStore {
         Ok(oid)
     }
 
-    /// Whether an OID names a live object.
+    /// Whether an OID names a live object (at the implicit snapshot —
+    /// the writer's own timestamp inside a transaction, latest otherwise).
     pub fn exists(&self, oid: Oid) -> ModelResult<bool> {
-        Ok(self.table.exists(self.pool(), oid)?)
+        self.exists_at(oid, self.current_snap())
+    }
+
+    /// Whether an OID names an object with a version visible at `snap`.
+    pub fn exists_at(&self, oid: Oid, snap: u64) -> ModelResult<bool> {
+        if !self.table.exists(self.pool(), oid)? {
+            return Ok(false);
+        }
+        Ok(self.read_version_bytes(oid, snap)?.is_some())
+    }
+
+    /// Raw record bytes of the version of `oid` visible at `snap`, or
+    /// `None` when no version is visible (created after the snapshot,
+    /// deleted before it, or uncommitted by another transaction). The
+    /// head version is tried first; older versions are resolved through
+    /// the in-memory chain kept by the transaction manager.
+    fn read_version_bytes(&self, oid: Oid, snap: u64) -> ModelResult<Option<Vec<u8>>> {
+        let entry = self.table.get(self.pool(), oid)?;
+        if let Ok((begin, end, bytes)) = heap::read_record_versioned(self.pool(), entry.rid) {
+            if visible(begin, end, snap) {
+                return Ok(Some(bytes));
+            }
+        }
+        for rid in self.sm.txn().chain_rids(oid).into_iter().rev() {
+            if rid == entry.rid {
+                continue;
+            }
+            if let Ok((begin, end, bytes)) = heap::read_record_versioned(self.pool(), rid) {
+                if visible(begin, end, snap) {
+                    return Ok(Some(bytes));
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    fn version_bytes_or_missing(&self, oid: Oid, snap: u64) -> ModelResult<Vec<u8>> {
+        self.read_version_bytes(oid, snap)?.ok_or_else(|| {
+            ModelError::Semantic(format!("object {oid} is not visible at this snapshot"))
+        })
     }
 
     /// Fetch `(declared type, owner, value)` of an object.
     pub fn get(&self, oid: Oid) -> ModelResult<(QualType, Oid, Value)> {
+        self.get_at(oid, self.current_snap())
+    }
+
+    /// Like [`ObjectStore::get`], reading the version visible at `snap`.
+    pub fn get_at(&self, oid: Oid, snap: u64) -> ModelResult<(QualType, Oid, Value)> {
         let entry = self.table.get(self.pool(), oid)?;
-        let rec = self.sm.read(entry.rid)?;
+        let rec = self.version_bytes_or_missing(oid, snap)?;
         let (owner, value) = self.decode_payload(&rec)?;
         Ok((self.qtype(entry.type_id), owner, value))
     }
@@ -239,13 +310,22 @@ impl ObjectStore {
         Ok(self.get(oid)?.2)
     }
 
+    /// Like [`ObjectStore::value_of`], reading the version visible at `snap`.
+    pub fn value_of_at(&self, oid: Oid, snap: u64) -> ModelResult<Value> {
+        Ok(self.get_at(oid, snap)?.2)
+    }
+
     /// Decode only field `pos` of a tuple-valued object, skipping the
     /// other fields (no allocation for them). Returns `None` when the
     /// stored value is not a tuple or `pos` is out of range; callers fall
     /// back to [`ObjectStore::value_of`] for those cases.
     pub fn field_of(&self, oid: Oid, pos: usize) -> ModelResult<Option<Value>> {
-        let entry = self.table.get(self.pool(), oid)?;
-        let rec = self.sm.read(entry.rid)?;
+        self.field_of_at(oid, pos, self.current_snap())
+    }
+
+    /// Like [`ObjectStore::field_of`], reading the version visible at `snap`.
+    pub fn field_of_at(&self, oid: Oid, pos: usize, snap: u64) -> ModelResult<Option<Value>> {
+        let rec = self.version_bytes_or_missing(oid, snap)?;
         if rec.len() < 9 {
             return Err(ModelError::Semantic("truncated object record".into()));
         }
@@ -269,9 +349,34 @@ impl ObjectStore {
     fn rewrite_record(&self, oid: Oid, owner: Oid, value: &Value) -> ModelResult<()> {
         let entry = self.table.get(self.pool(), oid)?;
         let rec = self.encode_payload(owner, value)?;
-        let new_rid = self.sm.update(self.file, entry.rid, &rec)?;
-        if new_rid != entry.rid {
-            self.table.relocate(self.pool(), oid, new_rid)?;
+        match self.write_ts() {
+            None => {
+                let new_rid = self.sm.update(self.file, entry.rid, &rec)?;
+                if new_rid != entry.rid {
+                    self.table.relocate(self.pool(), oid, new_rid)?;
+                }
+            }
+            Some(ts) => {
+                // Versioned rewrite: insert a new version stamped `ts`,
+                // end-stamp the old one, repoint the object table. The
+                // chain entry is published *before* the relocate so a
+                // reader that resolves the new (invisible-to-it) head can
+                // still find the old version.
+                let txn = self.sm.txn();
+                txn.note_chain(oid, entry.rid);
+                let hf = HeapFile::open(self.file);
+                let new_rid = hf.insert_at(self.pool(), &rec, ts)?;
+                hf.delete_versioned(self.pool(), entry.rid, ts)?;
+                self.table.relocate(self.pool(), oid, new_rid)?;
+                txn.defer_reclaim(ReclaimOp::Record {
+                    file: self.file.0,
+                    rid: entry.rid,
+                });
+                txn.defer_reclaim(ReclaimOp::ChainEntry {
+                    oid,
+                    rid: entry.rid,
+                });
+            }
         }
         Ok(())
     }
@@ -381,7 +486,19 @@ impl ObjectStore {
                     if let Some(info) = info {
                         let rid = RecordId::unpack(extra);
                         let hf = HeapFile::open(info.file);
-                        let _ = hf.delete(self.pool(), rid);
+                        match self.write_ts() {
+                            None => {
+                                let _ = hf.delete(self.pool(), rid);
+                            }
+                            Some(ts) => {
+                                if hf.delete_versioned(self.pool(), rid, ts).is_ok() {
+                                    self.sm.txn().defer_reclaim(ReclaimOp::Record {
+                                        file: info.file.0,
+                                        rid,
+                                    });
+                                }
+                            }
+                        }
                     }
                 }
                 other => return Err(ModelError::Semantic(format!("bad backref kind {other}"))),
@@ -418,8 +535,25 @@ impl ObjectStore {
 
         // 5. Remove record and identity.
         let entry = self.table.get(self.pool(), oid)?;
-        self.sm.delete(entry.rid)?;
-        self.table.free(self.pool(), oid)?;
+        match self.write_ts() {
+            None => {
+                self.sm.delete(entry.rid)?;
+                self.table.free(self.pool(), oid)?;
+            }
+            Some(ts) => {
+                // Versioned delete: end-stamp the record so snapshots
+                // opened before `ts` still see it; the physical record
+                // and the OID slot are reclaimed by vacuum once no live
+                // snapshot can need them.
+                HeapFile::open(self.file).delete_versioned(self.pool(), entry.rid, ts)?;
+                let txn = self.sm.txn();
+                txn.defer_reclaim(ReclaimOp::Record {
+                    file: self.file.0,
+                    rid: entry.rid,
+                });
+                txn.defer_reclaim(ReclaimOp::ObjectSlot { oid });
+            }
+        }
         Ok(())
     }
 
@@ -643,10 +777,9 @@ impl ObjectStore {
     ) -> ModelResult<RecordId> {
         let info = self.collection_info(anchor)?;
         let elem = self.qtype(info.elem);
-        let hf = HeapFile::open(info.file);
         match elem.mode {
             Ownership::Own => {
-                let rid = hf.insert(self.pool(), &valueio::to_bytes(&value))?;
+                let rid = self.insert_record(info.file, &valueio::to_bytes(&value))?;
                 Ok(rid)
             }
             Ownership::Ref | Ownership::OwnRef => {
@@ -683,7 +816,7 @@ impl ObjectStore {
                 if elem.mode == Ownership::OwnRef {
                     self.adopt(target, anchor)?;
                 }
-                let rid = hf.insert(self.pool(), &valueio::to_bytes(&value))?;
+                let rid = self.insert_record(info.file, &valueio::to_bytes(&value))?;
                 self.backrefs.insert(
                     self.pool(),
                     &backref_key(target, BK_MEMBER, anchor, rid.pack()),
@@ -701,8 +834,10 @@ impl ObjectStore {
         anchor: Oid,
     ) -> ModelResult<impl Iterator<Item = ModelResult<(RecordId, Value)>>> {
         let info = self.collection_info(anchor)?;
+        let snap = self.current_snap();
         Ok(HeapFile::open(info.file)
             .scan(self.pool().clone())
+            .with_snapshot(snap)
             .map(|r| {
                 let (rid, bytes) = r?;
                 Ok((rid, valueio::from_bytes(&bytes)?))
@@ -712,9 +847,17 @@ impl ObjectStore {
     /// Batched member scan: decodes records a batch at a time on top of
     /// the heap file's page-at-a-time [`HeapScan::next_batch`](exodus_storage::heap::HeapScan::next_batch).
     pub fn scan_members_batch(&self, anchor: Oid) -> ModelResult<MemberScan> {
+        self.scan_members_batch_at(anchor, self.current_snap())
+    }
+
+    /// Like [`ObjectStore::scan_members_batch`], but visiting only the
+    /// member versions visible at `snap`.
+    pub fn scan_members_batch_at(&self, anchor: Oid, snap: u64) -> ModelResult<MemberScan> {
         let info = self.collection_info(anchor)?;
         Ok(MemberScan::new(
-            HeapFile::open(info.file).scan(self.pool().clone()),
+            HeapFile::open(info.file)
+                .scan(self.pool().clone())
+                .with_snapshot(snap),
         ))
     }
 
@@ -724,11 +867,22 @@ impl ObjectStore {
     /// reproduces [`ObjectStore::scan_members_batch`]'s member order; an
     /// empty collection yields no partitions.
     pub fn scan_members_partitions(&self, anchor: Oid, k: usize) -> ModelResult<Vec<MemberScan>> {
+        self.scan_members_partitions_at(anchor, k, self.current_snap())
+    }
+
+    /// Like [`ObjectStore::scan_members_partitions`], but each partition
+    /// visits only the member versions visible at `snap`.
+    pub fn scan_members_partitions_at(
+        &self,
+        anchor: Oid,
+        k: usize,
+        snap: u64,
+    ) -> ModelResult<Vec<MemberScan>> {
         let info = self.collection_info(anchor)?;
         Ok(HeapFile::open(info.file)
             .partitions(self.pool(), k)?
             .into_iter()
-            .map(MemberScan::new)
+            .map(|s| MemberScan::new(s.with_snapshot(snap)))
             .collect())
     }
 
@@ -747,7 +901,16 @@ impl ObjectStore {
         let hf = HeapFile::open(info.file);
         let bytes = self.sm.read(rid)?;
         let member = valueio::from_bytes(&bytes)?;
-        hf.delete(self.pool(), rid)?;
+        match self.write_ts() {
+            None => hf.delete(self.pool(), rid)?,
+            Some(ts) => {
+                hf.delete_versioned(self.pool(), rid, ts)?;
+                self.sm.txn().defer_reclaim(ReclaimOp::Record {
+                    file: info.file.0,
+                    rid,
+                });
+            }
+        }
         if let Value::Ref(target) = member {
             self.backrefs.delete(
                 self.pool(),
@@ -782,7 +945,22 @@ impl ObjectStore {
             ));
         }
         let hf = HeapFile::open(info.file);
-        Ok(hf.update(self.pool(), rid, &valueio::to_bytes(value))?)
+        let bytes = valueio::to_bytes(value);
+        match self.write_ts() {
+            None => Ok(hf.update(self.pool(), rid, &bytes)?),
+            Some(ts) => {
+                // Versioned update: members are scan-addressed (no OID), so
+                // instead of chaining we insert a new version and end-stamp
+                // the old record; snapshot scans pick exactly one of them.
+                let new_rid = hf.insert_at(self.pool(), &bytes, ts)?;
+                hf.delete_versioned(self.pool(), rid, ts)?;
+                self.sm.txn().defer_reclaim(ReclaimOp::Record {
+                    file: info.file.0,
+                    rid,
+                });
+                Ok(new_rid)
+            }
+        }
     }
 
     /// Collections an object is currently a member of:
@@ -806,6 +984,50 @@ impl ObjectStore {
                 ))
             })
             .collect()
+    }
+
+    // -- vacuum --------------------------------------------------------------
+
+    /// Physically reclaim superseded record versions, freed OID slots and
+    /// stale chain entries whose commit timestamps are at or below the
+    /// reclaim watermark (no live snapshot can still need them). Runs
+    /// inside an opportunistic write transaction: if a writer is active
+    /// this is a no-op. Returns the number of reclaim ops applied.
+    ///
+    /// LOB pages referenced by reclaimed versions are intentionally left
+    /// behind (a leak bounded by update traffic on LOB-sized values);
+    /// reclaiming them would require a LOB refcount the format lacks.
+    pub fn vacuum(&self) -> ModelResult<usize> {
+        if self.sm.txn().pending_reclaims() == 0 {
+            return Ok(0);
+        }
+        let Some(txn) = self.sm.try_begin_txn()? else {
+            return Ok(0);
+        };
+        let ripe = self.sm.txn().take_ripe();
+        if ripe.is_empty() {
+            txn.abort()?;
+            return Ok(0);
+        }
+        let applied = ripe.len();
+        for r in &ripe {
+            match r.op {
+                // The record counter was already decremented when the
+                // version was end-stamped, so the count-free delete is
+                // the right one here.
+                ReclaimOp::Record { rid, .. } => {
+                    let _ = heap::delete_record(self.pool(), rid);
+                }
+                ReclaimOp::ObjectSlot { oid } => {
+                    let _ = self.table.free(self.pool(), oid);
+                }
+                ReclaimOp::ChainEntry { oid, rid } => {
+                    self.sm.txn().remove_chain(oid, rid);
+                }
+            }
+        }
+        txn.commit()?;
+        Ok(applied)
     }
 
     // -- equality -------------------------------------------------------------

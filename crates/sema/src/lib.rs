@@ -34,3 +34,23 @@ pub use catalog::{CatalogLookup, FunctionDef, IndexInfo, NamedObject, ProcedureD
 pub use error::{SemaError, SemaResult};
 pub use infer::SemaCtx;
 pub use resolve::{CheckedRetrieve, RangeEnv, ResolvedRange, RootSource};
+
+/// Validate a procedure body at definition time: transaction control
+/// (`begin` / `commit` / `abort`) is session-level and may not be
+/// captured inside a procedure — a stored `commit` would publish a
+/// transaction the calling session still believes is open. Recurses
+/// into `explain` / `observe` wrappers.
+pub fn validate_procedure_body(body: &[excess_lang::Stmt]) -> SemaResult<()> {
+    use excess_lang::Stmt;
+    fn check(stmt: &Stmt) -> SemaResult<()> {
+        match stmt {
+            Stmt::Begin | Stmt::Commit | Stmt::Abort => Err(SemaError::Other(format!(
+                "'{stmt}' cannot appear in a procedure body; transaction control \
+                 belongs to the session"
+            ))),
+            Stmt::Explain { stmt, .. } | Stmt::Observe { stmt } => check(stmt),
+            _ => Ok(()),
+        }
+    }
+    body.iter().try_for_each(check)
+}

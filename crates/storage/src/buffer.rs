@@ -34,6 +34,19 @@ struct PoolState {
     hand: usize,
 }
 
+/// Before-image capture for transaction abort. While `capturing` is set
+/// (one writer transaction at a time — the transaction manager's writer
+/// gate guarantees this), the first exclusive write to each page squirrels
+/// away a copy of its pre-write bytes; [`BufferPool::rollback_undo`]
+/// writes them back. This is a purely in-memory undo: the WAL never sees
+/// uncommitted images (rollback by omission covers the crash case), so
+/// abort works identically with or without a log.
+#[derive(Default)]
+struct UndoState {
+    capturing: AtomicBool,
+    images: Mutex<HashMap<u64, Box<[u8; PAGE_SIZE]>>>,
+}
+
 /// Monotonic counters describing pool behaviour.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct BufferStats {
@@ -72,6 +85,9 @@ pub struct BufferPool {
     /// The write-ahead log, when the pool is recoverable. Governs the
     /// no-steal eviction gate, the flush rule, and page checksums.
     wal: Option<Arc<Wal>>,
+    /// Abort support: page before-images captured for the active writer
+    /// transaction.
+    undo: UndoState,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -108,6 +124,7 @@ impl BufferPool {
             smo_locks: Mutex::new(HashMap::new()),
             chains: Mutex::new(HashMap::new()),
             wal,
+            undo: UndoState::default(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -163,6 +180,57 @@ impl BufferPool {
         if let Some(pages) = self.chains.lock().get_mut(&header) {
             pages.push(page);
         }
+    }
+
+    /// Start capturing page before-images for a writer transaction.
+    /// Callers must hold the transaction manager's writer gate (capture
+    /// state is global to the pool).
+    pub(crate) fn begin_undo_capture(&self) {
+        self.undo.images.lock().clear();
+        self.undo.capturing.store(true, Ordering::Release);
+    }
+
+    /// Stop capturing and discard the captured images (commit path).
+    pub(crate) fn end_undo_capture(&self) {
+        self.undo.capturing.store(false, Ordering::Release);
+        self.undo.images.lock().clear();
+    }
+
+    /// Stop capturing and write every captured before-image back over its
+    /// page (abort path). Pages that were evicted since capture are
+    /// faulted back in and overwritten; restored frames are left dirty so
+    /// normal write-back re-persists the pre-transaction bytes. Cached
+    /// heap-page chains are dropped wholesale: an aborted chain extension
+    /// leaves stale cached page lists, and chains are cheap to rebuild.
+    /// Returns the number of pages restored.
+    pub(crate) fn rollback_undo(self: &Arc<Self>) -> StorageResult<usize> {
+        self.undo.capturing.store(false, Ordering::Release);
+        let images: Vec<(u64, Box<[u8; PAGE_SIZE]>)> = self.undo.images.lock().drain().collect();
+        let restored = images.len();
+        for (page_no, image) in images {
+            let page = self.pin(page_no)?;
+            page.frame
+                .lsn
+                .store(page::page_lsn(&image[..]), Ordering::Release);
+            let mut data = page.frame.data.write();
+            data.copy_from_slice(&image[..]);
+            page.frame.dirty.store(true, Ordering::Relaxed);
+        }
+        self.chains.lock().clear();
+        Ok(restored)
+    }
+
+    /// Record `data` as `page_no`'s before-image if capture is on and this
+    /// is the transaction's first write to the page.
+    fn capture_undo(&self, page_no: u64, data: &[u8; PAGE_SIZE]) {
+        if !self.undo.capturing.load(Ordering::Acquire) {
+            return;
+        }
+        self.undo.images.lock().entry(page_no).or_insert_with(|| {
+            let mut image = Box::new([0u8; PAGE_SIZE]);
+            image.copy_from_slice(&data[..]);
+            image
+        });
     }
 
     /// Snapshot of the pool counters.
@@ -429,6 +497,9 @@ impl PinnedPage {
             wal.note_write(self.frame.page_no);
         }
         let mut data = self.frame.data.write();
+        // Before-image capture must see the pre-write bytes, so it runs
+        // after the exclusive latch is held but before `f` mutates.
+        self.pool.capture_undo(self.frame.page_no, &data);
         self.frame.dirty.store(true, Ordering::Relaxed);
         f(&mut data[..])
     }

@@ -10,12 +10,25 @@
 //! free-space of interior pages is reused only by in-page updates, which
 //! matches the simple space management the EXODUS-era storage managers
 //! shipped with).
+//!
+//! # Record versioning
+//!
+//! Every stored record is prefixed with a [`VERSION_HEADER`]-byte
+//! `(begin_ts, end_ts)` pair (little-endian), the MVCC stamps
+//! [`crate::txn::visible`] is evaluated against. [`HeapFile::insert`]
+//! stamps `(0, TS_INF)` — visible to every snapshot — so non-transactional
+//! callers never notice; [`HeapFile::insert_at`] stamps a real begin
+//! timestamp, and [`set_record_end`] / [`HeapFile::delete_versioned`]
+//! end-stamp a version in place (same-length update, so the record never
+//! moves). Scans carry a snapshot timestamp and filter invisible versions
+//! before the caller sees them.
 
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageKind, PageView, SlottedPage, NO_PAGE};
+use crate::txn::{visible, TS_INF, TS_LATEST};
 use crate::wal::WalRecord;
 
 /// Identifies a heap file by its header page number.
@@ -45,6 +58,35 @@ impl RecordId {
             slot: (v & 0xFFFF) as u16,
         }
     }
+}
+
+/// Bytes of MVCC version header — `begin_ts(8) | end_ts(8)`, little-endian
+/// — prepended to every stored record.
+pub const VERSION_HEADER: usize = 16;
+
+/// Prepend a `(begin, end)` version header to `data`.
+fn with_header(begin: u64, end: u64, data: &[u8]) -> Vec<u8> {
+    let mut raw = Vec::with_capacity(VERSION_HEADER + data.len());
+    raw.extend_from_slice(&begin.to_le_bytes());
+    raw.extend_from_slice(&end.to_le_bytes());
+    raw.extend_from_slice(data);
+    raw
+}
+
+/// Split a stored record into `(begin_ts, end_ts, payload)`.
+fn split_version(raw: &[u8]) -> StorageResult<(u64, u64, &[u8])> {
+    if raw.len() < VERSION_HEADER {
+        return Err(StorageError::Corrupt(format!(
+            "heap record shorter than its version header ({} bytes)",
+            raw.len()
+        )));
+    }
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&raw[..8]);
+    let begin = u64::from_le_bytes(b);
+    b.copy_from_slice(&raw[8..16]);
+    let end = u64::from_le_bytes(b);
+    Ok((begin, end, &raw[VERSION_HEADER..]))
 }
 
 // Header-page body layout: first(8) | last(8) | record_count(8).
@@ -109,12 +151,31 @@ impl HeapFile {
         Ok(())
     }
 
-    /// Insert a record, returning its id. Serialized per file so chain
-    /// extension cannot orphan pages under concurrency.
+    /// Insert a record, returning its id. The version is stamped
+    /// `(0, TS_INF)`: visible to every snapshot. Serialized per file so
+    /// chain extension cannot orphan pages under concurrency.
     pub fn insert(&self, pool: &Arc<BufferPool>, data: &[u8]) -> StorageResult<RecordId> {
-        if data.len() > SlottedPage::MAX_RECORD {
+        self.insert_at(pool, data, 0)
+    }
+
+    /// Insert a record version beginning at `begin_ts`: invisible to any
+    /// snapshot before it, so an in-flight transaction's inserts (stamped
+    /// with its provisional timestamp) hide from concurrent readers.
+    pub fn insert_at(
+        &self,
+        pool: &Arc<BufferPool>,
+        data: &[u8],
+        begin_ts: u64,
+    ) -> StorageResult<RecordId> {
+        if data.len() + VERSION_HEADER > SlottedPage::MAX_RECORD {
             return Err(StorageError::RecordTooLarge(data.len()));
         }
+        self.insert_raw(pool, &with_header(begin_ts, TS_INF, data))
+    }
+
+    /// Insert pre-stamped record bytes (version header already attached).
+    fn insert_raw(&self, pool: &Arc<BufferPool>, raw: &[u8]) -> StorageResult<RecordId> {
+        let len = (raw.len() - VERSION_HEADER) as u32;
         let lock = pool.smo_lock(self.id.0);
         let _guard = lock.lock();
         let header = pool.pin(self.id.0)?;
@@ -123,8 +184,8 @@ impl HeapFile {
             let page = pool.pin(last)?;
             let slot = page.with_write(|buf| {
                 let mut p = SlottedPage::new(buf);
-                if p.can_fit(data.len()) {
-                    Some(p.insert(data))
+                if p.can_fit(raw.len()) {
+                    Some(p.insert(raw))
                 } else {
                     None
                 }
@@ -139,7 +200,7 @@ impl HeapFile {
                 pool.log_op(&WalRecord::HeapInsert {
                     file: self.id.0,
                     rid: rid.pack(),
-                    len: data.len() as u32,
+                    len,
                 })?;
                 return Ok(rid);
             }
@@ -150,7 +211,7 @@ impl HeapFile {
         let slot = new_page.with_write(|buf| {
             let mut p = SlottedPage::format(buf, PageKind::Heap);
             p.set_prev(last);
-            p.insert(data)
+            p.insert(raw)
         })?;
         if last != NO_PAGE {
             let prev = pool.pin(last)?;
@@ -171,21 +232,31 @@ impl HeapFile {
         pool.log_op(&WalRecord::HeapInsert {
             file: self.id.0,
             rid: rid.pack(),
-            len: data.len() as u32,
+            len,
         })?;
         Ok(rid)
     }
 
-    /// Update a record. If the new value no longer fits on its page the
-    /// record is deleted and re-inserted, so the returned id may differ.
+    /// Update a record in place, carrying its version stamps over. If the
+    /// new value no longer fits on its page the record is deleted and
+    /// re-inserted, so the returned id may differ.
     pub fn update(
         &self,
         pool: &Arc<BufferPool>,
         rid: RecordId,
         data: &[u8],
     ) -> StorageResult<RecordId> {
+        if data.len() + VERSION_HEADER > SlottedPage::MAX_RECORD {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
         let page = pool.pin(rid.page)?;
-        let fit = page.with_write(|buf| SlottedPage::new(buf).update(rid.page, rid.slot, data))?;
+        let (begin, end) = page.with_read(|buf| {
+            PageView::new(buf)
+                .read(rid.page, rid.slot)
+                .and_then(|raw| split_version(raw).map(|(b, e, _)| (b, e)))
+        })?;
+        let raw = with_header(begin, end, data);
+        let fit = page.with_write(|buf| SlottedPage::new(buf).update(rid.page, rid.slot, &raw))?;
         if fit {
             pool.log_op(&WalRecord::HeapUpdate {
                 file: self.id.0,
@@ -198,7 +269,7 @@ impl HeapFile {
         page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))?;
         drop(page);
         self.bump_count(pool, -1)?;
-        let new_rid = self.insert(pool, data)?;
+        let new_rid = self.insert_raw(pool, &raw)?;
         pool.log_op(&WalRecord::HeapUpdate {
             file: self.id.0,
             old_rid: rid.pack(),
@@ -208,11 +279,29 @@ impl HeapFile {
         Ok(new_rid)
     }
 
-    /// Delete a record.
+    /// Physically delete a record.
     pub fn delete(&self, pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()> {
         let page = pool.pin(rid.page)?;
         page.with_write(|buf| SlottedPage::new(buf).delete(rid.page, rid.slot))?;
         drop(page);
+        self.bump_count(pool, -1)?;
+        pool.log_op(&WalRecord::HeapDelete {
+            file: self.id.0,
+            rid: rid.pack(),
+        })
+    }
+
+    /// Logically delete: end-stamp the record's version at `end_ts` and
+    /// decrement the live-record count. The bytes stay in place so older
+    /// snapshots keep reading them; vacuum reclaims the space once no
+    /// snapshot can see the version ([`crate::txn::TxnManager::take_ripe`]).
+    pub fn delete_versioned(
+        &self,
+        pool: &Arc<BufferPool>,
+        rid: RecordId,
+        end_ts: u64,
+    ) -> StorageResult<()> {
+        set_record_end(pool, rid, end_ts)?;
         self.bump_count(pool, -1)?;
         pool.log_op(&WalRecord::HeapDelete {
             file: self.id.0,
@@ -226,7 +315,8 @@ impl HeapFile {
         Ok(header.with_read(|buf| body_get_u64(PageView::new(buf).body(), HB_FIRST)))
     }
 
-    /// Iterate over all live records.
+    /// Iterate over all live records, at the [`TS_LATEST`] pseudo-snapshot
+    /// (every live version; see [`HeapScan::with_snapshot`]).
     pub fn scan(&self, pool: Arc<BufferPool>) -> HeapScan {
         HeapScan {
             pool,
@@ -235,6 +325,7 @@ impl HeapFile {
             slot: 0,
             done: false,
             run: None,
+            snap: TS_LATEST,
         }
     }
 
@@ -282,18 +373,60 @@ impl HeapFile {
                     pages: run.to_vec(),
                     next: 0,
                 }),
+                snap: TS_LATEST,
             })
             .collect())
     }
 }
 
-/// Read one record by id (file-independent: the id names the page).
+/// Read one record by id (file-independent: the id names the page),
+/// stripping the version header.
 pub fn read_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<Vec<u8>> {
+    read_record_versioned(pool, rid).map(|(_, _, data)| data)
+}
+
+/// Read one record with its version stamps: `(begin_ts, end_ts, bytes)`.
+pub fn read_record_versioned(
+    pool: &Arc<BufferPool>,
+    rid: RecordId,
+) -> StorageResult<(u64, u64, Vec<u8>)> {
     let page = pool.pin(rid.page)?;
     page.with_read(|buf| {
         PageView::new(buf)
             .read(rid.page, rid.slot)
-            .map(|r| r.to_vec())
+            .and_then(|raw| split_version(raw).map(|(b, e, d)| (b, e, d.to_vec())))
+    })
+}
+
+/// Read one record only if its version is visible to snapshot `snap`;
+/// `Ok(None)` when the version exists but is invisible (uncommitted, or
+/// deleted at or before the snapshot).
+pub fn read_record_visible(
+    pool: &Arc<BufferPool>,
+    rid: RecordId,
+    snap: u64,
+) -> StorageResult<Option<Vec<u8>>> {
+    let (begin, end, data) = read_record_versioned(pool, rid)?;
+    Ok(visible(begin, end, snap).then_some(data))
+}
+
+/// End-stamp a record version in place at `end_ts` (same-length update:
+/// the record never moves). Does not touch the file's record counter —
+/// use [`HeapFile::delete_versioned`] for a counted logical delete.
+pub fn set_record_end(pool: &Arc<BufferPool>, rid: RecordId, end_ts: u64) -> StorageResult<()> {
+    let page = pool.pin(rid.page)?;
+    page.with_write(|buf| {
+        let mut raw = PageView::new(buf).read(rid.page, rid.slot)?.to_vec();
+        if raw.len() < VERSION_HEADER {
+            return Err(StorageError::Corrupt(format!(
+                "heap record shorter than its version header ({} bytes)",
+                raw.len()
+            )));
+        }
+        raw[8..16].copy_from_slice(&end_ts.to_le_bytes());
+        let fit = SlottedPage::new(buf).update(rid.page, rid.slot, &raw)?;
+        debug_assert!(fit, "same-length update never moves");
+        Ok(())
     })
 }
 
@@ -317,10 +450,11 @@ pub fn delete_record(pool: &Arc<BufferPool>, rid: RecordId) -> StorageResult<()>
 /// `Vec<u8>` per record. Record slices stay valid until the next refill.
 #[derive(Debug, Default)]
 pub struct RecordBatch {
-    /// Concatenated record bytes.
+    /// Concatenated record payload bytes (version headers stripped).
     bytes: Vec<u8>,
-    /// Per-record `(rid, start, end)` offsets into `bytes`.
-    index: Vec<(RecordId, u32, u32)>,
+    /// Per-record `(rid, begin_ts, end_ts, start, end)` — version stamps
+    /// plus payload offsets into `bytes`.
+    index: Vec<(RecordId, u64, u64, u32, u32)>,
 }
 
 impl RecordBatch {
@@ -345,17 +479,25 @@ impl RecordBatch {
         self.index.is_empty()
     }
 
-    fn push(&mut self, rid: RecordId, data: &[u8]) {
+    fn push(&mut self, rid: RecordId, begin: u64, end: u64, data: &[u8]) {
         let start = self.bytes.len() as u32;
         self.bytes.extend_from_slice(data);
-        self.index.push((rid, start, self.bytes.len() as u32));
+        self.index
+            .push((rid, begin, end, start, self.bytes.len() as u32));
     }
 
     /// Iterate over `(rid, record bytes)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (RecordId, &[u8])> {
         self.index
             .iter()
-            .map(|&(rid, s, e)| (rid, &self.bytes[s as usize..e as usize]))
+            .map(|&(rid, _, _, s, e)| (rid, &self.bytes[s as usize..e as usize]))
+    }
+
+    /// Iterate over `(rid, begin_ts, end_ts, record bytes)` tuples.
+    pub fn iter_versioned(&self) -> impl Iterator<Item = (RecordId, u64, u64, &[u8])> {
+        self.index
+            .iter()
+            .map(|&(rid, b, en, s, e)| (rid, b, en, &self.bytes[s as usize..e as usize]))
     }
 }
 
@@ -378,9 +520,17 @@ pub struct HeapScan {
     /// `Some` confines the scan to an explicit page run (see
     /// [`HeapFile::partitions`]); `None` follows the on-page chain.
     run: Option<Run>,
+    /// Snapshot timestamp the scan filters against ([`TS_LATEST`] = every
+    /// live version).
+    snap: u64,
 }
 
 impl HeapScan {
+    /// Confine the scan to the versions visible at snapshot `snap`.
+    pub fn with_snapshot(mut self, snap: u64) -> HeapScan {
+        self.snap = snap;
+        self
+    }
     /// The first page this scan should visit, or `None` when empty.
     fn start_page(&mut self) -> StorageResult<Option<u64>> {
         match &mut self.run {
@@ -405,7 +555,10 @@ impl HeapScan {
                 run.next += 1;
                 n
             }
-            None => (chain_next != NO_PAGE).then_some(chain_next),
+            // Page 0 is never a heap data page: a zeroed page (a chain
+            // extension rewound by transaction abort) reads `next == 0`,
+            // which must terminate the walk, not jump to page 0.
+            None => (chain_next != NO_PAGE && chain_next != 0).then_some(chain_next),
         }
     }
 
@@ -451,14 +604,20 @@ impl HeapScan {
                     let s = self.slot;
                     self.slot += 1;
                     if p.is_live(s) {
-                        let data = p.read(page_no, s).expect("live slot readable");
-                        out.push(
-                            RecordId {
-                                page: page_no,
-                                slot: s,
-                            },
-                            data,
-                        );
+                        let raw = p.read(page_no, s).expect("live slot readable");
+                        let (begin, end, data) =
+                            split_version(raw).expect("record carries a version header");
+                        if visible(begin, end, self.snap) {
+                            out.push(
+                                RecordId {
+                                    page: page_no,
+                                    slot: s,
+                                },
+                                begin,
+                                end,
+                                data,
+                            );
+                        }
                     }
                 }
                 if self.slot < slots {
@@ -528,13 +687,18 @@ impl Iterator for HeapScan {
                     let s = self.slot;
                     self.slot += 1;
                     if p.is_live(s) {
-                        let data = p.read(page_no, s).expect("live slot readable").to_vec();
+                        let raw = p.read(page_no, s).expect("live slot readable");
+                        let (begin, end, data) =
+                            split_version(raw).expect("record carries a version header");
+                        if !visible(begin, end, self.snap) {
+                            continue;
+                        }
                         return Some((
                             RecordId {
                                 page: page_no,
                                 slot: s,
                             },
-                            data,
+                            data.to_vec(),
                         ));
                     }
                 }

@@ -26,6 +26,9 @@
 //!   units as the unit of atomicity.
 //! * [`recovery`] — the analysis/redo pass that brings a volume back to a
 //!   consistent state after a crash.
+//! * [`txn`] — snapshot-isolated transactions: a commit-timestamp clock,
+//!   versioned-record visibility rules, reader snapshots that never block
+//!   the writer, and runtime abort via in-memory before-images.
 //! * [`failpoint`] — deterministic crash injection for testing the two
 //!   modules above (`cfg(test)` / the `failpoints` cargo feature).
 //!
@@ -74,6 +77,7 @@ pub mod lob;
 pub mod object;
 pub mod page;
 pub mod recovery;
+pub mod txn;
 pub mod volume;
 pub mod wal;
 
@@ -82,6 +86,7 @@ pub use error::{StorageError, StorageResult};
 pub use heap::{FileId, RecordId};
 pub use object::Oid;
 pub use recovery::RecoveryReport;
+pub use txn::{visible, ReclaimOp, Snapshot, TxnManager, WriteTxn, TS_INF, TS_LATEST};
 pub use wal::{Durability, Lsn, Wal, WalRecord};
 
 use std::path::Path;
@@ -101,6 +106,8 @@ pub struct StorageManager {
     pool: Arc<BufferPool>,
     /// Checkpoints taken through this manager (shared across clones).
     checkpoints: Arc<AtomicU64>,
+    /// Transaction manager (shared across clones).
+    txn: Arc<TxnManager>,
 }
 
 impl StorageManager {
@@ -110,6 +117,7 @@ impl StorageManager {
         StorageManager {
             pool: Arc::new(BufferPool::new(Box::new(MemVolume::new()), pool_pages)),
             checkpoints: Arc::new(AtomicU64::new(0)),
+            txn: Arc::new(TxnManager::new()),
         }
     }
 
@@ -126,6 +134,7 @@ impl StorageManager {
                 pool_pages,
             )),
             checkpoints: Arc::new(AtomicU64::new(0)),
+            txn: Arc::new(TxnManager::new()),
         })
     }
 
@@ -170,10 +179,15 @@ impl StorageManager {
                 BufferPool::with_wal(Box::new(volume), pool_pages, wal)
             }
         };
+        let txn = Arc::new(TxnManager::new());
+        // The commit clock restarts from the highest durable timestamp so
+        // recovered versions stay visible and new commits sort after old.
+        txn.seed_clock(report.clock);
         Ok((
             StorageManager {
                 pool: Arc::new(pool),
                 checkpoints: Arc::new(AtomicU64::new(0)),
+                txn,
             },
             report,
         ))
@@ -232,7 +246,12 @@ impl StorageManager {
         wal.flush()?;
         self.pool.flush_all()?;
         self.pool.sync_volume()?;
-        let cp_lsn = wal.append(0, &WalRecord::Checkpoint)?;
+        let cp_lsn = wal.append(
+            0,
+            &WalRecord::Checkpoint {
+                clock: self.txn.clock(),
+            },
+        )?;
         wal.flush()?;
         wal.gc_segments(cp_lsn)?;
         Ok(())
@@ -241,6 +260,51 @@ impl StorageManager {
     /// The underlying buffer pool.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The transaction manager (shared across clones of this handle).
+    pub fn txn(&self) -> &Arc<TxnManager> {
+        &self.txn
+    }
+
+    /// Take a read snapshot at the current commit clock. The snapshot
+    /// never blocks the writer and the writer never blocks it.
+    pub fn begin_snapshot(&self) -> Snapshot {
+        self.txn.begin_snapshot()
+    }
+
+    /// Begin a write transaction: claim the writer gate (blocking until
+    /// it frees), open a logged unit, and start before-image capture so
+    /// the transaction can abort at runtime. Mutations made through the
+    /// returned guard are stamped with its provisional timestamp by the
+    /// versioned heap APIs.
+    pub fn begin_txn(&self) -> StorageResult<WriteTxn> {
+        let ts = self.txn.acquire_writer();
+        self.begin_txn_with(ts)
+    }
+
+    /// [`StorageManager::begin_txn`], but give up immediately when a
+    /// writer is already active (vacuum's politeness).
+    pub fn try_begin_txn(&self) -> StorageResult<Option<WriteTxn>> {
+        match self.txn.try_acquire_writer() {
+            Some(ts) => self.begin_txn_with(ts).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    fn begin_txn_with(&self, ts: u64) -> StorageResult<WriteTxn> {
+        let unit = match self.pool.wal() {
+            Some(wal) => match wal.begin_unit() {
+                Ok(unit) => unit,
+                Err(e) => {
+                    self.txn.release_writer(ts, false);
+                    return Err(e);
+                }
+            },
+            None => 0,
+        };
+        self.pool.begin_undo_capture();
+        Ok(WriteTxn::new(self.txn.clone(), self.pool.clone(), ts, unit))
     }
 
     /// Register this manager's instruments on `reg` under the `storage_`
@@ -287,6 +351,29 @@ impl StorageManager {
             "storage_checkpoints_total",
             "Checkpoints taken.",
             move || checkpoints.load(Ordering::Relaxed),
+        );
+        let txn = self.txn.clone();
+        reg.gauge_fn(
+            "storage_txn_active",
+            "Active transactions: registered snapshots plus the in-flight writer.",
+            move || txn.active_count() as i64,
+        );
+        let txn = self.txn.clone();
+        reg.counter_fn(
+            "storage_txn_committed_total",
+            "Write transactions committed.",
+            move || txn.committed_total(),
+        );
+        let txn = self.txn.clone();
+        reg.counter_fn(
+            "storage_txn_aborted_total",
+            "Write transactions aborted (runtime abort, not crash rollback).",
+            move || txn.aborted_total(),
+        );
+        reg.histogram_shared(
+            "storage_txn_commit_wait_ns",
+            "Wall-clock commit latency in nanoseconds (images + commit record + fsync wait).",
+            self.txn.commit_wait_histogram(),
         );
         if let Some(wal) = self.pool.wal() {
             let w = wal.clone();
@@ -399,7 +486,7 @@ impl Unit {
                 let lsn = wal.append(self.id, &WalRecord::PageImage { page_no, image })?;
                 self.pool.stamp_page_lsn(page_no, lsn)?;
             }
-            wal.append(self.id, &WalRecord::Commit)?;
+            wal.append(self.id, &WalRecord::Commit { ts: 0 })?;
             wal.flush()
         })();
         // Success or not, release the slot: after an append error the

@@ -60,6 +60,11 @@ pub struct RecoveryReport {
     pub bytes_truncated: u64,
     /// LSN of the last valid record (0 for an empty log).
     pub last_lsn: u64,
+    /// Highest commit timestamp made durable before the crash: the max
+    /// over every [`WalRecord::Commit`]'s `ts` and every
+    /// [`WalRecord::Checkpoint`]'s `clock` in the valid prefix. The
+    /// transaction manager's commit clock restarts from here.
+    pub clock: u64,
 }
 
 impl RecoveryReport {
@@ -119,10 +124,23 @@ pub fn recover(wal_dir: &Path, volume_path: &Path) -> StorageResult<RecoveryRepo
         ..Default::default()
     };
 
+    // The commit clock survives anywhere in the valid prefix: commits
+    // carry their timestamp, checkpoints carry the clock so segment GC
+    // (which drops pre-checkpoint segments) cannot lose it.
+    report.clock = entries
+        .iter()
+        .map(|e| match e.rec {
+            WalRecord::Commit { ts } => ts,
+            WalRecord::Checkpoint { clock } => clock,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+
     // Analysis: committed units and images after the last checkpoint.
     let after_checkpoint = entries
         .iter()
-        .rposition(|e| e.rec == WalRecord::Checkpoint)
+        .rposition(|e| matches!(e.rec, WalRecord::Checkpoint { .. }))
         .map_or(0, |i| i + 1);
     let live = &entries[after_checkpoint..];
     let mut begun: HashSet<u64> = HashSet::new();
@@ -132,7 +150,7 @@ pub fn recover(wal_dir: &Path, volume_path: &Path) -> StorageResult<RecoveryRepo
             WalRecord::Begin => {
                 begun.insert(e.unit);
             }
-            WalRecord::Commit => {
+            WalRecord::Commit { .. } => {
                 committed.insert(e.unit);
             }
             _ => {}

@@ -90,10 +90,20 @@ pub enum Durability {
 pub enum WalRecord {
     /// A logged unit opened.
     Begin,
-    /// A logged unit committed; its page images precede this record.
-    Commit,
-    /// Everything with a smaller LSN is on the volume.
-    Checkpoint,
+    /// A logged unit committed; its page images precede this record. `ts`
+    /// is the transaction commit timestamp the unit published (0 for
+    /// legacy units outside the transaction manager), so recovery can
+    /// restore the commit clock.
+    Commit {
+        /// Commit timestamp published by this unit (0 = non-transactional).
+        ts: u64,
+    },
+    /// Everything with a smaller LSN is on the volume. `clock` snapshots
+    /// the commit clock at checkpoint time so segment GC cannot lose it.
+    Checkpoint {
+        /// Commit clock at checkpoint time.
+        clock: u64,
+    },
     /// Full after-image of one page.
     PageImage {
         /// The page the image belongs to.
@@ -193,8 +203,8 @@ impl WalRecord {
         };
         match self {
             WalRecord::Begin => u64s(TAG_BEGIN, &[]),
-            WalRecord::Commit => u64s(TAG_COMMIT, &[]),
-            WalRecord::Checkpoint => u64s(TAG_CHECKPOINT, &[]),
+            WalRecord::Commit { ts } => u64s(TAG_COMMIT, &[*ts]),
+            WalRecord::Checkpoint { clock } => u64s(TAG_CHECKPOINT, &[*clock]),
             WalRecord::PageImage { page_no, image } => {
                 debug_assert_eq!(image.len(), PAGE_SIZE);
                 u64s(TAG_PAGE_IMAGE, &[*page_no]);
@@ -239,8 +249,14 @@ impl WalRecord {
         };
         Some(match tag {
             TAG_BEGIN if rest.is_empty() => WalRecord::Begin,
-            TAG_COMMIT if rest.is_empty() => WalRecord::Commit,
-            TAG_CHECKPOINT if rest.is_empty() => WalRecord::Checkpoint,
+            TAG_COMMIT => {
+                let v = take(1)?;
+                WalRecord::Commit { ts: v[0] }
+            }
+            TAG_CHECKPOINT => {
+                let v = take(1)?;
+                WalRecord::Checkpoint { clock: v[0] }
+            }
             TAG_PAGE_IMAGE => {
                 if rest.len() != 8 + PAGE_SIZE {
                     return None;
@@ -514,6 +530,11 @@ pub struct Wal {
     durability: Durability,
     segment_bytes: u64,
     inner: Mutex<WalInner>,
+    /// Serializes group-flush leaders (see [`Wal::flush_up_to`]). Held
+    /// across the fsync so queued committers wake to find their LSN
+    /// already covered; *not* held while appending, so the next writer's
+    /// records stream into the segment during the leader's disk wait.
+    flush_lock: Mutex<()>,
     unit: StdMutex<UnitSlot>,
     unit_cv: Condvar,
     /// Mirror of `inner.appended_lsn` readable without the append lock.
@@ -560,6 +581,7 @@ impl Wal {
                 appended_lsn: tail.last_lsn,
                 synced_lsn: tail.last_lsn,
             }),
+            flush_lock: Mutex::new(()),
             unit: StdMutex::new(UnitSlot {
                 active: None,
                 next_id: 1,
@@ -587,7 +609,7 @@ impl Wal {
             .fsync_ns
             .observe(start.elapsed().as_nanos() as u64);
         self.metrics.group_commit_records.observe(batch);
-        inner.synced_lsn = inner.appended_lsn;
+        inner.synced_lsn = inner.synced_lsn.max(inner.appended_lsn);
         Ok(())
     }
 
@@ -656,17 +678,58 @@ impl Wal {
         self.flush_up_to(target)
     }
 
-    /// The flush rule: ensure the log is durable through `lsn` before a
-    /// page with that `page_lsn` is written to the volume.
+    /// Ensure the log is durable through `lsn`: the flush rule for page
+    /// write-back ("no dirty page leaves the pool ahead of its log
+    /// record") and the commit-durability wait, in one.
+    ///
+    /// Group commit: flushers serialize on a dedicated leader lock, not
+    /// the append lock. The leader clones the segment's file handle and
+    /// fsyncs *outside* the append lock, so concurrent committers keep
+    /// appending during the disk wait; followers queued on the leader
+    /// lock wake to find `synced_lsn` already past their target and
+    /// return without ever touching the disk — a burst of committers
+    /// costs one fsync.
     pub fn flush_up_to(&self, lsn: Lsn) -> StorageResult<()> {
         if self.durability != Durability::Fsync {
             return Ok(());
         }
-        let mut inner = self.inner.lock();
-        if inner.synced_lsn >= lsn {
-            return Ok(());
+        loop {
+            // Fast path: an earlier leader's batch covered us.
+            if self.inner.lock().synced_lsn >= lsn {
+                return Ok(());
+            }
+            let _leader = self.flush_lock.lock();
+            let (file, seg_seq, target, already) = {
+                let inner = self.inner.lock();
+                if inner.synced_lsn >= lsn {
+                    return Ok(());
+                }
+                (
+                    inner.file.try_clone()?,
+                    inner.seg_seq,
+                    inner.appended_lsn,
+                    inner.synced_lsn,
+                )
+            };
+            failpoint::check_write("wal.fsync", 0).map(|_| ())?;
+            let start = Instant::now();
+            file.sync_data()?;
+            self.metrics.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.metrics
+                .fsync_ns
+                .observe(start.elapsed().as_nanos() as u64);
+            self.metrics.group_commit_records.observe(target - already);
+            let mut inner = self.inner.lock();
+            if inner.seg_seq == seg_seq {
+                inner.synced_lsn = inner.synced_lsn.max(target);
+            }
+            // A rollover during our fsync already pinned the retired
+            // segment down (and advanced `synced_lsn` itself); loop in
+            // the unlikely case `lsn` still is not covered.
+            if inner.synced_lsn >= lsn {
+                return Ok(());
+            }
         }
-        self.sync_inner(&mut inner)
     }
 
     /// Open a logged unit, blocking until no other unit is active, and
@@ -848,8 +911,8 @@ mod tests {
     fn all_record_shapes() -> Vec<WalRecord> {
         vec![
             WalRecord::Begin,
-            WalRecord::Commit,
-            WalRecord::Checkpoint,
+            WalRecord::Commit { ts: 42 },
+            WalRecord::Checkpoint { clock: 17 },
             WalRecord::PageImage {
                 page_no: 7,
                 image: vec![0xA5; PAGE_SIZE],
@@ -945,7 +1008,7 @@ mod tests {
         assert!(!tail.torn);
         // Reopen appends where we left off.
         let wal = Wal::open(&dir, Durability::Buffered, 128).unwrap();
-        let lsn = wal.append(0, &WalRecord::Checkpoint).unwrap();
+        let lsn = wal.append(0, &WalRecord::Checkpoint { clock: 0 }).unwrap();
         assert_eq!(lsn, 51);
         std::fs::remove_dir_all(&dir).unwrap();
     }

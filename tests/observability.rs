@@ -6,7 +6,7 @@
 use std::path::PathBuf;
 
 use extra_excess::db::validate_exposition;
-use extra_excess::{Database, Durability, MetricsSnapshot, TraceConfig};
+use extra_excess::{Database, DbError, Durability, MetricsSnapshot, Response, TraceConfig};
 
 fn temp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("exodus-obs-{tag}-{}", std::process::id()));
@@ -305,4 +305,87 @@ fn disabled_metrics_leave_no_surface() {
         .unwrap();
     assert!(obs.counters.is_empty());
     assert_eq!(obs.response.rows().unwrap().len(), 3);
+}
+
+/// `observe` meters a statement's execution and `explain` prints its
+/// plan; `begin`/`commit`/`abort` have neither an execution pipeline
+/// nor a plan, so wrapping them must be refused with a clear parse
+/// error — never a panic, never a silent no-op observation.
+#[test]
+fn observe_and_explain_refuse_transaction_control() {
+    let db = Database::builder().build().unwrap();
+    seed(&db);
+    let mut s = db.session();
+    for verb in ["begin", "commit", "abort"] {
+        for (wrapper, hint) in [
+            ("observe", "is not a metered statement"),
+            ("explain", "has no plan"),
+            ("explain analyze", "has no plan"),
+        ] {
+            let err = s
+                .run(&format!("{wrapper} {verb}"))
+                .expect_err(&format!("'{wrapper} {verb}' must be refused"));
+            let DbError::Parse(e) = err else {
+                panic!("'{wrapper} {verb}' raised {err}, expected a parse error");
+            };
+            let msg = e.to_string();
+            assert!(
+                msg.contains(&format!("'{verb}'")) && msg.contains(hint),
+                "'{wrapper} {verb}' error does not explain itself: {msg}"
+            );
+        }
+        // Nested wrappers stay refused in every combination.
+        for prefix in [
+            "observe observe",
+            "explain explain",
+            "observe explain",
+            "explain observe",
+        ] {
+            let err = s.run(&format!("{prefix} {verb}")).expect_err(prefix);
+            assert!(
+                matches!(err, DbError::Parse(_)),
+                "'{prefix} {verb}' raised {err}, expected a parse error"
+            );
+        }
+    }
+    // The refusals must not have wedged the session: transaction
+    // control and observation both still work afterwards.
+    s.run("begin").unwrap();
+    s.run("commit").unwrap();
+    let responses = s
+        .run(r#"observe append to People (name = "dot", age = 63)"#)
+        .unwrap();
+    assert!(
+        matches!(responses.last(), Some(Response::Observed(_))),
+        "observe of an ordinary statement must still produce an observation"
+    );
+}
+
+/// The transaction lifecycle is observable: the active gauge tracks the
+/// open transaction and the committed/aborted counters tally outcomes.
+#[test]
+fn txn_metrics_track_lifecycle() {
+    let db = Database::builder().build().unwrap();
+    seed(&db);
+    let mut s = db.session();
+
+    let at_rest = db.metrics_snapshot().unwrap();
+    assert_eq!(at_rest.gauge("storage_txn_active"), Some(0));
+
+    s.run("begin").unwrap();
+    let open = db.metrics_snapshot().unwrap();
+    assert_eq!(open.gauge("storage_txn_active"), Some(1));
+
+    s.run(r#"append to People (name = "eve", age = 29); commit"#)
+        .unwrap();
+    s.run(r#"begin; append to People (name = "fay", age = 35); abort"#)
+        .unwrap();
+
+    let done = db.metrics_snapshot().unwrap();
+    assert_eq!(done.gauge("storage_txn_active"), Some(0));
+    let delta = |name: &str| done.counter(name).unwrap_or(0) - at_rest.counter(name).unwrap_or(0);
+    // At least the explicit commit; version-reclaim vacuum piggybacks
+    // its own housekeeping transactions on the same counter.
+    assert!(delta("storage_txn_committed_total") >= 1);
+    assert_eq!(delta("storage_txn_aborted_total"), 1);
 }
