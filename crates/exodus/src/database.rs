@@ -421,6 +421,14 @@ impl Database {
     /// (used by benchmark loaders; maintains integrity edges but not
     /// secondary indexes — build indexes after loading).
     pub fn bulk_append(&self, collection: &str, members: Vec<Value>) -> DbResult<Vec<Oid>> {
+        // The whole load is one write transaction (lock order: writer
+        // slot before catalog), so readers either see none of the batch
+        // or all of it. Resolve the collection only *after* the
+        // transaction holds the writer gate and the catalog lock: a
+        // resolution taken before the gate could race a concurrent
+        // `destroy` and append into freed heap structures. An error
+        // return aborts via the WriteTxn drop guard.
+        let txn = self.store.storage().begin_txn()?;
         let cat = self.catalog.read();
         let obj = cat
             .named
@@ -428,12 +436,6 @@ impl Database {
             .cloned()
             .ok_or_else(|| DbError::Catalog(format!("no collection '{collection}'")))?;
         let elem = self.store.collection_elem(obj.oid)?;
-        drop(cat);
-        // The whole load is one write transaction (lock order: writer
-        // slot before catalog), so readers either see none of the batch
-        // or all of it.
-        let txn = self.store.storage().begin_txn()?;
-        let cat = self.catalog.read();
         let mut oids = Vec::with_capacity(members.len());
         for m in members {
             match elem.mode {

@@ -21,6 +21,15 @@ pub enum StorageError {
     Corrupt(String),
     /// A B+-tree key already present when uniqueness was required.
     DuplicateKey,
+    /// A WAL segment written by an incompatible log-format version.
+    /// Opening old data fails loudly instead of silently truncating the
+    /// log or misreading records.
+    UnsupportedLogVersion {
+        /// Version stamped in the segment header.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
     /// Read past the end of a large object.
     LobOutOfBounds { offset: u64, len: u64 },
 }
@@ -40,6 +49,11 @@ impl fmt::Display for StorageError {
             StorageError::UnknownOid(o) => write!(f, "unknown oid {o}"),
             StorageError::Corrupt(m) => write!(f, "corrupt page: {m}"),
             StorageError::DuplicateKey => write!(f, "duplicate key in unique index"),
+            StorageError::UnsupportedLogVersion { found, expected } => write!(
+                f,
+                "wal segment has log-format version {found}, this build requires {expected} \
+                 (the on-disk format changed incompatibly; no migration exists)"
+            ),
             StorageError::LobOutOfBounds { offset, len } => {
                 write!(f, "large-object access at {offset} beyond length {len}")
             }

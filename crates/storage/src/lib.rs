@@ -370,6 +370,13 @@ impl StorageManager {
             "Write transactions aborted (runtime abort, not crash rollback).",
             move || txn.aborted_total(),
         );
+        let txn = self.txn.clone();
+        reg.counter_fn(
+            "storage_txn_commit_indeterminate_total",
+            "Commits parked after a failed fsync: the commit record is in the log but \
+             unpublished, so a restart may surface transactions this process never showed.",
+            move || txn.parked_total(),
+        );
         reg.histogram_shared(
             "storage_txn_commit_wait_ns",
             "Wall-clock commit latency in nanoseconds (images + commit record + fsync wait).",

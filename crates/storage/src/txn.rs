@@ -163,6 +163,9 @@ pub struct TxnManager {
     reclaim: Mutex<Vec<Reclaim>>,
     committed: AtomicU64,
     aborted: AtomicU64,
+    /// Commits whose fsync failed: in the log, never published. Neither
+    /// committed nor aborted — see `park_unflushed`.
+    parked: AtomicU64,
     /// Wall-clock commit latency (images + commit record + fsync wait).
     commit_wait_ns: Arc<exodus_obs::Histogram>,
 }
@@ -182,6 +185,7 @@ impl TxnManager {
             reclaim: Mutex::new(Vec::new()),
             committed: AtomicU64::new(0),
             aborted: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
             commit_wait_ns: Arc::new(exodus_obs::Histogram::new(exodus_obs::LATENCY_BUCKETS_NS)),
         }
     }
@@ -211,9 +215,19 @@ impl TxnManager {
 
     /// Take a read snapshot at the current clock. The guard keeps the
     /// snapshot registered (holding back vacuum) until dropped.
+    ///
+    /// The clock is read *while holding* the snapshots lock — the same
+    /// lock [`TxnManager::watermark`] takes — so a snapshot at ts `T` is
+    /// registered before any watermark computation can observe
+    /// `clock > T` with no snapshot `<= T`. Reading the clock before
+    /// locking would leave a window where a concurrent commit publishes
+    /// `T+1` and vacuum, seeing an empty map and the new clock, reclaims
+    /// versions end-stamped at `T+1` that this snapshot still needs.
     pub fn begin_snapshot(self: &Arc<Self>) -> Snapshot {
+        let mut snaps = self.snapshots.lock();
         let ts = self.clock();
-        *self.snapshots.lock().entry(ts).or_insert(0) += 1;
+        *snaps.entry(ts).or_insert(0) += 1;
+        drop(snaps);
         Snapshot {
             mgr: Some(self.clone()),
             ts,
@@ -312,9 +326,23 @@ impl TxnManager {
     /// leave the clock alone: visibility must never precede durability.
     /// If no later commit ever lands, the reclaims stay unripe forever
     /// (the watermark cannot reach `ts`), which only wastes memory.
+    ///
+    /// A later commit is not the only path to durability: the buffer
+    /// pool's flush rule ("no dirty page leaves the pool ahead of its
+    /// log record") fsyncs the log through a page's LSN before any
+    /// write-back, and that flush can cover the parked commit record
+    /// too. After a restart the transaction is then visible even though
+    /// this process never published it — runtime and post-crash states
+    /// diverge by exactly this transaction. A parked transaction counts
+    /// in neither `committed_total` nor `aborted_total` (its fate is
+    /// undecided); it is surfaced through [`TxnManager::parked_total`]
+    /// and the `storage_txn_commit_indeterminate_total` metric so the
+    /// indeterminate state is observable.
     fn park_unflushed(&self, ts: u64, scratch: Scratch) {
         let mut reclaim = self.reclaim.lock();
         reclaim.extend(scratch.reclaims.into_iter().map(|op| Reclaim { ts, op }));
+        drop(reclaim);
+        self.parked.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Release the writer gate. `publish` commits the provisional
@@ -375,13 +403,17 @@ impl TxnManager {
 
     /// The reclaim watermark: reclamation stamped at or below it cannot
     /// be observed by any active snapshot.
+    ///
+    /// The clock fallback must be read while the snapshots lock is held:
+    /// [`TxnManager::begin_snapshot`] registers under the same lock, so
+    /// an "empty map, use the clock" decision here cannot interleave
+    /// with a snapshot that read an older clock but has not registered
+    /// yet.
     pub fn watermark(&self) -> u64 {
-        self.snapshots
-            .lock()
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or_else(|| self.clock())
+        let snaps = self.snapshots.lock();
+        let wm = snaps.keys().next().copied().unwrap_or_else(|| self.clock());
+        drop(snaps);
+        wm
     }
 
     /// Drain and return the deferred reclaims that are ripe under the
@@ -414,6 +446,15 @@ impl TxnManager {
     /// Aborted write transactions.
     pub fn aborted_total(&self) -> u64 {
         self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Commits parked with an indeterminate outcome: the commit record
+    /// was appended but its fsync failed, so the transaction is in the
+    /// log yet never published at runtime (see `park_unflushed`). Any
+    /// nonzero value means a restart may surface transactions this
+    /// process never showed.
+    pub fn parked_total(&self) -> u64 {
+        self.parked.load(Ordering::Relaxed)
     }
 
     /// The commit-latency histogram (shared with the metrics registry).
@@ -679,6 +720,23 @@ mod tests {
         assert_eq!(ripe.len(), 1);
         assert_eq!(ripe[0].ts, 1);
         assert_eq!(mgr.pending_reclaims(), 0);
+    }
+
+    #[test]
+    fn parked_commit_is_counted_but_never_published() {
+        let mgr = Arc::new(TxnManager::new());
+        let ts = mgr.acquire_writer();
+        mgr.defer_reclaim(ReclaimOp::ObjectSlot { oid: Oid(1) });
+        let scratch = mgr.detach_writer(ts);
+        mgr.park_unflushed(ts, scratch);
+        assert_eq!(mgr.parked_total(), 1);
+        assert_eq!(mgr.committed_total(), 0, "fate undecided: not a commit");
+        assert_eq!(mgr.aborted_total(), 0, "fate undecided: not an abort");
+        assert_eq!(mgr.clock(), 0, "visibility never precedes durability");
+        // The parked reclaim stays unripe: the watermark (= clock with no
+        // snapshots) cannot reach the unpublished timestamp.
+        assert_eq!(mgr.pending_reclaims(), 1);
+        assert!(mgr.take_ripe().is_empty());
     }
 
     #[test]

@@ -337,7 +337,20 @@ impl WalRecord {
 /// Magic bytes opening every segment file.
 const SEG_MAGIC: [u8; 4] = *b"XWAL";
 /// Log format version.
-const SEG_VERSION: u32 = 1;
+///
+/// * **v1** — pre-MVCC: `Commit`/`Checkpoint` carried no payload and
+///   heap records had no version header.
+/// * **v2** — MVCC: `Commit { ts }` / `Checkpoint { clock }` carry a
+///   u64 timestamp, and every heap record travels with a 16-byte
+///   `(begin_ts, end_ts)` header (which also changes the page images).
+///
+/// A version-1 log cannot be read by this build (old zero-payload
+/// commit records fail decode and would read as a torn tail, silently
+/// truncating committed data), so [`read_log`] refuses a mismatched
+/// segment with [`StorageError::UnsupportedLogVersion`] instead of
+/// treating it as torn. There is no migration; the volume carries no
+/// separate stamp, so the WAL segment header is the format gate.
+const SEG_VERSION: u32 = 2;
 /// Bytes of the segment header: magic, version, first LSN.
 pub(crate) const SEG_HEADER: usize = 16;
 /// Default segment size before rollover.
@@ -411,9 +424,19 @@ pub(crate) fn read_log(dir: &Path) -> StorageResult<(Vec<WalEntry>, LogTail)> {
         let mut bytes = Vec::new();
         File::open(&path)?.read_to_end(&mut bytes)?;
         let seg_len = bytes.len() as u64;
-        let header_ok = bytes.len() >= SEG_HEADER
-            && bytes[..4] == SEG_MAGIC
-            && u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]) == SEG_VERSION;
+        let header_ok = bytes.len() >= SEG_HEADER && bytes[..4] == SEG_MAGIC;
+        if header_ok {
+            // An intact magic with the wrong version is old data, not a
+            // torn header: refuse it loudly rather than truncate-and-
+            // recover past committed work written by another format.
+            let version = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+            if version != SEG_VERSION {
+                return Err(StorageError::UnsupportedLogVersion {
+                    found: version,
+                    expected: SEG_VERSION,
+                });
+            }
+        }
         let first_lsn = if header_ok {
             let mut b = [0u8; 8];
             b.copy_from_slice(&bytes[8..16]);

@@ -68,6 +68,31 @@ fn empty_log_recovery_is_clean() {
 }
 
 #[test]
+fn old_log_format_version_is_refused_loudly() {
+    let dir = temp_dir("oldfmt");
+    let path = dir.join("vol.db");
+    let (sm, _) = StorageManager::open(&path, 32, Durability::Fsync).unwrap();
+    put_units(&sm, 0, 5).unwrap();
+    drop(sm);
+    // Stamp the first segment as log-format v1 (bytes 4..8 of the
+    // header). Opening must fail with an explicit version error, not
+    // treat the segment as a torn tail and silently recover nothing.
+    let seg = wal_segments(&dir).into_iter().next().expect("a segment");
+    let mut bytes = std::fs::read(&seg).unwrap();
+    bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+    std::fs::write(&seg, bytes).unwrap();
+    let err = StorageManager::open(&path, 32, Durability::Fsync)
+        .err()
+        .expect("old-format log must refuse to open");
+    let msg = err.to_string();
+    assert!(
+        msg.contains("log-format version 1"),
+        "unexpected error: {msg}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn committed_units_survive_reopen_without_flush() {
     for durability in [Durability::Buffered, Durability::Fsync] {
         let dir = temp_dir(&format!("noflush-{durability:?}"));
