@@ -13,8 +13,11 @@
 //! in cardinality so it refines absolute estimates without flipping any
 //! ranking the per-row terms establish.
 
-use excess_lang::{BinOp, Expr};
-use excess_sema::{CatalogLookup, ResolvedRange, RootSource};
+use std::collections::HashMap;
+
+use excess_lang::{BinOp, Expr, Lit, UnOp};
+use excess_sema::{AttrStats, CatalogLookup, ResolvedRange, RootSource, StatOp};
+use extra_model::Value;
 
 use crate::plan::Physical;
 use crate::rules::conjuncts;
@@ -35,6 +38,10 @@ pub const BATCH_ROWS: f64 = 1024.0;
 /// Fixed cost of pushing one batch through an operator (cursor dispatch,
 /// column bookkeeping) — small relative to one row's worth of work.
 pub const COST_PER_BATCH: f64 = 0.1;
+/// Modeled cost of one row-at-a-time reference dereference during
+/// expression evaluation (a buffer-pool visit plus record decode) — what
+/// the deref-hoisting hash-join rewrite competes against.
+pub const DEREF_COST: f64 = 4.0;
 
 /// Amortized per-batch dispatch overhead for a stream of `rows` rows: at
 /// least one batch, then one more per [`BATCH_ROWS`] rows.
@@ -67,16 +74,167 @@ pub fn parallel_cost(input_cost: f64, out_rows: f64, dop: usize) -> f64 {
         + batch_overhead(out_rows)
 }
 
-/// Estimated selectivity of a predicate.
+/// Estimated selectivity of a predicate from fixed factors alone (no
+/// statistics).
 pub fn selectivity(pred: &Expr) -> f64 {
     conjuncts(pred)
         .iter()
-        .map(|c| match c {
-            Expr::Binary(BinOp::Eq | BinOp::Is, _, _) => SEL_EQ,
-            Expr::Binary(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _, _) => SEL_RANGE,
-            _ => SEL_OTHER,
-        })
+        .map(fixed_conjunct_selectivity)
         .product()
+}
+
+fn fixed_conjunct_selectivity(c: &Expr) -> f64 {
+    match c {
+        Expr::Binary(BinOp::Eq | BinOp::Is, _, _) => SEL_EQ,
+        Expr::Binary(BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _, _) => SEL_RANGE,
+        _ => SEL_OTHER,
+    }
+}
+
+/// Map each range variable of `plan` to the collection it scans (bare
+/// collection bindings only — the shapes statistics describe).
+pub fn scan_collections(plan: &Physical, out: &mut HashMap<String, String>) {
+    let mut add = |b: &ResolvedRange| {
+        if let RootSource::Collection(obj) = &b.root {
+            if b.steps.is_empty() {
+                out.insert(b.var.clone(), obj.name.clone());
+            }
+        }
+    };
+    match plan {
+        Physical::Unit => {}
+        Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => add(binding),
+        Physical::Unnest { input, binding }
+        | Physical::HashJoin { input, binding, .. }
+        | Physical::IndexJoin { input, binding, .. } => {
+            add(binding);
+            scan_collections(input, out);
+        }
+        Physical::NestedLoop { outer, inner } => {
+            scan_collections(outer, out);
+            scan_collections(inner, out);
+        }
+        Physical::Filter { input, .. }
+        | Physical::UniversalFilter { input, .. }
+        | Physical::Project { input, .. }
+        | Physical::Sort { input, .. }
+        | Physical::Parallel { input, .. } => scan_collections(input, out),
+    }
+}
+
+/// Comparison shape statistics can answer, or `None` for operators they
+/// cannot (`is`, `in`, ...).
+fn stat_op(op: BinOp) -> Option<StatOp> {
+    match op {
+        BinOp::Eq => Some(StatOp::Eq),
+        BinOp::Ne => Some(StatOp::Ne),
+        BinOp::Lt => Some(StatOp::Lt),
+        BinOp::Le => Some(StatOp::Le),
+        BinOp::Gt => Some(StatOp::Gt),
+        BinOp::Ge => Some(StatOp::Ge),
+        _ => None,
+    }
+}
+
+/// Mirror a comparison across its operands (`5 < E.age` ≡ `E.age > 5`).
+fn flip_stat_op(op: StatOp) -> StatOp {
+    match op {
+        StatOp::Lt => StatOp::Gt,
+        StatOp::Le => StatOp::Ge,
+        StatOp::Gt => StatOp::Lt,
+        StatOp::Ge => StatOp::Le,
+        other => other,
+    }
+}
+
+/// Numeric literal value of an expression, for histogram probes.
+fn lit_f64(e: &Expr) -> Option<f64> {
+    match e {
+        Expr::Lit(Lit::Int(i)) => Some(*i as f64),
+        Expr::Lit(Lit::Float(f)) => Some(*f),
+        Expr::Unary(UnOp::Neg, inner) => Some(-lit_f64(inner)?),
+        _ => None,
+    }
+}
+
+/// Numeric view of a constant [`Value`], for histogram probes.
+pub(crate) fn value_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        _ => None,
+    }
+}
+
+/// Selectivity of a single comparison against one attribute's
+/// statistics. `None` when the statistics cannot answer it (no
+/// histogram and a non-equality operator, or no numeric constant).
+fn attr_selectivity(a: &AttrStats, op: StatOp, value: Option<f64>) -> Option<f64> {
+    match op {
+        StatOp::Eq => Some(a.eq_selectivity()),
+        StatOp::Ne => Some((1.0 - a.null_frac - a.eq_selectivity()).clamp(0.0, 1.0)),
+        _ => a.cmp_selectivity(op, value?),
+    }
+}
+
+/// Selectivity of one conjunct, consulting `analyze` statistics for
+/// `V.attr <op> const` shapes over known scan sources and falling back
+/// to the fixed factors otherwise — so unanalyzed collections see
+/// exactly the constant-based estimates.
+fn conjunct_selectivity(
+    c: &Expr,
+    sources: &HashMap<String, String>,
+    catalog: &dyn CatalogLookup,
+) -> f64 {
+    if let Expr::Binary(op, lhs, rhs) = c {
+        if let Some(sop) = stat_op(*op) {
+            let sides = [(lhs, rhs, sop), (rhs, lhs, flip_stat_op(sop))];
+            for (attr_side, const_side, sop) in sides {
+                let Expr::Path(base, attr) = &**attr_side else {
+                    continue;
+                };
+                let Expr::Var(v) = &**base else { continue };
+                let Some(stats) = sources.get(v).and_then(|c| catalog.stats_for(c)) else {
+                    continue;
+                };
+                let Some(a) = stats.attr(attr) else { continue };
+                if let Some(sel) = attr_selectivity(a, sop, lit_f64(const_side)) {
+                    return sel;
+                }
+            }
+        }
+    }
+    fixed_conjunct_selectivity(c)
+}
+
+/// Estimated selectivity of a predicate given the scan sources of the
+/// plan it filters (statistics-aware variant of [`selectivity`]).
+pub fn selectivity_with(
+    pred: &Expr,
+    sources: &HashMap<String, String>,
+    catalog: &dyn CatalogLookup,
+) -> f64 {
+    conjuncts(pred)
+        .iter()
+        .map(|c| conjunct_selectivity(c, sources, catalog))
+        .product()
+}
+
+/// Collection a bare collection binding scans, if that is its shape.
+pub(crate) fn binding_collection(b: &ResolvedRange) -> Option<&str> {
+    match &b.root {
+        RootSource::Collection(obj) if b.steps.is_empty() => Some(&obj.name),
+        _ => None,
+    }
+}
+
+/// Selectivity of an equi join probe against `binding`'s collection on
+/// `attr`: expected fraction of build members matching one probe key.
+fn eq_join_selectivity(b: &ResolvedRange, attr: &str, catalog: &dyn CatalogLookup) -> f64 {
+    binding_collection(b)
+        .and_then(|c| catalog.stats_for(c))
+        .and_then(|s| s.attr(attr).map(AttrStats::eq_selectivity))
+        .unwrap_or(SEL_EQ)
 }
 
 /// Estimated members produced by iterating a binding once.
@@ -86,6 +244,7 @@ pub fn binding_cardinality(b: &ResolvedRange, catalog: &dyn CatalogLookup) -> f6
             let base = catalog
                 .collection_size(&obj.name)
                 .map(|n| n as f64)
+                .or_else(|| catalog.stats_for(&obj.name).map(|s| s.row_count as f64))
                 .unwrap_or(DEFAULT_SIZE);
             // Steps beyond the collection unnest one nested set.
             if b.steps.is_empty() {
@@ -112,16 +271,21 @@ pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
         Physical::SeqScan { binding } => binding_cardinality(binding, catalog),
         Physical::IndexScan {
             binding,
+            index,
             lower,
             upper,
-            ..
+            pred,
         } => {
             let base = binding_cardinality(binding, catalog);
-            let sel = match (lower, upper) {
+            let from_stats = pred.as_ref().and_then(|(op, v)| {
+                let sop = stat_op(*op)?;
+                let stats = catalog.stats_for(binding_collection(binding)?)?;
+                attr_selectivity(stats.attr(&index.attr)?, sop, value_f64(v))
+            });
+            let sel = from_stats.unwrap_or_else(|| match (lower, upper) {
                 (std::ops::Bound::Included(a), std::ops::Bound::Included(b)) if a == b => SEL_EQ,
-                (std::ops::Bound::Unbounded, _) | (_, std::ops::Bound::Unbounded) => SEL_RANGE,
                 _ => SEL_RANGE,
-            };
+            });
             (base * sel).max(1.0)
         }
         Physical::Unnest { input, binding } => {
@@ -131,7 +295,32 @@ pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
             cardinality(outer, catalog) * cardinality(inner, catalog)
         }
         Physical::Filter { input, pred } => {
-            (cardinality(input, catalog) * selectivity(pred)).max(1.0)
+            let mut sources = HashMap::new();
+            scan_collections(input, &mut sources);
+            (cardinality(input, catalog) * selectivity_with(pred, &sources, catalog)).max(1.0)
+        }
+        Physical::HashJoin {
+            input, binding, on, ..
+        } => {
+            let n = cardinality(input, catalog);
+            match on {
+                // Deref hoist is 1:1 with its input.
+                None => n,
+                Some(attr) => {
+                    let t = binding_cardinality(binding, catalog);
+                    (n * t * eq_join_selectivity(binding, attr, catalog)).max(1.0)
+                }
+            }
+        }
+        Physical::IndexJoin {
+            input,
+            binding,
+            index,
+            ..
+        } => {
+            let n = cardinality(input, catalog);
+            let t = binding_cardinality(binding, catalog);
+            (n * t * eq_join_selectivity(binding, &index.attr, catalog)).max(1.0)
         }
         Physical::UniversalFilter { input, .. } => {
             (cardinality(input, catalog) * SEL_OTHER).max(1.0)
@@ -162,6 +351,8 @@ pub fn annotate_preorder(plan: &Physical, catalog: &dyn CatalogLookup) -> Vec<(S
             | Physical::UniversalFilter { input, .. }
             | Physical::Project { input, .. }
             | Physical::Sort { input, .. }
+            | Physical::HashJoin { input, .. }
+            | Physical::IndexJoin { input, .. }
             | Physical::Parallel { input, .. } => walk(input, catalog, out),
         }
     }
@@ -215,6 +406,20 @@ pub fn cost(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
         Physical::Sort { input, .. } => {
             let n = cardinality(input, catalog).max(2.0);
             cost(input, catalog) + n * n.log2() + batch_overhead(n)
+        }
+        Physical::HashJoin { input, binding, .. } => {
+            // Build scans and dereferences every member once; probes are
+            // then O(1) hash lookups, plus one emit per matching row.
+            let n = cardinality(input, catalog);
+            let t = binding_cardinality(binding, catalog);
+            let out = cardinality(plan, catalog);
+            cost(input, catalog) + 2.0 * t + n + out + batch_overhead(out)
+        }
+        Physical::IndexJoin { input, binding, .. } => {
+            let n = cardinality(input, catalog);
+            let t = binding_cardinality(binding, catalog).max(2.0);
+            let out = cardinality(plan, catalog);
+            cost(input, catalog) + n * t.log2() + out + batch_overhead(out)
         }
         Physical::Parallel { input, dop } => {
             parallel_cost(cost(input, catalog), cardinality(input, catalog), *dop)

@@ -16,7 +16,10 @@
 //!   algebra (range bindings become scans/unnests; universal bindings
 //!   become a universal selection);
 //! * [`rules`] — rewrite rules: conjunct splitting and predicate pushdown;
-//! * [`cost`] — cardinality/cost estimation from catalog statistics;
+//! * [`cost`] — cardinality/cost estimation from catalog statistics and
+//!   `analyze` histograms;
+//! * [`join`] — statistics-gated batch-join rewrites (hash / index
+//!   joins for explicit equi joins and implicit path dereferences);
 //! * [`physical`] — access-path selection (sequential vs B+-tree index
 //!   scan, consulting the ADT applicability table for ADT-typed keys),
 //!   greedy join ordering by estimated cardinality, and final plan
@@ -25,6 +28,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 pub mod builder;
 pub mod cost;
+pub mod join;
 pub mod physical;
 pub mod plan;
 pub mod rules;

@@ -211,10 +211,14 @@ pub fn plan_retrieve_dop(
         .zip(targets.iter())
         .map(|((name, _), t)| (name.clone(), t.expr.clone()))
         .collect();
-    Ok(Physical::Project {
+    let plan = Physical::Project {
         input: Box::new(plan),
         targets: named,
-    })
+    };
+    // Statistics-gated join rewrites run over the assembled plan; with
+    // no `analyze` statistics recorded they are no-ops, so plans over
+    // unanalyzed collections keep their exact prior shapes.
+    Ok(crate::join::apply_join_rewrites(plan, ctx))
 }
 
 /// Wrap `plan` in a parallel exchange when (a) workers are available,
@@ -253,6 +257,8 @@ fn leftmost_scan_rows(plan: &Physical, ctx: &SemaCtx<'_>) -> Option<f64> {
         Physical::Unnest { input, .. }
         | Physical::Filter { input, .. }
         | Physical::Project { input, .. }
+        | Physical::HashJoin { input, .. }
+        | Physical::IndexJoin { input, .. }
         | Physical::Parallel { input, .. } => leftmost_scan_rows(input, ctx),
         Physical::NestedLoop { outer, .. } => leftmost_scan_rows(outer, ctx),
         Physical::Unit | Physical::UniversalFilter { .. } | Physical::Sort { .. } => None,
@@ -352,6 +358,7 @@ fn plan_root(
                 index,
                 lower,
                 upper,
+                pred: Some((p.op, value)),
             });
         }
     }

@@ -76,6 +76,10 @@ pub enum Physical {
         lower: Bound<Vec<u8>>,
         /// Upper key bound (encoded).
         upper: Bound<Vec<u8>>,
+        /// The source predicate the bounds encode (`attr <op> value`),
+        /// kept for plan labels and statistics-based cardinality (the
+        /// encoded bounds cannot be decoded back to values).
+        pred: Option<(excess_lang::BinOp, extra_model::Value)>,
     },
     /// Unnest a set/array reached from a parent binding or named object,
     /// extending each input environment.
@@ -125,6 +129,46 @@ pub enum Physical {
         key: Expr,
         /// Ascending?
         asc: bool,
+    },
+    /// Hash join: build a hash table over `binding`'s collection once,
+    /// then probe it with whole input batches, extending each input row
+    /// with one member binding.
+    ///
+    /// Two modes, distinguished by `on`:
+    /// - `on = None` (*deref hoist*): `key` evaluates to a reference
+    ///   into the build collection; the hidden `binding.var` is bound to
+    ///   the **dereferenced** member tuple (1:1 with the input). Probe
+    ///   misses fall back to an ordinary store dereference, so results
+    ///   match row-at-a-time evaluation exactly.
+    /// - `on = Some(attr)` (*equi join*): the table is keyed on member
+    ///   attribute `attr`; `binding.var` is bound to the **original**
+    ///   member value (a reference for `{ own ref T }` collections, so
+    ///   `is`-identity semantics are preserved). Null keys match
+    ///   nothing, exactly like the `NestedLoop` + `Filter` it replaces.
+    HashJoin {
+        /// Probe side (the existing pipeline).
+        input: Box<Physical>,
+        /// The build-side binding (root must be a collection).
+        binding: ResolvedRange,
+        /// Probe key, evaluated against each input row.
+        key: Expr,
+        /// Build-side member attribute for an equi join; `None` selects
+        /// reference (deref-hoist) mode.
+        on: Option<String>,
+    },
+    /// Index nested-loop join: for each input row, probe a secondary
+    /// index on `index.attr` with the value of `key` (equality only) and
+    /// emit one output row per match, binding `binding.var` to the
+    /// matching member.
+    IndexJoin {
+        /// Probe side (the existing pipeline).
+        input: Box<Physical>,
+        /// The matched binding (root must be a collection).
+        binding: ResolvedRange,
+        /// The index probed.
+        index: IndexInfo,
+        /// Probe key, evaluated against each input row.
+        key: Expr,
     },
     /// Parallel exchange: partition the leftmost scan of `input` into
     /// morsels and fan the pipeline out to `dop` worker threads, merging
@@ -215,12 +259,23 @@ impl Physical {
             Physical::SeqScan { binding } => {
                 format!("SeqScan {} over {}", binding.var, range_source(binding))
             }
-            Physical::IndexScan { binding, index, .. } => format!(
-                "IndexScan {} over {} using {}",
-                binding.var,
-                range_source(binding),
-                index.name
-            ),
+            Physical::IndexScan {
+                binding,
+                index,
+                pred,
+                ..
+            } => {
+                let bounds = match pred {
+                    Some((op, v)) => format!(" ({} {op} {v})", index.attr),
+                    None => String::new(),
+                };
+                format!(
+                    "IndexScan {} over {} using {}{bounds}",
+                    binding.var,
+                    range_source(binding),
+                    index.name
+                )
+            }
             Physical::Unnest { binding, .. } => {
                 format!("Unnest {} over {}", binding.var, range_source(binding))
             }
@@ -237,6 +292,32 @@ impl Physical {
             Physical::Sort { key, asc, .. } => {
                 format!("Sort by {key} {}", if *asc { "asc" } else { "desc" })
             }
+            Physical::HashJoin {
+                binding, key, on, ..
+            } => match on {
+                Some(attr) => format!(
+                    "HashJoin {} over {} on {attr} = {key}",
+                    binding.var,
+                    range_source(binding)
+                ),
+                None => format!(
+                    "HashJoin {} over {} on ref {key}",
+                    binding.var,
+                    range_source(binding)
+                ),
+            },
+            Physical::IndexJoin {
+                binding,
+                index,
+                key,
+                ..
+            } => format!(
+                "IndexJoin {} over {} using {} on {} = {key}",
+                binding.var,
+                range_source(binding),
+                index.name,
+                index.attr
+            ),
             Physical::Parallel { dop, .. } => format!("Parallel dop={dop}"),
         }
     }
@@ -255,6 +336,8 @@ impl Physical {
             | Physical::UniversalFilter { input, .. }
             | Physical::Project { input, .. }
             | Physical::Sort { input, .. }
+            | Physical::HashJoin { input, .. }
+            | Physical::IndexJoin { input, .. }
             | Physical::Parallel { input, .. } => input.fmt_at(f, depth + 1),
         }
     }
@@ -266,7 +349,9 @@ impl Physical {
             Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => {
                 vec![binding.var.clone()]
             }
-            Physical::Unnest { input, binding } => {
+            Physical::Unnest { input, binding }
+            | Physical::HashJoin { input, binding, .. }
+            | Physical::IndexJoin { input, binding, .. } => {
                 let mut v = input.bound_vars();
                 v.push(binding.var.clone());
                 v

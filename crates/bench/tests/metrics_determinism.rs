@@ -133,6 +133,16 @@ fn pool_counters_pinned_at_dop_1_and_4() {
         );
         assert_eq!(counter(d, "db_statements_total"), 3, "DOP-{dop}");
         assert_eq!(counter(d, "db_statements_retrieve_total"), 3, "DOP-{dop}");
+        // The workload is deref-free by construction (see the module
+        // doc), so the dereference-cache counters must not move at any
+        // DOP.
+        for c in [
+            "exec_deref_cache_hits_total",
+            "exec_deref_cache_misses_total",
+            "exec_deref_cache_full_total",
+        ] {
+            assert_eq!(counter(d, c), 0, "DOP-{dop} {c}: deref-free workload");
+        }
     }
     // The DOP-dependent executor counters, pinned per DOP: DOP 1 never
     // touches the morsel queue; DOP 4 splits the 39 pages into 13
@@ -142,4 +152,46 @@ fn pool_counters_pinned_at_dop_1_and_4() {
     assert_eq!(counter(&d1, "exec_batches_total"), 30);
     assert_eq!(counter(&d4, "exec_morsels_total"), 39);
     assert_eq!(counter(&d4, "exec_batches_total"), 39);
+}
+
+/// Dereference-cache counters, pinned serially (ref-chasing workloads
+/// are only DOP-deterministic at DOP 1: worker-local caches make hit
+/// patterns depend on morsel claiming).
+#[test]
+fn deref_cache_counters_pinned() {
+    let counter = |d: &[(String, u64)], name: &str| -> u64 {
+        d.iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    };
+    let deltas = |n_depts: usize, n_emps: usize, q: &str, rows: usize| {
+        let u = university_with(n_depts, n_emps, 0, DeptMode::Ref, 65_536, |b| b);
+        let mut s = u.db.session();
+        s.run("range of E is Employees").unwrap();
+        let before = u.db.metrics_snapshot().unwrap();
+        assert_eq!(s.query(q).unwrap().rows.len(), rows);
+        let after = u.db.metrics_snapshot().unwrap();
+        MetricsSnapshot::counter_deltas(&before, &after)
+    };
+
+    // 10k employees over 20 departments. Scan rows bind `E` as a
+    // reference, so `E.dept` skip-decodes per employee (10 000 misses,
+    // every object distinct), then `.budget` misses once per department
+    // and hits for the other 9 980 rows. The 10 020 cache inserts
+    // overflow the 4 096-entry cap; the 5 924 dropped inserts —
+    // previously silent — are counted.
+    let d = deltas(20, 10_000, "retrieve (E.dept.budget)", 10_000);
+    assert_eq!(counter(&d, "exec_deref_cache_hits_total"), 9_980);
+    assert_eq!(counter(&d, "exec_deref_cache_misses_total"), 10_020);
+    assert_eq!(counter(&d, "exec_deref_cache_full_total"), 5_924);
+
+    // 5k employees over 5k departments (seeded-random assignment hits
+    // 3 606 distinct ones): 5 000 `E.dept` misses + 3 606 first-touch
+    // budget misses = 8 606, the remaining 1 394 rows hit, and the
+    // 8 606 − 4 096 = 4 510 over-cap inserts are dropped and counted.
+    let d = deltas(5_000, 5_000, "retrieve (E.dept.budget)", 5_000);
+    assert_eq!(counter(&d, "exec_deref_cache_hits_total"), 1_394);
+    assert_eq!(counter(&d, "exec_deref_cache_misses_total"), 8_606);
+    assert_eq!(counter(&d, "exec_deref_cache_full_total"), 4_510);
 }

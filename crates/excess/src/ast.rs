@@ -421,6 +421,13 @@ pub enum Stmt {
         /// The statement being observed.
         stmt: Box<Stmt>,
     },
+    /// `analyze <Collection>` — scan the collection and record optimizer
+    /// statistics (row count, distinct counts, equi-depth histograms,
+    /// null fractions) in the catalog.
+    Analyze {
+        /// The collection to analyze.
+        collection: String,
+    },
     /// `begin` — open an explicit multi-statement transaction. Reads
     /// inside it see a single snapshot plus the transaction's own
     /// writes; writes become visible to others only at `commit`.

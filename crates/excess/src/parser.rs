@@ -252,6 +252,11 @@ impl<'a> Parser<'a> {
                 let stmt = Box::new(self.statement()?);
                 Ok(Stmt::Observe { stmt })
             }
+            Tok::Kw(Kw::Analyze) => {
+                self.bump();
+                let collection = self.ident()?;
+                Ok(Stmt::Analyze { collection })
+            }
             Tok::Kw(Kw::Begin) => {
                 self.bump();
                 Ok(Stmt::Begin)

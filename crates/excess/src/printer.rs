@@ -392,6 +392,7 @@ impl fmt::Display for Stmt {
                 )
             }
             Stmt::Observe { stmt } => write!(f, "observe {stmt}"),
+            Stmt::Analyze { collection } => write!(f, "analyze {collection}"),
             Stmt::Begin => write!(f, "begin"),
             Stmt::Commit => write!(f, "commit"),
             Stmt::Abort => write!(f, "abort"),

@@ -122,6 +122,20 @@ fn create_statements_paper_forms() {
     round_trip("drop type Employee");
 }
 
+#[test]
+fn analyze_statement() {
+    match round_trip("analyze Employees") {
+        Stmt::Analyze { collection } => assert_eq!(collection, "Employees"),
+        other => panic!("{other:?}"),
+    }
+    // `analyze` still works as the explain modifier it shadows.
+    match round_trip("explain analyze retrieve (E.name)") {
+        Stmt::Explain { analyze, .. } => assert!(analyze),
+        other => panic!("{other:?}"),
+    }
+    parse_err("analyze");
+}
+
 // --- Range statements -------------------------------------------------------
 
 #[test]

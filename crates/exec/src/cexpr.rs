@@ -510,7 +510,6 @@ impl<'a> Compiler<'a> {
         for b in &kept {
             inner_ctx.vars.insert(b.var.clone(), b.elem.clone());
         }
-        let inner = Compiler::new(&inner_ctx, self.range_env, self.agg_counter);
 
         // Cacheable iff nothing inside references an outer-only variable.
         let kept_vars: HashSet<&str> = kept.iter().map(|b| b.var.as_str()).collect();
@@ -523,18 +522,64 @@ impl<'a> Compiler<'a> {
             }
         }
 
-        let source_plan = prepare_bindings(&kept, &inner_ctx, self.range_env, self.agg_counter)?;
+        // Statistics-gated dereference hoisting, mirroring the planner's
+        // rule: aggregate `over` plans are assembled here rather than by
+        // the planner, so the rewrite runs here too. Hidden variables
+        // must be in scope before the inner compiler is built.
+        let hoists = excess_algebra::join::agg_hoists(&kept, &inner_exprs, &inner_ctx);
+        for h in &hoists {
+            inner_ctx
+                .vars
+                .insert(h.binding.var.clone(), h.binding.elem.clone());
+        }
+        let renames: std::collections::HashMap<(String, String), String> = hoists
+            .iter()
+            .map(|h| ((h.var.clone(), h.attr.clone()), h.binding.var.clone()))
+            .collect();
+        let rw = |e: &Expr| {
+            let mut e = e.clone();
+            excess_algebra::join::rewrite_expr_paths(&mut e, &renames);
+            e
+        };
+        let inner = Compiler::new(&inner_ctx, self.range_env, self.agg_counter);
+
+        let mut source_plan =
+            prepare_bindings(&kept, &inner_ctx, self.range_env, self.agg_counter)?;
+        for h in &hoists {
+            let excess_sema::RootSource::Collection(obj) = &h.binding.root else {
+                continue;
+            };
+            let key = inner.compile(&Expr::Path(
+                Box::new(Expr::Var(h.var.clone())),
+                h.attr.clone(),
+            ))?;
+            source_plan = ExecNode::HashJoin {
+                input: Box::new(source_plan),
+                var: h.binding.var.clone(),
+                anchor: obj.oid,
+                key,
+                on: None,
+            };
+        }
         Ok(CExpr::Agg(Box::new(CAgg {
             id,
             func,
-            arg: agg.arg.as_ref().map(|a| inner.compile(a)).transpose()?,
+            arg: agg
+                .arg
+                .as_ref()
+                .map(|a| inner.compile(&rw(a)))
+                .transpose()?,
             source: AggSource::Ranges(source_plan),
             by: agg
                 .by
                 .iter()
-                .map(|b| inner.compile(b))
+                .map(|b| inner.compile(&rw(b)))
                 .collect::<ModelResult<_>>()?,
-            qual: agg.qual.as_ref().map(|q| inner.compile(q)).transpose()?,
+            qual: agg
+                .qual
+                .as_ref()
+                .map(|q| inner.compile(&rw(q)))
+                .transpose()?,
             cacheable: !outer_refs,
         })))
     }

@@ -91,6 +91,10 @@ pub enum Cursor<'p> {
     /// Emits pre-built batches (parallel workers replay morsel output
     /// through the rest of a pipeline with this as the substituted leaf).
     Queue(VecDeque<RowBatch>),
+    /// Hash join probing a build-once member table.
+    HashJoin(HashJoinCursor<'p>),
+    /// Index nested-loop join probing a secondary index per row.
+    IndexJoin(IndexJoinCursor<'p>),
     /// Parallel exchange over a pipeline (see the `parallel` module).
     Parallel(ParallelCursor<'p>),
 }
@@ -194,6 +198,37 @@ pub(crate) fn open_sub<'p>(
             out: None,
             slot,
         },
+        ExecNode::HashJoin {
+            input: child,
+            var,
+            anchor,
+            key,
+            on,
+        } => Cursor::HashJoin(HashJoinCursor {
+            input: Box::new(open_sub(child, leaf, input, index)),
+            var,
+            anchor: *anchor,
+            key,
+            on: *on,
+            table: None,
+            slot,
+        }),
+        ExecNode::IndexJoin {
+            input: child,
+            var,
+            anchor,
+            root,
+            key,
+            key_ty,
+        } => Cursor::IndexJoin(IndexJoinCursor {
+            input: Box::new(open_sub(child, leaf, input, index)),
+            var,
+            anchor: *anchor,
+            root: *root,
+            key,
+            key_ty,
+            slot,
+        }),
         ExecNode::Parallel { input: child, .. } => Cursor::Parallel(ParallelCursor {
             plan: child,
             input: Box::new(input),
@@ -213,6 +248,8 @@ impl Cursor<'_> {
             Cursor::Filter { slot, .. }
             | Cursor::Universal { slot, .. }
             | Cursor::Sort { slot, .. } => *slot,
+            Cursor::HashJoin(h) => h.slot,
+            Cursor::IndexJoin(i) => i.slot,
             Cursor::Parallel(p) => p.slot,
         }
     }
@@ -338,7 +375,283 @@ impl Cursor<'_> {
                     other => return Ok(other),
                 }
             },
+            Cursor::HashJoin(join) => join.next(ctx),
+            Cursor::IndexJoin(join) => join.next(ctx),
             Cursor::Parallel(par) => par.next(ctx),
+        }
+    }
+}
+
+/// The build side of a hash join.
+enum JoinTable {
+    /// Reference mode: member OID → dereferenced member tuple.
+    ByRef(std::collections::HashMap<exodus_storage::Oid, Value>),
+    /// Equi mode: normalized key bytes → matching members (original
+    /// member value plus identity, exactly as a scan would bind them).
+    ByKey(std::collections::HashMap<Vec<u8>, Vec<(Value, MemberId)>>),
+}
+
+/// Normalized hash key for equi-join matching: integral floats collapse
+/// to ints so `Int(2)` and `Float(2.0)` meet, mirroring `=` comparison
+/// semantics.
+fn join_key(v: &Value) -> Vec<u8> {
+    let norm = match v {
+        Value::Float(f)
+            if f.fract() == 0.0
+                && f.is_finite()
+                && (i64::MIN as f64..=i64::MAX as f64).contains(f) =>
+        {
+            Value::Int(*f as i64)
+        }
+        other => other.clone(),
+    };
+    extra_model::valueio::to_bytes(&norm)
+}
+
+/// Join-key values for every row of a batch. The dominant probe shape —
+/// `Attr(base, pos)` where the bases evaluate to references (e.g.
+/// `E.dept` over a reference-binding scan) — fetches all fields through
+/// the storage layer's batched read, pinning each object-directory and
+/// heap page once per batch instead of three pages per row. Non-Attr
+/// keys, non-reference bases, and rows the batched read declines
+/// (version chains, LOB payloads) evaluate row by row, reproducing the
+/// scalar path's exact semantics.
+fn eval_keys(key: &CExpr, ctx: &ExecCtx<'_>, batch: &RowBatch) -> ModelResult<Vec<Value>> {
+    if let CExpr::Attr(base, pos) = key {
+        let mut bases = Vec::with_capacity(batch.len());
+        for r in 0..batch.len() {
+            bases.push(eval(base, ctx, &batch.row(r))?);
+        }
+        if bases.iter().any(|v| matches!(v, Value::Ref(_))) {
+            let mut idxs = Vec::with_capacity(batch.len());
+            let mut oids = Vec::with_capacity(batch.len());
+            for (r, v) in bases.iter().enumerate() {
+                if let Value::Ref(o) = v {
+                    idxs.push(r);
+                    oids.push(*o);
+                }
+            }
+            let fetched = ctx.store.fields_of_batch_at(&oids, *pos, ctx.snapshot)?;
+            let mut out: Vec<Option<Value>> = vec![None; batch.len()];
+            for (k, field) in fetched.into_iter().enumerate() {
+                out[idxs[k]] = field;
+            }
+            return out
+                .into_iter()
+                .enumerate()
+                .map(|(r, v)| match v {
+                    Some(v) => Ok(v),
+                    None => eval(key, ctx, &batch.row(r)),
+                })
+                .collect();
+        }
+    }
+    (0..batch.len())
+        .map(|r| eval(key, ctx, &batch.row(r)))
+        .collect()
+}
+
+/// Hash join against a collection's members. The table is built lazily
+/// on the first input batch (one snapshot scan of the build collection),
+/// then probed once per input row.
+pub struct HashJoinCursor<'p> {
+    input: Box<Cursor<'p>>,
+    var: &'p str,
+    anchor: exodus_storage::Oid,
+    key: &'p CExpr,
+    /// Build attribute position for equi mode; `None` = reference mode.
+    on: Option<usize>,
+    table: Option<JoinTable>,
+    /// Metric slot when profiling.
+    slot: Option<u32>,
+}
+
+impl HashJoinCursor<'_> {
+    fn build(&self, ctx: &ExecCtx<'_>) -> ModelResult<JoinTable> {
+        let cap = ctx.batch_size.max(1);
+        let mut scan = ctx.store.scan_members_batch_at(self.anchor, ctx.snapshot)?;
+        match self.on {
+            None => {
+                let mut map = std::collections::HashMap::new();
+                loop {
+                    let chunk = scan.next_batch(cap)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    for (_, value) in chunk {
+                        if let Value::Ref(o) = &value {
+                            let o = *o;
+                            let tuple = crate::eval::deref(ctx, value)?;
+                            map.insert(o, tuple);
+                        }
+                    }
+                }
+                Ok(JoinTable::ByRef(map))
+            }
+            Some(pos) => {
+                let mut map: std::collections::HashMap<Vec<u8>, Vec<(Value, MemberId)>> =
+                    std::collections::HashMap::new();
+                loop {
+                    let chunk = scan.next_batch(cap)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    for (rid, value) in chunk {
+                        let tuple = crate::eval::deref(ctx, value.clone())?;
+                        let keyv = match &tuple {
+                            Value::Tuple(fields) => fields.get(pos).cloned().unwrap_or(Value::Null),
+                            _ => Value::Null,
+                        };
+                        // Null keys match nothing, as in the nested loop
+                        // this join replaces.
+                        if keyv.is_null() {
+                            continue;
+                        }
+                        let (value, id) = member_binding(self.anchor, rid, value);
+                        map.entry(join_key(&keyv)).or_default().push((value, id));
+                    }
+                }
+                Ok(JoinTable::ByKey(map))
+            }
+        }
+    }
+
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        loop {
+            let Some(batch) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            ctx.prof_in(self.slot, batch.len());
+            if self.table.is_none() {
+                self.table = Some(self.build(ctx)?);
+            }
+            let mut out = RowBatch::with_vars(RowBatch::extended_vars(&batch, self.var));
+            match self.table.as_ref().expect("just built") {
+                JoinTable::ByRef(map) => {
+                    // 1:1 with the input: every row is extended, with a
+                    // plain dereference as the probe-miss fallback (a
+                    // reference outside the build collection, an owned
+                    // tuple, or null).
+                    let keys = eval_keys(self.key, ctx, &batch)?;
+                    for (r, kv) in keys.into_iter().enumerate() {
+                        let (value, id) = match kv {
+                            Value::Ref(o) => match map.get(&o) {
+                                Some(t) => (t.clone(), MemberId::Object(o)),
+                                None => {
+                                    (crate::eval::deref(ctx, Value::Ref(o))?, MemberId::Object(o))
+                                }
+                            },
+                            other => (crate::eval::deref(ctx, other)?, MemberId::None),
+                        };
+                        out.push_extended(&batch, r, self.var, value, id);
+                    }
+                    return Ok(Some(out));
+                }
+                JoinTable::ByKey(map) => {
+                    let keys = eval_keys(self.key, ctx, &batch)?;
+                    for (r, kv) in keys.into_iter().enumerate() {
+                        if kv.is_null() {
+                            continue;
+                        }
+                        if let Some(matches) = map.get(&join_key(&kv)) {
+                            for (value, id) in matches {
+                                out.push_extended(&batch, r, self.var, value.clone(), id.clone());
+                            }
+                        }
+                    }
+                    if !out.is_empty() {
+                        return Ok(Some(out));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Index nested-loop join: equality-probes a secondary B+-tree per
+/// input row and emits one output row per visible match.
+pub struct IndexJoinCursor<'p> {
+    input: Box<Cursor<'p>>,
+    var: &'p str,
+    anchor: exodus_storage::Oid,
+    root: u64,
+    key: &'p CExpr,
+    key_ty: &'p extra_model::Type,
+    /// Metric slot when profiling.
+    slot: Option<u32>,
+}
+
+/// Coerce a probe value to the indexed attribute's declared type so its
+/// key encoding matches the index entries (mirrors the planner's
+/// constant coercion for index scans).
+fn coerce_key(v: &Value, ty: &extra_model::Type) -> Value {
+    use extra_model::Type;
+    match (v, ty) {
+        (Value::Int(i), Type::Base(b)) if b.is_float() => Value::Float(*i as f64),
+        (Value::Float(f), Type::Base(b)) if b.is_integer() && f.fract() == 0.0 => {
+            Value::Int(*f as i64)
+        }
+        _ => v.clone(),
+    }
+}
+
+impl IndexJoinCursor<'_> {
+    fn next(&mut self, ctx: &ExecCtx<'_>) -> ModelResult<Option<RowBatch>> {
+        let cap = ctx.batch_size.max(1);
+        let tree = BTree::open(self.root);
+        loop {
+            let Some(batch) = self.input.next(ctx)? else {
+                return Ok(None);
+            };
+            if batch.is_empty() {
+                continue;
+            }
+            ctx.prof_in(self.slot, batch.len());
+            let mut out = RowBatch::with_vars(RowBatch::extended_vars(&batch, self.var));
+            let keys = eval_keys(self.key, ctx, &batch)?;
+            for (r, kv) in keys.into_iter().enumerate() {
+                if kv.is_null() {
+                    continue;
+                }
+                let kv = coerce_key(&kv, self.key_ty);
+                let Some(kb) = kv.key_encode(ctx.adts) else {
+                    continue;
+                };
+                let pool = ctx.store.storage().pool().clone();
+                let mut scan = tree.scan(
+                    pool,
+                    std::ops::Bound::Included(kb.clone()),
+                    std::ops::Bound::Included(kb),
+                );
+                loop {
+                    let chunk = scan.next_batch(cap)?;
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    for (_, packed) in chunk {
+                        let rid = RecordId::unpack(packed);
+                        // Index entries may reference versions outside
+                        // this snapshot; the visibility check skips them.
+                        let Some(bytes) = exodus_storage::heap::read_record_visible(
+                            ctx.store.storage().pool(),
+                            rid,
+                            ctx.snapshot,
+                        )?
+                        else {
+                            continue;
+                        };
+                        let value = extra_model::valueio::from_bytes(&bytes)?;
+                        let (value, id) = member_binding(self.anchor, rid, value);
+                        out.push_extended(&batch, r, self.var, value, id);
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Ok(Some(out));
+            }
         }
     }
 }

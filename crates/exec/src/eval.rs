@@ -139,13 +139,21 @@ impl<'a> ExecCtx<'a> {
 pub fn deref(ctx: &ExecCtx<'_>, mut v: Value) -> ModelResult<Value> {
     while let Value::Ref(oid) = v {
         if let Some(hit) = ctx.deref_cache.borrow().get(&oid) {
+            if let Some(m) = ctx.metrics.as_ref() {
+                m.deref_hits.inc();
+            }
             v = hit.clone();
             continue;
         }
         v = ctx.store.value_of_at(oid, ctx.snapshot)?;
+        if let Some(m) = ctx.metrics.as_ref() {
+            m.deref_misses.inc();
+        }
         let mut cache = ctx.deref_cache.borrow_mut();
         if cache.len() < DEREF_CACHE_CAP {
             cache.insert(oid, v.clone());
+        } else if let Some(m) = ctx.metrics.as_ref() {
+            m.deref_full.inc();
         }
     }
     Ok(v)
@@ -209,13 +217,21 @@ pub fn eval(e: &CExpr, ctx: &ExecCtx<'_>, env: &dyn Bindings) -> ModelResult<Val
             // implicit joins such as `E.dept.budget`).
             let v = if let Value::Ref(oid) = v {
                 if let Some(hit) = ctx.attr_cache.borrow().get(&(oid, *pos)) {
+                    if let Some(m) = ctx.metrics.as_ref() {
+                        m.deref_hits.inc();
+                    }
                     return Ok(hit.clone());
                 }
                 if !ctx.deref_cache.borrow().contains_key(&oid) {
                     if let Some(field) = ctx.store.field_of_at(oid, *pos, ctx.snapshot)? {
+                        if let Some(m) = ctx.metrics.as_ref() {
+                            m.deref_misses.inc();
+                        }
                         let mut cache = ctx.attr_cache.borrow_mut();
                         if cache.len() < DEREF_CACHE_CAP {
                             cache.insert((oid, *pos), field.clone());
+                        } else if let Some(m) = ctx.metrics.as_ref() {
+                            m.deref_full.inc();
                         }
                         return Ok(field);
                     }

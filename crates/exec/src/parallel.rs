@@ -58,6 +58,11 @@ fn leftmost_scan(node: &ExecNode) -> Option<&ExecNode> {
         | ExecNode::Filter { input, .. }
         | ExecNode::Project { input, .. }
         | ExecNode::Parallel { input, .. } => leftmost_scan(input),
+        // Joins are row-local on their probe side: each worker lazily
+        // builds its own hash table / probes the shared index.
+        ExecNode::HashJoin { input, .. } | ExecNode::IndexJoin { input, .. } => {
+            leftmost_scan(input)
+        }
         ExecNode::NestedLoop { outer, .. } => leftmost_scan(outer),
         ExecNode::Unit | ExecNode::UniversalFilter { .. } | ExecNode::Sort { .. } => None,
     }

@@ -109,6 +109,39 @@ pub enum ExecNode {
         /// Ascending?
         asc: bool,
     },
+    /// Hash join against a collection's members: build a hash table
+    /// over the whole collection lazily on the first input batch, then
+    /// probe once per input row (see [`crate::cursor::HashJoinCursor`]).
+    HashJoin {
+        /// Probe input.
+        input: Box<ExecNode>,
+        /// Variable bound per probe row.
+        var: String,
+        /// Build-side collection anchor.
+        anchor: Oid,
+        /// Compiled probe key.
+        key: CExpr,
+        /// Build-side attribute position for an equi join; `None` keys
+        /// the table on member identity (reference/deref-hoist mode).
+        on: Option<usize>,
+    },
+    /// Index nested-loop join: per input row, equality-probe a
+    /// secondary index and emit one row per match.
+    IndexJoin {
+        /// Probe input.
+        input: Box<ExecNode>,
+        /// Variable bound per match.
+        var: String,
+        /// Matched collection anchor.
+        anchor: Oid,
+        /// Index root page.
+        root: u64,
+        /// Compiled probe key.
+        key: CExpr,
+        /// Declared type of the indexed attribute, for probe-value
+        /// coercion before key encoding (`Int` vs `Float`).
+        key_ty: extra_model::Type,
+    },
     /// Parallel exchange: run `input` across `dop` worker threads by
     /// partitioning its leftmost scan into morsels (see
     /// the `parallel` module), merging output batches in deterministic
@@ -163,6 +196,23 @@ fn collect_vars(plan: &Physical, vars: &mut HashMap<String, QualType>) {
             collect_vars(input, vars);
             vars.insert(binding.var.clone(), binding.elem.clone());
         }
+        Physical::HashJoin {
+            input, binding, on, ..
+        } => {
+            collect_vars(input, vars);
+            // Reference mode binds the *dereferenced* target tuple;
+            // equi mode binds the original member value. Either way the
+            // element type types downstream attribute accesses.
+            let elem = match on {
+                None => QualType::own(binding.elem.ty.clone()),
+                Some(_) => binding.elem.clone(),
+            };
+            vars.insert(binding.var.clone(), elem);
+        }
+        Physical::IndexJoin { input, binding, .. } => {
+            collect_vars(input, vars);
+            vars.insert(binding.var.clone(), binding.elem.clone());
+        }
         Physical::NestedLoop { outer, inner } => {
             collect_vars(outer, vars);
             collect_vars(inner, vars);
@@ -200,6 +250,7 @@ fn prepare_node(
             index,
             lower,
             upper,
+            ..
         } => ExecNode::IndexScan {
             var: binding.var.clone(),
             anchor: collection_oid(binding)?,
@@ -240,6 +291,34 @@ fn prepare_node(
             input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
             key: compiler.compile(key)?,
             asc: *asc,
+        },
+        Physical::HashJoin {
+            input,
+            binding,
+            key,
+            on,
+        } => ExecNode::HashJoin {
+            input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
+            var: binding.var.clone(),
+            anchor: collection_oid(binding)?,
+            key: compiler.compile(key)?,
+            on: on
+                .as_ref()
+                .map(|attr| ctx.attr_pos(&binding.elem, attr).map_err(sem))
+                .transpose()?,
+        },
+        Physical::IndexJoin {
+            input,
+            binding,
+            index,
+            key,
+        } => ExecNode::IndexJoin {
+            input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),
+            var: binding.var.clone(),
+            anchor: collection_oid(binding)?,
+            root: index.root,
+            key: compiler.compile(key)?,
+            key_ty: ctx.attr_type(&binding.elem, &index.attr).map_err(sem)?.ty,
         },
         Physical::Parallel { input, dop } => ExecNode::Parallel {
             input: Box::new(prepare_node(input, ctx, range_env, agg_counter)?),

@@ -99,6 +99,8 @@ impl PlanIndex {
             | ExecNode::UniversalFilter { input, .. }
             | ExecNode::Project { input, .. }
             | ExecNode::Sort { input, .. }
+            | ExecNode::HashJoin { input, .. }
+            | ExecNode::IndexJoin { input, .. }
             | ExecNode::Parallel { input, .. } => self.walk(input, depth + 1, annot, pos),
         }
     }
@@ -115,7 +117,9 @@ impl PlanIndex {
                     self.walk_expr(e, depth);
                 }
             }
-            ExecNode::Sort { key, .. } => self.walk_expr(key, depth),
+            ExecNode::Sort { key, .. }
+            | ExecNode::HashJoin { key, .. }
+            | ExecNode::IndexJoin { key, .. } => self.walk_expr(key, depth),
             _ => {}
         }
     }
@@ -196,6 +200,8 @@ fn fallback_label(node: &ExecNode) -> String {
         ExecNode::UniversalFilter { .. } => "UniversalFilter".into(),
         ExecNode::Project { .. } => "Project".into(),
         ExecNode::Sort { .. } => "Sort".into(),
+        ExecNode::HashJoin { var, .. } => format!("HashJoin {var}"),
+        ExecNode::IndexJoin { var, .. } => format!("IndexJoin {var}"),
         ExecNode::Parallel { dop, .. } => format!("Parallel dop={dop}"),
     }
 }

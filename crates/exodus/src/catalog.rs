@@ -4,7 +4,9 @@
 use std::collections::{HashMap, HashSet};
 
 use excess_lang::Privilege;
-use excess_sema::{CatalogLookup, FunctionDef, IndexInfo, NamedObject, ProcedureDef};
+use excess_sema::{
+    CatalogLookup, CollectionStats, FunctionDef, IndexInfo, NamedObject, ProcedureDef,
+};
 use extra_model::{AdtRegistry, ObjectStore, TypeRegistry};
 
 /// The built-in group every user belongs to (paper: "a special
@@ -129,8 +131,25 @@ pub struct Catalog {
     pub procedures: HashMap<String, ProcedureDef>,
     /// Secondary indexes.
     pub indexes: Vec<IndexInfo>,
+    /// Optimizer statistics recorded by `analyze <collection>`, keyed by
+    /// collection name (format and durability notes: DESIGN.md §14).
+    pub stats: HashMap<String, StatsEntry>,
+    /// Heap file holding serialized statistics payloads (created by the
+    /// first `analyze`).
+    pub stats_file: Option<exodus_storage::FileId>,
     /// Authorization state.
     pub auth: Auth,
+}
+
+/// One analyzed collection's statistics plus its durable location.
+#[derive(Debug, Clone)]
+pub struct StatsEntry {
+    /// The decoded statistics the planner consults.
+    pub stats: CollectionStats,
+    /// Heap record holding the serialized payload (written inside the
+    /// analyzing statement's logged transaction; updated in place on
+    /// re-analyze).
+    pub record: exodus_storage::RecordId,
 }
 
 impl Catalog {
@@ -143,6 +162,8 @@ impl Catalog {
             functions: Vec::new(),
             procedures: HashMap::new(),
             indexes: Vec::new(),
+            stats: HashMap::new(),
+            stats_file: None,
             auth: Auth::default(),
         }
     }
@@ -195,6 +216,19 @@ impl CatalogLookup for CatalogView<'_> {
             return None;
         }
         self.store.member_count(obj.oid).ok()
+    }
+
+    fn stats_for(&self, collection: &str) -> Option<CollectionStats> {
+        self.cat.stats.get(collection).map(|e| e.stats.clone())
+    }
+
+    fn collections(&self) -> Vec<NamedObject> {
+        self.cat
+            .named
+            .values()
+            .filter(|o| o.is_collection)
+            .cloned()
+            .collect()
     }
 }
 

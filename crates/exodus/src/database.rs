@@ -12,7 +12,10 @@ use excess_lang::ops::OpAssoc;
 use excess_lang::{parse_program, AttrDecl, InheritClause, OperatorTable, Param, Privilege, Stmt};
 use excess_sema::lower::lower_qual;
 use excess_sema::resolve::Resolver;
-use excess_sema::{FunctionDef, IndexInfo, NamedObject, ProcedureDef, RangeEnv, SemaCtx};
+use excess_sema::{
+    AttrStats, CollectionStats, FunctionDef, IndexInfo, NamedObject, ProcedureDef, RangeEnv,
+    SemaCtx, HISTOGRAM_BUCKETS,
+};
 use exodus_obs::{
     MetricsRegistry, MetricsSnapshot, RingTracer, SlowQuery, SlowQueryLog, Span, SpanGuard,
     TraceConfig,
@@ -887,6 +890,7 @@ fn verb_of(stmt: &Stmt) -> &'static str {
         Stmt::AddToGroup { .. } => "add user",
         Stmt::Explain { .. } => "explain",
         Stmt::Observe { .. } => "observe",
+        Stmt::Analyze { .. } => "analyze",
         Stmt::Begin => "begin",
         Stmt::Commit => "commit",
         Stmt::Abort => "abort",
@@ -979,6 +983,7 @@ pub(crate) fn exec_statement(
             explain_stmt(db, cat, ranges, user, stmt, params, depth, *analyze)
         }
         Stmt::Observe { stmt } => observe_stmt(db, cat, ranges, user, stmt, params, depth),
+        Stmt::Analyze { collection } => analyze_collection(db, cat, collection),
         Stmt::Grant {
             privileges,
             object,
@@ -1478,5 +1483,182 @@ fn define_index(
     });
     Ok(Response::Done(format!(
         "index {name} built on {collection}({attr})"
+    )))
+}
+
+/// Per-attribute accumulator for one `analyze` scan.
+struct StatAcc {
+    attr: String,
+    pos: usize,
+    /// Whether the attribute has a numeric key space (histogram-worthy).
+    numeric: bool,
+    nulls: u64,
+    values: Vec<f64>,
+    distinct: std::collections::HashSet<u64>,
+}
+
+/// A hash key identifying a scalar value for distinct counting.
+fn distinct_key(v: &Value) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    match v {
+        Value::Int(i) => (0u8, *i).hash(&mut h),
+        // Ints and floats share a key space so `1` and `1.0` coincide.
+        Value::Float(x) => {
+            if x.fract() == 0.0 && x.abs() < i64::MAX as f64 {
+                (0u8, *x as i64).hash(&mut h)
+            } else {
+                (1u8, x.to_bits()).hash(&mut h)
+            }
+        }
+        Value::Bool(b) => (2u8, *b).hash(&mut h),
+        Value::Str(s) => (3u8, s).hash(&mut h),
+        Value::Enum(ord, _) => (4u8, *ord).hash(&mut h),
+        Value::Adt(id, bytes) => (5u8, *id, bytes).hash(&mut h),
+        Value::Ref(oid) => (6u8, *oid).hash(&mut h),
+        // Structured values are not statted (their accumulators are never
+        // built); this arm only backstops schema evolution.
+        _ => 7u8.hash(&mut h),
+    }
+    h.finish()
+}
+
+/// `analyze <collection>`: scan the members once and record per-attribute
+/// optimizer statistics — row count, distinct-count estimate, equi-depth
+/// histogram, null fraction. The serialized payload is persisted through
+/// a heap record inside the statement's logged transaction, so a crash
+/// either keeps the whole analyze or none of it. Runs as an implicit
+/// write transaction (holding the writer gate), so the scan sees exactly
+/// the committed state it stamps statistics for.
+fn analyze_collection(db: &Database, cat: &mut Catalog, collection: &str) -> DbResult<Response> {
+    let obj = cat
+        .named
+        .get(collection)
+        .cloned()
+        .ok_or_else(|| DbError::Catalog(format!("no collection '{collection}'")))?;
+    if !obj.is_collection {
+        return Err(DbError::Catalog(format!("'{collection}' is not a set")));
+    }
+    let elem = db.store.collection_elem(obj.oid)?;
+    // Attributes with a scalar runtime shape get accumulators; owned
+    // structured attributes (nested tuples/sets/arrays) are skipped.
+    let attr_decls: Vec<(String, QualType)> = match &elem.ty {
+        Type::Schema(tid) => cat
+            .types
+            .get(*tid)
+            .attributes()
+            .map(|a| (a.name.clone(), a.qty.clone()))
+            .collect(),
+        Type::Tuple(attrs) => attrs
+            .iter()
+            .map(|a| (a.name.clone(), a.qty.clone()))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut accs: Vec<StatAcc> = attr_decls
+        .iter()
+        .enumerate()
+        .filter_map(|(pos, (name, qty))| {
+            let scalar =
+                qty.mode != Ownership::Own || matches!(qty.ty, Type::Base(_) | Type::Adt(_));
+            scalar.then(|| StatAcc {
+                attr: name.clone(),
+                pos,
+                numeric: matches!(&qty.ty, Type::Base(b) if b.is_integer() || b.is_float()),
+                nulls: 0,
+                values: Vec::new(),
+                distinct: std::collections::HashSet::new(),
+            })
+        })
+        .collect();
+    let mut scan = db.store.scan_members_batch(obj.oid)?;
+    let mut row_count = 0u64;
+    loop {
+        let batch = scan.next_batch(1024)?;
+        if batch.is_empty() {
+            break;
+        }
+        row_count += batch.len() as u64;
+        for (_, member) in &batch {
+            // Collections of `{own ref T}` hand back references; chase
+            // them to the tuple the statistics describe.
+            let mut member = member.clone();
+            while let Value::Ref(oid) = member {
+                member = db.store.value_of(oid)?;
+            }
+            let fields = match &member {
+                Value::Tuple(fs) => fs.as_slice(),
+                _ => &[],
+            };
+            for acc in &mut accs {
+                match fields.get(acc.pos) {
+                    None | Some(Value::Null) => acc.nulls += 1,
+                    Some(v) => {
+                        acc.distinct.insert(distinct_key(v));
+                        if acc.numeric {
+                            match v {
+                                Value::Int(i) => acc.values.push(*i as f64),
+                                Value::Float(x) => acc.values.push(*x),
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let attrs = accs
+        .into_iter()
+        .map(|mut acc| {
+            let n = acc.values.len();
+            let bounds = if acc.numeric && n > 0 {
+                acc.values
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                // Equi-depth boundaries: bounds[i] is the value at rank
+                // i·n/B, so each bucket holds an equal share of the rows.
+                (0..=HISTOGRAM_BUCKETS)
+                    .map(|i| acc.values[(i * (n - 1)) / HISTOGRAM_BUCKETS])
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            AttrStats {
+                attr: acc.attr,
+                distinct: acc.distinct.len() as u64,
+                null_frac: if row_count == 0 {
+                    0.0
+                } else {
+                    acc.nulls as f64 / row_count as f64
+                },
+                bounds,
+            }
+        })
+        .collect();
+    let stats = CollectionStats { row_count, attrs };
+
+    // Persist the payload inside this statement's logged transaction:
+    // the heap pages dirtied here are logged (and fsynced) by the
+    // enclosing commit, so recovery replays the analyze atomically.
+    let sm = db.store.storage();
+    let file = match cat.stats_file {
+        Some(f) => f,
+        None => {
+            let f = sm.create_file()?;
+            cat.stats_file = Some(f);
+            f
+        }
+    };
+    let bytes = stats.to_bytes();
+    let record = match cat.stats.get(collection) {
+        Some(entry) => sm.update(file, entry.record, &bytes)?,
+        None => sm.insert(file, &bytes)?,
+    };
+    let n_attrs = stats.attrs.len();
+    cat.stats.insert(
+        collection.to_string(),
+        crate::catalog::StatsEntry { stats, record },
+    );
+    Ok(Response::Done(format!(
+        "analyzed {collection}: {row_count} rows, {n_attrs} attributes"
     )))
 }

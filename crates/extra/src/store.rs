@@ -315,6 +315,43 @@ impl ObjectStore {
         Ok(self.get_at(oid, snap)?.2)
     }
 
+    /// Batched [`ObjectStore::field_of_at`]: decode field `pos` of many
+    /// objects at once, pinning each directory and heap page once per
+    /// batch instead of three pages per object — the probe path of hash
+    /// and index joins. `None` entries are the cases the single-object
+    /// call handles specially (unknown OID, head version invisible at
+    /// `snap`, LOB payload, non-tuple record, `pos` out of range);
+    /// callers fall back to the per-object path for those, reproducing
+    /// its exact semantics including version-chain walks and errors.
+    pub fn fields_of_batch_at(
+        &self,
+        oids: &[Oid],
+        pos: usize,
+        snap: u64,
+    ) -> ModelResult<Vec<Option<Value>>> {
+        let entries = self.table.get_many(self.pool(), oids)?;
+        let mut idxs = Vec::with_capacity(oids.len());
+        let mut rids = Vec::with_capacity(oids.len());
+        for (i, entry) in entries.iter().enumerate() {
+            if let Some(e) = entry {
+                idxs.push(i);
+                rids.push(e.rid);
+            }
+        }
+        let recs = heap::read_records_versioned(self.pool(), &rids);
+        let mut out = vec![None; oids.len()];
+        for (k, rec) in recs.into_iter().enumerate() {
+            let Some((begin, end, rec)) = rec else {
+                continue;
+            };
+            if !visible(begin, end, snap) || rec.len() < 9 || rec[8] != TAG_INLINE {
+                continue;
+            }
+            out[idxs[k]] = valueio::tuple_field_from_bytes(&rec[9..], pos)?;
+        }
+        Ok(out)
+    }
+
     /// Decode only field `pos` of a tuple-valued object, skipping the
     /// other fields (no allocation for them). Returns `None` when the
     /// stored value is not a tuple or `pos` is out of range; callers fall

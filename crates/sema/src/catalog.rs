@@ -66,6 +66,189 @@ pub struct IndexInfo {
     pub unique: bool,
 }
 
+/// Number of equi-depth histogram buckets `analyze` collects per
+/// attribute.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Per-attribute optimizer statistics collected by `analyze <collection>`.
+///
+/// Histograms are kept in a normalized `f64` key space (ints and floats
+/// cast; other types carry only distinct/null counts), which is all the
+/// cost model needs for comparison selectivities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrStats {
+    /// Attribute name.
+    pub attr: String,
+    /// Estimated number of distinct non-null values.
+    pub distinct: u64,
+    /// Fraction of members with a null value for this attribute.
+    pub null_frac: f64,
+    /// Equi-depth histogram boundaries: `bounds[0]` is the minimum and
+    /// `bounds[i]` the upper bound of bucket `i`, each bucket holding an
+    /// equal share of the non-null rows. Empty when the attribute's type
+    /// has no numeric key space (or the collection had no non-null rows).
+    pub bounds: Vec<f64>,
+}
+
+impl AttrStats {
+    /// Selectivity of `attr = <const>`: uniform share of one distinct
+    /// value among the non-null rows.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct == 0 {
+            return 0.0;
+        }
+        ((1.0 - self.null_frac) / self.distinct as f64).clamp(0.0, 1.0)
+    }
+
+    /// Fraction of non-null rows with value `<= v`, interpolated linearly
+    /// inside the containing equi-depth bucket. `None` when no histogram
+    /// was collected for this attribute.
+    pub fn fraction_le(&self, v: f64) -> Option<f64> {
+        let b = &self.bounds;
+        if b.len() < 2 {
+            return None;
+        }
+        if v < b[0] {
+            return Some(0.0);
+        }
+        let last = b.len() - 1;
+        if v >= b[last] {
+            return Some(1.0);
+        }
+        let buckets = last as f64;
+        for i in 0..last {
+            let (lo, hi) = (b[i], b[i + 1]);
+            if v < hi {
+                let within = if hi > lo { (v - lo) / (hi - lo) } else { 1.0 };
+                return Some((i as f64 + within) / buckets);
+            }
+        }
+        Some(1.0)
+    }
+
+    /// Selectivity of a comparison `attr <op> v` using the histogram,
+    /// scaled by the non-null fraction. `None` when no histogram exists.
+    pub fn cmp_selectivity(&self, op: StatOp, v: f64) -> Option<f64> {
+        let le = self.fraction_le(v)?;
+        let eq = self.eq_selectivity();
+        let notnull = 1.0 - self.null_frac;
+        let sel = match op {
+            StatOp::Eq => return Some(eq),
+            StatOp::Ne => notnull - eq,
+            StatOp::Le => le * notnull,
+            StatOp::Lt => (le * notnull - eq).max(0.0),
+            StatOp::Gt => (1.0 - le) * notnull,
+            StatOp::Ge => ((1.0 - le) * notnull + eq).min(notnull),
+        };
+        Some(sel.clamp(0.0, 1.0))
+    }
+}
+
+/// Comparison shape the cost model asks statistics about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Statistics for one analyzed collection.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CollectionStats {
+    /// Member count at analyze time.
+    pub row_count: u64,
+    /// Per-attribute statistics (tuple-valued members only).
+    pub attrs: Vec<AttrStats>,
+}
+
+impl CollectionStats {
+    /// Statistics for `attr`, if collected.
+    pub fn attr(&self, name: &str) -> Option<&AttrStats> {
+        self.attrs.iter().find(|a| a.attr == name)
+    }
+
+    /// Serialize to a self-describing byte payload (persisted through a
+    /// logged unit so recovery covers it). Format: `row_count:u64`,
+    /// `n_attrs:u32`, then per attribute `name_len:u32 name_bytes
+    /// distinct:u64 null_frac:f64 n_bounds:u32 bounds:f64*`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.row_count.to_le_bytes());
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for a in &self.attrs {
+            out.extend_from_slice(&(a.attr.len() as u32).to_le_bytes());
+            out.extend_from_slice(a.attr.as_bytes());
+            out.extend_from_slice(&a.distinct.to_le_bytes());
+            out.extend_from_slice(&a.null_frac.to_le_bytes());
+            out.extend_from_slice(&(a.bounds.len() as u32).to_le_bytes());
+            for b in &a.bounds {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`CollectionStats::to_bytes`].
+    /// Returns `None` on any framing violation (truncation, overlong
+    /// counts) rather than panicking — recovery feeds us raw bytes.
+    pub fn from_bytes(data: &[u8]) -> Option<CollectionStats> {
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+            let s = data.get(*pos..*pos + n)?;
+            *pos += n;
+            Some(s)
+        };
+        let u64_at = |pos: &mut usize| -> Option<u64> {
+            Some(u64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let u32_at = |pos: &mut usize| -> Option<u32> {
+            Some(u32::from_le_bytes(take(pos, 4)?.try_into().ok()?))
+        };
+        let f64_at = |pos: &mut usize| -> Option<f64> {
+            Some(f64::from_le_bytes(take(pos, 8)?.try_into().ok()?))
+        };
+        let row_count = u64_at(&mut pos)?;
+        let n_attrs = u32_at(&mut pos)? as usize;
+        if n_attrs > data.len() {
+            return None;
+        }
+        let mut attrs = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let name_len = u32_at(&mut pos)? as usize;
+            let attr = String::from_utf8(take(&mut pos, name_len)?.to_vec()).ok()?;
+            let distinct = u64_at(&mut pos)?;
+            let null_frac = f64_at(&mut pos)?;
+            let n_bounds = u32_at(&mut pos)? as usize;
+            if n_bounds > data.len() {
+                return None;
+            }
+            let mut bounds = Vec::with_capacity(n_bounds);
+            for _ in 0..n_bounds {
+                bounds.push(f64_at(&mut pos)?);
+            }
+            attrs.push(AttrStats {
+                attr,
+                distinct,
+                null_frac,
+                bounds,
+            });
+        }
+        if pos != data.len() {
+            return None;
+        }
+        Some(CollectionStats { row_count, attrs })
+    }
+}
+
 /// Name-resolution services provided by the database catalog.
 pub trait CatalogLookup {
     /// Look up a named persistent object.
@@ -82,6 +265,20 @@ pub trait CatalogLookup {
 
     /// Member count of a named collection (optimizer statistics).
     fn collection_size(&self, name: &str) -> Option<u64>;
+
+    /// Statistics recorded by `analyze <collection>`, when present.
+    /// The default (no statistics) keeps the cost model on its fixed
+    /// selectivity constants.
+    fn stats_for(&self, _collection: &str) -> Option<CollectionStats> {
+        None
+    }
+
+    /// Every named collection, for planner rules that must discover the
+    /// target collection of a reference-valued attribute. The default
+    /// (none) disables such rewrites.
+    fn collections(&self) -> Vec<NamedObject> {
+        Vec::new()
+    }
 }
 
 /// An empty catalog, for tests that only need range variables.

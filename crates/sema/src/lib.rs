@@ -30,7 +30,10 @@ pub mod infer;
 pub mod lower;
 pub mod resolve;
 
-pub use catalog::{CatalogLookup, FunctionDef, IndexInfo, NamedObject, ProcedureDef};
+pub use catalog::{
+    AttrStats, CatalogLookup, CollectionStats, FunctionDef, IndexInfo, NamedObject, ProcedureDef,
+    StatOp, HISTOGRAM_BUCKETS,
+};
 pub use error::{SemaError, SemaResult};
 pub use infer::SemaCtx;
 pub use resolve::{CheckedRetrieve, RangeEnv, ResolvedRange, RootSource};

@@ -398,6 +398,43 @@ pub fn read_record_versioned(
     })
 }
 
+/// Read many records with their version stamps, pinning each distinct
+/// page once (records are grouped by page internally; input order is
+/// preserved in the output). Per-record failures — a stale id naming a
+/// freed slot or an unreadable page — yield `None` for that entry
+/// instead of failing the batch, mirroring the tolerant per-record
+/// probing of version-chain walks.
+pub fn read_records_versioned(
+    pool: &Arc<BufferPool>,
+    rids: &[RecordId],
+) -> Vec<Option<(u64, u64, Vec<u8>)>> {
+    let mut order: Vec<usize> = (0..rids.len()).collect();
+    order.sort_unstable_by_key(|&i| (rids[i].page, rids[i].slot));
+    let mut out: Vec<Option<(u64, u64, Vec<u8>)>> = vec![None; rids.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let page_no = rids[order[i]].page;
+        let mut j = i;
+        while j < order.len() && rids[order[j]].page == page_no {
+            j += 1;
+        }
+        if let Ok(page) = pool.pin(page_no) {
+            page.with_read(|buf| {
+                let view = PageView::new(buf);
+                for &idx in &order[i..j] {
+                    if let Ok((b, e, d)) =
+                        view.read(page_no, rids[idx].slot).and_then(split_version)
+                    {
+                        out[idx] = Some((b, e, d.to_vec()));
+                    }
+                }
+            });
+        }
+        i = j;
+    }
+    out
+}
+
 /// Read one record only if its version is visible to snapshot `snap`;
 /// `Ok(None)` when the version exists but is invisible (uncommitted, or
 /// deleted at or before the snapshot).

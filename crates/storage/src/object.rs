@@ -243,6 +243,49 @@ impl ObjectTable {
         })
     }
 
+    /// Look up many OIDs, pinning each directory page once per run of
+    /// entries it covers instead of once per OID (sequentially
+    /// allocated OIDs — the common probe pattern — share directory
+    /// pages). Unknown, dead, and null OIDs yield `None`.
+    pub fn get_many(
+        &self,
+        pool: &Arc<BufferPool>,
+        oids: &[Oid],
+    ) -> StorageResult<Vec<Option<ObjectEntry>>> {
+        let mut order: Vec<usize> = (0..oids.len()).collect();
+        order.sort_unstable_by_key(|&i| oids[i].0);
+        let mut out: Vec<Option<ObjectEntry>> = vec![None; oids.len()];
+        let mut i = 0;
+        while i < order.len() {
+            if oids[order[i]].is_null() {
+                i += 1;
+                continue;
+            }
+            let dir_no = oids[order[i]].0 / ENTRIES_PER_PAGE;
+            let mut j = i;
+            while j < order.len() && oids[order[j]].0 / ENTRIES_PER_PAGE == dir_no {
+                j += 1;
+            }
+            if let Some(dir_page_no) = self.dir_page(pool, dir_no, false)? {
+                let dir = pool.pin(dir_page_no)?;
+                dir.with_read(|buf| {
+                    let body = PageView::new(buf).body();
+                    for &idx in &order[i..j] {
+                        let k = (oids[idx].0 % ENTRIES_PER_PAGE) as usize;
+                        if body_get_u32(body, k * ENTRY_SIZE + 12) & FLAG_LIVE != 0 {
+                            out[idx] = Some(ObjectEntry {
+                                rid: RecordId::unpack(body_get_u64(body, k * ENTRY_SIZE)),
+                                type_id: body_get_u32(body, k * ENTRY_SIZE + 8),
+                            });
+                        }
+                    }
+                });
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
     /// Whether an OID names a live object.
     pub fn exists(&self, pool: &Arc<BufferPool>, oid: Oid) -> StorageResult<bool> {
         match self.get(pool, oid) {

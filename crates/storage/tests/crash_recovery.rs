@@ -30,8 +30,20 @@ use exodus_storage::{Durability, FileId, StorageManager, StorageResult};
 const HEAP_PAGE: u64 = 1;
 const BTREE_ROOT: u64 = 2;
 const LOB_FIRST: u64 = 3;
+/// Dedicated statistics heap, mirroring the catalog's `analyze` payload
+/// file: opaque serialized records, inserted once and updated in place
+/// (with a size change, forcing relocation) on re-analyze.
+const STATS_PAGE: u64 = 4;
 
 const N_UNITS: usize = 6;
+
+/// An analyze-style statistics payload: version-tagged and larger in v2,
+/// so the in-place update must relocate the record.
+fn stats_payload(version: u8) -> Vec<u8> {
+    let mut p = format!("stats:Departments:v{version}:").into_bytes();
+    p.extend((0..16 * version as usize).flat_map(|i| (i as u64).to_le_bytes()));
+    p
+}
 
 fn temp_dir(tag: &str) -> PathBuf {
     let d = std::env::temp_dir().join(format!("exodus-crash-{tag}-{}", std::process::id()));
@@ -56,6 +68,7 @@ fn apply_unit(pool: &Arc<BufferPool>, i: usize) -> StorageResult<()> {
     let heap = HeapFile::open(FileId(HEAP_PAGE));
     let tree = BTree::open(BTREE_ROOT);
     let lob = Lob::open(LobId(LOB_FIRST));
+    let stats = HeapFile::open(FileId(STATS_PAGE));
     if i == 0 {
         let f = HeapFile::create(pool)?;
         assert_eq!(f, FileId(HEAP_PAGE), "allocation order changed");
@@ -63,9 +76,26 @@ fn apply_unit(pool: &Arc<BufferPool>, i: usize) -> StorageResult<()> {
         assert_eq!(t.root(), BTREE_ROOT, "allocation order changed");
         let l = Lob::create(pool)?;
         assert_eq!(l.id(), LobId(LOB_FIRST), "allocation order changed");
+        let s = HeapFile::create(pool)?;
+        assert_eq!(s, FileId(STATS_PAGE), "allocation order changed");
     }
     heap.insert(pool, format!("unit-{i}").as_bytes())?;
     tree.insert(pool, &ikey(i as i64), i as u64, true)?;
+    if i == 1 {
+        // First `analyze`: the serialized statistics record lands in the
+        // dedicated file inside this unit.
+        stats.insert(pool, &stats_payload(1))?;
+    }
+    if i == 4 {
+        // Re-analyze: the payload is rewritten in place; v2 is larger,
+        // so the update relocates the record within the logged unit.
+        let (rid, _) = stats
+            .scan(pool.clone())
+            .map(|r| r.unwrap())
+            .next()
+            .expect("unit 1 committed before unit 4 runs");
+        stats.update(pool, rid, &stats_payload(2))?;
+    }
     if i == 3 {
         // A unit that also updates and deletes: the rid of unit 2's
         // record is found by scan, its content rewritten in place.
@@ -87,6 +117,7 @@ struct Model {
     recs: Vec<Vec<u8>>,
     tree: Vec<(Vec<u8>, u64)>,
     lob: Vec<u8>,
+    stats: Vec<Vec<u8>>,
 }
 
 impl Model {
@@ -95,6 +126,7 @@ impl Model {
             recs: Vec::new(),
             tree: Vec::new(),
             lob: Vec::new(),
+            stats: Vec::new(),
         }
     }
 
@@ -103,6 +135,12 @@ impl Model {
         for i in 0..m {
             model.recs.push(format!("unit-{i}").into_bytes());
             model.tree.push((ikey(i as i64), i as u64));
+            if i == 1 {
+                model.stats.push(stats_payload(1));
+            }
+            if i == 4 {
+                model.stats = vec![stats_payload(2)];
+            }
             if i == 3 {
                 let pos = model.recs.iter().position(|r| r == b"unit-2").unwrap();
                 model.recs[pos] = b"unit-2-updated".to_vec();
@@ -144,7 +182,17 @@ fn snapshot(sm: &StorageManager) -> Model {
     let lob = Lob::open(LobId(LOB_FIRST))
         .read_all(pool)
         .expect("lob read after recovery");
-    Model { recs, tree, lob }
+    let mut stats: Vec<Vec<u8>> = HeapFile::open(FileId(STATS_PAGE))
+        .scan(pool.clone())
+        .map(|r| r.expect("stats scan after recovery").1)
+        .collect();
+    stats.sort();
+    Model {
+        recs,
+        tree,
+        lob,
+        stats,
+    }
 }
 
 /// Run the workload, one logged unit per `apply_unit`, stopping at the
