@@ -86,6 +86,36 @@ impl RowBatch {
         batch
     }
 
+    /// A batch materialized from row-major result rows (result
+    /// chunking, wire decoding). Update identities are
+    /// [`MemberId::None`]: these batches carry output values, not
+    /// addressable collection members.
+    pub fn from_rows(vars: Vec<String>, rows: &[Vec<Value>]) -> RowBatch {
+        let mut batch = RowBatch::with_vars(vars);
+        for row in rows {
+            debug_assert_eq!(row.len(), batch.vars.len());
+            for (c, v) in row.iter().enumerate() {
+                batch.cols[c].push(v.clone());
+                batch.ids[c].push(MemberId::None);
+            }
+            batch.rows += 1;
+        }
+        batch
+    }
+
+    /// Consume the batch into row-major rows, columns in `vars` order.
+    pub fn into_rows(mut self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = (0..self.rows)
+            .map(|_| Vec::with_capacity(self.cols.len()))
+            .collect();
+        for col in self.cols.drain(..) {
+            for (r, v) in col.into_iter().enumerate() {
+                rows[r].push(v);
+            }
+        }
+        rows
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         self.rows

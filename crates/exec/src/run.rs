@@ -43,12 +43,26 @@ impl QueryResult {
     }
 
     /// Iterate over rows as [`Row`] views supporting typed access by
-    /// column name.
+    /// column name. A thin adapter over the same rows
+    /// [`QueryResult::batches`] streams — use `batches` when the
+    /// consumer wants batch granularity (wire encoders, bulk sinks).
     pub fn iter(&self) -> impl Iterator<Item = Row<'_>> {
         self.rows.iter().map(move |values| Row {
             columns: &self.columns,
             values,
         })
+    }
+
+    /// Stream the result as [`RowBatch`]es of at most `n` rows each.
+    /// Each batch is materialized only when the consumer pulls it, so
+    /// an encoder (the server's result framer, the REPL's printer) holds
+    /// one batch at a time instead of a second copy of the whole result.
+    /// The column layout of every batch is [`QueryResult::columns`].
+    pub fn batches(&self, n: usize) -> impl Iterator<Item = RowBatch> + '_ {
+        let n = n.max(1);
+        self.rows
+            .chunks(n)
+            .map(move |chunk| RowBatch::from_rows(self.columns.clone(), chunk))
     }
 
     /// Render as lines of `col = value` pairs (ADT values use their

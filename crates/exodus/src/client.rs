@@ -1,0 +1,78 @@
+//! The unified statement-execution surface: [`Client`].
+//!
+//! A [`Client`] is anything that can execute EXCESS statements and
+//! hand back structured responses — the in-process [`Session`], and
+//! the wire-protocol `RemoteSession` in the `exodus-server` crate. The
+//! trait pins the surface both expose, and the shared conformance
+//! suite (`tests/client_conformance.rs` at the workspace root) runs
+//! the same scenarios against both implementations so local and remote
+//! behavior cannot drift.
+
+use excess_exec::QueryResult;
+
+use crate::database::{Explanation, Observation, Response, Session};
+use crate::error::{DbError, DbResult};
+
+/// A statement-execution endpoint: the surface shared by the
+/// in-process [`Session`] and the remote wire-protocol client.
+///
+/// Semantics every implementation must honor (the conformance suite
+/// enforces them):
+///
+/// * `run` executes statements in order and stops at the first error;
+///   earlier statements stay applied (each is its own autocommit
+///   transaction unless an explicit transaction is open).
+/// * `query` is `run` + "the last statement must be a retrieve".
+/// * `explain` plans without executing; `explain_analyze` executes
+///   exactly once.
+/// * Errors carry stable codes: [`DbError::code`] and
+///   [`DbError::is_retryable`] agree across implementations.
+pub trait Client {
+    /// Run one or more statements, returning one [`Response`] each.
+    fn run(&mut self, src: &str) -> DbResult<Vec<Response>>;
+
+    /// Run statements and return the last one's rows (it must be a
+    /// retrieve).
+    fn query(&mut self, src: &str) -> DbResult<QueryResult> {
+        let responses = self.run(src)?;
+        match responses.into_iter().next_back() {
+            Some(Response::Rows(r)) => Ok(r),
+            _ => Err(DbError::Catalog(
+                "the last statement was not a retrieve".into(),
+            )),
+        }
+    }
+
+    /// Explain a statement's physical plan without executing it.
+    fn explain(&mut self, src: &str) -> DbResult<Explanation>;
+
+    /// Execute a statement — exactly once — with per-operator
+    /// profiling and return the annotated plan.
+    fn explain_analyze(&mut self, src: &str) -> DbResult<Explanation>;
+
+    /// Execute a statement — exactly once — and report the metric
+    /// activity it caused (`observe <stmt>`).
+    fn observe(&mut self, src: &str) -> DbResult<Observation>;
+}
+
+impl Client for Session {
+    fn run(&mut self, src: &str) -> DbResult<Vec<Response>> {
+        Session::run(self, src)
+    }
+
+    fn query(&mut self, src: &str) -> DbResult<QueryResult> {
+        Session::query(self, src)
+    }
+
+    fn explain(&mut self, src: &str) -> DbResult<Explanation> {
+        Session::explain(self, src)
+    }
+
+    fn explain_analyze(&mut self, src: &str) -> DbResult<Explanation> {
+        Session::explain_analyze(self, src)
+    }
+
+    fn observe(&mut self, src: &str) -> DbResult<Observation> {
+        Session::observe(self, src)
+    }
+}

@@ -485,6 +485,24 @@ impl Database {
         self.profiling.load(std::sync::atomic::Ordering::Relaxed)
     }
 
+    /// The registry every layer registers its instruments into, for
+    /// components that add their own metric families on top of the
+    /// engine's (the wire-protocol server registers its `server_*`
+    /// families here so one `/metrics` exposition covers the whole
+    /// process). `None` when built with [`DatabaseBuilder::metrics`]
+    /// off.
+    pub fn metrics_registry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.as_ref().map(|m| m.registry.clone())
+    }
+
+    /// Open a tracing span on the database's tracer, if tracing is on
+    /// (for components layered above the session, e.g. the server's
+    /// connection handling). Bind the guard with a name
+    /// (`let _span = ...`) — `_` drops it immediately.
+    pub fn start_span(&self, name: &'static str, detail: impl Into<String>) -> Option<SpanGuard> {
+        self.span(name, detail)
+    }
+
     /// A point-in-time view of every registered metric — WAL, buffer
     /// pool, recovery, executor and statement instruments — in
     /// deterministic (name-sorted) order. `None` when the database was
@@ -548,6 +566,7 @@ impl Database {
             user: user.to_string(),
             ranges: RangeEnv::default(),
             txn: None,
+            lock_timeout: None,
         }
     }
 
@@ -584,6 +603,13 @@ pub struct Session {
     /// one at a time; everything the session executes while it is open
     /// runs at the transaction's own timestamp.
     txn: Option<exodus_storage::WriteTxn>,
+    /// How long a write statement may wait on the storage writer gate
+    /// before failing with the retryable [`DbError::Busy`]. `None`
+    /// (the default) blocks indefinitely, preserving the historical
+    /// in-process behavior; the server sets a bound so one remote
+    /// client holding a transaction cannot wedge a service thread
+    /// forever.
+    lock_timeout: Option<std::time::Duration>,
 }
 
 impl Drop for Session {
@@ -599,6 +625,32 @@ impl Drop for Session {
 }
 
 impl Session {
+    /// Bound how long write statements may wait on the storage writer
+    /// gate before failing with the retryable [`DbError::Busy`]
+    /// (code 2001). `None` restores the default: block indefinitely.
+    pub fn set_lock_timeout(&mut self, limit: Option<std::time::Duration>) {
+        self.lock_timeout = limit;
+    }
+
+    /// Acquire the writer gate, honoring the session's lock timeout.
+    fn acquire_write_txn(&self, db: &Arc<Database>) -> DbResult<exodus_storage::WriteTxn> {
+        let Some(limit) = self.lock_timeout else {
+            return Ok(db.store.storage().begin_txn()?);
+        };
+        let deadline = std::time::Instant::now() + limit;
+        loop {
+            if let Some(txn) = db.store.storage().try_begin_txn()? {
+                return Ok(txn);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(DbError::Busy(format!(
+                    "writer gate still held after {limit:?}; retry after backoff"
+                )));
+            }
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+    }
+
     /// Run one or more statements.
     pub fn run(&mut self, src: &str) -> DbResult<Vec<Response>> {
         let stmts = {
@@ -637,6 +689,30 @@ impl Session {
     /// statements are applied — exactly once.
     pub fn explain_analyze(&mut self, src: &str) -> DbResult<Explanation> {
         self.explain_inner(src, true)
+    }
+
+    /// Execute a statement — exactly once — and report the metric
+    /// activity it caused (`observe <stmt>`). The source may also
+    /// carry an explicit `observe` prefix, which is not doubled.
+    pub fn observe(&mut self, src: &str) -> DbResult<Observation> {
+        let stmts = {
+            let ops = self.db.ops.read();
+            parse_program(src, &ops)?
+        };
+        let stmt = stmts
+            .into_iter()
+            .next_back()
+            .ok_or_else(|| DbError::Catalog("nothing to observe".into()))?;
+        let stmt = match stmt {
+            s @ Stmt::Observe { .. } => s,
+            other => Stmt::Observe {
+                stmt: Box::new(other),
+            },
+        };
+        match self.execute(&stmt)? {
+            Response::Observed(o) => Ok(o),
+            _ => Err(DbError::Catalog("statement produced no observation".into())),
+        }
     }
 
     fn explain_inner(&mut self, src: &str, analyze: bool) -> DbResult<Explanation> {
@@ -788,7 +864,7 @@ impl Session {
         // statement itself failed — partial page effects of a failed
         // statement were already applied and logged, exactly as the old
         // per-statement unit behaved — so error semantics are unchanged.
-        let txn = db.store.storage().begin_txn()?;
+        let txn = self.acquire_write_txn(db)?;
         let mut cat = db.catalog.write();
         let response = exec_statement(
             db,
@@ -814,7 +890,7 @@ impl Session {
             ));
         }
         let _span = db.span("txn", "begin");
-        let txn = db.store.storage().begin_txn()?;
+        let txn = self.acquire_write_txn(db)?;
         self.txn = Some(txn);
         Ok(Response::Done("transaction started".into()))
     }

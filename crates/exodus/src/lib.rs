@@ -38,14 +38,16 @@
 
 #![deny(rustdoc::broken_intra_doc_links)]
 pub mod catalog;
+pub mod client;
 pub mod database;
 pub mod dml;
 pub mod error;
 mod observe;
 
 pub use catalog::{Auth, Catalog, CatalogView};
+pub use client::Client;
 pub use database::{Database, DatabaseBuilder, Explanation, Observation, Response, Session};
-pub use error::{DbError, DbResult};
+pub use error::{DbError, DbResult, CODE_TABLE};
 
 // Re-exports so downstream users need only this crate.
 pub use excess_exec as exec;

@@ -1,0 +1,140 @@
+//! The `exodus-server` binary: serve an EXTRA/EXCESS database over
+//! EXOD/1, with `/metrics` on the same port.
+//!
+//! ```text
+//! exodus-server [--addr HOST:PORT] [--path DIR | --in-memory]
+//!               [--durability none|buffered|fsync]
+//!               [--max-connections N] [--queue-depth N]
+//!               [--shed-p99-ms MS] [--lock-timeout-ms MS]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use exodus_db::{Database, Durability};
+use exodus_server::{AdmissionConfig, Server, TcpTransport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exodus-server [--addr HOST:PORT] [--path DIR | --in-memory]\n\
+         \x20                    [--durability none|buffered|fsync]\n\
+         \x20                    [--max-connections N] [--queue-depth N]\n\
+         \x20                    [--shed-p99-ms MS] [--lock-timeout-ms MS]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7044".to_string();
+    let mut path: Option<String> = None;
+    let mut durability = Durability::Fsync;
+    let mut config = AdmissionConfig::default();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--path" => path = Some(value("--path")),
+            "--in-memory" => path = None,
+            "--durability" => {
+                durability = match value("--durability").as_str() {
+                    "none" => Durability::None,
+                    "buffered" => Durability::Buffered,
+                    "fsync" => Durability::Fsync,
+                    other => {
+                        eprintln!("unknown durability level {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--max-connections" => {
+                config.max_connections = parse(&value("--max-connections"), "--max-connections")
+            }
+            "--queue-depth" => config.queue_depth = parse(&value("--queue-depth"), "--queue-depth"),
+            "--shed-p99-ms" => {
+                let ms: u64 = parse(&value("--shed-p99-ms"), "--shed-p99-ms");
+                config.shed_p99_ns = Some(ms * 1_000_000);
+            }
+            "--lock-timeout-ms" => {
+                let ms: u64 = parse(&value("--lock-timeout-ms"), "--lock-timeout-ms");
+                config.lock_timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+
+    let db = match &path {
+        Some(dir) => match Database::builder().path(dir).durability(durability).build() {
+            Ok(db) => db,
+            Err(e) => {
+                eprintln!("exodus-server: opening {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Database::in_memory(),
+    };
+    if let Some(report) = db.recovery() {
+        eprintln!("exodus-server: recovery: {report:?}");
+    }
+
+    let transport = match TcpTransport::bind(&addr) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("exodus-server: binding {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut server = match Server::spawn(db, transport, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("exodus-server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "exodus-server: serving EXOD/1 and /metrics on {} ({})",
+        server.addr(),
+        match &path {
+            Some(dir) => format!("database at {dir}"),
+            None => "in-memory database".to_string(),
+        }
+    );
+
+    // Park until SIGINT/SIGTERM-ish: without signal-handling crates we
+    // watch for stdin EOF (works under CI harnesses and `kill` both,
+    // since the process dies on the signal anyway).
+    let stop = Arc::new(AtomicBool::new(false));
+    let waiter = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        while std::io::stdin().read_line(&mut sink).is_ok_and(|n| n > 0) {
+            sink.clear();
+        }
+        waiter.store(true, Ordering::Release);
+    });
+    while !stop.load(Ordering::Acquire) {
+        std::thread::sleep(Duration::from_millis(200));
+    }
+    eprintln!("exodus-server: stdin closed; shutting down");
+    server.shutdown();
+    ExitCode::SUCCESS
+}
+
+fn parse<T: std::str::FromStr>(text: &str, flag: &str) -> T {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag}: cannot parse {text:?}");
+        usage()
+    })
+}

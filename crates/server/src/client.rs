@@ -1,0 +1,259 @@
+//! [`RemoteSession`]: the wire-protocol counterpart of the in-process
+//! `Session`, implementing the same [`Client`] trait.
+//!
+//! Besides the one-request-one-response surface of [`Client`], the
+//! remote session supports **pipelining**: [`RemoteSession::send`]
+//! queues a request without waiting, and [`RemoteSession::drain`]
+//! collects the outstanding results in order. Statement errors come
+//! back as [`DbError::Remote`] carrying the server's stable code, so
+//! [`DbError::is_retryable`] gives the same answer it would in
+//! process; transport failures surface as [`DbError::Net`].
+
+use std::io::{BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use exodus_db::{Client, DbError, DbResult, Explanation, Observation, QueryResult, Response};
+
+use crate::protocol::{frame_to_response, read_frame, write_frame, Frame, PREAMBLE, VERSION};
+
+/// A connection to an `exodus-server`, usable wherever a local
+/// `Session` is (both implement [`Client`]).
+pub struct RemoteSession {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Requests sent but not yet drained.
+    pending: usize,
+    /// Server-assigned id, from the handshake (diagnostics only).
+    session_id: u64,
+}
+
+impl std::fmt::Debug for RemoteSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteSession")
+            .field("session_id", &self.session_id)
+            .field("pending", &self.pending)
+            .finish()
+    }
+}
+
+impl RemoteSession {
+    /// Connect to `addr` and open a session as `user`.
+    ///
+    /// Fails with a retryable [`DbError::Remote`] (code 2002) when the
+    /// server sheds the connection at its admission limit.
+    pub fn connect(addr: impl ToSocketAddrs, user: &str) -> DbResult<RemoteSession> {
+        let stream = TcpStream::connect(addr).map_err(|e| DbError::Net(format!("connect: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| DbError::Net(format!("connect: {e}")))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| DbError::Net(format!("connect: {e}")))?,
+        );
+        let mut writer = BufWriter::new(stream);
+        writer
+            .write_all(&PREAMBLE)
+            .map_err(|e| DbError::Net(format!("handshake: {e}")))?;
+        write_frame(
+            &mut writer,
+            &Frame::Hello {
+                version: VERSION,
+                user: user.to_string(),
+            },
+        )?;
+        writer
+            .flush()
+            .map_err(|e| DbError::Net(format!("handshake: {e}")))?;
+        let mut session = RemoteSession {
+            reader,
+            writer,
+            pending: 0,
+            session_id: 0,
+        };
+        // Bound the handshake so a wedged server yields an error, not
+        // a hang; steady-state reads may legitimately block for as
+        // long as a statement runs.
+        let _ = session
+            .reader
+            .get_ref()
+            .set_read_timeout(Some(std::time::Duration::from_secs(30)));
+        let greeting = session.read_frame_required();
+        let _ = session.reader.get_ref().set_read_timeout(None);
+        match greeting? {
+            Frame::Welcome { session_id, .. } => {
+                session.session_id = session_id;
+                Ok(session)
+            }
+            Frame::Error { code, message } => Err(DbError::Remote { code, message }),
+            other => Err(DbError::Net(format!(
+                "expected Welcome, server sent {other:?}"
+            ))),
+        }
+    }
+
+    /// The server-assigned session id.
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// Queue a `run` request without waiting for its result
+    /// (pipelining). Collect results — in order — with
+    /// [`RemoteSession::drain`].
+    pub fn send(&mut self, src: &str) -> DbResult<()> {
+        write_frame(
+            &mut self.writer,
+            &Frame::Run {
+                src: src.to_string(),
+            },
+        )?;
+        self.writer
+            .flush()
+            .map_err(|e| DbError::Net(format!("send: {e}")))?;
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Collect the results of every [`RemoteSession::send`] since the
+    /// last drain, in request order. Statement failures land in their
+    /// slot; a transport failure ends the drain early.
+    pub fn drain(&mut self) -> DbResult<Vec<DbResult<Vec<Response>>>> {
+        let mut results = Vec::with_capacity(self.pending);
+        while self.pending > 0 {
+            results.push(self.read_group());
+            self.pending -= 1;
+        }
+        Ok(results)
+    }
+
+    fn read_frame_required(&mut self) -> DbResult<Frame> {
+        read_frame(&mut self.reader)?
+            .ok_or_else(|| DbError::Net("server closed the connection".into()))
+    }
+
+    /// Read one request's responses: frames up to the `Complete`
+    /// terminator, with streamed result sets reassembled.
+    fn read_group(&mut self) -> DbResult<Vec<Response>> {
+        let mut responses = Vec::new();
+        let mut failure: Option<DbError> = None;
+        loop {
+            match self.read_frame_required()? {
+                Frame::Complete => break,
+                Frame::Error { code, message } => {
+                    failure.get_or_insert(DbError::Remote { code, message });
+                }
+                Frame::RowsHeader { columns } => {
+                    let rows = self.read_streamed_rows()?;
+                    responses.push(Response::Rows(QueryResult {
+                        columns,
+                        rows,
+                        profile: None,
+                    }));
+                }
+                frame @ (Frame::Done { .. }
+                | Frame::Explanation { .. }
+                | Frame::Observation { .. }) => responses.push(frame_to_response(frame)?),
+                other => {
+                    return Err(DbError::Net(format!(
+                        "unexpected frame {other:?} in response stream"
+                    )))
+                }
+            }
+        }
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(responses),
+        }
+    }
+
+    /// After a `RowsHeader`: collect `RowBatch` frames until `RowsEnd`.
+    fn read_streamed_rows(&mut self) -> DbResult<Vec<Vec<extra_model::Value>>> {
+        let mut rows = Vec::new();
+        loop {
+            match self.read_frame_required()? {
+                Frame::RowBatch { rows: batch } => rows.extend(batch),
+                Frame::RowsEnd { total_rows } => {
+                    if total_rows != rows.len() as u64 {
+                        return Err(DbError::Net(format!(
+                            "result stream announced {total_rows} rows but carried {}",
+                            rows.len()
+                        )));
+                    }
+                    return Ok(rows);
+                }
+                other => {
+                    return Err(DbError::Net(format!(
+                        "unexpected frame {other:?} inside a result stream"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Issue one request frame and read back its single-response group.
+    fn round_trip(&mut self, frame: &Frame) -> DbResult<Vec<Response>> {
+        if self.pending > 0 {
+            return Err(DbError::Net(format!(
+                "{} pipelined requests outstanding; drain them first",
+                self.pending
+            )));
+        }
+        write_frame(&mut self.writer, frame)?;
+        self.writer
+            .flush()
+            .map_err(|e| DbError::Net(format!("send: {e}")))?;
+        self.read_group()
+    }
+}
+
+impl Client for RemoteSession {
+    fn run(&mut self, src: &str) -> DbResult<Vec<Response>> {
+        self.round_trip(&Frame::Run {
+            src: src.to_string(),
+        })
+    }
+
+    fn explain(&mut self, src: &str) -> DbResult<Explanation> {
+        self.explain_frame(src, false)
+    }
+
+    fn explain_analyze(&mut self, src: &str) -> DbResult<Explanation> {
+        self.explain_frame(src, true)
+    }
+
+    fn observe(&mut self, src: &str) -> DbResult<Observation> {
+        let responses = self.round_trip(&Frame::Observe {
+            src: src.to_string(),
+        })?;
+        match responses.into_iter().next() {
+            Some(Response::Observed(o)) => Ok(o),
+            other => Err(DbError::Net(format!(
+                "expected an observation, server sent {other:?}"
+            ))),
+        }
+    }
+}
+
+impl RemoteSession {
+    fn explain_frame(&mut self, src: &str, analyze: bool) -> DbResult<Explanation> {
+        let responses = self.round_trip(&Frame::Explain {
+            analyze,
+            src: src.to_string(),
+        })?;
+        match responses.into_iter().next() {
+            Some(Response::Explained(e)) => Ok(e),
+            other => Err(DbError::Net(format!(
+                "expected an explanation, server sent {other:?}"
+            ))),
+        }
+    }
+}
+
+impl Drop for RemoteSession {
+    fn drop(&mut self) {
+        // Best-effort orderly close; the server also handles abrupt
+        // disconnects.
+        let _ = write_frame(&mut self.writer, &Frame::Goodbye);
+        let _ = self.writer.flush();
+    }
+}

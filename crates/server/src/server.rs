@@ -1,0 +1,490 @@
+//! The serving loop: acceptor thread plus one service thread per
+//! admitted connection.
+//!
+//! A single listener port serves two audiences, told apart by the
+//! first four bytes of each connection:
+//!
+//! * `EXO\x01` — an EXOD/1 database client ([`crate::protocol`]);
+//! * `GET ` — an HTTP metrics scraper, answered with one
+//!   `text/plain; version=0.0.4` Prometheus exposition and closed.
+//!
+//! Shutdown is cooperative: service threads read with a short timeout
+//! and re-check a shared stop flag between frames, and
+//! [`Server::shutdown`] wakes the blocked acceptor with a
+//! throwaway self-connection, then joins every thread — after it
+//! returns, nothing in the process still touches the [`Database`].
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use exodus_db::{Database, DbError, DbResult, Response};
+
+use crate::admission::{Admission, AdmissionConfig};
+use crate::protocol::{
+    explanation_to_frame, response_to_frame, write_frame, Frame, MAX_FRAME, PREAMBLE, VERSION,
+    WIRE_BATCH_ROWS,
+};
+use crate::transport::{Conn, Transport};
+
+/// How long a blocked service-thread read waits before re-checking the
+/// stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How long a fresh connection may dawdle before its preamble and
+/// handshake frames arrive.
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A running server. Dropping the handle shuts the server down.
+pub struct Server {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    /// `None` once shut down — dropping the last reference closes the
+    /// listening socket, so post-shutdown connects are refused by the
+    /// kernel instead of queueing in a dead backlog.
+    transport: Option<Arc<dyn Transport>>,
+    admission: Arc<Admission>,
+    acceptor: Option<std::thread::JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Start serving `db` over `transport` under `config`. Returns
+    /// once the acceptor thread is running.
+    pub fn spawn(
+        db: Arc<Database>,
+        transport: impl Transport + 'static,
+        config: AdmissionConfig,
+    ) -> DbResult<Server> {
+        let addr = transport
+            .local_addr()
+            .map_err(|e| DbError::Net(format!("resolving listener address: {e}")))?;
+        let transport: Arc<dyn Transport> = Arc::new(transport);
+        let registry = db
+            .metrics_registry()
+            .unwrap_or_else(|| Arc::new(exodus_obs::MetricsRegistry::new()));
+        let admission = Admission::new(config, registry);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>> =
+            Arc::new(Mutex::new(Vec::new()));
+
+        let acceptor = {
+            let transport = Arc::clone(&transport);
+            let admission = Arc::clone(&admission);
+            let stop = Arc::clone(&stop);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name("exodus-acceptor".into())
+                .spawn(move || loop {
+                    let conn = match transport.accept() {
+                        Ok(c) => c,
+                        Err(_) if stop.load(Ordering::Acquire) => return,
+                        Err(_) => continue,
+                    };
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let session_id = next_session_id();
+                    let db = Arc::clone(&db);
+                    let admission = Arc::clone(&admission);
+                    let conn_stop = Arc::clone(&stop);
+                    let worker = std::thread::Builder::new()
+                        .name(format!("exodus-conn-{session_id}"))
+                        .spawn(move || {
+                            serve_connection(conn, db, admission, conn_stop, session_id)
+                        });
+                    if let Ok(handle) = worker {
+                        let mut pool = workers.lock().unwrap();
+                        // Opportunistically reap finished threads so a
+                        // long-lived server doesn't accumulate handles.
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            pool.drain(..).partition(|h| h.is_finished());
+                        for h in done {
+                            let _ = h.join();
+                        }
+                        *pool = live;
+                        pool.push(handle);
+                    }
+                })
+                .map_err(|e| DbError::Net(format!("spawning acceptor: {e}")))?
+        };
+
+        Ok(Server {
+            addr,
+            stop,
+            transport: Some(transport),
+            admission,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address clients should connect to (`host:port`).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The admission state, exposing the server metric families.
+    pub fn admission(&self) -> &Arc<Admission> {
+        &self.admission
+    }
+
+    /// Stop accepting, finish in-flight requests, and join every
+    /// thread. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Unblock the acceptor; the sacrificial connection sees the
+        // stop flag and is dropped immediately.
+        if let Some(transport) = &self.transport {
+            let _ = transport.wake();
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        // Every thread holding a transport clone has been joined, so
+        // this drops the last reference and closes the listener.
+        self.transport = None;
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn next_session_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Buffers outgoing frames and writes them to the connection in large
+/// chunks, flushing at request boundaries.
+struct FrameSink<'a> {
+    conn: &'a mut dyn Conn,
+    buf: Vec<u8>,
+    frames_out: u64,
+}
+
+impl<'a> FrameSink<'a> {
+    const FLUSH_AT: usize = 256 << 10;
+
+    fn new(conn: &'a mut dyn Conn) -> FrameSink<'a> {
+        FrameSink {
+            conn,
+            buf: Vec::with_capacity(8 << 10),
+            frames_out: 0,
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> DbResult<()> {
+        write_frame(&mut self.buf, frame)?;
+        self.frames_out += 1;
+        if self.buf.len() >= Self::FLUSH_AT {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    fn flush(&mut self) -> DbResult<()> {
+        if !self.buf.is_empty() {
+            self.conn
+                .write_all(&self.buf)
+                .map_err(|e| DbError::Net(format!("writing response: {e}")))?;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Read exactly `buf.len()` bytes, tolerating read timeouts.
+///
+/// If `allow_idle_eof` and nothing has arrived yet, a clean EOF, a
+/// raised stop flag, or an exceeded `deadline` returns `Ok(false)`.
+/// Once the first byte of a frame is in, the peer is mid-message and
+/// only completion or a hard error will do.
+fn read_exact_interruptible(
+    conn: &mut dyn Conn,
+    buf: &mut [u8],
+    stop: &AtomicBool,
+    allow_idle_eof: bool,
+    deadline: Option<Instant>,
+) -> DbResult<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match conn.read(&mut buf[filled..]) {
+            Ok(0) => {
+                if filled == 0 && allow_idle_eof {
+                    return Ok(false);
+                }
+                return Err(DbError::Net("connection closed mid-frame".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if filled == 0 && allow_idle_eof {
+                    if stop.load(Ordering::Acquire) {
+                        return Ok(false);
+                    }
+                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                        return Ok(false);
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(DbError::Net(format!("reading frame: {e}"))),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one frame, returning `Ok(None)` on orderly close or shutdown
+/// between frames.
+fn read_frame_interruptible(conn: &mut dyn Conn, stop: &AtomicBool) -> DbResult<Option<Frame>> {
+    let mut len = [0u8; 4];
+    if !read_exact_interruptible(conn, &mut len, stop, true, None)? {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME {
+        return Err(DbError::Net(format!("invalid frame length {len}")));
+    }
+    let mut body = vec![0u8; len as usize];
+    read_exact_interruptible(conn, &mut body, stop, false, None)?;
+    crate::protocol::decode_body(&body).map(Some)
+}
+
+fn serve_connection(
+    mut conn: Box<dyn Conn>,
+    db: Arc<Database>,
+    admission: Arc<Admission>,
+    stop: Arc<AtomicBool>,
+    session_id: u64,
+) {
+    let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+    let handshake_deadline = Some(Instant::now() + HANDSHAKE_TIMEOUT);
+    let mut preamble = [0u8; 4];
+    if !matches!(
+        read_exact_interruptible(&mut *conn, &mut preamble, &stop, true, handshake_deadline),
+        Ok(true)
+    ) {
+        return;
+    }
+    if preamble == *b"GET " {
+        serve_http_scrape(&mut *conn, &admission);
+        return;
+    }
+    if preamble != PREAMBLE {
+        // Not a protocol error frame: the peer is not speaking EXOD/1,
+        // so frames would be noise to it. Just close.
+        return;
+    }
+
+    // Gate 1: connection admission. Shed connections learn why.
+    let slot = match admission.admit_connection() {
+        Ok(slot) => slot,
+        Err(e) => {
+            let _ = write_frame(
+                &mut WriteAdapter(&mut *conn),
+                &Frame::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            );
+            return;
+        }
+    };
+
+    let hello = match read_frame_interruptible(&mut *conn, &stop) {
+        Ok(Some(f)) => f,
+        _ => return,
+    };
+    let Frame::Hello { version, user } = hello else {
+        return;
+    };
+    if version != VERSION {
+        let _ = write_frame(
+            &mut WriteAdapter(&mut *conn),
+            &Frame::Error {
+                code: 3001,
+                message: format!("server speaks EXOD/{VERSION}, client sent {version}"),
+            },
+        );
+        return;
+    }
+
+    let mut session = db.session_as(&user);
+    session.set_lock_timeout(Some(admission.config().lock_timeout));
+    let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+
+    let metrics = admission.metrics();
+    {
+        let mut sink = FrameSink::new(&mut *conn);
+        let welcome = Frame::Welcome {
+            version: VERSION,
+            session_id,
+            banner: format!("exodus-server EXOD/{VERSION}"),
+        };
+        if sink.send(&welcome).and_then(|()| sink.flush()).is_err() {
+            return;
+        }
+        metrics.frames_out_total.add(sink.frames_out);
+    }
+
+    loop {
+        let frame = match read_frame_interruptible(&mut *conn, &stop) {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(_) => break,
+        };
+        metrics.frames_in_total.inc();
+        if matches!(frame, Frame::Goodbye) {
+            break;
+        }
+        let mut sink = FrameSink::new(&mut *conn);
+        let ok = serve_request(&mut session, &admission, frame, &mut sink);
+        let flushed = sink.flush();
+        metrics.frames_out_total.add(sink.frames_out);
+        if !ok || flushed.is_err() {
+            break;
+        }
+    }
+    drop(slot);
+}
+
+/// Serve one request frame; returns `false` when the connection should
+/// close (protocol violation or write failure).
+fn serve_request(
+    session: &mut exodus_db::Session,
+    admission: &Arc<Admission>,
+    frame: Frame,
+    sink: &mut FrameSink<'_>,
+) -> bool {
+    // Gates 2 and 3: statement admission.
+    let _slot = match admission.admit_statement() {
+        Ok(slot) => slot,
+        Err(e) => {
+            return send_error(sink, &e) && sink.send(&Frame::Complete).is_ok();
+        }
+    };
+    let started = Instant::now();
+    let outcome = match frame {
+        Frame::Run { src } => match session.run(&src) {
+            Ok(responses) => responses.iter().try_for_each(|r| send_response(sink, r)),
+            Err(e) => fail(sink, &e),
+        },
+        Frame::Explain { analyze, src } => {
+            let result = if analyze {
+                session.explain_analyze(&src)
+            } else {
+                session.explain(&src)
+            };
+            match result {
+                Ok(e) => sink.send(&explanation_to_frame(&e)),
+                Err(e) => fail(sink, &e),
+            }
+        }
+        Frame::Observe { src } => match session.observe(&src) {
+            Ok(obs) => sink.send(&response_to_frame(&Response::Observed(obs))),
+            Err(e) => fail(sink, &e),
+        },
+        other => {
+            // A server-to-client frame from a client is a protocol
+            // violation: answer and hang up.
+            let e = DbError::Net(format!("unexpected client frame {other:?}"));
+            let _ = send_error(sink, &e);
+            let _ = sink.send(&Frame::Complete);
+            return false;
+        }
+    };
+    admission
+        .metrics()
+        .statement_ns
+        .observe(started.elapsed().as_nanos() as u64);
+    outcome.is_ok() && sink.send(&Frame::Complete).is_ok()
+}
+
+/// Stream one [`Response`] as its frame sequence: result sets go out
+/// header / batches / end, everything else as a single frame.
+fn send_response(sink: &mut FrameSink<'_>, resp: &Response) -> DbResult<()> {
+    match resp {
+        Response::Rows(result) => {
+            sink.send(&Frame::RowsHeader {
+                columns: result.columns.clone(),
+            })?;
+            for batch in result.batches(WIRE_BATCH_ROWS) {
+                sink.send(&Frame::RowBatch {
+                    rows: batch.into_rows(),
+                })?;
+            }
+            sink.send(&Frame::RowsEnd {
+                total_rows: result.rows.len() as u64,
+            })
+        }
+        other => sink.send(&response_to_frame(other)),
+    }
+}
+
+fn send_error(sink: &mut FrameSink<'_>, e: &DbError) -> bool {
+    fail(sink, e).is_ok()
+}
+
+fn fail(sink: &mut FrameSink<'_>, e: &DbError) -> DbResult<()> {
+    sink.send(&Frame::Error {
+        code: e.code(),
+        message: e.to_string(),
+    })
+}
+
+/// `io::Write` over a `dyn Conn` borrow (for one-off unbuffered
+/// frames outside the sink's lifetime).
+struct WriteAdapter<'a>(&'a mut dyn Conn);
+
+impl std::io::Write for WriteAdapter<'_> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.write(buf)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
+    }
+}
+
+/// Answer an HTTP scraper. The `GET ` preamble has already been
+/// consumed; read the rest of the request head, then respond with the
+/// Prometheus exposition (for `/metrics`) or a 404, and close.
+fn serve_http_scrape(conn: &mut dyn Conn, admission: &Arc<Admission>) {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while head.len() < 8 << 10 && !head.ends_with(b"\r\n\r\n") {
+        match conn.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            _ => break,
+        }
+    }
+    let request_line = String::from_utf8_lossy(&head);
+    let path = request_line.split_whitespace().next().unwrap_or("");
+    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+        admission.metrics().metrics_scrapes_total.inc();
+        let text = admission.metrics().registry.snapshot().to_prometheus();
+        ("200 OK", text)
+    } else {
+        ("404 Not Found", format!("no route for {path}\n"))
+    };
+    let response = format!(
+        "HTTP/1.1 {status}\r\n\
+         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\n\
+         Connection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = conn.write_all(response.as_bytes());
+    let _ = conn.flush();
+}

@@ -1,0 +1,212 @@
+//! Integration tests: many concurrent remote clients, admission
+//! shedding, and the `/metrics` scrape — against a real server on a
+//! loopback socket.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use exodus_db::{validate_exposition, Client, Database, DbError};
+use exodus_server::{AdmissionConfig, RemoteSession, Server, TcpTransport};
+
+fn serve(config: AdmissionConfig) -> Server {
+    let db = Database::in_memory();
+    db.session()
+        .run(
+            r#"
+            define type Entry (tag: varchar, n: int4);
+            create { own ref Entry } Log;
+        "#,
+        )
+        .unwrap();
+    Server::spawn(db, TcpTransport::bind("127.0.0.1:0").unwrap(), config).unwrap()
+}
+
+/// Poll until `probe` is true or the deadline passes (worker threads
+/// notice a dropped connection within their read-timeout tick).
+fn eventually(what: &str, probe: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !probe() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn many_clients_pipeline_concurrently() {
+    const CLIENTS: usize = 16;
+    const STATEMENTS: usize = 8;
+
+    let server = serve(AdmissionConfig::default());
+    let addr = Arc::new(server.addr().to_string());
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|client_id| {
+            let addr = Arc::clone(&addr);
+            std::thread::spawn(move || {
+                let mut session = RemoteSession::connect(&*addr, "admin").unwrap();
+                // Pipeline every append before reading any result.
+                for n in 0..STATEMENTS {
+                    session
+                        .send(&format!(r#"append to Log (tag = "c{client_id}", n = {n})"#))
+                        .unwrap();
+                }
+                let results = session.drain().unwrap();
+                assert_eq!(results.len(), STATEMENTS);
+                for r in results {
+                    r.unwrap();
+                }
+                // Each client sees its own writes.
+                let mine = session
+                    .query(&format!(
+                        r#"retrieve (L.n) from L in Log where L.tag = "c{client_id}""#
+                    ))
+                    .unwrap();
+                assert_eq!(mine.rows.len(), STATEMENTS);
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let mut checker = RemoteSession::connect(&*addr, "admin").unwrap();
+    let total = checker.query("retrieve (L.n) from L in Log").unwrap();
+    assert_eq!(total.rows.len(), CLIENTS * STATEMENTS);
+
+    let metrics = server.admission().metrics();
+    assert!(
+        metrics.statements_total.get() >= (CLIENTS * (STATEMENTS + 1)) as u64,
+        "admitted statements: {}",
+        metrics.statements_total.get()
+    );
+    assert_eq!(metrics.shed_statements_total.get(), 0);
+    drop(checker);
+    eventually("all connections to close", || {
+        metrics.active_connections.get() == 0
+    });
+    assert_eq!(metrics.connections_total.get(), (CLIENTS + 1) as u64);
+}
+
+#[test]
+fn connections_past_the_limit_are_shed_with_a_retryable_code() {
+    let server = serve(AdmissionConfig {
+        max_connections: 3,
+        ..AdmissionConfig::default()
+    });
+    let metrics = server.admission().metrics();
+
+    let held: Vec<_> = (0..3)
+        .map(|_| RemoteSession::connect(server.addr(), "admin").unwrap())
+        .collect();
+    eventually("three active connections", || {
+        metrics.active_connections.get() == 3
+    });
+
+    // The fourth is refused during the handshake, with the stable
+    // retryable code — not a hang, not a socket reset.
+    let refused = RemoteSession::connect(server.addr(), "admin").unwrap_err();
+    match &refused {
+        DbError::Remote { code, .. } => assert_eq!(*code, 2002),
+        other => panic!("expected a remote shed error, got {other:?}"),
+    }
+    assert!(refused.is_retryable());
+    eventually("the shed to be counted", || {
+        metrics.shed_connections_total.get() == 1
+    });
+    assert_eq!(metrics.active_connections.get(), 3);
+
+    // Capacity freed by a departing client is reusable.
+    drop(held);
+    eventually("held connections to close", || {
+        metrics.active_connections.get() == 0
+    });
+    let mut retry = RemoteSession::connect(server.addr(), "admin").unwrap();
+    retry.run("retrieve (L.n) from L in Log").unwrap();
+}
+
+#[test]
+fn statement_queue_depth_sheds_but_keeps_the_connection() {
+    let server = serve(AdmissionConfig {
+        queue_depth: 0,
+        ..AdmissionConfig::default()
+    });
+    let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
+    // Every statement is refused (depth 0), but on the same live
+    // connection — a later retry (here: after a config with capacity
+    // would admit) still speaks the protocol.
+    let err = session.run("retrieve (L.n) from L in Log").unwrap_err();
+    match &err {
+        DbError::Remote { code, .. } => assert_eq!(*code, 2002),
+        other => panic!("expected a remote shed error, got {other:?}"),
+    }
+    assert!(err.is_retryable());
+    // The connection survived the shed: another request gets the same
+    // orderly answer rather than a broken pipe.
+    let err = session.run("retrieve (L.n) from L in Log").unwrap_err();
+    assert!(matches!(err, DbError::Remote { code: 2002, .. }));
+    assert_eq!(server.admission().metrics().shed_statements_total.get(), 2);
+}
+
+#[test]
+fn http_scrape_returns_valid_exposition_with_server_families() {
+    use std::io::{Read, Write};
+
+    let server = serve(AdmissionConfig::default());
+    // Generate some traffic so the families carry real values.
+    let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
+    session
+        .run(r#"append to Log (tag = "scrape", n = 1)"#)
+        .unwrap();
+
+    let mut http = std::net::TcpStream::connect(server.addr()).unwrap();
+    http.write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    http.read_to_string(&mut response).unwrap();
+
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("an HTTP head/body split");
+    assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+
+    let families = validate_exposition(body).expect("a valid Prometheus exposition");
+    assert!(families > 0);
+    for family in [
+        "server_connections_total",
+        "server_active_connections",
+        "server_statements_total",
+        "server_shed_statements_total",
+        "server_statement_ns",
+        "server_frames_in_total",
+        "server_frames_out_total",
+        "server_metrics_scrapes_total",
+    ] {
+        assert!(
+            body.contains(family),
+            "exposition should carry {family}:\n{body}"
+        );
+    }
+    // The database's own families share the page (one registry).
+    assert!(body.contains("db_statements_total"), "{body}");
+
+    // Unknown paths 404 without killing the listener.
+    let mut http = std::net::TcpStream::connect(server.addr()).unwrap();
+    http.write_all(b"GET /nope HTTP/1.1\r\n\r\n").unwrap();
+    let mut response = String::new();
+    http.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 404"), "{response}");
+}
+
+#[test]
+fn shutdown_is_orderly_and_idempotent() {
+    let mut server = serve(AdmissionConfig::default());
+    let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
+    session
+        .run(r#"append to Log (tag = "bye", n = 1)"#)
+        .unwrap();
+    server.shutdown();
+    server.shutdown(); // idempotent
+                       // The served port is gone: new connections fail outright.
+    assert!(RemoteSession::connect(server.addr(), "admin").is_err());
+}

@@ -32,6 +32,16 @@ pub enum StorageError {
     },
     /// Read past the end of a large object.
     LobOutOfBounds { offset: u64, len: u64 },
+    /// A commit whose record reached the log but whose fsync failed:
+    /// the outcome is unknown until the next recovery (the transaction
+    /// is parked unpublished; a restart may surface it as committed).
+    /// Carries the commit timestamp and the underlying flush error.
+    IndeterminateCommit {
+        /// The parked transaction's commit timestamp.
+        ts: u64,
+        /// The flush failure, rendered.
+        cause: String,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -57,6 +67,11 @@ impl fmt::Display for StorageError {
             StorageError::LobOutOfBounds { offset, len } => {
                 write!(f, "large-object access at {offset} beyond length {len}")
             }
+            StorageError::IndeterminateCommit { ts, cause } => write!(
+                f,
+                "commit at timestamp {ts} is indeterminate: the commit record is in the \
+                 log but its fsync failed ({cause}); recovery will decide its fate"
+            ),
         }
     }
 }

@@ -587,7 +587,13 @@ impl WriteTxn {
         let scratch = self.mgr.detach_writer(ts);
         if let Err(e) = wal.flush_up_to(commit_lsn) {
             self.mgr.park_unflushed(ts, scratch);
-            return Err(e);
+            // Surface the parked state as its own error kind so callers
+            // (and the wire protocol) can tell "rolled back, retry
+            // freely" from "outcome unknown until recovery".
+            return Err(crate::StorageError::IndeterminateCommit {
+                ts,
+                cause: e.to_string(),
+            });
         }
         self.mgr.publish_commit(ts, scratch);
         self.mgr

@@ -1,0 +1,79 @@
+//! Client/server demo: boot an `exodus-server` in this process, then
+//! talk to it over a real loopback socket through [`RemoteSession`] —
+//! the same `Client` trait the in-process session implements, so the
+//! workload code is transport-agnostic.
+//!
+//! ```text
+//! cargo run --example remote
+//! ```
+
+use exodus_server::{AdmissionConfig, RemoteSession, Server, TcpTransport};
+use extra_excess::{Client, Database};
+
+fn main() {
+    let db = Database::in_memory();
+    let server = Server::spawn(
+        db,
+        TcpTransport::bind("127.0.0.1:0").unwrap(),
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+    println!("serving EXOD/1 and /metrics on {}\n", server.addr());
+
+    // `workload` only knows the Client trait; hand it a remote session.
+    let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
+    workload(&mut session);
+
+    // Pipelining: queue many statements, then collect all results.
+    for n in 0..5 {
+        session
+            .send(&format!(
+                r#"append to People (name = "bulk{n}", age = {})"#,
+                50 + n
+            ))
+            .unwrap();
+    }
+    let results = session.drain().unwrap();
+    println!(
+        "pipelined {} appends in one round trip burst",
+        results.len()
+    );
+
+    let seniors = session
+        .query("retrieve (P.name, P.age) from P in People where P.age >= 50")
+        .unwrap();
+    println!("{} seniors after the bulk load", seniors.rows.len());
+
+    // Errors keep their stable codes across the wire (docs/ERRORS.md).
+    let err = session
+        .run("retrieve (P.salary) from P in People")
+        .unwrap_err();
+    println!(
+        "bad query → code {} (retryable: {})",
+        err.code(),
+        err.is_retryable()
+    );
+}
+
+/// A transport-agnostic workload: works identically on a local
+/// `Session` or a `RemoteSession`.
+fn workload(client: &mut impl Client) {
+    client
+        .run(
+            r#"
+            define type Person (name: varchar, age: int4);
+            create { own ref Person } People;
+            append to People (name = "ann", age = 30);
+            append to People (name = "bob", age = 40);
+        "#,
+        )
+        .unwrap();
+    let rows = client
+        .query("retrieve (P.name) from P in People where P.age > 35")
+        .unwrap();
+    println!("over-35s: {} row(s)", rows.rows.len());
+    let plan = client
+        .explain("retrieve (P.name) from P in People")
+        .unwrap();
+    println!("plan:\n{}", plan.plan);
+}

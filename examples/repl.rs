@@ -69,6 +69,11 @@ fn main() {
     }
 }
 
+/// Rows printed per flush: the shell drains the result through
+/// `QueryResult::batches`, holding one engine-shaped batch at a time —
+/// the same incremental path the wire-protocol server streams with.
+const PRINT_BATCH_ROWS: usize = 256;
+
 fn print_response(r: Response, adts: &AdtRegistry) {
     match r {
         Response::Done(msg) => println!("{msg}"),
@@ -76,7 +81,21 @@ fn print_response(r: Response, adts: &AdtRegistry) {
             if rows.is_empty() {
                 println!("(no rows)");
             } else {
-                print!("{}", rows.display(adts));
+                let mut out = std::io::stdout().lock();
+                for batch in rows.batches(PRINT_BATCH_ROWS) {
+                    for row in batch.into_rows() {
+                        let mut line = String::new();
+                        for (i, (c, v)) in rows.columns.iter().zip(row.iter()).enumerate() {
+                            if i > 0 {
+                                line.push_str(", ");
+                            }
+                            line.push_str(&format!("{c} = {}", v.render(adts)));
+                        }
+                        writeln!(out, "{line}").ok();
+                    }
+                    out.flush().ok();
+                }
+                drop(out);
                 println!("({} rows)", rows.len());
             }
         }

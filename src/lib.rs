@@ -49,9 +49,9 @@ pub use excess_lang as lang;
 pub use excess_sema as sema;
 pub use exodus_db as db;
 pub use exodus_db::{
-    obs, Database, DatabaseBuilder, DbError, DbResult, Durability, Explanation, MetricsSnapshot,
-    Observation, OpProfile, QueryProfile, QueryResult, RecoveryReport, Response, Row, Session,
-    SlowQuery, Span, TraceConfig, Value,
+    obs, Client, Database, DatabaseBuilder, DbError, DbResult, Durability, Explanation,
+    MetricsSnapshot, Observation, OpProfile, QueryProfile, QueryResult, RecoveryReport, Response,
+    Row, Session, SlowQuery, Span, TraceConfig, Value,
 };
 pub use exodus_storage as storage;
 pub use extra_model as model;
