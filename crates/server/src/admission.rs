@@ -11,19 +11,24 @@
 //!    [`AdmissionConfig::queue_depth`] statements may be in flight
 //!    across all connections. Past that, requests are shed before any
 //!    parsing or execution happens.
-//! 3. **Latency governor** — if the observed p99 statement latency
-//!    (from the `server_statement_ns` histogram) exceeds
-//!    [`AdmissionConfig::shed_p99_ns`], new statements are shed until
-//!    the tail recovers. This is the brake that keeps p99 bounded in
-//!    an open-loop workload: admitting more work when the tail is
-//!    already blown only moves queueing delay somewhere invisible.
+//! 3. **Latency governor** — if the p99 statement latency observed
+//!    over the current [`AdmissionConfig::governor_window`] (a
+//!    sliding view over the cumulative `server_statement_ns`
+//!    histogram) exceeds [`AdmissionConfig::shed_p99_ns`], new
+//!    statements are shed until the tail recovers. This is the brake
+//!    that keeps p99 bounded in an open-loop workload: admitting more
+//!    work when the tail is already blown only moves queueing delay
+//!    somewhere invisible. The window is what lets the tail *recover*:
+//!    once a window passes with no completions (because everything was
+//!    shed), the estimate empties and the gate reopens, so shedding
+//!    can never latch permanently on all-time history.
 //!
 //! Shed errors carry code 2002 and `is_retryable() == true`, so a
 //! well-behaved client backs off and retries; see `docs/ERRORS.md`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use exodus_db::DbError;
 use exodus_obs::{Counter, Gauge, Histogram, MetricsRegistry, LATENCY_BUCKETS_NS};
@@ -37,9 +42,15 @@ pub struct AdmissionConfig {
     /// Maximum statements in flight across all connections; further
     /// requests are shed before execution.
     pub queue_depth: usize,
-    /// Shed statements while observed p99 statement latency exceeds
-    /// this many nanoseconds (`None` disables the governor).
+    /// Shed statements while the windowed p99 statement latency
+    /// exceeds this many nanoseconds (`None` disables the governor).
     pub shed_p99_ns: Option<u64>,
+    /// Length of the latency governor's observation window. The p99
+    /// feeding gate 3 is computed over statements that *completed
+    /// within the current window*, so the estimate — and therefore the
+    /// shedding decision — tracks recent behavior and recovers once
+    /// the tail does, instead of latching on all-time history.
+    pub governor_window: Duration,
     /// How long a statement may wait for the single-writer gate before
     /// failing with a retryable `Busy` error instead of blocking the
     /// service thread indefinitely.
@@ -52,6 +63,7 @@ impl Default for AdmissionConfig {
             max_connections: 128,
             queue_depth: 256,
             shed_p99_ns: None,
+            governor_window: Duration::from_secs(1),
             lock_timeout: Duration::from_secs(5),
         }
     }
@@ -133,6 +145,18 @@ pub struct Admission {
     metrics: ServerMetrics,
     active_connections: AtomicU64,
     inflight: AtomicU64,
+    governor: Mutex<GovernorWindow>,
+}
+
+/// The latency governor's sliding view over the cumulative
+/// `server_statement_ns` histogram: bucket counts snapshotted at the
+/// start of the current window, so quantiles can be computed over the
+/// difference (= observations made during the window alone).
+struct GovernorWindow {
+    /// Cumulative `(bound, count)` pairs at the window start; empty
+    /// means "all zeros" (the initial window).
+    base: Vec<(u64, u64)>,
+    started: Instant,
 }
 
 /// RAII slot for one admitted connection; releasing it reopens the gate.
@@ -166,6 +190,10 @@ impl Admission {
             metrics: ServerMetrics::register(registry),
             active_connections: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
+            governor: Mutex::new(GovernorWindow {
+                base: Vec::new(),
+                started: Instant::now(),
+            }),
         })
     }
 
@@ -232,7 +260,7 @@ impl Admission {
         // shed here must hand the claimed count back itself (the gauge
         // has not been touched yet — only the raw counter).
         if let Some(ceiling) = self.config.shed_p99_ns {
-            if let Some(p99) = self.metrics.statement_ns.estimate_quantile(0.99) {
+            if let Some(p99) = self.windowed_p99() {
                 if p99 > ceiling {
                     self.metrics.shed_statements_total.inc();
                     self.inflight.fetch_sub(1, Ordering::AcqRel);
@@ -248,6 +276,42 @@ impl Admission {
         Ok(StatementSlot {
             admission: Arc::clone(self),
         })
+    }
+
+    /// The p99 of statement latencies observed during the current
+    /// governor window, or `None` if the window has none yet.
+    ///
+    /// `server_statement_ns` is cumulative and never resets, so the
+    /// governor snapshots its bucket counts each time a window
+    /// elapses and takes quantiles over the difference. Rotation
+    /// empties the view, which is exactly what lets a tripped
+    /// governor recover: shed statements never execute and so add no
+    /// observations — against all-time counts the estimate would be
+    /// frozen and the server would refuse work forever, while against
+    /// a fresh window the estimate is `None`, a probe trickle is
+    /// admitted, and shedding resumes only if *those* statements blow
+    /// the tail again.
+    fn windowed_p99(&self) -> Option<u64> {
+        let mut window = self.governor.lock().unwrap();
+        let current = self.metrics.statement_ns.cumulative();
+        if window.started.elapsed() >= self.config.governor_window {
+            window.base = current.clone();
+            window.started = Instant::now();
+        }
+        let base_total = window.base.last().map_or(0, |&(_, c)| c);
+        let total = current.last().map_or(0, |&(_, c)| c) - base_total;
+        if total == 0 {
+            return None;
+        }
+        let rank = (0.99 * total as f64).ceil().max(1.0) as u64;
+        current
+            .iter()
+            .enumerate()
+            .find(|&(i, &(_, cum))| {
+                let b = window.base.get(i).map_or(0, |&(_, c)| c);
+                cum - b >= rank
+            })
+            .map(|(_, &(bound, _))| bound)
     }
 }
 
@@ -278,6 +342,7 @@ mod tests {
                 queue_depth: depth,
                 shed_p99_ns: None,
                 lock_timeout: Duration::from_millis(10),
+                ..AdmissionConfig::default()
             },
             Arc::new(MetricsRegistry::new()),
         )
@@ -335,5 +400,34 @@ mod tests {
         assert_eq!(refused.code(), 2002);
         assert!(refused.is_retryable());
         assert_eq!(adm.inflight.load(Ordering::Relaxed), before);
+    }
+
+    #[test]
+    fn latency_governor_recovers_after_the_window_rotates() {
+        let adm = Admission::new(
+            AdmissionConfig {
+                shed_p99_ns: Some(2_000),
+                governor_window: Duration::from_millis(20),
+                ..AdmissionConfig::default()
+            },
+            Arc::new(MetricsRegistry::new()),
+        );
+        // A blown tail trips the governor, repeatedly, within the
+        // window — even though shed statements add no observations.
+        for _ in 0..1_000 {
+            adm.metrics().statement_ns.observe(50_000_000);
+        }
+        assert_eq!(adm.admit_statement().unwrap_err().code(), 2002);
+        assert_eq!(adm.admit_statement().unwrap_err().code(), 2002);
+        // Once the window elapses the stale estimate is discarded and
+        // the gate reopens — no permanent latch on all-time history.
+        std::thread::sleep(Duration::from_millis(30));
+        let probe = adm.admit_statement().expect("governor must unlatch");
+        drop(probe);
+        // Fresh observations in the new window can trip it again.
+        for _ in 0..1_000 {
+            adm.metrics().statement_ns.observe(50_000_000);
+        }
+        assert_eq!(adm.admit_statement().unwrap_err().code(), 2002);
     }
 }

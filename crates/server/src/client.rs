@@ -7,7 +7,12 @@
 //! collects the outstanding results in order. Statement errors come
 //! back as [`DbError::Remote`] carrying the server's stable code, so
 //! [`DbError::is_retryable`] gives the same answer it would in
-//! process; transport failures surface as [`DbError::Net`].
+//! process; transport failures surface as [`DbError::Net`] **and
+//! poison the session**: once a read or write fails at the transport
+//! layer the stream position is unknown (leftover frames from the
+//! failed exchange would be mistaken for the next request's
+//! responses), so every subsequent operation fails fast with
+//! [`DbError::Net`] and the caller must reconnect.
 
 use std::io::{BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -25,6 +30,11 @@ pub struct RemoteSession {
     pending: usize,
     /// Server-assigned id, from the handshake (diagnostics only).
     session_id: u64,
+    /// Set on any transport-layer read/write/decode failure. The
+    /// stream position is unknown after one, so request/response
+    /// pairing can no longer be trusted; every later operation fails
+    /// fast instead of consuming stale frames as fresh responses.
+    broken: bool,
 }
 
 impl std::fmt::Debug for RemoteSession {
@@ -70,6 +80,7 @@ impl RemoteSession {
             writer,
             pending: 0,
             session_id: 0,
+            broken: false,
         };
         // Bound the handshake so a wedged server yields an error, not
         // a hang; steady-state reads may legitimately block for as
@@ -101,29 +112,60 @@ impl RemoteSession {
     /// (pipelining). Collect results — in order — with
     /// [`RemoteSession::drain`].
     pub fn send(&mut self, src: &str) -> DbResult<()> {
-        write_frame(
-            &mut self.writer,
-            &Frame::Run {
-                src: src.to_string(),
-            },
-        )?;
-        self.writer
-            .flush()
-            .map_err(|e| DbError::Net(format!("send: {e}")))?;
+        self.check_usable()?;
+        self.write_request(&Frame::Run {
+            src: src.to_string(),
+        })?;
         self.pending += 1;
         Ok(())
     }
 
     /// Collect the results of every [`RemoteSession::send`] since the
     /// last drain, in request order. Statement failures land in their
-    /// slot; a transport failure ends the drain early.
+    /// slot; a transport failure poisons the session, and every
+    /// remaining slot (and every later operation) fails fast with the
+    /// poisoned-session error instead of reading frames whose pairing
+    /// can no longer be trusted.
     pub fn drain(&mut self) -> DbResult<Vec<DbResult<Vec<Response>>>> {
         let mut results = Vec::with_capacity(self.pending);
         while self.pending > 0 {
-            results.push(self.read_group());
+            results.push(if self.broken {
+                Err(Self::broken_error())
+            } else {
+                self.read_group()
+            });
             self.pending -= 1;
         }
         Ok(results)
+    }
+
+    /// The error every operation on a poisoned session returns.
+    fn broken_error() -> DbError {
+        DbError::Net(
+            "session poisoned by an earlier transport failure; reconnect to continue".into(),
+        )
+    }
+
+    fn check_usable(&self) -> DbResult<()> {
+        if self.broken {
+            Err(Self::broken_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Write one request frame and flush it; a failure poisons the
+    /// session (a partial frame may already be on the wire).
+    fn write_request(&mut self, frame: &Frame) -> DbResult<()> {
+        let sent = write_frame(&mut self.writer, frame).and_then(|()| {
+            self.writer
+                .flush()
+                .map_err(|e| DbError::Net(format!("send: {e}")))
+        });
+        if sent.is_err() {
+            self.broken = true;
+        }
+        sent
     }
 
     fn read_frame_required(&mut self) -> DbResult<Frame> {
@@ -131,9 +173,24 @@ impl RemoteSession {
             .ok_or_else(|| DbError::Net("server closed the connection".into()))
     }
 
+    /// Read one request's responses, poisoning the session on any
+    /// transport or protocol failure. Only a statement error relayed
+    /// by the server ([`DbError::Remote`]) leaves the stream in a
+    /// known state — the server still terminated the group with
+    /// `Complete` — so only that error kind keeps the session usable.
+    fn read_group(&mut self) -> DbResult<Vec<Response>> {
+        let result = self.read_group_frames();
+        if let Err(e) = &result {
+            if !matches!(e, DbError::Remote { .. }) {
+                self.broken = true;
+            }
+        }
+        result
+    }
+
     /// Read one request's responses: frames up to the `Complete`
     /// terminator, with streamed result sets reassembled.
-    fn read_group(&mut self) -> DbResult<Vec<Response>> {
+    fn read_group_frames(&mut self) -> DbResult<Vec<Response>> {
         let mut responses = Vec::new();
         let mut failure: Option<DbError> = None;
         loop {
@@ -192,16 +249,14 @@ impl RemoteSession {
 
     /// Issue one request frame and read back its single-response group.
     fn round_trip(&mut self, frame: &Frame) -> DbResult<Vec<Response>> {
+        self.check_usable()?;
         if self.pending > 0 {
             return Err(DbError::Net(format!(
                 "{} pipelined requests outstanding; drain them first",
                 self.pending
             )));
         }
-        write_frame(&mut self.writer, frame)?;
-        self.writer
-            .flush()
-            .map_err(|e| DbError::Net(format!("send: {e}")))?;
+        self.write_request(frame)?;
         self.read_group()
     }
 }
@@ -252,8 +307,11 @@ impl RemoteSession {
 impl Drop for RemoteSession {
     fn drop(&mut self) {
         // Best-effort orderly close; the server also handles abrupt
-        // disconnects.
-        let _ = write_frame(&mut self.writer, &Frame::Goodbye);
-        let _ = self.writer.flush();
+        // disconnects. A poisoned stream gets no Goodbye — its write
+        // position is unknown.
+        if !self.broken {
+            let _ = write_frame(&mut self.writer, &Frame::Goodbye);
+            let _ = self.writer.flush();
+        }
     }
 }

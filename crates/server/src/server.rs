@@ -9,10 +9,12 @@
 //!   `text/plain; version=0.0.4` Prometheus exposition and closed.
 //!
 //! Shutdown is cooperative: service threads read with a short timeout
-//! and re-check a shared stop flag between frames, and
-//! [`Server::shutdown`] wakes the blocked acceptor with a
-//! throwaway self-connection, then joins every thread — after it
-//! returns, nothing in the process still touches the [`Database`].
+//! and re-check a shared stop flag on every timeout tick — between
+//! frames *and* mid-frame, so a peer stalled after a partial frame
+//! cannot pin a thread — and [`Server::shutdown`] wakes the blocked
+//! acceptor with a throwaway self-connection, then joins every
+//! thread — after it returns, nothing in the process still touches
+//! the [`Database`].
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -34,6 +36,15 @@ const POLL_INTERVAL: Duration = Duration::from_millis(100);
 /// How long a fresh connection may dawdle before its preamble and
 /// handshake frames arrive.
 const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Worker threads allowed beyond `max_connections`. Admission gate 1
+/// runs only after the preamble arrives (HTTP scrapers must not be
+/// charged against the connection limit), so the acceptor enforces
+/// this separate, hard bound on total service threads *before*
+/// spawning — without it a connection flood would create one OS
+/// thread per connection regardless of the limit. The headroom covers
+/// scrapers and clients legitimately mid-handshake.
+const PREHANDSHAKE_HEADROOM: usize = 32;
 
 /// A running server. Dropping the handle shuts the server down.
 pub struct Server {
@@ -73,6 +84,7 @@ impl Server {
             let admission = Arc::clone(&admission);
             let stop = Arc::clone(&stop);
             let workers = Arc::clone(&workers);
+            let live_workers = Arc::new(AtomicU64::new(0));
             std::thread::Builder::new()
                 .name("exodus-acceptor".into())
                 .spawn(move || loop {
@@ -84,6 +96,17 @@ impl Server {
                     if stop.load(Ordering::Acquire) {
                         return;
                     }
+                    // Hard bound on live service threads, enforced
+                    // before the spawn (see PREHANDSHAKE_HEADROOM).
+                    let thread_bound =
+                        (admission.config().max_connections + PREHANDSHAKE_HEADROOM) as u64;
+                    if live_workers.load(Ordering::Acquire) >= thread_bound {
+                        admission.metrics().connections_total.inc();
+                        admission.metrics().shed_connections_total.inc();
+                        drop(conn);
+                        continue;
+                    }
+                    let worker_slot = WorkerSlot::claim(&live_workers);
                     let session_id = next_session_id();
                     let db = Arc::clone(&db);
                     let admission = Arc::clone(&admission);
@@ -91,6 +114,7 @@ impl Server {
                     let worker = std::thread::Builder::new()
                         .name(format!("exodus-conn-{session_id}"))
                         .spawn(move || {
+                            let _worker_slot = worker_slot;
                             serve_connection(conn, db, admission, conn_stop, session_id)
                         });
                     if let Ok(handle) = worker {
@@ -164,6 +188,24 @@ fn next_session_id() -> u64 {
     NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
+/// RAII count of live service threads: claimed by the acceptor before
+/// it spawns a worker, released when the worker exits (or when a
+/// failed spawn drops the unstarted closure).
+struct WorkerSlot(Arc<AtomicU64>);
+
+impl WorkerSlot {
+    fn claim(count: &Arc<AtomicU64>) -> WorkerSlot {
+        count.fetch_add(1, Ordering::AcqRel);
+        WorkerSlot(Arc::clone(count))
+    }
+}
+
+impl Drop for WorkerSlot {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
 /// Buffers outgoing frames and writes them to the connection in large
 /// chunks, flushing at request boundaries.
 struct FrameSink<'a> {
@@ -205,10 +247,13 @@ impl<'a> FrameSink<'a> {
 
 /// Read exactly `buf.len()` bytes, tolerating read timeouts.
 ///
-/// If `allow_idle_eof` and nothing has arrived yet, a clean EOF, a
-/// raised stop flag, or an exceeded `deadline` returns `Ok(false)`.
-/// Once the first byte of a frame is in, the peer is mid-message and
-/// only completion or a hard error will do.
+/// The stop flag and `deadline` are checked on **every** timeout
+/// tick, including mid-frame: a peer that sends half a frame and goes
+/// silent must not be able to pin this thread past shutdown (or past
+/// the handshake deadline). If nothing has arrived yet and
+/// `allow_idle_eof` is set, a clean EOF, a raised stop flag, or an
+/// exceeded deadline returns `Ok(false)` (orderly close); the same
+/// conditions mid-frame are errors, since the peer is mid-message.
 fn read_exact_interruptible(
     conn: &mut dyn Conn,
     buf: &mut [u8],
@@ -230,13 +275,17 @@ fn read_exact_interruptible(
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                if filled == 0 && allow_idle_eof {
-                    if stop.load(Ordering::Acquire) {
+                if stop.load(Ordering::Acquire) {
+                    if filled == 0 && allow_idle_eof {
                         return Ok(false);
                     }
-                    if deadline.is_some_and(|d| Instant::now() >= d) {
+                    return Err(DbError::Net("server shutting down mid-frame".into()));
+                }
+                if deadline.is_some_and(|d| Instant::now() >= d) {
+                    if filled == 0 && allow_idle_eof {
                         return Ok(false);
                     }
+                    return Err(DbError::Net("read deadline exceeded mid-frame".into()));
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
@@ -246,11 +295,17 @@ fn read_exact_interruptible(
     Ok(true)
 }
 
-/// Read one frame, returning `Ok(None)` on orderly close or shutdown
-/// between frames.
-fn read_frame_interruptible(conn: &mut dyn Conn, stop: &AtomicBool) -> DbResult<Option<Frame>> {
+/// Read one frame, returning `Ok(None)` on orderly close, shutdown, or
+/// an exceeded `deadline` between frames. `deadline` bounds the whole
+/// frame, prefix and body both — it is how the handshake timeout
+/// covers the Hello frame, not just the preamble.
+fn read_frame_interruptible(
+    conn: &mut dyn Conn,
+    stop: &AtomicBool,
+    deadline: Option<Instant>,
+) -> DbResult<Option<Frame>> {
     let mut len = [0u8; 4];
-    if !read_exact_interruptible(conn, &mut len, stop, true, None)? {
+    if !read_exact_interruptible(conn, &mut len, stop, true, deadline)? {
         return Ok(None);
     }
     let len = u32::from_le_bytes(len);
@@ -258,7 +313,7 @@ fn read_frame_interruptible(conn: &mut dyn Conn, stop: &AtomicBool) -> DbResult<
         return Err(DbError::Net(format!("invalid frame length {len}")));
     }
     let mut body = vec![0u8; len as usize];
-    read_exact_interruptible(conn, &mut body, stop, false, None)?;
+    read_exact_interruptible(conn, &mut body, stop, false, deadline)?;
     crate::protocol::decode_body(&body).map(Some)
 }
 
@@ -303,7 +358,10 @@ fn serve_connection(
         }
     };
 
-    let hello = match read_frame_interruptible(&mut *conn, &stop) {
+    // The handshake deadline covers the Hello frame too: an admitted
+    // connection that never completes the handshake must release its
+    // slot, or idle half-handshakes could exhaust max_connections.
+    let hello = match read_frame_interruptible(&mut *conn, &stop, handshake_deadline) {
         Ok(Some(f)) => f,
         _ => return,
     };
@@ -340,7 +398,7 @@ fn serve_connection(
     }
 
     loop {
-        let frame = match read_frame_interruptible(&mut *conn, &stop) {
+        let frame = match read_frame_interruptible(&mut *conn, &stop, None) {
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(_) => break,

@@ -199,6 +199,125 @@ fn http_scrape_returns_valid_exposition_with_server_families() {
 }
 
 #[test]
+fn shutdown_interrupts_a_stalled_mid_frame_read() {
+    use exodus_server::protocol::{read_frame, write_frame};
+    use exodus_server::{Frame, PREAMBLE, VERSION};
+    use std::io::Write;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut server = serve(AdmissionConfig::default());
+    let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+    conn.write_all(&PREAMBLE).unwrap();
+    write_frame(
+        &mut conn,
+        &Frame::Hello {
+            version: VERSION,
+            user: "admin".into(),
+        },
+    )
+    .unwrap();
+    let welcome = read_frame(&mut conn).unwrap().unwrap();
+    assert!(matches!(welcome, Frame::Welcome { .. }), "{welcome:?}");
+    // A partial frame: a length prefix announcing 64 bytes, then
+    // silence. The service thread is now blocked mid-frame; shutdown
+    // must still interrupt it (it checks the stop flag on every read
+    // timeout tick, not only between frames).
+    conn.write_all(&64u32.to_le_bytes()).unwrap();
+
+    let done = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&done);
+    let closer = std::thread::spawn(move || {
+        server.shutdown();
+        flag.store(true, Ordering::Release);
+    });
+    eventually("shutdown to return despite a stalled mid-frame read", || {
+        done.load(Ordering::Acquire)
+    });
+    closer.join().unwrap();
+    drop(conn);
+}
+
+#[test]
+fn a_half_handshake_cannot_pin_a_connection_slot() {
+    use std::io::Write;
+
+    let server = serve(AdmissionConfig {
+        max_connections: 1,
+        ..AdmissionConfig::default()
+    });
+    let metrics = server.admission().metrics();
+    // Preamble only — this passes admission gate 1 and then goes
+    // silent without ever sending Hello.
+    let mut idle = std::net::TcpStream::connect(server.addr()).unwrap();
+    idle.write_all(b"EXO\x01").unwrap();
+    eventually("the half-handshake to claim the only slot", || {
+        metrics.active_connections.get() == 1
+    });
+    // The handshake deadline covers the Hello frame, so the slot is
+    // reclaimed (~5s) instead of being pinned until disconnect...
+    eventually("the handshake deadline to reclaim the slot", || {
+        metrics.active_connections.get() == 0
+    });
+    // ...and a real client can then use it.
+    let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
+    session.run("retrieve (L.n) from L in Log").unwrap();
+    drop(idle);
+}
+
+#[test]
+fn a_transport_failure_poisons_the_remote_session() {
+    use exodus_server::protocol::{read_frame, write_frame};
+    use exodus_server::{Frame, VERSION};
+    use std::io::Read;
+
+    // A fake server that completes the handshake, then answers the
+    // first request with a frame that is illegal in a response stream
+    // and goes quiet — with the socket still open.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let fake = std::thread::spawn(move || {
+        let (mut s, _) = listener.accept().unwrap();
+        let mut preamble = [0u8; 4];
+        s.read_exact(&mut preamble).unwrap();
+        let hello = read_frame(&mut s).unwrap().unwrap();
+        assert!(matches!(hello, Frame::Hello { .. }), "{hello:?}");
+        write_frame(
+            &mut s,
+            &Frame::Welcome {
+                version: VERSION,
+                session_id: 7,
+                banner: "fake".into(),
+            },
+        )
+        .unwrap();
+        let _request = read_frame(&mut s).unwrap().unwrap();
+        write_frame(&mut s, &Frame::Goodbye).unwrap();
+        s
+    });
+
+    let mut session = RemoteSession::connect(addr, "admin").unwrap();
+    session.send("retrieve (L.n) from L in Log").unwrap();
+    session.send("retrieve (L.n) from L in Log").unwrap();
+    let results = session.drain().unwrap();
+    assert_eq!(results.len(), 2);
+    // Slot 1: the protocol violation, as a Net error (3001).
+    assert_eq!(results[0].as_ref().unwrap_err().code(), 3001);
+    // Slot 2 fails fast on the poisoned session — if it still read
+    // the socket this test would hang, since the fake server sends
+    // nothing more.
+    let second = results[1].as_ref().unwrap_err();
+    assert_eq!(second.code(), 3001);
+    assert!(second.to_string().contains("poisoned"), "{second}");
+    // Every later operation fails fast too: after a mid-group
+    // failure the stream position is unknown, so the session must
+    // not keep consuming leftover frames as fresh responses.
+    let later = session.run("retrieve (L.n) from L in Log").unwrap_err();
+    assert!(later.to_string().contains("poisoned"), "{later}");
+    drop(session);
+    drop(fake.join().unwrap());
+}
+
+#[test]
 fn shutdown_is_orderly_and_idempotent() {
     let mut server = serve(AdmissionConfig::default());
     let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
