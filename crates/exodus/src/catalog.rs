@@ -97,6 +97,90 @@ impl Auth {
             .unwrap_or(false)
     }
 
+    /// Serialize the authorization state for a replication catalog
+    /// image (`docs/REPLICATION.md`). Sorted for determinism.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        let mut users: Vec<&String> = self.users.iter().collect();
+        users.sort();
+        out.extend_from_slice(&(users.len() as u32).to_le_bytes());
+        for u in users {
+            put_str(&mut out, u);
+        }
+        let mut groups: Vec<(&String, &HashSet<String>)> = self.groups.iter().collect();
+        groups.sort_by_key(|(g, _)| g.as_str());
+        out.extend_from_slice(&(groups.len() as u32).to_le_bytes());
+        for (g, members) in groups {
+            put_str(&mut out, g);
+            let mut ms: Vec<&String> = members.iter().collect();
+            ms.sort();
+            out.extend_from_slice(&(ms.len() as u32).to_le_bytes());
+            for m in ms {
+                put_str(&mut out, m);
+            }
+        }
+        let mut grants: Vec<(&(String, String), &HashSet<Privilege>)> =
+            self.grants.iter().collect();
+        grants.sort_by_key(|((o, g), _)| (o.as_str(), g.as_str()));
+        out.extend_from_slice(&(grants.len() as u32).to_le_bytes());
+        for ((object, grantee), privs) in grants {
+            put_str(&mut out, object);
+            put_str(&mut out, grantee);
+            let mut ps: Vec<u8> = privs.iter().map(|p| privilege_tag(*p)).collect();
+            ps.sort_unstable();
+            out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+            out.extend_from_slice(&ps);
+        }
+        out
+    }
+
+    /// Rebuild authorization state from [`Auth::to_bytes`] output.
+    /// Returns `None` on a malformed image.
+    pub fn from_bytes(buf: &[u8]) -> Option<Auth> {
+        fn get_u32(buf: &[u8], pos: &mut usize) -> Option<u32> {
+            let end = pos.checked_add(4).filter(|&e| e <= buf.len())?;
+            let v = u32::from_le_bytes(buf[*pos..end].try_into().ok()?);
+            *pos = end;
+            Some(v)
+        }
+        fn get_str(buf: &[u8], pos: &mut usize) -> Option<String> {
+            let len = get_u32(buf, pos)? as usize;
+            let end = pos.checked_add(len).filter(|&e| e <= buf.len())?;
+            let s = std::str::from_utf8(&buf[*pos..end]).ok()?.to_string();
+            *pos = end;
+            Some(s)
+        }
+        let mut a = Auth::default();
+        let mut pos = 0;
+        for _ in 0..get_u32(buf, &mut pos)? {
+            a.users.insert(get_str(buf, &mut pos)?);
+        }
+        for _ in 0..get_u32(buf, &mut pos)? {
+            let g = get_str(buf, &mut pos)?;
+            let mut members = HashSet::new();
+            for _ in 0..get_u32(buf, &mut pos)? {
+                members.insert(get_str(buf, &mut pos)?);
+            }
+            a.groups.insert(g, members);
+        }
+        for _ in 0..get_u32(buf, &mut pos)? {
+            let object = get_str(buf, &mut pos)?;
+            let grantee = get_str(buf, &mut pos)?;
+            let mut privs = HashSet::new();
+            for _ in 0..get_u32(buf, &mut pos)? {
+                let tag = *buf.get(pos)?;
+                pos += 1;
+                privs.insert(privilege_from_tag(tag)?);
+            }
+            a.grants.insert((object, grantee), privs);
+        }
+        Some(a)
+    }
+
     /// Whether `user` holds `privilege` on `object` (directly, through a
     /// group, or through `all_users`). The admin holds everything.
     pub fn allowed(&self, user: &str, object: &str, privilege: Privilege) -> bool {
@@ -113,6 +197,29 @@ impl Auth {
             .iter()
             .any(|(g, members)| members.contains(user) && self.grantee_has(object, g, privilege))
     }
+}
+
+fn privilege_tag(p: Privilege) -> u8 {
+    match p {
+        Privilege::Read => 0,
+        Privilege::Append => 1,
+        Privilege::Delete => 2,
+        Privilege::Replace => 3,
+        Privilege::Execute => 4,
+        Privilege::All => 5,
+    }
+}
+
+fn privilege_from_tag(t: u8) -> Option<Privilege> {
+    Some(match t {
+        0 => Privilege::Read,
+        1 => Privilege::Append,
+        2 => Privilege::Delete,
+        3 => Privilege::Replace,
+        4 => Privilege::Execute,
+        5 => Privilege::All,
+        _ => return None,
+    })
 }
 
 /// The catalog: everything the analyzer and executor resolve names

@@ -133,6 +133,18 @@ pub struct Database {
     pub(crate) metrics: Option<DbMetrics>,
     pub(crate) tracer: Option<Arc<RingTracer>>,
     pub(crate) slow_log: Option<Arc<SlowQueryLog<QueryProfile>>>,
+    /// Bumped on every successful catalog mutation (DDL, grants,
+    /// analyze...); replication subscribers re-fetch the catalog image
+    /// when their epoch trails this (`docs/REPLICATION.md`). Starts at
+    /// 1 so a subscriber's initial epoch of 0 always fetches.
+    pub(crate) catalog_epoch: std::sync::atomic::AtomicU64,
+    /// The shared replication source, created on first
+    /// [`Database::replication_source`] call and kept alive by its
+    /// subscribers.
+    pub(crate) repl: parking_lot::Mutex<crate::replication::SourceSlot>,
+    /// Present iff this database is a read replica: the replay latch,
+    /// horizon and lag the session layer consults on every statement.
+    pub(crate) replica: Option<Arc<crate::replication::ReplicaState>>,
 }
 
 /// Configuration for a [`Database`], applied atomically at
@@ -338,6 +350,39 @@ impl Database {
         metrics_on: bool,
         trace: Option<TraceConfig>,
     ) -> Arc<Database> {
+        // Genesis runs inside a logged unit so the store's root pages
+        // appear in the WAL from LSN 1: a replica bootstrapping by
+        // replaying the whole log reproduces them (a no-op without a
+        // WAL).
+        let genesis = sm.begin_unit().expect("genesis unit");
+        let store = ObjectStore::new(sm).expect("fresh store");
+        genesis.commit().expect("genesis commit");
+        Self::assemble_with(store, Catalog::new(), recovery, None, metrics_on, trace)
+    }
+
+    /// Assemble a read replica over a store attached to shipped roots
+    /// and a catalog decoded from the primary's image
+    /// (`crate::replication::Replica::connect`).
+    pub(crate) fn assemble_replica(
+        store: ObjectStore,
+        catalog: Catalog,
+        recovery: Option<RecoveryReport>,
+        state: Arc<crate::replication::ReplicaState>,
+        metrics_on: bool,
+        trace: Option<TraceConfig>,
+    ) -> Arc<Database> {
+        Self::assemble_with(store, catalog, recovery, Some(state), metrics_on, trace)
+    }
+
+    fn assemble_with(
+        store: ObjectStore,
+        catalog: Catalog,
+        recovery: Option<RecoveryReport>,
+        replica: Option<Arc<crate::replication::ReplicaState>>,
+        metrics_on: bool,
+        trace: Option<TraceConfig>,
+    ) -> Arc<Database> {
+        let sm = store.storage().clone();
         let metrics = metrics_on.then(|| {
             let registry = Arc::new(MetricsRegistry::new());
             sm.register_metrics(&registry);
@@ -370,8 +415,6 @@ impl Database {
             }
             None => (None, None),
         };
-        let store = ObjectStore::new(sm).expect("fresh store");
-        let catalog = Catalog::new();
         let mut ops = OperatorTable::new();
         sync_operators(&mut ops, &catalog.adts);
         Arc::new(Database {
@@ -386,6 +429,9 @@ impl Database {
             metrics,
             tracer,
             slow_log,
+            catalog_epoch: std::sync::atomic::AtomicU64::new(1),
+            repl: parking_lot::Mutex::new(crate::replication::SourceSlot::default()),
+            replica,
         })
     }
 
@@ -406,6 +452,13 @@ impl Database {
     /// open recovers from a (near-)empty log. No-op consistency-wise:
     /// an interrupted checkpoint changes no logical state.
     pub fn checkpoint(&self) -> DbResult<()> {
+        if self.replica.is_some() {
+            return Err(DbError::ReadOnly(
+                "a replica checkpoints when the primary's checkpoint arrives in the \
+                 replication stream; checkpoint the primary instead"
+                    .into(),
+            ));
+        }
         self.store.storage().checkpoint()?;
         Ok(())
     }
@@ -424,6 +477,11 @@ impl Database {
     /// (used by benchmark loaders; maintains integrity edges but not
     /// secondary indexes — build indexes after loading).
     pub fn bulk_append(&self, collection: &str, members: Vec<Value>) -> DbResult<Vec<Oid>> {
+        if self.replica.is_some() {
+            return Err(DbError::ReadOnly(
+                "a read-only replica cannot load data; bulk-append on the primary".into(),
+            ));
+        }
         // The whole load is one write transaction (lock order: writer
         // slot before catalog), so readers either see none of the batch
         // or all of it. Resolve the collection only *after* the
@@ -544,8 +602,17 @@ impl Database {
     /// Register a new ADT at runtime, extending the parser's operator
     /// table with the ADT's registered operators.
     pub fn register_adt(&self, adt: Arc<dyn AdtType>) -> DbResult<()> {
+        if self.replica.is_some() {
+            return Err(DbError::ReadOnly(
+                "custom ADTs are not replicated; a replica resolves the built-in ADTs \
+                 only (docs/REPLICATION.md)"
+                    .into(),
+            ));
+        }
         let mut cat = self.catalog.write();
         cat.adts.register(adt)?;
+        self.catalog_epoch
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let mut ops = self.ops.write();
         sync_operators(&mut ops, &cat.adts);
         Ok(())
@@ -581,7 +648,7 @@ impl Database {
     }
 }
 
-fn sync_operators(ops: &mut OperatorTable, adts: &extra_model::AdtRegistry) {
+pub(crate) fn sync_operators(ops: &mut OperatorTable, adts: &extra_model::AdtRegistry) {
     for (sym, prec, assoc, arity) in adts.operator_symbols() {
         let a = match assoc {
             Assoc::Left => OpAssoc::Left,
@@ -791,6 +858,12 @@ impl Session {
     ///   then catalog), so a session blocked on the gate never holds a
     ///   lock a reader needs.
     fn execute_inner(&mut self, db: &Arc<Database>, stmt: &Stmt) -> DbResult<Response> {
+        // A replica session routes through the read-only path before
+        // any write machinery: even `begin` would append to the local
+        // log and diverge it from the primary's stream.
+        if let Some(state) = db.replica.clone() {
+            return self.replica_execute(db, &state, stmt);
+        }
         match stmt {
             Stmt::Begin => return self.begin_txn(db),
             Stmt::Commit => return self.commit_txn(db),
@@ -831,7 +904,7 @@ impl Session {
                 .map(Response::Rows);
             }
             let mut cat = db.catalog.write();
-            return exec_statement(
+            let response = exec_statement(
                 db,
                 &mut cat,
                 &mut self.ranges,
@@ -840,6 +913,11 @@ impl Session {
                 &Params::default(),
                 0,
             );
+            if response.is_ok() && stmt_bumps_epoch(stmt) {
+                db.catalog_epoch
+                    .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+            return response;
         }
         if let Stmt::Retrieve { into: None, .. } = stmt {
             // Autocommit read: a registered snapshot (not `TS_LATEST`) so
@@ -875,11 +953,85 @@ impl Session {
             &Params::default(),
             0,
         );
+        // The epoch bumps while the exclusive catalog lock is still
+        // held, so a replication poll can never capture the new
+        // catalog under the old epoch.
+        if response.is_ok() && stmt_bumps_epoch(stmt) {
+            db.catalog_epoch
+                .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        }
         drop(cat);
         let _commit_span = db.span("wal_commit", "");
         txn.commit()?;
         let _ = db.store.vacuum();
         response
+    }
+
+    /// The replica statement path: `range of` is pure session state,
+    /// `retrieve` (without `into`) runs against a snapshot pinned at
+    /// the replay horizon under the replay latch, and everything else
+    /// — anything that would append to the local log — is refused with
+    /// the stable [`DbError::ReadOnly`] code. When the replica trails
+    /// the primary past its configured lag bound, reads are shed with
+    /// the retryable [`DbError::Lagging`] code instead.
+    fn replica_execute(
+        &mut self,
+        db: &Arc<Database>,
+        state: &Arc<crate::replication::ReplicaState>,
+        stmt: &Stmt,
+    ) -> DbResult<Response> {
+        match stmt {
+            Stmt::RangeOf {
+                var,
+                universal,
+                path,
+            } => {
+                self.ranges.declare(var, *universal, path.clone());
+                Ok(Response::Done(format!("range of {var} declared")))
+            }
+            Stmt::Retrieve { into: None, .. } => {
+                if let Some(max) = state.max_lag {
+                    let lag = state.lag.load(std::sync::atomic::Ordering::Relaxed);
+                    if lag > max {
+                        return Err(DbError::Lagging(format!(
+                            "replay lag is {lag} records, over the configured bound of \
+                             {max}; retry after the replica catches up, or read the \
+                             primary"
+                        )));
+                    }
+                }
+                // Shared replay latch: the pump applies batches under
+                // the exclusive side, so this read never observes a
+                // half-applied page mutation.
+                let _replay = state.latch.read();
+                let snap = db.store.storage().begin_snapshot();
+                let cat = db.catalog.read();
+                dml::retrieve_at(
+                    db,
+                    &cat,
+                    &self.ranges,
+                    &self.user,
+                    stmt,
+                    &Params::default(),
+                    db.profiling(),
+                    snap.ts(),
+                )
+                .map(Response::Rows)
+            }
+            Stmt::Retrieve { into: Some(_), .. } => Err(DbError::ReadOnly(
+                "retrieve ... into creates a named object; run it on the primary".into(),
+            )),
+            Stmt::Begin | Stmt::Commit | Stmt::Abort => Err(DbError::ReadOnly(
+                "explicit transactions are not available on a read-only replica; run \
+                 them on the primary"
+                    .into(),
+            )),
+            other => Err(DbError::ReadOnly(format!(
+                "a read-only replica can only serve retrieve queries; route '{}' to \
+                 the primary",
+                verb_of(other)
+            ))),
+        }
     }
 
     /// `begin`: open the session's explicit transaction.
@@ -938,6 +1090,25 @@ fn txn_permits(stmt: &Stmt) -> Result<(), String> {
              delete, replace and range declarations can (commit or abort first)",
             verb_of(other)
         )),
+    }
+}
+
+/// Whether a successful statement mutated catalog state a replica
+/// needs re-shipped (DDL, grants, analyze, `retrieve into`...). DML
+/// never does: B+-tree roots are fixed pages, so inserts and splits
+/// never move anything the catalog points at.
+fn stmt_bumps_epoch(stmt: &Stmt) -> bool {
+    match stmt {
+        Stmt::Retrieve { into, .. } => into.is_some(),
+        Stmt::Append { .. }
+        | Stmt::Delete { .. }
+        | Stmt::Replace { .. }
+        | Stmt::RangeOf { .. }
+        | Stmt::Begin
+        | Stmt::Commit
+        | Stmt::Abort => false,
+        Stmt::Explain { stmt, .. } | Stmt::Observe { stmt } => stmt_bumps_epoch(stmt),
+        _ => true,
     }
 }
 

@@ -44,6 +44,15 @@ pub enum DbError {
     /// because the workload must re-check and re-issue; the original
     /// attempt may still surface as committed after a restart.
     Indeterminate(String),
+    /// The statement needs a write (or an explicit transaction) but
+    /// this database is a read-only replica. Not retryable here: the
+    /// statement will never succeed on this endpoint — route it to the
+    /// primary.
+    ReadOnly(String),
+    /// The replica's replay horizon trails the primary past the
+    /// configured lag bound and reads are being shed. Nothing was
+    /// executed; retry after the replica catches up.
+    Lagging(String),
     /// A wire-protocol or connection failure between a remote client
     /// and the server (framing violation, unexpected EOF, I/O error).
     Net(String),
@@ -74,12 +83,24 @@ pub const CODE_TABLE: &[CodeRow] = &[
     (1004, "Catalog", "catalog misuse", false),
     (1005, "Txn", "transaction misuse", false),
     (1006, "Model", "data-model / storage / runtime error", false),
+    (
+        1007,
+        "ReadOnly",
+        "read-only replica refuses writes and explicit transactions",
+        false,
+    ),
     (2001, "Busy", "writer gate busy past the lock timeout", true),
     (2002, "Shed", "admission control shed the request", true),
     (
         2003,
         "Indeterminate",
         "commit fate unknown until recovery",
+        true,
+    ),
+    (
+        2004,
+        "Lagging",
+        "replica lagging past the configured bound; read shed",
         true,
     ),
     (3001, "Net", "wire-protocol or connection failure", false),
@@ -101,9 +122,11 @@ impl DbError {
             // code stable either way.
             DbError::Model(ModelError::Storage(StorageError::IndeterminateCommit { .. })) => 2003,
             DbError::Model(_) => 1006,
+            DbError::ReadOnly(_) => 1007,
             DbError::Busy(_) => 2001,
             DbError::Shed(_) => 2002,
             DbError::Indeterminate(_) => 2003,
+            DbError::Lagging(_) => 2004,
             DbError::Net(_) => 3001,
             DbError::Remote { code, .. } => *code,
         }
@@ -130,9 +153,11 @@ impl fmt::Display for DbError {
             DbError::Auth(m) => write!(f, "authorization error: {m}"),
             DbError::Catalog(m) => write!(f, "catalog error: {m}"),
             DbError::Txn(m) => write!(f, "transaction error: {m}"),
+            DbError::ReadOnly(m) => write!(f, "read-only replica: {m}"),
             DbError::Busy(m) => write!(f, "busy: {m}"),
             DbError::Shed(m) => write!(f, "shed: {m}"),
             DbError::Indeterminate(m) => write!(f, "indeterminate commit: {m}"),
+            DbError::Lagging(m) => write!(f, "replica lagging: {m}"),
             DbError::Net(m) => write!(f, "network error: {m}"),
             DbError::Remote { code, message } => write!(f, "[{code}] {message}"),
         }
@@ -195,6 +220,8 @@ mod tests {
             DbError::Auth("x".into()),
             DbError::Catalog("x".into()),
             DbError::Txn("x".into()),
+            DbError::ReadOnly("x".into()),
+            DbError::Lagging("x".into()),
             DbError::Busy("x".into()),
             DbError::Shed("x".into()),
             DbError::Indeterminate("x".into()),

@@ -43,11 +43,13 @@ pub mod database;
 pub mod dml;
 pub mod error;
 mod observe;
+pub mod replication;
 
 pub use catalog::{Auth, Catalog, CatalogView};
 pub use client::Client;
 pub use database::{Database, DatabaseBuilder, Explanation, Observation, Response, Session};
 pub use error::{DbError, DbResult, CODE_TABLE};
+pub use replication::{Batch, InProcessStream, ReplStream, Replica, ReplicaOptions, Source};
 
 // Re-exports so downstream users need only this crate.
 pub use excess_exec as exec;

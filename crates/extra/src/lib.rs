@@ -33,6 +33,7 @@ pub mod adts;
 pub mod error;
 pub mod schema;
 pub mod store;
+pub mod typeio;
 pub mod types;
 pub mod value;
 pub mod valueio;
@@ -40,6 +41,6 @@ pub mod valueio;
 pub use adt::{AdtFunction, AdtId, AdtOperator, AdtRegistry, AdtType};
 pub use error::{ModelError, ModelResult};
 pub use schema::{SchemaType, TypeId, TypeRegistry};
-pub use store::{MemberScan, ObjectStore};
+pub use store::{MemberScan, ObjectStore, StoreRoots};
 pub use types::{Attribute, BaseType, Ownership, QualType, Type};
 pub use value::Value;

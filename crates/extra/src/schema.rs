@@ -391,6 +391,91 @@ impl TypeRegistry {
             mode => format!("{mode} {}", self.display_type(&qty.ty)),
         }
     }
+
+    /// Serialize the registry's full state for a replication catalog
+    /// image (see `docs/REPLICATION.md`). Everything round-trips —
+    /// renames, specializations, undefined-but-allocated slots — because
+    /// the flattened attribute lists are shipped as-is rather than
+    /// rebuilt by replaying DDL.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use crate::typeio::{put_str, put_u32, write_attribute};
+        let mut out = Vec::new();
+        put_u32(&mut out, self.types.len() as u32);
+        for t in &self.types {
+            put_u32(&mut out, t.id.0);
+            put_str(&mut out, &t.name);
+            put_u32(&mut out, t.supertypes.len() as u32);
+            for s in &t.supertypes {
+                put_u32(&mut out, s.0);
+            }
+            put_u32(&mut out, t.local_attrs.len() as u32);
+            for a in &t.local_attrs {
+                write_attribute(a, &mut out);
+            }
+            put_u32(&mut out, t.flat.len() as u32);
+            for f in &t.flat {
+                write_attribute(&f.attr, &mut out);
+                put_u32(&mut out, f.origin.declared_in.0);
+                put_str(&mut out, &f.origin.original_name);
+            }
+        }
+        put_u32(&mut out, self.by_name.len() as u32);
+        for (name, id) in &self.by_name {
+            put_str(&mut out, name);
+            put_u32(&mut out, id.0);
+        }
+        out
+    }
+
+    /// Rebuild a registry from [`TypeRegistry::to_bytes`] output.
+    pub fn from_bytes(buf: &[u8]) -> ModelResult<TypeRegistry> {
+        use crate::typeio::{get_str, get_u32, read_attribute};
+        let mut pos = 0;
+        let n = get_u32(buf, &mut pos)?;
+        let mut types = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            let id = TypeId(get_u32(buf, &mut pos)?);
+            let name = get_str(buf, &mut pos)?;
+            let ns = get_u32(buf, &mut pos)?;
+            let mut supertypes = Vec::with_capacity(ns as usize);
+            for _ in 0..ns {
+                supertypes.push(TypeId(get_u32(buf, &mut pos)?));
+            }
+            let nl = get_u32(buf, &mut pos)?;
+            let mut local_attrs = Vec::with_capacity(nl as usize);
+            for _ in 0..nl {
+                local_attrs.push(read_attribute(buf, &mut pos)?);
+            }
+            let nf = get_u32(buf, &mut pos)?;
+            let mut flat = Vec::with_capacity(nf as usize);
+            for _ in 0..nf {
+                let attr = read_attribute(buf, &mut pos)?;
+                let declared_in = TypeId(get_u32(buf, &mut pos)?);
+                let original_name = get_str(buf, &mut pos)?;
+                flat.push(FlatAttr {
+                    attr,
+                    origin: Origin {
+                        declared_in,
+                        original_name,
+                    },
+                });
+            }
+            types.push(SchemaType {
+                id,
+                name,
+                supertypes,
+                local_attrs,
+                flat,
+            });
+        }
+        let nb = get_u32(buf, &mut pos)?;
+        let mut by_name = HashMap::with_capacity(nb as usize);
+        for _ in 0..nb {
+            let name = get_str(buf, &mut pos)?;
+            by_name.insert(name, TypeId(get_u32(buf, &mut pos)?));
+        }
+        Ok(TypeRegistry { types, by_name })
+    }
 }
 
 impl fmt::Display for TypeId {

@@ -54,6 +54,21 @@ const TAG_LOB: u8 = 1;
 const BK_OBJECT: u8 = 0;
 const BK_MEMBER: u8 = 1;
 
+/// The page-level anchors of an [`ObjectStore`], as plain numbers: what
+/// a replica needs (besides the replicated pages themselves) to
+/// re-attach via [`ObjectStore::attach`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreRoots {
+    /// Root page of the object table.
+    pub table_root: u64,
+    /// Root page of the back-reference index.
+    pub backrefs_root: u64,
+    /// Root page of the ownership-children index.
+    pub children_root: u64,
+    /// Heap file id of the top-level object file.
+    pub file: u64,
+}
+
 /// An integrity edge extracted from a value.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 enum Edge {
@@ -136,6 +151,80 @@ impl ObjectStore {
             types: RwLock::new(Vec::new()),
             collections: RwLock::new(HashMap::new()),
         })
+    }
+
+    /// The store's physical anchors: enough to re-attach to the same
+    /// pages from another process over a replicated volume.
+    pub fn roots(&self) -> StoreRoots {
+        StoreRoots {
+            table_root: self.table.root(),
+            backrefs_root: self.backrefs.root(),
+            children_root: self.children.root(),
+            file: self.file.0,
+        }
+    }
+
+    /// Attach to an existing store's pages — the replica-side
+    /// counterpart of [`ObjectStore::new`]. The volume must already hold
+    /// the structures the roots point at (it does on a replica, whose
+    /// pages are physical copies of the primary's); the in-memory halves
+    /// (interned types, collection map) arrive separately via
+    /// [`ObjectStore::import_image`].
+    pub fn attach(sm: StorageManager, roots: &StoreRoots) -> ObjectStore {
+        ObjectStore {
+            sm,
+            table: ObjectTable::open(roots.table_root),
+            backrefs: BTree::open(roots.backrefs_root),
+            children: BTree::open(roots.children_root),
+            file: FileId(roots.file),
+            types: RwLock::new(Vec::new()),
+            collections: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Serialize the store's in-memory state (interned qualified types
+    /// and the collection map) for a replication catalog image.
+    pub fn export_image(&self) -> Vec<u8> {
+        use crate::typeio::{put_u32, put_u64, write_qty};
+        let mut out = Vec::new();
+        let types = self.types.read();
+        put_u32(&mut out, types.len() as u32);
+        for q in types.iter() {
+            write_qty(q, &mut out);
+        }
+        drop(types);
+        let cols = self.collections.read();
+        put_u32(&mut out, cols.len() as u32);
+        for (oid, info) in cols.iter() {
+            put_u64(&mut out, oid.0);
+            put_u64(&mut out, info.file.0);
+            put_u32(&mut out, info.elem);
+        }
+        out
+    }
+
+    /// Replace the store's in-memory state with an exported image.
+    /// Interned type ids are positional, so the vector must be swapped
+    /// wholesale — never merged.
+    pub fn import_image(&self, buf: &[u8]) -> ModelResult<()> {
+        use crate::typeio::{get_u32, get_u64, read_qty};
+        let mut pos = 0;
+        let n = get_u32(buf, &mut pos)?;
+        let mut types = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            types.push(read_qty(buf, &mut pos)?);
+        }
+        let nc = get_u32(buf, &mut pos)?;
+        let mut cols = HashMap::with_capacity(nc as usize);
+        for _ in 0..nc {
+            let oid = Oid(get_u64(buf, &mut pos)?);
+            let file = FileId(get_u64(buf, &mut pos)?);
+            let elem = get_u32(buf, &mut pos)?;
+            cols.insert(oid, CollectionInfo { file, elem });
+        }
+        *self.types.write() = types;
+        *self.collections.write() = cols;
+        Ok(())
     }
 
     /// The underlying storage manager.

@@ -1,0 +1,287 @@
+//! Byte serialization of EXTRA types, for replication catalog images.
+//!
+//! A replica cannot re-run the DDL that built the primary's catalog (it
+//! refuses writes), so the primary ships its catalog as a versioned
+//! image instead — see `docs/REPLICATION.md`. This module gives the
+//! image a stable binary form for [`crate::types`] values; the registry
+//! and store halves live next to their (private) state in
+//! [`crate::schema`] and [`crate::store`].
+//!
+//! The encoding is tag-byte + little-endian lengths throughout, the same
+//! dialect as [`crate::valueio`]. It is an internal wire format between
+//! identically versioned binaries, not an archival format.
+
+use crate::adt::AdtId;
+use crate::error::{ModelError, ModelResult};
+use crate::schema::TypeId;
+use crate::types::{Attribute, BaseType, Ownership, QualType, Type};
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn get_u32(buf: &[u8], pos: &mut usize) -> ModelResult<u32> {
+    let end = pos
+        .checked_add(4)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| ModelError::Integrity("truncated catalog image".into()))?;
+    let v = u32::from_le_bytes(buf[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+pub(crate) fn get_u64(buf: &[u8], pos: &mut usize) -> ModelResult<u64> {
+    let end = pos
+        .checked_add(8)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| ModelError::Integrity("truncated catalog image".into()))?;
+    let v = u64::from_le_bytes(buf[*pos..end].try_into().unwrap());
+    *pos = end;
+    Ok(v)
+}
+
+pub(crate) fn get_u8(buf: &[u8], pos: &mut usize) -> ModelResult<u8> {
+    let b = *buf
+        .get(*pos)
+        .ok_or_else(|| ModelError::Integrity("truncated catalog image".into()))?;
+    *pos += 1;
+    Ok(b)
+}
+
+pub(crate) fn get_str(buf: &[u8], pos: &mut usize) -> ModelResult<String> {
+    let len = get_u32(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| ModelError::Integrity("truncated catalog image".into()))?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| ModelError::Integrity("catalog image holds invalid utf-8".into()))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+/// Append the encoding of an ownership mode.
+pub fn write_ownership(m: Ownership, out: &mut Vec<u8>) {
+    out.push(match m {
+        Ownership::Own => 0,
+        Ownership::Ref => 1,
+        Ownership::OwnRef => 2,
+    });
+}
+
+/// Decode an ownership mode.
+pub fn read_ownership(buf: &[u8], pos: &mut usize) -> ModelResult<Ownership> {
+    Ok(match get_u8(buf, pos)? {
+        0 => Ownership::Own,
+        1 => Ownership::Ref,
+        2 => Ownership::OwnRef,
+        t => return Err(ModelError::Integrity(format!("bad ownership tag {t}"))),
+    })
+}
+
+fn write_base(b: &BaseType, out: &mut Vec<u8>) {
+    match b {
+        BaseType::Int1 => out.push(0),
+        BaseType::Int2 => out.push(1),
+        BaseType::Int4 => out.push(2),
+        BaseType::Int8 => out.push(3),
+        BaseType::Float4 => out.push(4),
+        BaseType::Float8 => out.push(5),
+        BaseType::Boolean => out.push(6),
+        BaseType::Char(n) => {
+            out.push(7);
+            put_u64(out, *n as u64);
+        }
+        BaseType::Varchar => out.push(8),
+        BaseType::Enum(syms) => {
+            out.push(9);
+            put_u32(out, syms.len() as u32);
+            for s in syms {
+                put_str(out, s);
+            }
+        }
+    }
+}
+
+fn read_base(buf: &[u8], pos: &mut usize) -> ModelResult<BaseType> {
+    Ok(match get_u8(buf, pos)? {
+        0 => BaseType::Int1,
+        1 => BaseType::Int2,
+        2 => BaseType::Int4,
+        3 => BaseType::Int8,
+        4 => BaseType::Float4,
+        5 => BaseType::Float8,
+        6 => BaseType::Boolean,
+        7 => BaseType::Char(get_u64(buf, pos)? as usize),
+        8 => BaseType::Varchar,
+        9 => {
+            let n = get_u32(buf, pos)?;
+            let mut syms = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                syms.push(get_str(buf, pos)?);
+            }
+            BaseType::Enum(syms)
+        }
+        t => return Err(ModelError::Integrity(format!("bad base-type tag {t}"))),
+    })
+}
+
+/// Append the encoding of a type.
+pub fn write_type(ty: &Type, out: &mut Vec<u8>) {
+    match ty {
+        Type::Base(b) => {
+            out.push(0);
+            write_base(b, out);
+        }
+        Type::Adt(id) => {
+            out.push(1);
+            put_u32(out, id.0);
+        }
+        Type::Schema(id) => {
+            out.push(2);
+            put_u32(out, id.0);
+        }
+        Type::Tuple(attrs) => {
+            out.push(3);
+            put_u32(out, attrs.len() as u32);
+            for a in attrs {
+                write_attribute(a, out);
+            }
+        }
+        Type::Set(e) => {
+            out.push(4);
+            write_qty(e, out);
+        }
+        Type::Array(n, e) => {
+            out.push(5);
+            match n {
+                Some(n) => {
+                    out.push(1);
+                    put_u64(out, *n as u64);
+                }
+                None => out.push(0),
+            }
+            write_qty(e, out);
+        }
+        Type::Unknown => out.push(6),
+    }
+}
+
+/// Decode a type.
+pub fn read_type(buf: &[u8], pos: &mut usize) -> ModelResult<Type> {
+    Ok(match get_u8(buf, pos)? {
+        0 => Type::Base(read_base(buf, pos)?),
+        1 => Type::Adt(AdtId(get_u32(buf, pos)?)),
+        2 => Type::Schema(TypeId(get_u32(buf, pos)?)),
+        3 => {
+            let n = get_u32(buf, pos)?;
+            let mut attrs = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                attrs.push(read_attribute(buf, pos)?);
+            }
+            Type::Tuple(attrs)
+        }
+        4 => Type::Set(Box::new(read_qty(buf, pos)?)),
+        5 => {
+            let n = match get_u8(buf, pos)? {
+                0 => None,
+                1 => Some(get_u64(buf, pos)? as usize),
+                t => return Err(ModelError::Integrity(format!("bad array-len tag {t}"))),
+            };
+            Type::Array(n, Box::new(read_qty(buf, pos)?))
+        }
+        6 => Type::Unknown,
+        t => return Err(ModelError::Integrity(format!("bad type tag {t}"))),
+    })
+}
+
+/// Append the encoding of a qualified type.
+pub fn write_qty(q: &QualType, out: &mut Vec<u8>) {
+    write_ownership(q.mode, out);
+    write_type(&q.ty, out);
+}
+
+/// Decode a qualified type.
+pub fn read_qty(buf: &[u8], pos: &mut usize) -> ModelResult<QualType> {
+    Ok(QualType {
+        mode: read_ownership(buf, pos)?,
+        ty: read_type(buf, pos)?,
+    })
+}
+
+/// Append the encoding of a named attribute.
+pub fn write_attribute(a: &Attribute, out: &mut Vec<u8>) {
+    put_str(out, &a.name);
+    write_qty(&a.qty, out);
+}
+
+/// Decode a named attribute.
+pub fn read_attribute(buf: &[u8], pos: &mut usize) -> ModelResult<Attribute> {
+    let name = get_str(buf, pos)?;
+    let qty = read_qty(buf, pos)?;
+    Ok(Attribute { name, qty })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_shape() {
+        let samples = vec![
+            QualType::own(Type::int4()),
+            QualType::own(Type::Base(BaseType::Char(12))),
+            QualType::own(Type::Base(BaseType::Enum(vec![
+                "red".into(),
+                "blue".into(),
+            ]))),
+            QualType::reference(Type::Schema(TypeId(7))),
+            QualType::own_ref(Type::Schema(TypeId(0))),
+            QualType::own(Type::Adt(AdtId(3))),
+            QualType::own(Type::Set(Box::new(QualType::reference(Type::Schema(
+                TypeId(2),
+            ))))),
+            QualType::own(Type::Array(
+                Some(10),
+                Box::new(QualType::own(Type::float8())),
+            )),
+            QualType::own(Type::Array(None, Box::new(QualType::own(Type::varchar())))),
+            QualType::own(Type::Tuple(vec![
+                Attribute::own("x", Type::int4()),
+                Attribute::own_ref("y", Type::Schema(TypeId(1))),
+            ])),
+            QualType::own(Type::Unknown),
+        ];
+        for q in &samples {
+            let mut buf = Vec::new();
+            write_qty(q, &mut buf);
+            let mut pos = 0;
+            let back = read_qty(&buf, &mut pos).unwrap();
+            assert_eq!(&back, q);
+            assert_eq!(pos, buf.len(), "trailing bytes for {q:?}");
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        write_qty(
+            &QualType::own(Type::Base(BaseType::Enum(vec!["a".into(), "b".into()]))),
+            &mut buf,
+        );
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert!(read_qty(&buf[..cut], &mut pos).is_err());
+        }
+    }
+}

@@ -6,22 +6,32 @@
 //!               [--durability none|buffered|fsync]
 //!               [--max-connections N] [--queue-depth N]
 //!               [--shed-p99-ms MS] [--lock-timeout-ms MS]
+//!               [--replica-of HOST:PORT [--max-replica-lag N]
+//!                [--poll-interval-ms MS]]
 //! ```
+//!
+//! With `--replica-of`, the server bootstraps a read-only replica of
+//! the primary at that address into `--path` and serves it: retrieves
+//! run at the replay horizon, writes are refused with code 1007, and
+//! reads shed with code 2004 when replay lag exceeds
+//! `--max-replica-lag` records. See `docs/REPLICATION.md`.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use exodus_db::{Database, Durability};
-use exodus_server::{AdmissionConfig, Server, TcpTransport};
+use exodus_db::{Database, Durability, ReplicaOptions};
+use exodus_server::{AdmissionConfig, Server, TcpTransport, WireReplica};
 
 fn usage() -> ! {
     eprintln!(
         "usage: exodus-server [--addr HOST:PORT] [--path DIR | --in-memory]\n\
          \x20                    [--durability none|buffered|fsync]\n\
          \x20                    [--max-connections N] [--queue-depth N]\n\
-         \x20                    [--shed-p99-ms MS] [--lock-timeout-ms MS]"
+         \x20                    [--shed-p99-ms MS] [--lock-timeout-ms MS]\n\
+         \x20                    [--replica-of HOST:PORT [--max-replica-lag N]\n\
+         \x20                     [--poll-interval-ms MS]]"
     );
     std::process::exit(2);
 }
@@ -31,6 +41,9 @@ fn main() -> ExitCode {
     let mut path: Option<String> = None;
     let mut durability = Durability::Fsync;
     let mut config = AdmissionConfig::default();
+    let mut replica_of: Option<String> = None;
+    let mut max_replica_lag: Option<u64> = None;
+    let mut poll_interval = Duration::from_millis(100);
 
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -67,6 +80,14 @@ fn main() -> ExitCode {
                 let ms: u64 = parse(&value("--lock-timeout-ms"), "--lock-timeout-ms");
                 config.lock_timeout = Duration::from_millis(ms);
             }
+            "--replica-of" => replica_of = Some(value("--replica-of")),
+            "--max-replica-lag" => {
+                max_replica_lag = Some(parse(&value("--max-replica-lag"), "--max-replica-lag"))
+            }
+            "--poll-interval-ms" => {
+                let ms: u64 = parse(&value("--poll-interval-ms"), "--poll-interval-ms");
+                poll_interval = Duration::from_millis(ms);
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -75,15 +96,35 @@ fn main() -> ExitCode {
         }
     }
 
-    let db = match &path {
-        Some(dir) => match Database::builder().path(dir).durability(durability).build() {
-            Ok(db) => db,
+    let (db, mut replica) = if let Some(primary) = &replica_of {
+        let Some(dir) = &path else {
+            eprintln!("exodus-server: --replica-of needs --path for the replica's local volume");
+            return ExitCode::FAILURE;
+        };
+        let opts = ReplicaOptions {
+            durability,
+            max_lag: max_replica_lag,
+            ..ReplicaOptions::default()
+        };
+        match WireReplica::spawn(primary.clone(), dir, opts, poll_interval) {
+            Ok(r) => (r.database(), Some(r)),
             Err(e) => {
-                eprintln!("exodus-server: opening {dir}: {e}");
+                eprintln!("exodus-server: replicating {primary}: {e}");
                 return ExitCode::FAILURE;
             }
-        },
-        None => Database::in_memory(),
+        }
+    } else {
+        let db = match &path {
+            Some(dir) => match Database::builder().path(dir).durability(durability).build() {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("exodus-server: opening {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            None => Database::in_memory(),
+        };
+        (db, None)
     };
     if let Some(report) = db.recovery() {
         eprintln!("exodus-server: recovery: {report:?}");
@@ -106,9 +147,11 @@ fn main() -> ExitCode {
     eprintln!(
         "exodus-server: serving EXOD/1 and /metrics on {} ({})",
         server.addr(),
-        match &path {
-            Some(dir) => format!("database at {dir}"),
-            None => "in-memory database".to_string(),
+        match (&replica_of, &path) {
+            (Some(primary), Some(dir)) =>
+                format!("read-only replica of {primary}, local volume at {dir}"),
+            (_, Some(dir)) => format!("database at {dir}"),
+            _ => "in-memory database".to_string(),
         }
     );
 
@@ -129,6 +172,9 @@ fn main() -> ExitCode {
     }
     eprintln!("exodus-server: stdin closed; shutting down");
     server.shutdown();
+    if let Some(replica) = replica.as_mut() {
+        replica.shutdown();
+    }
     ExitCode::SUCCESS
 }
 

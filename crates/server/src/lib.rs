@@ -19,9 +19,13 @@
 //! * [`server`] — the acceptor and per-connection serving loop, plus
 //!   HTTP `/metrics` Prometheus exposition on the same port.
 //! * [`client`] — [`RemoteSession`], with pipelining.
+//! * [`repl`] — wire replication: [`RemoteStream`] (a replica's
+//!   poll/batch subscription) and [`WireReplica`] (the pump behind
+//!   `exodus-server --replica-of`).
 //!
-//! See `docs/SERVER.md` for the wire grammar and `docs/ERRORS.md` for
-//! the error-code table.
+//! See `docs/SERVER.md` for the wire grammar, `docs/REPLICATION.md`
+//! for the replication protocol, and `docs/ERRORS.md` for the
+//! error-code table.
 //!
 //! # Quickstart
 //!
@@ -49,11 +53,13 @@
 pub mod admission;
 pub mod client;
 pub mod protocol;
+pub mod repl;
 pub mod server;
 pub mod transport;
 
 pub use admission::{Admission, AdmissionConfig, ServerMetrics};
 pub use client::RemoteSession;
 pub use protocol::{Frame, MAX_FRAME, PREAMBLE, VERSION, WIRE_BATCH_ROWS};
+pub use repl::{RemoteStream, WireReplica};
 pub use server::Server;
 pub use transport::{Conn, TcpTransport, Transport};

@@ -48,6 +48,8 @@ const T_RUN: u8 = 0x02;
 const T_EXPLAIN: u8 = 0x03;
 const T_OBSERVE: u8 = 0x04;
 const T_GOODBYE: u8 = 0x0F;
+const T_REPL_SUBSCRIBE: u8 = 0x10;
+const T_REPL_POLL: u8 = 0x11;
 const T_WELCOME: u8 = 0x81;
 const T_DONE: u8 = 0x82;
 const T_ROWS_HEADER: u8 = 0x83;
@@ -58,6 +60,8 @@ const T_OBSERVATION: u8 = 0x87;
 const T_ROWS_INLINE: u8 = 0x88;
 const T_COMPLETE: u8 = 0x8D;
 const T_ERROR: u8 = 0x8E;
+const T_REPL_WELCOME: u8 = 0x8F;
+const T_REPL_BATCH: u8 = 0x90;
 
 /// One protocol frame, decoded.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,6 +94,38 @@ pub enum Frame {
     },
     /// Client → server: orderly shutdown of the connection.
     Goodbye,
+    /// Replica → primary, instead of [`Frame::Hello`]: this connection
+    /// is a replication subscription, not a statement session. The
+    /// server answers [`Frame::ReplWelcome`] (or [`Frame::Error`]) and
+    /// the connection speaks only poll/batch afterwards.
+    ReplSubscribe {
+        /// Protocol version the replica speaks.
+        version: u16,
+    },
+    /// Replica → primary: request the next batch after `after_lsn`.
+    ReplPoll {
+        /// The replica's local log frontier (its replay cursor).
+        after_lsn: u64,
+        /// The catalog-image epoch the replica already holds (0 for
+        /// none); a differing primary epoch ships a fresh image.
+        have_epoch: u64,
+        /// Cap on WAL records in the reply.
+        max_records: u32,
+    },
+    /// Primary → replica: the subscription is open.
+    ReplWelcome {
+        /// Protocol version the primary speaks.
+        version: u16,
+        /// Server-assigned session id (diagnostics only).
+        session_id: u64,
+    },
+    /// Primary → replica: one replication batch — the
+    /// `exodus_db::Batch` encoding (epoch, durable frontier, optional
+    /// catalog image, raw WAL frames) carried opaquely.
+    ReplBatch {
+        /// `Batch::to_bytes` payload, decoded with `Batch::from_bytes`.
+        payload: Vec<u8>,
+    },
     /// Server → client: the session is open.
     Welcome {
         /// Protocol version the server speaks.
@@ -229,6 +265,32 @@ fn encode_frame(w: &mut ByteWriter, frame: &Frame) {
             w.put_str(src);
         }
         Frame::Goodbye => w.put_u8(T_GOODBYE),
+        Frame::ReplSubscribe { version } => {
+            w.put_u8(T_REPL_SUBSCRIBE);
+            w.put_u16(*version);
+        }
+        Frame::ReplPoll {
+            after_lsn,
+            have_epoch,
+            max_records,
+        } => {
+            w.put_u8(T_REPL_POLL);
+            w.put_u64(*after_lsn);
+            w.put_u64(*have_epoch);
+            w.put_u32(*max_records);
+        }
+        Frame::ReplWelcome {
+            version,
+            session_id,
+        } => {
+            w.put_u8(T_REPL_WELCOME);
+            w.put_u16(*version);
+            w.put_u64(*session_id);
+        }
+        Frame::ReplBatch { payload } => {
+            w.put_u8(T_REPL_BATCH);
+            w.put_bytes(payload);
+        }
         Frame::Welcome {
             version,
             session_id,
@@ -331,6 +393,21 @@ fn decode_frame(r: &mut ByteReader<'_>) -> DbResult<Frame> {
             src: r.get_str().map_err(bad)?.to_string(),
         },
         T_GOODBYE => Frame::Goodbye,
+        T_REPL_SUBSCRIBE => Frame::ReplSubscribe {
+            version: r.get_u16().map_err(bad)?,
+        },
+        T_REPL_POLL => Frame::ReplPoll {
+            after_lsn: r.get_u64().map_err(bad)?,
+            have_epoch: r.get_u64().map_err(bad)?,
+            max_records: r.get_u32().map_err(bad)?,
+        },
+        T_REPL_WELCOME => Frame::ReplWelcome {
+            version: r.get_u16().map_err(bad)?,
+            session_id: r.get_u64().map_err(bad)?,
+        },
+        T_REPL_BATCH => Frame::ReplBatch {
+            payload: r.get_bytes().map_err(bad)?.to_vec(),
+        },
         T_WELCOME => Frame::Welcome {
             version: r.get_u16().map_err(bad)?,
             session_id: r.get_u64().map_err(bad)?,
@@ -546,6 +623,19 @@ mod tests {
         round_trip(Frame::Error {
             code: 2002,
             message: "shed".into(),
+        });
+        round_trip(Frame::ReplSubscribe { version: VERSION });
+        round_trip(Frame::ReplPoll {
+            after_lsn: 99,
+            have_epoch: 3,
+            max_records: 512,
+        });
+        round_trip(Frame::ReplWelcome {
+            version: VERSION,
+            session_id: 7,
+        });
+        round_trip(Frame::ReplBatch {
+            payload: vec![0xDE, 0xAD, 0xBE, 0xEF],
         });
     }
 

@@ -343,6 +343,33 @@ fn serve_connection(
         return;
     }
 
+    // The handshake deadline covers the opening frame too. Reading it
+    // before admission keeps two properties: no connection slot is ever
+    // held by a peer still mid-handshake, and replication subscriptions
+    // (which announce themselves in this frame) never compete with
+    // statement sessions for slots — a primary at its connection limit
+    // must still feed its replicas.
+    let opening = match read_frame_interruptible(&mut *conn, &stop, handshake_deadline) {
+        Ok(Some(f)) => f,
+        _ => return,
+    };
+    let (version, user) = match opening {
+        Frame::Hello { version, user } => (version, user),
+        Frame::ReplSubscribe { version } => {
+            if version != VERSION {
+                let _ = version_mismatch(&mut *conn, version);
+                return;
+            }
+            serve_replication(&mut *conn, &db, &stop, session_id);
+            return;
+        }
+        _ => return,
+    };
+    if version != VERSION {
+        let _ = version_mismatch(&mut *conn, version);
+        return;
+    }
+
     // Gate 1: connection admission. Shed connections learn why.
     let slot = match admission.admit_connection() {
         Ok(slot) => slot,
@@ -357,27 +384,6 @@ fn serve_connection(
             return;
         }
     };
-
-    // The handshake deadline covers the Hello frame too: an admitted
-    // connection that never completes the handshake must release its
-    // slot, or idle half-handshakes could exhaust max_connections.
-    let hello = match read_frame_interruptible(&mut *conn, &stop, handshake_deadline) {
-        Ok(Some(f)) => f,
-        _ => return,
-    };
-    let Frame::Hello { version, user } = hello else {
-        return;
-    };
-    if version != VERSION {
-        let _ = write_frame(
-            &mut WriteAdapter(&mut *conn),
-            &Frame::Error {
-                code: 3001,
-                message: format!("server speaks EXOD/{VERSION}, client sent {version}"),
-            },
-        );
-        return;
-    }
 
     let mut session = db.session_as(&user);
     session.set_lock_timeout(Some(admission.config().lock_timeout));
@@ -416,6 +422,88 @@ fn serve_connection(
         }
     }
     drop(slot);
+}
+
+fn version_mismatch(conn: &mut dyn Conn, got: u16) -> DbResult<()> {
+    write_frame(
+        &mut WriteAdapter(conn),
+        &Frame::Error {
+            code: 3001,
+            message: format!("server speaks EXOD/{VERSION}, client sent {got}"),
+        },
+    )
+}
+
+/// Serve a replication subscription: answer each [`Frame::ReplPoll`]
+/// with one [`Frame::ReplBatch`] from the database's shared
+/// [`exodus_db::Source`]. Runs outside statement admission — shipping
+/// the log is how replicas *relieve* primary load, so it must not be
+/// shed with it — but still honors the server's stop flag.
+fn serve_replication(conn: &mut dyn Conn, db: &Arc<Database>, stop: &AtomicBool, session_id: u64) {
+    let source = match db.replication_source() {
+        Ok(s) => s,
+        Err(e) => {
+            let _ = write_frame(
+                &mut WriteAdapter(conn),
+                &Frame::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            );
+            return;
+        }
+    };
+    if write_frame(
+        &mut WriteAdapter(conn),
+        &Frame::ReplWelcome {
+            version: VERSION,
+            session_id,
+        },
+    )
+    .is_err()
+    {
+        return;
+    }
+    loop {
+        let frame = match read_frame_interruptible(conn, stop, None) {
+            Ok(Some(f)) => f,
+            _ => return,
+        };
+        let reply = match frame {
+            Frame::ReplPoll {
+                after_lsn,
+                have_epoch,
+                max_records,
+            } => match source.poll(after_lsn, have_epoch, max_records as usize) {
+                Ok(batch) => Frame::ReplBatch {
+                    payload: batch.to_bytes(),
+                },
+                // A failed poll (e.g. a log read error) is reported and
+                // the subscription stays open — the replica retries.
+                Err(e) => Frame::Error {
+                    code: e.code(),
+                    message: e.to_string(),
+                },
+            },
+            Frame::Goodbye => return,
+            other => {
+                // Protocol violation: answer and hang up.
+                let _ = write_frame(
+                    &mut WriteAdapter(conn),
+                    &Frame::Error {
+                        code: 3001,
+                        message: format!(
+                            "unexpected frame {other:?} on a replication subscription"
+                        ),
+                    },
+                );
+                return;
+            }
+        };
+        if write_frame(&mut WriteAdapter(conn), &reply).is_err() {
+            return;
+        }
+    }
 }
 
 /// Serve one request frame; returns `false` when the connection should

@@ -459,6 +459,35 @@ impl BufferPool {
         Ok(())
     }
 
+    /// Overwrite `page_no` with a full-page image whose effects end at
+    /// `lsn` (replication replay — the live twin of recovery's
+    /// image-install). The volume is extended with zeroed pages as
+    /// needed; the frame is left dirty so normal write-back persists it,
+    /// subject to the flush rule against the *local* log.
+    pub fn install_page(
+        self: &Arc<Self>,
+        page_no: u64,
+        image: &[u8],
+        lsn: u64,
+    ) -> StorageResult<()> {
+        if image.len() != PAGE_SIZE {
+            return Err(StorageError::Corrupt(format!(
+                "page image for {page_no} is {} bytes, want {PAGE_SIZE}",
+                image.len()
+            )));
+        }
+        while self.volume.page_count() <= page_no {
+            self.volume.allocate_page()?;
+        }
+        let page = self.pin(page_no)?;
+        page.frame.lsn.store(lsn, Ordering::Release);
+        let mut data = page.frame.data.write();
+        data.copy_from_slice(image);
+        page::set_page_lsn(&mut data[..], lsn);
+        page.frame.dirty.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Number of pages in the underlying volume.
     pub fn volume_pages(&self) -> u64 {
         self.volume.page_count()

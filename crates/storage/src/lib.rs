@@ -77,6 +77,7 @@ pub mod lob;
 pub mod object;
 pub mod page;
 pub mod recovery;
+pub mod repl;
 pub mod txn;
 pub mod volume;
 pub mod wal;
@@ -86,8 +87,9 @@ pub use error::{StorageError, StorageResult};
 pub use heap::{FileId, RecordId};
 pub use object::Oid;
 pub use recovery::RecoveryReport;
+pub use repl::{ApplierCounters, ApplyStats, ReplicaApplier, ReplicationSource};
 pub use txn::{visible, ReclaimOp, Snapshot, TxnManager, WriteTxn, TS_INF, TS_LATEST};
-pub use wal::{Durability, Lsn, Wal, WalRecord};
+pub use wal::{Durability, Lsn, Wal, WalEntry, WalRecord};
 
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -499,6 +499,149 @@ pub(crate) fn read_log(dir: &Path) -> StorageResult<(Vec<WalEntry>, LogTail)> {
     Ok((entries, tail))
 }
 
+/// Encode one entry as an on-disk/wire frame
+/// (`len | crc | lsn | unit | record`), appending to `out`. The frame
+/// bytes are identical to what [`Wal::append`] writes, so a replica can
+/// verify the CRC chain it receives and a wire batch is just a slice of
+/// the log.
+pub fn encode_frame(entry: &WalEntry, out: &mut Vec<u8>) {
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&entry.lsn.to_le_bytes());
+    body.extend_from_slice(&entry.unit.to_le_bytes());
+    entry.rec.encode_into(&mut body);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+}
+
+/// Decode a concatenation of [`encode_frame`] frames. Strict, unlike the
+/// scan in `read_log`: a short frame, CRC mismatch or undecodable record
+/// is an error, not a tail — a replication batch is never torn.
+pub fn decode_frames(bytes: &[u8]) -> StorageResult<Vec<WalEntry>> {
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if pos + FRAME_HEADER > bytes.len() {
+            return Err(StorageError::Corrupt("short replication frame".into()));
+        }
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        let crc = u32::from_le_bytes([
+            bytes[pos + 4],
+            bytes[pos + 5],
+            bytes[pos + 6],
+            bytes[pos + 7],
+        ]);
+        let body_start = pos + FRAME_HEADER;
+        if len < 17 || body_start + len > bytes.len() {
+            return Err(StorageError::Corrupt("short replication frame".into()));
+        }
+        let body = &bytes[body_start..body_start + len];
+        if crc32(body) != crc {
+            return Err(StorageError::Corrupt(
+                "replication frame failed its CRC".into(),
+            ));
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&body[..8]);
+        let lsn = u64::from_le_bytes(b);
+        b.copy_from_slice(&body[8..16]);
+        let unit = u64::from_le_bytes(b);
+        let rec = WalRecord::decode(&body[16..]).ok_or_else(|| {
+            StorageError::Corrupt(format!("undecodable replication record at lsn {lsn}"))
+        })?;
+        entries.push(WalEntry { lsn, unit, rec });
+        pos = body_start + len;
+    }
+    Ok(entries)
+}
+
+impl Wal {
+    /// Read up to `max_records` committed-to-durability entries with LSNs
+    /// strictly after `after_lsn`, straight from the segment files (the
+    /// OS page cache makes freshly appended bytes visible). Returns an
+    /// empty vector when `after_lsn` is already the durable frontier, and
+    /// an error naming the pruned history when `after_lsn + 1` predates
+    /// the earliest surviving segment (the subscriber must re-seed).
+    pub fn read_entries_after(
+        &self,
+        after_lsn: Lsn,
+        max_records: usize,
+    ) -> StorageResult<Vec<WalEntry>> {
+        let durable = self.durable_lsn();
+        if after_lsn >= durable || max_records == 0 {
+            return Ok(Vec::new());
+        }
+        let segs = list_segments(&self.dir)?;
+        match segs.first().and_then(|(_, p)| segment_first_lsn(p)) {
+            Some(first) if first <= after_lsn + 1 => {}
+            Some(first) => {
+                return Err(StorageError::Corrupt(format!(
+                    "replication history pruned: need lsn {} but the log now starts at {first}",
+                    after_lsn + 1
+                )))
+            }
+            None => {
+                return Err(StorageError::Corrupt(
+                    "replication history pruned: no readable segment".into(),
+                ))
+            }
+        }
+        let mut out = Vec::new();
+        for window in 0..segs.len() {
+            // Skip segments wholly before the cursor: dead if the next
+            // segment starts at or before it (same test as GC).
+            if let Some((_, next_path)) = segs.get(window + 1) {
+                if segment_first_lsn(next_path).is_some_and(|first| first <= after_lsn + 1) {
+                    continue;
+                }
+            }
+            let (_, path) = &segs[window];
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            let mut pos = SEG_HEADER;
+            while pos + FRAME_HEADER <= bytes.len() {
+                let len = u32::from_le_bytes([
+                    bytes[pos],
+                    bytes[pos + 1],
+                    bytes[pos + 2],
+                    bytes[pos + 3],
+                ]) as usize;
+                let crc = u32::from_le_bytes([
+                    bytes[pos + 4],
+                    bytes[pos + 5],
+                    bytes[pos + 6],
+                    bytes[pos + 7],
+                ]);
+                let body_start = pos + FRAME_HEADER;
+                if len < 17 || body_start + len > bytes.len() {
+                    break; // in-flight append: stop at the ragged tail
+                }
+                let body = &bytes[body_start..body_start + len];
+                if crc32(body) != crc {
+                    break;
+                }
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&body[..8]);
+                let lsn = u64::from_le_bytes(b);
+                if lsn > durable || out.len() >= max_records {
+                    return Ok(out);
+                }
+                if lsn > after_lsn {
+                    b.copy_from_slice(&body[8..16]);
+                    let unit = u64::from_le_bytes(b);
+                    let rec = WalRecord::decode(&body[16..]).ok_or_else(|| {
+                        StorageError::Corrupt(format!("undecodable log record at lsn {lsn}"))
+                    })?;
+                    out.push(WalEntry { lsn, unit, rec });
+                }
+                pos = body_start + len;
+            }
+        }
+        Ok(out)
+    }
+}
+
 struct WalInner {
     file: File,
     seg_seq: u64,
@@ -562,6 +705,12 @@ pub struct Wal {
     unit_cv: Condvar,
     /// Mirror of `inner.appended_lsn` readable without the append lock.
     appended: AtomicU64,
+    /// Mirror of `inner.synced_lsn` readable without the append lock.
+    synced: AtomicU64,
+    /// Lowest LSN that must stay reachable in segment files
+    /// ([`u64::MAX`] = no floor). Replication sources pin this so
+    /// checkpoint GC cannot prune segments a subscriber still needs.
+    gc_floor: AtomicU64,
     metrics: WalMetrics,
 }
 
@@ -611,6 +760,8 @@ impl Wal {
             }),
             unit_cv: Condvar::new(),
             appended: AtomicU64::new(tail.last_lsn),
+            synced: AtomicU64::new(tail.last_lsn),
+            gc_floor: AtomicU64::new(u64::MAX),
             metrics: WalMetrics::new(),
         })
     }
@@ -633,6 +784,7 @@ impl Wal {
             .observe(start.elapsed().as_nanos() as u64);
         self.metrics.group_commit_records.observe(batch);
         inner.synced_lsn = inner.synced_lsn.max(inner.appended_lsn);
+        self.synced.store(inner.synced_lsn, Ordering::Release);
         Ok(())
     }
 
@@ -690,6 +842,41 @@ impl Wal {
         self.appended.load(Ordering::Acquire)
     }
 
+    /// LSN through which the log has been fsynced.
+    pub fn synced_lsn(&self) -> Lsn {
+        self.synced.load(Ordering::Acquire)
+    }
+
+    /// The LSN through which records are durable at this log's
+    /// configured level — the shipping boundary for replication. Under
+    /// [`Durability::Fsync`] only fsynced records qualify; under
+    /// [`Durability::Buffered`] the level's contract is "survives a
+    /// process crash", so everything appended qualifies.
+    pub fn durable_lsn(&self) -> Lsn {
+        match self.durability {
+            Durability::Fsync => self.synced_lsn(),
+            _ => self.appended_lsn(),
+        }
+    }
+
+    /// Pin segment GC: segments containing records at or after `lsn`
+    /// survive [`Wal::gc_segments`] regardless of checkpoint progress.
+    /// `u64::MAX` lifts the floor.
+    pub fn set_gc_floor(&self, lsn: Lsn) {
+        self.gc_floor.store(lsn, Ordering::Release);
+    }
+
+    /// Sequence number of the segment currently being appended to
+    /// (segments shipped/replayed so far, for the `repl_*` gauges).
+    pub fn segment_seq(&self) -> u64 {
+        self.inner.lock().seg_seq
+    }
+
+    /// The log directory (replication preload scans it via `read_log`).
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
     /// Make everything appended so far durable per the configured level.
     /// Under [`Durability::Buffered`] this is a no-op (the OS holds the
     /// bytes; that survives a process crash, which is the level's
@@ -745,6 +932,7 @@ impl Wal {
             let mut inner = self.inner.lock();
             if inner.seg_seq == seg_seq {
                 inner.synced_lsn = inner.synced_lsn.max(target);
+                self.synced.store(inner.synced_lsn, Ordering::Release);
             }
             // A rollover during our fsync already pinned the retired
             // segment down (and advanced `synced_lsn` itself); loop in
@@ -856,6 +1044,9 @@ impl Wal {
     /// that LSN is durable: such segments can never be replayed again. The
     /// segment holding `keep_lsn` — and the current one — always survive.
     pub fn gc_segments(&self, keep_lsn: Lsn) -> StorageResult<()> {
+        // A replication source may have pinned a lower floor: segments a
+        // subscriber still needs survive the checkpoint's pruning.
+        let keep_lsn = keep_lsn.min(self.gc_floor.load(Ordering::Acquire));
         let segs = list_segments(&self.dir)?;
         // A segment is dead if the *next* segment starts at or before
         // `keep_lsn` (so everything in it is < keep_lsn).

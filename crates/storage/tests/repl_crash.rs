@@ -1,0 +1,254 @@
+//! Kill-at-every-point crash tests for the replica replay path.
+//!
+//! Runs only with the `failpoints` feature (`cargo test -p exodus-storage
+//! --features failpoints`). The workload builds a primary whose commits
+//! carry real timestamps (so the replay horizon advances), attaches a
+//! [`ReplicationSource`], then drives a [`ReplicaApplier`] through
+//! catch-up while a deterministic crash plan kills the replica at every
+//! durable-write point — clean and torn, including mid-batch and inside
+//! the shipped-checkpoint flush. After each kill the replica volume is
+//! reopened (ordinary recovery over the local log), replay resumes from
+//! the recovered cursor, and the test asserts the replica converges to
+//! the primary's exact rows and horizon. A second test crashes the
+//! *resumed* replay as well — the double-crash case — at every one of
+//! its write points.
+
+#![cfg(feature = "failpoints")]
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use exodus_storage::failpoint::{self, CrashPlan};
+use exodus_storage::heap::HeapFile;
+use exodus_storage::{
+    Durability, FileId, ReplicaApplier, ReplicationSource, StorageManager, StorageResult,
+};
+
+/// Page 1 is the workload heap's header (first allocation of unit 1).
+const HEAP_PAGE: u64 = 1;
+const N_TXNS: usize = 6;
+/// Small fetch batches so kills land on batch boundaries too.
+const BATCH: usize = 4;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("exodus-replcrash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn open(path: &Path) -> StorageManager {
+    let (sm, _) = StorageManager::open(path, 64, Durability::Fsync).expect("open + recovery");
+    sm
+}
+
+/// Build the primary: a source attached from the start (pinning log GC,
+/// so the mid-workload checkpoint ships instead of pruning), then
+/// timestamped transactions — the horizon on the replica must end up at
+/// this primary's clock.
+fn setup_primary(dir: &Path) -> (StorageManager, ReplicationSource) {
+    let sm = open(&dir.join("primary.vol"));
+    let src = ReplicationSource::new(sm.pool().wal().unwrap().clone()).expect("attach source");
+    let txn = sm.begin_txn().expect("setup txn");
+    let f = HeapFile::create(sm.pool()).expect("create heap");
+    assert_eq!(f, FileId(HEAP_PAGE), "allocation order changed");
+    txn.commit().expect("setup commit");
+    let heap = HeapFile::open(FileId(HEAP_PAGE));
+    for i in 0..N_TXNS {
+        let txn = sm.begin_txn().expect("txn");
+        heap.insert_at(sm.pool(), format!("row-{i}").as_bytes(), txn.ts())
+            .expect("insert");
+        txn.commit().expect("commit");
+        if i == 2 {
+            // Mid-stream checkpoint: ships a Checkpoint record, so the
+            // kill loop also crashes inside the replica's local
+            // checkpoint (flush + volume sync + local log GC).
+            sm.checkpoint().expect("checkpoint");
+        }
+    }
+    (sm, src)
+}
+
+/// Sorted live rows of the workload heap.
+fn rows(sm: &StorageManager) -> Vec<Vec<u8>> {
+    let mut rows: Vec<Vec<u8>> = HeapFile::open(FileId(HEAP_PAGE))
+        .scan(Arc::clone(sm.pool()))
+        .map(|r| r.expect("scan").1)
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// Drive the applier to the source's durable frontier in small batches,
+/// stopping at the first error (the injected crash).
+fn catch_up(src: &ReplicationSource, app: &mut ReplicaApplier) -> StorageResult<()> {
+    loop {
+        let (entries, _) = src.fetch(app.applied_lsn(), BATCH)?;
+        if entries.is_empty() {
+            return Ok(());
+        }
+        app.ingest(&entries)?;
+    }
+}
+
+/// Recover the replica volume at `path` and replay to completion,
+/// asserting it converges exactly: same rows, same horizon, cursor at
+/// the primary's durable frontier.
+fn recover_and_converge(
+    path: &Path,
+    src: &ReplicationSource,
+    want_rows: &[Vec<u8>],
+    want_horizon: u64,
+    tag: &str,
+) {
+    let rsm = open(path);
+    let mut app = ReplicaApplier::new(rsm.clone()).expect("applier after recovery");
+    let h_recovered = app.horizon();
+    assert!(
+        h_recovered <= want_horizon,
+        "{tag}: recovered horizon {h_recovered} beyond the primary's {want_horizon}"
+    );
+    catch_up(src, &mut app).expect("resumed catch-up");
+    assert!(
+        app.horizon() >= h_recovered,
+        "{tag}: horizon moved backwards during resume"
+    );
+    assert_eq!(app.horizon(), want_horizon, "{tag}: horizon diverged");
+    assert_eq!(
+        app.applied_lsn(),
+        src.durable_lsn(),
+        "{tag}: cursor short of the frontier"
+    );
+    assert_eq!(rows(&rsm), want_rows, "{tag}: rows diverged");
+}
+
+#[test]
+fn kill_at_every_point_during_catchup() {
+    let _x = failpoint::exclusive();
+    let dir = temp_dir("kill");
+    let (psm, src) = setup_primary(&dir);
+    let want_rows = rows(&psm);
+    let want_horizon = psm.txn().clock();
+    assert_eq!(want_rows.len(), N_TXNS);
+    assert!(want_horizon > 0, "workload must advance the clock");
+
+    // Size the kill loop on an uninstrumented catch-up.
+    let count_path = dir.join("r-count.vol");
+    let rsm = open(&count_path);
+    let mut app = ReplicaApplier::new(rsm.clone()).unwrap();
+    failpoint::start_counting();
+    catch_up(&src, &mut app).expect("uninstrumented catch-up");
+    let total = failpoint::writes_observed();
+    failpoint::disarm();
+    assert_eq!(rows(&rsm), want_rows);
+    assert_eq!(app.horizon(), want_horizon);
+    assert!(total > 20, "catch-up too small to be interesting: {total}");
+    drop(app);
+    drop(rsm);
+
+    // Kill the replica at every single write point of catch-up.
+    for k in 0..total {
+        let torn = k % 2 == 1;
+        let tag = format!("kill at write {k} (torn={torn})");
+        let rpath = dir.join(format!("r{k}.vol"));
+        let rsm = open(&rpath);
+        let mut app = ReplicaApplier::new(rsm.clone()).unwrap();
+        failpoint::arm(CrashPlan {
+            after_writes: k,
+            torn,
+        });
+        let r = catch_up(&src, &mut app);
+        let fired = failpoint::crashed();
+        failpoint::disarm();
+        assert!(fired, "{tag}: plan must fire (counted {total} writes)");
+        assert!(r.is_err(), "{tag}: fired plan must surface as an error");
+        let h_crash = app.horizon();
+        drop(app);
+        drop(rsm);
+
+        // Reopen (recovery over the local log), resume, converge.
+        // Monotonicity across the crash: a horizon once published to
+        // readers is backed by a flushed local log, so recovery must
+        // come back at least that far (it may come back further — a
+        // commit can be durable before the crash interrupted its
+        // in-memory publication).
+        let rsm = open(&rpath);
+        let app = ReplicaApplier::new(rsm.clone()).unwrap();
+        assert!(
+            app.horizon() >= h_crash,
+            "{tag}: recovery lost published visibility ({} < {h_crash})",
+            app.horizon()
+        );
+        drop(app);
+        drop(rsm);
+        recover_and_converge(&rpath, &src, &want_rows, want_horizon, &tag);
+    }
+    drop(psm);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The double-crash case: a replica that crashed mid-catch-up crashes
+/// *again* at every write point of the resumed replay, recovers a second
+/// time, and must still converge — replaying the same shipped images
+/// twice is idempotent.
+#[test]
+fn double_crash_during_resume_still_converges() {
+    let _x = failpoint::exclusive();
+    let dir = temp_dir("double");
+    let (psm, src) = setup_primary(&dir);
+    let want_rows = rows(&psm);
+    let want_horizon = psm.txn().clock();
+
+    /// Writes let through before the first (torn) kill.
+    const FIRST_KILL: u64 = 9;
+    let crash_once = |path: &Path| {
+        let rsm = open(path);
+        let mut app = ReplicaApplier::new(rsm.clone()).unwrap();
+        failpoint::arm(CrashPlan {
+            after_writes: FIRST_KILL,
+            torn: true,
+        });
+        let r = catch_up(&src, &mut app);
+        assert!(failpoint::crashed() && r.is_err(), "first kill must fire");
+        failpoint::disarm();
+    };
+
+    // Size the resume on one crashed-then-recovered instance.
+    let count_path = dir.join("r-count.vol");
+    crash_once(&count_path);
+    let rsm = open(&count_path);
+    let mut app = ReplicaApplier::new(rsm.clone()).unwrap();
+    failpoint::start_counting();
+    catch_up(&src, &mut app).expect("uninstrumented resume");
+    let resume_writes = failpoint::writes_observed();
+    failpoint::disarm();
+    assert_eq!(rows(&rsm), want_rows);
+    assert!(resume_writes > 0, "resume must have work to crash");
+    drop(app);
+    drop(rsm);
+
+    // Crash the resume at every one of its write points.
+    for j in 0..resume_writes {
+        let torn = j % 2 == 0;
+        let tag = format!("double-crash: resume killed at write {j} (torn={torn})");
+        let rpath = dir.join(format!("d{j}.vol"));
+        crash_once(&rpath);
+
+        let rsm = open(&rpath);
+        let mut app = ReplicaApplier::new(rsm.clone()).unwrap();
+        failpoint::arm(CrashPlan {
+            after_writes: j,
+            torn,
+        });
+        let r = catch_up(&src, &mut app);
+        let fired = failpoint::crashed();
+        failpoint::disarm();
+        assert!(fired && r.is_err(), "{tag}: second kill must fire");
+        drop(app);
+        drop(rsm);
+
+        recover_and_converge(&rpath, &src, &want_rows, want_horizon, &tag);
+    }
+    drop(psm);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -43,6 +43,13 @@
 #[doc = include_str!("../docs/OBSERVABILITY.md")]
 pub mod observability_doc {}
 
+/// The replication guide, included verbatim from
+/// `docs/REPLICATION.md` so its `rust` quick-start compiles and runs
+/// as a doctest (the `excess`/`excess-replica` blocks run against a
+/// live primary/replica pair under `tests/doc_examples.rs`).
+#[doc = include_str!("../docs/REPLICATION.md")]
+pub mod replication_doc {}
+
 pub use excess_algebra as algebra;
 pub use excess_exec as exec;
 pub use excess_lang as lang;

@@ -1,13 +1,17 @@
-//! Executes every fenced example in docs/EXCESS.md and
-//! docs/OBSERVABILITY.md.
+//! Executes every fenced example in docs/EXCESS.md,
+//! docs/OBSERVABILITY.md, and docs/REPLICATION.md.
 //!
 //! The docs promise that their `excess` blocks run top-to-bottom in
 //! one session of a fresh database, and that `excess-error` blocks fail.
-//! This test is that promise: a drifted example breaks the build. (The
-//! `rust` block in docs/OBSERVABILITY.md runs as a rustdoc doctest via
-//! the facade crate instead.)
+//! docs/REPLICATION.md additionally tags blocks `excess-replica`
+//! (runs on a live read replica of the doc's primary) and
+//! `excess-replica-error` (must be refused by the replica). This test
+//! is that promise: a drifted example breaks the build. (The `rust`
+//! blocks in docs/OBSERVABILITY.md and docs/REPLICATION.md run as
+//! rustdoc doctests via the facade crate instead.)
 
-use extra_excess::Database;
+use extra_excess::db::replication::{Replica, ReplicaOptions};
+use extra_excess::{Database, Durability};
 
 struct Block {
     lang: String,
@@ -78,6 +82,74 @@ fn run_doc(doc_name: &str) -> (usize, usize) {
     (ran, expected_failures)
 }
 
+/// Run docs/REPLICATION.md against a live primary/replica pair:
+/// `excess` blocks on the primary (followed by a catch-up pump),
+/// `excess-replica` blocks on the replica, `excess-replica-error`
+/// blocks must be refused by the replica. Returns
+/// (primary blocks, replica blocks, expected replica refusals).
+fn run_replication_doc() -> (usize, usize, usize) {
+    let path = format!("{}/docs/REPLICATION.md", env!("CARGO_MANIFEST_DIR"));
+    let doc = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    let blocks = fenced_blocks(&doc);
+
+    let dir = std::env::temp_dir().join(format!("exodus-doc-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    // Replication ships the WAL, so the doc's primary is file-backed.
+    let primary = Database::builder()
+        .path(dir.join("primary.vol"))
+        .durability(Durability::Fsync)
+        .build()
+        .unwrap();
+    let mut replica =
+        Replica::in_process(&primary, dir.join("replica.vol"), ReplicaOptions::default()).unwrap();
+    let mut on_primary = primary.session();
+    let replica_db = replica.database();
+    let mut on_replica = replica_db.session();
+
+    let (mut ran_primary, mut ran_replica, mut refused) = (0, 0, 0);
+    for b in &blocks {
+        match b.lang.as_str() {
+            "excess" => {
+                on_primary.run(&b.code).unwrap_or_else(|e| {
+                    panic!(
+                        "docs/REPLICATION.md:{}: primary example failed: {e}\n{}",
+                        b.line, b.code
+                    )
+                });
+                // Every primary example is visible before the next block.
+                replica.pump_until_caught_up().unwrap();
+                ran_primary += 1;
+            }
+            "excess-replica" => {
+                on_replica.run(&b.code).unwrap_or_else(|e| {
+                    panic!(
+                        "docs/REPLICATION.md:{}: replica example failed: {e}\n{}",
+                        b.line, b.code
+                    )
+                });
+                ran_replica += 1;
+            }
+            "excess-replica-error" => {
+                let err = on_replica.run(&b.code).expect_err(&format!(
+                    "docs/REPLICATION.md:{}: example documented as refused succeeded:\n{}",
+                    b.line, b.code
+                ));
+                assert_eq!(
+                    err.code(),
+                    1007,
+                    "docs/REPLICATION.md:{}: refusal should carry the read-only code: {err}",
+                    b.line
+                );
+                refused += 1;
+            }
+            _ => {}
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    (ran_primary, ran_replica, refused)
+}
+
 #[test]
 fn every_excess_example_runs() {
     let (ran, expected_failures) = run_doc("EXCESS.md");
@@ -98,4 +170,18 @@ fn every_observability_example_runs() {
         expected_failures >= 1,
         "only {expected_failures} error examples found"
     );
+}
+
+#[test]
+fn every_replication_example_runs() {
+    let (ran_primary, ran_replica, refused) = run_replication_doc();
+    assert!(
+        ran_primary >= 2,
+        "only {ran_primary} primary examples found"
+    );
+    assert!(
+        ran_replica >= 2,
+        "only {ran_replica} replica examples found"
+    );
+    assert!(refused >= 3, "only {refused} refusal examples found");
 }

@@ -1,0 +1,93 @@
+//! The docs link gate: every relative markdown link in README.md,
+//! DESIGN.md, ROADMAP.md, EXPERIMENTS.md, CHANGES.md, and docs/*.md
+//! must point at a file that exists. A renamed doc page or a typo'd
+//! `docs/…` path breaks the build here instead of shipping a 404.
+
+use std::path::{Path, PathBuf};
+
+/// Markdown files the gate covers: the top-level pages plus everything
+/// under docs/.
+fn doc_files(root: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = [
+        "README.md",
+        "DESIGN.md",
+        "ROADMAP.md",
+        "EXPERIMENTS.md",
+        "CHANGES.md",
+    ]
+    .iter()
+    .map(|f| root.join(f))
+    .filter(|p| p.exists())
+    .collect();
+    let mut docs: Vec<PathBuf> = std::fs::read_dir(root.join("docs"))
+        .expect("a docs/ directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    docs.sort();
+    files.append(&mut docs);
+    files
+}
+
+/// Pull `](target)` link targets out of markdown, skipping fenced code
+/// blocks (frame tables and shell transcripts are full of brackets).
+fn link_targets(markdown: &str) -> Vec<(usize, String)> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for (i, line) in markdown.lines().enumerate() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(open) = rest.find("](") {
+            rest = &rest[open + 2..];
+            let Some(close) = rest.find(')') else { break };
+            targets.push((i + 1, rest[..close].trim().to_string()));
+            rest = &rest[close + 1..];
+        }
+    }
+    targets
+}
+
+#[test]
+fn no_dangling_relative_links() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut dangling = Vec::new();
+    let mut checked = 0;
+    for file in doc_files(&root) {
+        let text = std::fs::read_to_string(&file).unwrap();
+        let dir = file.parent().unwrap();
+        for (line, target) in link_targets(&text) {
+            // External and intra-page links are out of scope.
+            if target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+                || target.starts_with('#')
+                || target.is_empty()
+            {
+                continue;
+            }
+            // A relative link may carry a fragment: `DESIGN.md#11-…`.
+            let path_part = target.split('#').next().unwrap();
+            if !dir.join(path_part).exists() {
+                dangling.push(format!(
+                    "{}:{line}: dangling link to {target:?}",
+                    file.strip_prefix(&root).unwrap().display()
+                ));
+            }
+            checked += 1;
+        }
+    }
+    assert!(
+        dangling.is_empty(),
+        "dangling doc links:\n{}",
+        dangling.join("\n")
+    );
+    // The gate must actually be covering links — an extraction bug that
+    // finds nothing would otherwise pass vacuously.
+    assert!(checked >= 20, "only {checked} relative links checked");
+}

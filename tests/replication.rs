@@ -1,0 +1,475 @@
+//! WAL-shipping read replicas, end to end (`docs/REPLICATION.md`):
+//! in-process pairs serving reads at the replay horizon, the read-only
+//! refusal codes, catalog propagation through epoch-versioned images,
+//! lag shedding, replica restart, and the `repl_*` metric families.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use exodus_server::{
+    AdmissionConfig, RemoteSession, RemoteStream, Server, TcpTransport, WireReplica,
+};
+use extra_excess::db::replication::{Replica, ReplicaOptions};
+use extra_excess::db::validate_exposition;
+use extra_excess::db::Client;
+use extra_excess::{Database, DbError, Durability, Value};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("exodus-repl-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn primary(dir: &std::path::Path) -> Arc<Database> {
+    Database::builder()
+        .path(dir.join("primary.vol"))
+        .durability(Durability::Fsync)
+        .build()
+        .unwrap()
+}
+
+fn seed(db: &Arc<Database>) {
+    let mut s = db.session();
+    s.run(
+        r#"
+        define type Person (name: varchar, age: int4);
+        create { own ref Person } People;
+        append to People (name = "ann", age = 30);
+        append to People (name = "bob", age = 41);
+        append to People (name = "cey", age = 52);
+        define function Doubled (p: Person) returns int4 as retrieve (p.age + p.age);
+        define index ByAge on People (age);
+    "#,
+    )
+    .unwrap();
+}
+
+/// Sorted row text for order-insensitive result comparison.
+fn row_set(r: &extra_excess::QueryResult) -> Vec<String> {
+    let mut rows: Vec<String> = r.rows.iter().map(|row| format!("{row:?}")).collect();
+    rows.sort();
+    rows
+}
+
+#[test]
+fn replica_serves_reads_and_refuses_writes_with_stable_codes() {
+    let dir = temp_dir("basic");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica =
+        Replica::in_process(&p, dir.join("replica.vol"), ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+    let rdb = replica.database();
+    let mut rs = rdb.session();
+
+    // Reads work, pinned at the replay horizon — including a shipped
+    // function (its body re-parsed from the catalog image) and a
+    // shipped secondary index.
+    let r = rs
+        .query("retrieve (P.name) from P in People where P.age > 35")
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let r = rs
+        .query("retrieve (Doubled(P)) from P in People where P.name = \"ann\"")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(60)]]);
+
+    // Writes and explicit transactions are refused with the stable,
+    // non-retryable ReadOnly code (1007). Range declarations are pure
+    // session state and stay allowed.
+    rs.run("range of P is People").unwrap();
+    for stmt in [
+        "append to People (name = \"dee\", age = 60)",
+        "delete P where P.age > 0",
+        "begin",
+        "define type T2 (x: int4)",
+        "create user eve",
+        "retrieve into Stash (P.age) from P in People",
+        "explain retrieve (P.age) from P in People",
+    ] {
+        let err = rs.run(stmt).unwrap_err();
+        assert_eq!(err.code(), 1007, "{stmt}: {err}");
+        assert!(!err.is_retryable(), "{stmt}");
+    }
+    assert_eq!(rdb.checkpoint().unwrap_err().code(), 1007);
+    assert_eq!(rdb.bulk_append("People", vec![]).unwrap_err().code(), 1007);
+
+    // New commits on the primary stay invisible until the pump runs;
+    // the horizon only ever moves forward.
+    let h0 = replica.horizon();
+    p.session()
+        .run("append to People (name = \"dee\", age = 63)")
+        .unwrap();
+    let stale = rs.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(stale.rows.len(), 3);
+    replica.pump_until_caught_up().unwrap();
+    assert!(replica.horizon() > h0, "horizon must advance on commit");
+    let fresh = rs.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(fresh.rows.len(), 4);
+}
+
+/// Conformance: at the same horizon, a replica session and a primary
+/// snapshot session return identical rows — the replica is a readable
+/// copy, not an approximation.
+#[test]
+fn replica_matches_primary_snapshot_at_same_horizon() {
+    let dir = temp_dir("conform");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica =
+        Replica::in_process(&p, dir.join("replica.vol"), ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    let queries = [
+        "retrieve (P.name, P.age) from P in People",
+        "retrieve (P.name) from P in People where P.age > 35",
+        "retrieve (max(P.age over P)) from P in People",
+        "retrieve (Doubled(P)) from P in People",
+    ];
+    let mut ps = p.session();
+    let mut rs = replica.database().session();
+    for q in queries {
+        assert_eq!(
+            row_set(&ps.query(q).unwrap()),
+            row_set(&rs.query(q).unwrap()),
+            "{q}"
+        );
+    }
+}
+
+/// Catalog changes — new types, collections, users, grants — propagate
+/// through a fresh epoch-versioned image on the next pump.
+#[test]
+fn catalog_changes_propagate_through_epoch_images() {
+    let dir = temp_dir("epoch");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica =
+        Replica::in_process(&p, dir.join("replica.vol"), ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    // Auth shipped with the image: a user unknown to the image cannot
+    // read on the replica.
+    {
+        let mut eve = replica.database().session_as("eve");
+        let err = eve.run("retrieve (P.name) from P in People").unwrap_err();
+        assert_eq!(err.code(), 1003, "{err}");
+    }
+
+    // DDL + grants on the primary...
+    p.session()
+        .run(
+            r#"
+            define type City (name: varchar, pop: int4);
+            create { own City } Cities;
+            append to Cities (name = "madison", pop = 250000);
+            create user eve;
+            grant read on People to eve;
+        "#,
+        )
+        .unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    // ...are all visible after the pump: the new collection queries,
+    // and the grant admits the user.
+    let mut rs = replica.database().session();
+    let r = rs.query("retrieve (C.pop) from C in Cities").unwrap();
+    assert_eq!(r.rows, vec![vec![Value::Int(250000)]]);
+    let mut eve = replica.database().session_as("eve");
+    assert_eq!(
+        eve.query("retrieve (P.name) from P in People")
+            .unwrap()
+            .rows
+            .len(),
+        3
+    );
+}
+
+/// With a configured lag bound, reads on a trailing replica shed with
+/// the retryable Lagging code (2004) and recover once caught up.
+#[test]
+fn lag_bound_sheds_reads_until_caught_up() {
+    let dir = temp_dir("lag");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica = Replica::in_process(
+        &p,
+        dir.join("replica.vol"),
+        ReplicaOptions {
+            max_lag: Some(4),
+            batch_records: 4,
+            ..ReplicaOptions::default()
+        },
+    )
+    .unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    // Build a backlog far past the bound, then apply only one small
+    // batch so the measured lag lands above it.
+    let mut ps = p.session();
+    for i in 0..30 {
+        ps.run(&format!("append to People (name = \"p{i}\", age = {i})"))
+            .unwrap();
+    }
+    replica.pump().unwrap();
+    assert!(replica.lag_records() > 4, "lag: {}", replica.lag_records());
+    let mut rs = replica.database().session();
+    let err = rs.query("retrieve (P.name) from P in People").unwrap_err();
+    assert_eq!(err.code(), 2004, "{err}");
+    assert!(err.is_retryable());
+
+    replica.pump_until_caught_up().unwrap();
+    assert_eq!(replica.lag_records(), 0);
+    let r = rs.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(r.rows.len(), 33);
+}
+
+/// A replica restarted over its own volume recovers, reconnects, and
+/// resumes replay from its local cursor to the primary's frontier.
+#[test]
+fn replica_restart_resumes_from_local_log() {
+    let dir = temp_dir("restart");
+    let p = primary(&dir);
+    seed(&p);
+    let rpath = dir.join("replica.vol");
+    let h1 = {
+        let mut replica = Replica::in_process(&p, &rpath, ReplicaOptions::default()).unwrap();
+        replica.pump_until_caught_up().unwrap();
+        replica.horizon()
+    };
+
+    // Progress on the primary while the replica is down.
+    p.session()
+        .run("append to People (name = \"late\", age = 77)")
+        .unwrap();
+
+    let mut replica = Replica::in_process(&p, &rpath, ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+    assert!(replica.horizon() > h1, "horizon monotonic across restart");
+    let mut rs = replica.database().session();
+    let r = rs.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(r.rows.len(), 4);
+}
+
+/// The `repl_*` families are present in both expositions: shipped
+/// counters on the primary, replayed counters plus the horizon and lag
+/// instruments on the replica.
+#[test]
+fn repl_metrics_appear_in_prometheus_exposition() {
+    let dir = temp_dir("metrics");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica =
+        Replica::in_process(&p, dir.join("replica.vol"), ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    let pexpo = p.metrics_snapshot().unwrap().to_prometheus();
+    validate_exposition(&pexpo).unwrap();
+    for family in [
+        "repl_shipped_records_total",
+        "repl_shipped_bytes_total",
+        "repl_shipped_segments",
+    ] {
+        assert!(
+            pexpo.contains(family),
+            "primary exposition missing {family}"
+        );
+    }
+    let shipped = p
+        .metrics_snapshot()
+        .unwrap()
+        .counter("repl_shipped_records_total")
+        .unwrap();
+    assert!(shipped > 0, "source shipped nothing");
+
+    let rexpo = replica
+        .database()
+        .metrics_snapshot()
+        .unwrap()
+        .to_prometheus();
+    validate_exposition(&rexpo).unwrap();
+    for family in [
+        "repl_replayed_records_total",
+        "repl_replayed_units_total",
+        "repl_replayed_checkpoints_total",
+        "repl_replayed_segments",
+        "repl_horizon",
+        "repl_lag_records",
+        "repl_lag",
+    ] {
+        assert!(
+            rexpo.contains(family),
+            "replica exposition missing {family}"
+        );
+    }
+    let snap = replica.database().metrics_snapshot().unwrap();
+    assert_eq!(
+        snap.counter("repl_replayed_records_total").unwrap(),
+        shipped,
+        "replayed must equal shipped after catch-up"
+    );
+    assert_eq!(
+        snap.gauge("repl_horizon").unwrap() as u64,
+        replica.horizon()
+    );
+}
+
+/// A shipped checkpoint becomes a real checkpoint on the replica: the
+/// local log is pruned and the store survives restart from it.
+#[test]
+fn shipped_checkpoints_prune_the_replica_log() {
+    let dir = temp_dir("ckpt");
+    let p = primary(&dir);
+    seed(&p);
+    let rpath = dir.join("replica.vol");
+    let mut replica = Replica::in_process(&p, &rpath, ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    p.session()
+        .run("append to People (name = \"post\", age = 9)")
+        .unwrap();
+    p.checkpoint().unwrap();
+    replica.pump_until_caught_up().unwrap();
+    let snap = replica.database().metrics_snapshot().unwrap();
+    assert_eq!(snap.counter("repl_replayed_checkpoints_total").unwrap(), 1);
+
+    // Restart the replica from its checkpointed volume: the rows are
+    // all there without replaying pre-checkpoint history.
+    drop(replica);
+    let mut replica = Replica::in_process(&p, &rpath, ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+    let r = replica
+        .database()
+        .session()
+        .query("retrieve (P.name) from P in People")
+        .unwrap();
+    assert_eq!(r.rows.len(), 4);
+}
+
+/// The wire pair: a replica bootstrapped over EXOD/1 poll/batch frames
+/// from a served primary behaves exactly like the in-process pair.
+#[test]
+fn wire_replica_replays_over_the_protocol() {
+    let dir = temp_dir("wire");
+    let p = primary(&dir);
+    seed(&p);
+    let server = Server::spawn(
+        Arc::clone(&p),
+        TcpTransport::bind("127.0.0.1:0").unwrap(),
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+
+    let stream = RemoteStream::connect(server.addr()).unwrap();
+    let mut replica = Replica::connect(
+        dir.join("replica.vol"),
+        Box::new(stream),
+        ReplicaOptions::default(),
+    )
+    .unwrap();
+    replica.pump_until_caught_up().unwrap();
+
+    let mut rs = replica.database().session();
+    let r = rs.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let err = rs
+        .run("append to People (name = \"x\", age = 1)")
+        .unwrap_err();
+    assert_eq!(err.code(), 1007);
+
+    // Writes arriving over the wire on the primary ship to the replica
+    // on the next pump.
+    let mut remote = RemoteSession::connect(server.addr(), "admin").unwrap();
+    remote
+        .run("append to People (name = \"wired\", age = 11)")
+        .unwrap();
+    replica.pump_until_caught_up().unwrap();
+    let r = rs.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(r.rows.len(), 4);
+}
+
+/// The full `--replica-of` shape: a [`WireReplica`] pump keeping a
+/// served read-only replica caught up, queried over its own EXOD/1
+/// listener — writes refused end to end with the stable code.
+#[test]
+fn wire_replica_serves_its_own_listener() {
+    let dir = temp_dir("wiresrv");
+    let p = primary(&dir);
+    seed(&p);
+    let pserver = Server::spawn(
+        Arc::clone(&p),
+        TcpTransport::bind("127.0.0.1:0").unwrap(),
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+
+    let wire = WireReplica::spawn(
+        pserver.addr(),
+        dir.join("replica.vol"),
+        ReplicaOptions::default(),
+        std::time::Duration::from_millis(10),
+    )
+    .unwrap();
+    let rserver = Server::spawn(
+        wire.database(),
+        TcpTransport::bind("127.0.0.1:0").unwrap(),
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+
+    let mut rsess = RemoteSession::connect(rserver.addr(), "admin").unwrap();
+    let r = rsess.query("retrieve (P.name) from P in People").unwrap();
+    assert_eq!(r.rows.len(), 3);
+    let err = rsess
+        .run("append to People (name = \"x\", age = 1)")
+        .unwrap_err();
+    assert_eq!(err.code(), 1007, "{err}");
+    assert!(!err.is_retryable());
+
+    // A commit on the primary becomes visible through the background
+    // pump without any explicit pump call.
+    p.session()
+        .run("append to People (name = \"pumped\", age = 5)")
+        .unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        let n = rsess
+            .query("retrieve (P.name) from P in People")
+            .unwrap()
+            .rows
+            .len();
+        if n == 4 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "pump thread never shipped the new row (still {n} rows)"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+}
+
+/// An error on a replica session must not poison subsequent statements.
+#[test]
+fn refused_write_leaves_the_session_usable() {
+    let dir = temp_dir("usable");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica =
+        Replica::in_process(&p, dir.join("replica.vol"), ReplicaOptions::default()).unwrap();
+    replica.pump_until_caught_up().unwrap();
+    let rdb = replica.database();
+    let mut rs = rdb.session();
+    assert!(matches!(
+        rs.run("append to People (name = \"x\", age = 1)"),
+        Err(DbError::ReadOnly(_))
+    ));
+    assert_eq!(
+        rs.query("retrieve (P.name) from P in People")
+            .unwrap()
+            .rows
+            .len(),
+        3
+    );
+}
