@@ -60,6 +60,10 @@ pub const PARALLEL_STARTUP_COST: f64 = 256.0;
 /// Per-row cost of merging worker output back into the serial tail in
 /// deterministic order.
 pub const PARALLEL_MERGE_COST: f64 = 0.01;
+/// Assumed rows in a `sys.*` virtual collection. System views carry no
+/// statistics machinery — a fixed small default keeps them cheap enough
+/// to sit on a join's inner side without ever dominating a plan.
+pub const SYSTEM_VIEW_ROWS: f64 = 64.0;
 
 /// Cost of running a pipeline of serial cost `input_cost` under a
 /// parallel exchange at degree `dop`: the pipeline work divides across
@@ -102,7 +106,7 @@ pub fn scan_collections(plan: &Physical, out: &mut HashMap<String, String>) {
         }
     };
     match plan {
-        Physical::Unit => {}
+        Physical::Unit | Physical::SystemScan { .. } => {}
         Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => add(binding),
         Physical::Unnest { input, binding }
         | Physical::HashJoin { input, binding, .. }
@@ -261,6 +265,7 @@ pub fn binding_cardinality(b: &ResolvedRange, catalog: &dyn CatalogLookup) -> f6
             }
         }
         RootSource::Var(_) => DEFAULT_FANOUT,
+        RootSource::System(_) => SYSTEM_VIEW_ROWS,
     }
 }
 
@@ -268,7 +273,9 @@ pub fn binding_cardinality(b: &ResolvedRange, catalog: &dyn CatalogLookup) -> f6
 pub fn cardinality(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
     match plan {
         Physical::Unit => 1.0,
-        Physical::SeqScan { binding } => binding_cardinality(binding, catalog),
+        Physical::SeqScan { binding } | Physical::SystemScan { binding, .. } => {
+            binding_cardinality(binding, catalog)
+        }
         Physical::IndexScan {
             binding,
             index,
@@ -341,7 +348,10 @@ pub fn annotate_preorder(plan: &Physical, catalog: &dyn CatalogLookup) -> Vec<(S
     fn walk(node: &Physical, catalog: &dyn CatalogLookup, out: &mut Vec<(String, f64)>) {
         out.push((node.label(), cardinality(node, catalog)));
         match node {
-            Physical::Unit | Physical::SeqScan { .. } | Physical::IndexScan { .. } => {}
+            Physical::Unit
+            | Physical::SeqScan { .. }
+            | Physical::SystemScan { .. }
+            | Physical::IndexScan { .. } => {}
             Physical::NestedLoop { outer, inner } => {
                 walk(outer, catalog, out);
                 walk(inner, catalog, out);
@@ -366,7 +376,7 @@ pub fn annotate_preorder(plan: &Physical, catalog: &dyn CatalogLookup) -> Vec<(S
 pub fn cost(plan: &Physical, catalog: &dyn CatalogLookup) -> f64 {
     match plan {
         Physical::Unit => 0.0,
-        Physical::SeqScan { binding } => {
+        Physical::SeqScan { binding } | Physical::SystemScan { binding, .. } => {
             let n = binding_cardinality(binding, catalog);
             n + batch_overhead(n)
         }

@@ -43,7 +43,10 @@ pub fn apply_join_rewrites(plan: Physical, ctx: &SemaCtx<'_>) -> Physical {
 /// Rebuild a node around transformed children.
 fn map_inputs(plan: Physical, f: &mut dyn FnMut(Physical) -> Physical) -> Physical {
     match plan {
-        Physical::Unit | Physical::SeqScan { .. } | Physical::IndexScan { .. } => plan,
+        Physical::Unit
+        | Physical::SeqScan { .. }
+        | Physical::SystemScan { .. }
+        | Physical::IndexScan { .. } => plan,
         Physical::Unnest { input, binding } => Physical::Unnest {
             input: Box::new(f(*input)),
             binding,
@@ -321,7 +324,7 @@ fn collect_binders(plan: &Physical, out: &mut HashMap<String, ResolvedRange>) {
         }
     };
     match plan {
-        Physical::Unit => {}
+        Physical::Unit | Physical::SystemScan { .. } => {}
         Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => add(binding),
         Physical::Unnest { input, binding }
         | Physical::HashJoin { input, binding, .. }
@@ -394,7 +397,10 @@ fn count_plan_uses(
         _ => {}
     }
     match plan {
-        Physical::Unit | Physical::SeqScan { .. } | Physical::IndexScan { .. } => {}
+        Physical::Unit
+        | Physical::SeqScan { .. }
+        | Physical::SystemScan { .. }
+        | Physical::IndexScan { .. } => {}
         Physical::NestedLoop { outer, inner } => {
             count_plan_uses(outer, binders, out);
             count_plan_uses(inner, binders, out);

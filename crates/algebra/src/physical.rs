@@ -261,7 +261,12 @@ fn leftmost_scan_rows(plan: &Physical, ctx: &SemaCtx<'_>) -> Option<f64> {
         | Physical::IndexJoin { input, .. }
         | Physical::Parallel { input, .. } => leftmost_scan_rows(input, ctx),
         Physical::NestedLoop { outer, .. } => leftmost_scan_rows(outer, ctx),
-        Physical::Unit | Physical::UniversalFilter { .. } | Physical::Sort { .. } => None,
+        // System scans are snapshot-at-open and tiny: never partitioned,
+        // so sys.* plans are identical at every DOP by construction.
+        Physical::Unit
+        | Physical::SystemScan { .. }
+        | Physical::UniversalFilter { .. }
+        | Physical::Sort { .. } => None,
     }
 }
 
@@ -321,6 +326,14 @@ fn plan_root(
     ctx: &SemaCtx<'_>,
     config: PlannerConfig,
 ) -> SemaResult<Physical> {
+    if let RootSource::System(view) = &root.root {
+        // System views have no indexes or statistics; the scan
+        // materializes one provider snapshot and filters apply above.
+        return Ok(Physical::SystemScan {
+            binding: root.clone(),
+            view: view.clone(),
+        });
+    }
     let RootSource::Collection(obj) = &root.root else {
         // Object-rooted ranges unnest straight off the named object.
         return Ok(Physical::Unnest {

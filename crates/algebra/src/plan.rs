@@ -66,6 +66,15 @@ pub enum Physical {
         /// The binding (root must be a collection).
         binding: ResolvedRange,
     },
+    /// Scan of a `sys.<view>` virtual collection: rows are materialized
+    /// from live engine state by the catalog's system-view provider, as
+    /// one consistent snapshot per cursor open.
+    SystemScan {
+        /// The binding (root must be [`excess_sema::RootSource::System`]).
+        binding: ResolvedRange,
+        /// View name without the `sys.` prefix.
+        view: String,
+    },
     /// B+-tree index scan with key bounds.
     IndexScan {
         /// The binding (root must be a collection).
@@ -236,6 +245,7 @@ pub fn range_source(b: &ResolvedRange) -> String {
         excess_sema::RootSource::Collection(o) => o.name.clone(),
         excess_sema::RootSource::Object(o) => o.name.clone(),
         excess_sema::RootSource::Var(v) => v.clone(),
+        excess_sema::RootSource::System(v) => format!("sys.{v}"),
     };
     if b.steps.is_empty() {
         root
@@ -258,6 +268,9 @@ impl Physical {
             Physical::Unit => "Unit".into(),
             Physical::SeqScan { binding } => {
                 format!("SeqScan {} over {}", binding.var, range_source(binding))
+            }
+            Physical::SystemScan { binding, .. } => {
+                format!("SystemScan {} over {}", binding.var, range_source(binding))
             }
             Physical::IndexScan {
                 binding,
@@ -326,7 +339,10 @@ impl Physical {
         indent(f, depth)?;
         writeln!(f, "{}", self.label())?;
         match self {
-            Physical::Unit | Physical::SeqScan { .. } | Physical::IndexScan { .. } => Ok(()),
+            Physical::Unit
+            | Physical::SeqScan { .. }
+            | Physical::SystemScan { .. }
+            | Physical::IndexScan { .. } => Ok(()),
             Physical::NestedLoop { outer, inner } => {
                 outer.fmt_at(f, depth + 1)?;
                 inner.fmt_at(f, depth + 1)
@@ -346,7 +362,9 @@ impl Physical {
     pub fn bound_vars(&self) -> Vec<String> {
         match self {
             Physical::Unit => Vec::new(),
-            Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => {
+            Physical::SeqScan { binding }
+            | Physical::SystemScan { binding, .. }
+            | Physical::IndexScan { binding, .. } => {
                 vec![binding.var.clone()]
             }
             Physical::Unnest { input, binding }

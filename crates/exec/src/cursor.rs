@@ -131,6 +131,16 @@ pub(crate) fn open_sub<'p>(
             pos: 0,
             slot,
         }),
+        ExecNode::SystemScan { var, view } => Cursor::Scan(ScanCursor {
+            input: Box::new(input),
+            var,
+            kind: ScanKind::System { view },
+            members: None,
+            in_batch: None,
+            in_row: 0,
+            pos: 0,
+            slot,
+        }),
         ExecNode::IndexScan {
             var,
             anchor,
@@ -733,6 +743,11 @@ enum ScanKind<'p> {
         lower: &'p std::ops::Bound<Vec<u8>>,
         upper: &'p std::ops::Bound<Vec<u8>>,
     },
+    /// A `sys.<view>` virtual collection, materialized by the catalog's
+    /// system-view provider. Members load once per cursor open — that
+    /// single `load_members` call *is* the consistent snapshot a sys
+    /// scan guarantees (replayed unchanged for every input row).
+    System { view: &'p str },
 }
 
 /// A collection scan joined against its input rows. Members are fetched
@@ -800,6 +815,12 @@ impl ScanCursor<'_> {
                         out.push(member_binding(*anchor, rid, value));
                     }
                 }
+            }
+            ScanKind::System { view } => {
+                let rows = ctx.catalog.system_view_rows(view).ok_or_else(|| {
+                    ModelError::Semantic(format!("no system view 'sys.{view}'"))
+                })?;
+                out.extend(rows.into_iter().map(|v| (v, MemberId::None)));
             }
         }
         Ok(out)

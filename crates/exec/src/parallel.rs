@@ -64,7 +64,12 @@ fn leftmost_scan(node: &ExecNode) -> Option<&ExecNode> {
             leftmost_scan(input)
         }
         ExecNode::NestedLoop { outer, .. } => leftmost_scan(outer),
-        ExecNode::Unit | ExecNode::UniversalFilter { .. } | ExecNode::Sort { .. } => None,
+        // System scans are snapshot-at-open over in-memory provider
+        // state: never partitioned, so sys.* rows are DOP-invariant.
+        ExecNode::Unit
+        | ExecNode::SystemScan { .. }
+        | ExecNode::UniversalFilter { .. }
+        | ExecNode::Sort { .. } => None,
     }
 }
 

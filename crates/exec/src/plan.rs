@@ -48,6 +48,14 @@ pub enum ExecNode {
         /// Collection anchor.
         anchor: Oid,
     },
+    /// Scan a `sys.<view>` virtual collection: the catalog's system-view
+    /// provider materializes one consistent row snapshot per cursor open.
+    SystemScan {
+        /// Variable bound per row.
+        var: String,
+        /// View name without the `sys.` prefix.
+        view: String,
+    },
     /// B+-tree index scan.
     IndexScan {
         /// Variable bound per member.
@@ -189,7 +197,9 @@ pub fn prepare_with(
 fn collect_vars(plan: &Physical, vars: &mut HashMap<String, QualType>) {
     match plan {
         Physical::Unit => {}
-        Physical::SeqScan { binding } | Physical::IndexScan { binding, .. } => {
+        Physical::SeqScan { binding }
+        | Physical::SystemScan { binding, .. }
+        | Physical::IndexScan { binding, .. } => {
             vars.insert(binding.var.clone(), binding.elem.clone());
         }
         Physical::Unnest { input, binding } => {
@@ -244,6 +254,10 @@ fn prepare_node(
         Physical::SeqScan { binding } => ExecNode::SeqScan {
             var: binding.var.clone(),
             anchor: collection_oid(binding)?,
+        },
+        Physical::SystemScan { binding, view } => ExecNode::SystemScan {
+            var: binding.var.clone(),
+            view: view.clone(),
         },
         Physical::IndexScan {
             binding,
@@ -362,6 +376,19 @@ pub fn prepare_bindings(
                     },
                 }
             }
+            (RootSource::System(view), _) => {
+                let scan = ExecNode::SystemScan {
+                    var: b.var.clone(),
+                    view: view.clone(),
+                };
+                match node {
+                    ExecNode::Unit => scan,
+                    prev => ExecNode::NestedLoop {
+                        outer: Box::new(prev),
+                        inner: Box::new(scan),
+                    },
+                }
+            }
             _ => ExecNode::Unnest {
                 input: Box::new(node),
                 var: b.var.clone(),
@@ -410,7 +437,7 @@ fn unnest_source(b: &ResolvedRange, ctx: &SemaCtx<'_>) -> ModelResult<USource> {
                 Box::new(move |path, names| USource::FromObject { oid, path, names }),
             )
         }
-        RootSource::Collection(_) => {
+        RootSource::Collection(_) | RootSource::System(_) => {
             return Err(ModelError::Semantic(format!(
                 "binding '{}' should be a scan, not an unnest",
                 b.var

@@ -86,6 +86,7 @@ impl PlanIndex {
         match node {
             ExecNode::Unit
             | ExecNode::SeqScan { .. }
+            | ExecNode::SystemScan { .. }
             | ExecNode::IndexScan { .. } => {}
             ExecNode::NestedLoop { outer, inner } => {
                 self.walk(outer, depth + 1, annot, pos);
@@ -193,6 +194,7 @@ fn fallback_label(node: &ExecNode) -> String {
     match node {
         ExecNode::Unit => "Unit".into(),
         ExecNode::SeqScan { var, .. } => format!("SeqScan {var}"),
+        ExecNode::SystemScan { var, view } => format!("SystemScan {var} over sys.{view}"),
         ExecNode::IndexScan { var, .. } => format!("IndexScan {var}"),
         ExecNode::Unnest { var, .. } => format!("Unnest {var}"),
         ExecNode::NestedLoop { .. } => "NestedLoop".into(),

@@ -6,8 +6,9 @@ use std::collections::{HashMap, HashSet};
 use excess_lang::Privilege;
 use excess_sema::{
     CatalogLookup, CollectionStats, FunctionDef, IndexInfo, NamedObject, ProcedureDef,
+    SystemViewDef,
 };
-use extra_model::{AdtRegistry, ObjectStore, TypeRegistry};
+use extra_model::{AdtRegistry, ObjectStore, TypeRegistry, Value};
 
 /// The built-in group every user belongs to (paper: "a special
 /// 'all-users' group").
@@ -289,6 +290,10 @@ pub struct CatalogView<'a> {
     pub cat: &'a Catalog,
     /// The object store (member counts).
     pub store: &'a ObjectStore,
+    /// The owning database, when known — resolves and materializes the
+    /// `sys.*` virtual collections. `None` (tools constructing a bare
+    /// view) simply has no system views.
+    pub db: Option<&'a crate::database::Database>,
 }
 
 impl CatalogLookup for CatalogView<'_> {
@@ -336,6 +341,20 @@ impl CatalogLookup for CatalogView<'_> {
             .filter(|o| o.is_collection)
             .cloned()
             .collect()
+    }
+
+    fn system_view(&self, name: &str) -> Option<SystemViewDef> {
+        self.db?.system_view_def(name)
+    }
+
+    fn system_view_rows(&self, name: &str) -> Option<Vec<Value>> {
+        self.db?.system_view_rows_with(self.cat, name)
+    }
+
+    fn system_views(&self) -> Vec<SystemViewDef> {
+        self.db
+            .map(|db| db.system_view_defs())
+            .unwrap_or_default()
     }
 }
 

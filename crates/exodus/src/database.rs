@@ -145,6 +145,11 @@ pub struct Database {
     /// Present iff this database is a read replica: the replay latch,
     /// horizon and lag the session layer consults on every statement.
     pub(crate) replica: Option<Arc<crate::replication::ReplicaState>>,
+    /// The `sys.*` virtual-collection providers (built-ins plus any an
+    /// embedder registered via [`Database::register_system_view`]).
+    pub(crate) sysviews: RwLock<Vec<Arc<dyn crate::sysview::SystemView>>>,
+    /// Registry of open sessions, surfaced through `sys.sessions`.
+    pub(crate) sessions: crate::sysview::SessionRegistry,
 }
 
 /// Configuration for a [`Database`], applied atomically at
@@ -432,6 +437,8 @@ impl Database {
             catalog_epoch: std::sync::atomic::AtomicU64::new(1),
             repl: parking_lot::Mutex::new(crate::replication::SourceSlot::default()),
             replica,
+            sysviews: RwLock::new(crate::sysview::builtin_views()),
+            sessions: crate::sysview::SessionRegistry::default(),
         })
     }
 
@@ -628,12 +635,14 @@ impl Database {
         if let Some(m) = &self.metrics {
             m.active_sessions.inc();
         }
+        let info = self.sessions.register(user);
         Session {
             db: self.clone(),
             user: user.to_string(),
             ranges: RangeEnv::default(),
             txn: None,
             lock_timeout: None,
+            info,
         }
     }
 
@@ -677,6 +686,9 @@ pub struct Session {
     /// client holding a transaction cannot wedge a service thread
     /// forever.
     lock_timeout: Option<std::time::Duration>,
+    /// This session's row in the database's session registry (feeds
+    /// `sys.sessions`); unregistered on drop.
+    info: Arc<crate::sysview::SessionInfo>,
 }
 
 impl Drop for Session {
@@ -685,6 +697,7 @@ impl Drop for Session {
         // aborted (the WriteTxn drop rolls it back and frees the writer
         // slot).
         self.txn = None;
+        self.db.sessions.unregister(self.info.id);
         if let Some(m) = &self.db.metrics {
             m.active_sessions.dec();
         }
@@ -692,6 +705,27 @@ impl Drop for Session {
 }
 
 impl Session {
+    /// Bound how long write statements may wait on the storage writer
+    /// gate before failing with the retryable [`DbError::Busy`]
+    /// This session's process-unique id — the `id` attribute of its
+    /// `sys.sessions` row and the attribution key in `sys.slow_queries`.
+    pub fn session_id(&self) -> u64 {
+        self.info.id
+    }
+
+    /// Annotate this session's `sys.sessions` row with the remote peer
+    /// address (the wire server calls this; a set peer flips the row's
+    /// `kind` from `local` to `wire`).
+    pub fn set_peer(&self, peer: Option<String>) {
+        self.info.set_peer(peer);
+    }
+
+    /// Annotate this session's `sys.sessions` row with an admission /
+    /// lifecycle state (`"admitted"`, `"draining"`, ...).
+    pub fn set_session_state(&self, state: &str) {
+        self.info.set_state(state);
+    }
+
     /// Bound how long write statements may wait on the storage writer
     /// gate before failing with the retryable [`DbError::Busy`]
     /// (code 2001). `None` restores the default: block indefinitely.
@@ -809,6 +843,7 @@ impl Session {
     /// everything else takes the exclusive lock.
     pub fn execute(&mut self, stmt: &Stmt) -> DbResult<Response> {
         let db = self.db.clone();
+        self.info.bump_statements();
         if db.metrics.is_none() && db.tracer.is_none() {
             // Fully uninstrumented build: not even a clock read.
             return self.execute_inner(&db, stmt);
@@ -835,7 +870,13 @@ impl Session {
                     m.slow_queries.inc();
                 }
                 let profile = result.as_ref().ok().and_then(response_profile);
-                log.record(stmt.to_string(), elapsed_ns, profile);
+                log.record(
+                    stmt.to_string(),
+                    elapsed_ns,
+                    self.info.id,
+                    verb_of(stmt),
+                    profile,
+                );
             }
         }
         result
@@ -1598,6 +1639,7 @@ fn define_function(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let mut ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     for (p, q) in &lowered_params {
@@ -1688,6 +1730,7 @@ fn define_index(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     let attr_qty = ctx.attr_type(&elem, attr)?;

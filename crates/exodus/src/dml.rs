@@ -63,6 +63,7 @@ fn make_profiler(db: &Database, cat: &Catalog, node: &ExecNode, phys: &Physical)
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let annot = excess_algebra::cost::annotate_preorder(phys, &view);
     PlanProfiler::new(PlanIndex::new(node, Some(&annot)))
@@ -79,6 +80,7 @@ fn plan_query(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let mut ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     for (name, (qty, _)) in &params.vars {
@@ -121,7 +123,9 @@ fn check_read(cat: &Catalog, user: &str, checked: &CheckedRetrieve, stmt: &Stmt)
             excess_sema::RootSource::Collection(o) | excess_sema::RootSource::Object(o) => {
                 names.push(o.name.clone())
             }
-            excess_sema::RootSource::Var(_) => {}
+            // System views surface operational state, not stored data:
+            // introspection needs no object privilege.
+            excess_sema::RootSource::Var(_) | excess_sema::RootSource::System(_) => {}
         }
     }
     if let Stmt::Retrieve {
@@ -307,6 +311,7 @@ pub fn retrieve_at(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
@@ -352,6 +357,7 @@ pub fn retrieve_into(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
@@ -483,6 +489,7 @@ fn collect_bindings(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let mut ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
@@ -549,6 +556,7 @@ fn attr_pos_of(cat: &Catalog, db: &Database, elem: &QualType, attr: &str) -> DbR
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     Ok(ctx.attr_pos(elem, attr)?)
@@ -773,6 +781,7 @@ pub(crate) fn append(
             let view = CatalogView {
                 cat,
                 store: &db.store,
+                db: Some(db),
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
@@ -829,6 +838,7 @@ pub(crate) fn append(
             let view = CatalogView {
                 cat,
                 store: &db.store,
+                db: Some(db),
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
@@ -900,6 +910,7 @@ pub(crate) fn append(
             let view = CatalogView {
                 cat,
                 store: &db.store,
+                db: Some(db),
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
@@ -970,6 +981,7 @@ pub(crate) fn append(
             let view = CatalogView {
                 cat,
                 store: &db.store,
+                db: Some(db),
             };
             let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
                 .with_batch_size(db.batch_size())
@@ -1064,6 +1076,7 @@ fn eval_expr(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let mut sctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     sctx.vars = vars.clone();
@@ -1123,6 +1136,7 @@ fn container_elem(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     let mut cur = if let Some(b) = checked.bindings.iter().find(|b| b.var == root_var) {
@@ -1161,6 +1175,7 @@ fn resolve_site(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let ctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     // Starting point: the root variable's value + identity, or a named
@@ -1535,6 +1550,7 @@ pub(crate) fn replace(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let sctx = SemaCtx::new(&cat.types, &cat.adts, &view);
     let mut positions = Vec::with_capacity(assignments.len());
@@ -1556,6 +1572,7 @@ pub(crate) fn replace(
     let view = CatalogView {
         cat,
         store: &db.store,
+        db: Some(db),
     };
     let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
         .with_batch_size(db.batch_size())
@@ -1750,6 +1767,7 @@ pub(crate) fn execute_procedure(
         let view = CatalogView {
             cat,
             store: &db.store,
+            db: Some(db),
         };
         let ctx = ExecCtx::new(&db.store, &cat.types, &cat.adts, &view)
             .with_batch_size(db.batch_size())

@@ -44,12 +44,14 @@ pub mod dml;
 pub mod error;
 mod observe;
 pub mod replication;
+pub mod sysview;
 
 pub use catalog::{Auth, Catalog, CatalogView};
 pub use client::Client;
 pub use database::{Database, DatabaseBuilder, Explanation, Observation, Response, Session};
 pub use error::{DbError, DbResult, CODE_TABLE};
 pub use replication::{Batch, InProcessStream, ReplStream, Replica, ReplicaOptions, Source};
+pub use sysview::{SessionInfo, SysCtx, SystemView};
 
 // Re-exports so downstream users need only this crate.
 pub use excess_exec as exec;

@@ -177,6 +177,11 @@ pub struct SlowQuery<P> {
     pub statement: String,
     /// Wall-clock duration.
     pub elapsed_ns: u64,
+    /// Id of the session that ran the statement (0 when unknown), so
+    /// entries stay attributable across concurrent wire sessions.
+    pub session_id: u64,
+    /// The statement's verb (`"retrieve"`, `"append"`, ...).
+    pub verb: &'static str,
     /// Caller-supplied payload (the session layer stores the query's
     /// execution profile).
     pub payload: Option<P>,
@@ -215,7 +220,16 @@ impl<P> SlowQueryLog<P> {
     }
 
     /// Record one slow statement (evicting the oldest at capacity).
-    pub fn record(&self, statement: String, elapsed_ns: u64, payload: Option<P>) {
+    /// `session_id` attributes the entry to its originating session
+    /// (pass 0 when unknown); `verb` is the statement's verb.
+    pub fn record(
+        &self,
+        statement: String,
+        elapsed_ns: u64,
+        session_id: u64,
+        verb: &'static str,
+        payload: Option<P>,
+    ) {
         let mut entries = self.entries.lock().expect("slow-query lock");
         if entries.len() == self.capacity {
             entries.pop_front();
@@ -223,6 +237,8 @@ impl<P> SlowQueryLog<P> {
         entries.push_back(SlowQuery {
             statement,
             elapsed_ns,
+            session_id,
+            verb,
             payload,
         });
     }
@@ -307,13 +323,27 @@ mod tests {
         let log: SlowQueryLog<&'static str> = SlowQueryLog::new(100, 2);
         assert!(!log.is_slow(99));
         assert!(log.is_slow(100));
-        log.record("q1".into(), 150, Some("p1"));
-        log.record("q2".into(), 400, None);
-        log.record("q3".into(), 250, Some("p3"));
+        log.record("q1".into(), 150, 0, "retrieve", Some("p1"));
+        log.record("q2".into(), 400, 0, "retrieve", None);
+        log.record("q3".into(), 250, 0, "retrieve", Some("p3"));
         let entries = log.entries();
         assert_eq!(entries.len(), 2, "q1 evicted");
         assert_eq!(entries[0].statement, "q2");
         assert_eq!(entries[1].statement, "q3");
         assert_eq!(entries[1].payload, Some("p3"));
+    }
+
+    #[test]
+    fn slow_query_entries_are_session_attributable() {
+        let log: SlowQueryLog<()> = SlowQueryLog::new(0, 8);
+        log.record("retrieve (x in xs) x".into(), 300, 7, "retrieve", None);
+        log.record("append ys (1)".into(), 900, 12, "append", None);
+        let entries = log.entries();
+        assert_eq!(entries.len(), 2);
+        // Slowest first: the append from session 12.
+        assert_eq!(entries[0].session_id, 12);
+        assert_eq!(entries[0].verb, "append");
+        assert_eq!(entries[1].session_id, 7);
+        assert_eq!(entries[1].verb, "retrieve");
     }
 }

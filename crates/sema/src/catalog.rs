@@ -5,7 +5,7 @@
 
 use excess_lang::Stmt;
 use exodus_storage::Oid;
-use extra_model::{QualType, TypeId};
+use extra_model::{QualType, TypeId, Value};
 
 /// A named persistent database object (`create <type> <Name>`).
 #[derive(Debug, Clone)]
@@ -249,6 +249,17 @@ impl CollectionStats {
     }
 }
 
+/// A read-only virtual collection in the reserved `sys` schema,
+/// materialized on demand from live engine state rather than storage.
+#[derive(Debug, Clone)]
+pub struct SystemViewDef {
+    /// View name without the `sys.` prefix (e.g. `metrics`).
+    pub name: String,
+    /// Element type each row binds — always an owned tuple, so attribute
+    /// inference and projection work exactly as for stored collections.
+    pub elem: QualType,
+}
+
 /// Name-resolution services provided by the database catalog.
 pub trait CatalogLookup {
     /// Look up a named persistent object.
@@ -277,6 +288,25 @@ pub trait CatalogLookup {
     /// target collection of a reference-valued attribute. The default
     /// (none) disables such rewrites.
     fn collections(&self) -> Vec<NamedObject> {
+        Vec::new()
+    }
+
+    /// Definition of the `sys.<name>` virtual collection, when this
+    /// catalog exposes one. The default (no system views) leaves `sys`
+    /// an ordinary unknown name.
+    fn system_view(&self, _name: &str) -> Option<SystemViewDef> {
+        None
+    }
+
+    /// Materialize the rows of `sys.<name>` as a consistent snapshot of
+    /// the provider's state at call time. `None` when no such view
+    /// exists.
+    fn system_view_rows(&self, _name: &str) -> Option<Vec<Value>> {
+        None
+    }
+
+    /// Every system view this catalog exposes (for diagnostics).
+    fn system_views(&self) -> Vec<SystemViewDef> {
         Vec::new()
     }
 }

@@ -32,7 +32,7 @@ pub mod resolve;
 
 pub use catalog::{
     AttrStats, CatalogLookup, CollectionStats, FunctionDef, IndexInfo, NamedObject, ProcedureDef,
-    StatOp, HISTOGRAM_BUCKETS,
+    StatOp, SystemViewDef, HISTOGRAM_BUCKETS,
 };
 pub use error::{SemaError, SemaResult};
 pub use infer::SemaCtx;

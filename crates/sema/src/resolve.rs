@@ -29,6 +29,9 @@ pub enum RootSource {
     Object(NamedObject),
     /// Starting from another range variable's current binding.
     Var(String),
+    /// Iterating a `sys.<name>` virtual collection, materialized from
+    /// live engine state by the catalog's system-view providers.
+    System(String),
 }
 
 /// A resolved range binding.
@@ -262,6 +265,48 @@ impl<'a> Resolver<'a> {
         known: &HashMap<String, QualType>,
     ) -> SemaResult<Vec<ResolvedRange>> {
         let (root_name, steps) = flatten_path(path)?;
+        // `sys.<view>` ranges over a virtual system collection — but only
+        // when nothing shadows `sys` (a variable or catalog object named
+        // `sys` keeps its ordinary meaning) and the catalog actually
+        // provides system views (so minimal test catalogs are unaffected).
+        if root_name == "sys"
+            && !known.contains_key("sys")
+            && !self.ctx.vars.contains_key("sys")
+            && self.ctx.catalog.named("sys").is_none()
+        {
+            if let Some(first) = steps.first() {
+                if let Some(def) = self.ctx.catalog.system_view(first) {
+                    if steps.len() > 1 {
+                        return Err(SemaError::Other(format!(
+                            "cannot range over 'sys.{first}.{}': system views \
+                             have no nested set attributes",
+                            steps[1..].join(".")
+                        )));
+                    }
+                    return Ok(vec![ResolvedRange {
+                        var: var.into(),
+                        universal,
+                        root: RootSource::System(first.clone()),
+                        steps: Vec::new(),
+                        elem: def.elem,
+                    }]);
+                }
+                let mut views: Vec<String> = self
+                    .ctx
+                    .catalog
+                    .system_views()
+                    .into_iter()
+                    .map(|v| v.name)
+                    .collect();
+                if !views.is_empty() {
+                    views.sort();
+                    return Err(SemaError::Other(format!(
+                        "no system view 'sys.{first}'; available: {}",
+                        views.join(", ")
+                    )));
+                }
+            }
+        }
         // A stepless range over a collection name iterates that collection
         // directly — even when an implicit member binding of the same name
         // exists (`range of E is Employees` alongside `Employees.kids`).

@@ -387,6 +387,11 @@ fn serve_connection(
 
     let mut session = db.session_as(&user);
     session.set_lock_timeout(Some(admission.config().lock_timeout));
+    // Annotate the session's `sys.sessions` row: the remote peer flips
+    // its kind to `wire`, and the state records that this connection
+    // passed connection admission.
+    session.set_peer(Some(conn.peer()));
+    session.set_session_state("admitted");
     let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
 
     let metrics = admission.metrics();
@@ -605,7 +610,9 @@ impl std::io::Write for WriteAdapter<'_> {
 
 /// Answer an HTTP scraper. The `GET ` preamble has already been
 /// consumed; read the rest of the request head, then respond with the
-/// Prometheus exposition (for `/metrics`) or a 404, and close.
+/// Prometheus exposition (for `/metrics`), the same snapshot as JSON
+/// (for `/metrics.json`, or `/metrics` with `Accept: application/json`),
+/// or a 404, and close.
 fn serve_http_scrape(conn: &mut dyn Conn, admission: &Arc<Admission>) {
     let mut head = Vec::with_capacity(512);
     let mut byte = [0u8; 1];
@@ -615,18 +622,40 @@ fn serve_http_scrape(conn: &mut dyn Conn, admission: &Arc<Admission>) {
             _ => break,
         }
     }
-    let request_line = String::from_utf8_lossy(&head);
-    let path = request_line.split_whitespace().next().unwrap_or("");
-    let (status, body) = if path == "/metrics" || path.starts_with("/metrics?") {
+    let request_head = String::from_utf8_lossy(&head);
+    let path = request_head.split_whitespace().next().unwrap_or("");
+    let wants_json = path == "/metrics.json"
+        || path.starts_with("/metrics.json?")
+        || request_head.lines().any(|l| {
+            let l = l.to_ascii_lowercase();
+            l.starts_with("accept:") && l.contains("application/json")
+        });
+    let is_metrics = |p: &str| {
+        p == "/metrics" || p.starts_with("/metrics?") || p == "/metrics.json"
+            || p.starts_with("/metrics.json?")
+    };
+    let (status, content_type, body) = if is_metrics(path) {
         admission.metrics().metrics_scrapes_total.inc();
-        let text = admission.metrics().registry.snapshot().to_prometheus();
-        ("200 OK", text)
+        let snapshot = admission.metrics().registry.snapshot();
+        if wants_json {
+            ("200 OK", "application/json; charset=utf-8", snapshot.to_json())
+        } else {
+            (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                snapshot.to_prometheus(),
+            )
+        }
     } else {
-        ("404 Not Found", format!("no route for {path}\n"))
+        (
+            "404 Not Found",
+            "text/plain; version=0.0.4; charset=utf-8",
+            format!("no route for {path}\n"),
+        )
     };
     let response = format!(
         "HTTP/1.1 {status}\r\n\
-         Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Type: {content_type}\r\n\
          Content-Length: {}\r\n\
          Connection: close\r\n\r\n{body}",
         body.len(),

@@ -198,6 +198,52 @@ fn http_scrape_returns_valid_exposition_with_server_families() {
     assert!(response.starts_with("HTTP/1.1 404"), "{response}");
 }
 
+/// The same port serves the snapshot as JSON: `/metrics.json` by path,
+/// or `/metrics` content-negotiated with `Accept: application/json`.
+#[test]
+fn http_scrape_serves_json_by_path_and_accept_header() {
+    use std::io::{Read, Write};
+
+    let server = serve(AdmissionConfig::default());
+    let mut session = RemoteSession::connect(server.addr(), "admin").unwrap();
+    session
+        .run(r#"append to Log (tag = "json", n = 1)"#)
+        .unwrap();
+
+    let fetch = |request: &[u8]| {
+        let mut http = std::net::TcpStream::connect(server.addr()).unwrap();
+        http.write_all(request).unwrap();
+        let mut response = String::new();
+        http.read_to_string(&mut response).unwrap();
+        let (head, body) = response
+            .split_once("\r\n\r\n")
+            .map(|(h, b)| (h.to_string(), b.to_string()))
+            .expect("an HTTP head/body split");
+        (head, body)
+    };
+
+    for request in [
+        b"GET /metrics.json HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n".as_slice(),
+        b"GET /metrics HTTP/1.1\r\nHost: test\r\nAccept: application/json\r\nConnection: close\r\n\r\n",
+    ] {
+        let (head, body) = fetch(request);
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("application/json"), "{head}");
+        let snap = exodus_db::MetricsSnapshot::from_json(&body)
+            .expect("the JSON body parses back into a snapshot");
+        assert!(
+            snap.counter("server_statements_total").unwrap_or(0) > 0,
+            "server families missing from the JSON snapshot"
+        );
+        assert!(snap.counter("db_statements_total").unwrap_or(0) > 0);
+    }
+
+    // The plain scrape still answers the Prometheus exposition.
+    let (head, body) = fetch(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+    validate_exposition(&body).expect("a valid Prometheus exposition");
+}
+
 #[test]
 fn shutdown_interrupts_a_stalled_mid_frame_read() {
     use exodus_server::protocol::{read_frame, write_frame};

@@ -275,6 +275,75 @@ fn authorization_is_enforced_for_both() {
 }
 
 #[test]
+fn sys_views_conform_across_transports() {
+    // The `sys.*` introspection surface must look the same through a
+    // local Session and a RemoteSession: same columns, same plans, and
+    // — for state the transport does not itself change — same rows.
+    conforms(|c| {
+        vec![
+            query_outcome(
+                c,
+                r#"retrieve (m.name, m.kind, m.count) from m in sys.metrics
+                   where m.name = "db_statements_total""#,
+            ),
+            // `kind`/`peer`/`state` are transport-specific by design
+            // (covered below); user and statement counts must agree.
+            query_outcome(
+                c,
+                "retrieve (s.user_name, s.statements) from s in sys.sessions",
+            ),
+            explain_outcome(c, "retrieve (m.name) from m in sys.metrics"),
+            explain_outcome(c, "retrieve (s.id) from s in sys.sessions"),
+            // Unknown views fail with the same stable code either side.
+            query_outcome(c, "retrieve (v) from v in sys.nope"),
+        ]
+    });
+}
+
+#[test]
+fn remote_sessions_appear_as_wire_sessions() {
+    // What the transports legitimately change: a wire session's
+    // `sys.sessions` row carries the peer address the server annotated
+    // and reports kind `wire`, while an in-process session is `local`
+    // with a null peer.
+    let db = Database::in_memory();
+    let local_rows = {
+        let mut local = db.session();
+        local.run(SETUP).unwrap();
+        local
+            .query("retrieve (s.kind, s.peer, s.state) from s in sys.sessions")
+            .unwrap()
+            .rows
+    };
+    assert_eq!(local_rows.len(), 1);
+    assert_eq!(local_rows[0][0].to_string(), "\"local\"");
+    assert_eq!(local_rows[0][1].to_string(), "null");
+    assert_eq!(local_rows[0][2].to_string(), "\"open\"");
+
+    let server = Server::spawn(
+        Database::in_memory(),
+        TcpTransport::bind("127.0.0.1:0").unwrap(),
+        AdmissionConfig::default(),
+    )
+    .unwrap();
+    let mut remote = RemoteSession::connect(server.addr(), "admin").unwrap();
+    remote.run(SETUP).unwrap();
+    let rows = remote
+        .query("retrieve (s.kind, s.peer, s.state, s.user_name) from s in sys.sessions")
+        .unwrap()
+        .rows;
+    assert_eq!(rows.len(), 1, "the serving connection sees itself");
+    assert_eq!(rows[0][0].to_string(), "\"wire\"");
+    assert!(
+        rows[0][1].to_string().contains("127.0.0.1"),
+        "peer address missing: {:?}",
+        rows[0][1]
+    );
+    assert_eq!(rows[0][2].to_string(), "\"admitted\"");
+    assert_eq!(rows[0][3].to_string(), "\"admin\"");
+}
+
+#[test]
 fn snapshot_isolation_holds_over_the_wire() {
     // A remote reader must not see another connection's uncommitted
     // writes — its retrieves run against a committed snapshot, exactly

@@ -361,6 +361,90 @@ fn observe_and_explain_refuse_transaction_control() {
     );
 }
 
+/// The drift gate for DESIGN.md §12's metric catalogue: register every
+/// family the system can register (WAL-backed primary with tracing, a
+/// wire server, a replica, and a recovered reopen), then require the
+/// set of live family names and the doc's fenced `metric-catalogue`
+/// block to match exactly — both directions. A new metric family must
+/// land in the doc in the same change that registers it, and a removed
+/// one must leave it.
+#[test]
+fn metrics_catalogue_matches_design_doc() {
+    use std::collections::BTreeSet;
+
+    let design = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/DESIGN.md")).unwrap();
+    let block = design
+        .split("```metric-catalogue")
+        .nth(1)
+        .expect("DESIGN.md lost its ```metric-catalogue block")
+        .split("```")
+        .next()
+        .unwrap();
+    let documented: BTreeSet<String> = block
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .map(str::to_string)
+        .collect();
+
+    let dir = temp_dir("catalogue");
+    let mut live = BTreeSet::new();
+    {
+        let db = Database::builder()
+            .path(dir.join("p.vol"))
+            .durability(Durability::Fsync)
+            .trace(TraceConfig::default())
+            .build()
+            .unwrap();
+        seed(&db);
+        // The server registers its `server_*` families on spawn; the
+        // replica registers `repl_replayed_*`/`repl_horizon`/`repl_lag*`
+        // on its own registry and `repl_shipped_*` on the primary's.
+        let mut server = exodus_server::Server::spawn(
+            db.clone(),
+            exodus_server::TcpTransport::bind("127.0.0.1:0").unwrap(),
+            exodus_server::AdmissionConfig::default(),
+        )
+        .unwrap();
+        let mut replica = extra_excess::db::replication::Replica::in_process(
+            &db,
+            dir.join("r.vol"),
+            extra_excess::db::replication::ReplicaOptions::default(),
+        )
+        .unwrap();
+        replica.pump_until_caught_up().unwrap();
+        for m in db.metrics_snapshot().unwrap().metrics {
+            live.insert(m.name);
+        }
+        for m in replica.database().metrics_snapshot().unwrap().metrics {
+            live.insert(m.name);
+        }
+        drop(replica);
+        server.shutdown();
+    }
+    {
+        // Reopen: recovery families are only registered when an open
+        // actually recovered.
+        let db = Database::builder()
+            .path(dir.join("p.vol"))
+            .durability(Durability::Fsync)
+            .build()
+            .unwrap();
+        for m in db.metrics_snapshot().unwrap().metrics {
+            live.insert(m.name);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let undocumented: Vec<&String> = live.difference(&documented).collect();
+    let stale: Vec<&String> = documented.difference(&live).collect();
+    assert!(
+        undocumented.is_empty() && stale.is_empty(),
+        "metric catalogue drift — registered but not in DESIGN.md §12: {undocumented:?}; \
+         documented but no longer registered: {stale:?}"
+    );
+}
+
 /// The transaction lifecycle is observable: the active gauge tracks the
 /// open transaction and the committed/aborted counters tally outcomes.
 #[test]

@@ -225,6 +225,80 @@ fn lag_bound_sheds_reads_until_caught_up() {
     assert_eq!(r.rows.len(), 33);
 }
 
+/// Introspection works on replicas: every `sys.*` view answers a
+/// retrieve (never the ReadOnly refusal), `sys.replication` reports the
+/// replica role with live horizon/lag — and the lag bound still sheds
+/// sys reads exactly like data reads, because they ride the same
+/// replica read path.
+#[test]
+fn sys_views_read_on_replicas_and_respect_lag_shedding() {
+    let dir = temp_dir("sysviews");
+    let p = primary(&dir);
+    seed(&p);
+    let mut replica = Replica::in_process(
+        &p,
+        dir.join("replica.vol"),
+        ReplicaOptions {
+            max_lag: Some(4),
+            batch_records: 4,
+            ..ReplicaOptions::default()
+        },
+    )
+    .unwrap();
+    replica.pump_until_caught_up().unwrap();
+    let rdb = replica.database();
+    let mut rs = rdb.session();
+
+    // Every shipped view is readable — introspection is never refused
+    // with the replica's ReadOnly code.
+    for (name, _, _) in rdb.system_view_schemas() {
+        rs.query(&format!("retrieve (v) from v in sys.{name}"))
+            .unwrap_or_else(|e| panic!("sys.{name} refused on a replica: {e}"));
+    }
+
+    // The replication view reports this side's role and progress.
+    let r = rs
+        .query("retrieve (t.role, t.lag, t.max_lag) from t in sys.replication")
+        .unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Value::str("replica"), Value::Int(0), Value::Int(4)]]
+    );
+    // ... and the primary's reports the shipping side.
+    let r = p
+        .session()
+        .query("retrieve (t.role) from t in sys.replication")
+        .unwrap();
+    assert_eq!(r.rows, vec![vec![Value::str("primary")]]);
+
+    // Past the lag bound, sys reads shed with the same retryable
+    // Lagging code as data reads — a trailing replica's introspection
+    // must not pretend to be current.
+    let mut ps = p.session();
+    for i in 0..30 {
+        ps.run(&format!("append to People (name = \"q{i}\", age = {i})"))
+            .unwrap();
+    }
+    replica.pump().unwrap();
+    assert!(replica.lag_records() > 4, "lag: {}", replica.lag_records());
+    let err = rs
+        .query("retrieve (m.name) from m in sys.metrics")
+        .unwrap_err();
+    assert_eq!(err.code(), 2004, "{err}");
+    assert!(err.is_retryable());
+
+    // Caught up again, introspection resumes and sees the replay work
+    // in the replica's own counters.
+    replica.pump_until_caught_up().unwrap();
+    let r = rs
+        .query(r#"retrieve (m.count) from m in sys.metrics where m.name = "repl_replayed_records_total""#)
+        .unwrap();
+    let Value::Int(replayed) = r.rows[0][0] else {
+        panic!("counter is not an int");
+    };
+    assert!(replayed >= 30, "replayed only {replayed} records");
+}
+
 /// A replica restarted over its own volume recovers, reconnects, and
 /// resumes replay from its local cursor to the primary's frontier.
 #[test]
